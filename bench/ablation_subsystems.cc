@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-subsystem miss attribution: which parts of the database engine
+ * (SQL layer, B-tree, buffer manager, logging, ...) take the
+ * instruction cache misses, before and after layout optimization. Not
+ * a figure from the paper, but exactly the breakdown the authors'
+ * methodology enables — and a useful sanity check that the optimizer
+ * helps the subsystems that dominate the workload.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench/common.hh"
+
+using namespace spikesim;
+
+namespace {
+
+/** Misses per subsystem for one layout. */
+std::map<std::string, std::uint64_t>
+missesBySubsystem(const bench::Workload& w, const core::Layout& layout)
+{
+    // Per-CPU caches, attributing each miss to the block's subsystem.
+    const auto& image = w.system->appImage();
+    std::vector<mem::SetAssocCache> caches;
+    int cpus = 1;
+    for (const auto& e : w.buf.events())
+        cpus = std::max(cpus, e.cpu + 1);
+    for (int i = 0; i < cpus; ++i)
+        caches.emplace_back(mem::CacheConfig{64 * 1024, 128, 4});
+
+    std::map<std::string, std::uint64_t> misses;
+    for (const auto& e : w.buf.events()) {
+        if (e.image != trace::ImageId::App)
+            continue;
+        std::uint64_t bytes = layout.blockBytes(e.block);
+        if (bytes == 0)
+            continue;
+        std::uint64_t addr = layout.blockAddr(e.block);
+        auto [proc, local] = w.appProg().locateBlock(e.block);
+        (void)local;
+        const std::string& sub = image.subsystem_of[proc];
+        for (std::uint64_t a = addr & ~127ull; a < addr + bytes;
+             a += 128) {
+            if (!caches[e.cpu].access(a, mem::Owner::App).hit)
+                ++misses[sub];
+        }
+    }
+    return misses;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Subsystem attribution",
+                  "i-cache misses by engine subsystem (64KB/128B/4-way)");
+    bench::Workload w = bench::runWorkload(argc, argv);
+    core::Layout base = w.appLayout(core::OptCombo::Base);
+    core::Layout opt = w.appLayout(core::OptCombo::All);
+
+    auto base_misses = missesBySubsystem(w, base);
+    auto opt_misses = missesBySubsystem(w, opt);
+
+    // Sort subsystems by baseline miss count.
+    std::vector<std::pair<std::string, std::uint64_t>> rows(
+        base_misses.begin(), base_misses.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second > b.second;
+              });
+
+    support::TablePrinter table(
+        {"subsystem", "base misses", "optimized", "reduction"});
+    for (const auto& [sub, misses] : rows) {
+        std::uint64_t after = opt_misses[sub];
+        table.addRow({sub, support::withCommas(misses),
+                      support::withCommas(after),
+                      misses == 0
+                          ? "-"
+                          : support::percent(
+                                1.0 - static_cast<double>(after) /
+                                          static_cast<double>(misses))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+    bench::paperVsMeasured(
+        "where the misses live",
+        "OLTP miss profile is spread across the whole engine "
+        "(flat profile, Fig 3); layout helps across the board",
+        "see the per-subsystem reductions above");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Three-C miss decomposition (supporting the paper's Figure 6
+ * analysis): the paper argues that at 32-128KB "capacity issues
+ * dominate", that associativity therefore buys little, and that layout
+ * optimization "not only reduces conflicts by careful ordering of code
+ * segments, but also reduces capacity misses by better packing the
+ * code". This bench classifies every miss as compulsory, capacity, or
+ * conflict for base and optimized binaries across cache sizes.
+ */
+
+#include "bench/common.hh"
+
+using namespace spikesim;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Three-C decomposition",
+                  "compulsory/capacity/conflict misses (128B lines, "
+                  "direct-mapped)");
+    bench::Workload w = bench::runWorkload(argc, argv);
+    core::Layout base = w.appLayout(core::OptCombo::Base);
+    core::Layout opt = w.appLayout(core::OptCombo::All);
+
+    support::TablePrinter table({"cache", "binary", "compulsory",
+                                 "capacity", "conflict", "capacity %"});
+    std::uint64_t base_cap64 = 0, opt_cap64 = 0, base_conf64 = 0,
+                  opt_conf64 = 0;
+    for (std::uint32_t kb : {32, 64, 128, 256}) {
+        mem::CacheConfig cfg{kb * 1024, 128, 1};
+        int which = 0;
+        for (const core::Layout* layout : {&base, &opt}) {
+            sim::Replayer rep(w.buf, *layout);
+            mem::ThreeCStats s =
+                rep.threeCs(cfg, sim::StreamFilter::AppOnly);
+            double cap_share =
+                s.totalMisses() == 0
+                    ? 0.0
+                    : static_cast<double>(s.capacity) /
+                          static_cast<double>(s.totalMisses());
+            if (kb == 64 && which == 0) {
+                base_cap64 = s.capacity;
+                base_conf64 = s.conflict;
+            }
+            if (kb == 64 && which == 1) {
+                opt_cap64 = s.capacity;
+                opt_conf64 = s.conflict;
+            }
+            table.addRow({std::to_string(kb) + "KB",
+                          which == 0 ? "base" : "optimized",
+                          support::withCommas(s.compulsory),
+                          support::withCommas(s.capacity),
+                          support::withCommas(s.conflict),
+                          support::percent(cap_share)});
+            ++which;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    auto pct = [](std::uint64_t o, std::uint64_t b) {
+        return b == 0 ? std::string("-")
+                      : support::percent(1.0 -
+                                         static_cast<double>(o) /
+                                             static_cast<double>(b));
+    };
+    bench::paperVsMeasured(
+        "capacity misses dominate at realistic sizes",
+        "claimed for 32-128KB (hence associativity helps little)",
+        "see the capacity %% column");
+    bench::paperVsMeasured(
+        "layout reduces BOTH miss classes at 64KB",
+        "conflicts via segment ordering; capacity via packing",
+        "capacity " + pct(opt_cap64, base_cap64) + " and conflict " +
+            pct(opt_conf64, base_conf64) + " reductions");
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "bench/common.hh"
+
+#include <cstdlib>
+
+namespace spikesim::bench {
+
+Workload
+runWorkload(int argc, char** argv, std::uint64_t profile_txns,
+            std::uint64_t trace_txns)
+{
+    Workload w;
+    if (argc > 1)
+        profile_txns = static_cast<std::uint64_t>(std::atoll(argv[1]));
+    if (argc > 2)
+        trace_txns = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    w.profile_txns = profile_txns;
+    w.trace_txns = trace_txns;
+
+    sim::SystemConfig config;
+    w.system = std::make_unique<sim::System>(config);
+    std::cerr << "[workload] loading database ("
+              << w.system->database().numAccounts() << " accounts)...\n";
+    w.system->setup();
+    std::cerr << "[workload] warmup + profiling " << profile_txns
+              << " transactions...\n";
+    w.system->warmup(50);
+    w.profiles = w.system->collectProfiles(profile_txns);
+    std::cerr << "[workload] tracing " << trace_txns
+              << " transactions...\n";
+    w.system->run(trace_txns, w.buf);
+    std::cerr << "[workload] trace: " << w.buf.size() << " events ("
+              << w.buf.imageEvents(trace::ImageId::Kernel)
+              << " kernel, " << w.buf.imageEvents(trace::ImageId::Data)
+              << " data)\n\n";
+    return w;
+}
+
+void
+banner(const std::string& figure, const std::string& what)
+{
+    std::cout << "=== " << figure << ": " << what << " ===\n"
+              << "(Ramirez et al., ISCA 2001 -- spikesim reproduction)\n\n";
+}
+
+void
+paperVsMeasured(const std::string& metric, const std::string& paper,
+                const std::string& measured)
+{
+    std::cout << "  " << metric << "\n    paper:    " << paper
+              << "\n    measured: " << measured << "\n";
+}
+
+} // namespace spikesim::bench

@@ -1,0 +1,95 @@
+#ifndef SPIKESIM_BENCH_COMMON_HH
+#define SPIKESIM_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "sim/replay.hh"
+#include "sim/system.hh"
+#include "support/table.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Shared harness for the figure-reproduction benchmarks: runs the OLTP
+ * workload once (profile run + measured trace run, mirroring the
+ * paper's Pixie profiling followed by SimOS trace collection) and hands
+ * each bench the pieces it needs. Workload size is overridable from the
+ * command line: `<bench> [profile_txns] [trace_txns]`.
+ */
+
+namespace spikesim::bench {
+
+/** Everything a figure bench needs. */
+struct Workload
+{
+    std::unique_ptr<sim::System> system;
+    std::optional<sim::System::Profiles> profiles;
+    trace::TraceBuffer buf;
+    std::uint64_t profile_txns = 0;
+    std::uint64_t trace_txns = 0;
+
+    const program::Program& appProg() const { return system->appProg(); }
+    const program::Program&
+    kernelProg() const
+    {
+        return system->kernelProg();
+    }
+    const profile::Profile& appProfile() const { return profiles->app; }
+    const profile::Profile&
+    kernelProfile() const
+    {
+        return profiles->kernel;
+    }
+
+    /** Build an application layout for the given combination. */
+    core::Layout
+    appLayout(core::OptCombo combo) const
+    {
+        core::PipelineOptions opts;
+        opts.combo = combo;
+        opts.text_base = system->config().app_text_base;
+        return core::buildLayout(appProg(), profiles->app, opts);
+    }
+
+    /** Kernel baseline layout (the unoptimized kernel binary). */
+    core::Layout
+    kernelLayout() const
+    {
+        return core::baselineLayout(kernelProg(),
+                                    system->config().kernel_text_base);
+    }
+
+    /** Kernel layout optimized with the full pipeline. */
+    core::Layout
+    kernelOptimizedLayout() const
+    {
+        core::PipelineOptions opts;
+        opts.combo = core::OptCombo::All;
+        opts.text_base = system->config().kernel_text_base;
+        return core::buildLayout(kernelProg(), profiles->kernel, opts);
+    }
+};
+
+/**
+ * Run the standard workload: build the system, load the database, warm
+ * up, profile `profile_txns`, then record a `trace_txns` trace.
+ */
+Workload runWorkload(int argc, char** argv,
+                     std::uint64_t profile_txns = 800,
+                     std::uint64_t trace_txns = 500);
+
+/** Print the bench banner. */
+void banner(const std::string& figure, const std::string& what);
+
+/** Print a PAPER vs MEASURED comparison line. */
+void paperVsMeasured(const std::string& metric, const std::string& paper,
+                     const std::string& measured);
+
+} // namespace spikesim::bench
+
+#endif // SPIKESIM_BENCH_COMMON_HH

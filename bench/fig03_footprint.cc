@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 3: execution profile of the unoptimized application binary --
+ * fraction of all dynamic instructions captured by a given static
+ * footprint, hottest instructions first.
+ */
+
+#include "bench/common.hh"
+#include "metrics/footprint.hh"
+
+using namespace spikesim;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 3",
+                  "execution profile (footprint CDF) of the baseline "
+                  "binary");
+    bench::Workload w = bench::runWorkload(argc, argv);
+    metrics::FootprintCdf cdf(w.appProfile());
+
+    support::TablePrinter table({"code size", "% of executed instrs"});
+    for (std::uint64_t kb : {5, 10, 25, 50, 75, 100, 150, 200, 250, 300,
+                             400}) {
+        double cov = cdf.coverageAtBytes(kb * 1024);
+        table.addRow({std::to_string(kb) + "KB",
+                      support::percent(cov)});
+        if (cov >= 1.0)
+            break;
+    }
+    table.print(std::cout);
+
+    std::cout << "\ntotal executed footprint: "
+              << support::bytesHuman(cdf.totalBytes()) << "\n";
+    std::cout << "footprint for 60% of execution: "
+              << support::bytesHuman(cdf.bytesForCoverage(0.60)) << "\n";
+    std::cout << "footprint for 99% of execution: "
+              << support::bytesHuman(cdf.bytesForCoverage(0.99))
+              << "\n\n";
+
+    bench::paperVsMeasured(
+        "shape of the execution profile",
+        "50KB captures ~60%; 99% needs ~200KB; total ~260KB",
+        support::bytesHuman(cdf.bytesForCoverage(0.60)) +
+            " captures 60%; 99% needs " +
+            support::bytesHuman(cdf.bytesForCoverage(0.99)) +
+            "; total " + support::bytesHuman(cdf.totalBytes()));
+    return 0;
+}

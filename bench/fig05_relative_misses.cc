@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 5: instruction cache misses of the optimized binary relative
+ * to the baseline (percent), across cache sizes and line sizes.
+ */
+
+#include "bench/common.hh"
+
+using namespace spikesim;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 5",
+                  "relative misses, optimized/base (%), direct-mapped");
+    bench::Workload w = bench::runWorkload(argc, argv);
+    core::Layout base = w.appLayout(core::OptCombo::Base);
+    core::Layout opt = w.appLayout(core::OptCombo::All);
+    sim::Replayer base_rep(w.buf, base);
+    sim::Replayer opt_rep(w.buf, opt);
+
+    support::TablePrinter table(
+        {"cache", "16B", "32B", "64B", "128B", "256B"});
+    double at64_128 = 0, at128_128 = 0;
+    for (std::uint32_t kb : {32, 64, 128, 256, 512}) {
+        std::vector<std::string> row{std::to_string(kb) + "KB"};
+        for (std::uint32_t line : {16, 32, 64, 128, 256}) {
+            mem::CacheConfig cfg{kb * 1024, line, 1};
+            auto b = base_rep.icache(cfg, sim::StreamFilter::AppOnly);
+            auto o = opt_rep.icache(cfg, sim::StreamFilter::AppOnly);
+            double rel = b.misses == 0
+                             ? 100.0
+                             : 100.0 * static_cast<double>(o.misses) /
+                                   static_cast<double>(b.misses);
+            if (line == 128 && kb == 64)
+                at64_128 = rel;
+            if (line == 128 && kb == 128)
+                at128_128 = rel;
+            row.push_back(support::fixed(rel, 1) + "%");
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    bench::paperVsMeasured(
+        "application miss reduction at 64-128KB caches",
+        "55%-65% fewer misses (relative = 35%-45%)",
+        "relative misses " + support::fixed(at64_128, 1) + "% at 64KB, " +
+            support::fixed(at128_128, 1) + "% at 128KB (128B lines)");
+    bench::paperVsMeasured(
+        "trend", "relative gains grow with line size and cache size "
+                 "(up to 256KB)",
+        "compare rows/columns above");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 8: sequentially executed instructions between control breaks
+ * -- (a) averages (with the dynamic basic block size for reference),
+ * (b) histogram of sequence lengths for base and optimized binaries.
+ */
+
+#include "bench/common.hh"
+#include "metrics/sequence.hh"
+
+using namespace spikesim;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 8", "sequentially executed instructions");
+    bench::Workload w = bench::runWorkload(argc, argv);
+    core::Layout base = w.appLayout(core::OptCombo::Base);
+    core::Layout opt = w.appLayout(core::OptCombo::All);
+
+    metrics::SequenceStats sb =
+        metrics::sequenceLengths(w.buf, base, trace::ImageId::App);
+    metrics::SequenceStats so =
+        metrics::sequenceLengths(w.buf, opt, trace::ImageId::App);
+
+    std::cout << "(a) average sequence lengths\n";
+    support::TablePrinter avg({"setup", "average length (instrs)"});
+    avg.addRow({"basic block size", support::fixed(sb.mean_block_size, 2)});
+    avg.addRow({"base", support::fixed(sb.mean, 2)});
+    avg.addRow({"optimized", support::fixed(so.mean, 2)});
+    avg.print(std::cout);
+
+    std::cout << "\n(b) sequence length histogram (% of all sequences)\n";
+    support::TablePrinter hist({"length", "base", "optimized"});
+    for (std::size_t len = 1; len <= 33; ++len) {
+        std::string label = len == 33 ? "33+" : std::to_string(len);
+        hist.addRow({label, support::percent(sb.lengths.fraction(len)),
+                     support::percent(so.lengths.fraction(len))});
+    }
+    hist.print(std::cout);
+    std::cout << "\n";
+
+    bench::paperVsMeasured(
+        "average sequence length",
+        "7.3 instructions (base) -> over 10 (optimized)",
+        support::fixed(sb.mean, 1) + " -> " + support::fixed(so.mean, 1));
+    bench::paperVsMeasured(
+        "1-instruction sequences",
+        "21% of sequences (base) -> 15% (optimized)",
+        support::percent(sb.lengths.fraction(1)) + " -> " +
+            support::percent(so.lengths.fraction(1)));
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 10: how many times an individual instruction word is used
+ * before its line is replaced (128KB/128B/4-way). Bucket 0 is the
+ * paper's headline: words fetched into the cache but never executed.
+ */
+
+#include "bench/common.hh"
+
+using namespace spikesim;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 10",
+                  "individual instruction reuse before replacement "
+                  "(128KB/128B/4-way)");
+    bench::Workload w = bench::runWorkload(argc, argv);
+    mem::CacheConfig cache{128 * 1024, 128, 4};
+    core::Layout base_layout = w.appLayout(core::OptCombo::Base);
+    core::Layout opt_layout = w.appLayout(core::OptCombo::All);
+    sim::Replayer base_rep(w.buf, base_layout);
+    sim::Replayer opt_rep(w.buf, opt_layout);
+    sim::WordStats base =
+        base_rep.instrumented(cache, sim::StreamFilter::AppOnly);
+    sim::WordStats opt =
+        opt_rep.instrumented(cache, sim::StreamFilter::AppOnly);
+
+    support::TablePrinter table({"times used", "base", "optimized"});
+    for (std::size_t n = 0; n <= 15; ++n) {
+        std::string label = n == 15 ? "15+" : std::to_string(n);
+        table.addRow({label,
+                      support::percent(base.word_reuse.fraction(n)),
+                      support::percent(opt.word_reuse.fraction(n))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    bench::paperVsMeasured(
+        "fetched-but-never-used instructions",
+        "over half for base; optimized 21% vs base 46% "
+        "(the packing claim in section 4.1)",
+        "base " + support::percent(base.unused_word_fraction) +
+            ", optimized " + support::percent(opt.unused_word_fraction));
+    bench::paperVsMeasured(
+        "multi-use instructions",
+        "optimized raises the number of instructions used more than "
+        "once before eviction",
+        "base >1 uses: " +
+            support::percent(1.0 - base.word_reuse.fraction(0) -
+                             base.word_reuse.fraction(1)) +
+            ", optimized: " +
+            support::percent(1.0 - opt.word_reuse.fraction(0) -
+                             opt.word_reuse.fraction(1)));
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 11: cache line lifetimes in cache cycles (number of cache
+ * accesses between fill and replacement), log2 buckets, for the base
+ * and optimized binaries (128KB/128B/4-way).
+ */
+
+#include "bench/common.hh"
+
+using namespace spikesim;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 11",
+                  "cache line lifetimes (128KB/128B/4-way)");
+    bench::Workload w = bench::runWorkload(argc, argv);
+    mem::CacheConfig cache{128 * 1024, 128, 4};
+    core::Layout base_layout = w.appLayout(core::OptCombo::Base);
+    core::Layout opt_layout = w.appLayout(core::OptCombo::All);
+    sim::Replayer base_rep(w.buf, base_layout);
+    sim::Replayer opt_rep(w.buf, opt_layout);
+    sim::WordStats base =
+        base_rep.instrumented(cache, sim::StreamFilter::AppOnly);
+    sim::WordStats opt =
+        opt_rep.instrumented(cache, sim::StreamFilter::AppOnly);
+
+    support::TablePrinter table(
+        {"lifetime (log2 cycles)", "base", "optimized"});
+    for (std::size_t b = 4; b < 28; ++b)
+        table.addRow({std::to_string(b),
+                      support::percent(base.lifetimes.fraction(b)),
+                      support::percent(opt.lifetimes.fraction(b))});
+    table.print(std::cout);
+
+    double base_mean = base.lifetimes.mean();
+    double opt_mean = opt.lifetimes.mean();
+    std::cout << "\nmean lifetime: base "
+              << support::withCommas(
+                     static_cast<std::uint64_t>(base_mean))
+              << " cycles, optimized "
+              << support::withCommas(static_cast<std::uint64_t>(opt_mean))
+              << " cycles\n\n";
+
+    bench::paperVsMeasured(
+        "average line lifetime",
+        "increases by over a factor of 2 with layout optimization",
+        "x" + support::fixed(opt_mean / base_mean, 2));
+    return 0;
+}

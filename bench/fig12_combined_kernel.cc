@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 12: instruction cache behaviour of the combined application +
+ * operating system instruction streams (128B lines, 4-way) for the
+ * baseline (a) and optimized (b) application binaries. The "isolated"
+ * columns replay each stream alone, the "combined" column replays the
+ * interleaved streams -- the difference is interference.
+ */
+
+#include "bench/common.hh"
+
+using namespace spikesim;
+
+namespace {
+
+void
+runCase(const bench::Workload& w, const core::Layout& app,
+        const core::Layout& kernel, const std::string& title,
+        double* reduction_out, std::uint64_t* combined64)
+{
+    std::cout << title << "\n";
+    sim::Replayer rep(w.buf, app, &kernel);
+    support::TablePrinter table({"cache", "app isolated",
+                                 "kernel isolated", "combined",
+                                 "interference overhead"});
+    for (std::uint32_t kb : {32, 64, 128, 256, 512}) {
+        mem::CacheConfig cfg{kb * 1024, 128, 4};
+        auto a = rep.icache(cfg, sim::StreamFilter::AppOnly);
+        auto k = rep.icache(cfg, sim::StreamFilter::KernelOnly);
+        auto c = rep.icache(cfg, sim::StreamFilter::Combined);
+        std::uint64_t isolated = a.misses + k.misses;
+        double overhead =
+            isolated == 0 ? 0.0
+                          : static_cast<double>(c.misses) /
+                                    static_cast<double>(isolated) -
+                                1.0;
+        if (kb == 64 && combined64 != nullptr)
+            *combined64 = c.misses;
+        table.addRow({std::to_string(kb) + "KB",
+                      support::withCommas(a.misses),
+                      support::withCommas(k.misses),
+                      support::withCommas(c.misses),
+                      "+" + support::percent(overhead)});
+        (void)reduction_out;
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 12",
+                  "combined application + OS instruction streams "
+                  "(128B/4-way)");
+    bench::Workload w = bench::runWorkload(argc, argv);
+    core::Layout base = w.appLayout(core::OptCombo::Base);
+    core::Layout opt = w.appLayout(core::OptCombo::All);
+    core::Layout kernel = w.kernelLayout();
+
+    std::uint64_t base64 = 0, opt64 = 0;
+    runCase(w, base, kernel, "(a) baseline OLTP binary", nullptr,
+            &base64);
+    runCase(w, opt, kernel, "(b) optimized OLTP binary", nullptr,
+            &opt64);
+
+    double reduction = 1.0 - static_cast<double>(opt64) /
+                                 static_cast<double>(base64);
+    bench::paperVsMeasured(
+        "combined-stream miss reduction at 64KB",
+        "45%-60% (vs 55%-65% for the isolated app stream)",
+        support::percent(reduction));
+    bench::paperVsMeasured(
+        "interference",
+        "kernel interference is more pronounced for the optimized "
+        "binary (app misses shrink, interference stays)",
+        "compare the interference overhead columns of (a) and (b)");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the trace-replay and cache
+ * simulation machinery (the inner loops of every figure sweep).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hh"
+#include "mem/cache.hh"
+#include "sim/replay.hh"
+#include "support/rng.hh"
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+
+using namespace spikesim;
+
+namespace {
+
+/** Shared workload: image + profile + a modest trace. */
+struct Shared
+{
+    synth::SyntheticProgram image;
+    profile::Profile prof;
+    trace::TraceBuffer buf;
+
+    Shared()
+        : image(synth::buildSyntheticProgram(
+              synth::SynthParams::oracleLike())),
+          prof(image.prog)
+    {
+        profile::ProfileRecorder rec(trace::ImageId::App, prof);
+        trace::TeeSink tee({&rec, &buf});
+        synth::CfgWalker w(image.prog, trace::ImageId::App, 1);
+        trace::ExecContext ctx;
+        for (int i = 0; i < 400; ++i) {
+            w.run(image.entry("sql_exec_update"), ctx, tee);
+            w.run(image.entry("txn_commit"), ctx, tee);
+        }
+    }
+};
+
+Shared&
+shared()
+{
+    static Shared s;
+    return s;
+}
+
+void
+BM_RawCacheAccess(benchmark::State& state)
+{
+    mem::SetAssocCache cache(
+        {64 * 1024, 64, static_cast<std::uint32_t>(state.range(0))});
+    support::Pcg32 rng(7);
+    std::vector<std::uint64_t> addrs(1 << 16);
+    for (auto& a : addrs)
+        a = rng.nextBounded(256 * 1024);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & 0xffff], mem::Owner::App).hit);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RawCacheAccess)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_LineGranularReplay(benchmark::State& state)
+{
+    Shared& s = shared();
+    core::PipelineOptions opts;
+    opts.combo = core::OptCombo::Base;
+    core::Layout layout = core::buildLayout(s.image.prog, s.prof, opts);
+    sim::Replayer rep(s.buf, layout);
+    for (auto _ : state) {
+        auto r = rep.icache({64 * 1024, 128, 1},
+                            sim::StreamFilter::AppOnly);
+        benchmark::DoNotOptimize(r.misses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(s.buf.size()));
+}
+BENCHMARK(BM_LineGranularReplay)->Unit(benchmark::kMillisecond);
+
+void
+BM_WordGranularReplay(benchmark::State& state)
+{
+    Shared& s = shared();
+    core::PipelineOptions opts;
+    opts.combo = core::OptCombo::Base;
+    core::Layout layout = core::buildLayout(s.image.prog, s.prof, opts);
+    sim::Replayer rep(s.buf, layout);
+    for (auto _ : state) {
+        auto r = rep.instrumented({128 * 1024, 128, 4},
+                                  sim::StreamFilter::AppOnly);
+        benchmark::DoNotOptimize(r.misses);
+    }
+}
+BENCHMARK(BM_WordGranularReplay)->Unit(benchmark::kMillisecond);
+
+void
+BM_HierarchyReplay(benchmark::State& state)
+{
+    Shared& s = shared();
+    core::PipelineOptions opts;
+    opts.combo = core::OptCombo::Base;
+    core::Layout layout = core::buildLayout(s.image.prog, s.prof, opts);
+    sim::Replayer rep(s.buf, layout);
+    mem::HierarchyConfig config;
+    for (auto _ : state) {
+        auto r = rep.hierarchy(config);
+        benchmark::DoNotOptimize(r.total.l1i_misses);
+    }
+}
+BENCHMARK(BM_HierarchyReplay)->Unit(benchmark::kMillisecond);
+
+void
+BM_CfgWalk(benchmark::State& state)
+{
+    Shared& s = shared();
+    synth::CfgWalker w(s.image.prog, trace::ImageId::App, 99);
+    trace::NullSink sink;
+    trace::ExecContext ctx;
+    program::ProcId entry = s.image.entry("sql_exec_update");
+    std::uint64_t instrs = 0;
+    for (auto _ : state)
+        instrs += w.run(entry, ctx, sink).instrs;
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_CfgWalk);
+
+} // namespace
+
+BENCHMARK_MAIN();

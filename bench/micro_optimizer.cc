@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the optimizer itself: chaining,
+ * fine-grain splitting, Pettis-Hansen ordering, and full pipeline
+ * throughput on the Oracle-like image.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/chain.hh"
+#include "core/pipeline.hh"
+#include "core/split.hh"
+#include "profile/profile.hh"
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+
+using namespace spikesim;
+
+namespace {
+
+/** Shared, lazily built workload (image + profile). */
+struct Shared
+{
+    synth::SyntheticProgram image;
+    profile::Profile prof;
+
+    Shared()
+        : image(synth::buildSyntheticProgram(
+              synth::SynthParams::oracleLike())),
+          prof(image.prog)
+    {
+        profile::ProfileRecorder rec(trace::ImageId::App, prof);
+        synth::CfgWalker w(image.prog, trace::ImageId::App, 1);
+        trace::ExecContext ctx;
+        std::vector<int> hints{2};
+        for (int i = 0; i < 200; ++i) {
+            w.run(image.entry("sql_exec_update"), ctx, rec);
+            w.run(image.entry("btree_search"), ctx, rec,
+                  {hints.data(), hints.size()});
+            w.run(image.entry("log_append"), ctx, rec,
+                  {hints.data(), hints.size()});
+        }
+    }
+};
+
+Shared&
+shared()
+{
+    static Shared s;
+    return s;
+}
+
+void
+BM_ChainAllProcs(benchmark::State& state)
+{
+    Shared& s = shared();
+    for (auto _ : state) {
+        std::uint64_t blocks = 0;
+        for (program::ProcId p = 0; p < s.image.prog.numProcs(); ++p)
+            blocks += core::chainBasicBlocks(s.image.prog, p, s.prof)
+                          .size();
+        benchmark::DoNotOptimize(blocks);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(s.image.prog.numBlocks()));
+}
+BENCHMARK(BM_ChainAllProcs)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullPipeline(benchmark::State& state)
+{
+    Shared& s = shared();
+    core::PipelineOptions opts;
+    opts.combo = static_cast<core::OptCombo>(state.range(0));
+    for (auto _ : state) {
+        core::Layout layout =
+            core::buildLayout(s.image.prog, s.prof, opts);
+        benchmark::DoNotOptimize(layout.textBytes());
+    }
+    state.SetLabel(core::comboName(opts.combo));
+}
+BENCHMARK(BM_FullPipeline)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SegmentGraph(benchmark::State& state)
+{
+    Shared& s = shared();
+    // Pre-split everything once.
+    std::vector<core::CodeSegment> segs;
+    for (program::ProcId p = 0; p < s.image.prog.numProcs(); ++p) {
+        auto order = core::chainBasicBlocks(s.image.prog, p, s.prof);
+        auto pieces = core::splitFineGrain(s.image.prog, p, order);
+        for (auto& seg : pieces)
+            segs.push_back(std::move(seg));
+    }
+    for (auto _ : state) {
+        core::SegmentGraph g =
+            core::buildSegmentGraph(s.image.prog, s.prof, segs);
+        benchmark::DoNotOptimize(g.edges.size());
+    }
+}
+BENCHMARK(BM_SegmentGraph)->Unit(benchmark::kMillisecond);
+
+void
+BM_SynthesizeImage(benchmark::State& state)
+{
+    for (auto _ : state) {
+        synth::SyntheticProgram sp = synth::buildSyntheticProgram(
+            synth::SynthParams::oracleLike(42));
+        benchmark::DoNotOptimize(sp.prog.numBlocks());
+    }
+}
+BENCHMARK(BM_SynthesizeImage)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Layout explorer: the full paper pipeline on the simulated OLTP
+ * system. Runs the workload once to profile (the paper's Pixie run),
+ * once more to record the measured trace, then replays the trace under
+ * every optimization combination across a cache sweep.
+ *
+ * Usage: layout_explorer [profile_txns] [trace_txns]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.hh"
+#include "metrics/footprint.hh"
+#include "metrics/sequence.hh"
+#include "sim/replay.hh"
+#include "sim/system.hh"
+#include "support/table.hh"
+
+using namespace spikesim;
+
+int
+main(int argc, char** argv)
+{
+    std::uint64_t profile_txns = argc > 1 ? std::atoll(argv[1]) : 400;
+    std::uint64_t trace_txns = argc > 2 ? std::atoll(argv[2]) : 300;
+
+    sim::SystemConfig config;
+    sim::System system(config);
+    std::cout << "app image: " << system.appProg().numProcs()
+              << " procs, " << system.appProg().numBlocks() << " blocks, "
+              << system.appProg().sizeInstrs() * 4 / 1024
+              << "KB static text\n";
+    std::cout << "kernel image: " << system.kernelProg().numProcs()
+              << " procs, "
+              << system.kernelProg().sizeInstrs() * 4 / 1024
+              << "KB static text\n";
+
+    std::cout << "\nloading database..." << std::flush;
+    system.setup();
+    std::cout << " done\nwarmup + profiling " << profile_txns
+              << " txns..." << std::flush;
+    system.warmup(50);
+    sim::System::Profiles profiles = system.collectProfiles(profile_txns);
+    std::cout << " done\nrecording trace of " << trace_txns << " txns..."
+              << std::flush;
+    trace::TraceBuffer buf;
+    system.run(trace_txns, buf);
+    std::cout << " done (" << buf.size() << " events, "
+              << buf.imageEvents(trace::ImageId::Kernel)
+              << " kernel)\n\n";
+
+    metrics::FootprintCdf cdf(profiles.app);
+    std::cout << "application executed footprint: "
+              << cdf.totalBytes() / 1024 << "KB; 60% of execution in "
+              << cdf.bytesForCoverage(0.6) / 1024 << "KB; 99% in "
+              << cdf.bytesForCoverage(0.99) / 1024 << "KB\n\n";
+
+    core::Layout kernel_layout = core::baselineLayout(
+        system.kernelProg(), config.kernel_text_base);
+
+    support::TablePrinter table({"layout", "packed text", "seq len",
+                                 "32KB", "64KB", "128KB", "256KB"});
+    for (core::OptCombo combo : core::allCombos()) {
+        core::PipelineOptions opts;
+        opts.combo = combo;
+        core::Layout layout =
+            core::buildLayout(system.appProg(), profiles.app, opts);
+        sim::Replayer replayer(buf, layout, &kernel_layout);
+        auto seq =
+            metrics::sequenceLengths(buf, layout, trace::ImageId::App);
+        std::vector<std::string> row{
+            core::comboName(combo),
+            support::bytesHuman(metrics::packedFootprintBytes(
+                profiles.app, layout, 128)),
+            support::fixed(seq.mean, 2)};
+        for (std::uint32_t kb : {32, 64, 128, 256}) {
+            auto r = replayer.icache({kb * 1024, 128, 4},
+                                     sim::StreamFilter::AppOnly);
+            row.push_back(support::withCommas(r.misses));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(128B lines, 4-way, per-CPU caches, application "
+                 "stream only)\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quickstart: the layout-optimization library on a tiny hand-built
+ * program. Builds a two-procedure CFG, profiles a synthetic execution,
+ * runs the full Spike-style pipeline (chain + split + Pettis-Hansen),
+ * and compares instruction cache misses before and after.
+ */
+
+#include <iostream>
+
+#include "core/pipeline.hh"
+#include "metrics/sequence.hh"
+#include "program/builder.hh"
+#include "sim/replay.hh"
+#include "support/table.hh"
+#include "synth/walker.hh"
+#include "trace/trace.hh"
+
+using namespace spikesim;
+
+namespace {
+
+/** A procedure with a hot loop and a cold inline error path. */
+program::Procedure
+makeWorker(program::ProcId helper)
+{
+    using program::EdgeKind;
+    using program::Terminator;
+    program::ProcedureBuilder b("worker");
+    auto entry = b.addBlock(6, Terminator::FallThrough);
+    auto loop_body = b.addBlock(8, Terminator::CondBranch); // error check
+    auto error = b.addBlock(12, Terminator::Return);        // cold path
+    auto call = b.addBlock(2, Terminator::Call, helper);
+    auto latch = b.addBlock(3, Terminator::CondBranch);
+    auto exit = b.addBlock(4, Terminator::Return);
+    b.addEdge(entry, loop_body, EdgeKind::FallThrough);
+    b.addCond(loop_body, error, call, 0.002); // taken = error (cold)
+    b.addEdge(call, latch, EdgeKind::FallThrough);
+    b.addCond(latch, loop_body, exit, 0.9); // taken = loop again
+    return b.build();
+}
+
+program::Procedure
+makeHelper()
+{
+    using program::EdgeKind;
+    using program::Terminator;
+    program::ProcedureBuilder b("helper");
+    auto entry = b.addBlock(5, Terminator::CondBranch);
+    auto fast = b.addBlock(4, Terminator::Return);
+    auto slow = b.addBlock(20, Terminator::Return);
+    b.addCond(entry, slow, fast, 0.1);
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Build the program: worker calls helper inside a loop.
+    program::Program prog("quickstart");
+    program::ProcId helper_id = 1; // will be the second procedure
+    prog.addProcedure(makeWorker(helper_id));
+    prog.addProcedure(makeHelper());
+    std::string err = prog.validate();
+    if (!err.empty()) {
+        std::cerr << "invalid program: " << err << "\n";
+        return 1;
+    }
+
+    // 2. Execute it 20000 times, collecting a profile and a trace.
+    profile::Profile prof(prog);
+    profile::ProfileRecorder recorder(trace::ImageId::App, prof);
+    trace::TraceBuffer buf;
+    trace::TeeSink tee({&recorder, &buf});
+    synth::CfgWalker walker(prog, trace::ImageId::App, 123);
+    trace::ExecContext ctx;
+    for (int i = 0; i < 20000; ++i)
+        walker.run(0, ctx, tee);
+    std::cout << "executed " << walker.totalInstrs()
+              << " instructions over " << buf.size() << " blocks\n\n";
+
+    // 3. Build layouts and compare a small instruction cache.
+    mem::CacheConfig cache{1024, 64, 1}; // tiny, to make conflicts visible
+    support::TablePrinter table(
+        {"layout", "text bytes", "seq len", "misses"});
+    for (core::OptCombo combo :
+         {core::OptCombo::Base, core::OptCombo::Chain,
+          core::OptCombo::All}) {
+        core::PipelineOptions opts;
+        opts.combo = combo;
+        core::Layout layout = core::buildLayout(prog, prof, opts);
+        sim::Replayer replayer(buf, layout);
+        auto result = replayer.icache(cache, sim::StreamFilter::AppOnly);
+        auto seq = metrics::sequenceLengths(buf, layout,
+                                            trace::ImageId::App);
+        table.addRow({core::comboName(combo),
+                      std::to_string(layout.textBytes()),
+                      support::fixed(seq.mean, 2),
+                      support::withCommas(result.misses)});
+    }
+    table.print(std::cout);
+    std::cout << "\nChaining straightens the hot loop; splitting + "
+                 "ordering move the cold error path away.\n";
+    return 0;
+}

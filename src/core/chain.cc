@@ -1,0 +1,147 @@
+#include "core/chain.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace spikesim::core {
+
+using program::BlockLocalId;
+using program::EdgeKind;
+using program::FlowEdge;
+using program::GlobalBlockId;
+using program::kInvalidId;
+using program::ProcId;
+using program::Procedure;
+
+std::vector<BlockLocalId>
+chainBasicBlocks(const program::Program& prog, ProcId proc,
+                 const profile::Profile& profile)
+{
+    const Procedure& p = prog.proc(proc);
+    const std::size_t n = p.blocks.size();
+
+    // Weighted edge worklist. Zero-weight edges participate too (they
+    // keep cold code in a sane order) but sort after all hot edges.
+    struct WorkEdge
+    {
+        BlockLocalId from;
+        BlockLocalId to;
+        std::uint64_t weight;
+        std::size_t index; // original edge order, the deterministic tie-break
+    };
+    std::vector<WorkEdge> work;
+    work.reserve(p.edges.size());
+    for (std::size_t i = 0; i < p.edges.size(); ++i) {
+        const FlowEdge& e = p.edges[i];
+        if (e.from == e.to)
+            continue; // self-loop can never be a fall-through
+        if (e.kind == EdgeKind::IndirectTarget)
+            continue; // indirect jumps always break; adjacency is useless
+        std::uint64_t w =
+            profile.edgeCount(prog.globalBlockId(proc, e.from),
+                              prog.globalBlockId(proc, e.to));
+        work.push_back({e.from, e.to, w, i});
+    }
+    std::sort(work.begin(), work.end(),
+              [](const WorkEdge& a, const WorkEdge& b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  return a.index < b.index;
+              });
+
+    // Greedy chaining with union-find cycle prevention.
+    std::vector<BlockLocalId> succ(n, kInvalidId);
+    std::vector<BlockLocalId> pred(n, kInvalidId);
+    std::vector<BlockLocalId> rep(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rep[i] = static_cast<BlockLocalId>(i);
+    auto find = [&](BlockLocalId x) {
+        while (rep[x] != x) {
+            rep[x] = rep[rep[x]];
+            x = rep[x];
+        }
+        return x;
+    };
+    for (const WorkEdge& e : work) {
+        if (succ[e.from] != kInvalidId || pred[e.to] != kInvalidId)
+            continue;
+        BlockLocalId ra = find(e.from);
+        BlockLocalId rb = find(e.to);
+        if (ra == rb)
+            continue; // would close a cycle
+        succ[e.from] = e.to;
+        pred[e.to] = e.from;
+        rep[ra] = rb;
+    }
+
+    // Collect chains: heads are blocks with no chained predecessor.
+    struct ChainInfo
+    {
+        BlockLocalId head;
+        std::uint64_t head_count;
+        bool has_entry;
+    };
+    std::vector<ChainInfo> chains;
+    for (std::size_t b = 0; b < n; ++b) {
+        if (pred[b] != kInvalidId)
+            continue;
+        ChainInfo ci;
+        ci.head = static_cast<BlockLocalId>(b);
+        ci.head_count =
+            profile.blockCount(prog.globalBlockId(proc, ci.head));
+        ci.has_entry = false;
+        for (BlockLocalId cur = ci.head; cur != kInvalidId;
+             cur = succ[cur])
+            if (cur == 0)
+                ci.has_entry = true;
+        chains.push_back(ci);
+    }
+
+    // Entry chain first; the rest by head execution count, heaviest
+    // first; ties broken by head id for determinism.
+    std::sort(chains.begin(), chains.end(),
+              [](const ChainInfo& a, const ChainInfo& b) {
+                  if (a.has_entry != b.has_entry)
+                      return a.has_entry;
+                  if (a.head_count != b.head_count)
+                      return a.head_count > b.head_count;
+                  return a.head < b.head;
+              });
+
+    std::vector<BlockLocalId> order;
+    order.reserve(n);
+    for (const ChainInfo& ci : chains)
+        for (BlockLocalId cur = ci.head; cur != kInvalidId; cur = succ[cur])
+            order.push_back(cur);
+
+    SPIKESIM_ASSERT(order.size() == n,
+                    "chaining lost blocks in proc " << p.name);
+    return order;
+}
+
+std::uint64_t
+fallThroughWeight(const program::Program& prog, ProcId proc,
+                  const profile::Profile& profile,
+                  const std::vector<BlockLocalId>& order)
+{
+    const Procedure& p = prog.proc(proc);
+    // Adjacency set of fall-through-capable flow edges.
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        for (const FlowEdge& e : p.edges) {
+            if (e.from != order[i] || e.to != order[i + 1])
+                continue;
+            // Any direct edge can become the fall-through (cond branches
+            // invert for free; uncond branches get deleted); indirect
+            // jump targets cannot.
+            if (e.kind == EdgeKind::IndirectTarget)
+                continue;
+            total += profile.edgeCount(prog.globalBlockId(proc, e.from),
+                                       prog.globalBlockId(proc, e.to));
+        }
+    }
+    return total;
+}
+
+} // namespace spikesim::core

@@ -1,0 +1,49 @@
+#ifndef SPIKESIM_CORE_CHAIN_HH
+#define SPIKESIM_CORE_CHAIN_HH
+
+#include <vector>
+
+#include "profile/profile.hh"
+#include "program/program.hh"
+
+/**
+ * @file
+ * Basic block chaining (paper section 2, Figure 1a): a greedy algorithm
+ * that reorders the blocks of a procedure so the heaviest control-flow
+ * edges become fall-throughs, biasing conditional branches towards
+ * not-taken and eliminating hot unconditional branches.
+ */
+
+namespace spikesim::core {
+
+/**
+ * Chain the basic blocks of one procedure.
+ *
+ * Flow edges are sorted by profiled weight (heaviest first; zero-weight
+ * edges last, in original edge order) and processed greedily: an edge
+ * src->dst joins two chains when src has no chained successor, dst has
+ * no chained predecessor, and the join would not close a cycle. The
+ * chain containing the entry block is emitted first; remaining chains
+ * follow in decreasing order of their head block's execution count.
+ *
+ * @return the blocks of the procedure in chained order (a permutation
+ *         of 0..numBlocks-1).
+ */
+std::vector<program::BlockLocalId>
+chainBasicBlocks(const program::Program& prog, program::ProcId proc,
+                 const profile::Profile& profile);
+
+/**
+ * Dynamic fall-through weight of a block order: the sum of profiled
+ * edge counts over pairs (order[i] -> order[i+1]) that are actual flow
+ * edges capable of falling through. Chaining maximizes this greedily;
+ * tests use it to check chained >= original.
+ */
+std::uint64_t
+fallThroughWeight(const program::Program& prog, program::ProcId proc,
+                  const profile::Profile& profile,
+                  const std::vector<program::BlockLocalId>& order);
+
+} // namespace spikesim::core
+
+#endif // SPIKESIM_CORE_CHAIN_HH

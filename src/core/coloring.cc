@@ -1,0 +1,110 @@
+#include "core/coloring.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/panic.hh"
+
+namespace spikesim::core {
+
+namespace {
+
+/** Dynamic instruction weight of a segment. */
+std::uint64_t
+segWeight(const program::Program& prog, const profile::Profile& profile,
+          const CodeSegment& seg)
+{
+    std::uint64_t w = 0;
+    for (program::BlockLocalId b : seg.blocks) {
+        auto g = prog.globalBlockId(seg.proc, b);
+        w += profile.blockCount(g) * prog.block(g).sizeInstrs;
+    }
+    return w;
+}
+
+std::uint64_t
+segBytes(const program::Program& prog, const CodeSegment& seg)
+{
+    std::uint64_t bytes = 0;
+    for (program::BlockLocalId b : seg.blocks)
+        bytes += static_cast<std::uint64_t>(
+                     prog.block(prog.globalBlockId(seg.proc, b))
+                         .sizeInstrs) *
+                 program::kInstrBytes;
+    return bytes;
+}
+
+std::vector<CodeSegment>
+rowPack(const program::Program& prog, const profile::Profile& profile,
+        std::vector<CodeSegment> segs, const ColoringOptions& opts)
+{
+    std::string err = opts.target.check();
+    SPIKESIM_ASSERT(err.empty(), "bad coloring target cache: " << err);
+
+    // Hot segments sorted by weight (desc); cold keep original order.
+    std::vector<std::uint32_t> hot, cold;
+    std::vector<std::uint64_t> weight(segs.size());
+    for (std::uint32_t i = 0; i < segs.size(); ++i) {
+        weight[i] = segWeight(prog, profile, segs[i]);
+        (weight[i] > 0 ? hot : cold).push_back(i);
+    }
+    std::stable_sort(hot.begin(), hot.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return weight[a] > weight[b];
+                     });
+
+    // First-fit-decreasing bin packing into cache-sized rows: every
+    // segment within a row is conflict-free with the others in that
+    // row, and earlier (hotter) rows hold hotter code. Taking segments
+    // by weight and filling gaps greedily means the row capacity
+    // genuinely shapes the final order.
+    const std::uint64_t row_bytes = opts.target.size_bytes;
+    std::vector<std::vector<std::uint32_t>> rows;
+    std::vector<std::uint64_t> row_fill;
+    for (std::uint32_t i : hot) {
+        std::uint64_t bytes = segBytes(prog, segs[i]);
+        bool placed = false;
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            if (row_fill[r] + bytes <= row_bytes) {
+                rows[r].push_back(i);
+                row_fill[r] += bytes;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            rows.push_back({i});
+            row_fill.push_back(bytes);
+        }
+    }
+
+    std::vector<CodeSegment> out;
+    out.reserve(segs.size());
+    for (const auto& row : rows)
+        for (std::uint32_t i : row)
+            out.push_back(std::move(segs[i]));
+    for (std::uint32_t i : cold)
+        out.push_back(std::move(segs[i]));
+    return out;
+}
+
+} // namespace
+
+std::vector<CodeSegment>
+colorOrderProcedures(const program::Program& prog,
+                     const profile::Profile& profile,
+                     const ColoringOptions& opts)
+{
+    return rowPack(prog, profile, baselineSegments(prog), opts);
+}
+
+std::vector<CodeSegment>
+colorOrderSegments(const program::Program& prog,
+                   const profile::Profile& profile,
+                   std::vector<CodeSegment> segments,
+                   const ColoringOptions& opts)
+{
+    return rowPack(prog, profile, std::move(segments), opts);
+}
+
+} // namespace spikesim::core

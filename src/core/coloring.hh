@@ -1,0 +1,57 @@
+#ifndef SPIKESIM_CORE_COLORING_HH
+#define SPIKESIM_CORE_COLORING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hh"
+#include "mem/cache.hh"
+#include "profile/profile.hh"
+#include "program/program.hh"
+
+/**
+ * @file
+ * Cache-conscious procedure placement after Hashemi, Kaeli & Calder
+ * (PLDI'97): procedures are placed so that the most frequently
+ * executed ones do not collide in the target instruction cache. The
+ * paper's related-work section contrasts this "cache line coloring"
+ * family with the Spike pipeline; we implement a row-packing variant:
+ * procedures are taken hottest-first and packed into cache-sized rows,
+ * so every procedure in a row is conflict-free with the others in the
+ * same row, and the hottest rows hold the hottest code. Cold
+ * procedures follow in their original order.
+ */
+
+namespace spikesim::core {
+
+/** Options for cache-colored placement. */
+struct ColoringOptions
+{
+    /** Geometry of the cache being colored for. */
+    mem::CacheConfig target{64 * 1024, 128, 1};
+};
+
+/**
+ * Order whole procedures by cache-colored row packing, hottest first.
+ *
+ * @return segments (one per procedure, natural intra-proc block order)
+ *         in placement order.
+ */
+std::vector<CodeSegment>
+colorOrderProcedures(const program::Program& prog,
+                     const profile::Profile& profile,
+                     const ColoringOptions& opts = {});
+
+/**
+ * Like colorOrderProcedures, but packs the given pre-split segments
+ * (e.g., chained + fine-grain split) instead of whole procedures.
+ */
+std::vector<CodeSegment>
+colorOrderSegments(const program::Program& prog,
+                   const profile::Profile& profile,
+                   std::vector<CodeSegment> segments,
+                   const ColoringOptions& opts = {});
+
+} // namespace spikesim::core
+
+#endif // SPIKESIM_CORE_COLORING_HH

@@ -1,0 +1,302 @@
+#include "core/layout.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/panic.hh"
+
+namespace spikesim::core {
+
+using program::BasicBlock;
+using program::BlockLocalId;
+using program::EdgeKind;
+using program::FlowEdge;
+using program::GlobalBlockId;
+using program::kInstrBytes;
+using program::kInvalidId;
+using program::ProcId;
+using program::Procedure;
+using program::Terminator;
+
+namespace {
+
+/** Per-block successor summary used for size adjustment. */
+struct Succs
+{
+    GlobalBlockId fall = kInvalidId;   ///< fall-through successor
+    GlobalBlockId taken = kInvalidId;  ///< cond-taken successor
+    GlobalBlockId uncond = kInvalidId; ///< uncond-branch target
+};
+
+std::vector<Succs>
+collectSuccs(const program::Program& prog)
+{
+    std::vector<Succs> succs(prog.numBlocks());
+    for (ProcId p = 0; p < prog.numProcs(); ++p) {
+        const Procedure& proc = prog.proc(p);
+        for (const FlowEdge& e : proc.edges) {
+            GlobalBlockId from = prog.globalBlockId(p, e.from);
+            GlobalBlockId to = prog.globalBlockId(p, e.to);
+            switch (e.kind) {
+              case EdgeKind::FallThrough:
+                succs[from].fall = to;
+                break;
+              case EdgeKind::CondTaken:
+                succs[from].taken = to;
+                break;
+              case EdgeKind::UncondTarget:
+                succs[from].uncond = to;
+                break;
+              case EdgeKind::IndirectTarget:
+                break;
+            }
+        }
+    }
+    return succs;
+}
+
+std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+Layout::Layout(const program::Program& prog,
+               std::vector<CodeSegment> segments, const AssignOptions& opts,
+               const std::vector<bool>& hot_flags)
+    : prog_(&prog),
+      segments_(std::move(segments)),
+      addr_(prog.numBlocks(), 0),
+      size_(prog.numBlocks(), 0),
+      text_base_(opts.text_base)
+{
+    SPIKESIM_ASSERT(opts.segment_align >= kInstrBytes &&
+                        (opts.segment_align & (opts.segment_align - 1)) == 0,
+                    "segment alignment must be a power of two >= 4");
+    SPIKESIM_ASSERT(hot_flags.empty() ||
+                        hot_flags.size() == segments_.size(),
+                    "hot flag vector must parallel the segment list");
+
+    // Flatten the segment order into a global linear block order, and
+    // remember each block's segment.
+    std::vector<GlobalBlockId> order;
+    order.reserve(prog.numBlocks());
+    std::vector<std::uint32_t> seg_of(prog.numBlocks(), 0);
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+        const CodeSegment& seg = segments_[s];
+        SPIKESIM_ASSERT(!seg.blocks.empty(), "empty code segment");
+        for (BlockLocalId b : seg.blocks) {
+            GlobalBlockId g = prog.globalBlockId(seg.proc, b);
+            order.push_back(g);
+            seg_of[g] = static_cast<std::uint32_t>(s);
+        }
+    }
+    SPIKESIM_ASSERT(order.size() == prog.numBlocks(),
+                    "layout covers " << order.size() << " of "
+                                     << prog.numBlocks() << " blocks");
+
+    // Pass 1: layout-adjusted sizes. Adjacent means "next in the linear
+    // order" and either same segment or pack-tight alignment (no padding
+    // can intervene).
+    const std::vector<Succs> succs = collectSuccs(prog);
+    const bool tight = opts.segment_align <= kInstrBytes &&
+                       opts.cfa_bytes == 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        GlobalBlockId g = order[i];
+        const BasicBlock& blk = prog.block(g);
+        GlobalBlockId next = kInvalidId;
+        if (i + 1 < order.size() &&
+            (tight || seg_of[order[i + 1]] == seg_of[g]))
+            next = order[i + 1];
+        std::uint32_t sz = blk.sizeInstrs;
+        switch (blk.term) {
+          case Terminator::FallThrough:
+          case Terminator::Call:
+            if (succs[g].fall != next) {
+                ++sz;
+                ++materialized_;
+            }
+            break;
+          case Terminator::CondBranch:
+            if (succs[g].fall != next && succs[g].taken != next) {
+                ++sz;
+                ++materialized_;
+            }
+            break;
+          case Terminator::UncondBranch:
+            if (succs[g].uncond == next) {
+                --sz;
+                ++deleted_;
+            }
+            break;
+          case Terminator::IndirectJump:
+          case Terminator::Return:
+            break;
+        }
+        size_[g] = sz;
+    }
+
+    // Pass 2: addresses. In CFA mode hot segments are confined to the
+    // first cfa_bytes of every cfa_cache_bytes-sized row and cold
+    // segments to the remainder; otherwise a single cursor walks the
+    // segments in order with alignment padding between them.
+    if (opts.cfa_bytes > 0) {
+        SPIKESIM_ASSERT(opts.cfa_cache_bytes > opts.cfa_bytes,
+                        "CFA area must be smaller than the cache");
+        const std::uint64_t row = opts.cfa_cache_bytes;
+        const std::uint64_t hot_sz = opts.cfa_bytes;
+        std::uint64_t hot_cur = text_base_;
+        std::uint64_t cold_cur = text_base_ + hot_sz;
+        auto place = [&](const CodeSegment& seg, bool hot) {
+            std::uint64_t& cur = hot ? hot_cur : cold_cur;
+            std::uint64_t win_off = hot ? 0 : hot_sz;
+            std::uint64_t win_len = hot ? hot_sz : row - hot_sz;
+            std::uint64_t bytes = 0;
+            for (BlockLocalId b : seg.blocks)
+                bytes += static_cast<std::uint64_t>(
+                             size_[prog.globalBlockId(seg.proc, b)]) *
+                         kInstrBytes;
+            // Jump to the next window if the segment does not fit the
+            // remainder of this one (unless it can never fit a window,
+            // in which case place it anyway and let it spill -- this is
+            // how oversized traces defeat the CFA, per the paper).
+            std::uint64_t in_win = (cur - text_base_) % row - win_off;
+            std::uint64_t left = win_len - in_win;
+            if (bytes > left && bytes <= win_len) {
+                std::uint64_t next_win =
+                    ((cur - text_base_) / row + 1) * row + win_off;
+                padding_bytes_ += text_base_ + next_win - cur;
+                cur = text_base_ + next_win;
+            }
+            for (BlockLocalId b : seg.blocks) {
+                GlobalBlockId g = prog.globalBlockId(seg.proc, b);
+                addr_[g] = cur;
+                cur += static_cast<std::uint64_t>(size_[g]) * kInstrBytes;
+            }
+        };
+        for (std::size_t s = 0; s < segments_.size(); ++s) {
+            bool hot = !hot_flags.empty() && hot_flags[s];
+            place(segments_[s], hot);
+        }
+        text_limit_ = std::max(hot_cur, cold_cur);
+    } else {
+        std::uint64_t cur = text_base_;
+        for (const CodeSegment& seg : segments_) {
+            std::uint64_t aligned = alignUp(cur, opts.segment_align);
+            padding_bytes_ += aligned - cur;
+            cur = aligned;
+            for (BlockLocalId b : seg.blocks) {
+                GlobalBlockId g = prog.globalBlockId(seg.proc, b);
+                addr_[g] = cur;
+                cur += static_cast<std::uint64_t>(size_[g]) * kInstrBytes;
+            }
+        }
+        text_limit_ = cur;
+    }
+}
+
+std::uint64_t
+Layout::blockAddr(GlobalBlockId g) const
+{
+    SPIKESIM_ASSERT(g < addr_.size(), "block id out of range");
+    return addr_[g];
+}
+
+std::uint32_t
+Layout::blockSize(GlobalBlockId g) const
+{
+    SPIKESIM_ASSERT(g < size_.size(), "block id out of range");
+    return size_[g];
+}
+
+std::uint64_t
+Layout::branchesBeyondDisplacement(std::uint64_t limit_bytes) const
+{
+    const program::Program& prog = *prog_;
+    const std::vector<Succs> succs = collectSuccs(prog);
+    std::uint64_t count = 0;
+    auto check = [&](GlobalBlockId from, GlobalBlockId to) {
+        if (to == kInvalidId)
+            return;
+        std::uint64_t src = addr_[from] + blockBytes(from);
+        std::uint64_t dst = addr_[to];
+        std::uint64_t dist = src > dst ? src - dst : dst - src;
+        if (dist > limit_bytes)
+            ++count;
+    };
+    for (GlobalBlockId g = 0; g < prog.numBlocks(); ++g) {
+        const BasicBlock& blk = prog.block(g);
+        switch (blk.term) {
+          case Terminator::CondBranch:
+            check(g, succs[g].taken);
+            check(g, succs[g].fall);
+            break;
+          case Terminator::UncondBranch:
+            check(g, succs[g].uncond);
+            break;
+          case Terminator::FallThrough:
+          case Terminator::Call:
+            check(g, succs[g].fall);
+            break;
+          case Terminator::IndirectJump:
+          case Terminator::Return:
+            break;
+        }
+    }
+    return count;
+}
+
+std::string
+Layout::validate() const
+{
+    // Every block exactly once is already asserted in the constructor;
+    // here check address monotonicity / overlap.
+    std::vector<GlobalBlockId> ids(prog_->numBlocks());
+    std::iota(ids.begin(), ids.end(), 0);
+    std::sort(ids.begin(), ids.end(), [&](GlobalBlockId a, GlobalBlockId b) {
+        return addr_[a] < addr_[b];
+    });
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+        std::uint64_t end = addr_[ids[i]] + blockBytes(ids[i]);
+        if (end > addr_[ids[i + 1]])
+            return "blocks overlap: block " + std::to_string(ids[i]) +
+                   " ends at " + std::to_string(end) + ", block " +
+                   std::to_string(ids[i + 1]) + " starts at " +
+                   std::to_string(addr_[ids[i + 1]]);
+    }
+    if (!ids.empty()) {
+        if (addr_[ids.front()] < text_base_)
+            return "block below text base";
+        if (addr_[ids.back()] + blockBytes(ids.back()) > text_limit_)
+            return "block beyond text limit";
+    }
+    return "";
+}
+
+std::vector<CodeSegment>
+baselineSegments(const program::Program& prog)
+{
+    std::vector<CodeSegment> segs;
+    segs.reserve(prog.numProcs());
+    for (ProcId p = 0; p < prog.numProcs(); ++p) {
+        CodeSegment seg;
+        seg.proc = p;
+        seg.blocks.resize(prog.proc(p).blocks.size());
+        std::iota(seg.blocks.begin(), seg.blocks.end(), 0);
+        segs.push_back(std::move(seg));
+    }
+    return segs;
+}
+
+Layout
+baselineLayout(const program::Program& prog, std::uint64_t text_base)
+{
+    AssignOptions opts;
+    opts.text_base = text_base;
+    opts.segment_align = 16;
+    return Layout(prog, baselineSegments(prog), opts);
+}
+
+} // namespace spikesim::core

@@ -1,0 +1,257 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/chain.hh"
+#include "core/porder.hh"
+#include "core/split.hh"
+#include "support/panic.hh"
+
+namespace spikesim::core {
+
+using program::BlockLocalId;
+using program::ProcId;
+
+const char*
+comboName(OptCombo combo)
+{
+    switch (combo) {
+      case OptCombo::Base: return "base";
+      case OptCombo::POrder: return "porder";
+      case OptCombo::Chain: return "chain";
+      case OptCombo::ChainSplit: return "chain+split";
+      case OptCombo::ChainPOrder: return "chain+porder";
+      case OptCombo::All: return "all";
+      case OptCombo::HotCold: return "hotcold";
+      case OptCombo::Cfa: return "cfa";
+    }
+    return "?";
+}
+
+std::vector<OptCombo>
+allCombos()
+{
+    return {OptCombo::Base,       OptCombo::POrder,
+            OptCombo::Chain,      OptCombo::ChainSplit,
+            OptCombo::ChainPOrder, OptCombo::All,
+            OptCombo::HotCold,    OptCombo::Cfa};
+}
+
+namespace {
+
+/** Original (source) block order of a procedure. */
+std::vector<BlockLocalId>
+naturalOrder(const program::Program& prog, ProcId p)
+{
+    std::vector<BlockLocalId> order(prog.proc(p).blocks.size());
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+/** One whole-procedure segment with the given intra-proc order. */
+CodeSegment
+wholeProcSegment(ProcId p, std::vector<BlockLocalId> order)
+{
+    CodeSegment seg;
+    seg.proc = p;
+    seg.blocks = std::move(order);
+    return seg;
+}
+
+/** Per-procedure block orders for every proc (chained or natural). */
+std::vector<std::vector<BlockLocalId>>
+blockOrders(const program::Program& prog, const profile::Profile& profile,
+            bool chain)
+{
+    std::vector<std::vector<BlockLocalId>> orders(prog.numProcs());
+    for (ProcId p = 0; p < prog.numProcs(); ++p)
+        orders[p] = chain ? chainBasicBlocks(prog, p, profile)
+                          : naturalOrder(prog, p);
+    return orders;
+}
+
+/** Reorder whole-procedure units with Pettis-Hansen over the call graph. */
+std::vector<CodeSegment>
+orderWholeProcs(const program::Program& prog,
+                const profile::Profile& profile,
+                std::vector<std::vector<BlockLocalId>> orders)
+{
+    auto cg = profile::CallGraph::fromProfile(profile);
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>>
+        edges;
+    edges.reserve(cg.edges().size());
+    for (const auto& [a, b, w] : cg.edges())
+        edges.emplace_back(a, b, w);
+    std::vector<std::uint32_t> order =
+        pettisHansenOrder(prog.numProcs(), edges);
+    std::vector<CodeSegment> segs;
+    segs.reserve(order.size());
+    for (std::uint32_t p : order)
+        segs.push_back(wholeProcSegment(p, std::move(orders[p])));
+    return segs;
+}
+
+/** Flatten per-proc segment lists in natural proc order. */
+std::vector<CodeSegment>
+concatSegments(std::vector<std::vector<CodeSegment>> per_proc)
+{
+    std::vector<CodeSegment> out;
+    for (auto& v : per_proc)
+        for (auto& s : v)
+            out.push_back(std::move(s));
+    return out;
+}
+
+/** Reorder arbitrary segments with Pettis-Hansen over the segment graph. */
+std::vector<CodeSegment>
+orderSegments(const program::Program& prog, const profile::Profile& profile,
+              std::vector<CodeSegment> segs)
+{
+    SegmentGraph g = buildSegmentGraph(prog, profile, segs);
+    std::vector<std::uint32_t> order =
+        pettisHansenOrder(g.num_nodes, g.edges);
+    std::vector<CodeSegment> out;
+    out.reserve(segs.size());
+    for (std::uint32_t s : order)
+        out.push_back(std::move(segs[s]));
+    return out;
+}
+
+/** Dynamic instruction weight of a segment (for CFA hot selection). */
+std::uint64_t
+segmentWeight(const program::Program& prog, const profile::Profile& profile,
+              const CodeSegment& seg)
+{
+    std::uint64_t w = 0;
+    for (BlockLocalId b : seg.blocks) {
+        auto g = prog.globalBlockId(seg.proc, b);
+        w += profile.blockCount(g) * prog.block(g).sizeInstrs;
+    }
+    return w;
+}
+
+std::uint64_t
+segmentBytes(const program::Program& prog, const CodeSegment& seg)
+{
+    std::uint64_t bytes = 0;
+    for (BlockLocalId b : seg.blocks)
+        bytes += static_cast<std::uint64_t>(
+                     prog.block(prog.globalBlockId(seg.proc, b))
+                         .sizeInstrs) *
+                 program::kInstrBytes;
+    return bytes;
+}
+
+} // namespace
+
+Layout
+buildLayout(const program::Program& prog, const profile::Profile& profile,
+            const PipelineOptions& opts)
+{
+    AssignOptions aopts;
+    aopts.text_base = opts.text_base;
+
+    switch (opts.combo) {
+      case OptCombo::Base:
+        aopts.segment_align = opts.proc_align;
+        return Layout(prog, baselineSegments(prog), aopts);
+
+      case OptCombo::POrder: {
+        aopts.segment_align = opts.proc_align;
+        auto orders = blockOrders(prog, profile, /*chain=*/false);
+        return Layout(prog,
+                      orderWholeProcs(prog, profile, std::move(orders)),
+                      aopts);
+      }
+
+      case OptCombo::Chain: {
+        aopts.segment_align = opts.proc_align;
+        auto orders = blockOrders(prog, profile, /*chain=*/true);
+        std::vector<CodeSegment> segs;
+        segs.reserve(prog.numProcs());
+        for (ProcId p = 0; p < prog.numProcs(); ++p)
+            segs.push_back(wholeProcSegment(p, std::move(orders[p])));
+        return Layout(prog, std::move(segs), aopts);
+      }
+
+      case OptCombo::ChainSplit: {
+        aopts.segment_align = opts.segment_align;
+        auto orders = blockOrders(prog, profile, /*chain=*/true);
+        std::vector<std::vector<CodeSegment>> per_proc(prog.numProcs());
+        for (ProcId p = 0; p < prog.numProcs(); ++p)
+            per_proc[p] = splitFineGrain(prog, p, orders[p]);
+        return Layout(prog, concatSegments(std::move(per_proc)), aopts);
+      }
+
+      case OptCombo::ChainPOrder: {
+        aopts.segment_align = opts.proc_align;
+        auto orders = blockOrders(prog, profile, /*chain=*/true);
+        return Layout(prog,
+                      orderWholeProcs(prog, profile, std::move(orders)),
+                      aopts);
+      }
+
+      case OptCombo::All: {
+        aopts.segment_align = opts.segment_align;
+        auto orders = blockOrders(prog, profile, /*chain=*/true);
+        std::vector<std::vector<CodeSegment>> per_proc(prog.numProcs());
+        for (ProcId p = 0; p < prog.numProcs(); ++p)
+            per_proc[p] = splitFineGrain(prog, p, orders[p]);
+        auto segs = concatSegments(std::move(per_proc));
+        return Layout(prog, orderSegments(prog, profile, std::move(segs)),
+                      aopts);
+      }
+
+      case OptCombo::HotCold: {
+        aopts.segment_align = opts.segment_align;
+        auto orders = blockOrders(prog, profile, /*chain=*/true);
+        std::vector<std::vector<CodeSegment>> per_proc(prog.numProcs());
+        for (ProcId p = 0; p < prog.numProcs(); ++p)
+            per_proc[p] = splitHotCold(prog, p, profile, orders[p],
+                                       opts.hot_threshold);
+        auto segs = concatSegments(std::move(per_proc));
+        return Layout(prog, orderSegments(prog, profile, std::move(segs)),
+                      aopts);
+      }
+
+      case OptCombo::Cfa: {
+        // Chain + split, hottest segments greedily fill the reserved
+        // area; everything is then placed with the CFA address mode.
+        aopts.segment_align = opts.segment_align;
+        aopts.cfa_bytes = opts.cfa_bytes;
+        aopts.cfa_cache_bytes = opts.cfa_cache_bytes;
+        auto orders = blockOrders(prog, profile, /*chain=*/true);
+        std::vector<std::vector<CodeSegment>> per_proc(prog.numProcs());
+        for (ProcId p = 0; p < prog.numProcs(); ++p)
+            per_proc[p] = splitFineGrain(prog, p, orders[p]);
+        auto segs = concatSegments(std::move(per_proc));
+
+        std::vector<std::uint32_t> idx(segs.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        std::vector<std::uint64_t> weight(segs.size());
+        for (std::size_t i = 0; i < segs.size(); ++i)
+            weight[i] = segmentWeight(prog, profile, segs[i]);
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return weight[a] > weight[b];
+                         });
+        std::vector<CodeSegment> ordered;
+        std::vector<bool> hot;
+        ordered.reserve(segs.size());
+        hot.reserve(segs.size());
+        std::uint64_t filled = 0;
+        for (std::uint32_t i : idx) {
+            bool is_hot = weight[i] > 0 && filled < opts.cfa_bytes;
+            if (is_hot)
+                filled += segmentBytes(prog, segs[i]);
+            ordered.push_back(std::move(segs[i]));
+            hot.push_back(is_hot);
+        }
+        return Layout(prog, std::move(ordered), aopts, hot);
+      }
+    }
+    SPIKESIM_PANIC("unknown optimization combo");
+}
+
+} // namespace spikesim::core

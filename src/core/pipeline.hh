@@ -1,0 +1,72 @@
+#ifndef SPIKESIM_CORE_PIPELINE_HH
+#define SPIKESIM_CORE_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/layout.hh"
+#include "profile/profile.hh"
+#include "program/program.hh"
+
+/**
+ * @file
+ * End-to-end layout pipelines: the optimization combinations evaluated
+ * in the paper's Figures 7 and 15 (base, porder, chain, chain+split,
+ * chain+porder, all) plus two ablations (classic Pettis-Hansen hot/cold
+ * splitting, and the CFA / software-trace-cache layout the paper tried
+ * and rejected).
+ */
+
+namespace spikesim::core {
+
+/** Optimization combination, mirroring the paper's x-axis labels. */
+enum class OptCombo {
+    /** Original compiler layout. */
+    Base,
+    /** Pettis-Hansen ordering of whole procedures only. */
+    POrder,
+    /** Basic block chaining only. */
+    Chain,
+    /** Chaining + fine-grain splitting (segments in natural order). */
+    ChainSplit,
+    /** Chaining + whole-procedure Pettis-Hansen ordering. */
+    ChainPOrder,
+    /** Chaining + fine-grain splitting + segment-level ordering. */
+    All,
+    /** Ablation: chaining + hot/cold splitting + ordering (classic PH /
+     *  Spike-distribution variant). */
+    HotCold,
+    /** Ablation: conflict-free-area layout (software trace cache). */
+    Cfa,
+};
+
+/** Paper-style label ("base", "chain+split", ...). */
+const char* comboName(OptCombo combo);
+
+/** All combos in the paper's presentation order, then the ablations. */
+std::vector<OptCombo> allCombos();
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    OptCombo combo = OptCombo::All;
+    std::uint64_t text_base = 0x10000000ULL;
+    /** Alignment of whole-procedure units (compiler-style). */
+    std::uint32_t proc_align = 16;
+    /** Alignment of post-splitting segments (Spike packs tight). */
+    std::uint32_t segment_align = 4;
+    /** Block count at or above which a block is hot (hot/cold split). */
+    std::uint64_t hot_threshold = 1;
+    /** CFA reserved area and target cache size (Cfa combo only). */
+    std::uint32_t cfa_bytes = 16 * 1024;
+    std::uint32_t cfa_cache_bytes = 64 * 1024;
+};
+
+/** Build the layout for the requested optimization combination. */
+Layout buildLayout(const program::Program& prog,
+                   const profile::Profile& profile,
+                   const PipelineOptions& opts);
+
+} // namespace spikesim::core
+
+#endif // SPIKESIM_CORE_PIPELINE_HH

@@ -1,0 +1,163 @@
+#include "core/porder.hh"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "profile/profile.hh"
+#include "support/panic.hh"
+
+namespace spikesim::core {
+
+namespace {
+
+std::uint64_t
+undirKey(std::uint32_t a, std::uint32_t b)
+{
+    if (a > b)
+        std::swap(a, b);
+    return profile::pairKey(a, b);
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+pettisHansenOrder(
+    std::size_t num_nodes,
+    const std::vector<std::tuple<std::uint32_t, std::uint32_t,
+                                 std::uint64_t>>& edges)
+{
+    // Original undirected unit-level weights (for orientation choices).
+    std::unordered_map<std::uint64_t, std::uint64_t> orig;
+    for (const auto& [a, b, w] : edges) {
+        SPIKESIM_ASSERT(a < num_nodes && b < num_nodes,
+                        "edge endpoint out of range");
+        if (a != b && w > 0)
+            orig[undirKey(a, b)] += w;
+    }
+    auto orig_weight = [&](std::uint32_t a, std::uint32_t b) {
+        auto it = orig.find(undirKey(a, b));
+        return it == orig.end() ? std::uint64_t(0) : it->second;
+    };
+
+    // Union-find over merged nodes.
+    std::vector<std::uint32_t> rep(num_nodes);
+    for (std::size_t i = 0; i < num_nodes; ++i)
+        rep[i] = static_cast<std::uint32_t>(i);
+    auto find = [&](std::uint32_t x) {
+        while (rep[x] != x) {
+            rep[x] = rep[rep[x]];
+            x = rep[x];
+        }
+        return x;
+    };
+
+    // Per-representative state: merged adjacency, unit sequence, and
+    // the total weight contracted into the node so far.
+    std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> adj(
+        num_nodes);
+    std::vector<std::vector<std::uint32_t>> seq(num_nodes);
+    std::vector<std::uint64_t> contracted(num_nodes, 0);
+    for (std::size_t i = 0; i < num_nodes; ++i)
+        seq[i].push_back(static_cast<std::uint32_t>(i));
+    for (const auto& [key, w] : orig) {
+        auto a = static_cast<std::uint32_t>(key >> 32);
+        auto b = static_cast<std::uint32_t>(key & 0xffffffffu);
+        adj[a][b] = w;
+        adj[b][a] = w;
+    }
+
+    // Max-heap of candidate edges with lazy invalidation.
+    using Entry = std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>;
+    std::priority_queue<Entry> pq;
+    for (const auto& [key, w] : orig)
+        pq.emplace(w, static_cast<std::uint32_t>(key >> 32),
+                   static_cast<std::uint32_t>(key & 0xffffffffu));
+
+    while (!pq.empty()) {
+        auto [w, a, b] = pq.top();
+        pq.pop();
+        if (find(a) != a || find(b) != b)
+            continue; // stale endpoint
+        auto it = adj[a].find(b);
+        if (it == adj[a].end() || it->second != w)
+            continue; // stale weight
+
+        // Choose the concatenation orientation whose seam joins the
+        // most strongly related original units (Pettis-Hansen "best of
+        // four merge endpoints").
+        const auto& sa = seq[a];
+        const auto& sb = seq[b];
+        std::uint64_t score[4] = {
+            orig_weight(sa.back(), sb.front()),  // A + B
+            orig_weight(sa.back(), sb.back()),   // A + reverse(B)
+            orig_weight(sa.front(), sb.front()), // reverse(A) + B
+            orig_weight(sa.front(), sb.back()),  // reverse(A) + reverse(B)
+        };
+        int best = 0;
+        for (int i = 1; i < 4; ++i)
+            if (score[i] > score[best])
+                best = i;
+
+        std::vector<std::uint32_t> merged;
+        merged.reserve(sa.size() + sb.size());
+        auto append = [&](const std::vector<std::uint32_t>& s, bool rev) {
+            if (rev)
+                merged.insert(merged.end(), s.rbegin(), s.rend());
+            else
+                merged.insert(merged.end(), s.begin(), s.end());
+        };
+        append(sa, best == 2 || best == 3);
+        append(sb, best == 1 || best == 3);
+
+        // Merge b into a.
+        rep[b] = a;
+        seq[a] = std::move(merged);
+        seq[b].clear();
+        contracted[a] += contracted[b] + w;
+        adj[a].erase(b);
+        adj[b].erase(a);
+        for (const auto& [n, nw] : adj[b]) {
+            adj[n].erase(b);
+            std::uint64_t& cur = adj[a][n];
+            cur += nw;
+            adj[n][a] = cur;
+            pq.emplace(cur, std::min(a, n), std::max(a, n));
+        }
+        adj[b].clear();
+    }
+
+    // Collect surviving components: heaviest first, then by smallest
+    // original unit index; untouched singletons retain original order.
+    struct Comp
+    {
+        std::uint32_t rep;
+        std::uint64_t weight;
+        std::uint32_t min_unit;
+    };
+    std::vector<Comp> comps;
+    for (std::uint32_t i = 0; i < num_nodes; ++i) {
+        if (find(i) != i)
+            continue;
+        Comp c;
+        c.rep = i;
+        c.weight = contracted[i];
+        c.min_unit = *std::min_element(seq[i].begin(), seq[i].end());
+        comps.push_back(c);
+    }
+    std::sort(comps.begin(), comps.end(), [](const Comp& x, const Comp& y) {
+        if (x.weight != y.weight)
+            return x.weight > y.weight;
+        return x.min_unit < y.min_unit;
+    });
+
+    std::vector<std::uint32_t> order;
+    order.reserve(num_nodes);
+    for (const Comp& c : comps)
+        order.insert(order.end(), seq[c.rep].begin(), seq[c.rep].end());
+    SPIKESIM_ASSERT(order.size() == num_nodes,
+                    "Pettis-Hansen lost placement units");
+    return order;
+}
+
+} // namespace spikesim::core

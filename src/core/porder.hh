@@ -1,0 +1,38 @@
+#ifndef SPIKESIM_CORE_PORDER_HH
+#define SPIKESIM_CORE_PORDER_HH
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+/**
+ * @file
+ * Pettis & Hansen procedure ordering (paper section 2, Figure 2). The
+ * algorithm works on an abstract weighted graph over placement units
+ * (whole procedures, or fine-grain segments after splitting): repeatedly
+ * merge the endpoints of the heaviest edge, choosing among the four
+ * possible concatenation orientations using the *original* graph
+ * weights; when the graph is exhausted the merged sequences give the
+ * final placement order.
+ */
+
+namespace spikesim::core {
+
+/**
+ * Compute a Pettis-Hansen placement order.
+ *
+ * @param num_nodes number of placement units (0..num_nodes-1).
+ * @param edges directed weighted edges; parallel and opposite-direction
+ *        edges are summed into a single undirected weight.
+ * @return a permutation of 0..num_nodes-1: heaviest connected groups
+ *         first (by component weight), unconnected units last in their
+ *         original relative order.
+ */
+std::vector<std::uint32_t> pettisHansenOrder(
+    std::size_t num_nodes,
+    const std::vector<std::tuple<std::uint32_t, std::uint32_t,
+                                 std::uint64_t>>& edges);
+
+} // namespace spikesim::core
+
+#endif // SPIKESIM_CORE_PORDER_HH

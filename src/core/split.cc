@@ -1,0 +1,148 @@
+#include "core/split.hh"
+
+#include <unordered_map>
+
+#include "support/panic.hh"
+
+namespace spikesim::core {
+
+using program::BasicBlock;
+using program::BlockLocalId;
+using program::EdgeKind;
+using program::FlowEdge;
+using program::GlobalBlockId;
+using program::kInvalidId;
+using program::ProcId;
+using program::Procedure;
+using program::Terminator;
+
+namespace {
+
+/** Can control fall from `from` into `next` under an adjacent layout? */
+bool
+fallsInto(const Procedure& p, BlockLocalId from, BlockLocalId next)
+{
+    const BasicBlock& blk = p.blocks[from];
+    if (blk.term == Terminator::Return ||
+        blk.term == Terminator::IndirectJump)
+        return false;
+    for (const FlowEdge& e : p.edges) {
+        if (e.from != from || e.to != next)
+            continue;
+        switch (blk.term) {
+          case Terminator::FallThrough:
+          case Terminator::Call:
+            if (e.kind == EdgeKind::FallThrough)
+                return true;
+            break;
+          case Terminator::CondBranch:
+            // Either side can be the fall-through (free inversion).
+            if (e.kind == EdgeKind::FallThrough ||
+                e.kind == EdgeKind::CondTaken)
+                return true;
+            break;
+          case Terminator::UncondBranch:
+            // Adjacent target: the branch is deleted, becoming a
+            // fall-through.
+            if (e.kind == EdgeKind::UncondTarget)
+                return true;
+            break;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<CodeSegment>
+splitFineGrain(const program::Program& prog, ProcId proc,
+               const std::vector<BlockLocalId>& order)
+{
+    const Procedure& p = prog.proc(proc);
+    SPIKESIM_ASSERT(order.size() == p.blocks.size(),
+                    "order does not cover proc " << p.name);
+    std::vector<CodeSegment> segs;
+    CodeSegment cur;
+    cur.proc = proc;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        cur.blocks.push_back(order[i]);
+        bool cut = (i + 1 == order.size()) ||
+                   !fallsInto(p, order[i], order[i + 1]);
+        if (cut) {
+            segs.push_back(std::move(cur));
+            cur = CodeSegment();
+            cur.proc = proc;
+        }
+    }
+    return segs;
+}
+
+std::vector<CodeSegment>
+splitHotCold(const program::Program& prog, ProcId proc,
+             const profile::Profile& profile,
+             const std::vector<BlockLocalId>& order,
+             std::uint64_t hot_threshold)
+{
+    CodeSegment hot, cold;
+    hot.proc = cold.proc = proc;
+    for (BlockLocalId b : order) {
+        std::uint64_t count =
+            profile.blockCount(prog.globalBlockId(proc, b));
+        if (count >= hot_threshold)
+            hot.blocks.push_back(b);
+        else
+            cold.blocks.push_back(b);
+    }
+    std::vector<CodeSegment> segs;
+    if (!hot.blocks.empty())
+        segs.push_back(std::move(hot));
+    if (!cold.blocks.empty())
+        segs.push_back(std::move(cold));
+    return segs;
+}
+
+SegmentGraph
+buildSegmentGraph(const program::Program& prog,
+                  const profile::Profile& profile,
+                  const std::vector<CodeSegment>& segments)
+{
+    SegmentGraph g;
+    g.num_nodes = segments.size();
+
+    // Map every block to its segment, and every procedure entry to the
+    // segment holding it.
+    std::vector<std::uint32_t> seg_of(prog.numBlocks(), kInvalidId);
+    for (std::size_t s = 0; s < segments.size(); ++s)
+        for (BlockLocalId b : segments[s].blocks)
+            seg_of[prog.globalBlockId(segments[s].proc, b)] =
+                static_cast<std::uint32_t>(s);
+    for (std::uint32_t so : seg_of)
+        SPIKESIM_ASSERT(so != kInvalidId,
+                        "segment list does not cover the program");
+
+    std::unordered_map<std::uint64_t, std::uint64_t> weight;
+    auto add = [&](std::uint32_t from, std::uint32_t to, std::uint64_t w) {
+        if (from == to || w == 0)
+            return;
+        weight[profile::pairKey(from, to)] += w;
+    };
+
+    // Call edges: caller block's segment -> callee entry's segment.
+    for (const auto& [caller_block, callee, count] : profile.calls()) {
+        GlobalBlockId entry = prog.globalBlockId(callee, 0);
+        add(seg_of[caller_block], seg_of[entry], count);
+    }
+    // Severed flow edges: control transfers between segments.
+    for (const auto& [from, to, count] : profile.edges())
+        add(seg_of[from], seg_of[to], count);
+
+    g.edges.reserve(weight.size());
+    for (const auto& [key, w] : weight)
+        g.edges.emplace_back(static_cast<std::uint32_t>(key >> 32),
+                             static_cast<std::uint32_t>(key), w);
+    return g;
+}
+
+} // namespace spikesim::core

@@ -1,0 +1,72 @@
+#ifndef SPIKESIM_CORE_SPLIT_HH
+#define SPIKESIM_CORE_SPLIT_HH
+
+#include <vector>
+
+#include "core/layout.hh"
+#include "profile/profile.hh"
+#include "program/program.hh"
+
+/**
+ * @file
+ * Procedure splitting. Two variants from the paper:
+ *
+ * - Fine-grain splitting (developed for the paper): the chained block
+ *   order of a procedure is cut after every block from which control
+ *   cannot fall through to the next block (unconditional branch,
+ *   return, indirect jump, or a severed chain link that forces a
+ *   materialized branch). Each resulting run becomes an independent
+ *   placement unit for procedure ordering.
+ *
+ * - Hot/cold splitting (the variant in the Spike distribution): each
+ *   procedure is divided into just two units, the executed (hot) part
+ *   and the rest (cold).
+ */
+
+namespace spikesim::core {
+
+/**
+ * Cut one procedure's block order into fine-grain segments.
+ *
+ * @param order the (typically chained) intra-procedure block order.
+ * @return runs of blocks; concatenated they equal `order`.
+ */
+std::vector<CodeSegment>
+splitFineGrain(const program::Program& prog, program::ProcId proc,
+               const std::vector<program::BlockLocalId>& order);
+
+/**
+ * Split one procedure's block order into a hot segment (blocks whose
+ * execution count is >= hot_threshold) and a cold segment, preserving
+ * relative order. Either may be absent if empty.
+ */
+std::vector<CodeSegment>
+splitHotCold(const program::Program& prog, program::ProcId proc,
+             const profile::Profile& profile,
+             const std::vector<program::BlockLocalId>& order,
+             std::uint64_t hot_threshold = 1);
+
+/** Weighted graph over code segments, input to procedure ordering. */
+struct SegmentGraph
+{
+    std::size_t num_nodes = 0;
+    /** Directed edges (from segment, to segment, weight), weight > 0. */
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>>
+        edges;
+};
+
+/**
+ * Build the placement graph over segments from a profile: call edges
+ * (caller block's segment -> segment holding the callee's entry block)
+ * plus inter-segment flow edges (severed chain links), exactly the
+ * "call graph includes branch as well as call edges" construction from
+ * the paper.
+ */
+SegmentGraph
+buildSegmentGraph(const program::Program& prog,
+                  const profile::Profile& profile,
+                  const std::vector<CodeSegment>& segments);
+
+} // namespace spikesim::core
+
+#endif // SPIKESIM_CORE_SPLIT_HH

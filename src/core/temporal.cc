@@ -1,0 +1,68 @@
+#include "core/temporal.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "profile/profile.hh"
+#include "support/panic.hh"
+
+namespace spikesim::core {
+
+SegmentGraph
+buildTemporalGraph(const program::Program& prog,
+                   const trace::TraceBuffer& trace,
+                   const TemporalOptions& opts)
+{
+    SPIKESIM_ASSERT(opts.window >= 1, "temporal window must be >= 1");
+
+    // Dense block -> procedure map (locateBlock per event would be a
+    // binary search on a multi-million-event trace).
+    std::vector<program::ProcId> proc_of(prog.numBlocks());
+    for (program::ProcId p = 0; p < prog.numProcs(); ++p)
+        for (program::BlockLocalId b = 0;
+             b < prog.proc(p).blocks.size(); ++b)
+            proc_of[prog.globalBlockId(p, b)] = p;
+
+    static constexpr int kMaxCpus = 64;
+    program::ProcId current[kMaxCpus];
+    std::deque<program::ProcId> window[kMaxCpus];
+    for (int i = 0; i < kMaxCpus; ++i)
+        current[i] = program::kInvalidId;
+
+    std::unordered_map<std::uint64_t, std::uint64_t> weight;
+    for (const trace::TraceEvent& e : trace.events()) {
+        if (e.image != opts.image)
+            continue;
+        int cpu = e.cpu;
+        SPIKESIM_ASSERT(cpu < kMaxCpus, "cpu id out of range");
+        program::ProcId p = proc_of[e.block];
+        if (p == current[cpu])
+            continue; // still inside the same activation
+        current[cpu] = p;
+
+        auto& win = window[cpu];
+        for (program::ProcId q : win) {
+            if (q == p)
+                continue;
+            weight[profile::pairKey(std::min(p, q), std::max(p, q))] += 1;
+        }
+        // Keep the window a set of the most recent distinct procs.
+        auto it = std::find(win.begin(), win.end(), p);
+        if (it != win.end())
+            win.erase(it);
+        win.push_back(p);
+        if (win.size() > opts.window)
+            win.pop_front();
+    }
+
+    SegmentGraph g;
+    g.num_nodes = prog.numProcs();
+    g.edges.reserve(weight.size());
+    for (const auto& [key, w] : weight)
+        g.edges.emplace_back(static_cast<std::uint32_t>(key >> 32),
+                             static_cast<std::uint32_t>(key), w);
+    return g;
+}
+
+} // namespace spikesim::core

@@ -1,0 +1,51 @@
+#ifndef SPIKESIM_CORE_TEMPORAL_HH
+#define SPIKESIM_CORE_TEMPORAL_HH
+
+#include <cstdint>
+
+#include "core/split.hh"
+#include "program/program.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Temporal-affinity procedure ordering, after Gloy, Blackwell, Smith &
+ * Calder (MICRO'97), one of the placement algorithms the paper's
+ * related-work section contrasts with Pettis-Hansen. Instead of call
+ * counts, the placement graph weighs how often two procedures are
+ * *live together in time*: each procedure activation adds affinity to
+ * the procedures activated shortly before it. Procedures that
+ * interleave tightly end up adjacent even when they never call each
+ * other — something a pure call graph cannot see.
+ *
+ * This is a faithful simplification: the original also folds in cache
+ * geometry; here the temporal relationship graph is fed to the same
+ * merge machinery as Pettis-Hansen so the two graphs can be compared
+ * like-for-like (see bench/ablation_placement).
+ */
+
+namespace spikesim::core {
+
+/** Parameters for temporal-affinity graph construction. */
+struct TemporalOptions
+{
+    /** How many distinct recently-activated procedures constitute
+     *  "temporally adjacent". */
+    std::size_t window = 8;
+    /** Image whose activations are analyzed. */
+    trace::ImageId image = trace::ImageId::App;
+};
+
+/**
+ * Build the temporal relationship graph over procedures from an
+ * execution trace: one node per procedure, edge weight = number of
+ * times the two procedures appeared within `window` distinct
+ * activations of each other (tracked per CPU).
+ */
+SegmentGraph buildTemporalGraph(const program::Program& prog,
+                                const trace::TraceBuffer& trace,
+                                const TemporalOptions& opts = {});
+
+} // namespace spikesim::core
+
+#endif // SPIKESIM_CORE_TEMPORAL_HH

@@ -1,0 +1,505 @@
+#include "db/btree.hh"
+
+#include <cstring>
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+namespace {
+
+/**
+ * First slot in a node whose key is >= key (binary search). When hooks
+ * and a frame address are supplied, every probed slot is reported as a
+ * data touch -- the pointer-chasing data-reference pattern of index
+ * search.
+ */
+template <typename Entry>
+std::uint16_t
+lowerBound(const Page& page, std::int64_t key,
+           EngineHooks* hooks = nullptr, std::uint64_t sim_addr = 0)
+{
+    std::uint16_t lo = 0;
+    std::uint16_t hi = page.header().num_slots;
+    while (lo < hi) {
+        std::uint16_t mid = static_cast<std::uint16_t>((lo + hi) / 2);
+        Entry e;
+        page.readSlot(mid, e);
+        if (hooks != nullptr)
+            hooks->onData(sim_addr + 64 +
+                          static_cast<std::uint64_t>(mid) *
+                              page.header().slot_bytes);
+        if (e.key < key)
+            lo = static_cast<std::uint16_t>(mid + 1);
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+BTree::BTree(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+             PageId anchor_page, EngineHooks* hooks)
+    : pool_(pool), wal_(wal), alloc_(alloc), hooks_(hooks),
+      anchor_(anchor_page)
+{
+}
+
+PageId
+BTree::newLeaf(PageId next_link)
+{
+    PageId id = alloc_.alloc();
+    FrameRef ref = pool_.fetch(id);
+    ref.page->format(id, PageType::BtreeLeaf,
+                     static_cast<std::uint16_t>(sizeof(LeafEntry)));
+    ref.page->header().extra = next_link;
+    wal_.logFormat(kStructuralTxn, id,
+                   static_cast<std::uint32_t>(PageType::BtreeLeaf),
+                   sizeof(LeafEntry));
+    ref.page->header().lsn =
+        wal_.logSetExtra(kStructuralTxn, id, next_link);
+    pool_.release(ref, true);
+    return id;
+}
+
+PageId
+BTree::newInner()
+{
+    PageId id = alloc_.alloc();
+    FrameRef ref = pool_.fetch(id);
+    ref.page->format(id, PageType::BtreeInner,
+                     static_cast<std::uint16_t>(sizeof(InnerEntry)));
+    ref.page->header().lsn = wal_.logFormat(
+        kStructuralTxn, id,
+        static_cast<std::uint32_t>(PageType::BtreeInner),
+        sizeof(InnerEntry));
+    pool_.release(ref, true);
+    return id;
+}
+
+void
+BTree::writeAnchor()
+{
+    FrameRef ref = pool_.fetch(anchor_);
+    AnchorRecord rec{root_, height_};
+    if (ref.page->header().num_slots == 0) {
+        ref.page->appendSlot(&rec);
+        ref.page->header().lsn =
+            wal_.logAppend(kStructuralTxn, anchor_, &rec, sizeof(rec));
+    } else {
+        AnchorRecord before;
+        ref.page->readSlot(0, before);
+        ref.page->writeSlot(0, rec);
+        ref.page->header().lsn = wal_.logUpdate(
+            kStructuralTxn, anchor_, 0, &rec, &before, sizeof(rec));
+    }
+    pool_.release(ref, true);
+}
+
+BTree
+BTree::create(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+              PageId anchor_page, EngineHooks* hooks)
+{
+    BTree t(pool, wal, alloc, anchor_page, hooks);
+    {
+        FrameRef ref = pool.fetch(anchor_page);
+        ref.page->format(anchor_page, PageType::Meta,
+                         sizeof(AnchorRecord));
+        ref.page->header().lsn = wal.logFormat(
+            kStructuralTxn, anchor_page,
+            static_cast<std::uint32_t>(PageType::Meta),
+            sizeof(AnchorRecord));
+        pool.release(ref, true);
+    }
+    t.root_ = t.newLeaf(kInvalidPage);
+    t.height_ = 1;
+    t.writeAnchor();
+    return t;
+}
+
+BTree
+BTree::open(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+            PageId anchor_page, EngineHooks* hooks)
+{
+    BTree t(pool, wal, alloc, anchor_page, hooks);
+    FrameRef ref = pool.fetch(anchor_page);
+    SPIKESIM_ASSERT(ref.page->header().type == PageType::Meta &&
+                        ref.page->header().num_slots == 1,
+                    "bad btree anchor page " << anchor_page);
+    AnchorRecord rec;
+    ref.page->readSlot(0, rec);
+    pool.release(ref, false);
+    t.root_ = rec.root;
+    t.height_ = rec.height;
+    return t;
+}
+
+std::optional<RowId>
+BTree::search(std::int64_t key)
+{
+    if (hooks_ != nullptr) {
+        int levels = height_ - 1;
+        hooks_->onOp("btree_search", {&levels, 1});
+    }
+    PageId cur = root_;
+    for (;;) {
+        FrameRef ref = pool_.fetch(cur);
+        const Page& page = *ref.page;
+        if (page.header().type == PageType::BtreeLeaf) {
+            std::uint16_t i =
+                lowerBound<LeafEntry>(page, key, hooks_, ref.sim_addr);
+            std::optional<RowId> out;
+            if (i < page.header().num_slots) {
+                LeafEntry e;
+                page.readSlot(i, e);
+                if (e.key == key)
+                    out = e.rid;
+            }
+            pool_.release(ref, false);
+            return out;
+        }
+        std::uint16_t i =
+            lowerBound<InnerEntry>(page, key, hooks_, ref.sim_addr);
+        SPIKESIM_ASSERT(i < page.header().num_slots,
+                        "descend past +inf sentinel");
+        InnerEntry e;
+        page.readSlot(i, e);
+        pool_.release(ref, false);
+        cur = e.child;
+    }
+}
+
+void
+BTree::growRoot()
+{
+    PageId old_root = root_;
+    PageId new_root = newInner();
+    FrameRef ref = pool_.fetch(new_root);
+    InnerEntry sentinel{kMaxKey, old_root, 0};
+    ref.page->appendSlot(&sentinel);
+    ref.page->header().lsn = wal_.logAppend(
+        kStructuralTxn, new_root, &sentinel, sizeof(sentinel));
+    pool_.release(ref, true);
+    root_ = new_root;
+    ++height_;
+    writeAnchor();
+    splitChild(new_root, 0);
+}
+
+void
+BTree::splitChild(PageId parent_id, std::uint16_t idx)
+{
+    FrameRef pref = pool_.fetch(parent_id);
+    Page& parent = *pref.page;
+    SPIKESIM_ASSERT(!parent.full(), "split with full parent");
+    InnerEntry pe;
+    parent.readSlot(idx, pe);
+    PageId left_id = pe.child;
+
+    FrameRef lref = pool_.fetch(left_id);
+    Page& left = *lref.page;
+    const std::uint16_t n = left.header().num_slots;
+    const std::uint16_t keep = static_cast<std::uint16_t>(n / 2);
+    std::int64_t sep;
+
+    PageId right_id;
+    if (left.header().type == PageType::BtreeLeaf) {
+        right_id = newLeaf(static_cast<PageId>(left.header().extra));
+        FrameRef rref = pool_.fetch(right_id);
+        Page& right = *rref.page;
+        for (std::uint16_t s = keep; s < n; ++s) {
+            LeafEntry e;
+            left.readSlot(s, e);
+            right.appendSlot(&e);
+            right.header().lsn = wal_.logAppend(kStructuralTxn, right_id,
+                                                &e, sizeof(e));
+        }
+        pool_.release(rref, true);
+        LeafEntry last_kept;
+        left.readSlot(static_cast<std::uint16_t>(keep - 1), last_kept);
+        sep = last_kept.key;
+        left.setSlotCount(keep);
+        left.header().lsn =
+            wal_.logSetSlotCount(kStructuralTxn, left_id, keep);
+        left.header().extra = right_id;
+        left.header().lsn =
+            wal_.logSetExtra(kStructuralTxn, left_id, right_id);
+    } else {
+        right_id = newInner();
+        FrameRef rref = pool_.fetch(right_id);
+        Page& right = *rref.page;
+        for (std::uint16_t s = keep; s < n; ++s) {
+            InnerEntry e;
+            left.readSlot(s, e);
+            right.appendSlot(&e);
+            right.header().lsn = wal_.logAppend(kStructuralTxn, right_id,
+                                                &e, sizeof(e));
+        }
+        pool_.release(rref, true);
+        InnerEntry last_kept;
+        left.readSlot(static_cast<std::uint16_t>(keep - 1), last_kept);
+        sep = last_kept.key;
+        left.setSlotCount(keep);
+        left.header().lsn =
+            wal_.logSetSlotCount(kStructuralTxn, left_id, keep);
+    }
+    pool_.release(lref, true);
+
+    // Parent: the slot that pointed at `left` now points at `right`
+    // (it still carries the subtree's upper bound); a new entry
+    // {sep, left} covers the lower half.
+    InnerEntry after{pe.key, right_id, 0};
+    parent.writeSlot(idx, after);
+    parent.header().lsn = wal_.logUpdate(kStructuralTxn, parent_id, idx,
+                                         &after, &pe, sizeof(after));
+    InnerEntry left_entry{sep, left_id, 0};
+    parent.insertSlotAt(idx, &left_entry);
+    parent.header().lsn = wal_.logInsertAt(
+        kStructuralTxn, parent_id, idx, &left_entry, sizeof(left_entry));
+    pool_.release(pref, true);
+}
+
+bool
+BTree::insert(TxnId txn, std::int64_t key, RowId rid)
+{
+    SPIKESIM_ASSERT(key < kMaxKey, "key collides with +inf sentinel");
+    if (hooks_ != nullptr) {
+        int levels = height_ - 1;
+        hooks_->onOp("btree_insert", {&levels, 1});
+    }
+
+    // Preemptive splitting: never descend into a full node.
+    {
+        FrameRef rref = pool_.fetch(root_);
+        bool root_full = rref.page->full();
+        pool_.release(rref, false);
+        if (root_full)
+            growRoot();
+    }
+
+    PageId cur = root_;
+    for (;;) {
+        FrameRef ref = pool_.fetch(cur);
+        Page& page = *ref.page;
+        if (page.header().type == PageType::BtreeLeaf) {
+            std::uint16_t i = lowerBound<LeafEntry>(page, key);
+            if (i < page.header().num_slots) {
+                LeafEntry e;
+                page.readSlot(i, e);
+                if (e.key == key) {
+                    pool_.release(ref, false);
+                    return false;
+                }
+            }
+            LeafEntry e{key, rid};
+            page.insertSlotAt(i, &e);
+            page.header().lsn =
+                wal_.logInsertAt(txn, cur, i, &e, sizeof(e));
+            pool_.release(ref, true);
+            return true;
+        }
+        std::uint16_t i = lowerBound<InnerEntry>(page, key);
+        SPIKESIM_ASSERT(i < page.header().num_slots,
+                        "descend past +inf sentinel");
+        InnerEntry e;
+        page.readSlot(i, e);
+        FrameRef cref = pool_.fetch(e.child);
+        bool child_full = cref.page->full();
+        pool_.release(cref, false);
+        if (child_full) {
+            pool_.release(ref, false);
+            splitChild(cur, i);
+            continue; // re-run the search at this level
+        }
+        pool_.release(ref, false);
+        cur = e.child;
+    }
+}
+
+bool
+BTree::remove(TxnId txn, std::int64_t key)
+{
+    PageId cur = root_;
+    for (;;) {
+        FrameRef ref = pool_.fetch(cur);
+        Page& page = *ref.page;
+        if (page.header().type == PageType::BtreeLeaf) {
+            std::uint16_t i = lowerBound<LeafEntry>(page, key);
+            bool found = false;
+            if (i < page.header().num_slots) {
+                LeafEntry e;
+                page.readSlot(i, e);
+                found = e.key == key;
+            }
+            if (found) {
+                page.removeSlotAt(i);
+                page.header().lsn = wal_.logRemoveAt(txn, cur, i);
+            }
+            pool_.release(ref, found);
+            return found;
+        }
+        std::uint16_t i = lowerBound<InnerEntry>(page, key);
+        SPIKESIM_ASSERT(i < page.header().num_slots,
+                        "descend past +inf sentinel");
+        InnerEntry e;
+        page.readSlot(i, e);
+        pool_.release(ref, false);
+        cur = e.child;
+    }
+}
+
+void
+BTree::scan(std::int64_t lo, std::int64_t hi,
+            const std::function<void(std::int64_t, RowId)>& fn)
+{
+    // Descend to the leaf that would contain `lo`.
+    PageId cur = root_;
+    for (;;) {
+        FrameRef ref = pool_.fetch(cur);
+        const Page& page = *ref.page;
+        if (page.header().type == PageType::BtreeLeaf) {
+            pool_.release(ref, false);
+            break;
+        }
+        std::uint16_t i = lowerBound<InnerEntry>(page, lo);
+        SPIKESIM_ASSERT(i < page.header().num_slots,
+                        "descend past +inf sentinel");
+        InnerEntry e;
+        page.readSlot(i, e);
+        pool_.release(ref, false);
+        cur = e.child;
+    }
+    // Walk the leaf chain.
+    while (cur != kInvalidPage) {
+        FrameRef ref = pool_.fetch(cur);
+        const Page& page = *ref.page;
+        std::uint16_t i = lowerBound<LeafEntry>(page, lo);
+        bool done = false;
+        for (; i < page.header().num_slots; ++i) {
+            LeafEntry e;
+            page.readSlot(i, e);
+            if (e.key > hi) {
+                done = true;
+                break;
+            }
+            fn(e.key, e.rid);
+        }
+        PageId next = static_cast<PageId>(page.header().extra);
+        pool_.release(ref, false);
+        if (done)
+            break;
+        cur = next;
+    }
+}
+
+std::uint64_t
+BTree::numEntries()
+{
+    std::uint64_t n = 0;
+    scan(std::numeric_limits<std::int64_t>::min(), kMaxKey - 1,
+         [&](std::int64_t, RowId) { ++n; });
+    return n;
+}
+
+std::string
+BTree::checkNode(PageId id, int depth, std::int64_t lo, std::int64_t hi,
+                 int& leaf_depth, PageId& leftmost_leaf)
+{
+    FrameRef ref = pool_.fetch(id);
+    const Page& page = *ref.page;
+    std::string err;
+    auto fail = [&](const std::string& what) {
+        return "page " + std::to_string(id) + " (depth " +
+               std::to_string(depth) + "): " + what;
+    };
+
+    if (page.header().type == PageType::BtreeLeaf) {
+        if (leaf_depth == -1) {
+            leaf_depth = depth;
+            leftmost_leaf = id;
+        } else if (leaf_depth != depth) {
+            err = fail("leaves at unequal depth");
+        }
+        std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+        for (std::uint16_t s = 0; err.empty() &&
+                                  s < page.header().num_slots; ++s) {
+            LeafEntry e;
+            page.readSlot(s, e);
+            if (e.key <= prev && s > 0)
+                err = fail("leaf keys not strictly increasing");
+            else if (e.key <= lo || e.key > hi)
+                err = fail("leaf key outside separator bounds");
+            prev = e.key;
+        }
+        pool_.release(ref, false);
+        return err;
+    }
+
+    if (page.header().type != PageType::BtreeInner) {
+        pool_.release(ref, false);
+        return fail("unexpected page type");
+    }
+    if (page.header().num_slots == 0) {
+        pool_.release(ref, false);
+        return fail("empty inner node");
+    }
+    InnerEntry last;
+    page.readSlot(
+        static_cast<std::uint16_t>(page.header().num_slots - 1), last);
+    if (last.key != hi) {
+        pool_.release(ref, false);
+        return fail("last separator does not match upper bound");
+    }
+    std::int64_t prev = lo;
+    std::vector<InnerEntry> entries(page.header().num_slots);
+    for (std::uint16_t s = 0; s < page.header().num_slots; ++s)
+        page.readSlot(s, entries[s]);
+    pool_.release(ref, false);
+    for (const InnerEntry& e : entries) {
+        if (e.key <= prev && e.key != prev)
+            return fail("inner keys not increasing");
+        err = checkNode(e.child, depth + 1, prev, e.key, leaf_depth,
+                        leftmost_leaf);
+        if (!err.empty())
+            return err;
+        prev = e.key;
+    }
+    return "";
+}
+
+std::string
+BTree::check()
+{
+    int leaf_depth = -1;
+    PageId leftmost = kInvalidPage;
+    std::string err =
+        checkNode(root_, 1, std::numeric_limits<std::int64_t>::min(),
+                  kMaxKey, leaf_depth, leftmost);
+    if (!err.empty())
+        return err;
+    if (leaf_depth != height_)
+        return "height mismatch: anchor says " + std::to_string(height_) +
+               ", leaves at " + std::to_string(leaf_depth);
+
+    // Leaf chain must be sorted and start at the leftmost leaf.
+    std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+    PageId cur = leftmost;
+    while (cur != kInvalidPage) {
+        FrameRef ref = pool_.fetch(cur);
+        for (std::uint16_t s = 0; s < ref.page->header().num_slots; ++s) {
+            LeafEntry e;
+            ref.page->readSlot(s, e);
+            if (e.key <= prev)
+                return "leaf chain keys not increasing at page " +
+                       std::to_string(cur);
+            prev = e.key;
+        }
+        PageId next = static_cast<PageId>(ref.page->header().extra);
+        pool_.release(ref, false);
+        cur = next;
+    }
+    return "";
+}
+
+} // namespace spikesim::db

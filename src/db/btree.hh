@@ -1,0 +1,139 @@
+#ifndef SPIKESIM_DB_BTREE_HH
+#define SPIKESIM_DB_BTREE_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/bufferpool.hh"
+#include "db/types.hh"
+#include "db/wal.hh"
+
+/**
+ * @file
+ * B+tree index mapping int64 keys to row ids. Nodes live in buffer-pool
+ * pages; every structural mutation is WAL-logged (as structural-txn
+ * records, so splits survive recovery even when the triggering
+ * transaction does not commit — a split without its insert is still a
+ * valid tree). Inner nodes carry a +inf sentinel entry for the
+ * rightmost child; leaves are chained through the page `extra` link.
+ * Deletion is lazy (no rebalancing), which is what most production
+ * OLTP engines do too.
+ */
+
+namespace spikesim::db {
+
+/** Allocates page ids; recovery re-seeds the counter. */
+class PageAllocator
+{
+  public:
+    explicit PageAllocator(PageId first = 1) : next_(first) {}
+
+    PageId alloc() { return next_++; }
+    PageId next() const { return next_; }
+    void seed(PageId next) { next_ = next; }
+
+  private:
+    PageId next_;
+};
+
+/** B+tree over (int64 key -> RowId). */
+class BTree
+{
+  public:
+    /** Key sentinel for the rightmost inner entry. */
+    static constexpr std::int64_t kMaxKey =
+        std::numeric_limits<std::int64_t>::max();
+
+    /**
+     * Create a fresh tree: formats an anchor page and an empty root
+     * leaf. The anchor records the root page and height so the tree
+     * can be reopened after recovery.
+     */
+    static BTree create(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+                        PageId anchor_page, EngineHooks* hooks = nullptr);
+
+    /** Open an existing tree from its anchor page. */
+    static BTree open(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+                      PageId anchor_page, EngineHooks* hooks = nullptr);
+
+    /** Point lookup. */
+    std::optional<RowId> search(std::int64_t key);
+
+    /** Insert (duplicate keys are rejected with false). */
+    bool insert(TxnId txn, std::int64_t key, RowId rid);
+
+    /** Lazy delete; true if the key existed. */
+    bool remove(TxnId txn, std::int64_t key);
+
+    /** Visit entries with lo <= key <= hi in key order. */
+    void scan(std::int64_t lo, std::int64_t hi,
+              const std::function<void(std::int64_t, RowId)>& fn);
+
+    /** Tree height in levels (1 = root is a leaf). */
+    int height() const { return height_; }
+    PageId rootPage() const { return root_; }
+    PageId anchorPage() const { return anchor_; }
+    std::uint64_t numEntries();
+
+    /**
+     * Structural self-check: keys sorted in every node, children
+     * consistent with separators, all leaves at the same depth,
+     * leaf chain ordered. Returns empty string when healthy.
+     */
+    std::string check();
+
+  private:
+    BTree(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+          PageId anchor_page, EngineHooks* hooks);
+
+    struct LeafEntry
+    {
+        std::int64_t key;
+        RowId rid;
+    };
+    struct InnerEntry
+    {
+        std::int64_t key;
+        PageId child;
+        std::uint32_t pad = 0;
+    };
+    static_assert(sizeof(LeafEntry) == 16, "leaf entry layout");
+    static_assert(sizeof(InnerEntry) == 16, "inner entry layout");
+
+    /** Anchor page payload. */
+    struct AnchorRecord
+    {
+        PageId root;
+        std::int32_t height;
+    };
+
+    PageId newLeaf(PageId next_link);
+    PageId newInner();
+    void writeAnchor();
+    /** Grow a new root above the current one (root was full). */
+    void growRoot();
+    /**
+     * Split the full child at parent slot `idx` (preemptive splitting:
+     * the parent is guaranteed non-full).
+     */
+    void splitChild(PageId parent_id, std::uint16_t idx);
+    std::string checkNode(PageId id, int depth, std::int64_t lo,
+                          std::int64_t hi, int& leaf_depth,
+                          PageId& leftmost_leaf);
+
+    BufferPool& pool_;
+    Wal& wal_;
+    PageAllocator& alloc_;
+    EngineHooks* hooks_;
+    PageId anchor_;
+    PageId root_ = kInvalidPage;
+    int height_ = 1;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_BTREE_HH

@@ -1,0 +1,137 @@
+#include "db/bufferpool.hh"
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+BufferPool::BufferPool(SimDisk& disk, std::uint32_t num_frames,
+                       EngineHooks* hooks)
+    : disk_(disk), hooks_(hooks)
+{
+    SPIKESIM_ASSERT(num_frames > 0, "buffer pool needs frames");
+    frames_.resize(num_frames);
+    map_.reserve(num_frames * 2);
+}
+
+FrameRef
+BufferPool::fetch(PageId id)
+{
+    ++now_;
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+        Frame& f = frames_[it->second];
+        f.stamp = now_;
+        ++f.pins;
+        ++hits_;
+        if (hooks_ != nullptr) {
+            hooks_->onOp("buf_get_hit");
+            hooks_->onData(addrmap::bufferFrame(it->second));
+        }
+        return {&f.page, it->second, addrmap::bufferFrame(it->second)};
+    }
+
+    ++misses_;
+    std::uint32_t victim = pickVictim();
+    Frame& f = frames_[victim];
+    if (f.valid) {
+        if (f.dirty)
+            writeBack(f);
+        map_.erase(f.id);
+    }
+    // The miss path does real I/O: report the long code path and the
+    // kernel read before the frame contents are available.
+    if (hooks_ != nullptr) {
+        hooks_->onOp("buf_get_miss");
+        int pages = 1;
+        hooks_->onSyscall("sys_read", {&pages, 1});
+    }
+    disk_.readPage(id, f.page);
+    f.id = id;
+    f.stamp = now_;
+    f.pins = 1;
+    f.dirty = false;
+    f.valid = true;
+    map_[id] = victim;
+    if (hooks_ != nullptr)
+        hooks_->onData(addrmap::bufferFrame(victim));
+    return {&f.page, victim, addrmap::bufferFrame(victim)};
+}
+
+void
+BufferPool::release(const FrameRef& ref, bool dirty)
+{
+    SPIKESIM_ASSERT(ref.frame < frames_.size(), "bad frame in release");
+    Frame& f = frames_[ref.frame];
+    SPIKESIM_ASSERT(f.pins > 0, "release of unpinned frame");
+    --f.pins;
+    if (dirty)
+        f.dirty = true;
+}
+
+void
+BufferPool::flushAll()
+{
+    int dirty = 0;
+    for (Frame& f : frames_)
+        if (f.valid && f.dirty)
+            ++dirty;
+    if (dirty == 0)
+        return;
+    // One writer pass: the dbwr loop walks all dirty frames, then a
+    // single (vectored) kernel write pushes them out.
+    if (hooks_ != nullptr) {
+        hooks_->onOp("dbwr_flush", {&dirty, 1});
+        hooks_->onSyscall("sys_write", {&dirty, 1});
+    }
+    for (Frame& f : frames_) {
+        if (f.valid && f.dirty)
+            writeBack(f);
+    }
+}
+
+void
+BufferPool::writeBack(Frame& frame)
+{
+    if (wal_barrier_)
+        wal_barrier_(frame.page.header().lsn);
+    disk_.writePage(frame.id, frame.page);
+    frame.dirty = false;
+}
+
+void
+BufferPool::dropAll()
+{
+    for (Frame& f : frames_)
+        f = Frame();
+    map_.clear();
+}
+
+std::uint32_t
+BufferPool::pinnedFrames() const
+{
+    std::uint32_t n = 0;
+    for (const Frame& f : frames_)
+        if (f.pins > 0)
+            ++n;
+    return n;
+}
+
+std::uint32_t
+BufferPool::pickVictim()
+{
+    // First fill invalid frames, then evict the LRU unpinned frame.
+    std::uint32_t victim = kInvalidPage;
+    for (std::uint32_t i = 0; i < frames_.size(); ++i) {
+        Frame& f = frames_[i];
+        if (!f.valid)
+            return i;
+        if (f.pins == 0 &&
+            (victim == kInvalidPage || f.stamp < frames_[victim].stamp))
+            victim = i;
+    }
+    SPIKESIM_ASSERT(victim != kInvalidPage,
+                    "all buffer frames pinned; pool too small");
+    return victim;
+}
+
+} // namespace spikesim::db

@@ -1,0 +1,108 @@
+#ifndef SPIKESIM_DB_BUFFERPOOL_HH
+#define SPIKESIM_DB_BUFFERPOOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "db/disk.hh"
+#include "db/page.hh"
+#include "db/types.hh"
+
+/**
+ * @file
+ * Buffer pool: a fixed set of page frames with LRU replacement,
+ * pinning, and dirty-page writeback. Every fetch reports the code path
+ * it took (buf_get_hit / buf_get_miss) and the simulated frame address
+ * through EngineHooks, which is how buffer behaviour reaches the
+ * instruction and data traces.
+ */
+
+namespace spikesim::db {
+
+/** Pin handle; unpin through the pool. */
+struct FrameRef
+{
+    Page* page = nullptr;
+    std::uint32_t frame = 0;
+    /** Simulated address of the frame (for data-trace purposes). */
+    std::uint64_t sim_addr = 0;
+};
+
+/** LRU buffer pool over SimDisk. */
+class BufferPool
+{
+  public:
+    /**
+     * @param disk backing store (borrowed).
+     * @param num_frames pool capacity in pages.
+     * @param hooks simulation hooks (borrowed; may be null).
+     */
+    BufferPool(SimDisk& disk, std::uint32_t num_frames,
+               EngineHooks* hooks = nullptr);
+
+    BufferPool(const BufferPool&) = delete;
+    BufferPool& operator=(const BufferPool&) = delete;
+
+    /**
+     * Write-ahead rule: called with a page's LSN immediately before
+     * its dirty frame is written to disk; the callback must make the
+     * log durable at least up to that LSN. Installed by the engine
+     * once its Wal exists.
+     */
+    void
+    setWalBarrier(std::function<void(Lsn)> barrier)
+    {
+        wal_barrier_ = std::move(barrier);
+    }
+
+    /** Fetch and pin a page (reading from disk on a miss). */
+    FrameRef fetch(PageId id);
+
+    /** Unpin; `dirty` marks the frame as modified. */
+    void release(const FrameRef& ref, bool dirty);
+
+    /** Write all dirty frames back to disk (checkpoint). */
+    void flushAll();
+
+    /** Drop the entire cache without writeback (crash simulation). */
+    void dropAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint32_t numFrames() const
+    {
+        return static_cast<std::uint32_t>(frames_.size());
+    }
+    std::uint32_t pinnedFrames() const;
+
+  private:
+    struct Frame
+    {
+        Page page;
+        PageId id = kInvalidPage;
+        std::uint64_t stamp = 0;
+        std::uint32_t pins = 0;
+        bool dirty = false;
+        bool valid = false;
+    };
+
+    std::uint32_t pickVictim();
+
+    /** Apply the WAL rule, then write the frame back. */
+    void writeBack(Frame& frame);
+
+    std::function<void(Lsn)> wal_barrier_;
+    SimDisk& disk_;
+    EngineHooks* hooks_;
+    std::vector<Frame> frames_;
+    std::unordered_map<PageId, std::uint32_t> map_;
+    std::uint64_t now_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_BUFFERPOOL_HH

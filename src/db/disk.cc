@@ -1,0 +1,57 @@
+#include "db/disk.hh"
+
+#include <cstring>
+
+namespace spikesim::db {
+
+void
+SimDisk::readPage(PageId id, Page& out) const
+{
+    ++pages_read_;
+    auto it = pages_.find(id);
+    if (it == pages_.end()) {
+        out = Page();
+        out.header().id = id;
+        return;
+    }
+    out = *it->second;
+}
+
+void
+SimDisk::writePage(PageId id, const Page& page)
+{
+    ++pages_written_;
+    auto it = pages_.find(id);
+    if (it == pages_.end())
+        pages_.emplace(id, std::make_unique<Page>(page));
+    else
+        *it->second = page;
+}
+
+bool
+SimDisk::pageExists(PageId id) const
+{
+    return pages_.find(id) != pages_.end();
+}
+
+std::uint64_t
+SimDisk::appendLog(const void* bytes, std::uint32_t len)
+{
+    std::uint64_t off = log_.size();
+    const auto* p = static_cast<const std::uint8_t*>(bytes);
+    log_.insert(log_.end(), p, p + len);
+    return off;
+}
+
+std::uint32_t
+SimDisk::readLog(std::uint64_t offset, void* out, std::uint32_t len) const
+{
+    if (offset >= log_.size())
+        return 0;
+    std::uint64_t avail = log_.size() - offset;
+    std::uint32_t n = len < avail ? len : static_cast<std::uint32_t>(avail);
+    std::memcpy(out, log_.data() + offset, n);
+    return n;
+}
+
+} // namespace spikesim::db

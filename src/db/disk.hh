@@ -1,0 +1,59 @@
+#ifndef SPIKESIM_DB_DISK_HH
+#define SPIKESIM_DB_DISK_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "db/page.hh"
+#include "db/types.hh"
+
+/**
+ * @file
+ * Simulated durable storage: a page store plus an append-only redo log
+ * file. Durability is what recovery tests exercise — crash() drops all
+ * volatile state elsewhere, and the content here is what survives.
+ */
+
+namespace spikesim::db {
+
+/** In-memory stand-in for the database's disks. */
+class SimDisk
+{
+  public:
+    SimDisk() = default;
+    SimDisk(const SimDisk&) = delete;
+    SimDisk& operator=(const SimDisk&) = delete;
+
+    /** Read a page into `out`; pages never written read as freshly
+     *  zeroed Free pages. */
+    void readPage(PageId id, Page& out) const;
+
+    /** Durably write a page. */
+    void writePage(PageId id, const Page& page);
+
+    /** True if the page was ever written. */
+    bool pageExists(PageId id) const;
+
+    /** Append raw bytes to the redo log file; returns the offset. */
+    std::uint64_t appendLog(const void* bytes, std::uint32_t len);
+
+    /** Read log bytes (for recovery). Returns bytes copied. */
+    std::uint32_t readLog(std::uint64_t offset, void* out,
+                          std::uint32_t len) const;
+
+    std::uint64_t logBytes() const { return log_.size(); }
+    std::uint64_t pagesWritten() const { return pages_written_; }
+    std::uint64_t pagesRead() const { return pages_read_; }
+
+  private:
+    std::unordered_map<PageId, std::unique_ptr<Page>> pages_;
+    std::vector<std::uint8_t> log_;
+    mutable std::uint64_t pages_read_ = 0;
+    std::uint64_t pages_written_ = 0;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_DISK_HH

@@ -1,0 +1,117 @@
+#include "db/dss.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+DssDriver::DssDriver(TpcbDatabase& db, EngineHooks* hooks,
+                     std::uint64_t seed)
+    : db_(db), hooks_(hooks), rng_(seed, 0xd55ULL)
+{
+}
+
+DssOutcome
+DssDriver::scanAggregate(std::uint16_t process)
+{
+    ++queries_;
+    DssOutcome out;
+    if (hooks_ != nullptr) {
+        hooks_->onSyscall("sys_ipc");
+        hooks_->onOp("net_recv");
+        hooks_->onData(addrmap::pga(process));
+        int batches = 1;
+        hooks_->onOp("sql_exec_scan", {&batches, 1});
+    }
+
+    std::unordered_map<std::int64_t, std::int64_t> groups;
+    PageId cur_page = kInvalidPage;
+    int rows_in_page = 0;
+    auto flush_page = [&]() {
+        if (rows_in_page > 0 && hooks_ != nullptr)
+            hooks_->onOp("row_scan_next", {&rows_in_page, 1});
+        rows_in_page = 0;
+    };
+    db_.accounts().scan([&](RowId rid, const void* p) {
+        if (rid.page != cur_page) {
+            flush_page();
+            cur_page = rid.page;
+        }
+        ++rows_in_page;
+        AccountRow row;
+        std::memcpy(&row, p, sizeof(row));
+        groups[row.branch] += row.balance;
+        out.aggregate += row.balance;
+        ++out.rows_scanned;
+    });
+    flush_page();
+
+    for (const auto& [branch, sum] : groups) {
+        (void)branch;
+        (void)sum;
+        if (hooks_ != nullptr) {
+            hooks_->onOp("agg_update");
+            hooks_->onData(addrmap::pga(process) + 0x8000 +
+                           (static_cast<std::uint64_t>(branch) % 64) *
+                               64);
+        }
+        ++out.groups;
+    }
+
+    if (hooks_ != nullptr) {
+        hooks_->onOp("net_reply");
+        hooks_->onSyscall("sys_ipc");
+    }
+    return out;
+}
+
+DssOutcome
+DssDriver::rangeQuery(std::uint16_t process, double selectivity)
+{
+    SPIKESIM_ASSERT(selectivity > 0.0 && selectivity <= 1.0,
+                    "selectivity out of range");
+    ++queries_;
+    DssOutcome out;
+    std::int64_t n = db_.numAccounts();
+    auto span = static_cast<std::int64_t>(
+        static_cast<double>(n) * selectivity);
+    if (span < 1)
+        span = 1;
+    std::int64_t lo = rng_.nextRange(0, n - span);
+    std::int64_t hi = lo + span - 1;
+
+    if (hooks_ != nullptr) {
+        hooks_->onSyscall("sys_ipc");
+        hooks_->onOp("net_recv");
+        int batches = 1;
+        hooks_->onOp("sql_exec_scan", {&batches, 1});
+    }
+
+    int rows_since_op = 0;
+    db_.accountIndex().scan(lo, hi, [&](std::int64_t, RowId rid) {
+        AccountRow row;
+        db_.accounts().fetch(rid, &row);
+        out.aggregate += row.balance;
+        ++out.rows_scanned;
+        if (++rows_since_op == 64) {
+            if (hooks_ != nullptr)
+                hooks_->onOp("row_scan_next", {&rows_since_op, 1});
+            rows_since_op = 0;
+        }
+    });
+    if (rows_since_op > 0 && hooks_ != nullptr)
+        hooks_->onOp("row_scan_next", {&rows_since_op, 1});
+    out.groups = 1;
+    if (hooks_ != nullptr)
+        hooks_->onOp("agg_update");
+
+    if (hooks_ != nullptr) {
+        hooks_->onOp("net_reply");
+        hooks_->onSyscall("sys_ipc");
+    }
+    return out;
+}
+
+} // namespace spikesim::db

@@ -1,0 +1,64 @@
+#ifndef SPIKESIM_DB_DSS_HH
+#define SPIKESIM_DB_DSS_HH
+
+#include <cstdint>
+
+#include "db/tpcb.hh"
+
+/**
+ * @file
+ * Decision-support (DSS) query driver over the same banking schema.
+ * The paper repeatedly contrasts OLTP with DSS: scan-dominated DSS
+ * queries have tight loops and a small instruction footprint, so their
+ * cache behaviour is far better and code layout buys much less. This
+ * driver runs aggregate scans and index range queries against the
+ * TPC-B database so the two workload classes can be compared on the
+ * same engine (see bench/ablation_dss).
+ */
+
+namespace spikesim::db {
+
+/** Result of one DSS query. */
+struct DssOutcome
+{
+    std::int64_t rows_scanned = 0;
+    std::int64_t groups = 0;
+    std::int64_t aggregate = 0;
+};
+
+/** Runs scan/aggregate queries against a TpcbDatabase. */
+class DssDriver
+{
+  public:
+    /**
+     * @param db the (already set-up) database.
+     * @param hooks simulation hooks; usually the same dispatcher the
+     *        database uses so both workloads share one trace.
+     */
+    DssDriver(TpcbDatabase& db, EngineHooks* hooks,
+              std::uint64_t seed = 99);
+
+    /**
+     * Q1: full-table scan of accounts with a per-branch balance
+     * aggregate (the classic scan+group-by).
+     */
+    DssOutcome scanAggregate(std::uint16_t process);
+
+    /**
+     * Q2: index range scan -- sum balances of accounts with keys in a
+     * random contiguous range (fraction of the table).
+     */
+    DssOutcome rangeQuery(std::uint16_t process, double selectivity = 0.02);
+
+    std::uint64_t queriesRun() const { return queries_; }
+
+  private:
+    TpcbDatabase& db_;
+    EngineHooks* hooks_;
+    support::Pcg32 rng_;
+    std::uint64_t queries_ = 0;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_DSS_HH

@@ -1,0 +1,167 @@
+#include "db/heap.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "db/btree.hh" // PageAllocator
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+HeapTable::HeapTable(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+                     std::uint16_t row_bytes, EngineHooks* hooks)
+    : pool_(pool), wal_(wal), alloc_(alloc), hooks_(hooks),
+      row_bytes_(row_bytes)
+{
+}
+
+HeapTable
+HeapTable::create(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+                  std::uint16_t row_bytes, EngineHooks* hooks)
+{
+    HeapTable t(pool, wal, alloc, row_bytes, hooks);
+    PageId id = alloc.alloc();
+    FrameRef ref = pool.fetch(id);
+    ref.page->format(id, PageType::Heap, row_bytes);
+    ref.page->header().extra = kInvalidPage;
+    wal.logFormat(kStructuralTxn, id,
+                  static_cast<std::uint32_t>(PageType::Heap), row_bytes);
+    ref.page->header().lsn =
+        wal.logSetExtra(kStructuralTxn, id, kInvalidPage);
+    pool.release(ref, true);
+    t.first_ = id;
+    t.tail_ = id;
+    t.num_pages_ = 1;
+    return t;
+}
+
+HeapTable
+HeapTable::open(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+                PageId first_page, EngineHooks* hooks)
+{
+    // Walk the chain to find the tail and rediscover geometry.
+    PageId cur = first_page;
+    PageId tail = first_page;
+    std::uint16_t row_bytes = 0;
+    std::uint64_t pages = 0;
+    while (cur != kInvalidPage) {
+        FrameRef ref = pool.fetch(cur);
+        SPIKESIM_ASSERT(ref.page->header().type == PageType::Heap,
+                        "page " << cur << " is not a heap page");
+        row_bytes = ref.page->header().slot_bytes;
+        tail = cur;
+        PageId next = static_cast<PageId>(ref.page->header().extra);
+        pool.release(ref, false);
+        cur = next;
+        ++pages;
+    }
+    HeapTable t(pool, wal, alloc, row_bytes, hooks);
+    t.first_ = first_page;
+    t.tail_ = tail;
+    t.num_pages_ = pages;
+    return t;
+}
+
+RowId
+HeapTable::insert(TxnId txn, const void* row)
+{
+    if (hooks_ != nullptr)
+        hooks_->onOp("heap_insert");
+    FrameRef ref = pool_.fetch(tail_);
+    if (ref.page->full()) {
+        // Allocate and link a fresh tail page.
+        if (hooks_ != nullptr)
+            hooks_->onOp("space_alloc");
+        PageId fresh = alloc_.alloc();
+        FrameRef nref = pool_.fetch(fresh);
+        nref.page->format(fresh, PageType::Heap, row_bytes_);
+        nref.page->header().extra = kInvalidPage;
+        wal_.logFormat(kStructuralTxn, fresh,
+                       static_cast<std::uint32_t>(PageType::Heap),
+                       row_bytes_);
+        nref.page->header().lsn =
+            wal_.logSetExtra(kStructuralTxn, fresh, kInvalidPage);
+        pool_.release(nref, true);
+
+        ref.page->header().extra = fresh;
+        ref.page->header().lsn =
+            wal_.logSetExtra(kStructuralTxn, tail_, fresh);
+        pool_.release(ref, true);
+        tail_ = fresh;
+        ++num_pages_;
+        ref = pool_.fetch(tail_);
+    }
+    std::uint16_t slot = ref.page->appendSlot(row);
+    touchRow(ref, slot);
+    ref.page->header().lsn =
+        wal_.logAppend(txn, tail_, row, row_bytes_);
+    pool_.release(ref, true);
+    return {tail_, slot};
+}
+
+void
+HeapTable::fetch(RowId rid, void* out)
+{
+    FrameRef ref = pool_.fetch(rid.page);
+    SPIKESIM_ASSERT(rid.slot < ref.page->header().num_slots,
+                    "fetch of missing row");
+    std::memcpy(out, ref.page->slot(rid.slot), row_bytes_);
+    touchRow(ref, rid.slot);
+    pool_.release(ref, false);
+}
+
+void
+HeapTable::touchRow(const FrameRef& ref, std::uint16_t slot)
+{
+    if (hooks_ == nullptr)
+        return;
+    // The row's cache lines within the (simulated) frame.
+    std::uint64_t first = ref.sim_addr + 64 +
+                          static_cast<std::uint64_t>(slot) * row_bytes_;
+    for (std::uint64_t a = first & ~63ull; a < first + row_bytes_;
+         a += 64)
+        hooks_->onData(a);
+}
+
+void
+HeapTable::update(TxnId txn, RowId rid, const void* row)
+{
+    if (hooks_ != nullptr) {
+        int words = row_bytes_ / 8;
+        hooks_->onOp("heap_update", {&words, 1});
+    }
+    FrameRef ref = pool_.fetch(rid.page);
+    SPIKESIM_ASSERT(rid.slot < ref.page->header().num_slots,
+                    "update of missing row");
+    std::vector<std::uint8_t> before(row_bytes_);
+    std::memcpy(before.data(), ref.page->slot(rid.slot), row_bytes_);
+    std::memcpy(ref.page->slot(rid.slot), row, row_bytes_);
+    touchRow(ref, rid.slot);
+    ref.page->header().lsn = wal_.logUpdate(txn, rid.page, rid.slot, row,
+                                            before.data(), row_bytes_);
+    pool_.release(ref, true);
+}
+
+void
+HeapTable::scan(const std::function<void(RowId, const void*)>& fn)
+{
+    PageId cur = first_;
+    while (cur != kInvalidPage) {
+        FrameRef ref = pool_.fetch(cur);
+        for (std::uint16_t s = 0; s < ref.page->header().num_slots; ++s)
+            fn({cur, s}, ref.page->slot(s));
+        PageId next = static_cast<PageId>(ref.page->header().extra);
+        pool_.release(ref, false);
+        cur = next;
+    }
+}
+
+std::uint64_t
+HeapTable::numRows()
+{
+    std::uint64_t n = 0;
+    scan([&](RowId, const void*) { ++n; });
+    return n;
+}
+
+} // namespace spikesim::db

@@ -1,0 +1,73 @@
+#ifndef SPIKESIM_DB_HEAP_HH
+#define SPIKESIM_DB_HEAP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "db/bufferpool.hh"
+#include "db/types.hh"
+#include "db/wal.hh"
+
+/**
+ * @file
+ * Heap table: fixed-width rows appended into a chain of pages (linked
+ * through the page `extra` field). Inserts fill the tail page and
+ * allocate a new one when full; updates overwrite rows in place with
+ * before/after images logged for redo and rollback.
+ */
+
+namespace spikesim::db {
+
+class PageAllocator;
+
+/** Append-oriented table of fixed-width rows. */
+class HeapTable
+{
+  public:
+    /** Create a new table: formats its first page. */
+    static HeapTable create(BufferPool& pool, Wal& wal,
+                            PageAllocator& alloc, std::uint16_t row_bytes,
+                            EngineHooks* hooks = nullptr);
+
+    /** Reopen an existing table from its first page. */
+    static HeapTable open(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+                          PageId first_page, EngineHooks* hooks = nullptr);
+
+    /** Append a row; returns where it landed. */
+    RowId insert(TxnId txn, const void* row);
+
+    /** Read a row. */
+    void fetch(RowId rid, void* out);
+
+    /** Overwrite a row in place. */
+    void update(TxnId txn, RowId rid, const void* row);
+
+    /** Visit every row in insertion order. */
+    void scan(const std::function<void(RowId, const void*)>& fn);
+
+    std::uint64_t numRows();
+    PageId firstPage() const { return first_; }
+    std::uint16_t rowBytes() const { return row_bytes_; }
+    std::uint64_t numPages() const { return num_pages_; }
+
+  private:
+    HeapTable(BufferPool& pool, Wal& wal, PageAllocator& alloc,
+              std::uint16_t row_bytes, EngineHooks* hooks);
+
+    /** Report the data lines of one row to the simulation hooks. */
+    void touchRow(const FrameRef& ref, std::uint16_t slot);
+
+    BufferPool& pool_;
+    Wal& wal_;
+    PageAllocator& alloc_;
+    EngineHooks* hooks_;
+    std::uint16_t row_bytes_;
+    PageId first_ = kInvalidPage;
+    PageId tail_ = kInvalidPage;
+    std::uint64_t num_pages_ = 0;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_HEAP_HH

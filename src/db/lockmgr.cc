@@ -1,0 +1,150 @@
+#include "db/lockmgr.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+bool
+LockManager::conflicts(const LockState& s, TxnId txn, LockMode mode)
+{
+    if (s.holders.empty())
+        return false;
+    bool held_by_self_only =
+        s.holders.size() == 1 && s.holders[0] == txn;
+    if (held_by_self_only)
+        return false; // upgrade handled by caller path
+    if (mode == LockMode::Shared && s.mode == LockMode::Shared)
+        return false;
+    // Exclusive request, or shared request against exclusive holder:
+    // conflict unless the only other holder is us (covered above).
+    for (TxnId h : s.holders)
+        if (h != txn)
+            return true;
+    return false;
+}
+
+bool
+LockManager::wouldDeadlock(TxnId txn, const LockState& s) const
+{
+    // DFS over the wait-for graph starting from the blockers; a path
+    // back to `txn` means adding the wait edge closes a cycle.
+    std::vector<TxnId> stack;
+    std::unordered_set<TxnId> seen;
+    for (TxnId h : s.holders)
+        if (h != txn)
+            stack.push_back(h);
+    while (!stack.empty()) {
+        TxnId cur = stack.back();
+        stack.pop_back();
+        if (cur == txn)
+            return true;
+        if (!seen.insert(cur).second)
+            continue;
+        auto it = wait_for_.find(cur);
+        if (it == wait_for_.end())
+            continue;
+        for (TxnId next : it->second)
+            stack.push_back(next);
+    }
+    return false;
+}
+
+LockResult
+LockManager::acquire(TxnId txn, const LockName& name, LockMode mode)
+{
+    LockState& s = table_[name];
+
+    // Already held by us?
+    bool mine = std::find(s.holders.begin(), s.holders.end(), txn) !=
+                s.holders.end();
+    if (mine) {
+        if (mode == LockMode::Shared || s.mode == LockMode::Exclusive) {
+            ++grants_;
+            cancelWait(txn);
+            return LockResult::Granted;
+        }
+        // Upgrade shared -> exclusive: possible only if sole holder.
+        if (s.holders.size() == 1) {
+            s.mode = LockMode::Exclusive;
+            ++grants_;
+            cancelWait(txn);
+            return LockResult::Granted;
+        }
+    }
+
+    if (conflicts(s, txn, mode) ||
+        (mine && mode == LockMode::Exclusive)) {
+        ++conflicts_;
+        if (wouldDeadlock(txn, s)) {
+            ++deadlocks_;
+            return LockResult::Deadlock;
+        }
+        auto& waits = wait_for_[txn];
+        for (TxnId h : s.holders)
+            if (h != txn)
+                waits.insert(h);
+        return LockResult::WouldWait;
+    }
+
+    if (!mine) {
+        s.holders.push_back(txn);
+        held_[txn].push_back(name);
+    }
+    if (mode == LockMode::Exclusive)
+        s.mode = LockMode::Exclusive;
+    else if (s.holders.size() == 1 && !mine)
+        s.mode = mode;
+    ++grants_;
+    cancelWait(txn);
+    return LockResult::Granted;
+}
+
+void
+LockManager::cancelWait(TxnId txn)
+{
+    wait_for_.erase(txn);
+}
+
+void
+LockManager::releaseAll(TxnId txn)
+{
+    cancelWait(txn);
+    auto it = held_.find(txn);
+    if (it == held_.end())
+        return;
+    for (const LockName& name : it->second) {
+        auto lt = table_.find(name);
+        if (lt == table_.end())
+            continue;
+        auto& holders = lt->second.holders;
+        std::size_t before = holders.size();
+        holders.erase(std::remove(holders.begin(), holders.end(), txn),
+                      holders.end());
+        if (holders.empty()) {
+            table_.erase(lt);
+        } else if (holders.size() != before) {
+            // Remaining holders can only be shared readers.
+            lt->second.mode = LockMode::Shared;
+        }
+    }
+    held_.erase(it);
+}
+
+bool
+LockManager::holds(TxnId txn, const LockName& name, LockMode mode) const
+{
+    auto it = table_.find(name);
+    if (it == table_.end())
+        return false;
+    const LockState& s = it->second;
+    if (std::find(s.holders.begin(), s.holders.end(), txn) ==
+        s.holders.end())
+        return false;
+    if (mode == LockMode::Exclusive)
+        return s.mode == LockMode::Exclusive;
+    return true;
+}
+
+} // namespace spikesim::db

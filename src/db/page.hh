@@ -1,0 +1,166 @@
+#ifndef SPIKESIM_DB_PAGE_HH
+#define SPIKESIM_DB_PAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "db/types.hh"
+#include "support/panic.hh"
+
+/**
+ * @file
+ * Fixed-size database page with a small header and a slot area for
+ * fixed-width records. Both the heap tables and the B+tree nodes store
+ * their payloads in pages so that everything flows through the buffer
+ * pool and write-ahead log like a real engine.
+ */
+
+namespace spikesim::db {
+
+/** What a page stores. */
+enum class PageType : std::uint8_t {
+    Free = 0,
+    Heap,
+    BtreeInner,
+    BtreeLeaf,
+    Meta,
+};
+
+/** On-"disk" page image. */
+class Page
+{
+  public:
+    struct Header
+    {
+        PageId id = kInvalidPage;
+        Lsn lsn = 0;
+        PageType type = PageType::Free;
+        std::uint16_t num_slots = 0;
+        std::uint16_t slot_bytes = 0;
+        /** Structure-specific field: next-leaf pointer for B+tree
+         *  leaves, next-page link for heap pages. */
+        std::uint64_t extra = 0;
+    };
+
+    Page() { std::memset(payload_.data(), 0, payload_.size()); }
+
+    Header& header() { return header_; }
+    const Header& header() const { return header_; }
+
+    /** Configure the slot geometry (once, when formatting the page). */
+    void
+    format(PageId id, PageType type, std::uint16_t slot_bytes)
+    {
+        SPIKESIM_ASSERT(slot_bytes > 0 && slot_bytes <= kPayloadBytes,
+                        "bad slot size " << slot_bytes);
+        header_.id = id;
+        header_.type = type;
+        header_.slot_bytes = slot_bytes;
+        header_.num_slots = 0;
+    }
+
+    /** Max slots the geometry allows. */
+    std::uint16_t
+    capacity() const
+    {
+        return static_cast<std::uint16_t>(kPayloadBytes /
+                                          header_.slot_bytes);
+    }
+
+    bool full() const { return header_.num_slots >= capacity(); }
+
+    /** Raw bytes of a slot (read/write). */
+    std::uint8_t*
+    slot(std::uint16_t s)
+    {
+        SPIKESIM_ASSERT(s < capacity(), "slot out of range");
+        return payload_.data() +
+               static_cast<std::size_t>(s) * header_.slot_bytes;
+    }
+
+    const std::uint8_t*
+    slot(std::uint16_t s) const
+    {
+        SPIKESIM_ASSERT(s < capacity(), "slot out of range");
+        return payload_.data() +
+               static_cast<std::size_t>(s) * header_.slot_bytes;
+    }
+
+    /** Append a slot; returns its index. Page must not be full. */
+    std::uint16_t
+    appendSlot(const void* bytes)
+    {
+        SPIKESIM_ASSERT(!full(), "append to full page " << header_.id);
+        std::uint16_t s = header_.num_slots++;
+        std::memcpy(slot(s), bytes, header_.slot_bytes);
+        return s;
+    }
+
+    /** Insert a slot at position `s`, shifting later slots up. */
+    void
+    insertSlotAt(std::uint16_t s, const void* bytes)
+    {
+        SPIKESIM_ASSERT(!full(), "insert into full page " << header_.id);
+        SPIKESIM_ASSERT(s <= header_.num_slots, "insert past end");
+        std::uint16_t n = header_.num_slots;
+        if (s < n)
+            std::memmove(slot(s) + header_.slot_bytes, slot(s),
+                         static_cast<std::size_t>(n - s) *
+                             header_.slot_bytes);
+        ++header_.num_slots;
+        std::memcpy(slot(s), bytes, header_.slot_bytes);
+    }
+
+    /** Remove the slot at position `s`, shifting later slots down. */
+    void
+    removeSlotAt(std::uint16_t s)
+    {
+        SPIKESIM_ASSERT(s < header_.num_slots, "remove of missing slot");
+        std::uint16_t n = header_.num_slots;
+        if (s + 1 < n)
+            std::memmove(slot(s), slot(s) + header_.slot_bytes,
+                         static_cast<std::size_t>(n - s - 1) *
+                             header_.slot_bytes);
+        --header_.num_slots;
+    }
+
+    /** Truncate to the first `n` slots (B+tree splits). */
+    void
+    setSlotCount(std::uint16_t n)
+    {
+        SPIKESIM_ASSERT(n <= capacity(), "slot count beyond capacity");
+        header_.num_slots = n;
+    }
+
+    /** Read a fixed-width record out of a slot. */
+    template <typename T>
+    void
+    readSlot(std::uint16_t s, T& out) const
+    {
+        SPIKESIM_ASSERT(sizeof(T) <= header_.slot_bytes,
+                        "record larger than slot");
+        std::memcpy(&out, slot(s), sizeof(T));
+    }
+
+    /** Write a fixed-width record into an existing slot. */
+    template <typename T>
+    void
+    writeSlot(std::uint16_t s, const T& in)
+    {
+        SPIKESIM_ASSERT(sizeof(T) <= header_.slot_bytes,
+                        "record larger than slot");
+        SPIKESIM_ASSERT(s < header_.num_slots, "write to missing slot");
+        std::memcpy(slot(s), &in, sizeof(T));
+    }
+
+    static constexpr std::uint32_t kPayloadBytes = kPageBytes - 64;
+
+  private:
+    Header header_;
+    std::array<std::uint8_t, kPayloadBytes> payload_;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_PAGE_HH

@@ -1,0 +1,173 @@
+#include "db/recovery.hh"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "db/page.hh"
+#include "db/wal.hh"
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+namespace {
+
+/** Apply one redo record to its page. Returns true if applied. */
+bool
+redoRecord(BufferPool& pool, const WalRecord& rec)
+{
+    const WalRecordHeader& h = rec.hdr;
+    if (h.page == kInvalidPage)
+        return false; // Begin/Commit/Abort carry no page change
+    FrameRef ref = pool.fetch(h.page);
+    Page& page = *ref.page;
+    bool applied = false;
+    // Format must apply to unformatted pages regardless of LSN (a
+    // fresh page reads back with lsn 0 but also with no geometry).
+    if (h.kind == WalKind::Format) {
+        if (page.header().type == PageType::Free) {
+            page.format(h.page, static_cast<PageType>(h.aux),
+                        static_cast<std::uint16_t>(h.aux64));
+            page.header().lsn = h.lsn;
+            applied = true;
+        }
+    } else if (page.header().lsn < h.lsn) {
+        switch (h.kind) {
+          case WalKind::Append:
+            page.appendSlot(rec.payload.data());
+            break;
+          case WalKind::Update: {
+            std::uint16_t len =
+                static_cast<std::uint16_t>(rec.payload.size() / 2);
+            SPIKESIM_ASSERT(h.aux < page.header().num_slots,
+                            "redo update of missing slot");
+            std::memcpy(page.slot(static_cast<std::uint16_t>(h.aux)),
+                        rec.payload.data(), len);
+            break;
+          }
+          case WalKind::InsertAt:
+            page.insertSlotAt(static_cast<std::uint16_t>(h.aux),
+                              rec.payload.data());
+            break;
+          case WalKind::RemoveAt:
+            page.removeSlotAt(static_cast<std::uint16_t>(h.aux));
+            break;
+          case WalKind::SetSlotCount:
+            page.setSlotCount(static_cast<std::uint16_t>(h.aux));
+            break;
+          case WalKind::SetExtra:
+            page.header().extra = h.aux64;
+            break;
+          default:
+            SPIKESIM_PANIC("unexpected redo record kind");
+        }
+        page.header().lsn = h.lsn;
+        applied = true;
+    }
+    pool.release(ref, applied);
+    return applied;
+}
+
+} // namespace
+
+RecoveryResult
+recover(SimDisk& disk, BufferPool& pool)
+{
+    RecoveryResult result;
+    std::vector<WalRecord> records = Wal::readAll(disk);
+    result.records_scanned = records.size();
+
+    // Pass 1: find winners (committed transactions).
+    std::unordered_set<TxnId> committed;
+    std::unordered_set<TxnId> seen;
+    for (const WalRecord& rec : records) {
+        const WalRecordHeader& h = rec.hdr;
+        if (h.txn != kStructuralTxn)
+            seen.insert(h.txn);
+        if (h.kind == WalKind::Commit)
+            committed.insert(h.txn);
+        if (h.txn > result.max_txn)
+            result.max_txn = h.txn;
+        if (h.page != kInvalidPage && h.page > result.max_page)
+            result.max_page = h.page;
+        if (h.lsn > result.max_lsn)
+            result.max_lsn = h.lsn;
+    }
+    result.txns_committed = committed.size();
+
+    // Pass 2: redo structural records and winners, in LSN order.
+    for (const WalRecord& rec : records) {
+        const WalRecordHeader& h = rec.hdr;
+        bool winner =
+            h.txn == kStructuralTxn || committed.count(h.txn) != 0;
+        if (!winner)
+            continue;
+        if (redoRecord(pool, rec))
+            ++result.records_redone;
+    }
+
+    // Pass 3: undo losers newest-first. Their redo records were
+    // skipped, so the only loser effects that can be present are dirty
+    // pages that reached disk before the crash; before-images repair
+    // updates, and content-guarded removal repairs inserts.
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+        const WalRecordHeader& h = it->hdr;
+        if (h.txn == kStructuralTxn || committed.count(h.txn) != 0)
+            continue;
+        if (h.page == kInvalidPage)
+            continue;
+        FrameRef ref = pool.fetch(h.page);
+        Page& page = *ref.page;
+        bool applied = false;
+        switch (h.kind) {
+          case WalKind::Update: {
+            std::uint16_t len =
+                static_cast<std::uint16_t>(it->payload.size() / 2);
+            auto slot = static_cast<std::uint16_t>(h.aux);
+            if (slot < page.header().num_slots &&
+                std::memcmp(page.slot(slot), it->payload.data(), len) ==
+                    0) {
+                // Page shows the loser's after-image: restore before.
+                std::memcpy(page.slot(slot), it->payload.data() + len,
+                            len);
+                applied = true;
+            }
+            break;
+          }
+          case WalKind::Append: {
+            std::uint16_t n = page.header().num_slots;
+            if (n > 0 &&
+                std::memcmp(page.slot(static_cast<std::uint16_t>(n - 1)),
+                            it->payload.data(),
+                            it->payload.size()) == 0) {
+                page.removeSlotAt(static_cast<std::uint16_t>(n - 1));
+                applied = true;
+            }
+            break;
+          }
+          case WalKind::InsertAt: {
+            auto slot = static_cast<std::uint16_t>(h.aux);
+            if (slot < page.header().num_slots &&
+                std::memcmp(page.slot(slot), it->payload.data(),
+                            it->payload.size()) == 0) {
+                page.removeSlotAt(slot);
+                applied = true;
+            }
+            break;
+          }
+          default:
+            break; // loser RemoveAt/structural kinds: nothing to undo
+        }
+        if (applied) {
+            page.header().lsn = result.max_lsn + 1;
+            ++result.records_undone;
+        }
+        pool.release(ref, applied);
+    }
+
+    for (TxnId t : seen)
+        if (committed.count(t) == 0)
+            ++result.txns_lost;
+    return result;
+}
+
+} // namespace spikesim::db

@@ -1,0 +1,43 @@
+#ifndef SPIKESIM_DB_RECOVERY_HH
+#define SPIKESIM_DB_RECOVERY_HH
+
+#include <cstdint>
+
+#include "db/bufferpool.hh"
+#include "db/disk.hh"
+#include "db/types.hh"
+
+/**
+ * @file
+ * Crash recovery: redo of the write-ahead log. Structural records
+ * (txn 0) and records of committed transactions are re-applied in LSN
+ * order, guarded by page LSNs for idempotence; updates of transactions
+ * with no commit record are then rolled back from their logged
+ * before-images (losers whose dirty pages reached disk).
+ */
+
+namespace spikesim::db {
+
+/** What recovery found and did. */
+struct RecoveryResult
+{
+    std::uint64_t records_scanned = 0;
+    std::uint64_t records_redone = 0;
+    std::uint64_t records_undone = 0;
+    std::uint64_t txns_committed = 0;
+    std::uint64_t txns_lost = 0;
+    TxnId max_txn = 0;
+    PageId max_page = 0;
+    Lsn max_lsn = 0;
+};
+
+/**
+ * Replay the disk's log into pages through the buffer pool. The caller
+ * should flushAll() afterwards (or keep running; the pool holds the
+ * recovered state either way).
+ */
+RecoveryResult recover(SimDisk& disk, BufferPool& pool);
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_RECOVERY_HH

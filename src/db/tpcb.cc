@@ -1,0 +1,293 @@
+#include "db/tpcb.hh"
+
+#include <cstring>
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+namespace {
+/** Lock spaces (table ids for LockName). */
+constexpr std::uint32_t kAccountSpace = 1;
+constexpr std::uint32_t kTellerSpace = 2;
+constexpr std::uint32_t kBranchSpace = 3;
+} // namespace
+
+TpcbDatabase::TpcbDatabase(const TpcbConfig& config, EngineHooks* hooks)
+    : config_(config),
+      hooks_(hooks),
+      rng_(config.seed, 0x7bcb5ULL),
+      alloc_(1),
+      branch_last_write_(static_cast<std::size_t>(config.branches),
+                         ~0ULL)
+{
+    pool_ = std::make_unique<BufferPool>(disk_, config.buffer_frames,
+                                         hooks);
+    wal_ = std::make_unique<Wal>(disk_, config.wal, hooks);
+    txns_ = std::make_unique<TransactionManager>(*wal_, locks_, *pool_,
+                                                 hooks);
+    // Enforce the write-ahead rule: the log reaches disk before any
+    // page that depends on it.
+    pool_->setWalBarrier([this](Lsn lsn) {
+        if (lsn > wal_->flushedLsn())
+            wal_->flush();
+    });
+}
+
+void
+TpcbDatabase::setup()
+{
+    // Create all tables and indexes first so their anchor/first pages
+    // get small deterministic ids (reopen after recovery relies on the
+    // remembered ids).
+    accounts_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(AccountRow), hooks_));
+    tellers_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(TellerRow), hooks_));
+    branches_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(BranchRow), hooks_));
+    history_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(HistoryRow), hooks_));
+    accounts_first_ = accounts_->firstPage();
+    tellers_first_ = tellers_->firstPage();
+    branches_first_ = branches_->firstPage();
+    history_first_ = history_->firstPage();
+
+    account_anchor_ = alloc_.alloc();
+    account_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, account_anchor_, hooks_));
+    teller_anchor_ = alloc_.alloc();
+    teller_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, teller_anchor_, hooks_));
+    branch_anchor_ = alloc_.alloc();
+    branch_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, branch_anchor_, hooks_));
+
+    // Populate: branches, tellers, accounts (ids are dense).
+    TxnId txn = txns_->begin();
+    for (std::int64_t b = 0; b < config_.branches; ++b) {
+        BranchRow row{};
+        row.id = b;
+        row.balance = 0;
+        RowId rid = branches_->insert(txn, &row);
+        branch_idx_->insert(txn, b, rid);
+    }
+    for (std::int64_t t = 0; t < numTellers(); ++t) {
+        TellerRow row{};
+        row.id = t;
+        row.branch = t / config_.tellers_per_branch;
+        row.balance = 0;
+        RowId rid = tellers_->insert(txn, &row);
+        teller_idx_->insert(txn, t, rid);
+    }
+    for (std::int64_t a = 0; a < numAccounts(); ++a) {
+        AccountRow row{};
+        row.id = a;
+        row.branch = a / config_.accounts_per_branch;
+        row.balance = 0;
+        RowId rid = accounts_->insert(txn, &row);
+        account_idx_->insert(txn, a, rid);
+    }
+    txns_->commit(txn);
+    checkpoint();
+}
+
+template <typename Row>
+void
+TpcbDatabase::updateBalance(TxnId txn, BTree& index, HeapTable& table,
+                            std::uint32_t lock_space, std::int64_t key,
+                            std::int64_t delta, bool hot_branch)
+{
+    if (hooks_ != nullptr)
+        hooks_->onOp("sql_exec_update");
+    std::optional<RowId> rid = index.search(key);
+    SPIKESIM_ASSERT(rid.has_value(),
+                    "missing row " << key << " in space " << lock_space);
+
+    // Lock the row. Execution is serial, so the real lock manager
+    // always grants; the hot-branch contention model decides whether
+    // the code path is the fast grant or the wait-and-retry path.
+    last_update_waited_ = false;
+    if (hot_branch) {
+        if (hooks_ != nullptr) {
+            hooks_->onOp("lock_acquire_wait");
+            hooks_->onSyscall("sys_poll");
+        }
+        last_update_waited_ = true;
+    } else if (hooks_ != nullptr) {
+        hooks_->onOp("lock_acquire_fast");
+    }
+    if (hooks_ != nullptr) {
+        // The lock table bucket in shared memory.
+        std::uint64_t bucket =
+            (static_cast<std::uint64_t>(key) * 0x9e3779b9u +
+             lock_space) %
+            16384;
+        hooks_->onData(addrmap::kSgaBase + bucket * 64);
+    }
+    LockResult lr = locks_.acquire(
+        txn, {lock_space, static_cast<std::uint64_t>(key)},
+        LockMode::Exclusive);
+    SPIKESIM_ASSERT(lr == LockResult::Granted,
+                    "unexpected lock conflict in serial execution");
+
+    Row row;
+    table.fetch(*rid, &row);
+    row.balance += delta;
+    table.update(txn, *rid, &row);
+}
+
+TpcbOutcome
+TpcbDatabase::runTransaction(std::uint16_t process)
+{
+    SPIKESIM_ASSERT(accounts_ != nullptr, "setup() was not called");
+    ++txn_seq_;
+
+    // TPC-B selection: uniform teller; account in the teller's branch
+    // (85%) or any other branch (15%); delta in [-999999, 999999].
+    std::int64_t teller = rng_.nextRange(0, numTellers() - 1);
+    std::int64_t branch = teller / config_.tellers_per_branch;
+    std::int64_t account;
+    if (config_.branches > 1 &&
+        rng_.nextBool(config_.remote_account_prob)) {
+        std::int64_t other =
+            rng_.nextRange(0, config_.branches - 2);
+        if (other >= branch)
+            ++other;
+        account = other * config_.accounts_per_branch +
+                  rng_.nextRange(0, config_.accounts_per_branch - 1);
+    } else {
+        account = branch * config_.accounts_per_branch +
+                  rng_.nextRange(0, config_.accounts_per_branch - 1);
+    }
+    std::int64_t delta = rng_.nextRange(-999'999, 999'999);
+
+    if (hooks_ != nullptr) {
+        hooks_->onSyscall("sys_ipc"); // socket receive
+        hooks_->onOp("net_recv");
+        // Request parsing and cursor state live in the process-private
+        // work area (hot lines, mostly L1 hits after warmup).
+        for (int line = 0; line < 24; ++line)
+            hooks_->onData(addrmap::pga(process) +
+                           static_cast<std::uint64_t>(line) * 64);
+        // Cold-start statements occasionally re-resolve metadata.
+        if (rng_.nextBool(0.02))
+            hooks_->onOp("catalog_lookup");
+    }
+
+    TxnId txn = txns_->begin();
+    TpcbOutcome out;
+    out.txn = txn;
+    out.account = account;
+    out.teller = teller;
+    out.branch = branch;
+    out.delta = delta;
+
+    // Hot-branch contention: a branch written again within the window
+    // takes the wait path.
+    auto bidx = static_cast<std::size_t>(branch);
+    bool hot = branch_last_write_[bidx] != ~0ULL &&
+               txn_seq_ - branch_last_write_[bidx] <=
+                   config_.contention_window;
+    branch_last_write_[bidx] = txn_seq_;
+
+    updateBalance<AccountRow>(txn, *account_idx_, *accounts_,
+                              kAccountSpace, account, delta, false);
+    updateBalance<TellerRow>(txn, *teller_idx_, *tellers_, kTellerSpace,
+                             teller, delta, false);
+    updateBalance<BranchRow>(txn, *branch_idx_, *branches_, kBranchSpace,
+                             branch, delta, hot);
+    out.lock_waited = last_update_waited_;
+
+    if (hooks_ != nullptr)
+        hooks_->onOp("sql_exec_insert");
+    HistoryRow h{};
+    h.account = account;
+    h.teller = teller;
+    h.branch = branch;
+    h.delta = delta;
+    h.txn = static_cast<std::int64_t>(txn);
+    history_->insert(txn, &h);
+
+    txns_->commit(txn);
+    out.flush_leader = wal_->flushedLsn() >= wal_->currentLsn();
+
+    if (hooks_ != nullptr) {
+        hooks_->onOp("net_reply");
+        hooks_->onSyscall("sys_ipc"); // socket send
+    }
+    return out;
+}
+
+void
+TpcbDatabase::checkpoint()
+{
+    wal_->flush();
+    pool_->flushAll();
+}
+
+void
+TpcbDatabase::crash()
+{
+    pool_->dropAll();
+    wal_->discardBuffer();
+}
+
+RecoveryResult
+TpcbDatabase::recover()
+{
+    RecoveryResult result = spikesim::db::recover(disk_, *pool_);
+    alloc_.seed(result.max_page + 1);
+    txns_->seedNextTxn(result.max_txn + 1);
+    // Reopen tables and indexes from their remembered first/anchor
+    // pages.
+    accounts_ = std::make_unique<HeapTable>(HeapTable::open(
+        *pool_, *wal_, alloc_, accounts_first_, hooks_));
+    tellers_ = std::make_unique<HeapTable>(HeapTable::open(
+        *pool_, *wal_, alloc_, tellers_first_, hooks_));
+    branches_ = std::make_unique<HeapTable>(HeapTable::open(
+        *pool_, *wal_, alloc_, branches_first_, hooks_));
+    history_ = std::make_unique<HeapTable>(HeapTable::open(
+        *pool_, *wal_, alloc_, history_first_, hooks_));
+    account_idx_ = std::make_unique<BTree>(
+        BTree::open(*pool_, *wal_, alloc_, account_anchor_, hooks_));
+    teller_idx_ = std::make_unique<BTree>(
+        BTree::open(*pool_, *wal_, alloc_, teller_anchor_, hooks_));
+    branch_idx_ = std::make_unique<BTree>(
+        BTree::open(*pool_, *wal_, alloc_, branch_anchor_, hooks_));
+    return result;
+}
+
+std::string
+TpcbDatabase::verify()
+{
+    std::int64_t acc = 0, tel = 0, br = 0, hist = 0;
+    accounts_->scan([&](RowId, const void* p) {
+        AccountRow r;
+        std::memcpy(&r, p, sizeof(r));
+        acc += r.balance;
+    });
+    tellers_->scan([&](RowId, const void* p) {
+        TellerRow r;
+        std::memcpy(&r, p, sizeof(r));
+        tel += r.balance;
+    });
+    branches_->scan([&](RowId, const void* p) {
+        BranchRow r;
+        std::memcpy(&r, p, sizeof(r));
+        br += r.balance;
+    });
+    history_->scan([&](RowId, const void* p) {
+        HistoryRow r;
+        std::memcpy(&r, p, sizeof(r));
+        hist += r.delta;
+    });
+    if (acc != br || tel != br || hist != br)
+        return "balance mismatch: accounts=" + std::to_string(acc) +
+               " tellers=" + std::to_string(tel) +
+               " branches=" + std::to_string(br) +
+               " history=" + std::to_string(hist);
+    return "";
+}
+
+} // namespace spikesim::db

@@ -1,0 +1,193 @@
+#ifndef SPIKESIM_DB_TPCB_HH
+#define SPIKESIM_DB_TPCB_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "db/btree.hh"
+#include "db/bufferpool.hh"
+#include "db/disk.hh"
+#include "db/heap.hh"
+#include "db/lockmgr.hh"
+#include "db/recovery.hh"
+#include "db/txn.hh"
+#include "db/types.hh"
+#include "db/wal.hh"
+#include "support/rng.hh"
+
+/**
+ * @file
+ * TPC-B banking workload on top of the engine: branches, tellers,
+ * accounts and a history table, with B+tree indexes on the three
+ * keyed tables. Each transaction updates one account, its teller and
+ * branch balances, and appends a history row — the classic debit/credit
+ * transaction the paper's OLTP workload models. The driver also owns
+ * the contention model that decides when a lock acquisition takes the
+ * slow (wait) code path.
+ */
+
+namespace spikesim::db {
+
+/** Scale and tuning parameters. */
+struct TpcbConfig
+{
+    int branches = 40;
+    int tellers_per_branch = 10;
+    int accounts_per_branch = 2'500;
+    std::uint32_t buffer_frames = 1'400;
+    std::uint64_t seed = 7;
+    /** Probability the chosen account belongs to a different branch
+     *  than the teller (TPC-B remote transactions). */
+    double remote_account_prob = 0.15;
+    /** A branch updated again within this many transactions takes the
+     *  lock-wait path (stand-in for real inter-process contention). */
+    std::uint64_t contention_window = 8;
+    Wal::Config wal;
+};
+
+/** Result of one TPC-B transaction. */
+struct TpcbOutcome
+{
+    TxnId txn = 0;
+    std::int64_t account = 0;
+    std::int64_t teller = 0;
+    std::int64_t branch = 0;
+    std::int64_t delta = 0;
+    bool lock_waited = false;
+    bool flush_leader = false;
+};
+
+/** TPC-B rows: the spec's 100 bytes, rounded to 104 for alignment. */
+struct AccountRow
+{
+    std::int64_t id;
+    std::int64_t branch;
+    std::int64_t balance;
+    char pad[80];
+};
+struct TellerRow
+{
+    std::int64_t id;
+    std::int64_t branch;
+    std::int64_t balance;
+    char pad[80];
+};
+struct BranchRow
+{
+    std::int64_t id;
+    std::int64_t balance;
+    char pad[88];
+};
+struct HistoryRow
+{
+    std::int64_t account;
+    std::int64_t teller;
+    std::int64_t branch;
+    std::int64_t delta;
+    std::int64_t txn;
+    char pad[64];
+};
+static_assert(sizeof(AccountRow) == 104 && sizeof(TellerRow) == 104 &&
+                  sizeof(BranchRow) == 104 && sizeof(HistoryRow) == 104,
+              "TPC-B rows are ~100 bytes (104 with alignment)");
+
+/** The database instance running the TPC-B workload. */
+class TpcbDatabase
+{
+  public:
+    /**
+     * @param config scale parameters.
+     * @param hooks simulation hooks (borrowed; may be null for tests).
+     */
+    explicit TpcbDatabase(const TpcbConfig& config,
+                          EngineHooks* hooks = nullptr);
+
+    /** Create tables/indexes and load the initial rows. */
+    void setup();
+
+    /** Execute one TPC-B transaction for the given client process. */
+    TpcbOutcome runTransaction(std::uint16_t process);
+
+    /** Force log + dirty pages to disk. */
+    void checkpoint();
+
+    /** Drop all volatile state (buffer pool, unflushed log). */
+    void crash();
+
+    /** Redo/undo from the log and reopen the tables. */
+    RecoveryResult recover();
+
+    /**
+     * Consistency check: account, teller, and branch balance sums must
+     * all equal the sum of history deltas. Empty string when holding.
+     */
+    std::string verify();
+
+    std::int64_t numAccounts() const
+    {
+        return static_cast<std::int64_t>(config_.branches) *
+               config_.accounts_per_branch;
+    }
+    std::int64_t numTellers() const
+    {
+        return static_cast<std::int64_t>(config_.branches) *
+               config_.tellers_per_branch;
+    }
+
+    BufferPool& pool() { return *pool_; }
+    Wal& wal() { return *wal_; }
+    LockManager& locks() { return locks_; }
+    TransactionManager& txns() { return *txns_; }
+    BTree& accountIndex() { return *account_idx_; }
+    HeapTable& accounts() { return *accounts_; }
+    HeapTable& history() { return *history_; }
+    EngineHooks* hooks() { return hooks_; }
+    SimDisk& disk() { return disk_; }
+    const TpcbConfig& config() const { return config_; }
+    std::uint64_t transactionsRun() const { return txn_seq_; }
+
+  private:
+    /** Look up + lock + apply a balance delta to one indexed row. */
+    template <typename Row>
+    void updateBalance(TxnId txn, BTree& index, HeapTable& table,
+                       std::uint32_t lock_space, std::int64_t key,
+                       std::int64_t delta, bool hot_branch);
+
+    TpcbConfig config_;
+    EngineHooks* hooks_;
+    support::Pcg32 rng_;
+    SimDisk disk_;
+    std::unique_ptr<BufferPool> pool_;
+    std::unique_ptr<Wal> wal_;
+    LockManager locks_;
+    std::unique_ptr<TransactionManager> txns_;
+    PageAllocator alloc_;
+
+    std::unique_ptr<HeapTable> accounts_;
+    std::unique_ptr<HeapTable> tellers_;
+    std::unique_ptr<HeapTable> branches_;
+    std::unique_ptr<HeapTable> history_;
+    std::unique_ptr<BTree> account_idx_;
+    std::unique_ptr<BTree> teller_idx_;
+    std::unique_ptr<BTree> branch_idx_;
+
+    /** First pages / anchors, remembered for reopen after recovery. */
+    PageId accounts_first_ = kInvalidPage;
+    PageId tellers_first_ = kInvalidPage;
+    PageId branches_first_ = kInvalidPage;
+    PageId history_first_ = kInvalidPage;
+    PageId account_anchor_ = kInvalidPage;
+    PageId teller_anchor_ = kInvalidPage;
+    PageId branch_anchor_ = kInvalidPage;
+
+    /** Contention model state: branch -> last txn sequence that wrote. */
+    std::vector<std::uint64_t> branch_last_write_;
+    std::uint64_t txn_seq_ = 0;
+    bool last_update_waited_ = false;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_TPCB_HH

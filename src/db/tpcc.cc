@@ -1,0 +1,413 @@
+#include "db/tpcc.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+namespace {
+/** Lock spaces. */
+constexpr std::uint32_t kWarehouseSpace = 10;
+constexpr std::uint32_t kDistrictSpace = 11;
+constexpr std::uint32_t kCustomerSpace = 12;
+constexpr std::uint32_t kStockSpace = 13;
+
+/** Orders are keyed district * kOrderStride + sequence. */
+constexpr std::int64_t kOrderStride = 1'000'000;
+} // namespace
+
+TpccDatabase::TpccDatabase(const TpccConfig& config, EngineHooks* hooks)
+    : config_(config), hooks_(hooks), rng_(config.seed, 0x7ccULL)
+{
+    pool_ = std::make_unique<BufferPool>(disk_, config.buffer_frames,
+                                         hooks);
+    wal_ = std::make_unique<Wal>(disk_, config.wal, hooks);
+    txns_ = std::make_unique<TransactionManager>(*wal_, locks_, *pool_,
+                                                 hooks);
+    // Enforce the write-ahead rule: the log reaches disk before any
+    // page that depends on it.
+    pool_->setWalBarrier([this](Lsn lsn) {
+        if (lsn > wal_->flushedLsn())
+            wal_->flush();
+    });
+}
+
+std::int64_t
+TpccDatabase::customerKey(std::int64_t district, std::int64_t c) const
+{
+    return district * config_.customers_per_district + c;
+}
+
+void
+TpccDatabase::setup()
+{
+    warehouses_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(WarehouseRow), hooks_));
+    districts_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(DistrictRow), hooks_));
+    customers_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(CustomerRow), hooks_));
+    items_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(ItemRow), hooks_));
+    stock_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(StockRow), hooks_));
+    orders_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(OrderRow), hooks_));
+    order_lines_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(OrderLineRow), hooks_));
+
+    district_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, alloc_.alloc(), hooks_));
+    customer_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, alloc_.alloc(), hooks_));
+    item_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, alloc_.alloc(), hooks_));
+    stock_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, alloc_.alloc(), hooks_));
+    order_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, alloc_.alloc(), hooks_));
+
+    TxnId txn = txns_->begin();
+    for (std::int64_t w = 0; w < config_.warehouses; ++w) {
+        WarehouseRow row{};
+        row.id = w;
+        warehouses_->insert(txn, &row);
+    }
+    for (std::int64_t d = 0; d < numDistricts(); ++d) {
+        DistrictRow row{};
+        row.id = d;
+        row.next_order_id = 0;
+        RowId rid = districts_->insert(txn, &row);
+        district_idx_->insert(txn, d, rid);
+    }
+    for (std::int64_t c = 0; c < numCustomers(); ++c) {
+        CustomerRow row{};
+        row.id = c;
+        row.district = c / config_.customers_per_district;
+        RowId rid = customers_->insert(txn, &row);
+        customer_idx_->insert(txn, c, rid);
+    }
+    for (std::int64_t i = 0; i < config_.items; ++i) {
+        ItemRow row{};
+        row.id = i;
+        row.price = 100 + (i % 900);
+        RowId rid = items_->insert(txn, &row);
+        item_idx_->insert(txn, i, rid);
+    }
+    for (std::int64_t w = 0; w < config_.warehouses; ++w) {
+        for (std::int64_t i = 0; i < config_.items; ++i) {
+            StockRow row{};
+            row.id = w * config_.items + i;
+            row.quantity = 50 + (i % 50);
+            RowId rid = stock_->insert(txn, &row);
+            stock_idx_->insert(txn, row.id, rid);
+        }
+    }
+    txns_->commit(txn);
+    wal_->flush();
+    pool_->flushAll();
+}
+
+TpccOutcome
+TpccDatabase::runTransaction(std::uint16_t process)
+{
+    std::uint32_t pick = rng_.nextBounded(100);
+    if (pick < 45)
+        return runNewOrder(process);
+    if (pick < 88)
+        return runPayment(process);
+    return runStockLevel(process);
+}
+
+TpccOutcome
+TpccDatabase::runNewOrder(std::uint16_t process)
+{
+    SPIKESIM_ASSERT(orders_ != nullptr, "setup() was not called");
+    ++new_orders_;
+    TpccOutcome out;
+    out.kind = TpccKind::NewOrder;
+    std::int64_t district = rng_.nextRange(0, numDistricts() - 1);
+    std::int64_t customer = customerKey(
+        district, rng_.nextRange(0, config_.customers_per_district - 1));
+    out.warehouse = district / config_.districts_per_warehouse;
+    out.district = district;
+
+    if (hooks_ != nullptr) {
+        hooks_->onSyscall("sys_ipc");
+        hooks_->onOp("net_recv");
+        hooks_->onData(addrmap::pga(process));
+    }
+    TxnId txn = txns_->begin();
+    out.txn = txn;
+
+    // District: allocate the order id (the hot row of New-Order).
+    if (hooks_ != nullptr)
+        hooks_->onOp("sql_exec_update");
+    RowId drid = *district_idx_->search(district);
+    locks_.acquire(txn, {kDistrictSpace,
+                         static_cast<std::uint64_t>(district)},
+                   LockMode::Exclusive);
+    if (hooks_ != nullptr)
+        hooks_->onOp("lock_acquire_fast");
+    DistrictRow drow;
+    districts_->fetch(drid, &drow);
+    std::int64_t order_seq = drow.next_order_id++;
+    districts_->update(txn, drid, &drow);
+
+    // Customer credit check (read).
+    RowId crid = *customer_idx_->search(customer);
+    CustomerRow crow;
+    customers_->fetch(crid, &crow);
+
+    // 5-15 order lines: item lookup, stock update, line insert.
+    int lines = 5 + static_cast<int>(rng_.nextBounded(11));
+    out.order_lines = lines;
+    std::int64_t order_id = district * kOrderStride + order_seq;
+    for (int l = 0; l < lines; ++l) {
+        std::int64_t item = rng_.nextRange(0, config_.items - 1);
+        if (hooks_ != nullptr)
+            hooks_->onOp("sql_exec_update");
+        RowId irid = *item_idx_->search(item);
+        ItemRow irow;
+        items_->fetch(irid, &irow);
+
+        std::int64_t stock_key = out.warehouse * config_.items + item;
+        RowId srid = *stock_idx_->search(stock_key);
+        locks_.acquire(txn, {kStockSpace,
+                             static_cast<std::uint64_t>(stock_key)},
+                       LockMode::Exclusive);
+        if (hooks_ != nullptr)
+            hooks_->onOp("lock_acquire_fast");
+        StockRow srow;
+        stock_->fetch(srid, &srow);
+        std::int64_t qty = 1 + rng_.nextRange(0, 9);
+        srow.quantity -= qty;
+        if (srow.quantity < 10)
+            srow.quantity += 91; // restock
+        srow.ytd += qty;
+        stock_->update(txn, srid, &srow);
+
+        if (hooks_ != nullptr)
+            hooks_->onOp("sql_exec_insert");
+        OrderLineRow ol{};
+        ol.order_id = order_id;
+        ol.number = l;
+        ol.item = item;
+        ol.quantity = qty;
+        ol.amount = qty * irow.price;
+        order_lines_->insert(txn, &ol);
+    }
+
+    if (hooks_ != nullptr)
+        hooks_->onOp("sql_exec_insert");
+    OrderRow orow{};
+    orow.id = order_id;
+    orow.customer = customer;
+    orow.line_count = lines;
+    RowId orid = orders_->insert(txn, &orow);
+    order_idx_->insert(txn, order_id, orid);
+
+    txns_->commit(txn);
+    if (hooks_ != nullptr) {
+        hooks_->onOp("net_reply");
+        hooks_->onSyscall("sys_ipc");
+    }
+    return out;
+}
+
+TpccOutcome
+TpccDatabase::runPayment(std::uint16_t process)
+{
+    SPIKESIM_ASSERT(orders_ != nullptr, "setup() was not called");
+    ++payments_;
+    TpccOutcome out;
+    out.kind = TpccKind::Payment;
+    std::int64_t district = rng_.nextRange(0, numDistricts() - 1);
+    std::int64_t warehouse = district / config_.districts_per_warehouse;
+    std::int64_t customer = customerKey(
+        district, rng_.nextRange(0, config_.customers_per_district - 1));
+    std::int64_t amount = rng_.nextRange(1, 5'000);
+    out.warehouse = warehouse;
+    out.district = district;
+    out.amount = amount;
+
+    if (hooks_ != nullptr) {
+        hooks_->onSyscall("sys_ipc");
+        hooks_->onOp("net_recv");
+        hooks_->onData(addrmap::pga(process));
+    }
+    TxnId txn = txns_->begin();
+    out.txn = txn;
+
+    // Warehouse YTD (heap row w is at slot w of the first page).
+    if (hooks_ != nullptr)
+        hooks_->onOp("sql_exec_update");
+    locks_.acquire(txn, {kWarehouseSpace,
+                         static_cast<std::uint64_t>(warehouse)},
+                   LockMode::Exclusive);
+    if (hooks_ != nullptr)
+        hooks_->onOp("lock_acquire_fast");
+    RowId wrid{warehouses_->firstPage(),
+               static_cast<std::uint16_t>(warehouse)};
+    WarehouseRow wrow;
+    warehouses_->fetch(wrid, &wrow);
+    wrow.ytd += amount;
+    warehouses_->update(txn, wrid, &wrow);
+
+    // District YTD.
+    if (hooks_ != nullptr)
+        hooks_->onOp("sql_exec_update");
+    RowId drid = *district_idx_->search(district);
+    locks_.acquire(txn, {kDistrictSpace,
+                         static_cast<std::uint64_t>(district)},
+                   LockMode::Exclusive);
+    if (hooks_ != nullptr)
+        hooks_->onOp("lock_acquire_fast");
+    DistrictRow drow;
+    districts_->fetch(drid, &drow);
+    drow.ytd += amount;
+    districts_->update(txn, drid, &drow);
+
+    // Customer balance.
+    if (hooks_ != nullptr)
+        hooks_->onOp("sql_exec_update");
+    RowId crid = *customer_idx_->search(customer);
+    locks_.acquire(txn, {kCustomerSpace,
+                         static_cast<std::uint64_t>(customer)},
+                   LockMode::Exclusive);
+    if (hooks_ != nullptr)
+        hooks_->onOp("lock_acquire_fast");
+    CustomerRow crow;
+    customers_->fetch(crid, &crow);
+    crow.balance -= amount;
+    crow.payments += amount;
+    customers_->update(txn, crid, &crow);
+
+    txns_->commit(txn);
+    if (hooks_ != nullptr) {
+        hooks_->onOp("net_reply");
+        hooks_->onSyscall("sys_ipc");
+    }
+    return out;
+}
+
+TpccOutcome
+TpccDatabase::runStockLevel(std::uint16_t process)
+{
+    SPIKESIM_ASSERT(orders_ != nullptr, "setup() was not called");
+    ++stock_levels_;
+    TpccOutcome out;
+    out.kind = TpccKind::StockLevel;
+    std::int64_t district = rng_.nextRange(0, numDistricts() - 1);
+    out.warehouse = district / config_.districts_per_warehouse;
+    out.district = district;
+
+    if (hooks_ != nullptr) {
+        hooks_->onSyscall("sys_ipc");
+        hooks_->onOp("net_recv");
+        int batches = 1;
+        hooks_->onOp("sql_exec_scan", {&batches, 1});
+    }
+
+    // Read the district's recent orders (read-only; no txn state).
+    RowId drid = *district_idx_->search(district);
+    DistrictRow drow;
+    districts_->fetch(drid, &drow);
+    std::int64_t hi = district * kOrderStride + drow.next_order_id - 1;
+    std::int64_t lo = hi - 19;
+    if (lo < district * kOrderStride)
+        lo = district * kOrderStride;
+
+    int rows = 0;
+    int low = 0;
+    order_idx_->scan(lo, hi, [&](std::int64_t, RowId orid) {
+        OrderRow orow;
+        orders_->fetch(orid, &orow);
+        rows += static_cast<int>(orow.line_count);
+        // Proxy for the stock join: count lines on orders with many
+        // lines (full TPC-C joins order lines against stock < 15).
+        if (orow.line_count >= 10)
+            ++low;
+    });
+    if (hooks_ != nullptr && rows > 0)
+        hooks_->onOp("row_scan_next", {&rows, 1});
+    if (hooks_ != nullptr)
+        hooks_->onOp("agg_update");
+    out.low_stock = low;
+
+    if (hooks_ != nullptr) {
+        hooks_->onOp("net_reply");
+        hooks_->onSyscall("sys_ipc");
+    }
+    (void)process;
+    return out;
+}
+
+std::string
+TpccDatabase::verify()
+{
+    // Order ids allocated == orders inserted, per district.
+    std::unordered_map<std::int64_t, std::int64_t> orders_per_district;
+    std::int64_t total_lines_declared = 0;
+    orders_->scan([&](RowId, const void* p) {
+        OrderRow row;
+        std::memcpy(&row, p, sizeof(row));
+        ++orders_per_district[row.id / kOrderStride];
+        total_lines_declared += row.line_count;
+    });
+    std::int64_t allocated = 0;
+    std::string err;
+    districts_->scan([&](RowId, const void* p) {
+        DistrictRow row;
+        std::memcpy(&row, p, sizeof(row));
+        allocated += row.next_order_id;
+        if (orders_per_district[row.id] != row.next_order_id)
+            err = "district " + std::to_string(row.id) +
+                  " order count mismatch";
+    });
+    if (!err.empty())
+        return err;
+    if (allocated != static_cast<std::int64_t>(new_orders_))
+        return "allocated order ids != new-order transactions";
+
+    std::int64_t lines = 0;
+    std::int64_t line_amount = 0;
+    order_lines_->scan([&](RowId, const void* p) {
+        OrderLineRow row;
+        std::memcpy(&row, p, sizeof(row));
+        ++lines;
+        line_amount += row.amount;
+    });
+    if (lines != total_lines_declared)
+        return "order line rows do not match order headers";
+    (void)line_amount;
+
+    // Payment conservation: warehouse YTD == district YTD ==
+    // customer payment sums (= -balance sums).
+    std::int64_t w_ytd = 0, d_ytd = 0, c_pay = 0, c_bal = 0;
+    warehouses_->scan([&](RowId, const void* p) {
+        WarehouseRow row;
+        std::memcpy(&row, p, sizeof(row));
+        w_ytd += row.ytd;
+    });
+    districts_->scan([&](RowId, const void* p) {
+        DistrictRow row;
+        std::memcpy(&row, p, sizeof(row));
+        d_ytd += row.ytd;
+    });
+    customers_->scan([&](RowId, const void* p) {
+        CustomerRow row;
+        std::memcpy(&row, p, sizeof(row));
+        c_pay += row.payments;
+        c_bal += row.balance;
+    });
+    if (w_ytd != d_ytd || d_ytd != c_pay || c_bal != -c_pay)
+        return "payment sums diverge: warehouse=" + std::to_string(w_ytd) +
+               " district=" + std::to_string(d_ytd) +
+               " customers=" + std::to_string(c_pay);
+    return "";
+}
+
+} // namespace spikesim::db

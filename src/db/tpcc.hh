@@ -1,0 +1,190 @@
+#ifndef SPIKESIM_DB_TPCC_HH
+#define SPIKESIM_DB_TPCC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "db/btree.hh"
+#include "db/bufferpool.hh"
+#include "db/disk.hh"
+#include "db/heap.hh"
+#include "db/lockmgr.hh"
+#include "db/txn.hh"
+#include "db/types.hh"
+#include "db/wal.hh"
+#include "support/rng.hh"
+
+/**
+ * @file
+ * TPC-C-style order-entry workload (reduced): warehouses, districts,
+ * customers, items, stock, orders and order lines, with New-Order,
+ * Payment and Stock-Level transactions. The paper notes that Spike was
+ * used to produce audited TPC-C results on Alpha servers; this driver
+ * provides a second OLTP transaction mix over the same engine so the
+ * layout pipeline can be evaluated on a workload it was not profiled
+ * on (see bench/ablation_profile_quality).
+ */
+
+namespace spikesim::db {
+
+/** Scale parameters (reduced from the full TPC-C scale rules). */
+struct TpccConfig
+{
+    int warehouses = 4;
+    int districts_per_warehouse = 10;
+    int customers_per_district = 300;
+    int items = 1'000;
+    std::uint32_t buffer_frames = 1'600;
+    std::uint64_t seed = 21;
+    Wal::Config wal;
+};
+
+/** Transaction kinds in the mix. */
+enum class TpccKind : std::uint8_t { NewOrder, Payment, StockLevel };
+
+/** Result of one TPC-C transaction. */
+struct TpccOutcome
+{
+    TpccKind kind = TpccKind::NewOrder;
+    TxnId txn = 0;
+    std::int64_t warehouse = 0;
+    std::int64_t district = 0;
+    int order_lines = 0;        ///< NewOrder only
+    std::int64_t amount = 0;    ///< Payment only
+    int low_stock = 0;          ///< StockLevel only
+};
+
+/** TPC-C rows (fixed width, padded like the TPC-B rows). */
+struct WarehouseRow
+{
+    std::int64_t id;
+    std::int64_t ytd;
+    char pad[88];
+};
+struct DistrictRow
+{
+    std::int64_t id; ///< dense: warehouse * D + district
+    std::int64_t ytd;
+    std::int64_t next_order_id;
+    char pad[80];
+};
+struct CustomerRow
+{
+    std::int64_t id; ///< dense across the database
+    std::int64_t district;
+    std::int64_t balance;
+    std::int64_t payments;
+    char pad[72];
+};
+struct ItemRow
+{
+    std::int64_t id;
+    std::int64_t price;
+    char pad[88];
+};
+struct StockRow
+{
+    std::int64_t id; ///< warehouse * items + item
+    std::int64_t quantity;
+    std::int64_t ytd;
+    char pad[80];
+};
+struct OrderRow
+{
+    std::int64_t id; ///< dense per district: district * 1e6 + seq
+    std::int64_t customer;
+    std::int64_t line_count;
+    char pad[80];
+};
+struct OrderLineRow
+{
+    std::int64_t order_id;
+    std::int64_t number;
+    std::int64_t item;
+    std::int64_t quantity;
+    std::int64_t amount;
+    char pad[64];
+};
+static_assert(sizeof(DistrictRow) == 104 && sizeof(OrderLineRow) == 104,
+              "TPC-C rows are ~100 bytes (104 with alignment)");
+
+/** The order-entry database. */
+class TpccDatabase
+{
+  public:
+    explicit TpccDatabase(const TpccConfig& config,
+                          EngineHooks* hooks = nullptr);
+
+    /** Create and populate the schema. */
+    void setup();
+
+    /** Run one transaction from the standard-ish mix
+     *  (45% New-Order, 43% Payment, 12% Stock-Level). */
+    TpccOutcome runTransaction(std::uint16_t process);
+
+    TpccOutcome runNewOrder(std::uint16_t process);
+    TpccOutcome runPayment(std::uint16_t process);
+    TpccOutcome runStockLevel(std::uint16_t process);
+
+    /**
+     * Consistency checks: every district's next_order_id advanced by
+     * exactly its number of New-Order transactions; order-line counts
+     * match order headers; warehouse/district YTD equals the payment
+     * sum; customer balances equal their payment sums. Empty when
+     * consistent.
+     */
+    std::string verify();
+
+    std::int64_t numDistricts() const
+    {
+        return static_cast<std::int64_t>(config_.warehouses) *
+               config_.districts_per_warehouse;
+    }
+    std::int64_t numCustomers() const
+    {
+        return numDistricts() * config_.customers_per_district;
+    }
+
+    const TpccConfig& config() const { return config_; }
+    BufferPool& pool() { return *pool_; }
+    Wal& wal() { return *wal_; }
+    std::uint64_t newOrders() const { return new_orders_; }
+    std::uint64_t payments() const { return payments_; }
+
+  private:
+    std::int64_t customerKey(std::int64_t district,
+                             std::int64_t c) const;
+
+    TpccConfig config_;
+    EngineHooks* hooks_;
+    support::Pcg32 rng_;
+    SimDisk disk_;
+    std::unique_ptr<BufferPool> pool_;
+    std::unique_ptr<Wal> wal_;
+    LockManager locks_;
+    std::unique_ptr<TransactionManager> txns_;
+    PageAllocator alloc_{1};
+
+    std::unique_ptr<HeapTable> warehouses_;
+    std::unique_ptr<HeapTable> districts_;
+    std::unique_ptr<HeapTable> customers_;
+    std::unique_ptr<HeapTable> items_;
+    std::unique_ptr<HeapTable> stock_;
+    std::unique_ptr<HeapTable> orders_;
+    std::unique_ptr<HeapTable> order_lines_;
+
+    std::unique_ptr<BTree> district_idx_;
+    std::unique_ptr<BTree> customer_idx_;
+    std::unique_ptr<BTree> item_idx_;
+    std::unique_ptr<BTree> stock_idx_;
+    std::unique_ptr<BTree> order_idx_;
+
+    std::uint64_t new_orders_ = 0;
+    std::uint64_t payments_ = 0;
+    std::uint64_t stock_levels_ = 0;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_TPCC_HH

@@ -1,0 +1,91 @@
+#include "db/txn.hh"
+
+#include <cstring>
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+TransactionManager::TransactionManager(Wal& wal, LockManager& locks,
+                                       BufferPool& pool,
+                                       EngineHooks* hooks)
+    : wal_(wal), locks_(locks), pool_(pool), hooks_(hooks)
+{
+}
+
+TxnId
+TransactionManager::begin()
+{
+    TxnId txn = next_txn_++;
+    states_[txn] = TxnState::Active;
+    if (hooks_ != nullptr)
+        hooks_->onOp("txn_begin");
+    wal_.logBegin(txn);
+    return txn;
+}
+
+void
+TransactionManager::commit(TxnId txn)
+{
+    auto it = states_.find(txn);
+    SPIKESIM_ASSERT(it != states_.end() &&
+                        it->second == TxnState::Active,
+                    "commit of non-active txn " << txn);
+    if (hooks_ != nullptr)
+        hooks_->onOp("txn_commit");
+    wal_.commit(txn);
+    int held = 4; // typical TPC-B lock count per txn
+    if (hooks_ != nullptr)
+        hooks_->onOp("lock_release_all", {&held, 1});
+    locks_.releaseAll(txn);
+    it->second = TxnState::Committed;
+    ++committed_;
+}
+
+void
+TransactionManager::abort(TxnId txn)
+{
+    auto it = states_.find(txn);
+    SPIKESIM_ASSERT(it != states_.end() &&
+                        it->second == TxnState::Active,
+                    "abort of non-active txn " << txn);
+    // Roll back newest-first, logging compensating updates so redo of
+    // a committed-later state stays correct.
+    const auto& chain = wal_.undoChain(txn);
+    for (auto u = chain.rbegin(); u != chain.rend(); ++u) {
+        FrameRef ref = pool_.fetch(u->page);
+        std::vector<std::uint8_t> cur(u->before.size());
+        std::memcpy(cur.data(), ref.page->slot(u->slot), cur.size());
+        std::memcpy(ref.page->slot(u->slot), u->before.data(),
+                    u->before.size());
+        ref.page->header().lsn = wal_.logUpdate(
+            kStructuralTxn, u->page, u->slot, u->before.data(),
+            cur.data(), static_cast<std::uint16_t>(u->before.size()));
+        pool_.release(ref, true);
+    }
+    wal_.dropUndoChain(txn);
+    wal_.logAbort(txn);
+    locks_.releaseAll(txn);
+    it->second = TxnState::Aborted;
+    ++aborted_;
+}
+
+TxnState
+TransactionManager::state(TxnId txn) const
+{
+    auto it = states_.find(txn);
+    SPIKESIM_ASSERT(it != states_.end(), "unknown txn " << txn);
+    return it->second;
+}
+
+std::uint64_t
+TransactionManager::numActive() const
+{
+    std::uint64_t n = 0;
+    for (const auto& [id, st] : states_)
+        if (st == TxnState::Active)
+            ++n;
+    return n;
+}
+
+} // namespace spikesim::db

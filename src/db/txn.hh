@@ -1,0 +1,63 @@
+#ifndef SPIKESIM_DB_TXN_HH
+#define SPIKESIM_DB_TXN_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "db/bufferpool.hh"
+#include "db/lockmgr.hh"
+#include "db/types.hh"
+#include "db/wal.hh"
+
+/**
+ * @file
+ * Transaction manager: id allocation, begin/commit/abort, strict 2PL
+ * (locks released at commit/abort), and rollback via the WAL's
+ * in-memory undo chains (aborts re-apply before-images as compensating
+ * logged updates, so recovery never needs to know about them).
+ */
+
+namespace spikesim::db {
+
+enum class TxnState : std::uint8_t { Active, Committed, Aborted };
+
+/** Manages transaction lifecycles. */
+class TransactionManager
+{
+  public:
+    TransactionManager(Wal& wal, LockManager& locks, BufferPool& pool,
+                       EngineHooks* hooks = nullptr);
+
+    /** Start a transaction. */
+    TxnId begin();
+
+    /** Commit: group-commit the log, release locks. */
+    void commit(TxnId txn);
+
+    /** Abort: roll back updates via before-images, release locks. */
+    void abort(TxnId txn);
+
+    TxnState state(TxnId txn) const;
+    std::uint64_t numCommitted() const { return committed_; }
+    std::uint64_t numAborted() const { return aborted_; }
+    std::uint64_t numActive() const;
+
+    /** Continue id allocation after recovery. */
+    void seedNextTxn(TxnId next) { next_txn_ = next; }
+
+    LockManager& locks() { return locks_; }
+
+  private:
+    Wal& wal_;
+    LockManager& locks_;
+    BufferPool& pool_;
+    EngineHooks* hooks_;
+    TxnId next_txn_ = 1;
+    std::unordered_map<TxnId, TxnState> states_;
+    std::uint64_t committed_ = 0;
+    std::uint64_t aborted_ = 0;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_TXN_HH

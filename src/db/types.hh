@@ -1,0 +1,107 @@
+#ifndef SPIKESIM_DB_TYPES_HH
+#define SPIKESIM_DB_TYPES_HH
+
+#include <cstdint>
+#include <span>
+
+/**
+ * @file
+ * Common identifiers and the engine-to-simulator hook interface for the
+ * OLTP database engine. The engine is a real (if compact) transaction
+ * processing system — pages, buffer pool, B+trees, WAL, 2PL — and is
+ * deliberately independent of the synthetic-program machinery: it
+ * reports what it does through EngineHooks, and the simulation layer
+ * (src/sim) turns those reports into instruction/data/kernel streams.
+ */
+
+namespace spikesim::db {
+
+using PageId = std::uint32_t;
+using Lsn = std::uint64_t;
+using TxnId = std::uint64_t;
+
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+inline constexpr std::uint32_t kPageBytes = 8 * 1024;
+
+/** Row address: page plus slot. */
+struct RowId
+{
+    PageId page = kInvalidPage;
+    std::uint16_t slot = 0;
+
+    bool
+    operator==(const RowId& o) const
+    {
+        return page == o.page && slot == o.slot;
+    }
+    bool valid() const { return page != kInvalidPage; }
+};
+
+/**
+ * Callbacks from the database engine into the simulation harness.
+ *
+ * - onOp: the engine is executing the named application code path
+ *   (a synthetic-image entry point); hints carry data-dependent loop
+ *   trip counts (B-tree depth, log chunks, ...).
+ * - onData: the engine touched simulated data memory at the given
+ *   address (buffer frames, log buffer, private work areas).
+ * - onSyscall: the engine entered the operating system (named kernel
+ *   entry point).
+ *
+ * The default implementations do nothing, so the engine can run
+ * standalone (e.g., in unit tests) without a simulator attached.
+ */
+class EngineHooks
+{
+  public:
+    virtual ~EngineHooks() = default;
+
+    virtual void
+    onOp(const char* entry, std::span<const int> hints = {})
+    {
+        (void)entry;
+        (void)hints;
+    }
+
+    virtual void
+    onData(std::uint64_t addr)
+    {
+        (void)addr;
+    }
+
+    virtual void
+    onSyscall(const char* entry, std::span<const int> hints = {})
+    {
+        (void)entry;
+        (void)hints;
+    }
+};
+
+/** Simulated data-address map (kept below 16GB so word indices fit in
+ *  32-bit trace events). */
+namespace addrmap {
+/** Buffer pool frame f starts here. */
+inline constexpr std::uint64_t kBufferBase = 0x0'8000'0000ULL;
+/** Redo log buffer. */
+inline constexpr std::uint64_t kLogBase = 0x1'0000'0000ULL;
+/** Per-process private work areas (1MB stride). */
+inline constexpr std::uint64_t kPgaBase = 0x1'8000'0000ULL;
+/** Shared metadata (lock tables, catalog). */
+inline constexpr std::uint64_t kSgaBase = 0x2'0000'0000ULL;
+
+inline std::uint64_t
+bufferFrame(std::uint32_t frame)
+{
+    return kBufferBase + static_cast<std::uint64_t>(frame) * kPageBytes;
+}
+
+inline std::uint64_t
+pga(std::uint16_t process)
+{
+    return kPgaBase + static_cast<std::uint64_t>(process) * (1ULL << 20);
+}
+} // namespace addrmap
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_TYPES_HH

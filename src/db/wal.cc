@@ -1,0 +1,215 @@
+#include "db/wal.hh"
+
+#include <cstring>
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+Wal::Wal(SimDisk& disk, const Config& config, EngineHooks* hooks)
+    : disk_(disk), config_(config), hooks_(hooks)
+{
+    buffer_.reserve(config.flush_threshold_bytes * 2);
+}
+
+Lsn
+Wal::append(WalKind kind, TxnId txn, PageId page, std::uint32_t aux,
+            std::uint64_t aux64, const void* payload,
+            std::uint16_t payload_len)
+{
+    WalRecordHeader hdr;
+    hdr.lsn = next_lsn_++;
+    hdr.txn = txn;
+    hdr.page = page;
+    hdr.aux = aux;
+    hdr.aux64 = aux64;
+    hdr.payload_len = payload_len;
+    hdr.kind = kind;
+    const auto* h = reinterpret_cast<const std::uint8_t*>(&hdr);
+    buffer_.insert(buffer_.end(), h, h + sizeof(hdr));
+    if (payload_len > 0) {
+        const auto* p = static_cast<const std::uint8_t*>(payload);
+        buffer_.insert(buffer_.end(), p, p + payload_len);
+    }
+    if (hooks_ != nullptr) {
+        // log_append's hinted loop copies the record in 64B chunks;
+        // each chunk is a store into the circular log buffer.
+        int chunks =
+            1 + static_cast<int>((sizeof(hdr) + payload_len) / 64);
+        hooks_->onOp("log_append", {&chunks, 1});
+        std::uint64_t at = buffer_.size();
+        for (int c = 0; c < chunks; ++c)
+            hooks_->onData(addrmap::kLogBase +
+                           ((at + static_cast<std::uint64_t>(c) * 64) &
+                            0xfffffu));
+    }
+    return hdr.lsn;
+}
+
+Lsn
+Wal::logBegin(TxnId txn)
+{
+    return append(WalKind::Begin, txn, kInvalidPage, 0, 0, nullptr, 0);
+}
+
+Lsn
+Wal::logCommitRecord(TxnId txn)
+{
+    return append(WalKind::Commit, txn, kInvalidPage, 0, 0, nullptr, 0);
+}
+
+Lsn
+Wal::logAbort(TxnId txn)
+{
+    return append(WalKind::Abort, txn, kInvalidPage, 0, 0, nullptr, 0);
+}
+
+Lsn
+Wal::logFormat(TxnId txn, PageId page, std::uint32_t page_type,
+               std::uint16_t slot_bytes)
+{
+    return append(WalKind::Format, txn, page, page_type, slot_bytes,
+                  nullptr, 0);
+}
+
+Lsn
+Wal::logAppend(TxnId txn, PageId page, const void* bytes,
+               std::uint16_t len)
+{
+    return append(WalKind::Append, txn, page, 0, 0, bytes, len);
+}
+
+Lsn
+Wal::logUpdate(TxnId txn, PageId page, std::uint16_t slot,
+               const void* after, const void* before, std::uint16_t len)
+{
+    std::vector<std::uint8_t> both(static_cast<std::size_t>(len) * 2);
+    std::memcpy(both.data(), after, len);
+    std::memcpy(both.data() + len, before, len);
+    if (txn != kStructuralTxn) {
+        UndoEntry u;
+        u.page = page;
+        u.slot = slot;
+        u.before.assign(static_cast<const std::uint8_t*>(before),
+                        static_cast<const std::uint8_t*>(before) + len);
+        undo_[txn].push_back(std::move(u));
+    }
+    return append(WalKind::Update, txn, page, slot, 0, both.data(),
+                  static_cast<std::uint16_t>(both.size()));
+}
+
+Lsn
+Wal::logInsertAt(TxnId txn, PageId page, std::uint16_t slot,
+                 const void* bytes, std::uint16_t len)
+{
+    return append(WalKind::InsertAt, txn, page, slot, 0, bytes, len);
+}
+
+Lsn
+Wal::logRemoveAt(TxnId txn, PageId page, std::uint16_t slot)
+{
+    return append(WalKind::RemoveAt, txn, page, slot, 0, nullptr, 0);
+}
+
+Lsn
+Wal::logSetSlotCount(TxnId txn, PageId page, std::uint16_t count)
+{
+    return append(WalKind::SetSlotCount, txn, page, count, 0, nullptr, 0);
+}
+
+Lsn
+Wal::logSetExtra(TxnId txn, PageId page, std::uint64_t value)
+{
+    return append(WalKind::SetExtra, txn, page, 0, value, nullptr, 0);
+}
+
+bool
+Wal::commit(TxnId txn)
+{
+    logCommitRecord(txn);
+    dropUndoChain(txn);
+    ++commits_;
+    ++pending_commits_;
+    bool lead = pending_commits_ >= config_.group_commit_batch ||
+                buffer_.size() >= config_.flush_threshold_bytes;
+    if (lead) {
+        int batch = static_cast<int>(pending_commits_);
+        if (hooks_ != nullptr)
+            hooks_->onOp("log_flush", {&batch, 1});
+        flush();
+    } else {
+        if (hooks_ != nullptr)
+            hooks_->onOp("log_wait");
+    }
+    return lead;
+}
+
+void
+Wal::flush()
+{
+    if (buffer_.empty())
+        return;
+    if (hooks_ != nullptr) {
+        int blocks =
+            1 + static_cast<int>(buffer_.size() / kPageBytes);
+        hooks_->onSyscall("sys_write", {&blocks, 1});
+        hooks_->onSyscall("sys_fsync", {&blocks, 1});
+    }
+    disk_.appendLog(buffer_.data(), static_cast<std::uint32_t>(
+                                        buffer_.size()));
+    flushed_lsn_ = next_lsn_ - 1;
+    buffered_from_lsn_ = next_lsn_;
+    buffer_.clear();
+    pending_commits_ = 0;
+    ++flushes_;
+}
+
+void
+Wal::discardBuffer()
+{
+    buffer_.clear();
+    pending_commits_ = 0;
+    next_lsn_ = buffered_from_lsn_;
+    undo_.clear();
+}
+
+const std::vector<Wal::UndoEntry>&
+Wal::undoChain(TxnId txn) const
+{
+    static const std::vector<UndoEntry> kEmpty;
+    auto it = undo_.find(txn);
+    return it == undo_.end() ? kEmpty : it->second;
+}
+
+void
+Wal::dropUndoChain(TxnId txn)
+{
+    undo_.erase(txn);
+}
+
+std::vector<WalRecord>
+Wal::readAll(const SimDisk& disk)
+{
+    std::vector<WalRecord> out;
+    std::uint64_t off = 0;
+    for (;;) {
+        WalRecordHeader hdr;
+        std::uint32_t n = disk.readLog(off, &hdr, sizeof(hdr));
+        if (n < sizeof(hdr))
+            break;
+        off += sizeof(hdr);
+        WalRecord rec;
+        rec.hdr = hdr;
+        if (hdr.payload_len > 0) {
+            rec.payload.resize(hdr.payload_len);
+            std::uint32_t m =
+                disk.readLog(off, rec.payload.data(), hdr.payload_len);
+            SPIKESIM_ASSERT(m == hdr.payload_len, "truncated log record");
+            off += hdr.payload_len;
+        }
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+} // namespace spikesim::db

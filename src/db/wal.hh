@@ -1,0 +1,150 @@
+#ifndef SPIKESIM_DB_WAL_HH
+#define SPIKESIM_DB_WAL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/disk.hh"
+#include "db/types.hh"
+
+/**
+ * @file
+ * Write-ahead redo log with group commit. Mutators (heap, B+tree) log
+ * physical slot-level after-images (plus before-images for updates, so
+ * aborts can roll back); commit durability is provided by flushing the
+ * log buffer, with commits batched exactly the way OLTP systems batch
+ * them — the batching feeds the log_flush / log_wait code-path split
+ * the instruction stream sees.
+ */
+
+namespace spikesim::db {
+
+/** Redo record kinds. */
+enum class WalKind : std::uint8_t {
+    Begin = 1,
+    Commit,
+    Abort,
+    Format,       ///< page formatted (type + slot size)
+    Append,       ///< slot appended to a page
+    Update,       ///< slot overwritten (payload: after then before image)
+    InsertAt,     ///< slot inserted at a position (sorted structures)
+    RemoveAt,     ///< slot removed at a position
+    SetSlotCount, ///< page slot count changed (splits)
+    SetExtra,     ///< page extra/link field changed
+};
+
+/** Fixed on-log record header (payload follows immediately). */
+struct WalRecordHeader
+{
+    Lsn lsn = 0;
+    TxnId txn = 0;
+    PageId page = kInvalidPage;
+    std::uint32_t aux = 0;      ///< slot / slot count / page type
+    std::uint64_t aux64 = 0;    ///< extra value for SetExtra
+    std::uint16_t payload_len = 0;
+    WalKind kind = WalKind::Begin;
+};
+
+/** A decoded record (for recovery and tests). */
+struct WalRecord
+{
+    WalRecordHeader hdr;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Transactions with txn id 0 are structural (always redone). */
+inline constexpr TxnId kStructuralTxn = 0;
+
+/** Group-commit tuning for the redo log. */
+struct WalConfig
+{
+    /** Commits per group-commit batch before the leader flushes. */
+    std::uint32_t group_commit_batch = 4;
+    std::uint32_t flush_threshold_bytes = 48 * 1024;
+};
+
+/** The redo log manager. */
+class Wal
+{
+  public:
+    using Config = WalConfig;
+
+    Wal(SimDisk& disk, const Config& config = Config(),
+        EngineHooks* hooks = nullptr);
+
+    Lsn logBegin(TxnId txn);
+    Lsn logCommitRecord(TxnId txn);
+    Lsn logAbort(TxnId txn);
+    Lsn logFormat(TxnId txn, PageId page, std::uint32_t page_type,
+                  std::uint16_t slot_bytes);
+    Lsn logAppend(TxnId txn, PageId page, const void* bytes,
+                  std::uint16_t len);
+    /** Update logs the after image followed by the before image. */
+    Lsn logUpdate(TxnId txn, PageId page, std::uint16_t slot,
+                  const void* after, const void* before,
+                  std::uint16_t len);
+    Lsn logInsertAt(TxnId txn, PageId page, std::uint16_t slot,
+                    const void* bytes, std::uint16_t len);
+    Lsn logRemoveAt(TxnId txn, PageId page, std::uint16_t slot);
+    Lsn logSetSlotCount(TxnId txn, PageId page, std::uint16_t count);
+    Lsn logSetExtra(TxnId txn, PageId page, std::uint64_t value);
+
+    /**
+     * Commit with group-commit semantics: the commit record is logged;
+     * if this commit completes a batch (or the buffer is large) the
+     * caller becomes the flush leader and the buffer is written and
+     * fsynced; otherwise the caller "waits" for the current leader.
+     * Returns true if this call flushed.
+     */
+    bool commit(TxnId txn);
+
+    /** Force the buffer to disk. */
+    void flush();
+
+    Lsn currentLsn() const { return next_lsn_ - 1; }
+    Lsn flushedLsn() const { return flushed_lsn_; }
+    std::uint64_t flushes() const { return flushes_; }
+    std::uint64_t commits() const { return commits_; }
+
+    /** Decode the entire on-disk log (recovery, tests). */
+    static std::vector<WalRecord> readAll(const SimDisk& disk);
+
+    /** Discard buffered (unflushed) records — crash simulation. */
+    void discardBuffer();
+
+    /** Per-transaction undo entry (before image of an update). */
+    struct UndoEntry
+    {
+        PageId page;
+        std::uint16_t slot;
+        std::vector<std::uint8_t> before;
+    };
+
+    /** Undo chain of an active transaction (newest last). */
+    const std::vector<UndoEntry>& undoChain(TxnId txn) const;
+
+    /** Drop the undo chain (after commit or completed rollback). */
+    void dropUndoChain(TxnId txn);
+
+  private:
+    Lsn append(WalKind kind, TxnId txn, PageId page, std::uint32_t aux,
+               std::uint64_t aux64, const void* payload,
+               std::uint16_t payload_len);
+
+    SimDisk& disk_;
+    Config config_;
+    EngineHooks* hooks_;
+    std::vector<std::uint8_t> buffer_;
+    Lsn next_lsn_ = 1;
+    Lsn flushed_lsn_ = 0;
+    Lsn buffered_from_lsn_ = 1;
+    std::uint32_t pending_commits_ = 0;
+    std::uint64_t flushes_ = 0;
+    std::uint64_t commits_ = 0;
+    std::unordered_map<TxnId, std::vector<UndoEntry>> undo_;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_WAL_HH

@@ -1,0 +1,101 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "support/panic.hh"
+
+namespace spikesim::mem {
+
+std::string
+CacheConfig::check() const
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        return "line size must be a power of two";
+    if (assoc == 0)
+        return "associativity must be positive";
+    if (size_bytes == 0 || size_bytes % (line_bytes * assoc) != 0)
+        return "size must be a multiple of line*assoc";
+    std::uint32_t sets = numSets();
+    if ((sets & (sets - 1)) != 0)
+        return "number of sets must be a power of two";
+    return "";
+}
+
+std::string
+CacheConfig::label() const
+{
+    std::string s;
+    if (size_bytes >= 1024 * 1024 && size_bytes % (1024 * 1024) == 0)
+        s = std::to_string(size_bytes / (1024 * 1024)) + "MB";
+    else
+        s = std::to_string(size_bytes / 1024) + "KB";
+    s += "/" + std::to_string(line_bytes) + "B/";
+    s += assoc == 1 ? "DM" : std::to_string(assoc) + "-way";
+    return s;
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig& config) : config_(config)
+{
+    std::string err = config.check();
+    SPIKESIM_ASSERT(err.empty(), "bad cache config: " << err);
+    entries_.resize(static_cast<std::size_t>(config.numSets()) *
+                    config.assoc);
+    line_shift_ = static_cast<std::uint32_t>(
+        std::bit_width(config.line_bytes) - 1);
+    set_mask_ = config.numSets() - 1;
+}
+
+AccessResult
+SetAssocCache::access(std::uint64_t addr, Owner owner)
+{
+    ++now_;
+    std::uint64_t line = addr >> line_shift_;
+    std::uint32_t set = static_cast<std::uint32_t>(line) & set_mask_;
+    Entry* ways = &entries_[static_cast<std::size_t>(set) * config_.assoc];
+
+    Entry* victim = &ways[0];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Entry& e = ways[w];
+        if (e.valid && e.tag == line) {
+            e.stamp = now_;
+            ++hits_;
+            return {true, Owner::None};
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.stamp < victim->stamp) {
+            victim = &e;
+        }
+    }
+
+    ++misses_;
+    ++misses_by_[static_cast<std::size_t>(owner)];
+    AccessResult r;
+    r.hit = false;
+    r.victim = victim->valid ? victim->owner : Owner::None;
+    victim->valid = true;
+    victim->tag = line;
+    victim->owner = owner;
+    victim->stamp = now_;
+    return r;
+}
+
+std::uint64_t
+SetAssocCache::missesBy(Owner owner) const
+{
+    return misses_by_[static_cast<std::size_t>(owner)];
+}
+
+void
+SetAssocCache::reset()
+{
+    for (auto& e : entries_)
+        e = Entry();
+    now_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    for (auto& m : misses_by_)
+        m = 0;
+}
+
+} // namespace spikesim::mem

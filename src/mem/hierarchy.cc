@@ -1,0 +1,69 @@
+#include "mem/hierarchy.hh"
+
+namespace spikesim::mem {
+
+HierarchyStats&
+HierarchyStats::operator+=(const HierarchyStats& o)
+{
+    fetches += o.fetches;
+    l1i_misses += o.l1i_misses;
+    data_refs += o.data_refs;
+    l1d_misses += o.l1d_misses;
+    l2_instr_accesses += o.l2_instr_accesses;
+    l2_instr_misses += o.l2_instr_misses;
+    l2_data_accesses += o.l2_data_accesses;
+    l2_data_misses += o.l2_data_misses;
+    itlb_misses += o.itlb_misses;
+    comm_misses += o.comm_misses;
+    return *this;
+}
+
+std::uint64_t
+pseudoPhysical(std::uint64_t addr, std::uint32_t page_bytes)
+{
+    std::uint64_t off_mask = page_bytes - 1;
+    std::uint64_t page = addr / page_bytes;
+    std::uint64_t hashed = page * 0x9e3779b97f4a7c15ULL;
+    hashed ^= hashed >> 29;
+    return (hashed * page_bytes) | (addr & off_mask);
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      itlb_(config.itlb_entries, config.page_bytes)
+{
+}
+
+void
+MemoryHierarchy::fetchLine(std::uint64_t addr, Owner owner)
+{
+    ++stats_.fetches;
+    if (!itlb_.access(addr))
+        ++stats_.itlb_misses;
+    if (!l1i_.access(addr, owner).hit) {
+        ++stats_.l1i_misses;
+        ++stats_.l2_instr_accesses;
+        if (!l2_.access(pseudoPhysical(addr, config_.page_bytes), owner)
+                 .hit)
+            ++stats_.l2_instr_misses;
+    }
+}
+
+void
+MemoryHierarchy::dataLine(std::uint64_t addr)
+{
+    ++stats_.data_refs;
+    if (!l1d_.access(addr, Owner::Data).hit) {
+        ++stats_.l1d_misses;
+        ++stats_.l2_data_accesses;
+        if (!l2_.access(pseudoPhysical(addr, config_.page_bytes),
+                        Owner::Data)
+                 .hit)
+            ++stats_.l2_data_misses;
+    }
+}
+
+} // namespace spikesim::mem

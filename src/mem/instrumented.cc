@@ -1,0 +1,115 @@
+#include "mem/instrumented.hh"
+
+#include <bit>
+
+#include "support/panic.hh"
+
+namespace spikesim::mem {
+
+namespace {
+/** Cap for the per-word reuse histogram (paper's Fig 10 x-axis: 0-15). */
+constexpr std::size_t kReuseBuckets = 16;
+/** Lifetime histogram covers 2^0 .. 2^31 cache cycles. */
+constexpr std::size_t kLifetimeBuckets = 32;
+} // namespace
+
+InstrumentedICache::InstrumentedICache(const CacheConfig& config)
+    : config_(config),
+      words_per_line_(config.line_bytes / 4),
+      words_used_(config.line_bytes / 4 + 1),
+      word_reuse_(kReuseBuckets),
+      lifetimes_(kLifetimeBuckets)
+{
+    std::string err = config.check();
+    SPIKESIM_ASSERT(err.empty(), "bad cache config: " << err);
+    SPIKESIM_ASSERT(words_per_line_ <= 64,
+                    "line too wide for 64-bit word masks");
+    entries_.resize(static_cast<std::size_t>(config.numSets()) *
+                    config.assoc);
+    word_counts_.assign(entries_.size() * words_per_line_, 0);
+    line_shift_ = static_cast<std::uint32_t>(
+        std::bit_width(config.line_bytes) - 1);
+    set_mask_ = config.numSets() - 1;
+}
+
+void
+InstrumentedICache::retire(std::size_t entry_index)
+{
+    Entry& e = entries_[entry_index];
+    if (!e.valid)
+        return;
+    words_used_.record(static_cast<std::uint64_t>(
+        std::popcount(e.word_mask)));
+    lifetimes_.record(now_ - e.fill_time);
+    std::uint16_t* counts = &word_counts_[entry_index * words_per_line_];
+    for (std::uint32_t w = 0; w < words_per_line_; ++w) {
+        word_reuse_.record(counts[w]);
+        ++words_fetched_;
+        if (counts[w] == 0)
+            ++words_unused_;
+        counts[w] = 0;
+    }
+    e.valid = false;
+    e.word_mask = 0;
+}
+
+void
+InstrumentedICache::fetchWord(std::uint64_t addr, Owner owner)
+{
+    (void)owner;
+    ++now_;
+    std::uint64_t line = addr >> line_shift_;
+    std::uint32_t word =
+        static_cast<std::uint32_t>((addr >> 2)) & (words_per_line_ - 1);
+    std::uint32_t set = static_cast<std::uint32_t>(line) & set_mask_;
+    std::size_t base = static_cast<std::size_t>(set) * config_.assoc;
+
+    std::size_t victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Entry& e = entries_[base + w];
+        if (e.valid && e.tag == line) {
+            e.stamp = now_;
+            e.word_mask |= 1ULL << word;
+            std::uint16_t& c =
+                word_counts_[(base + w) * words_per_line_ + word];
+            if (c < 0xffff)
+                ++c;
+            ++hits_;
+            return;
+        }
+        if (!e.valid) {
+            victim = base + w;
+        } else if (entries_[victim].valid &&
+                   e.stamp < entries_[victim].stamp) {
+            victim = base + w;
+        }
+    }
+
+    ++misses_;
+    retire(victim);
+    Entry& e = entries_[victim];
+    e.valid = true;
+    e.tag = line;
+    e.stamp = now_;
+    e.fill_time = now_;
+    e.word_mask = 1ULL << word;
+    word_counts_[victim * words_per_line_ + word] = 1;
+}
+
+void
+InstrumentedICache::flush()
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        retire(i);
+}
+
+double
+InstrumentedICache::unusedWordFraction() const
+{
+    if (words_fetched_ == 0)
+        return 0.0;
+    return static_cast<double>(words_unused_) /
+           static_cast<double>(words_fetched_);
+}
+
+} // namespace spikesim::mem

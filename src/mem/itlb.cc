@@ -1,0 +1,64 @@
+#include "mem/itlb.hh"
+
+#include <bit>
+
+#include "support/panic.hh"
+
+namespace spikesim::mem {
+
+ITlb::ITlb(std::uint32_t num_entries, std::uint32_t page_bytes)
+{
+    SPIKESIM_ASSERT(num_entries > 0, "TLB needs at least one entry");
+    SPIKESIM_ASSERT(page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0,
+                    "page size must be a power of two");
+    entries_.resize(num_entries);
+    page_shift_ =
+        static_cast<std::uint32_t>(std::bit_width(page_bytes) - 1);
+}
+
+bool
+ITlb::access(std::uint64_t addr)
+{
+    std::uint64_t page = addr >> page_shift_;
+    ++now_;
+    if (page == last_page_ && last_entry_ != nullptr) {
+        last_entry_->stamp = now_;
+        ++hits_;
+        return true;
+    }
+    last_page_ = page;
+
+    Entry* victim = &entries_[0];
+    for (auto& e : entries_) {
+        if (e.valid && e.page == page) {
+            e.stamp = now_;
+            last_entry_ = &e;
+            ++hits_;
+            return true;
+        }
+        if (!e.valid)
+            victim = &e;
+        else if (victim->valid && e.stamp < victim->stamp)
+            victim = &e;
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->page = page;
+    victim->stamp = now_;
+    last_entry_ = victim;
+    return false;
+}
+
+void
+ITlb::reset()
+{
+    for (auto& e : entries_)
+        e = Entry();
+    now_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    last_page_ = ~0ULL;
+    last_entry_ = nullptr;
+}
+
+} // namespace spikesim::mem

@@ -1,0 +1,57 @@
+#include "mem/streambuf.hh"
+
+#include <bit>
+
+#include "support/panic.hh"
+
+namespace spikesim::mem {
+
+StreamBufferICache::StreamBufferICache(const CacheConfig& config,
+                                       int num_buffers)
+    : cache_(config)
+{
+    SPIKESIM_ASSERT(num_buffers > 0, "need at least one stream buffer");
+    buffers_.resize(static_cast<std::size_t>(num_buffers));
+    line_shift_ = static_cast<std::uint32_t>(
+        std::bit_width(config.line_bytes) - 1);
+}
+
+void
+StreamBufferICache::fetchLine(std::uint64_t addr)
+{
+    ++now_;
+    ++stats_.accesses;
+    if (cache_.access(addr, Owner::App).hit)
+        return;
+    ++stats_.l1_misses;
+
+    std::uint64_t line = addr >> line_shift_;
+    // Head check: a buffer whose head holds this line supplies it and
+    // streams ahead.
+    for (Buffer& b : buffers_) {
+        if (b.valid && b.next_line == line) {
+            ++stats_.stream_hits;
+            b.next_line = line + 1;
+            b.stamp = now_;
+            return;
+        }
+    }
+
+    // Demand miss: fetch from the next level and (re)allocate the LRU
+    // buffer to stream the successor lines.
+    ++stats_.demand_misses;
+    Buffer* victim = &buffers_[0];
+    for (Buffer& b : buffers_) {
+        if (!b.valid) {
+            victim = &b;
+            break;
+        }
+        if (b.stamp < victim->stamp)
+            victim = &b;
+    }
+    victim->valid = true;
+    victim->next_line = line + 1;
+    victim->stamp = now_;
+}
+
+} // namespace spikesim::mem

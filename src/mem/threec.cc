@@ -1,0 +1,63 @@
+#include "mem/threec.hh"
+
+#include <bit>
+
+#include "support/panic.hh"
+
+namespace spikesim::mem {
+
+FullyAssocLru::FullyAssocLru(std::uint32_t num_lines)
+    : capacity_(num_lines)
+{
+    SPIKESIM_ASSERT(num_lines > 0, "LRU needs capacity");
+    where_.reserve(num_lines * 2);
+}
+
+bool
+FullyAssocLru::access(std::uint64_t line)
+{
+    auto it = where_.find(line);
+    if (it != where_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+    lru_.push_front(line);
+    where_[line] = lru_.begin();
+    if (lru_.size() > capacity_) {
+        where_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return false;
+}
+
+ClassifyingICache::ClassifyingICache(const CacheConfig& config)
+    : config_(config),
+      real_(config),
+      ideal_(config.numLines()),
+      line_shift_(static_cast<std::uint32_t>(
+          std::bit_width(config.line_bytes) - 1))
+{
+}
+
+void
+ClassifyingICache::access(std::uint64_t addr)
+{
+    ++stats_.accesses;
+    std::uint64_t line = addr >> line_shift_;
+    bool real_hit = real_.access(addr, Owner::App).hit;
+    bool ideal_hit = ideal_.access(line);
+    bool& seen = touched_[line];
+    if (real_hit) {
+        seen = true;
+        return;
+    }
+    if (!seen)
+        ++stats_.compulsory;
+    else if (!ideal_hit)
+        ++stats_.capacity;
+    else
+        ++stats_.conflict;
+    seen = true;
+}
+
+} // namespace spikesim::mem

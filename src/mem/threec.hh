@@ -1,0 +1,91 @@
+#ifndef SPIKESIM_MEM_THREEC_HH
+#define SPIKESIM_MEM_THREEC_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "mem/cache.hh"
+
+/**
+ * @file
+ * Three-C miss classification (Hill): every miss of a real cache is
+ * labeled compulsory (first touch ever), capacity (a fully associative
+ * LRU cache of the same size would also miss), or conflict (only the
+ * set-mapped cache misses). The paper's Figure 6 analysis rests on
+ * this decomposition — "capacity issues dominate at these sizes" and
+ * layout optimization "not only reduces conflicts ... but also reduces
+ * capacity misses by better packing"; bench/ablation_three_cs measures
+ * exactly that.
+ */
+
+namespace spikesim::mem {
+
+/** Miss counts by cause. */
+struct ThreeCStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t compulsory = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t conflict = 0;
+
+    std::uint64_t
+    totalMisses() const
+    {
+        return compulsory + capacity + conflict;
+    }
+
+    ThreeCStats&
+    operator+=(const ThreeCStats& o)
+    {
+        accesses += o.accesses;
+        compulsory += o.compulsory;
+        capacity += o.capacity;
+        conflict += o.conflict;
+        return *this;
+    }
+};
+
+/** O(1) fully-associative LRU cache over line numbers. */
+class FullyAssocLru
+{
+  public:
+    /** @param num_lines capacity in cache lines. */
+    explicit FullyAssocLru(std::uint32_t num_lines);
+
+    /** Touch a line; true on hit. */
+    bool access(std::uint64_t line);
+
+  private:
+    std::uint32_t capacity_;
+    std::list<std::uint64_t> lru_; ///< front = most recent
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        where_;
+};
+
+/**
+ * Classifying cache: a real set-associative cache shadowed by a
+ * fully-associative LRU of the same capacity and a first-touch set.
+ */
+class ClassifyingICache
+{
+  public:
+    explicit ClassifyingICache(const CacheConfig& config);
+
+    /** Access the line containing `addr`. */
+    void access(std::uint64_t addr);
+
+    const ThreeCStats& stats() const { return stats_; }
+
+  private:
+    CacheConfig config_;
+    SetAssocCache real_;
+    FullyAssocLru ideal_;
+    std::unordered_map<std::uint64_t, bool> touched_;
+    std::uint32_t line_shift_;
+    ThreeCStats stats_;
+};
+
+} // namespace spikesim::mem
+
+#endif // SPIKESIM_MEM_THREEC_HH

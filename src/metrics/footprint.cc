@@ -1,0 +1,98 @@
+#include "metrics/footprint.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/panic.hh"
+
+namespace spikesim::metrics {
+
+FootprintCdf::FootprintCdf(const profile::Profile& profile)
+{
+    const program::Program& prog = profile.prog();
+    struct Item
+    {
+        program::GlobalBlockId block;
+        std::uint64_t count;
+        std::uint32_t size_instrs;
+    };
+    std::vector<Item> items;
+    double total_dyn = 0.0;
+    for (program::GlobalBlockId g = 0; g < prog.numBlocks(); ++g) {
+        std::uint64_t c = profile.blockCount(g);
+        if (c == 0)
+            continue;
+        std::uint32_t s = prog.block(g).sizeInstrs;
+        items.push_back({g, c, s});
+        total_dyn += static_cast<double>(c) * s;
+    }
+    // Hottest instruction first: sort by per-instruction execution
+    // count (a block's instructions all execute `count` times).
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+        if (a.count != b.count)
+            return a.count > b.count;
+        return a.block < b.block;
+    });
+
+    points_.reserve(items.size());
+    std::uint64_t bytes = 0;
+    double dyn = 0.0;
+    for (const Item& it : items) {
+        bytes += static_cast<std::uint64_t>(it.size_instrs) *
+                 program::kInstrBytes;
+        dyn += static_cast<double>(it.count) * it.size_instrs;
+        points_.push_back({bytes, total_dyn == 0 ? 0.0 : dyn / total_dyn});
+    }
+}
+
+std::uint64_t
+FootprintCdf::totalBytes() const
+{
+    return points_.empty() ? 0 : points_.back().code_bytes;
+}
+
+std::uint64_t
+FootprintCdf::bytesForCoverage(double fraction) const
+{
+    for (const FootprintPoint& p : points_)
+        if (p.exec_fraction >= fraction)
+            return p.code_bytes;
+    return totalBytes();
+}
+
+double
+FootprintCdf::coverageAtBytes(std::uint64_t bytes) const
+{
+    double best = 0.0;
+    for (const FootprintPoint& p : points_) {
+        if (p.code_bytes > bytes)
+            break;
+        best = p.exec_fraction;
+    }
+    return best;
+}
+
+std::uint64_t
+packedFootprintBytes(const profile::Profile& profile,
+                     const core::Layout& layout, std::uint32_t line_bytes)
+{
+    SPIKESIM_ASSERT(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+                    "line size must be a power of two");
+    const program::Program& prog = profile.prog();
+    std::unordered_set<std::uint64_t> lines;
+    for (program::GlobalBlockId g = 0; g < prog.numBlocks(); ++g) {
+        if (profile.blockCount(g) == 0)
+            continue;
+        std::uint64_t bytes = layout.blockBytes(g);
+        if (bytes == 0)
+            continue;
+        std::uint64_t first = layout.blockAddr(g) / line_bytes;
+        std::uint64_t last =
+            (layout.blockAddr(g) + bytes - 1) / line_bytes;
+        for (std::uint64_t l = first; l <= last; ++l)
+            lines.insert(l);
+    }
+    return static_cast<std::uint64_t>(lines.size()) * line_bytes;
+}
+
+} // namespace spikesim::metrics

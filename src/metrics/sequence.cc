@@ -1,0 +1,62 @@
+#include "metrics/sequence.hh"
+
+#include "support/panic.hh"
+
+namespace spikesim::metrics {
+
+SequenceStats
+sequenceLengths(const trace::TraceBuffer& buf, const core::Layout& layout,
+                trace::ImageId image)
+{
+    SequenceStats stats;
+    static constexpr int kMaxCpus = 64;
+    std::uint64_t expected[kMaxCpus];
+    std::uint64_t run[kMaxCpus];
+    for (int i = 0; i < kMaxCpus; ++i) {
+        expected[i] = ~0ULL;
+        run[i] = 0;
+    }
+
+    std::uint64_t blocks = 0;
+    std::uint64_t instrs = 0;
+
+    auto close_run = [&](int cpu) {
+        if (run[cpu] > 0)
+            stats.lengths.record(run[cpu]);
+        run[cpu] = 0;
+        expected[cpu] = ~0ULL;
+    };
+
+    for (const trace::TraceEvent& e : buf.events()) {
+        int cpu = e.cpu;
+        SPIKESIM_ASSERT(cpu < kMaxCpus, "cpu id out of range");
+        if (e.image != image) {
+            // Another stream (kernel entry, data event does not count)
+            // takes over the fetch unit: the run is broken.
+            if (e.image != trace::ImageId::Data)
+                close_run(cpu);
+            continue;
+        }
+        std::uint64_t addr = layout.blockAddr(e.block);
+        std::uint64_t size = layout.blockSize(e.block);
+        ++blocks;
+        instrs += size;
+        if (size == 0)
+            continue; // deleted-branch block: no fetch, run unaffected
+        if (addr != expected[cpu])
+            close_run(cpu);
+        run[cpu] += size;
+        expected[cpu] = addr + size * program::kInstrBytes;
+    }
+    for (int i = 0; i < kMaxCpus; ++i)
+        close_run(i);
+
+    stats.mean = stats.lengths.mean();
+    stats.mean_block_size =
+        blocks == 0 ? 0.0
+                    : static_cast<double>(instrs) /
+                          static_cast<double>(blocks);
+    return stats;
+}
+
+} // namespace spikesim::metrics

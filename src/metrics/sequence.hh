@@ -1,0 +1,46 @@
+#ifndef SPIKESIM_METRICS_SEQUENCE_HH
+#define SPIKESIM_METRICS_SEQUENCE_HH
+
+#include <cstdint>
+
+#include "core/layout.hh"
+#include "support/histogram.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Instruction sequentiality analysis (Figure 8): the number of
+ * sequentially executed instructions between control breaks, measured
+ * by replaying the block trace under a layout and watching for fetch
+ * address discontinuities.
+ */
+
+namespace spikesim::metrics {
+
+/** Results of a sequence-length analysis. */
+struct SequenceStats
+{
+    /** Histogram of run lengths (bucket i = runs of i instructions;
+     *  bucket 0 unused; last bucket clamps, like the paper's x-axis). */
+    support::Histogram lengths;
+    /** Mean run length in instructions. */
+    double mean = 0.0;
+    /** Mean dynamic basic block size (common to all layouts). */
+    double mean_block_size = 0.0;
+
+    SequenceStats() : lengths(34) {}
+};
+
+/**
+ * Measure sequential run lengths for one image's stream in the trace.
+ * Runs are tracked per CPU (each CPU has its own fetch unit); events
+ * from other images break the run on that CPU, as a kernel entry or a
+ * context switch breaks real fetch sequentiality.
+ */
+SequenceStats
+sequenceLengths(const trace::TraceBuffer& buf, const core::Layout& layout,
+                trace::ImageId image);
+
+} // namespace spikesim::metrics
+
+#endif // SPIKESIM_METRICS_SEQUENCE_HH

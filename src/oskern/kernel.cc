@@ -1,0 +1,34 @@
+#include "oskern/kernel.hh"
+
+namespace spikesim::oskern {
+
+KernelModel::KernelModel(const synth::SynthParams& params)
+    : image_(synth::buildSyntheticProgram(params)),
+      walker_(image_.prog, trace::ImageId::Kernel, params.seed ^ 0xf00dULL)
+{
+}
+
+synth::WalkStats
+KernelModel::enter(const std::string& service,
+                   const trace::ExecContext& ctx, trace::TraceSink& sink,
+                   std::span<const int> hints)
+{
+    ++service_counts_[service];
+    return walker_.run(image_.entry(service), ctx, sink, hints);
+}
+
+synth::WalkStats
+KernelModel::timerInterrupt(const trace::ExecContext& ctx,
+                            trace::TraceSink& sink)
+{
+    return enter("intr_timer", ctx, sink);
+}
+
+synth::WalkStats
+KernelModel::contextSwitch(const trace::ExecContext& ctx,
+                           trace::TraceSink& sink)
+{
+    return enter("sched_switch", ctx, sink);
+}
+
+} // namespace spikesim::oskern

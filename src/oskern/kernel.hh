@@ -1,0 +1,67 @@
+#ifndef SPIKESIM_OSKERN_KERNEL_HH
+#define SPIKESIM_OSKERN_KERNEL_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Operating system model: a synthetic Tru64-like kernel image plus a
+ * walker that executes its services. The database engine's I/O layer
+ * enters it for reads, log writes and fsyncs; the scheduler quantum
+ * injects timer interrupts and context switches. Interleaving this
+ * stream with the application stream is what creates the kernel/app
+ * cache interference the paper studies in Figures 12-13.
+ */
+
+namespace spikesim::oskern {
+
+/** The kernel image and its execution state. */
+class KernelModel
+{
+  public:
+    explicit KernelModel(
+        const synth::SynthParams& params = synth::SynthParams::kernelLike());
+
+    const program::Program& prog() const { return image_.prog; }
+    const synth::SyntheticProgram& image() const { return image_; }
+
+    /** Execute a named kernel service (syscall or handler). */
+    synth::WalkStats enter(const std::string& service,
+                           const trace::ExecContext& ctx,
+                           trace::TraceSink& sink,
+                           std::span<const int> hints = {});
+
+    /** Timer interrupt handler. */
+    synth::WalkStats timerInterrupt(const trace::ExecContext& ctx,
+                                    trace::TraceSink& sink);
+
+    /** Scheduler context switch. */
+    synth::WalkStats contextSwitch(const trace::ExecContext& ctx,
+                                   trace::TraceSink& sink);
+
+    /** Total kernel instructions executed. */
+    std::uint64_t totalInstrs() const { return walker_.totalInstrs(); }
+
+    /** Executions per service name (for reporting). */
+    const std::unordered_map<std::string, std::uint64_t>&
+    serviceCounts() const
+    {
+        return service_counts_;
+    }
+
+  private:
+    synth::SyntheticProgram image_;
+    synth::CfgWalker walker_;
+    std::unordered_map<std::string, std::uint64_t> service_counts_;
+};
+
+} // namespace spikesim::oskern
+
+#endif // SPIKESIM_OSKERN_KERNEL_HH

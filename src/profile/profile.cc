@@ -1,0 +1,225 @@
+#include "profile/profile.hh"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "support/panic.hh"
+
+namespace spikesim::profile {
+
+Profile::Profile(const program::Program& prog)
+    : prog_(&prog), block_counts_(prog.numBlocks(), 0)
+{
+}
+
+std::uint64_t
+Profile::blockCount(program::GlobalBlockId g) const
+{
+    SPIKESIM_ASSERT(g < block_counts_.size(), "block id out of range");
+    return block_counts_[g];
+}
+
+std::uint64_t
+Profile::edgeCount(program::GlobalBlockId from,
+                   program::GlobalBlockId to) const
+{
+    auto it = edge_counts_.find(pairKey(from, to));
+    return it == edge_counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+Profile::callCount(program::GlobalBlockId caller_block,
+                   program::ProcId callee) const
+{
+    auto it = call_counts_.find(pairKey(caller_block, callee));
+    return it == call_counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+Profile::procCount(program::ProcId p) const
+{
+    return blockCount(prog_->globalBlockId(p, 0));
+}
+
+std::uint64_t
+Profile::dynamicInstrs() const
+{
+    std::uint64_t total = 0;
+    for (program::GlobalBlockId g = 0; g < block_counts_.size(); ++g)
+        if (block_counts_[g] != 0)
+            total += block_counts_[g] * prog_->block(g).sizeInstrs;
+    return total;
+}
+
+void
+Profile::addBlock(program::GlobalBlockId g, std::uint64_t n)
+{
+    SPIKESIM_ASSERT(g < block_counts_.size(), "block id out of range");
+    block_counts_[g] += n;
+}
+
+void
+Profile::addEdge(program::GlobalBlockId from, program::GlobalBlockId to,
+                 std::uint64_t n)
+{
+    edge_counts_[pairKey(from, to)] += n;
+}
+
+void
+Profile::addCall(program::GlobalBlockId caller_block, program::ProcId callee,
+                 std::uint64_t n)
+{
+    call_counts_[pairKey(caller_block, callee)] += n;
+}
+
+std::vector<std::tuple<program::GlobalBlockId, program::GlobalBlockId,
+                       std::uint64_t>>
+Profile::edges() const
+{
+    std::vector<std::tuple<program::GlobalBlockId, program::GlobalBlockId,
+                           std::uint64_t>>
+        out;
+    out.reserve(edge_counts_.size());
+    for (const auto& [key, count] : edge_counts_)
+        out.emplace_back(static_cast<program::GlobalBlockId>(key >> 32),
+                         static_cast<program::GlobalBlockId>(key), count);
+    return out;
+}
+
+std::vector<std::tuple<program::GlobalBlockId, program::ProcId,
+                       std::uint64_t>>
+Profile::calls() const
+{
+    std::vector<
+        std::tuple<program::GlobalBlockId, program::ProcId, std::uint64_t>>
+        out;
+    out.reserve(call_counts_.size());
+    for (const auto& [key, count] : call_counts_)
+        out.emplace_back(static_cast<program::GlobalBlockId>(key >> 32),
+                         static_cast<program::ProcId>(key), count);
+    return out;
+}
+
+void
+Profile::merge(const Profile& other)
+{
+    SPIKESIM_ASSERT(block_counts_.size() == other.block_counts_.size(),
+                    "profiles are for different programs");
+    for (std::size_t i = 0; i < block_counts_.size(); ++i)
+        block_counts_[i] += other.block_counts_[i];
+    for (const auto& [k, v] : other.edge_counts_)
+        edge_counts_[k] += v;
+    for (const auto& [k, v] : other.call_counts_)
+        call_counts_[k] += v;
+}
+
+void
+Profile::save(std::ostream& os) const
+{
+    os << "spikesim-profile 1\n";
+    os << "blocks " << block_counts_.size() << "\n";
+    for (std::size_t i = 0; i < block_counts_.size(); ++i)
+        if (block_counts_[i] != 0)
+            os << "b " << i << " " << block_counts_[i] << "\n";
+    for (const auto& [key, count] : edge_counts_)
+        os << "e " << (key >> 32) << " " << (key & 0xffffffffu) << " "
+           << count << "\n";
+    for (const auto& [key, count] : call_counts_)
+        os << "c " << (key >> 32) << " " << (key & 0xffffffffu) << " "
+           << count << "\n";
+    os << "end\n";
+}
+
+Profile
+Profile::load(const program::Program& prog, std::istream& is)
+{
+    Profile p(prog);
+    std::string tag;
+    int version = 0;
+    is >> tag >> version;
+    if (tag != "spikesim-profile" || version != 1)
+        support::fatal("bad profile header");
+    std::size_t nblocks = 0;
+    is >> tag >> nblocks;
+    if (tag != "blocks" || nblocks != prog.numBlocks())
+        support::fatal("profile does not match program");
+    while (is >> tag) {
+        if (tag == "end")
+            break;
+        std::uint64_t a = 0, b = 0, n = 0;
+        if (tag == "b") {
+            is >> a >> n;
+            p.addBlock(static_cast<program::GlobalBlockId>(a), n);
+        } else if (tag == "e") {
+            is >> a >> b >> n;
+            p.addEdge(static_cast<program::GlobalBlockId>(a),
+                      static_cast<program::GlobalBlockId>(b), n);
+        } else if (tag == "c") {
+            is >> a >> b >> n;
+            p.addCall(static_cast<program::GlobalBlockId>(a),
+                      static_cast<program::ProcId>(b), n);
+        } else {
+            support::fatal("bad profile record '" + tag + "'");
+        }
+    }
+    return p;
+}
+
+ProfileRecorder::ProfileRecorder(trace::ImageId image, Profile& profile)
+    : image_(image), profile_(profile)
+{
+}
+
+void
+ProfileRecorder::onBlock(const trace::ExecContext&, trace::ImageId image,
+                         program::GlobalBlockId block)
+{
+    if (image == image_)
+        profile_.addBlock(block);
+}
+
+void
+ProfileRecorder::onEdge(trace::ImageId image, program::GlobalBlockId from,
+                        program::GlobalBlockId to)
+{
+    if (image == image_)
+        profile_.addEdge(from, to);
+}
+
+void
+ProfileRecorder::onCall(trace::ImageId image,
+                        program::GlobalBlockId caller_block,
+                        program::ProcId callee)
+{
+    if (image == image_)
+        profile_.addCall(caller_block, callee);
+}
+
+CallGraph
+CallGraph::fromProfile(const Profile& profile)
+{
+    CallGraph g;
+    const auto& prog = profile.prog();
+    g.num_nodes_ = prog.numProcs();
+    for (const auto& [caller_block, callee, count] : profile.calls()) {
+        auto [caller_proc, local] = prog.locateBlock(caller_block);
+        (void)local;
+        std::uint64_t key = pairKey(caller_proc, callee);
+        g.weight_[key] += count;
+    }
+    g.edges_.reserve(g.weight_.size());
+    for (const auto& [key, w] : g.weight_)
+        g.edges_.emplace_back(static_cast<program::ProcId>(key >> 32),
+                              static_cast<program::ProcId>(key), w);
+    return g;
+}
+
+std::uint64_t
+CallGraph::weight(program::ProcId caller, program::ProcId callee) const
+{
+    auto it = weight_.find(pairKey(caller, callee));
+    return it == weight_.end() ? 0 : it->second;
+}
+
+} // namespace spikesim::profile

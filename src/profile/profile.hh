@@ -1,0 +1,137 @@
+#ifndef SPIKESIM_PROFILE_PROFILE_HH
+#define SPIKESIM_PROFILE_PROFILE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "program/program.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Execution profiles: exact basic-block, flow-edge, and call-edge
+ * counts for one image, collected Pixie-style by instrumenting the CFG
+ * walk. This is the input to every layout optimization in src/core.
+ */
+
+namespace spikesim::profile {
+
+/** Packs an ordered id pair into a hash-map key. */
+inline std::uint64_t
+pairKey(std::uint32_t a, std::uint32_t b)
+{
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/** Block/edge/call counts for one program image. */
+class Profile
+{
+  public:
+    /** Create an empty profile sized for the given program. */
+    explicit Profile(const program::Program& prog);
+
+    const program::Program& prog() const { return *prog_; }
+
+    /** Execution count of a block (by global id). */
+    std::uint64_t blockCount(program::GlobalBlockId g) const;
+
+    /** Execution count of the flow edge from -> to (global ids). */
+    std::uint64_t edgeCount(program::GlobalBlockId from,
+                            program::GlobalBlockId to) const;
+
+    /** Number of calls from caller_block to callee procedure. */
+    std::uint64_t callCount(program::GlobalBlockId caller_block,
+                            program::ProcId callee) const;
+
+    /** Invocation count of a procedure (its entry block count). */
+    std::uint64_t procCount(program::ProcId p) const;
+
+    /** Total dynamic instructions implied by the block counts. */
+    std::uint64_t dynamicInstrs() const;
+
+    void addBlock(program::GlobalBlockId g, std::uint64_t n = 1);
+    void addEdge(program::GlobalBlockId from, program::GlobalBlockId to,
+                 std::uint64_t n = 1);
+    void addCall(program::GlobalBlockId caller_block,
+                 program::ProcId callee, std::uint64_t n = 1);
+
+    /** All flow edges with non-zero counts, as (from, to, count). */
+    std::vector<std::tuple<program::GlobalBlockId, program::GlobalBlockId,
+                           std::uint64_t>>
+    edges() const;
+
+    /** All call edges with non-zero counts (callerBlock, callee, count). */
+    std::vector<
+        std::tuple<program::GlobalBlockId, program::ProcId, std::uint64_t>>
+    calls() const;
+
+    /** Merge another profile over the same program. */
+    void merge(const Profile& other);
+
+    /** Text serialization (round-trips through load()). */
+    void save(std::ostream& os) const;
+
+    /** Load a profile saved by save(); program must match block count. */
+    static Profile load(const program::Program& prog, std::istream& is);
+
+  private:
+    const program::Program* prog_;
+    std::vector<std::uint64_t> block_counts_;
+    std::unordered_map<std::uint64_t, std::uint64_t> edge_counts_;
+    std::unordered_map<std::uint64_t, std::uint64_t> call_counts_;
+};
+
+/**
+ * TraceSink that accumulates a Profile for one image, ignoring events
+ * from other images.
+ */
+class ProfileRecorder : public trace::TraceSink
+{
+  public:
+    ProfileRecorder(trace::ImageId image, Profile& profile);
+
+    void onBlock(const trace::ExecContext& ctx, trace::ImageId image,
+                 program::GlobalBlockId block) override;
+    void onEdge(trace::ImageId image, program::GlobalBlockId from,
+                program::GlobalBlockId to) override;
+    void onCall(trace::ImageId image, program::GlobalBlockId caller_block,
+                program::ProcId callee) override;
+
+  private:
+    trace::ImageId image_;
+    Profile& profile_;
+};
+
+/** Procedure-level call multigraph collapsed to simple weighted edges. */
+class CallGraph
+{
+  public:
+    /** Build the proc-level call graph from a profile. */
+    static CallGraph fromProfile(const Profile& profile);
+
+    std::size_t numNodes() const { return num_nodes_; }
+
+    /** Weight of the (directed) edge caller -> callee; 0 if absent. */
+    std::uint64_t weight(program::ProcId caller,
+                         program::ProcId callee) const;
+
+    /** All directed edges (caller, callee, weight), weight > 0. */
+    const std::vector<
+        std::tuple<program::ProcId, program::ProcId, std::uint64_t>>&
+    edges() const
+    {
+        return edges_;
+    }
+
+  private:
+    std::size_t num_nodes_ = 0;
+    std::vector<std::tuple<program::ProcId, program::ProcId, std::uint64_t>>
+        edges_;
+    std::unordered_map<std::uint64_t, std::uint64_t> weight_;
+};
+
+} // namespace spikesim::profile
+
+#endif // SPIKESIM_PROFILE_PROFILE_HH

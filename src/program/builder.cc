@@ -1,0 +1,57 @@
+#include "program/builder.hh"
+
+#include "support/panic.hh"
+
+namespace spikesim::program {
+
+ProcedureBuilder::ProcedureBuilder(std::string name)
+{
+    proc_.name = std::move(name);
+}
+
+BlockLocalId
+ProcedureBuilder::addBlock(std::uint32_t size_instrs, Terminator term,
+                           ProcId callee)
+{
+    BasicBlock b;
+    b.sizeInstrs = size_instrs;
+    b.term = term;
+    b.callee = callee;
+    proc_.blocks.push_back(b);
+    return static_cast<BlockLocalId>(proc_.blocks.size() - 1);
+}
+
+void
+ProcedureBuilder::addEdge(BlockLocalId from, BlockLocalId to, EdgeKind kind,
+                          double prob)
+{
+    FlowEdge e;
+    e.from = from;
+    e.to = to;
+    e.kind = kind;
+    e.prob = prob;
+    proc_.edges.push_back(e);
+}
+
+void
+ProcedureBuilder::addCond(BlockLocalId from, BlockLocalId taken,
+                          BlockLocalId fallthrough, double taken_prob)
+{
+    addEdge(from, taken, EdgeKind::CondTaken, taken_prob);
+    addEdge(from, fallthrough, EdgeKind::FallThrough, 1.0 - taken_prob);
+}
+
+void
+ProcedureBuilder::setHintSlot(BlockLocalId b, std::uint16_t slot)
+{
+    SPIKESIM_ASSERT(b < proc_.blocks.size(), "hint block out of range");
+    proc_.blocks[b].hintSlot = slot;
+}
+
+Procedure
+ProcedureBuilder::build()
+{
+    return std::move(proc_);
+}
+
+} // namespace spikesim::program

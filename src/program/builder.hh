@@ -1,0 +1,50 @@
+#ifndef SPIKESIM_PROGRAM_BUILDER_HH
+#define SPIKESIM_PROGRAM_BUILDER_HH
+
+#include <string>
+
+#include "program/program.hh"
+
+/**
+ * @file
+ * Convenience builder for hand-constructing procedures in tests and in
+ * the synthetic program generator. Thin sugar over Procedure; the real
+ * invariants are enforced by Program::validate().
+ */
+
+namespace spikesim::program {
+
+/** Incrementally builds one Procedure. */
+class ProcedureBuilder
+{
+  public:
+    explicit ProcedureBuilder(std::string name);
+
+    /** Add a block; returns its local id (entry is the first added). */
+    BlockLocalId addBlock(std::uint32_t size_instrs, Terminator term,
+                          ProcId callee = kInvalidId);
+
+    /** Add a typed control-flow edge. */
+    void addEdge(BlockLocalId from, BlockLocalId to, EdgeKind kind,
+                 double prob = 1.0);
+
+    /** Shorthand: conditional with taken-probability p. */
+    void addCond(BlockLocalId from, BlockLocalId taken,
+                 BlockLocalId fallthrough, double taken_prob);
+
+    /** Mark a block as a hinted-loop head consuming the given slot. */
+    void setHintSlot(BlockLocalId b, std::uint16_t slot);
+
+    /** Number of blocks added so far. */
+    std::size_t numBlocks() const { return proc_.blocks.size(); }
+
+    /** Move the finished procedure out. */
+    Procedure build();
+
+  private:
+    Procedure proc_;
+};
+
+} // namespace spikesim::program
+
+#endif // SPIKESIM_PROGRAM_BUILDER_HH

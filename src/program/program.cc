@@ -1,0 +1,225 @@
+#include "program/program.hh"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/panic.hh"
+
+namespace spikesim::program {
+
+const char*
+terminatorName(Terminator t)
+{
+    switch (t) {
+      case Terminator::FallThrough: return "fallthrough";
+      case Terminator::CondBranch: return "cond";
+      case Terminator::UncondBranch: return "uncond";
+      case Terminator::IndirectJump: return "indirect";
+      case Terminator::Call: return "call";
+      case Terminator::Return: return "return";
+    }
+    return "?";
+}
+
+std::uint64_t
+Procedure::sizeInstrs() const
+{
+    std::uint64_t total = 0;
+    for (const auto& b : blocks)
+        total += b.sizeInstrs;
+    return total;
+}
+
+std::vector<const FlowEdge*>
+Procedure::outEdges(BlockLocalId b) const
+{
+    std::vector<const FlowEdge*> out;
+    for (const auto& e : edges)
+        if (e.from == b)
+            out.push_back(&e);
+    return out;
+}
+
+Program::Program(std::string name) : name_(std::move(name)) {}
+
+ProcId
+Program::addProcedure(Procedure proc)
+{
+    SPIKESIM_ASSERT(!proc.blocks.empty(),
+                    "procedure " << proc.name << " has no blocks");
+    auto id = static_cast<ProcId>(procs_.size());
+    block_base_.push_back(num_blocks_);
+    num_blocks_ += static_cast<std::uint32_t>(proc.blocks.size());
+    procs_.push_back(std::move(proc));
+    return id;
+}
+
+const Procedure&
+Program::proc(ProcId p) const
+{
+    SPIKESIM_ASSERT(p < procs_.size(), "proc id out of range: " << p);
+    return procs_[p];
+}
+
+Procedure&
+Program::proc(ProcId p)
+{
+    SPIKESIM_ASSERT(p < procs_.size(), "proc id out of range: " << p);
+    return procs_[p];
+}
+
+ProcId
+Program::findProc(const std::string& name) const
+{
+    for (std::size_t i = 0; i < procs_.size(); ++i)
+        if (procs_[i].name == name)
+            return static_cast<ProcId>(i);
+    return kInvalidId;
+}
+
+GlobalBlockId
+Program::globalBlockId(ProcId p, BlockLocalId b) const
+{
+    SPIKESIM_ASSERT(p < procs_.size(), "proc id out of range: " << p);
+    SPIKESIM_ASSERT(b < procs_[p].blocks.size(),
+                    "block " << b << " out of range in proc " << p);
+    return block_base_[p] + b;
+}
+
+std::pair<ProcId, BlockLocalId>
+Program::locateBlock(GlobalBlockId g) const
+{
+    SPIKESIM_ASSERT(g < num_blocks_, "global block id out of range: " << g);
+    // Binary search over block_base_.
+    std::size_t lo = 0, hi = block_base_.size() - 1;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi + 1) / 2;
+        if (block_base_[mid] <= g)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return {static_cast<ProcId>(lo), g - block_base_[lo]};
+}
+
+const BasicBlock&
+Program::block(GlobalBlockId g) const
+{
+    auto [p, b] = locateBlock(g);
+    return procs_[p].blocks[b];
+}
+
+std::uint64_t
+Program::sizeInstrs() const
+{
+    std::uint64_t total = 0;
+    for (const auto& p : procs_)
+        total += p.sizeInstrs();
+    return total;
+}
+
+namespace {
+
+std::string
+checkProc(const Program& prog, ProcId pid)
+{
+    const Procedure& p = prog.proc(pid);
+    std::ostringstream err;
+    auto fail = [&](const std::string& what) {
+        return "proc " + p.name + " (#" + std::to_string(pid) + "): " + what;
+    };
+
+    // Collect out-edges per block.
+    std::vector<std::vector<const FlowEdge*>> out(p.blocks.size());
+    for (const auto& e : p.edges) {
+        if (e.from >= p.blocks.size() || e.to >= p.blocks.size())
+            return fail("edge references block out of range");
+        if (e.prob < 0.0 || e.prob > 1.0)
+            return fail("edge probability out of [0,1]");
+        out[e.from].push_back(&e);
+    }
+
+    for (BlockLocalId b = 0; b < p.blocks.size(); ++b) {
+        const BasicBlock& blk = p.blocks[b];
+        const auto& oe = out[b];
+        auto count = [&](EdgeKind k) {
+            std::size_t n = 0;
+            for (const auto* e : oe)
+                if (e->kind == k)
+                    ++n;
+            return n;
+        };
+        std::string where = "block " + std::to_string(b) + " (" +
+                            terminatorName(blk.term) + ")";
+        if (blk.sizeInstrs == 0)
+            return fail(where + " has zero size");
+        switch (blk.term) {
+          case Terminator::FallThrough:
+          case Terminator::Call:
+            if (oe.size() != 1 || count(EdgeKind::FallThrough) != 1)
+                return fail(where + " needs exactly one fall-through edge");
+            if (blk.term == Terminator::Call) {
+                if (blk.callee == kInvalidId)
+                    return fail(where + " call without callee");
+            } else if (blk.callee != kInvalidId) {
+                return fail(where + " non-call block has a callee");
+            }
+            break;
+          case Terminator::CondBranch:
+            if (oe.size() != 2 || count(EdgeKind::CondTaken) != 1 ||
+                count(EdgeKind::FallThrough) != 1)
+                return fail(where +
+                            " needs one taken and one fall-through edge");
+            break;
+          case Terminator::UncondBranch:
+            if (oe.size() != 1 || count(EdgeKind::UncondTarget) != 1)
+                return fail(where + " needs exactly one uncond edge");
+            break;
+          case Terminator::IndirectJump:
+            if (oe.empty() || count(EdgeKind::IndirectTarget) != oe.size())
+                return fail(where + " needs >= 1 indirect edges");
+            break;
+          case Terminator::Return:
+            if (!oe.empty())
+                return fail(where + " return must have no successors");
+            break;
+        }
+        if (blk.term != Terminator::Call && blk.callee != kInvalidId)
+            return fail(where + " non-call block has a callee");
+        if (blk.callee != kInvalidId && blk.callee >= prog.numProcs())
+            return fail(where + " callee out of range");
+        // Outgoing probabilities should sum to ~1 for multi-way blocks.
+        if (!oe.empty()) {
+            double sum = 0.0;
+            for (const auto* e : oe)
+                sum += e->prob;
+            if (std::abs(sum - 1.0) > 1e-6)
+                return fail(where + " edge probabilities sum to " +
+                            std::to_string(sum));
+        }
+    }
+    // The procedure must be able to terminate: at least one return block.
+    bool has_return = false;
+    for (const auto& blk : p.blocks)
+        if (blk.term == Terminator::Return)
+            has_return = true;
+    if (!has_return)
+        return fail("no return block");
+    return "";
+}
+
+} // namespace
+
+std::string
+Program::validate() const
+{
+    for (ProcId pid = 0; pid < procs_.size(); ++pid) {
+        std::string err = checkProc(*this, pid);
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+} // namespace spikesim::program

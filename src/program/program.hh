@@ -1,0 +1,177 @@
+#ifndef SPIKESIM_PROGRAM_PROGRAM_HH
+#define SPIKESIM_PROGRAM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Structural model of an executable image: procedures made of basic
+ * blocks connected by typed control-flow edges, plus call sites. This is
+ * the representation the layout optimizer (src/core) consumes and the
+ * CFG walker (src/synth) executes. Instructions are fixed-width 4 bytes
+ * (Alpha-style); blocks carry only an instruction count, since layout
+ * optimization never looks inside a block.
+ */
+
+namespace spikesim::program {
+
+using ProcId = std::uint32_t;
+using BlockLocalId = std::uint32_t;
+/** Program-wide dense block id (see Program::globalBlockId). */
+using GlobalBlockId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = 0xffffffffu;
+/** Fixed instruction width in bytes (Alpha). */
+inline constexpr std::uint32_t kInstrBytes = 4;
+
+/**
+ * How a basic block ends. This determines which outgoing edges are legal
+ * and what control instructions the block needs under a given layout:
+ *
+ * - FallThrough: no control instruction; must be followed (dynamically)
+ *   by its unique successor. If the layout does not place the successor
+ *   adjacently, an unconditional branch is materialized (+1 instruction).
+ * - CondBranch: conditional branch with a taken successor and a
+ *   fall-through successor. The branch sense can be inverted for free,
+ *   so whichever successor is adjacent becomes the fall-through; if
+ *   neither is adjacent an extra unconditional branch is materialized.
+ * - UncondBranch: direct jump to the unique successor. If the layout
+ *   places the successor adjacently the branch is deleted (-1
+ *   instruction), which is the "eliminates frequently executed
+ *   unconditional branches" effect from the paper.
+ * - IndirectJump: computed jump (switch); always breaks the fetch
+ *   sequence.
+ * - Call: direct procedure call; execution continues in the callee and
+ *   resumes at this block's unique fall-through successor. Always breaks
+ *   the fetch sequence (like FallThrough, the successor may need a
+ *   materialized branch after the call returns — handled as adjacency of
+ *   the fall-through successor).
+ * - Return: subroutine return; no intra-procedure successors.
+ */
+enum class Terminator : std::uint8_t {
+    FallThrough,
+    CondBranch,
+    UncondBranch,
+    IndirectJump,
+    Call,
+    Return,
+};
+
+/** Human-readable terminator name (for dumps and test failures). */
+const char* terminatorName(Terminator t);
+
+/** Kind of an intra-procedure control-flow edge. */
+enum class EdgeKind : std::uint8_t {
+    /** Sequential successor of FallThrough / CondBranch / Call blocks. */
+    FallThrough,
+    /** Taken side of a CondBranch block. */
+    CondTaken,
+    /** Target of an UncondBranch block. */
+    UncondTarget,
+    /** One target of an IndirectJump block. */
+    IndirectTarget,
+};
+
+/** An intra-procedure control-flow edge with a static probability hint. */
+struct FlowEdge
+{
+    BlockLocalId from = kInvalidId;
+    BlockLocalId to = kInvalidId;
+    EdgeKind kind = EdgeKind::FallThrough;
+    /**
+     * Static probability that control leaves `from` via this edge,
+     * used by the CFG walker; the optimizer uses *measured* edge
+     * profiles instead.
+     */
+    double prob = 1.0;
+};
+
+/**
+ * A basic block. `sizeInstrs` counts the block's instructions including
+ * its terminating control instruction where one is architecturally
+ * required (CondBranch, UncondBranch, IndirectJump, Call, Return);
+ * FallThrough blocks have no terminator instruction. Layout may add or
+ * remove one trailing unconditional branch as described at Terminator.
+ */
+struct BasicBlock
+{
+    std::uint32_t sizeInstrs = 1;
+    Terminator term = Terminator::FallThrough;
+    /** Callee procedure when term == Call. */
+    ProcId callee = kInvalidId;
+    /**
+     * When this block is the head of a walker-hint loop, the 1-based
+     * hint slot whose value supplies the trip count; 0 = not hinted.
+     */
+    std::uint16_t hintSlot = 0;
+};
+
+/** A procedure: blocks (entry = block 0) plus its flow edges. */
+struct Procedure
+{
+    std::string name;
+    std::vector<BasicBlock> blocks;
+    std::vector<FlowEdge> edges;
+
+    /** Total static size of the procedure body in instructions. */
+    std::uint64_t sizeInstrs() const;
+
+    /** Outgoing edges of a block (linear scan; fine for build/validate). */
+    std::vector<const FlowEdge*> outEdges(BlockLocalId b) const;
+};
+
+/**
+ * An executable image: a set of procedures with a dense global block id
+ * space (for compact traces and profiles).
+ */
+class Program
+{
+  public:
+    explicit Program(std::string name);
+
+    /** Append a procedure; returns its id. */
+    ProcId addProcedure(Procedure proc);
+
+    const std::string& name() const { return name_; }
+    std::size_t numProcs() const { return procs_.size(); }
+    const Procedure& proc(ProcId p) const;
+    Procedure& proc(ProcId p);
+
+    /** Look up a procedure id by name; kInvalidId if absent. */
+    ProcId findProc(const std::string& name) const;
+
+    /** Total number of basic blocks across all procedures. */
+    std::uint32_t numBlocks() const { return num_blocks_; }
+
+    /** Dense program-wide block id. */
+    GlobalBlockId globalBlockId(ProcId p, BlockLocalId b) const;
+
+    /** Inverse mapping of globalBlockId. */
+    std::pair<ProcId, BlockLocalId> locateBlock(GlobalBlockId g) const;
+
+    /** The block record behind a global id. */
+    const BasicBlock& block(GlobalBlockId g) const;
+
+    /** Total static program size in instructions. */
+    std::uint64_t sizeInstrs() const;
+
+    /**
+     * Check structural invariants (edge/terminator consistency, valid
+     * callees, probabilities summing to ~1 per block). Returns an empty
+     * string when valid, else a description of the first problem.
+     */
+    std::string validate() const;
+
+  private:
+    std::string name_;
+    std::vector<Procedure> procs_;
+    /** blockBase_[p] = global id of proc p's block 0. */
+    std::vector<GlobalBlockId> block_base_;
+    std::uint32_t num_blocks_ = 0;
+};
+
+} // namespace spikesim::program
+
+#endif // SPIKESIM_PROGRAM_PROGRAM_HH

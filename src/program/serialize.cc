@@ -1,0 +1,133 @@
+#include "program/serialize.hh"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "support/panic.hh"
+
+namespace spikesim::program {
+
+namespace {
+
+const char*
+edgeKindName(EdgeKind k)
+{
+    switch (k) {
+      case EdgeKind::FallThrough: return "fall";
+      case EdgeKind::CondTaken: return "taken";
+      case EdgeKind::UncondTarget: return "uncond";
+      case EdgeKind::IndirectTarget: return "indirect";
+    }
+    return "?";
+}
+
+EdgeKind
+edgeKindFromName(const std::string& s)
+{
+    if (s == "fall")
+        return EdgeKind::FallThrough;
+    if (s == "taken")
+        return EdgeKind::CondTaken;
+    if (s == "uncond")
+        return EdgeKind::UncondTarget;
+    if (s == "indirect")
+        return EdgeKind::IndirectTarget;
+    support::fatal("bad edge kind '" + s + "'");
+}
+
+Terminator
+terminatorFromName(const std::string& s)
+{
+    for (Terminator t :
+         {Terminator::FallThrough, Terminator::CondBranch,
+          Terminator::UncondBranch, Terminator::IndirectJump,
+          Terminator::Call, Terminator::Return}) {
+        if (s == terminatorName(t))
+            return t;
+    }
+    support::fatal("bad terminator '" + s + "'");
+}
+
+} // namespace
+
+void
+saveProgram(const Program& prog, std::ostream& os)
+{
+    os << "spikesim-program 1\n";
+    // Probabilities must survive the round trip bit-exactly (the
+    // validator checks per-block sums to 1e-6).
+    os << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    os << "name " << prog.name() << "\n";
+    for (ProcId p = 0; p < prog.numProcs(); ++p) {
+        const Procedure& proc = prog.proc(p);
+        os << "proc " << proc.name << " " << proc.blocks.size() << "\n";
+        for (const BasicBlock& b : proc.blocks) {
+            os << "b " << b.sizeInstrs << " " << terminatorName(b.term);
+            if (b.term == Terminator::Call)
+                os << " " << b.callee;
+            else
+                os << " -";
+            os << " " << b.hintSlot << "\n";
+        }
+        for (const FlowEdge& e : proc.edges)
+            os << "e " << e.from << " " << e.to << " "
+               << edgeKindName(e.kind) << " " << e.prob << "\n";
+        os << "end\n";
+    }
+}
+
+Program
+loadProgram(std::istream& is)
+{
+    std::string tag;
+    int version = 0;
+    is >> tag >> version;
+    if (tag != "spikesim-program" || version != 1)
+        support::fatal("bad program header");
+    std::string name_tag, name;
+    is >> name_tag >> name;
+    if (name_tag != "name")
+        support::fatal("missing program name");
+
+    Program prog(name);
+    while (is >> tag) {
+        if (tag != "proc")
+            support::fatal("expected proc record, got '" + tag + "'");
+        Procedure proc;
+        std::size_t num_blocks = 0;
+        is >> proc.name >> num_blocks;
+        while (is >> tag) {
+            if (tag == "end")
+                break;
+            if (tag == "b") {
+                BasicBlock b;
+                std::string term, callee;
+                is >> b.sizeInstrs >> term >> callee >> b.hintSlot;
+                b.term = terminatorFromName(term);
+                if (callee != "-")
+                    b.callee =
+                        static_cast<ProcId>(std::stoul(callee));
+                proc.blocks.push_back(b);
+            } else if (tag == "e") {
+                FlowEdge e;
+                std::string kind;
+                is >> e.from >> e.to >> kind >> e.prob;
+                e.kind = edgeKindFromName(kind);
+                proc.edges.push_back(e);
+            } else {
+                support::fatal("bad record '" + tag + "' in proc " +
+                               proc.name);
+            }
+        }
+        if (proc.blocks.size() != num_blocks)
+            support::fatal("block count mismatch in proc " + proc.name);
+        prog.addProcedure(std::move(proc));
+    }
+    return prog;
+}
+
+} // namespace spikesim::program

@@ -1,0 +1,32 @@
+#ifndef SPIKESIM_PROGRAM_SERIALIZE_HH
+#define SPIKESIM_PROGRAM_SERIALIZE_HH
+
+#include <iosfwd>
+
+#include "program/program.hh"
+
+/**
+ * @file
+ * Text serialization of the structural program model. Lets a generated
+ * image be dumped, inspected, diffed, and reloaded — the equivalent of
+ * disassembling the binary under study. The format is line-oriented:
+ *
+ *   spikesim-program 1
+ *   name <program name>
+ *   proc <name> <num blocks>
+ *   b <size> <term> [callee] [hint]
+ *   e <from> <to> <kind> <prob>
+ *   end
+ */
+
+namespace spikesim::program {
+
+/** Write the program in the text format above. */
+void saveProgram(const Program& prog, std::ostream& os);
+
+/** Parse a program written by saveProgram. fatal() on malformed input. */
+Program loadProgram(std::istream& is);
+
+} // namespace spikesim::program
+
+#endif // SPIKESIM_PROGRAM_SERIALIZE_HH

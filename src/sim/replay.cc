@@ -1,0 +1,284 @@
+#include "sim/replay.hh"
+
+#include <bit>
+
+#include <unordered_map>
+
+#include "support/panic.hh"
+
+namespace spikesim::sim {
+
+using trace::ImageId;
+using trace::TraceEvent;
+
+namespace {
+
+bool
+wantImage(StreamFilter filter, ImageId image)
+{
+    switch (filter) {
+      case StreamFilter::AppOnly:
+        return image == ImageId::App;
+      case StreamFilter::KernelOnly:
+        return image == ImageId::Kernel;
+      case StreamFilter::Combined:
+        return image == ImageId::App || image == ImageId::Kernel;
+    }
+    return false;
+}
+
+mem::Owner
+ownerOf(ImageId image)
+{
+    return image == ImageId::App ? mem::Owner::App : mem::Owner::Kernel;
+}
+
+} // namespace
+
+Replayer::Replayer(const trace::TraceBuffer& trace,
+                   const core::Layout& app_layout,
+                   const core::Layout* kernel_layout)
+    : trace_(trace), app_(app_layout), kernel_(kernel_layout)
+{
+    int max_cpu = 0;
+    for (const TraceEvent& e : trace.events())
+        if (e.cpu > max_cpu)
+            max_cpu = e.cpu;
+    num_cpus_ = max_cpu + 1;
+}
+
+namespace {
+
+/** Kernel events may only be replayed when a kernel layout exists. */
+const core::Layout&
+layoutFor(ImageId image, const core::Layout& app,
+          const core::Layout* kernel)
+{
+    if (image == ImageId::App)
+        return app;
+    SPIKESIM_ASSERT(kernel != nullptr,
+                    "replaying kernel events requires a kernel layout");
+    return *kernel;
+}
+
+} // namespace
+
+ICacheReplayResult
+Replayer::icache(const mem::CacheConfig& config, StreamFilter filter) const
+{
+    ICacheReplayResult result;
+    std::vector<mem::SetAssocCache> caches;
+    caches.reserve(static_cast<std::size_t>(num_cpus_));
+    for (int i = 0; i < num_cpus_; ++i)
+        caches.emplace_back(config);
+
+    const std::uint64_t line = config.line_bytes;
+    for (const TraceEvent& e : trace_.events()) {
+        if (!wantImage(filter, e.image))
+            continue;
+        const core::Layout& layout = layoutFor(e.image, app_, kernel_);
+        std::uint64_t bytes = layout.blockBytes(e.block);
+        if (bytes == 0)
+            continue;
+        std::uint64_t addr = layout.blockAddr(e.block);
+        std::uint64_t end = addr + bytes;
+        mem::Owner owner = ownerOf(e.image);
+        int m = owner == mem::Owner::App ? 0 : 1;
+        mem::SetAssocCache& cache = caches[e.cpu];
+        for (std::uint64_t a = addr & ~(line - 1); a < end; a += line) {
+            ++result.accesses;
+            mem::AccessResult r = cache.access(a, owner);
+            if (!r.hit) {
+                ++result.misses;
+                if (owner == mem::Owner::App)
+                    ++result.app_misses;
+                else
+                    ++result.kernel_misses;
+                int v = r.victim == mem::Owner::App      ? 0
+                        : r.victim == mem::Owner::Kernel ? 1
+                                                         : 2;
+                ++result.interference.counts[m][v];
+            }
+        }
+    }
+    return result;
+}
+
+WordStats
+Replayer::instrumented(const mem::CacheConfig& config, StreamFilter filter,
+                       bool flush_at_end) const
+{
+    std::vector<mem::InstrumentedICache> caches;
+    caches.reserve(static_cast<std::size_t>(num_cpus_));
+    for (int i = 0; i < num_cpus_; ++i)
+        caches.emplace_back(config);
+
+    for (const TraceEvent& e : trace_.events()) {
+        if (!wantImage(filter, e.image))
+            continue;
+        const core::Layout& layout = layoutFor(e.image, app_, kernel_);
+        std::uint32_t words = layout.blockSize(e.block);
+        std::uint64_t addr = layout.blockAddr(e.block);
+        mem::Owner owner = ownerOf(e.image);
+        mem::InstrumentedICache& cache = caches[e.cpu];
+        for (std::uint32_t w = 0; w < words; ++w)
+            cache.fetchWord(addr + w * 4ull, owner);
+    }
+
+    WordStats out;
+    out.words_used = support::Histogram(config.line_bytes / 4 + 1);
+    double fetched = 0.0;
+    double unused = 0.0;
+    for (auto& cache : caches) {
+        if (flush_at_end)
+            cache.flush();
+        out.words_used.merge(cache.wordsUsed());
+        out.word_reuse.merge(cache.wordReuse());
+        // Log2Histogram lacks merge; fold buckets manually.
+        for (std::size_t b = 0; b < cache.lifetimes().numBuckets(); ++b) {
+            std::uint64_t count = cache.lifetimes().bucket(b);
+            if (count > 0)
+                out.lifetimes.record(1ULL << b, count);
+        }
+        out.misses += cache.misses();
+        fetched += static_cast<double>(cache.wordReuse().totalSamples());
+        unused += cache.unusedWordFraction() *
+                  static_cast<double>(cache.wordReuse().totalSamples());
+    }
+    out.unused_word_fraction = fetched == 0.0 ? 0.0 : unused / fetched;
+    return out;
+}
+
+mem::ThreeCStats
+Replayer::threeCs(const mem::CacheConfig& config,
+                  StreamFilter filter) const
+{
+    std::vector<mem::ClassifyingICache> caches;
+    caches.reserve(static_cast<std::size_t>(num_cpus_));
+    for (int i = 0; i < num_cpus_; ++i)
+        caches.emplace_back(config);
+
+    const std::uint64_t line = config.line_bytes;
+    for (const TraceEvent& e : trace_.events()) {
+        if (!wantImage(filter, e.image))
+            continue;
+        const core::Layout& layout = layoutFor(e.image, app_, kernel_);
+        std::uint64_t bytes = layout.blockBytes(e.block);
+        if (bytes == 0)
+            continue;
+        std::uint64_t addr = layout.blockAddr(e.block);
+        std::uint64_t end = addr + bytes;
+        mem::ClassifyingICache& cache = caches[e.cpu];
+        for (std::uint64_t a = addr & ~(line - 1); a < end; a += line)
+            cache.access(a);
+    }
+    mem::ThreeCStats total;
+    for (const auto& c : caches)
+        total += c.stats();
+    return total;
+}
+
+mem::StreamBufferStats
+Replayer::streamBuffer(const mem::CacheConfig& config, int num_buffers,
+                       StreamFilter filter) const
+{
+    std::vector<mem::StreamBufferICache> caches;
+    caches.reserve(static_cast<std::size_t>(num_cpus_));
+    for (int i = 0; i < num_cpus_; ++i)
+        caches.emplace_back(config, num_buffers);
+
+    const std::uint64_t line = config.line_bytes;
+    for (const TraceEvent& e : trace_.events()) {
+        if (!wantImage(filter, e.image))
+            continue;
+        const core::Layout& layout = layoutFor(e.image, app_, kernel_);
+        std::uint64_t bytes = layout.blockBytes(e.block);
+        if (bytes == 0)
+            continue;
+        std::uint64_t addr = layout.blockAddr(e.block);
+        std::uint64_t end = addr + bytes;
+        mem::StreamBufferICache& cache = caches[e.cpu];
+        for (std::uint64_t a = addr & ~(line - 1); a < end; a += line)
+            cache.fetchLine(a);
+    }
+    mem::StreamBufferStats total;
+    for (const auto& c : caches) {
+        total.accesses += c.stats().accesses;
+        total.l1_misses += c.stats().l1_misses;
+        total.stream_hits += c.stats().stream_hits;
+        total.demand_misses += c.stats().demand_misses;
+    }
+    return total;
+}
+
+HierarchyReplayResult
+Replayer::hierarchy(const mem::HierarchyConfig& config,
+                    bool include_data, bool model_coherence) const
+{
+    // line -> last CPU that touched it (coherence model).
+    std::unordered_map<std::uint64_t, std::uint8_t> data_owner;
+    HierarchyReplayResult result;
+    std::vector<mem::MemoryHierarchy> cpus;
+    cpus.reserve(static_cast<std::size_t>(num_cpus_));
+    for (int i = 0; i < num_cpus_; ++i)
+        cpus.emplace_back(config);
+
+    const std::uint64_t iline = config.l1i.line_bytes;
+    const std::uint64_t dline = config.l1d.line_bytes;
+    std::vector<std::uint64_t> expected(
+        static_cast<std::size_t>(num_cpus_), ~0ULL);
+    for (const TraceEvent& e : trace_.events()) {
+        if (e.image == ImageId::Data) {
+            if (include_data) {
+                std::uint64_t line =
+                    (static_cast<std::uint64_t>(e.block) << 2) &
+                    ~(dline - 1);
+                if (model_coherence) {
+                    auto [it, fresh] = data_owner.try_emplace(line,
+                                                              e.cpu);
+                    if (!fresh && it->second != e.cpu) {
+                        // The line migrates: remote dirty copy.
+                        ++result.total.comm_misses;
+                        it->second = e.cpu;
+                    }
+                }
+                cpus[e.cpu].dataLine(line);
+            }
+            continue;
+        }
+        const core::Layout& layout = layoutFor(e.image, app_, kernel_);
+        std::uint64_t bytes = layout.blockBytes(e.block);
+        if (bytes == 0)
+            continue;
+        std::uint64_t addr = layout.blockAddr(e.block);
+        std::uint64_t end = addr + bytes;
+        result.instrs += layout.blockSize(e.block);
+        if (addr != expected[e.cpu])
+            ++result.fetch_breaks;
+        expected[e.cpu] = end;
+        mem::Owner owner = ownerOf(e.image);
+        mem::MemoryHierarchy& h = cpus[e.cpu];
+        for (std::uint64_t a = addr & ~(iline - 1); a < end; a += iline)
+            h.fetchLine(a, owner);
+    }
+    for (auto& h : cpus) {
+        result.per_cpu.push_back(h.stats());
+        result.total += h.stats();
+    }
+    return result;
+}
+
+std::uint64_t
+Replayer::dynamicInstrs(StreamFilter filter) const
+{
+    std::uint64_t total = 0;
+    for (const TraceEvent& e : trace_.events()) {
+        if (!wantImage(filter, e.image))
+            continue;
+        const core::Layout& layout = layoutFor(e.image, app_, kernel_);
+        total += layout.blockSize(e.block);
+    }
+    return total;
+}
+
+} // namespace spikesim::sim

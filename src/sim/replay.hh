@@ -1,0 +1,150 @@
+#ifndef SPIKESIM_SIM_REPLAY_HH
+#define SPIKESIM_SIM_REPLAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/instrumented.hh"
+#include "mem/streambuf.hh"
+#include "mem/threec.hh"
+#include "support/histogram.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Trace replay under a code layout: turns the recorded block trace into
+ * fetch-address streams and feeds per-CPU cache simulators. This is the
+ * paper's methodology — record the instruction trace once, then replay
+ * it against many cache configurations and binaries (layouts).
+ */
+
+namespace spikesim::sim {
+
+/** Which instruction streams to replay. */
+enum class StreamFilter {
+    AppOnly,
+    KernelOnly,
+    Combined,
+};
+
+/** App/kernel interference matrix (Figure 13). */
+struct InterferenceMatrix
+{
+    /**
+     * counts[m][v]: misses by stream m (0 = app, 1 = kernel) that
+     * displaced a line owned by v (0 = app, 1 = kernel, 2 = cold fill).
+     */
+    std::uint64_t counts[2][3] = {{0, 0, 0}, {0, 0, 0}};
+
+    std::uint64_t
+    missesBy(int m) const
+    {
+        return counts[m][0] + counts[m][1] + counts[m][2];
+    }
+};
+
+/** Result of a line-granular instruction cache replay. */
+struct ICacheReplayResult
+{
+    std::uint64_t accesses = 0; ///< line fetches
+    std::uint64_t misses = 0;
+    std::uint64_t app_misses = 0;
+    std::uint64_t kernel_misses = 0;
+    InterferenceMatrix interference;
+};
+
+/** Result of a word-granular instrumented replay (Figures 9-11). */
+struct WordStats
+{
+    support::Histogram words_used;
+    support::Histogram word_reuse;
+    support::Log2Histogram lifetimes;
+    double unused_word_fraction = 0.0;
+    std::uint64_t misses = 0;
+
+    WordStats() : words_used(65), word_reuse(16), lifetimes(32) {}
+};
+
+/** Full-hierarchy replay result (Figures 14-15). */
+struct HierarchyReplayResult
+{
+    mem::HierarchyStats total;
+    std::vector<mem::HierarchyStats> per_cpu;
+    std::uint64_t instrs = 0; ///< dynamic instructions replayed
+    /** Fetch discontinuities (taken control transfers): each costs a
+     *  fetch bubble on an in-order front end. */
+    std::uint64_t fetch_breaks = 0;
+};
+
+/** Replays one recorded trace under layouts and cache configs. */
+class Replayer
+{
+  public:
+    /**
+     * @param trace recorded block/data events.
+     * @param app_layout layout of the application image.
+     * @param kernel_layout layout of the kernel image (may be null when
+     *        only the application stream will be replayed).
+     */
+    Replayer(const trace::TraceBuffer& trace,
+             const core::Layout& app_layout,
+             const core::Layout* kernel_layout = nullptr);
+
+    /** The replayer stores references; temporaries would dangle. */
+    Replayer(const trace::TraceBuffer&, core::Layout&&,
+             const core::Layout* = nullptr) = delete;
+    Replayer(trace::TraceBuffer&&, const core::Layout&,
+             const core::Layout* = nullptr) = delete;
+
+    /** Number of CPUs observed in the trace. */
+    int numCpus() const { return num_cpus_; }
+
+    /** Line-granular replay against per-CPU instruction caches. */
+    ICacheReplayResult icache(const mem::CacheConfig& config,
+                              StreamFilter filter) const;
+
+    /** Word-granular instrumented replay (histograms merged over
+     *  CPUs). */
+    WordStats instrumented(const mem::CacheConfig& config,
+                           StreamFilter filter,
+                           bool flush_at_end = false) const;
+
+    /** Replay against per-CPU stream-buffered instruction caches. */
+    mem::StreamBufferStats streamBuffer(const mem::CacheConfig& config,
+                                        int num_buffers,
+                                        StreamFilter filter) const;
+
+    /** Replay with three-C (compulsory/capacity/conflict) miss
+     *  classification, merged over CPUs. */
+    mem::ThreeCStats threeCs(const mem::CacheConfig& config,
+                             StreamFilter filter) const;
+
+    /**
+     * Full hierarchy replay: instruction lines + data lines through
+     * L1s and the unified L2 (always the combined stream). With
+     * `model_coherence` set, data lines touched by multiple CPUs incur
+     * communication misses (TPC-B's hot branch/teller rows migrate
+     * between processors) -- the effect that dilutes layout gains on
+     * multiprocessors in the paper's section 5.
+     */
+    HierarchyReplayResult hierarchy(const mem::HierarchyConfig& config,
+                                    bool include_data = true,
+                                    bool model_coherence = false) const;
+
+    /** Dynamic instructions in the trace for the given filter (under
+     *  the replayer's layouts, including materialized branches). */
+    std::uint64_t dynamicInstrs(StreamFilter filter) const;
+
+  private:
+    const trace::TraceBuffer& trace_;
+    const core::Layout& app_;
+    const core::Layout* kernel_;
+    int num_cpus_ = 1;
+};
+
+} // namespace spikesim::sim
+
+#endif // SPIKESIM_SIM_REPLAY_HH

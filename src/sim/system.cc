@@ -1,0 +1,168 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace spikesim::sim {
+
+namespace {
+
+synth::SynthParams
+scaledAppParams(const SystemConfig& config)
+{
+    synth::SynthParams params =
+        synth::SynthParams::oracleLike(config.app_seed);
+    if (config.app_image_scale != 1.0) {
+        for (synth::SubsystemSpec& sub : params.subsystems)
+            sub.num_procs = std::max(
+                1, static_cast<int>(sub.num_procs *
+                                    config.app_image_scale));
+    }
+    return params;
+}
+
+} // namespace
+
+System::System(const SystemConfig& config)
+    : config_(config),
+      app_image_(synth::buildSyntheticProgram(scaledAppParams(config))),
+      kernel_(synth::SynthParams::kernelLike(config.kernel_seed))
+{
+    app_walker_ = std::make_unique<synth::CfgWalker>(
+        app_image_.prog, trace::ImageId::App, config.app_seed ^ 0xabcdULL);
+    db::TpcbConfig tpcb = config.tpcb;
+    tpcb.seed = config.workload_seed;
+    db_ = std::make_unique<db::TpcbDatabase>(tpcb, this);
+}
+
+void
+System::setup()
+{
+    sink_ = nullptr; // mute hooks during load, like the paper's warmup
+    db_->setup();
+}
+
+void
+System::run(std::uint64_t txns, trace::TraceSink& sink)
+{
+    SPIKESIM_ASSERT(db_ != nullptr, "system not set up");
+    sink_ = &sink;
+    const int procs =
+        config_.num_cpus * config_.processes_per_cpu;
+    for (std::uint64_t i = 0; i < txns; ++i) {
+        std::uint16_t process =
+            static_cast<std::uint16_t>(txns_issued_ % procs);
+        ctx_.process = process;
+        ctx_.cpu = static_cast<std::uint8_t>(process % config_.num_cpus);
+        ++txns_issued_;
+        db_->runTransaction(process);
+    }
+    sink_ = nullptr;
+}
+
+void
+System::warmup(std::uint64_t txns)
+{
+    run(txns, null_sink_);
+}
+
+void
+System::runDss(std::uint64_t queries, trace::TraceSink& sink)
+{
+    SPIKESIM_ASSERT(db_ != nullptr, "system not set up");
+    if (dss_ == nullptr)
+        dss_ = std::make_unique<db::DssDriver>(
+            *db_, this, config_.workload_seed ^ 0xd55ULL);
+    sink_ = &sink;
+    const int procs = config_.num_cpus * config_.processes_per_cpu;
+    for (std::uint64_t i = 0; i < queries; ++i) {
+        std::uint16_t process =
+            static_cast<std::uint16_t>(txns_issued_ % procs);
+        ctx_.process = process;
+        ctx_.cpu = static_cast<std::uint8_t>(process % config_.num_cpus);
+        ++txns_issued_;
+        if (i % 8 == 0)
+            dss_->scanAggregate(process);
+        else
+            dss_->rangeQuery(process);
+    }
+    sink_ = nullptr;
+}
+
+void
+System::runCustom(std::uint64_t requests, trace::TraceSink& sink,
+                  const std::function<void(std::uint16_t)>& request_fn)
+{
+    sink_ = &sink;
+    const int procs = config_.num_cpus * config_.processes_per_cpu;
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        std::uint16_t process =
+            static_cast<std::uint16_t>(txns_issued_ % procs);
+        ctx_.process = process;
+        ctx_.cpu = static_cast<std::uint8_t>(process % config_.num_cpus);
+        ++txns_issued_;
+        request_fn(process);
+    }
+    sink_ = nullptr;
+}
+
+System::Profiles
+System::collectProfiles(std::uint64_t txns)
+{
+    Profiles p{profile::Profile(app_image_.prog),
+               profile::Profile(kernel_.prog())};
+    profile::ProfileRecorder app_rec(trace::ImageId::App, p.app);
+    profile::ProfileRecorder kern_rec(trace::ImageId::Kernel, p.kernel);
+    trace::TeeSink tee({&app_rec, &kern_rec});
+    run(txns, tee);
+    return p;
+}
+
+void
+System::onOp(const char* entry, std::span<const int> hints)
+{
+    if (sink_ == nullptr)
+        return;
+    synth::WalkStats stats =
+        app_walker_->run(app_image_.entry(entry), ctx_, *sink_, hints);
+    app_instrs_ += stats.instrs;
+    instrs_since_switch_ += stats.instrs;
+    maybePreempt();
+}
+
+void
+System::onData(std::uint64_t addr)
+{
+    if (sink_ == nullptr)
+        return;
+    sink_->onData(ctx_, addr);
+}
+
+void
+System::onSyscall(const char* entry, std::span<const int> hints)
+{
+    if (sink_ == nullptr)
+        return;
+    bool nested = in_kernel_;
+    in_kernel_ = true;
+    synth::WalkStats stats = kernel_.enter(entry, ctx_, *sink_, hints);
+    instrs_since_switch_ += stats.instrs;
+    in_kernel_ = nested;
+    if (!nested)
+        maybePreempt();
+}
+
+void
+System::maybePreempt()
+{
+    if (in_kernel_ || instrs_since_switch_ < config_.quantum_instrs)
+        return;
+    instrs_since_switch_ = 0;
+    in_kernel_ = true;
+    kernel_.timerInterrupt(ctx_, *sink_);
+    kernel_.contextSwitch(ctx_, *sink_);
+    in_kernel_ = false;
+}
+
+} // namespace spikesim::sim

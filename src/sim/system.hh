@@ -1,0 +1,132 @@
+#ifndef SPIKESIM_SIM_SYSTEM_HH
+#define SPIKESIM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "db/dss.hh"
+#include "db/tpcb.hh"
+#include "oskern/kernel.hh"
+#include "profile/profile.hh"
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * The full simulated system: the Oracle-like application image, the
+ * kernel model, and the TPC-B engine, glued together the way the paper
+ * runs its workload — N server processes spread over M CPUs, a
+ * scheduling quantum injecting timer interrupts and context switches,
+ * and engine I/O entering the kernel. The system executes transactions
+ * and streams block/data events into whatever TraceSink is attached
+ * (profile recorders for the Pixie-style profiling run, a TraceBuffer
+ * for the measured run).
+ */
+
+namespace spikesim::sim {
+
+/** Workload and machine shape. */
+struct SystemConfig
+{
+    int num_cpus = 4;
+    int processes_per_cpu = 8;
+    /** Scheduling quantum in instructions (app+kernel) per process. */
+    std::uint64_t quantum_instrs = 50'000;
+    std::uint64_t app_seed = 42;
+    std::uint64_t kernel_seed = 1042;
+    std::uint64_t workload_seed = 7;
+    /** Application text base (kernel text sits high, like Alpha). */
+    std::uint64_t app_text_base = 0x10000000ULL;
+    std::uint64_t kernel_text_base = 0xf0000000ULL;
+    db::TpcbConfig tpcb;
+    /**
+     * Scale factor on the application image's subsystem sizes (1.0 =
+     * the calibrated Oracle-like image). The image-scale ablation uses
+     * this to study how layout gains depend on binary size.
+     */
+    double app_image_scale = 1.0;
+};
+
+/** Everything needed to run and measure the OLTP workload. */
+class System : public db::EngineHooks
+{
+  public:
+    explicit System(const SystemConfig& config = SystemConfig());
+
+    /** Build the database (hooks muted, like the paper's ramp-up). */
+    void setup();
+
+    /**
+     * Run `txns` transactions with events streamed to `sink`. Every
+     * transaction is issued by the next server process round-robin;
+     * the process's CPU executes it.
+     */
+    void run(std::uint64_t txns, trace::TraceSink& sink);
+
+    /** Run with events discarded (warmup). */
+    void warmup(std::uint64_t txns);
+
+    /**
+     * Run DSS queries instead of OLTP transactions: a mix of
+     * full-scan aggregates and index range queries (one full scan per
+     * eight range queries). Events stream to `sink` like run().
+     */
+    void runDss(std::uint64_t queries, trace::TraceSink& sink);
+
+    /**
+     * Run an arbitrary per-request workload under this system's
+     * scheduling and tracing: `request_fn(process)` is invoked once
+     * per request with hooks live, the process/CPU rotating exactly
+     * like run(). Used to drive alternative engines (e.g., the TPC-C
+     * database) through the same simulated machine.
+     */
+    void runCustom(std::uint64_t requests, trace::TraceSink& sink,
+                   const std::function<void(std::uint16_t)>& request_fn);
+
+    /** Convenience: run and collect app+kernel profiles. */
+    struct Profiles
+    {
+        profile::Profile app;
+        profile::Profile kernel;
+    };
+    Profiles collectProfiles(std::uint64_t txns);
+
+    const synth::SyntheticProgram& appImage() const { return app_image_; }
+    const program::Program& appProg() const { return app_image_.prog; }
+    const program::Program& kernelProg() const { return kernel_.prog(); }
+    oskern::KernelModel& kernel() { return kernel_; }
+    db::TpcbDatabase& database() { return *db_; }
+    const SystemConfig& config() const { return config_; }
+
+    std::uint64_t appInstrs() const { return app_instrs_; }
+    std::uint64_t kernelInstrs() const { return kernel_.totalInstrs(); }
+
+    // EngineHooks interface (called by the database engine).
+    void onOp(const char* entry, std::span<const int> hints) override;
+    void onData(std::uint64_t addr) override;
+    void onSyscall(const char* entry, std::span<const int> hints) override;
+
+  private:
+    void maybePreempt();
+
+    SystemConfig config_;
+    synth::SyntheticProgram app_image_;
+    std::unique_ptr<synth::CfgWalker> app_walker_;
+    oskern::KernelModel kernel_;
+    std::unique_ptr<db::TpcbDatabase> db_;
+    std::unique_ptr<db::DssDriver> dss_;
+
+    trace::TraceSink* sink_ = nullptr; ///< null = hooks muted
+    trace::NullSink null_sink_;
+    trace::ExecContext ctx_;
+    std::uint64_t app_instrs_ = 0;
+    std::uint64_t instrs_since_switch_ = 0;
+    bool in_kernel_ = false; ///< guards quantum-preemption recursion
+    std::uint64_t txns_issued_ = 0;
+};
+
+} // namespace spikesim::sim
+
+#endif // SPIKESIM_SIM_SYSTEM_HH

@@ -1,0 +1,73 @@
+#include "sim/timing.hh"
+
+namespace spikesim::sim {
+
+PlatformParams
+PlatformParams::alpha21264()
+{
+    PlatformParams p;
+    p.name = "21264 (64KB, 2-way)";
+    p.hierarchy.l1i = {64 * 1024, 64, 2};
+    p.hierarchy.l1d = {64 * 1024, 64, 2};
+    p.hierarchy.l2 = {4 * 1024 * 1024, 64, 1}; // board cache
+    p.hierarchy.itlb_entries = 128;
+    p.cpi_base = 1.0;
+    p.l2_hit_cycles = 20.0;
+    p.mem_cycles = 120.0;
+    p.itlb_cycles = 40.0;
+    return p;
+}
+
+PlatformParams
+PlatformParams::alpha21164()
+{
+    PlatformParams p;
+    p.name = "21164 (8KB, 1-way)";
+    p.hierarchy.l1i = {8 * 1024, 32, 1};
+    p.hierarchy.l1d = {8 * 1024, 32, 1};
+    p.hierarchy.l2 = {2 * 1024 * 1024, 64, 1}; // 2MB direct board cache
+    p.hierarchy.itlb_entries = 48;
+    p.cpi_base = 1.0;
+    p.l2_hit_cycles = 10.0; // on 300MHz parts the relative gap is lower
+    p.mem_cycles = 60.0;
+    p.itlb_cycles = 25.0;
+    return p;
+}
+
+PlatformParams
+PlatformParams::sim21364()
+{
+    PlatformParams p;
+    p.name = "21364-sim (SimOS, 1GHz)";
+    p.hierarchy.l1i = {64 * 1024, 64, 2};
+    p.hierarchy.l1d = {64 * 1024, 64, 2};
+    p.hierarchy.l2 = {1536 * 1024, 64, 6};
+    p.hierarchy.itlb_entries = 64;
+    p.cpi_base = 1.0;
+    p.l2_hit_cycles = 12.0; // 12ns at 1GHz
+    p.mem_cycles = 80.0;    // local memory
+    p.itlb_cycles = 30.0;
+    return p;
+}
+
+std::uint64_t
+nonIdleCycles(const mem::HierarchyStats& stats, std::uint64_t instrs,
+              const PlatformParams& platform,
+              std::uint64_t fetch_breaks)
+{
+    double cycles = static_cast<double>(instrs) * platform.cpi_base;
+    cycles += static_cast<double>(fetch_breaks) *
+              platform.fetch_break_cycles;
+    cycles += static_cast<double>(stats.l1i_misses + stats.l1d_misses) *
+              platform.l2_hit_cycles;
+    cycles += static_cast<double>(stats.l2_instr_misses +
+                                  stats.l2_data_misses) *
+              platform.mem_cycles;
+    cycles += static_cast<double>(stats.itlb_misses) *
+              platform.itlb_cycles;
+    cycles += static_cast<double>(stats.comm_misses) *
+              platform.remote_cycles;
+    return static_cast<std::uint64_t>(cycles);
+}
+
+} // namespace spikesim::sim

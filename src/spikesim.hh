@@ -1,0 +1,46 @@
+#ifndef SPIKESIM_SPIKESIM_HH
+#define SPIKESIM_SPIKESIM_HH
+
+/**
+ * @file
+ * Umbrella header: everything a downstream user of the spikesim library
+ * needs. The individual module headers remain the canonical include
+ * points for code that cares about compile times.
+ */
+
+#include "core/chain.hh"
+#include "core/coloring.hh"
+#include "core/layout.hh"
+#include "core/pipeline.hh"
+#include "core/porder.hh"
+#include "core/split.hh"
+#include "core/temporal.hh"
+#include "db/dss.hh"
+#include "db/recovery.hh"
+#include "db/tpcb.hh"
+#include "db/tpcc.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/instrumented.hh"
+#include "mem/itlb.hh"
+#include "mem/streambuf.hh"
+#include "mem/threec.hh"
+#include "metrics/footprint.hh"
+#include "metrics/sequence.hh"
+#include "oskern/kernel.hh"
+#include "profile/profile.hh"
+#include "program/builder.hh"
+#include "program/program.hh"
+#include "program/serialize.hh"
+#include "sim/replay.hh"
+#include "sim/system.hh"
+#include "sim/timing.hh"
+#include "support/histogram.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+#include "trace/trace.hh"
+
+#endif // SPIKESIM_SPIKESIM_HH

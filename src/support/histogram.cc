@@ -1,0 +1,113 @@
+#include "support/histogram.hh"
+
+#include <bit>
+
+#include "support/panic.hh"
+
+namespace spikesim::support {
+
+Histogram::Histogram(std::size_t num_buckets)
+    : counts_(num_buckets, 0), total_samples_(0), sum_(0.0)
+{
+    SPIKESIM_ASSERT(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t count)
+{
+    std::size_t i = value;
+    if (i >= counts_.size())
+        i = counts_.size() - 1;
+    counts_[i] += count;
+    total_samples_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    SPIKESIM_ASSERT(i < counts_.size(), "bucket index out of range");
+    return counts_[i];
+}
+
+double
+Histogram::mean() const
+{
+    if (total_samples_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(total_samples_);
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_samples_ == 0)
+        return 0.0;
+    return static_cast<double>(bucket(i)) /
+           static_cast<double>(total_samples_);
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    SPIKESIM_ASSERT(counts_.size() == other.counts_.size(),
+                    "histogram bucket counts differ");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_samples_ += other.total_samples_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::clear()
+{
+    for (auto& c : counts_)
+        c = 0;
+    total_samples_ = 0;
+    sum_ = 0.0;
+}
+
+Log2Histogram::Log2Histogram(std::size_t num_buckets)
+    : counts_(num_buckets, 0), total_samples_(0), sum_(0.0)
+{
+    SPIKESIM_ASSERT(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Log2Histogram::record(std::uint64_t value, std::uint64_t count)
+{
+    std::size_t i = 0;
+    if (value > 0)
+        i = static_cast<std::size_t>(std::bit_width(value) - 1);
+    if (i >= counts_.size())
+        i = counts_.size() - 1;
+    counts_[i] += count;
+    total_samples_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+std::uint64_t
+Log2Histogram::bucket(std::size_t i) const
+{
+    SPIKESIM_ASSERT(i < counts_.size(), "bucket index out of range");
+    return counts_[i];
+}
+
+double
+Log2Histogram::fraction(std::size_t i) const
+{
+    if (total_samples_ == 0)
+        return 0.0;
+    return static_cast<double>(bucket(i)) /
+           static_cast<double>(total_samples_);
+}
+
+double
+Log2Histogram::mean() const
+{
+    if (total_samples_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(total_samples_);
+}
+
+} // namespace spikesim::support

@@ -1,0 +1,79 @@
+#ifndef SPIKESIM_SUPPORT_HISTOGRAM_HH
+#define SPIKESIM_SUPPORT_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Simple counting histograms used by the locality metrics (sequence
+ * lengths, word usage, line lifetimes).
+ */
+
+namespace spikesim::support {
+
+/**
+ * Integer-bucketed histogram over [0, numBuckets). Samples beyond the
+ * last bucket are clamped into it (an explicit overflow bucket), which
+ * matches how the paper's figures clip their x-axes.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t num_buckets);
+
+    /** Record one sample of the given value. */
+    void record(std::uint64_t value, std::uint64_t count = 1);
+
+    std::uint64_t bucket(std::size_t i) const;
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t totalSamples() const { return total_samples_; }
+
+    /** Sum of value*count over all recorded samples (pre-clamping). */
+    double sum() const { return sum_; }
+
+    /** Mean of the recorded samples (pre-clamping), 0 if empty. */
+    double mean() const;
+
+    /** Fraction of all samples in bucket i, 0 if empty. */
+    double fraction(std::size_t i) const;
+
+    /** Merge another histogram (must have the same bucket count). */
+    void merge(const Histogram& other);
+
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_samples_;
+    double sum_;
+};
+
+/**
+ * Log2-bucketed histogram: bucket i counts samples with
+ * floor(log2(value)) == i (value 0 goes to bucket 0). Used for cache
+ * line lifetimes (Fig 11).
+ */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(std::size_t num_buckets);
+
+    void record(std::uint64_t value, std::uint64_t count = 1);
+
+    std::uint64_t bucket(std::size_t i) const;
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t totalSamples() const { return total_samples_; }
+    double fraction(std::size_t i) const;
+    double mean() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_samples_;
+    double sum_;
+};
+
+} // namespace spikesim::support
+
+#endif // SPIKESIM_SUPPORT_HISTOGRAM_HH

@@ -1,0 +1,22 @@
+#include "support/panic.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace spikesim::support {
+
+void
+panic(const std::string& msg, const char* file, int line)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatal(const std::string& msg)
+{
+    std::cerr << "fatal: " << msg << "\n";
+    std::exit(1);
+}
+
+} // namespace spikesim::support

@@ -1,0 +1,41 @@
+#ifndef SPIKESIM_SUPPORT_PANIC_HH
+#define SPIKESIM_SUPPORT_PANIC_HH
+
+#include <sstream>
+#include <string>
+
+/**
+ * @file
+ * Error-reporting helpers, modeled after the gem5 panic()/fatal() split:
+ * panic() is for internal invariant violations (a spikesim bug), fatal()
+ * is for user errors (bad configuration or arguments).
+ */
+
+namespace spikesim::support {
+
+/** Abort the program due to an internal invariant violation. */
+[[noreturn]] void panic(const std::string& msg, const char* file, int line);
+
+/** Exit the program due to a user/configuration error. */
+[[noreturn]] void fatal(const std::string& msg);
+
+} // namespace spikesim::support
+
+/** Panic with a streamed message when an internal invariant breaks. */
+#define SPIKESIM_PANIC(msg_expr)                                          \
+    do {                                                                   \
+        std::ostringstream spikesim_panic_os_;                             \
+        spikesim_panic_os_ << msg_expr;                                    \
+        ::spikesim::support::panic(spikesim_panic_os_.str(), __FILE__,     \
+                                   __LINE__);                              \
+    } while (false)
+
+/** Always-on assertion (simulation correctness beats raw speed here). */
+#define SPIKESIM_ASSERT(cond, msg_expr)                                    \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            SPIKESIM_PANIC("assertion failed: " #cond ": " << msg_expr);   \
+        }                                                                  \
+    } while (false)
+
+#endif // SPIKESIM_SUPPORT_PANIC_HH

@@ -1,0 +1,145 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+namespace spikesim::support {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t seq)
+    : state_(0), inc_((seq << 1u) | 1u)
+{
+    next();
+    state_ += seed;
+    next();
+}
+
+std::uint32_t
+Pcg32::next()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+std::uint32_t
+Pcg32::nextBounded(std::uint32_t bound)
+{
+    SPIKESIM_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Pcg32::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    SPIKESIM_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {
+        // Full 64-bit span: compose two 32-bit draws.
+        std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
+        return static_cast<std::int64_t>(r);
+    }
+    if (span <= 0xffffffffULL)
+        return lo + nextBounded(static_cast<std::uint32_t>(span));
+    // Wide span: rejection on a 64-bit draw.
+    std::uint64_t limit = ~0ULL - (~0ULL % span);
+    for (;;) {
+        std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
+        if (r < limit)
+            return lo + static_cast<std::int64_t>(r % span);
+    }
+}
+
+double
+Pcg32::nextDouble()
+{
+    return next() * (1.0 / 4294967296.0);
+}
+
+bool
+Pcg32::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+int
+Pcg32::nextGeometric(double mean, int max)
+{
+    SPIKESIM_ASSERT(mean >= 1.0, "geometric mean must be >= 1");
+    SPIKESIM_ASSERT(max >= 1, "geometric max must be >= 1");
+    if (mean <= 1.0)
+        return 1;
+    // Geometric on {1, 2, ...} with success probability 1/mean.
+    double p = 1.0 / mean;
+    double u = nextDouble();
+    // Guard against u == 0 which would yield -inf.
+    if (u <= 0.0)
+        u = 1e-12;
+    int k = 1 + static_cast<int>(std::log(u) / std::log(1.0 - p));
+    if (k < 1)
+        k = 1;
+    if (k > max)
+        k = max;
+    return k;
+}
+
+Pcg32
+Pcg32::split()
+{
+    std::uint64_t seed = (static_cast<std::uint64_t>(next()) << 32) | next();
+    std::uint64_t seq = (static_cast<std::uint64_t>(next()) << 32) | next();
+    return Pcg32(seed, seq);
+}
+
+namespace {
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    SPIKESIM_ASSERT(n >= 1, "ZipfSampler requires n >= 1");
+    SPIKESIM_ASSERT(theta >= 0.0 && theta < 1.0,
+                    "ZipfSampler supports theta in [0, 1)");
+    zeta2_ = zeta(2, theta);
+    zetan_ = zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t
+ZipfSampler::sample(Pcg32& rng) const
+{
+    // Classic YCSB-style Zipfian generator (Gray et al.).
+    double u = rng.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (idx >= n_)
+        idx = n_ - 1;
+    return idx;
+}
+
+} // namespace spikesim::support

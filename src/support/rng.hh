@@ -1,0 +1,97 @@
+#ifndef SPIKESIM_SUPPORT_RNG_HH
+#define SPIKESIM_SUPPORT_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/panic.hh"
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Everything in spikesim
+ * that needs randomness takes a Pcg32 (or a seed) explicitly so that runs
+ * are exactly reproducible; no global RNG state exists.
+ */
+
+namespace spikesim::support {
+
+/**
+ * PCG-XSH-RR 32-bit generator (O'Neill 2014). Small, fast, and good
+ * statistical quality; streams are selected via the seed/sequence pair.
+ */
+class Pcg32
+{
+  public:
+    /** Construct a generator from a seed and an optional stream id. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t seq = 0xda3e39cb94b95bdbULL);
+
+    /** Next raw 32-bit value. */
+    std::uint32_t next();
+
+    /** Uniform integer in [0, bound) without modulo bias. bound > 0. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-like positive integer with the given mean (>= 1), capped
+     * at max. Used for basic-block sizes and loop trip counts.
+     */
+    int nextGeometric(double mean, int max);
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBounded(static_cast<std::uint32_t>(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Split off an independent child generator (for parallel structures). */
+    Pcg32 split();
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n). Uses the rejection-
+ * inversion method of Hormann and Derflinger, so sampling is O(1) and
+ * setup is O(1); suitable for large n (e.g., account selection skew).
+ */
+class ZipfSampler
+{
+  public:
+    /** @param n number of items, @param theta skew (0 = uniform-ish). */
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Sample an item index in [0, n). */
+    std::uint64_t sample(Pcg32& rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2_;
+};
+
+} // namespace spikesim::support
+
+#endif // SPIKESIM_SUPPORT_RNG_HH

@@ -1,0 +1,92 @@
+#include "support/stats.hh"
+
+#include <cmath>
+
+namespace spikesim::support {
+
+StatAccumulator::StatAccumulator()
+{
+    clear();
+}
+
+void
+StatAccumulator::record(double value)
+{
+    ++count_;
+    sum_ += value;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+}
+
+double
+StatAccumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+StatAccumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+StatAccumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+StatAccumulator::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+StatAccumulator::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+void
+StatAccumulator::clear()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+StatAccumulator::merge(const StatAccumulator& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    auto n1 = static_cast<double>(count_);
+    auto n2 = static_cast<double>(other.count_);
+    double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+} // namespace spikesim::support

@@ -1,0 +1,49 @@
+#ifndef SPIKESIM_SUPPORT_STATS_HH
+#define SPIKESIM_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <limits>
+
+/**
+ * @file
+ * Running statistical accumulators (Welford) used throughout the metric
+ * collectors.
+ */
+
+namespace spikesim::support {
+
+/** Streaming mean/variance/min/max accumulator. */
+class StatAccumulator
+{
+  public:
+    StatAccumulator();
+
+    /** Record one observation. */
+    void record(double value);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+    void clear();
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const StatAccumulator& other);
+
+  private:
+    std::uint64_t count_;
+    double sum_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+} // namespace spikesim::support
+
+#endif // SPIKESIM_SUPPORT_STATS_HH

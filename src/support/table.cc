@@ -1,0 +1,102 @@
+#include "support/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/panic.hh"
+
+namespace spikesim::support {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SPIKESIM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    SPIKESIM_ASSERT(cells.size() == headers_.size(),
+                    "row arity " << cells.size() << " != header arity "
+                                 << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+               << (c == 0 ? std::left : std::right) << row[c];
+            os << std::right;
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+std::string
+withCommas(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int since = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since == 3) {
+            out.push_back(',');
+            since = 0;
+        }
+        out.push_back(*it);
+        ++since;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+percent(double fraction, int decimals)
+{
+    return fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+bytesHuman(std::uint64_t bytes)
+{
+    if (bytes >= 1024ULL * 1024 && bytes % (1024ULL * 1024) == 0)
+        return std::to_string(bytes / (1024ULL * 1024)) + "MB";
+    if (bytes >= 1024ULL * 1024)
+        return fixed(static_cast<double>(bytes) / (1024.0 * 1024.0), 1) +
+               "MB";
+    if (bytes >= 1024 && bytes % 1024 == 0)
+        return std::to_string(bytes / 1024) + "KB";
+    if (bytes >= 1024)
+        return fixed(static_cast<double>(bytes) / 1024.0, 1) + "KB";
+    return std::to_string(bytes) + "B";
+}
+
+} // namespace spikesim::support

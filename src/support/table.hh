@@ -1,0 +1,52 @@
+#ifndef SPIKESIM_SUPPORT_TABLE_HH
+#define SPIKESIM_SUPPORT_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Fixed-width table printing for bench/example output. Every figure
+ * harness prints its series through this so the output stays uniform
+ * and diffable.
+ */
+
+namespace spikesim::support {
+
+/** Builds an aligned text table: header row + data rows. */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a full row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment to the stream. */
+    void print(std::ostream& os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format an integer with thousands separators ("1,234,567"). */
+std::string withCommas(std::uint64_t value);
+
+/** Format a double with fixed decimals. */
+std::string fixed(double value, int decimals);
+
+/** Format a fraction as a percentage string with given decimals. */
+std::string percent(double fraction, int decimals = 1);
+
+/** Format a byte count compactly ("64KB", "1.5MB", "37B"). */
+std::string bytesHuman(std::uint64_t bytes);
+
+} // namespace spikesim::support
+
+#endif // SPIKESIM_SUPPORT_TABLE_HH

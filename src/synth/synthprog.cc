@@ -1,0 +1,708 @@
+#include "synth/synthprog.hh"
+
+#include <algorithm>
+
+#include "program/builder.hh"
+#include "support/panic.hh"
+#include "support/rng.hh"
+
+namespace spikesim::synth {
+
+using program::BlockLocalId;
+using program::EdgeKind;
+using program::kInvalidId;
+using program::ProcId;
+using program::ProcedureBuilder;
+using program::Terminator;
+using support::Pcg32;
+
+namespace {
+
+/** Abstract statement of a generated procedure body. */
+struct Region
+{
+    enum class Kind {
+        Straight, ///< one plain block
+        CallStmt, ///< one block ending in a call
+        IfThen,   ///< guard + inline (usually cold) body
+        IfElse,   ///< guard + two alternative bodies
+        Loop,     ///< do-while body + latch
+        Switch,   ///< indirect dispatch over arms
+        EarlyRet, ///< return block (cold exits)
+    };
+    Kind kind = Kind::Straight;
+    int size = 1;      ///< instructions in the head (or only) block
+    double prob = 0.5; ///< IfThen/IfElse: P(fall into first body);
+                       ///< Loop: back-edge probability
+    ProcId callee = kInvalidId;
+    std::uint16_t hint_slot = 0;
+    std::vector<double> arm_probs;          ///< Switch only
+    std::vector<std::vector<Region>> bodies;
+};
+
+int countBlocks(const std::vector<Region>& seq);
+
+int
+countBlocks(const Region& r)
+{
+    int n = 1; // head block
+    for (const auto& b : r.bodies)
+        n += countBlocks(b);
+    return n;
+}
+
+int
+countBlocks(const std::vector<Region>& seq)
+{
+    int n = 0;
+    for (const auto& r : seq)
+        n += countBlocks(r);
+    return n;
+}
+
+void emitSeq(ProcedureBuilder& b, const std::vector<Region>& seq,
+             BlockLocalId exit);
+
+void
+emitRegion(ProcedureBuilder& b, const Region& r, BlockLocalId exit)
+{
+    auto size = static_cast<std::uint32_t>(r.size);
+    switch (r.kind) {
+      case Region::Kind::Straight: {
+        BlockLocalId id = b.addBlock(size, Terminator::FallThrough);
+        b.addEdge(id, exit, EdgeKind::FallThrough, 1.0);
+        break;
+      }
+      case Region::Kind::CallStmt: {
+        BlockLocalId id = b.addBlock(size, Terminator::Call, r.callee);
+        b.addEdge(id, exit, EdgeKind::FallThrough, 1.0);
+        break;
+      }
+      case Region::Kind::EarlyRet: {
+        b.addBlock(size, Terminator::Return);
+        break;
+      }
+      case Region::Kind::IfThen: {
+        BlockLocalId c = b.addBlock(size, Terminator::CondBranch);
+        auto then_entry = static_cast<BlockLocalId>(b.numBlocks());
+        emitSeq(b, r.bodies[0], exit);
+        // Falling into the inline body has probability r.prob; the
+        // common case takes the forward branch over it — exactly how
+        // compilers lay out inline error paths.
+        b.addEdge(c, then_entry, EdgeKind::FallThrough, r.prob);
+        b.addEdge(c, exit, EdgeKind::CondTaken, 1.0 - r.prob);
+        break;
+      }
+      case Region::Kind::IfElse: {
+        BlockLocalId c = b.addBlock(size, Terminator::CondBranch);
+        auto then_entry = static_cast<BlockLocalId>(b.numBlocks());
+        emitSeq(b, r.bodies[0], exit);
+        auto else_entry = static_cast<BlockLocalId>(b.numBlocks());
+        emitSeq(b, r.bodies[1], exit);
+        b.addEdge(c, then_entry, EdgeKind::FallThrough, r.prob);
+        b.addEdge(c, else_entry, EdgeKind::CondTaken, 1.0 - r.prob);
+        break;
+      }
+      case Region::Kind::Loop: {
+        auto body_entry = static_cast<BlockLocalId>(b.numBlocks());
+        auto latch = static_cast<BlockLocalId>(
+            b.numBlocks() + static_cast<std::size_t>(
+                                countBlocks(r.bodies[0])));
+        emitSeq(b, r.bodies[0], latch);
+        BlockLocalId t = b.addBlock(size, Terminator::CondBranch);
+        SPIKESIM_ASSERT(t == latch, "loop latch id mismatch");
+        b.addEdge(t, body_entry, EdgeKind::CondTaken, r.prob);
+        b.addEdge(t, exit, EdgeKind::FallThrough, 1.0 - r.prob);
+        if (r.hint_slot != 0)
+            b.setHintSlot(t, r.hint_slot);
+        break;
+      }
+      case Region::Kind::Switch: {
+        BlockLocalId s = b.addBlock(size, Terminator::IndirectJump);
+        for (std::size_t i = 0; i < r.bodies.size(); ++i) {
+            auto arm_entry = static_cast<BlockLocalId>(b.numBlocks());
+            emitSeq(b, r.bodies[i], exit);
+            b.addEdge(s, arm_entry, EdgeKind::IndirectTarget,
+                      r.arm_probs[i]);
+        }
+        break;
+      }
+    }
+}
+
+void
+emitSeq(ProcedureBuilder& b, const std::vector<Region>& seq,
+        BlockLocalId exit)
+{
+    SPIKESIM_ASSERT(!seq.empty(), "empty region sequence");
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        BlockLocalId region_exit;
+        if (i + 1 == seq.size()) {
+            region_exit = exit;
+        } else {
+            region_exit = static_cast<BlockLocalId>(
+                b.numBlocks() +
+                static_cast<std::size_t>(countBlocks(seq[i])));
+        }
+        emitRegion(b, seq[i], region_exit);
+    }
+}
+
+/** Metadata of every planned procedure, available before bodies exist. */
+struct ProcMeta
+{
+    std::string name;
+    int subsystem = 0; ///< index into params.subsystems
+    int layer = 0;
+    bool cold = false;
+    bool is_entry = false;
+    bool tight = false;
+    double scale = 1.0;
+    int hinted_loops = 0;
+};
+
+/** Shared generation context. */
+struct Gen
+{
+    const SynthParams& params;
+    std::vector<ProcMeta> metas;
+    Pcg32 rng;
+    /**
+     * Expected dynamic instructions per invocation of each generated
+     * procedure (including its callees). Bodies are generated deepest-
+     * first so every call site knows its callee's cost and can stay
+     * within the caller's layer budget — this is what keeps the call
+     * DAG's dynamic cost bounded and calibratable.
+     */
+    std::vector<double> expected_cost;
+    /** Accumulated expected cost of the procedure being generated. */
+    double e_acc = 0.0;
+    /** Budget for the procedure being generated. */
+    double e_cap = 0.0;
+    /** Nominal trip count assumed for hinted loops. */
+    static constexpr double kNominalHintTrips = 3.0;
+    /** True while generating a tight (scan-loop) entry procedure. */
+    bool tight_mode = false;
+
+    explicit Gen(const SynthParams& p) : params(p), rng(p.seed) {}
+
+    int
+    blockSize()
+    {
+        return rng.nextGeometric(params.avg_block_instrs,
+                                 params.max_block_instrs);
+    }
+
+    /** Error-handling code is verbose: bigger blocks on cold paths. */
+    int
+    coldBlockSize()
+    {
+        return rng.nextGeometric(params.avg_block_instrs * 1.8,
+                                 params.max_block_instrs);
+    }
+
+    /**
+     * A dispatch switch whose arms call different procedures — the
+     * virtual-function / operation-table pattern that spreads heat
+     * across many callees in real database engines.
+     */
+    Region
+    makeDispatchSwitch(std::size_t caller, bool cold_path, double mult,
+                       int min_arms, int max_arms)
+    {
+        Region r;
+        r.kind = Region::Kind::Switch;
+        r.size = blockSize();
+        e_acc += mult * r.size;
+        int arms = min_arms +
+                   static_cast<int>(rng.nextBounded(
+                       static_cast<std::uint32_t>(max_arms - min_arms + 1)));
+        double sum = 0.0;
+        for (int i = 0; i < arms; ++i) {
+            double p = 1.0 / arms; // dispatch tables spread evenly
+            sum += p;
+            std::vector<Region> arm;
+            double budget = (e_cap - e_acc) / std::max(mult * p, 1e-9);
+            ProcId callee = pickCallee(caller, cold_path, budget);
+            Region stmt;
+            stmt.size = blockSize();
+            if (callee != kInvalidId) {
+                stmt.kind = Region::Kind::CallStmt;
+                stmt.callee = callee;
+                e_acc += mult * p * (stmt.size + expected_cost[callee]);
+            } else {
+                stmt.kind = Region::Kind::Straight;
+                e_acc += mult * p * stmt.size;
+            }
+            arm.push_back(std::move(stmt));
+            r.bodies.push_back(std::move(arm));
+            r.arm_probs.push_back(p);
+        }
+        r.arm_probs.back() += 1.0 - sum;
+        return r;
+    }
+
+    /** Expected-cost budget for a procedure of the given layer. */
+    double
+    layerBudget(int layer, int max_layer) const
+    {
+        double budget = params.budget_base;
+        for (int l = max_layer; l > layer; --l)
+            budget *= params.budget_growth;
+        return budget;
+    }
+
+    /**
+     * Pick a callee for procedure `caller`: a later procedure in the
+     * same subsystem (bounded stride, to keep the call DAG shallow) or
+     * in a deeper layer, subject to the remaining expected-cost
+     * budget. Cold paths prefer cold subsystems. Returns kInvalidId
+     * when no affordable candidate exists.
+     */
+    ProcId
+    pickCallee(std::size_t caller, bool cold_path, double budget)
+    {
+        const ProcMeta& cm = metas[caller];
+        std::vector<std::uint32_t> same, deeper, cold;
+        for (std::size_t j = caller + 1;
+             j < metas.size() && same.size() < 48; ++j) {
+            if (metas[j].subsystem == cm.subsystem &&
+                expected_cost[j] <= budget)
+                same.push_back(static_cast<std::uint32_t>(j));
+        }
+        for (std::size_t j = caller + 1; j < metas.size(); ++j) {
+            if (metas[j].layer > cm.layer &&
+                expected_cost[j] <= budget) {
+                if (metas[j].cold)
+                    cold.push_back(static_cast<std::uint32_t>(j));
+                else
+                    deeper.push_back(static_cast<std::uint32_t>(j));
+            }
+        }
+        auto pick_skewed = [&](const std::vector<std::uint32_t>& v)
+            -> ProcId {
+            if (v.empty())
+                return kInvalidId;
+            // Geometric skew: a few candidates take most of the calls,
+            // but the tail spreads over the whole pool, giving the
+            // flat-but-skewed profile OLTP binaries show.
+            double mean = std::max(
+                6.0, static_cast<double>(v.size()) / 4.0);
+            std::size_t i = static_cast<std::size_t>(
+                rng.nextGeometric(mean, static_cast<int>(v.size())) - 1);
+            return v[i];
+        };
+        if (cold_path) {
+            ProcId c = pick_skewed(cold);
+            if (c != kInvalidId)
+                return c;
+        }
+        if (!same.empty() && (deeper.empty() || rng.nextBool(0.55)))
+            return pick_skewed(same);
+        if (!deeper.empty()) {
+            std::size_t i = static_cast<std::size_t>(
+                rng.nextGeometric(
+                    std::max(4.0, static_cast<double>(deeper.size()) / 3.0),
+                    static_cast<int>(deeper.size())) -
+                1);
+            return deeper[i];
+        }
+        return pick_skewed(same);
+    }
+
+    std::vector<Region> genSeq(std::size_t caller, int n_regions,
+                               double call_prob, bool cold_path, int depth,
+                               int hinted_loops, double mult);
+
+    Region genCompound(std::size_t caller, bool cold_path, int depth,
+                       double mult);
+};
+
+Region
+Gen::genCompound(std::size_t caller, bool cold_path, int depth,
+                 double mult)
+{
+    Region r;
+    r.size = blockSize();
+    double pick = rng.nextDouble();
+    const ProcMeta& cm = metas[caller];
+    double sub_call_prob =
+        params.subsystems[static_cast<std::size_t>(cm.subsystem)]
+            .avg_calls > 0
+            ? 0.35
+            : 0.0;
+
+    if (pick < params.error_if_fraction) {
+        // if-then guarding a cold inline path.
+        r.kind = Region::Kind::IfThen;
+        static constexpr double kColdProbs[] = {0.0002, 0.0005, 0.001,
+                                                0.003, 0.01, 0.02, 0.05};
+        r.prob = kColdProbs[rng.nextBounded(7)];
+        e_acc += mult * r.size;
+        int body_len = 2 + static_cast<int>(rng.nextBounded(3));
+        r.bodies.push_back(genSeq(caller, body_len, sub_call_prob, true,
+                                  depth + 1, 0, mult * r.prob));
+        // Cold paths often bail out of the procedure entirely.
+        if (rng.nextBool(0.4)) {
+            Region ret;
+            ret.kind = Region::Kind::EarlyRet;
+            ret.size = coldBlockSize();
+            e_acc += mult * r.prob * ret.size;
+            r.bodies[0].push_back(ret);
+        }
+    } else if (pick < params.error_if_fraction + 0.15) {
+        // Balanced-ish if-else.
+        r.kind = Region::Kind::IfElse;
+        static constexpr double kBiases[] = {0.5, 0.6, 0.7, 0.8, 0.9};
+        r.prob = kBiases[rng.nextBounded(5)];
+        e_acc += mult * r.size;
+        r.bodies.push_back(genSeq(caller, 1, sub_call_prob, cold_path,
+                                  depth + 1, 0, mult * r.prob));
+        r.bodies.push_back(genSeq(caller, 1, sub_call_prob, cold_path,
+                                  depth + 1, 0, mult * (1.0 - r.prob)));
+    } else if (pick < params.error_if_fraction + 0.15 + 0.15) {
+        // Loop with a modest expected trip count.
+        r.kind = Region::Kind::Loop;
+        double mean_trips = 1.0 + rng.nextDouble() * 5.0;
+        r.prob = mean_trips / (mean_trips + 1.0);
+        double trips = mean_trips + 1.0;
+        e_acc += mult * trips * r.size; // the latch block
+        int body_len = 1 + static_cast<int>(rng.nextBounded(2));
+        r.bodies.push_back(genSeq(caller, body_len, sub_call_prob * 0.5,
+                                  cold_path, depth + 1, 0,
+                                  mult * trips));
+    } else {
+        // Indirect dispatch (switch / virtual call table).
+        r.kind = Region::Kind::Switch;
+        e_acc += mult * r.size;
+        int arms = 3 + static_cast<int>(rng.nextBounded(5));
+        double norm = 0.0;
+        for (int i = 0; i < arms; ++i)
+            norm += 1.0 / (i + 1.0);
+        for (int i = 0; i < arms; ++i) {
+            double p = 1.0 / ((i + 1.0) * norm);
+            r.arm_probs.push_back(p);
+            r.bodies.push_back(genSeq(caller, 1, sub_call_prob, cold_path,
+                                      depth + 1, 0, mult * p));
+        }
+        // Fix rounding so probabilities sum to exactly 1.
+        double sum = 0.0;
+        for (double p : r.arm_probs)
+            sum += p;
+        r.arm_probs.back() += 1.0 - sum;
+    }
+    return r;
+}
+
+std::vector<Region>
+Gen::genSeq(std::size_t caller, int n_regions, double call_prob,
+            bool cold_path, int depth, int hinted_loops, double mult)
+{
+    std::vector<Region> seq;
+    seq.reserve(static_cast<std::size_t>(n_regions) +
+                static_cast<std::size_t>(hinted_loops));
+
+    // Hinted loops (slots 1..hinted_loops) go first; each wraps a call
+    // so every trip does per-level work (a B-tree level, a log chunk).
+    for (int h = 1; h <= hinted_loops; ++h) {
+        Region r;
+        r.kind = Region::Kind::Loop;
+        r.size = blockSize();
+        r.prob = 0.6; // unused when a hint is supplied
+        r.hint_slot = static_cast<std::uint16_t>(h);
+        double loop_mult = mult * kNominalHintTrips;
+        e_acc += loop_mult * r.size;
+        std::vector<Region> body =
+            genSeq(caller, 1, 0.0, cold_path, depth + 1, 0, loop_mult);
+        if (tight_mode) {
+            // Scan loops: one fixed helper call per trip, no dispatch.
+            double budget = (e_cap - e_acc) / std::max(loop_mult, 1e-9);
+            ProcId callee = pickCallee(caller, cold_path,
+                                       std::min(budget, 60.0));
+            if (callee != kInvalidId) {
+                Region call;
+                call.kind = Region::Kind::CallStmt;
+                call.size = blockSize();
+                call.callee = callee;
+                e_acc +=
+                    loop_mult * (call.size + expected_cost[callee]);
+                body.push_back(std::move(call));
+            }
+        } else {
+            // Per-trip work dispatches over several helpers (compare
+            // functions, row formats, ...), spreading heat.
+            body.push_back(
+                makeDispatchSwitch(caller, cold_path, loop_mult, 4, 8));
+        }
+        r.bodies.push_back(std::move(body));
+        seq.push_back(std::move(r));
+    }
+
+    for (int i = 0; i < n_regions; ++i) {
+        if (rng.nextBool(call_prob)) {
+            double budget = (e_cap - e_acc) / std::max(mult, 1e-9);
+            ProcId callee = pickCallee(caller, cold_path, budget);
+            if (callee != kInvalidId) {
+                Region r;
+                r.kind = Region::Kind::CallStmt;
+                r.size = blockSize();
+                r.callee = callee;
+                e_acc += mult * (r.size + expected_cost[callee]);
+                seq.push_back(std::move(r));
+                continue;
+            }
+        }
+        if (depth < 3 && rng.nextBool(cold_path ? 0.15 : 0.55)) {
+            seq.push_back(genCompound(caller, cold_path, depth, mult));
+        } else {
+            Region r;
+            r.kind = Region::Kind::Straight;
+            r.size = cold_path ? coldBlockSize() : blockSize();
+            e_acc += mult * r.size;
+            seq.push_back(std::move(r));
+        }
+    }
+    if (seq.empty()) {
+        Region r;
+        r.kind = Region::Kind::Straight;
+        r.size = blockSize();
+        e_acc += mult * r.size;
+        seq.push_back(std::move(r));
+    }
+    return seq;
+}
+
+} // namespace
+
+program::ProcId
+SyntheticProgram::entry(const std::string& name) const
+{
+    auto it = entries.find(name);
+    if (it == entries.end())
+        support::fatal("unknown entry point '" + name + "' in image " +
+                       prog.name());
+    return it->second;
+}
+
+SynthParams
+SynthParams::oracleLike(std::uint64_t seed)
+{
+    SynthParams p;
+    p.name = "oracle-like-oltp";
+    p.seed = seed;
+    p.budget_base = 100.0;
+    p.budget_growth = 2.9;
+    p.error_if_fraction = 0.50;
+    p.subsystems = {
+        // name       layer procs avg_regions avg_calls cold
+        {"net",       0,    55,   6.0,        1.8,      false},
+        {"server",    0,    90,   7.0,        2.2,      false},
+        {"sql",       1,    170,  7.0,        2.0,      false},
+        {"txn",       1,    90,   6.0,        1.8,      false},
+        {"catalog",   2,    90,   5.0,        1.3,      false},
+        {"row",       2,    150,  6.0,        1.5,      false},
+        {"btree",     2,    130,  6.0,        1.5,      false},
+        {"buf",       3,    120,  5.0,        1.1,      false},
+        {"lock",      3,    90,   5.0,        1.1,      false},
+        {"log",       3,    110,  5.0,        1.1,      false},
+        {"space",     3,    80,   5.0,        1.0,      false},
+        {"util",      4,    230,  5.0,        0.6,      false},
+        {"mem",       4,    120,  4.0,        0.5,      false},
+        {"err",       5,    220,  4.0,        0.2,      true},
+        {"admin",     5,    300,  6.0,        0.3,      true},
+    };
+    p.entries = {
+        {"net_recv", "net", 1.6, 0},
+        {"net_reply", "net", 1.3, 0},
+        {"txn_begin", "txn", 1.3, 0},
+        {"txn_commit", "txn", 2.0, 0},
+        {"sql_exec_update", "sql", 2.5, 0},
+        {"sql_exec_insert", "sql", 2.2, 0},
+        {"sql_exec_scan", "sql", 1.2, 1, true},
+        {"agg_update", "sql", 0.4, 0, true},
+        {"row_scan_next", "row", 0.5, 1, true},
+        {"btree_search", "btree", 1.5, 1},
+        {"btree_insert", "btree", 1.6, 1},
+        {"heap_update", "row", 1.5, 1},
+        {"heap_insert", "row", 1.4, 0},
+        {"buf_get_hit", "buf", 1.0, 0},
+        {"buf_get_miss", "buf", 1.8, 0},
+        {"lock_acquire_fast", "lock", 0.9, 0},
+        {"lock_acquire_wait", "lock", 1.6, 0},
+        {"lock_release_all", "lock", 1.1, 1},
+        {"log_append", "log", 1.2, 1},
+        {"log_flush", "log", 1.5, 1},
+        {"log_wait", "log", 0.8, 0},
+        {"space_alloc", "space", 1.2, 0},
+        {"catalog_lookup", "catalog", 1.1, 0},
+        {"dbwr_flush", "buf", 1.4, 1},
+    };
+    return p;
+}
+
+SynthParams
+SynthParams::kernelLike(std::uint64_t seed)
+{
+    SynthParams p;
+    p.name = "tru64-like-kernel";
+    p.seed = seed;
+    p.budget_base = 90.0;
+    p.budget_growth = 2.5;
+    p.subsystems = {
+        {"trap",  0, 35, 5.0, 1.5, false},
+        {"sched", 1, 50, 5.0, 1.3, false},
+        {"sys",   1, 80, 6.0, 1.6, false},
+        {"fs",    2, 90, 6.0, 1.4, false},
+        {"vm",    2, 75, 5.0, 1.2, false},
+        {"io",    3, 80, 5.0, 1.0, false},
+        {"klib",  4, 95, 4.0, 0.5, false},
+        {"kerr",  5, 85, 4.0, 0.2, true},
+    };
+    p.entries = {
+        {"sys_read", "sys", 1.4, 1},
+        {"sys_write", "sys", 1.4, 1},
+        {"sys_fsync", "sys", 1.2, 1},
+        {"sys_ipc", "sys", 1.0, 0},
+        {"sys_poll", "sys", 0.8, 0},
+        {"sched_switch", "sched", 1.2, 0},
+        {"intr_timer", "trap", 1.0, 0},
+        {"tlb_refill", "trap", 0.5, 0},
+    };
+    return p;
+}
+
+SyntheticProgram
+buildSyntheticProgram(const SynthParams& params)
+{
+    SPIKESIM_ASSERT(!params.subsystems.empty(), "no subsystems specified");
+    Gen gen(params);
+
+    // Plan procedure metadata: subsystems sorted by layer, entry
+    // points first within their subsystem (so they can call the
+    // subsystem internals generated after them).
+    std::vector<int> sub_order(params.subsystems.size());
+    for (std::size_t i = 0; i < sub_order.size(); ++i)
+        sub_order[i] = static_cast<int>(i);
+    std::stable_sort(sub_order.begin(), sub_order.end(), [&](int a, int b) {
+        return params.subsystems[static_cast<std::size_t>(a)].layer <
+               params.subsystems[static_cast<std::size_t>(b)].layer;
+    });
+
+    for (int si : sub_order) {
+        const SubsystemSpec& sub =
+            params.subsystems[static_cast<std::size_t>(si)];
+        int made = 0;
+        for (const EntrySpec& e : params.entries) {
+            if (e.subsystem != sub.name)
+                continue;
+            ProcMeta m;
+            m.name = e.name;
+            m.subsystem = si;
+            m.layer = sub.layer;
+            m.cold = sub.cold;
+            m.is_entry = true;
+            m.tight = e.tight;
+            m.scale = e.scale;
+            m.hinted_loops = e.hinted_loops;
+            gen.metas.push_back(std::move(m));
+            ++made;
+        }
+        for (int i = made; i < sub.num_procs; ++i) {
+            ProcMeta m;
+            m.name = sub.name + "_p" + std::to_string(i);
+            m.subsystem = si;
+            m.layer = sub.layer;
+            m.cold = sub.cold;
+            gen.metas.push_back(std::move(m));
+        }
+    }
+
+    int max_layer = 0;
+    for (const SubsystemSpec& sub : params.subsystems)
+        max_layer = std::max(max_layer, sub.layer);
+
+    // Generate bodies deepest-first so every call site knows its
+    // callee's expected cost; emit procedures in id order afterwards.
+    const std::size_t n = gen.metas.size();
+    gen.expected_cost.assign(n, 0.0);
+    std::vector<std::vector<Region>> bodies(n);
+    std::vector<int> ret_sizes(n, 1);
+    for (std::size_t r = 0; r < n; ++r) {
+        std::size_t i = n - 1 - r;
+        const ProcMeta& m = gen.metas[i];
+        const SubsystemSpec& sub =
+            params.subsystems[static_cast<std::size_t>(m.subsystem)];
+        int n_regions = std::max(
+            1, static_cast<int>(gen.rng.nextGeometric(
+                   std::max(1.0, sub.avg_regions * m.scale), 20)));
+        double call_prob =
+            std::min(0.6, sub.avg_calls / std::max(1, n_regions));
+        gen.e_acc = 0.0;
+        gen.e_cap = gen.layerBudget(m.layer, max_layer) * m.scale;
+        gen.tight_mode = m.tight;
+        if (m.tight)
+            call_prob *= 0.3;
+        bodies[i] = gen.genSeq(i, n_regions, call_prob, m.cold, 0,
+                               m.hinted_loops, 1.0);
+        gen.tight_mode = false;
+        if (m.is_entry && !m.tight) {
+            // Entry points start with an operation-dispatch switch, the
+            // way server entry functions fan out over request kinds.
+            bodies[i].insert(bodies[i].begin(),
+                             gen.makeDispatchSwitch(i, m.cold, 1.0, 8, 16));
+        }
+        ret_sizes[i] = gen.blockSize();
+        gen.expected_cost[i] = gen.e_acc + ret_sizes[i];
+    }
+
+    SyntheticProgram out{program::Program(params.name), {}, {}};
+    for (std::size_t i = 0; i < n; ++i) {
+        const ProcMeta& m = gen.metas[i];
+        const SubsystemSpec& sub =
+            params.subsystems[static_cast<std::size_t>(m.subsystem)];
+        ProcedureBuilder pb(m.name);
+        auto ret_block = static_cast<BlockLocalId>(countBlocks(bodies[i]));
+        emitSeq(pb, bodies[i], ret_block);
+        BlockLocalId r = pb.addBlock(
+            static_cast<std::uint32_t>(ret_sizes[i]),
+            Terminator::Return);
+        SPIKESIM_ASSERT(r == ret_block, "return block id mismatch");
+        program::Procedure proc = pb.build();
+        // The emitter expresses every unconditional transfer as a
+        // fall-through edge. Where the successor is not adjacent in
+        // the original order the real compiler emits an explicit
+        // unconditional branch: make that instruction part of the
+        // block, so chaining has real branches to delete.
+        for (BlockLocalId b = 0; b < proc.blocks.size(); ++b) {
+            program::BasicBlock& blk = proc.blocks[b];
+            if (blk.term != Terminator::FallThrough)
+                continue;
+            for (program::FlowEdge& e : proc.edges) {
+                if (e.from != b || e.kind != EdgeKind::FallThrough)
+                    continue;
+                if (e.to != b + 1) {
+                    blk.term = Terminator::UncondBranch;
+                    ++blk.sizeInstrs;
+                    e.kind = EdgeKind::UncondTarget;
+                }
+                break;
+            }
+        }
+        ProcId id = out.prog.addProcedure(std::move(proc));
+        SPIKESIM_ASSERT(id == i, "proc id mismatch");
+        out.subsystem_of.push_back(sub.name);
+    }
+
+    for (const EntrySpec& e : params.entries) {
+        ProcId id = out.prog.findProc(e.name);
+        SPIKESIM_ASSERT(id != kInvalidId,
+                        "entry " << e.name << " was not generated");
+        out.entries[e.name] = id;
+    }
+
+    std::string err = out.prog.validate();
+    SPIKESIM_ASSERT(err.empty(), "generated program invalid: " << err);
+    return out;
+}
+
+} // namespace spikesim::synth

@@ -1,0 +1,110 @@
+#ifndef SPIKESIM_SYNTH_SYNTHPROG_HH
+#define SPIKESIM_SYNTH_SYNTHPROG_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "program/program.hh"
+
+/**
+ * @file
+ * Synthetic executable image generator. The paper's workload is the
+ * Oracle 8.0.4 server binary — 27 MB of text with a ~260 KB, very flat
+ * executed footprint. We obviously cannot ship Oracle, so we generate a
+ * program with the same *structural statistics*: many procedures
+ * organized in layered subsystems, small basic blocks, biased branches
+ * guarding inline error paths (cold code interleaved with hot code —
+ * the packing problem layout optimization solves), loops, indirect
+ * dispatch, and a deep call DAG. Named entry-point procedures are the
+ * interface the database engine (src/db) and kernel model (src/oskern)
+ * use to drive execution; hinted loops let the engine inject real
+ * data-dependent trip counts (B-tree depth, log batch size, ...).
+ */
+
+namespace spikesim::synth {
+
+/** One layered subsystem of the generated image. */
+struct SubsystemSpec
+{
+    std::string name;
+    /** Layer number; procedures may only call same-or-deeper layers
+     *  (and only procedures created after them), making the call graph
+     *  a DAG. */
+    int layer = 0;
+    int num_procs = 0;
+    /** Mean number of regions (statements) per procedure body. */
+    double avg_regions = 6.0;
+    /** Mean call-statements per procedure body. */
+    double avg_calls = 1.0;
+    /** True for subsystems that only contain cold code (error
+     *  handling, admin); they are called only from cold paths. */
+    bool cold = false;
+};
+
+/** An entry point the workload drivers call by name. */
+struct EntrySpec
+{
+    std::string name;
+    std::string subsystem;
+    /** Body size multiplier relative to the subsystem average. */
+    double scale = 1.0;
+    /** Number of hinted loops (hint slots 1..n) to embed. */
+    int hinted_loops = 0;
+    /**
+     * Tight-loop entry (scan/aggregate inner loops): no operation-
+     * dispatch switch, simple loop bodies -- the code shape that makes
+     * DSS instruction footprints small.
+     */
+    bool tight = false;
+};
+
+/** Generation parameters. */
+struct SynthParams
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 42;
+    std::vector<SubsystemSpec> subsystems;
+    std::vector<EntrySpec> entries;
+
+    /** Mean / max basic block size in instructions. */
+    double avg_block_instrs = 5.0;
+    int max_block_instrs = 24;
+
+    /**
+     * Expected-dynamic-cost budget of a deepest-layer procedure, and
+     * the multiplicative growth per layer above it. These calibrate
+     * instructions-per-invocation of the entry points.
+     */
+    double budget_base = 150.0;
+    double budget_growth = 3.3;
+
+    /** Probability that a compound statement is an if-then guarding a
+     *  cold (error) path, vs a balanced if-else. */
+    double error_if_fraction = 0.45;
+
+    /** The Oracle-8-like application image used by the OLTP engine. */
+    static SynthParams oracleLike(std::uint64_t seed = 42);
+    /** The Tru64-like kernel image used by the OS model. */
+    static SynthParams kernelLike(std::uint64_t seed = 1042);
+};
+
+/** A generated image plus its entry-point directory. */
+struct SyntheticProgram
+{
+    program::Program prog;
+    std::unordered_map<std::string, program::ProcId> entries;
+    /** Subsystem name of each procedure (parallel to proc ids). */
+    std::vector<std::string> subsystem_of;
+
+    /** Entry-point id by name; fatal() if unknown. */
+    program::ProcId entry(const std::string& name) const;
+};
+
+/** Generate an image. Deterministic in params (including seed). */
+SyntheticProgram buildSyntheticProgram(const SynthParams& params);
+
+} // namespace spikesim::synth
+
+#endif // SPIKESIM_SYNTH_SYNTHPROG_HH

@@ -1,0 +1,181 @@
+#include "synth/walker.hh"
+
+#include "support/panic.hh"
+
+namespace spikesim::synth {
+
+using program::BlockLocalId;
+using program::EdgeKind;
+using program::FlowEdge;
+using program::GlobalBlockId;
+using program::kInvalidId;
+using program::ProcId;
+using program::Procedure;
+using program::Terminator;
+
+CfgWalker::CfgWalker(const program::Program& prog, trace::ImageId image,
+                     std::uint64_t seed)
+    : prog_(&prog), image_(image), rng_(seed, 0x5b1ce51bULL ^ seed)
+{
+    // Precompute per-block successor tables; the walk loop is the
+    // hottest code in the whole simulator. Indirect targets of one
+    // block may be interleaved with other blocks' edges in the edge
+    // list (nested switches), so group them per block before
+    // flattening into the contiguous target array.
+    succ_.resize(prog.numBlocks());
+    for (ProcId p = 0; p < prog.numProcs(); ++p) {
+        const Procedure& proc = prog.proc(p);
+        std::vector<std::vector<IndirectTarget>> grouped(
+            proc.blocks.size());
+        for (const FlowEdge& e : proc.edges) {
+            GlobalBlockId g = prog.globalBlockId(p, e.from);
+            Succ& s = succ_[g];
+            switch (e.kind) {
+              case EdgeKind::FallThrough:
+                s.fall = e.to;
+                break;
+              case EdgeKind::CondTaken:
+                s.taken = e.to;
+                s.taken_prob = e.prob;
+                break;
+              case EdgeKind::UncondTarget:
+                s.taken = e.to;
+                break;
+              case EdgeKind::IndirectTarget:
+                grouped[e.from].push_back({e.to, e.prob});
+                break;
+            }
+        }
+        for (BlockLocalId b = 0; b < proc.blocks.size(); ++b) {
+            if (grouped[b].empty())
+                continue;
+            Succ& s = succ_[prog.globalBlockId(p, b)];
+            s.indirect_begin =
+                static_cast<std::uint32_t>(indirect_targets_.size());
+            s.indirect_count =
+                static_cast<std::uint32_t>(grouped[b].size());
+            indirect_targets_.insert(indirect_targets_.end(),
+                                     grouped[b].begin(),
+                                     grouped[b].end());
+        }
+    }
+}
+
+WalkStats
+CfgWalker::run(ProcId proc, const trace::ExecContext& ctx,
+               trace::TraceSink& sink, std::span<const int> hints)
+{
+    WalkStats stats;
+    walkProc(proc, ctx, sink, hints, 0, stats);
+    total_instrs_ += stats.instrs;
+    return stats;
+}
+
+void
+CfgWalker::walkProc(ProcId proc, const trace::ExecContext& ctx,
+                    trace::TraceSink& sink, std::span<const int> hints,
+                    int depth, WalkStats& stats)
+{
+    SPIKESIM_ASSERT(depth < kMaxCallDepth,
+                    "call depth exceeded; synthetic call graph may have "
+                    "a cycle");
+    const Procedure& p = prog_->proc(proc);
+    const GlobalBlockId base = prog_->globalBlockId(proc, 0);
+
+    // Per-activation state of hinted loops in this frame.
+    struct LoopState
+    {
+        BlockLocalId local = kInvalidId;
+        int remaining = 0;
+        bool active = false;
+    };
+    static constexpr int kMaxHintedLoops = 8;
+    LoopState loops[kMaxHintedLoops];
+    int num_loops = 0;
+    auto loop_state = [&](BlockLocalId b) -> LoopState& {
+        for (int i = 0; i < num_loops; ++i)
+            if (loops[i].local == b)
+                return loops[i];
+        SPIKESIM_ASSERT(num_loops < kMaxHintedLoops,
+                        "too many hinted loops in proc " << p.name);
+        loops[num_loops].local = b;
+        loops[num_loops].active = false;
+        return loops[num_loops++];
+    };
+
+    BlockLocalId local = 0;
+    for (;;) {
+        const program::BasicBlock& blk = p.blocks[local];
+        GlobalBlockId g = base + local;
+        const Succ& s = succ_[g];
+        sink.onBlock(ctx, image_, g);
+        stats.instrs += blk.sizeInstrs;
+        ++stats.blocks;
+        SPIKESIM_ASSERT(stats.instrs < kMaxInstrsPerRun,
+                        "runaway walk in proc " << p.name);
+
+        BlockLocalId next = kInvalidId;
+        switch (blk.term) {
+          case Terminator::Return:
+            return;
+          case Terminator::Call:
+            ++stats.calls;
+            sink.onCall(image_, g, blk.callee);
+            walkProc(blk.callee, ctx, sink, hints, depth + 1, stats);
+            next = s.fall;
+            break;
+          case Terminator::FallThrough:
+            next = s.fall;
+            break;
+          case Terminator::UncondBranch:
+            next = s.taken;
+            break;
+          case Terminator::CondBranch:
+            if (blk.hintSlot != 0 && blk.hintSlot <= hints.size()) {
+                // Hinted loop: follow the taken (back) edge exactly
+                // hints[slot-1] times per activation.
+                LoopState& ls = loop_state(local);
+                if (!ls.active) {
+                    ls.active = true;
+                    ls.remaining = hints[blk.hintSlot - 1];
+                }
+                if (ls.remaining > 0) {
+                    --ls.remaining;
+                    next = s.taken;
+                } else {
+                    ls.active = false;
+                    next = s.fall;
+                }
+            } else {
+                next = rng_.nextBool(s.taken_prob) ? s.taken : s.fall;
+            }
+            break;
+          case Terminator::IndirectJump: {
+            SPIKESIM_ASSERT(s.indirect_count > 0,
+                            "indirect jump without targets in proc "
+                                << p.name);
+            double r = rng_.nextDouble();
+            double acc = 0.0;
+            next = indirect_targets_[s.indirect_begin +
+                                     s.indirect_count - 1]
+                       .to; // rounding slop fallback
+            for (std::uint32_t i = 0; i < s.indirect_count; ++i) {
+                const auto& t = indirect_targets_[s.indirect_begin + i];
+                acc += t.prob;
+                if (r < acc) {
+                    next = t.to;
+                    break;
+                }
+            }
+            break;
+          }
+        }
+        SPIKESIM_ASSERT(next != kInvalidId,
+                        "no successor for block " << local << " in proc "
+                                                  << p.name);
+        sink.onEdge(image_, g, base + next);
+        local = next;
+    }
+}
+
+} // namespace spikesim::synth

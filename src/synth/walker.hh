@@ -1,0 +1,98 @@
+#ifndef SPIKESIM_SYNTH_WALKER_HH
+#define SPIKESIM_SYNTH_WALKER_HH
+
+#include <cstdint>
+#include <span>
+
+#include "program/program.hh"
+#include "support/rng.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * CFG walker: "executes" a procedure of the structural program model by
+ * walking its control-flow graph, emitting one trace event per basic
+ * block. Branch outcomes come from seeded pseudo-random draws against
+ * the edge probabilities, except that designated loop heads can be
+ * driven by caller-supplied hints — that is how the database engine
+ * injects genuinely data-dependent behaviour (B-tree depth, rows per
+ * page scan, log batch size) into the instruction stream.
+ */
+
+namespace spikesim::synth {
+
+/** Walk statistics for one run() call. */
+struct WalkStats
+{
+    std::uint64_t instrs = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t calls = 0;
+};
+
+/** Executes procedures of one program image. */
+class CfgWalker
+{
+  public:
+    /**
+     * @param prog  the image to execute (borrowed; must outlive walker).
+     * @param image trace tag for emitted events.
+     * @param seed  RNG seed; walks are fully deterministic in
+     *              (seed, sequence of run() calls, hints).
+     */
+    CfgWalker(const program::Program& prog, trace::ImageId image,
+              std::uint64_t seed);
+
+    /**
+     * Execute one procedure from its entry block until it returns.
+     *
+     * @param hints values for hinted loop heads: a block with
+     *        hintSlot == k takes its per-activation trip count from
+     *        hints[k-1]; hinted blocks beyond the span fall back to
+     *        their edge probabilities.
+     */
+    WalkStats run(program::ProcId proc, const trace::ExecContext& ctx,
+                  trace::TraceSink& sink,
+                  std::span<const int> hints = {});
+
+    /** Instructions executed across all run() calls. */
+    std::uint64_t totalInstrs() const { return total_instrs_; }
+
+    const program::Program& prog() const { return *prog_; }
+
+  private:
+    void walkProc(program::ProcId proc, const trace::ExecContext& ctx,
+                  trace::TraceSink& sink, std::span<const int> hints,
+                  int depth, WalkStats& stats);
+
+    /** Precomputed successor summary for one block. */
+    struct Succ
+    {
+        program::BlockLocalId fall = program::kInvalidId;
+        program::BlockLocalId taken = program::kInvalidId;
+        double taken_prob = 0.0;
+        std::uint32_t indirect_begin = program::kInvalidId;
+        std::uint32_t indirect_count = 0;
+    };
+    struct IndirectTarget
+    {
+        program::BlockLocalId to;
+        double prob;
+    };
+
+    const program::Program* prog_;
+    trace::ImageId image_;
+    support::Pcg32 rng_;
+    std::vector<Succ> succ_;
+    std::vector<IndirectTarget> indirect_targets_;
+    std::uint64_t total_instrs_ = 0;
+
+    /** Recursion guard: the synthetic call graph is a DAG, but guard
+     *  against builder bugs. */
+    static constexpr int kMaxCallDepth = 256;
+    /** Runaway guard per run() call. */
+    static constexpr std::uint64_t kMaxInstrsPerRun = 50'000'000;
+};
+
+} // namespace spikesim::synth
+
+#endif // SPIKESIM_SYNTH_WALKER_HH

@@ -1,0 +1,85 @@
+#include "trace/trace.hh"
+
+#include "support/panic.hh"
+
+namespace spikesim::trace {
+
+TeeSink::TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks))
+{
+    for (auto* s : sinks_)
+        SPIKESIM_ASSERT(s != nullptr, "TeeSink given a null sink");
+}
+
+void
+TeeSink::onBlock(const ExecContext& ctx, ImageId image,
+                 program::GlobalBlockId block)
+{
+    for (auto* s : sinks_)
+        s->onBlock(ctx, image, block);
+}
+
+void
+TeeSink::onEdge(ImageId image, program::GlobalBlockId from,
+                program::GlobalBlockId to)
+{
+    for (auto* s : sinks_)
+        s->onEdge(image, from, to);
+}
+
+void
+TeeSink::onCall(ImageId image, program::GlobalBlockId caller_block,
+                program::ProcId callee)
+{
+    for (auto* s : sinks_)
+        s->onCall(image, caller_block, callee);
+}
+
+void
+TeeSink::onData(const ExecContext& ctx, std::uint64_t byte_addr)
+{
+    for (auto* s : sinks_)
+        s->onData(ctx, byte_addr);
+}
+
+void
+TraceBuffer::onBlock(const ExecContext& ctx, ImageId image,
+                     program::GlobalBlockId block)
+{
+    TraceEvent e;
+    e.block = block;
+    e.process = ctx.process;
+    e.cpu = ctx.cpu;
+    e.image = image;
+    events_.push_back(e);
+    per_image_[static_cast<std::size_t>(image)]++;
+}
+
+void
+TraceBuffer::onData(const ExecContext& ctx, std::uint64_t byte_addr)
+{
+    TraceEvent e;
+    e.block = static_cast<std::uint32_t>(byte_addr >> 2);
+    e.process = ctx.process;
+    e.cpu = ctx.cpu;
+    e.image = ImageId::Data;
+    events_.push_back(e);
+    per_image_[static_cast<std::size_t>(ImageId::Data)]++;
+}
+
+std::uint64_t
+TraceBuffer::imageEvents(ImageId image) const
+{
+    return per_image_[static_cast<std::size_t>(image)];
+}
+
+std::uint64_t
+TraceBuffer::dynamicInstrs(const program::Program& prog, ImageId image) const
+{
+    std::uint64_t total = 0;
+    for (const auto& e : events_)
+        if (e.image == image)
+            total += prog.block(e.block).sizeInstrs;
+    return total;
+}
+
+} // namespace spikesim::trace

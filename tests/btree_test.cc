@@ -1,0 +1,197 @@
+/** @file Tests for the B+tree index. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "db/btree.hh"
+#include "support/rng.hh"
+
+namespace spikesim::db {
+namespace {
+
+struct Fixture
+{
+    SimDisk disk;
+    BufferPool pool{disk, 64};
+    Wal wal{disk};
+    PageAllocator alloc{1};
+
+    BTree
+    make()
+    {
+        PageId anchor = alloc.alloc();
+        return BTree::create(pool, wal, alloc, anchor);
+    }
+};
+
+RowId
+rid(std::uint32_t n)
+{
+    return {n, static_cast<std::uint16_t>(n % 7)};
+}
+
+TEST(BTree, EmptyTreeFindsNothing)
+{
+    Fixture f;
+    BTree t = f.make();
+    EXPECT_FALSE(t.search(42).has_value());
+    EXPECT_EQ(t.height(), 1);
+    EXPECT_EQ(t.numEntries(), 0u);
+    EXPECT_EQ(t.check(), "");
+}
+
+TEST(BTree, InsertAndSearch)
+{
+    Fixture f;
+    BTree t = f.make();
+    EXPECT_TRUE(t.insert(1, 10, rid(10)));
+    EXPECT_TRUE(t.insert(1, 5, rid(5)));
+    EXPECT_TRUE(t.insert(1, 20, rid(20)));
+    auto r = t.search(5);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, rid(5));
+    EXPECT_FALSE(t.search(7).has_value());
+    EXPECT_EQ(t.numEntries(), 3u);
+    EXPECT_EQ(t.check(), "");
+}
+
+TEST(BTree, RejectsDuplicates)
+{
+    Fixture f;
+    BTree t = f.make();
+    EXPECT_TRUE(t.insert(1, 10, rid(1)));
+    EXPECT_FALSE(t.insert(1, 10, rid(2)));
+    EXPECT_EQ(*t.search(10), rid(1));
+}
+
+TEST(BTree, SplitsGrowTheTree)
+{
+    Fixture f;
+    BTree t = f.make();
+    // Leaf fanout is ~(8128/16)=508; 3000 keys forces height >= 2.
+    for (std::int64_t k = 0; k < 3000; ++k)
+        ASSERT_TRUE(t.insert(1, k, rid(static_cast<std::uint32_t>(k))));
+    EXPECT_GE(t.height(), 2);
+    EXPECT_EQ(t.numEntries(), 3000u);
+    EXPECT_EQ(t.check(), "");
+    for (std::int64_t k = 0; k < 3000; k += 37)
+        EXPECT_TRUE(t.search(k).has_value()) << k;
+}
+
+TEST(BTree, ReverseInsertionOrder)
+{
+    Fixture f;
+    BTree t = f.make();
+    for (std::int64_t k = 2999; k >= 0; --k)
+        ASSERT_TRUE(t.insert(1, k, rid(static_cast<std::uint32_t>(k))));
+    EXPECT_EQ(t.numEntries(), 3000u);
+    EXPECT_EQ(t.check(), "");
+}
+
+TEST(BTree, RemoveIsLazyButCorrect)
+{
+    Fixture f;
+    BTree t = f.make();
+    for (std::int64_t k = 0; k < 100; ++k)
+        t.insert(1, k, rid(static_cast<std::uint32_t>(k)));
+    EXPECT_TRUE(t.remove(1, 50));
+    EXPECT_FALSE(t.remove(1, 50));
+    EXPECT_FALSE(t.search(50).has_value());
+    EXPECT_EQ(t.numEntries(), 99u);
+    EXPECT_EQ(t.check(), "");
+}
+
+TEST(BTree, ScanIsOrderedAndBounded)
+{
+    Fixture f;
+    BTree t = f.make();
+    for (std::int64_t k = 0; k < 2000; k += 2)
+        t.insert(1, k, rid(static_cast<std::uint32_t>(k)));
+    std::vector<std::int64_t> keys;
+    t.scan(100, 200, [&](std::int64_t k, RowId) { keys.push_back(k); });
+    ASSERT_EQ(keys.size(), 51u);
+    EXPECT_EQ(keys.front(), 100);
+    EXPECT_EQ(keys.back(), 200);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BTree, OpenRestoresState)
+{
+    Fixture f;
+    PageId anchor;
+    {
+        BTree t = f.make();
+        anchor = t.anchorPage();
+        for (std::int64_t k = 0; k < 1500; ++k)
+            t.insert(1, k, rid(static_cast<std::uint32_t>(k)));
+    }
+    BTree reopened = BTree::open(f.pool, f.wal, f.alloc, anchor);
+    EXPECT_EQ(reopened.numEntries(), 1500u);
+    EXPECT_TRUE(reopened.search(1234).has_value());
+    EXPECT_EQ(reopened.check(), "");
+}
+
+/** Random workloads across seeds and sizes. */
+class BTreeRandom
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(BTreeRandom, MatchesSortedVectorModel)
+{
+    auto [n, seed] = GetParam();
+    Fixture f;
+    BTree t = f.make();
+    support::Pcg32 rng(seed);
+    std::vector<std::int64_t> model;
+    for (int i = 0; i < n; ++i) {
+        std::int64_t k = rng.nextRange(0, n * 2);
+        bool inserted = t.insert(1, k, rid(static_cast<std::uint32_t>(k)));
+        bool fresh = std::find(model.begin(), model.end(), k) ==
+                     model.end();
+        EXPECT_EQ(inserted, fresh);
+        if (fresh)
+            model.push_back(k);
+    }
+    // Random removals of half the keys.
+    std::sort(model.begin(), model.end());
+    std::vector<std::int64_t> removed;
+    for (std::size_t i = 0; i < model.size(); i += 2)
+        removed.push_back(model[i]);
+    for (std::int64_t k : removed)
+        EXPECT_TRUE(t.remove(1, k));
+    EXPECT_EQ(t.check(), "");
+    // Verify membership matches the model.
+    for (std::int64_t k : model) {
+        bool should_exist =
+            std::find(removed.begin(), removed.end(), k) == removed.end();
+        EXPECT_EQ(t.search(k).has_value(), should_exist) << k;
+    }
+    EXPECT_EQ(t.numEntries(), model.size() - removed.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreeRandom,
+    ::testing::Combine(::testing::Values(50, 500, 2000),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(BTree, HeightGrowsLogarithmically)
+{
+    Fixture bigger;
+    BufferPool pool(bigger.disk, 512);
+    Wal wal(bigger.disk);
+    PageAllocator alloc(1);
+    PageId anchor = alloc.alloc();
+    BTree t = BTree::create(pool, wal, alloc, anchor);
+    for (std::int64_t k = 0; k < 100'000; ++k)
+        t.insert(1, k, rid(static_cast<std::uint32_t>(k)));
+    // Fanout ~508: 100k keys fit in height 3 easily; never more than 4.
+    EXPECT_GE(t.height(), 2);
+    EXPECT_LE(t.height(), 4);
+    EXPECT_EQ(t.check(), "");
+}
+
+} // namespace
+} // namespace spikesim::db

@@ -1,0 +1,149 @@
+/** @file Tests for the buffer pool. */
+
+#include <gtest/gtest.h>
+
+#include "db/bufferpool.hh"
+
+namespace spikesim::db {
+namespace {
+
+TEST(BufferPool, MissThenHit)
+{
+    SimDisk disk;
+    BufferPool pool(disk, 4);
+    FrameRef r = pool.fetch(10);
+    EXPECT_EQ(pool.misses(), 1u);
+    pool.release(r, false);
+    FrameRef r2 = pool.fetch(10);
+    EXPECT_EQ(pool.hits(), 1u);
+    pool.release(r2, false);
+}
+
+TEST(BufferPool, DirtyPageWritesBackOnEviction)
+{
+    SimDisk disk;
+    BufferPool pool(disk, 2);
+    FrameRef r = pool.fetch(1);
+    r.page->format(1, PageType::Heap, 8);
+    std::int64_t v = 99;
+    r.page->appendSlot(&v);
+    pool.release(r, true);
+    // Evict page 1 by filling the pool.
+    pool.release(pool.fetch(2), false);
+    pool.release(pool.fetch(3), false);
+    EXPECT_TRUE(disk.pageExists(1));
+    Page out;
+    disk.readPage(1, out);
+    std::int64_t read = 0;
+    out.readSlot(0, read);
+    EXPECT_EQ(read, 99);
+}
+
+TEST(BufferPool, CleanEvictionDoesNotWrite)
+{
+    SimDisk disk;
+    BufferPool pool(disk, 2);
+    pool.release(pool.fetch(1), false);
+    pool.release(pool.fetch(2), false);
+    pool.release(pool.fetch(3), false);
+    EXPECT_FALSE(disk.pageExists(1));
+}
+
+TEST(BufferPool, PinnedFramesAreNotEvicted)
+{
+    SimDisk disk;
+    BufferPool pool(disk, 2);
+    FrameRef pinned = pool.fetch(1);
+    pool.release(pool.fetch(2), false);
+    pool.release(pool.fetch(3), false); // must evict 2, not pinned 1
+    EXPECT_EQ(pinned.page->header().id, 1u);
+    FrameRef again = pool.fetch(1);
+    EXPECT_EQ(pool.hits(), 1u);
+    pool.release(again, false);
+    pool.release(pinned, false);
+}
+
+TEST(BufferPool, LruEvictsOldest)
+{
+    SimDisk disk;
+    BufferPool pool(disk, 2);
+    pool.release(pool.fetch(1), false);
+    pool.release(pool.fetch(2), false);
+    pool.release(pool.fetch(1), false); // 1 recent, 2 LRU
+    pool.release(pool.fetch(3), false); // evicts 2
+    pool.release(pool.fetch(1), false);
+    EXPECT_EQ(pool.hits(), 2u);
+    pool.release(pool.fetch(2), false);
+    EXPECT_EQ(pool.misses(), 4u); // 1, 2, 3, 2-again
+}
+
+TEST(BufferPool, FlushAllWritesDirtyFrames)
+{
+    SimDisk disk;
+    BufferPool pool(disk, 4);
+    FrameRef r = pool.fetch(5);
+    r.page->format(5, PageType::Heap, 8);
+    pool.release(r, true);
+    EXPECT_FALSE(disk.pageExists(5));
+    pool.flushAll();
+    EXPECT_TRUE(disk.pageExists(5));
+}
+
+TEST(BufferPool, DropAllForgetsEverything)
+{
+    SimDisk disk;
+    BufferPool pool(disk, 4);
+    FrameRef r = pool.fetch(5);
+    r.page->format(5, PageType::Heap, 8);
+    pool.release(r, true);
+    pool.dropAll();
+    EXPECT_FALSE(disk.pageExists(5)); // dirty data lost (crash)
+    FrameRef r2 = pool.fetch(5);
+    EXPECT_EQ(r2.page->header().type, PageType::Free);
+    pool.release(r2, false);
+}
+
+TEST(BufferPool, ReportsHooks)
+{
+    struct Counter : EngineHooks
+    {
+        int hits = 0, misses = 0, reads = 0;
+        void
+        onOp(const char* entry, std::span<const int>) override
+        {
+            if (std::string(entry) == "buf_get_hit")
+                ++hits;
+            if (std::string(entry) == "buf_get_miss")
+                ++misses;
+        }
+        void
+        onSyscall(const char* entry, std::span<const int>) override
+        {
+            if (std::string(entry) == "sys_read")
+                ++reads;
+        }
+    } hooks;
+    SimDisk disk;
+    BufferPool pool(disk, 2, &hooks);
+    pool.release(pool.fetch(1), false);
+    pool.release(pool.fetch(1), false);
+    EXPECT_EQ(hooks.misses, 1);
+    EXPECT_EQ(hooks.hits, 1);
+    EXPECT_EQ(hooks.reads, 1);
+}
+
+TEST(BufferPool, PinnedCountTracksPins)
+{
+    SimDisk disk;
+    BufferPool pool(disk, 4);
+    EXPECT_EQ(pool.pinnedFrames(), 0u);
+    FrameRef a = pool.fetch(1);
+    FrameRef b = pool.fetch(2);
+    EXPECT_EQ(pool.pinnedFrames(), 2u);
+    pool.release(a, false);
+    EXPECT_EQ(pool.pinnedFrames(), 1u);
+    pool.release(b, false);
+}
+
+} // namespace
+} // namespace spikesim::db

@@ -1,0 +1,161 @@
+/** @file Tests for the set-associative cache simulator. */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "support/rng.hh"
+
+namespace spikesim::mem {
+namespace {
+
+TEST(CacheConfig, Geometry)
+{
+    CacheConfig c{64 * 1024, 64, 2};
+    EXPECT_EQ(c.check(), "");
+    EXPECT_EQ(c.numSets(), 512u);
+    EXPECT_EQ(c.numLines(), 1024u);
+    EXPECT_EQ(c.label(), "64KB/64B/2-way");
+    EXPECT_EQ((CacheConfig{8 * 1024, 32, 1}).label(), "8KB/32B/DM");
+}
+
+TEST(CacheConfig, RejectsBadGeometry)
+{
+    EXPECT_NE((CacheConfig{64 * 1024, 48, 1}).check(), ""); // line !pow2
+    EXPECT_NE((CacheConfig{64 * 1024, 64, 0}).check(), ""); // assoc 0
+    EXPECT_NE((CacheConfig{100, 64, 1}).check(), "");       // not multiple
+    EXPECT_NE((CacheConfig{3 * 64 * 64, 64, 64}).check(), ""); // sets !pow2
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache c({1024, 64, 1});
+    AccessResult r = c.access(0x100, Owner::App);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.victim, Owner::None);
+    r = c.access(0x104, Owner::App); // same line
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    SetAssocCache c({1024, 64, 1}); // 16 sets
+    c.access(0, Owner::App);
+    c.access(1024, Owner::Kernel); // same set, evicts
+    AccessResult r = c.access(0, Owner::App);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.victim, Owner::Kernel);
+    EXPECT_EQ(c.missesBy(Owner::App), 2u);
+    EXPECT_EQ(c.missesBy(Owner::Kernel), 1u);
+}
+
+TEST(Cache, TwoWayHoldsBothConflictingLines)
+{
+    SetAssocCache c({2048, 64, 2}); // 16 sets, 2 ways
+    c.access(0, Owner::App);
+    c.access(2048, Owner::App); // same set, other way
+    EXPECT_TRUE(c.access(0, Owner::App).hit);
+    EXPECT_TRUE(c.access(2048, Owner::App).hit);
+}
+
+TEST(Cache, LruEvictsLeastRecent)
+{
+    SetAssocCache c({2048, 64, 2});
+    c.access(0, Owner::App);      // way A
+    c.access(2048, Owner::App);   // way B
+    c.access(0, Owner::App);      // touch A -> B is LRU
+    c.access(4096, Owner::App);   // evicts B
+    EXPECT_TRUE(c.access(0, Owner::App).hit);
+    EXPECT_FALSE(c.access(2048, Owner::App).hit);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    SetAssocCache c({1024, 64, 1});
+    c.access(0, Owner::App);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.access(0, Owner::App).hit);
+}
+
+/**
+ * Reference model: per-set LRU stacks implemented naively with deques.
+ * The production cache must match it exactly on random streams.
+ */
+class ReferenceCache
+{
+  public:
+    explicit ReferenceCache(const CacheConfig& c) : config_(c)
+    {
+        sets_.resize(c.numSets());
+    }
+
+    bool
+    access(std::uint64_t addr)
+    {
+        std::uint64_t line = addr / config_.line_bytes;
+        auto& stack = sets_[line % config_.numSets()];
+        for (auto it = stack.begin(); it != stack.end(); ++it) {
+            if (*it == line) {
+                stack.erase(it);
+                stack.push_front(line);
+                return true;
+            }
+        }
+        stack.push_front(line);
+        if (stack.size() > config_.assoc)
+            stack.pop_back();
+        return false;
+    }
+
+  private:
+    CacheConfig config_;
+    std::vector<std::deque<std::uint64_t>> sets_;
+};
+
+class CacheVsReference
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>>
+{
+};
+
+TEST_P(CacheVsReference, MatchesNaiveLruExactly)
+{
+    auto [assoc, seed] = GetParam();
+    CacheConfig config{8 * 1024, 64, assoc};
+    SetAssocCache cache(config);
+    ReferenceCache ref(config);
+    support::Pcg32 rng(static_cast<std::uint64_t>(seed));
+    for (int i = 0; i < 50000; ++i) {
+        // Working set ~4x the cache to exercise replacement.
+        std::uint64_t addr = rng.nextBounded(32 * 1024);
+        EXPECT_EQ(cache.access(addr, Owner::App).hit, ref.access(addr))
+            << "at access " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheVsReference,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1, 2)));
+
+TEST(Cache, FullyAssociativeNeverConflictMisses)
+{
+    CacheConfig config{4096, 64, 64}; // one set
+    EXPECT_EQ(config.check(), "");
+    SetAssocCache c(config);
+    // Touch exactly 64 distinct lines repeatedly: after the cold pass
+    // everything hits regardless of address bits.
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t i = 0; i < 64; ++i)
+            c.access(i * 8192, Owner::App);
+    EXPECT_EQ(c.misses(), 64u);
+    EXPECT_EQ(c.hits(), 2u * 64u);
+}
+
+} // namespace
+} // namespace spikesim::mem

@@ -1,0 +1,204 @@
+/** @file Tests for basic block chaining (paper section 2, Figure 1a). */
+
+#include <gtest/gtest.h>
+
+#include "core/chain.hh"
+#include "program/builder.hh"
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+
+namespace spikesim::core {
+namespace {
+
+using program::BlockLocalId;
+using program::EdgeKind;
+using program::ProcedureBuilder;
+using program::Program;
+using program::Terminator;
+
+/**
+ * The shape of the paper's Figure 1a example: an entry, a loop whose
+ * conditional prefers one side 60/40, and a tail. Weights are assigned
+ * through an explicit profile.
+ */
+Program
+figure1Program()
+{
+    Program p("fig1");
+    ProcedureBuilder b("A");
+    // A1 -> A2 (fallthrough)
+    // A2: cond, taken A5 (0.4), fall A3 (0.6)
+    // A3 -> A4 (fall), A4 -> A8 (uncond)
+    // A5 -> A6 (fall), A6 -> A7 (fall), A7 -> A8 (fall)
+    // A8: return
+    auto a1 = b.addBlock(2, Terminator::FallThrough);
+    auto a2 = b.addBlock(2, Terminator::CondBranch);
+    auto a3 = b.addBlock(2, Terminator::FallThrough);
+    auto a4 = b.addBlock(2, Terminator::UncondBranch);
+    auto a5 = b.addBlock(2, Terminator::FallThrough);
+    auto a6 = b.addBlock(2, Terminator::FallThrough);
+    auto a7 = b.addBlock(2, Terminator::FallThrough);
+    auto a8 = b.addBlock(2, Terminator::Return);
+    b.addEdge(a1, a2, EdgeKind::FallThrough);
+    b.addCond(a2, a5, a3, 0.4);
+    b.addEdge(a3, a4, EdgeKind::FallThrough);
+    b.addEdge(a4, a8, EdgeKind::UncondTarget);
+    b.addEdge(a5, a6, EdgeKind::FallThrough);
+    b.addEdge(a6, a7, EdgeKind::FallThrough);
+    b.addEdge(a7, a8, EdgeKind::FallThrough);
+    p.addProcedure(b.build());
+    EXPECT_EQ(p.validate(), "");
+    return p;
+}
+
+TEST(Chain, SequentializesTheHotPath)
+{
+    Program p = figure1Program();
+    profile::Profile prof(p);
+    // 10 executions: 6 via A3/A4, 4 via A5..A7 (Figure 1a weights).
+    prof.addBlock(0, 10);
+    prof.addBlock(1, 10);
+    prof.addEdge(0, 1, 10);
+    prof.addBlock(2, 6);
+    prof.addBlock(3, 6);
+    prof.addEdge(1, 2, 6);
+    prof.addEdge(2, 3, 6);
+    prof.addEdge(3, 7, 6);
+    prof.addBlock(4, 4);
+    prof.addBlock(5, 4);
+    prof.addBlock(6, 4);
+    prof.addEdge(1, 4, 4);
+    prof.addEdge(4, 5, 4);
+    prof.addEdge(5, 6, 4);
+    prof.addEdge(6, 7, 4);
+    prof.addBlock(7, 10);
+
+    std::vector<BlockLocalId> order = chainBasicBlocks(p, 0, prof);
+    ASSERT_EQ(order.size(), 8u);
+    // The hot path A1,A2,A3,A4,A8 is chained in order.
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 1u);
+    EXPECT_EQ(order[2], 2u);
+    EXPECT_EQ(order[3], 3u);
+    EXPECT_EQ(order[4], 7u);
+    // The cold side A5,A6,A7 follows as its own chain.
+    EXPECT_EQ(order[5], 4u);
+    EXPECT_EQ(order[6], 5u);
+    EXPECT_EQ(order[7], 6u);
+    // Chaining strictly improved the fall-through weight.
+    std::vector<BlockLocalId> natural{0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_GT(fallThroughWeight(p, 0, prof, order),
+              fallThroughWeight(p, 0, prof, natural));
+}
+
+TEST(Chain, IsAPermutation)
+{
+    Program p = figure1Program();
+    profile::Profile prof(p); // all-zero profile
+    std::vector<BlockLocalId> order = chainBasicBlocks(p, 0, prof);
+    std::vector<bool> seen(8, false);
+    for (BlockLocalId b : order) {
+        ASSERT_LT(b, 8u);
+        EXPECT_FALSE(seen[b]);
+        seen[b] = true;
+    }
+}
+
+TEST(Chain, EntryBlockComesFirst)
+{
+    Program p = figure1Program();
+    profile::Profile prof(p);
+    // Give a non-entry chain far more weight; entry chain still leads.
+    prof.addEdge(4, 5, 1000);
+    prof.addEdge(5, 6, 1000);
+    std::vector<BlockLocalId> order = chainBasicBlocks(p, 0, prof);
+    EXPECT_EQ(order[0], 0u);
+}
+
+TEST(Chain, DoesNotCreateCycles)
+{
+    // A <-> B mutual edges: chaining must not try to link both ways.
+    Program p("cycle");
+    ProcedureBuilder b("p");
+    auto a = b.addBlock(1, Terminator::CondBranch);
+    auto c = b.addBlock(1, Terminator::CondBranch);
+    auto r = b.addBlock(1, Terminator::Return);
+    auto r2 = b.addBlock(1, Terminator::Return);
+    b.addCond(a, c, r2, 0.9);  // a -> c hot
+    b.addCond(c, a, r, 0.9);   // c -> a hot (back edge)
+    p.addProcedure(b.build());
+    ASSERT_EQ(p.validate(), "");
+    profile::Profile prof(p);
+    prof.addEdge(0, 1, 100);
+    prof.addEdge(1, 0, 99);
+    std::vector<BlockLocalId> order = chainBasicBlocks(p, 0, prof);
+    EXPECT_EQ(order.size(), 4u); // completes without hanging/losing
+}
+
+TEST(Chain, BiasesConditionalsTowardNotTaken)
+{
+    // The chained order should make the 60% side the fall-through,
+    // even though the original binary falls through to the 40% side.
+    Program p("bias");
+    ProcedureBuilder b("p");
+    auto c = b.addBlock(1, Terminator::CondBranch);
+    auto cold = b.addBlock(1, Terminator::UncondBranch); // original fall
+    auto hot = b.addBlock(1, Terminator::FallThrough);   // original taken
+    auto r = b.addBlock(1, Terminator::Return);
+    b.addCond(c, hot, cold, 0.6);
+    b.addEdge(cold, r, EdgeKind::UncondTarget);
+    b.addEdge(hot, r, EdgeKind::FallThrough);
+    p.addProcedure(b.build());
+    ASSERT_EQ(p.validate(), "");
+    profile::Profile prof(p);
+    prof.addEdge(0, 2, 60);
+    prof.addEdge(0, 1, 40);
+    prof.addEdge(2, 3, 60);
+    prof.addEdge(1, 3, 40);
+    std::vector<BlockLocalId> order = chainBasicBlocks(p, 0, prof);
+    // hot (block 2) directly follows the conditional.
+    ASSERT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 2u);
+}
+
+/** Property sweep: chained order never reduces fall-through weight. */
+class ChainProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ChainProperty, NeverWorseThanNaturalOrder)
+{
+    synth::SyntheticProgram sp = synth::buildSyntheticProgram(
+        synth::SynthParams::kernelLike(GetParam()));
+    profile::Profile prof(sp.prog);
+    profile::ProfileRecorder rec(trace::ImageId::Kernel, prof);
+    synth::CfgWalker w(sp.prog, trace::ImageId::Kernel, GetParam());
+    trace::ExecContext ctx;
+    for (int i = 0; i < 30; ++i) {
+        w.run(sp.entry("sys_read"), ctx, rec);
+        w.run(sp.entry("sched_switch"), ctx, rec);
+    }
+    for (program::ProcId pid = 0; pid < sp.prog.numProcs(); pid += 7) {
+        std::vector<BlockLocalId> order =
+            chainBasicBlocks(sp.prog, pid, prof);
+        ASSERT_EQ(order.size(), sp.prog.proc(pid).blocks.size());
+        std::vector<BlockLocalId> natural(order.size());
+        for (std::size_t i = 0; i < natural.size(); ++i)
+            natural[i] = static_cast<BlockLocalId>(i);
+        EXPECT_GE(fallThroughWeight(sp.prog, pid, prof, order),
+                  fallThroughWeight(sp.prog, pid, prof, natural))
+            << "proc " << sp.prog.proc(pid).name;
+        // Permutation check.
+        std::vector<bool> seen(order.size(), false);
+        for (BlockLocalId b : order) {
+            ASSERT_FALSE(seen[b]);
+            seen[b] = true;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+} // namespace
+} // namespace spikesim::core

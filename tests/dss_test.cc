@@ -1,0 +1,88 @@
+/** @file Tests for the DSS query driver. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/dss.hh"
+
+namespace spikesim::db {
+namespace {
+
+TpcbConfig
+smallConfig()
+{
+    TpcbConfig c;
+    c.branches = 4;
+    c.accounts_per_branch = 500;
+    c.buffer_frames = 64;
+    return c;
+}
+
+TEST(Dss, ScanAggregateVisitsEveryRow)
+{
+    TpcbDatabase db(smallConfig());
+    db.setup();
+    DssDriver dss(db, nullptr);
+    DssOutcome out = dss.scanAggregate(0);
+    EXPECT_EQ(out.rows_scanned, db.numAccounts());
+    EXPECT_EQ(out.groups, 4);
+    EXPECT_EQ(out.aggregate, 0); // fresh accounts all have balance 0
+}
+
+TEST(Dss, AggregateTracksUpdates)
+{
+    TpcbDatabase db(smallConfig());
+    db.setup();
+    std::int64_t delta_sum = 0;
+    for (int i = 0; i < 50; ++i)
+        delta_sum += db.runTransaction(0).delta;
+    DssDriver dss(db, nullptr);
+    EXPECT_EQ(dss.scanAggregate(0).aggregate, delta_sum);
+}
+
+TEST(Dss, RangeQueryRespectsSelectivity)
+{
+    TpcbDatabase db(smallConfig());
+    db.setup();
+    DssDriver dss(db, nullptr);
+    DssOutcome out = dss.rangeQuery(0, 0.1);
+    EXPECT_EQ(out.rows_scanned, db.numAccounts() / 10);
+    EXPECT_EQ(dss.queriesRun(), 1u);
+}
+
+TEST(Dss, HooksSeeScanOps)
+{
+    struct Names : EngineHooks
+    {
+        std::vector<std::string> ops;
+        int scan_rows = 0;
+        void
+        onOp(const char* entry, std::span<const int> hints) override
+        {
+            ops.emplace_back(entry);
+            if (ops.back() == "row_scan_next" && !hints.empty())
+                scan_rows += hints[0];
+        }
+    } hooks;
+    TpcbDatabase db(smallConfig(), &hooks);
+    db.setup();
+    DssDriver dss(db, &hooks);
+    hooks.ops.clear();
+    DssOutcome out = dss.scanAggregate(1);
+    auto count = [&](const std::string& name) {
+        return std::count(hooks.ops.begin(), hooks.ops.end(), name);
+    };
+    EXPECT_EQ(count("sql_exec_scan"), 1);
+    EXPECT_EQ(count("agg_update"), 4);
+    EXPECT_GT(count("row_scan_next"), 10); // once per page
+    // The hinted per-page row counts cover the whole table.
+    EXPECT_EQ(static_cast<std::int64_t>(hooks.scan_rows),
+              out.rows_scanned);
+    EXPECT_EQ(count("net_recv"), 1);
+    EXPECT_EQ(count("net_reply"), 1);
+}
+
+} // namespace
+} // namespace spikesim::db

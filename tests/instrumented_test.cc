@@ -1,0 +1,102 @@
+/** @file Tests for the word-instrumented instruction cache. */
+
+#include <gtest/gtest.h>
+
+#include "mem/instrumented.hh"
+
+namespace spikesim::mem {
+namespace {
+
+TEST(Instrumented, CountsUniqueWordsOnEviction)
+{
+    // 128B cache, 64B lines, direct mapped -> 2 sets.
+    InstrumentedICache c({128, 64, 1});
+    // Touch 3 distinct words of line 0 (set 0).
+    c.fetchWord(0x0);
+    c.fetchWord(0x4);
+    c.fetchWord(0x8);
+    c.fetchWord(0x4); // repeat: still 3 unique
+    // Evict line 0 by touching line at 128 (same set).
+    c.fetchWord(128);
+    EXPECT_EQ(c.wordsUsed().totalSamples(), 1u);
+    EXPECT_EQ(c.wordsUsed().bucket(3), 1u);
+}
+
+TEST(Instrumented, WordReuseHistogram)
+{
+    InstrumentedICache c({128, 64, 1});
+    c.fetchWord(0x0);
+    c.fetchWord(0x0);
+    c.fetchWord(0x0); // word 0 used 3 times
+    c.fetchWord(0x4); // word 1 used once
+    c.fetchWord(128); // evict
+    // 16 words per 64B line: 14 unused, one used once, one used 3x.
+    EXPECT_EQ(c.wordReuse().bucket(0), 14u);
+    EXPECT_EQ(c.wordReuse().bucket(1), 1u);
+    EXPECT_EQ(c.wordReuse().bucket(3), 1u);
+    EXPECT_NEAR(c.unusedWordFraction(), 14.0 / 16.0, 1e-9);
+}
+
+TEST(Instrumented, LifetimeIsMeasuredInAccesses)
+{
+    InstrumentedICache c({128, 64, 1});
+    c.fetchWord(0); // access 1: fill
+    c.fetchWord(4); // access 2
+    c.fetchWord(8); // access 3
+    c.fetchWord(128); // access 4: evicts; lifetime = 4 - 1 = 3
+    EXPECT_EQ(c.lifetimes().totalSamples(), 1u);
+    EXPECT_EQ(c.lifetimes().bucket(1), 1u); // log2(3) bucket 1
+}
+
+TEST(Instrumented, FlushRetiresResidentLines)
+{
+    InstrumentedICache c({128, 64, 1});
+    c.fetchWord(0);
+    c.fetchWord(64);
+    EXPECT_EQ(c.wordsUsed().totalSamples(), 0u);
+    c.flush();
+    EXPECT_EQ(c.wordsUsed().totalSamples(), 2u);
+    EXPECT_EQ(c.wordsUsed().bucket(1), 2u);
+}
+
+TEST(Instrumented, HitMissAccounting)
+{
+    InstrumentedICache c({256, 64, 2});
+    c.fetchWord(0);
+    c.fetchWord(4);
+    c.fetchWord(0);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Instrumented, FullLineUseShowsInTopBucket)
+{
+    InstrumentedICache c({128, 64, 1});
+    for (std::uint64_t w = 0; w < 16; ++w)
+        c.fetchWord(w * 4);
+    c.fetchWord(128); // evict the fully used line
+    EXPECT_EQ(c.wordsUsed().bucket(16), 1u);
+    EXPECT_DOUBLE_EQ(c.unusedWordFraction(), 0.0);
+}
+
+TEST(Instrumented, WordsPerLineFollowsConfig)
+{
+    InstrumentedICache a({1024, 128, 1});
+    EXPECT_EQ(a.wordsPerLine(), 32u);
+    InstrumentedICache b({1024, 256, 1});
+    EXPECT_EQ(b.wordsPerLine(), 64u);
+}
+
+TEST(Instrumented, LruReplacementWithinSet)
+{
+    InstrumentedICache c({256, 64, 2}); // 2 sets x 2 ways
+    c.fetchWord(0);    // set 0 way A
+    c.fetchWord(256);  // set 0 way B
+    c.fetchWord(0);    // touch A
+    c.fetchWord(512);  // set 0: evicts B (LRU)
+    c.fetchWord(0);
+    EXPECT_EQ(c.misses(), 3u); // 0, 256, 512; final 0 hits
+}
+
+} // namespace
+} // namespace spikesim::mem

@@ -1,0 +1,73 @@
+/** @file Tests for the instruction TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/itlb.hh"
+
+namespace spikesim::mem {
+namespace {
+
+constexpr std::uint64_t kPage = 8 * 1024;
+
+TEST(ITlb, MissThenHitSamePage)
+{
+    ITlb tlb(4);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1ffc));
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(ITlb, CapacityEviction)
+{
+    ITlb tlb(2);
+    tlb.access(0 * kPage);
+    tlb.access(1 * kPage);
+    tlb.access(2 * kPage); // evicts page 0 (LRU)
+    EXPECT_FALSE(tlb.access(0 * kPage));
+    EXPECT_EQ(tlb.misses(), 4u);
+}
+
+TEST(ITlb, LruOrderRespectsRecency)
+{
+    ITlb tlb(2);
+    tlb.access(0 * kPage);
+    tlb.access(1 * kPage);
+    tlb.access(0 * kPage); // page 0 recent; page 1 is LRU
+    tlb.access(2 * kPage); // evicts page 1
+    EXPECT_TRUE(tlb.access(0 * kPage));
+    EXPECT_FALSE(tlb.access(1 * kPage));
+}
+
+TEST(ITlb, SamePageFilterStillUpdatesRecency)
+{
+    ITlb tlb(2);
+    tlb.access(0 * kPage);
+    tlb.access(1 * kPage);
+    // Long run inside page 1 through the same-page fast path.
+    for (int i = 0; i < 100; ++i)
+        tlb.access(1 * kPage + static_cast<std::uint64_t>(i) * 4);
+    tlb.access(2 * kPage); // must evict page 0, not the hot page 1
+    EXPECT_TRUE(tlb.access(1 * kPage));
+    EXPECT_FALSE(tlb.access(0 * kPage));
+}
+
+TEST(ITlb, CustomPageSize)
+{
+    ITlb tlb(4, 4096);
+    tlb.access(0);
+    EXPECT_FALSE(tlb.access(4096)); // different 4KB page
+    EXPECT_TRUE(tlb.access(4100));
+}
+
+TEST(ITlb, ResetClears)
+{
+    ITlb tlb(4);
+    tlb.access(0);
+    tlb.reset();
+    EXPECT_EQ(tlb.hits() + tlb.misses(), 0u);
+    EXPECT_FALSE(tlb.access(0));
+}
+
+} // namespace
+} // namespace spikesim::mem

@@ -1,0 +1,158 @@
+/** @file Tests for the 2PL lock manager. */
+
+#include <gtest/gtest.h>
+
+#include "db/lockmgr.hh"
+
+namespace spikesim::db {
+namespace {
+
+const LockName kRow1{1, 100};
+const LockName kRow2{1, 200};
+
+TEST(LockManager, GrantsUncontendedLocks)
+{
+    LockManager lm;
+    EXPECT_EQ(lm.acquire(1, kRow1, LockMode::Exclusive),
+              LockResult::Granted);
+    EXPECT_TRUE(lm.holds(1, kRow1, LockMode::Exclusive));
+    EXPECT_EQ(lm.grants(), 1u);
+}
+
+TEST(LockManager, SharedLocksCoexist)
+{
+    LockManager lm;
+    EXPECT_EQ(lm.acquire(1, kRow1, LockMode::Shared),
+              LockResult::Granted);
+    EXPECT_EQ(lm.acquire(2, kRow1, LockMode::Shared),
+              LockResult::Granted);
+    EXPECT_TRUE(lm.holds(1, kRow1, LockMode::Shared));
+    EXPECT_TRUE(lm.holds(2, kRow1, LockMode::Shared));
+}
+
+TEST(LockManager, ExclusiveConflictsWithShared)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Shared);
+    EXPECT_EQ(lm.acquire(2, kRow1, LockMode::Exclusive),
+              LockResult::WouldWait);
+    EXPECT_EQ(lm.conflicts(), 1u);
+}
+
+TEST(LockManager, SharedConflictsWithExclusive)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Exclusive);
+    EXPECT_EQ(lm.acquire(2, kRow1, LockMode::Shared),
+              LockResult::WouldWait);
+}
+
+TEST(LockManager, ReacquireIsIdempotent)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Exclusive);
+    EXPECT_EQ(lm.acquire(1, kRow1, LockMode::Exclusive),
+              LockResult::Granted);
+    EXPECT_EQ(lm.acquire(1, kRow1, LockMode::Shared),
+              LockResult::Granted); // weaker request satisfied
+}
+
+TEST(LockManager, UpgradeWhenSoleHolder)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Shared);
+    EXPECT_EQ(lm.acquire(1, kRow1, LockMode::Exclusive),
+              LockResult::Granted);
+    EXPECT_TRUE(lm.holds(1, kRow1, LockMode::Exclusive));
+}
+
+TEST(LockManager, UpgradeBlockedByOtherReaders)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Shared);
+    lm.acquire(2, kRow1, LockMode::Shared);
+    EXPECT_EQ(lm.acquire(1, kRow1, LockMode::Exclusive),
+              LockResult::WouldWait);
+}
+
+TEST(LockManager, ReleaseAllFreesResources)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Exclusive);
+    lm.acquire(1, kRow2, LockMode::Shared);
+    EXPECT_EQ(lm.numLockedResources(), 2u);
+    lm.releaseAll(1);
+    EXPECT_EQ(lm.numLockedResources(), 0u);
+    EXPECT_EQ(lm.acquire(2, kRow1, LockMode::Exclusive),
+              LockResult::Granted);
+}
+
+TEST(LockManager, ReleaseRestoresSharedModeForRemainingReaders)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Shared);
+    lm.acquire(2, kRow1, LockMode::Shared);
+    lm.releaseAll(2);
+    // txn 1 is now the sole reader and may upgrade.
+    EXPECT_EQ(lm.acquire(1, kRow1, LockMode::Exclusive),
+              LockResult::Granted);
+}
+
+TEST(LockManager, DetectsTwoPartyDeadlock)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Exclusive);
+    lm.acquire(2, kRow2, LockMode::Exclusive);
+    // 1 waits for 2.
+    EXPECT_EQ(lm.acquire(1, kRow2, LockMode::Exclusive),
+              LockResult::WouldWait);
+    // 2 -> 1 would close the cycle.
+    EXPECT_EQ(lm.acquire(2, kRow1, LockMode::Exclusive),
+              LockResult::Deadlock);
+    EXPECT_EQ(lm.deadlocks(), 1u);
+}
+
+TEST(LockManager, DetectsThreePartyDeadlock)
+{
+    LockManager lm;
+    const LockName r3{1, 300};
+    lm.acquire(1, kRow1, LockMode::Exclusive);
+    lm.acquire(2, kRow2, LockMode::Exclusive);
+    lm.acquire(3, r3, LockMode::Exclusive);
+    EXPECT_EQ(lm.acquire(1, kRow2, LockMode::Exclusive),
+              LockResult::WouldWait);
+    EXPECT_EQ(lm.acquire(2, r3, LockMode::Exclusive),
+              LockResult::WouldWait);
+    EXPECT_EQ(lm.acquire(3, kRow1, LockMode::Exclusive),
+              LockResult::Deadlock);
+}
+
+TEST(LockManager, WaitRegistrationClearsOnGrant)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Exclusive);
+    EXPECT_EQ(lm.acquire(2, kRow1, LockMode::Exclusive),
+              LockResult::WouldWait);
+    lm.releaseAll(1);
+    EXPECT_EQ(lm.acquire(2, kRow1, LockMode::Exclusive),
+              LockResult::Granted);
+    // txn 2 no longer waits; txn 1 re-requesting cannot see a cycle.
+    EXPECT_EQ(lm.acquire(1, kRow1, LockMode::Exclusive),
+              LockResult::WouldWait);
+}
+
+TEST(LockManager, CancelWaitDropsEdge)
+{
+    LockManager lm;
+    lm.acquire(1, kRow1, LockMode::Exclusive);
+    EXPECT_EQ(lm.acquire(2, kRow1, LockMode::Exclusive),
+              LockResult::WouldWait);
+    lm.cancelWait(2);
+    // With 2's wait edge gone, 1 waiting on 2's resources is fine.
+    lm.acquire(2, kRow2, LockMode::Exclusive);
+    EXPECT_EQ(lm.acquire(1, kRow2, LockMode::Exclusive),
+              LockResult::WouldWait);
+}
+
+} // namespace
+} // namespace spikesim::db

@@ -1,0 +1,163 @@
+/** @file Tests for the footprint and sequence-length metrics. */
+
+#include <gtest/gtest.h>
+
+#include "core/layout.hh"
+#include "metrics/footprint.hh"
+#include "metrics/sequence.hh"
+#include "program/builder.hh"
+
+namespace spikesim::metrics {
+namespace {
+
+using program::EdgeKind;
+using program::ProcedureBuilder;
+using program::Program;
+using program::Terminator;
+
+Program
+threeBlocks()
+{
+    Program p("m");
+    ProcedureBuilder b("p");
+    auto a = b.addBlock(10, Terminator::FallThrough); // 40 bytes
+    auto c = b.addBlock(5, Terminator::FallThrough);  // 20 bytes
+    auto r = b.addBlock(5, Terminator::Return);       // 20 bytes
+    b.addEdge(a, c, EdgeKind::FallThrough);
+    b.addEdge(c, r, EdgeKind::FallThrough);
+    p.addProcedure(b.build());
+    EXPECT_EQ(p.validate(), "");
+    return p;
+}
+
+TEST(FootprintCdf, OrdersHottestFirst)
+{
+    Program p = threeBlocks();
+    profile::Profile prof(p);
+    prof.addBlock(0, 1);   // 10 instrs x 1   = 10
+    prof.addBlock(1, 100); // 5 instrs x 100  = 500
+    // block 2 never executes -> not in the footprint
+    FootprintCdf cdf(prof);
+    ASSERT_EQ(cdf.points().size(), 2u);
+    // First point: the hot 5-instr block (20 bytes, ~98% of execution).
+    EXPECT_EQ(cdf.points()[0].code_bytes, 20u);
+    EXPECT_NEAR(cdf.points()[0].exec_fraction, 500.0 / 510.0, 1e-9);
+    EXPECT_EQ(cdf.totalBytes(), 60u);
+}
+
+TEST(FootprintCdf, CoverageQueries)
+{
+    Program p = threeBlocks();
+    profile::Profile prof(p);
+    prof.addBlock(0, 1);
+    prof.addBlock(1, 100);
+    FootprintCdf cdf(prof);
+    EXPECT_EQ(cdf.bytesForCoverage(0.5), 20u);
+    EXPECT_EQ(cdf.bytesForCoverage(0.99), 60u);
+    EXPECT_NEAR(cdf.coverageAtBytes(20), 500.0 / 510.0, 1e-9);
+    EXPECT_NEAR(cdf.coverageAtBytes(100), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(cdf.coverageAtBytes(3), 0.0);
+}
+
+TEST(FootprintCdf, MonotoneNonDecreasing)
+{
+    Program p = threeBlocks();
+    profile::Profile prof(p);
+    prof.addBlock(0, 3);
+    prof.addBlock(1, 2);
+    prof.addBlock(2, 1);
+    FootprintCdf cdf(prof);
+    double prev = 0;
+    for (const auto& pt : cdf.points()) {
+        EXPECT_GE(pt.exec_fraction, prev);
+        prev = pt.exec_fraction;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(PackedFootprint, CountsUniqueLines)
+{
+    Program p = threeBlocks();
+    profile::Profile prof(p);
+    prof.addBlock(0, 1); // bytes [0,40): lines 0 (and part of 64B line 0)
+    core::Layout layout = core::baselineLayout(p, 0);
+    // Blocks at 0..40, 40..60, 60..80. With 64B lines: executing block
+    // 0 touches line 0 only -> 64 bytes.
+    EXPECT_EQ(packedFootprintBytes(prof, layout, 64), 64u);
+    prof.addBlock(2, 1); // bytes [60,80): lines 0 and 1 -> 128 total
+    EXPECT_EQ(packedFootprintBytes(prof, layout, 64), 128u);
+}
+
+TEST(SequenceLengths, BreaksAtNonSequentialFetch)
+{
+    Program p = threeBlocks();
+    core::Layout layout = core::baselineLayout(p, 0);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    // Execute 0,1,2 sequentially (addresses contiguous), then 0 again
+    // (a break), then 2 (another break).
+    for (program::GlobalBlockId g : {0u, 1u, 2u, 0u, 2u})
+        buf.onBlock(ctx, trace::ImageId::App, g);
+    SequenceStats stats =
+        sequenceLengths(buf, layout, trace::ImageId::App);
+    // Runs: [0,1,2] = 20 instrs, [0] = 10, [2] = 5.
+    EXPECT_EQ(stats.lengths.totalSamples(), 3u);
+    EXPECT_EQ(stats.lengths.bucket(20), 1u);
+    EXPECT_EQ(stats.lengths.bucket(10), 1u);
+    EXPECT_EQ(stats.lengths.bucket(5), 1u);
+    EXPECT_NEAR(stats.mean, 35.0 / 3.0, 1e-9);
+    EXPECT_NEAR(stats.mean_block_size, 35.0 / 5.0, 1e-9);
+}
+
+TEST(SequenceLengths, OtherImageBreaksRun)
+{
+    Program p = threeBlocks();
+    core::Layout layout = core::baselineLayout(p, 0);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    buf.onBlock(ctx, trace::ImageId::App, 0);
+    buf.onBlock(ctx, trace::ImageId::Kernel, 0); // kernel interrupts
+    buf.onBlock(ctx, trace::ImageId::App, 1);    // would be sequential
+    SequenceStats stats =
+        sequenceLengths(buf, layout, trace::ImageId::App);
+    EXPECT_EQ(stats.lengths.totalSamples(), 2u);
+    EXPECT_EQ(stats.lengths.bucket(10), 1u);
+    EXPECT_EQ(stats.lengths.bucket(5), 1u);
+}
+
+TEST(SequenceLengths, PerCpuRunsAreIndependent)
+{
+    Program p = threeBlocks();
+    core::Layout layout = core::baselineLayout(p, 0);
+    trace::TraceBuffer buf;
+    trace::ExecContext c0, c1;
+    c0.cpu = 0;
+    c1.cpu = 1;
+    // Interleaved but each CPU fetches 0 then 1 sequentially.
+    buf.onBlock(c0, trace::ImageId::App, 0);
+    buf.onBlock(c1, trace::ImageId::App, 0);
+    buf.onBlock(c0, trace::ImageId::App, 1);
+    buf.onBlock(c1, trace::ImageId::App, 1);
+    SequenceStats stats =
+        sequenceLengths(buf, layout, trace::ImageId::App);
+    EXPECT_EQ(stats.lengths.totalSamples(), 2u);
+    EXPECT_EQ(stats.lengths.bucket(15), 2u);
+}
+
+TEST(SequenceLengths, DataEventsDoNotBreakRuns)
+{
+    Program p = threeBlocks();
+    core::Layout layout = core::baselineLayout(p, 0);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    buf.onBlock(ctx, trace::ImageId::App, 0);
+    buf.onData(ctx, 0x12345678);
+    buf.onBlock(ctx, trace::ImageId::App, 1);
+    SequenceStats stats =
+        sequenceLengths(buf, layout, trace::ImageId::App);
+    EXPECT_EQ(stats.lengths.totalSamples(), 1u);
+    EXPECT_EQ(stats.lengths.bucket(15), 1u);
+}
+
+} // namespace
+} // namespace spikesim::metrics

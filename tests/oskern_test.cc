@@ -1,0 +1,77 @@
+/** @file Tests for the operating-system model. */
+
+#include <gtest/gtest.h>
+
+#include "oskern/kernel.hh"
+#include "trace/trace.hh"
+
+namespace spikesim::oskern {
+namespace {
+
+TEST(Kernel, ImageIsValidAndHasAllServices)
+{
+    KernelModel k;
+    EXPECT_EQ(k.prog().validate(), "");
+    for (const char* svc :
+         {"sys_read", "sys_write", "sys_fsync", "sys_ipc", "sys_poll",
+          "sched_switch", "intr_timer", "tlb_refill"})
+        EXPECT_NE(k.prog().findProc(svc), program::kInvalidId) << svc;
+}
+
+TEST(Kernel, ServicesEmitKernelEvents)
+{
+    KernelModel k;
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    ctx.cpu = 1;
+    synth::WalkStats stats = k.enter("sys_read", ctx, buf);
+    EXPECT_GT(stats.instrs, 0u);
+    EXPECT_GT(buf.size(), 0u);
+    for (const auto& e : buf.events()) {
+        EXPECT_EQ(e.image, trace::ImageId::Kernel);
+        EXPECT_EQ(e.cpu, 1);
+    }
+}
+
+TEST(Kernel, ServiceCountsAccumulate)
+{
+    KernelModel k;
+    trace::NullSink sink;
+    trace::ExecContext ctx;
+    k.enter("sys_write", ctx, sink);
+    k.enter("sys_write", ctx, sink);
+    k.timerInterrupt(ctx, sink);
+    k.contextSwitch(ctx, sink);
+    const auto& counts = k.serviceCounts();
+    EXPECT_EQ(counts.at("sys_write"), 2u);
+    EXPECT_EQ(counts.at("intr_timer"), 1u);
+    EXPECT_EQ(counts.at("sched_switch"), 1u);
+    EXPECT_GT(k.totalInstrs(), 0u);
+}
+
+TEST(Kernel, HintsScaleSyscallWork)
+{
+    KernelModel a, b;
+    trace::NullSink sink;
+    trace::ExecContext ctx;
+    int small = 1, big = 64;
+    std::uint64_t small_instrs = 0, big_instrs = 0;
+    for (int i = 0; i < 20; ++i) {
+        small_instrs += a.enter("sys_read", ctx, sink, {&small, 1}).instrs;
+        big_instrs += b.enter("sys_read", ctx, sink, {&big, 1}).instrs;
+    }
+    // A 64-page read walks its transfer loop many more times.
+    EXPECT_GT(big_instrs, small_instrs * 2);
+}
+
+TEST(Kernel, UnknownServiceIsFatal)
+{
+    KernelModel k;
+    trace::NullSink sink;
+    trace::ExecContext ctx;
+    EXPECT_DEATH(k.enter("sys_does_not_exist", ctx, sink),
+                 "unknown entry");
+}
+
+} // namespace
+} // namespace spikesim::oskern

@@ -1,0 +1,145 @@
+/** @file End-to-end tests for the layout pipelines. */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "profile/profile.hh"
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+#include "trace/trace.hh"
+
+namespace spikesim::core {
+namespace {
+
+struct Workload
+{
+    synth::SyntheticProgram image;
+    profile::Profile prof;
+    trace::TraceBuffer buf;
+
+    explicit Workload(std::uint64_t seed)
+        : image(synth::buildSyntheticProgram(
+              synth::SynthParams::kernelLike(seed))),
+          prof(image.prog)
+    {
+        profile::ProfileRecorder rec(trace::ImageId::Kernel, prof);
+        trace::TeeSink tee({&rec, &buf});
+        synth::CfgWalker w(image.prog, trace::ImageId::Kernel, seed);
+        trace::ExecContext ctx;
+        for (int i = 0; i < 40; ++i) {
+            w.run(image.entry("sys_read"), ctx, tee);
+            w.run(image.entry("sys_write"), ctx, tee);
+            w.run(image.entry("sched_switch"), ctx, tee);
+        }
+    }
+};
+
+class PipelineCombos
+    : public ::testing::TestWithParam<std::tuple<OptCombo, std::uint64_t>>
+{
+};
+
+TEST_P(PipelineCombos, ProducesValidCompleteLayouts)
+{
+    auto [combo, seed] = GetParam();
+    Workload w(seed);
+    PipelineOptions opts;
+    opts.combo = combo;
+    Layout layout = buildLayout(w.image.prog, w.prof, opts);
+    EXPECT_EQ(layout.validate(), "");
+    // Every block is placed and sized sanely.
+    for (program::GlobalBlockId g = 0; g < w.image.prog.numBlocks();
+         ++g) {
+        EXPECT_GE(layout.blockAddr(g), layout.textBase());
+        EXPECT_LE(layout.blockAddr(g) + layout.blockBytes(g),
+                  layout.textLimit());
+        std::uint32_t body = w.image.prog.block(g).sizeInstrs;
+        EXPECT_LE(layout.blockSize(g), body + 1);
+        EXPECT_GE(layout.blockSize(g) + 1, body);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PipelineCombos,
+    ::testing::Combine(::testing::Values(OptCombo::Base, OptCombo::POrder,
+                                         OptCombo::Chain,
+                                         OptCombo::ChainSplit,
+                                         OptCombo::ChainPOrder,
+                                         OptCombo::All, OptCombo::HotCold,
+                                         OptCombo::Cfa),
+                       ::testing::Values(3u, 71u)));
+
+TEST(Pipeline, ComboNamesMatchPaperLabels)
+{
+    EXPECT_STREQ(comboName(OptCombo::Base), "base");
+    EXPECT_STREQ(comboName(OptCombo::POrder), "porder");
+    EXPECT_STREQ(comboName(OptCombo::Chain), "chain");
+    EXPECT_STREQ(comboName(OptCombo::ChainSplit), "chain+split");
+    EXPECT_STREQ(comboName(OptCombo::ChainPOrder), "chain+porder");
+    EXPECT_STREQ(comboName(OptCombo::All), "all");
+    EXPECT_EQ(allCombos().size(), 8u);
+}
+
+TEST(Pipeline, OptimizedPacksTighterThanBase)
+{
+    Workload w(5);
+    PipelineOptions base_opts;
+    base_opts.combo = OptCombo::Base;
+    Layout base = buildLayout(w.image.prog, w.prof, base_opts);
+    PipelineOptions all_opts;
+    all_opts.combo = OptCombo::All;
+    Layout all = buildLayout(w.image.prog, w.prof, all_opts);
+    // Splitting + tight packing shrinks total text (alignment padding
+    // and deleted branches).
+    EXPECT_LT(all.textBytes(), base.textBytes());
+}
+
+TEST(Pipeline, ChainEliminatesHotUnconditionalBranches)
+{
+    Workload w(7);
+    PipelineOptions opts;
+    opts.combo = OptCombo::Chain;
+    Layout chained = buildLayout(w.image.prog, w.prof, opts);
+    EXPECT_GT(chained.branchesDeleted(), 0u);
+}
+
+TEST(Pipeline, DeterministicLayouts)
+{
+    Workload w(9);
+    PipelineOptions opts;
+    opts.combo = OptCombo::All;
+    Layout a = buildLayout(w.image.prog, w.prof, opts);
+    Layout b = buildLayout(w.image.prog, w.prof, opts);
+    for (program::GlobalBlockId g = 0; g < w.image.prog.numBlocks();
+         g += 11)
+        EXPECT_EQ(a.blockAddr(g), b.blockAddr(g));
+}
+
+TEST(Pipeline, AllPutsColdSegmentsLast)
+{
+    Workload w(11);
+    PipelineOptions opts;
+    opts.combo = OptCombo::All;
+    Layout layout = buildLayout(w.image.prog, w.prof, opts);
+    // Average address of never-executed blocks must be far beyond the
+    // average address of hot blocks.
+    double hot_sum = 0, hot_n = 0, cold_sum = 0, cold_n = 0;
+    for (program::GlobalBlockId g = 0; g < w.image.prog.numBlocks();
+         ++g) {
+        double a = static_cast<double>(layout.blockAddr(g) -
+                                       layout.textBase());
+        if (w.prof.blockCount(g) > 0) {
+            hot_sum += a;
+            hot_n += 1;
+        } else {
+            cold_sum += a;
+            cold_n += 1;
+        }
+    }
+    ASSERT_GT(hot_n, 0);
+    ASSERT_GT(cold_n, 0);
+    EXPECT_LT(hot_sum / hot_n, 0.5 * (cold_sum / cold_n));
+}
+
+} // namespace
+} // namespace spikesim::core

@@ -1,0 +1,155 @@
+/** @file Tests for profile collection and the call graph. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "profile/profile.hh"
+#include "program/builder.hh"
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+
+namespace spikesim::profile {
+namespace {
+
+using program::EdgeKind;
+using program::ProcedureBuilder;
+using program::Program;
+using program::Terminator;
+
+Program
+twoProcs()
+{
+    Program p("t");
+    {
+        ProcedureBuilder b("caller");
+        auto c = b.addBlock(1, Terminator::Call, 1);
+        auto r = b.addBlock(1, Terminator::Return);
+        b.addEdge(c, r, EdgeKind::FallThrough);
+        p.addProcedure(b.build());
+    }
+    {
+        ProcedureBuilder b("callee");
+        auto e = b.addBlock(1, Terminator::FallThrough);
+        auto r = b.addBlock(1, Terminator::Return);
+        b.addEdge(e, r, EdgeKind::FallThrough);
+        p.addProcedure(b.build());
+    }
+    return p;
+}
+
+TEST(Profile, RecorderCountsBlocksEdgesCalls)
+{
+    Program p = twoProcs();
+    Profile prof(p);
+    ProfileRecorder rec(trace::ImageId::App, prof);
+    synth::CfgWalker w(p, trace::ImageId::App, 1);
+    trace::ExecContext ctx;
+    for (int i = 0; i < 10; ++i)
+        w.run(0, ctx, rec);
+    EXPECT_EQ(prof.blockCount(0), 10u);
+    EXPECT_EQ(prof.blockCount(1), 10u);
+    EXPECT_EQ(prof.blockCount(2), 10u); // callee entry
+    EXPECT_EQ(prof.edgeCount(0, 1), 10u);
+    EXPECT_EQ(prof.callCount(0, 1), 10u);
+    EXPECT_EQ(prof.procCount(1), 10u);
+    EXPECT_EQ(prof.dynamicInstrs(), 40u);
+}
+
+TEST(Profile, RecorderIgnoresOtherImages)
+{
+    Program p = twoProcs();
+    Profile prof(p);
+    ProfileRecorder rec(trace::ImageId::Kernel, prof);
+    synth::CfgWalker w(p, trace::ImageId::App, 1);
+    trace::ExecContext ctx;
+    w.run(0, ctx, rec);
+    EXPECT_EQ(prof.blockCount(0), 0u);
+}
+
+TEST(Profile, FlowConservation)
+{
+    // For every non-return block: block count == sum of out-edge
+    // counts (control must leave the block somehow).
+    synth::SyntheticProgram sp =
+        synth::buildSyntheticProgram(synth::SynthParams::kernelLike(3));
+    Profile prof(sp.prog);
+    ProfileRecorder rec(trace::ImageId::Kernel, prof);
+    synth::CfgWalker w(sp.prog, trace::ImageId::Kernel, 3);
+    trace::ExecContext ctx;
+    for (int i = 0; i < 50; ++i)
+        w.run(sp.entry("sys_read"), ctx, rec, {});
+
+    for (program::ProcId pid = 0; pid < sp.prog.numProcs(); ++pid) {
+        const program::Procedure& proc = sp.prog.proc(pid);
+        for (program::BlockLocalId b = 0; b < proc.blocks.size(); ++b) {
+            if (proc.blocks[b].term == Terminator::Return)
+                continue;
+            program::GlobalBlockId g = sp.prog.globalBlockId(pid, b);
+            std::uint64_t out = 0;
+            for (const auto& e : proc.edges)
+                if (e.from == b)
+                    out += prof.edgeCount(
+                        g, sp.prog.globalBlockId(pid, e.to));
+            EXPECT_EQ(prof.blockCount(g), out)
+                << "proc " << proc.name << " block " << b;
+        }
+    }
+}
+
+TEST(Profile, SaveLoadRoundTrips)
+{
+    Program p = twoProcs();
+    Profile prof(p);
+    prof.addBlock(0, 7);
+    prof.addBlock(3, 2);
+    prof.addEdge(0, 1, 5);
+    prof.addCall(0, 1, 7);
+    std::stringstream ss;
+    prof.save(ss);
+    Profile loaded = Profile::load(p, ss);
+    EXPECT_EQ(loaded.blockCount(0), 7u);
+    EXPECT_EQ(loaded.blockCount(3), 2u);
+    EXPECT_EQ(loaded.blockCount(1), 0u);
+    EXPECT_EQ(loaded.edgeCount(0, 1), 5u);
+    EXPECT_EQ(loaded.callCount(0, 1), 7u);
+}
+
+TEST(Profile, MergeAddsEverything)
+{
+    Program p = twoProcs();
+    Profile a(p), b(p);
+    a.addBlock(0, 1);
+    b.addBlock(0, 2);
+    b.addEdge(0, 1, 3);
+    a.merge(b);
+    EXPECT_EQ(a.blockCount(0), 3u);
+    EXPECT_EQ(a.edgeCount(0, 1), 3u);
+}
+
+TEST(CallGraph, CollapsesParallelEdges)
+{
+    Program p = twoProcs();
+    Profile prof(p);
+    prof.addCall(0, 1, 4);
+    prof.addCall(1, 1, 6); // another call site in proc 0 (block 1)
+    auto cg = CallGraph::fromProfile(prof);
+    EXPECT_EQ(cg.numNodes(), 2u);
+    EXPECT_EQ(cg.weight(0, 1), 10u);
+    EXPECT_EQ(cg.weight(1, 0), 0u);
+    ASSERT_EQ(cg.edges().size(), 1u);
+}
+
+TEST(Profile, EdgesAndCallsEnumerate)
+{
+    Program p = twoProcs();
+    Profile prof(p);
+    prof.addEdge(0, 1, 2);
+    prof.addEdge(2, 3, 4);
+    prof.addCall(0, 1, 2);
+    EXPECT_EQ(prof.edges().size(), 2u);
+    EXPECT_EQ(prof.calls().size(), 1u);
+}
+
+} // namespace
+} // namespace spikesim::profile

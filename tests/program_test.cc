@@ -1,0 +1,207 @@
+/** @file Unit tests for the structural program model. */
+
+#include <gtest/gtest.h>
+
+#include "program/builder.hh"
+#include "program/program.hh"
+
+namespace spikesim::program {
+namespace {
+
+/** Minimal valid procedure: entry falls into a return block. */
+Procedure
+tinyProc(const std::string& name)
+{
+    ProcedureBuilder b(name);
+    auto entry = b.addBlock(3, Terminator::FallThrough);
+    auto ret = b.addBlock(2, Terminator::Return);
+    b.addEdge(entry, ret, EdgeKind::FallThrough);
+    return b.build();
+}
+
+TEST(Program, AddAndLookupProcedures)
+{
+    Program p("test");
+    ProcId a = p.addProcedure(tinyProc("alpha"));
+    ProcId b = p.addProcedure(tinyProc("beta"));
+    EXPECT_EQ(p.numProcs(), 2u);
+    EXPECT_EQ(p.findProc("alpha"), a);
+    EXPECT_EQ(p.findProc("beta"), b);
+    EXPECT_EQ(p.findProc("gamma"), kInvalidId);
+    EXPECT_EQ(p.proc(a).name, "alpha");
+}
+
+TEST(Program, GlobalBlockIdsAreDenseAndInvertible)
+{
+    Program p("test");
+    p.addProcedure(tinyProc("a"));
+    p.addProcedure(tinyProc("b"));
+    p.addProcedure(tinyProc("c"));
+    EXPECT_EQ(p.numBlocks(), 6u);
+    std::uint32_t next = 0;
+    for (ProcId pid = 0; pid < p.numProcs(); ++pid) {
+        for (BlockLocalId b = 0; b < p.proc(pid).blocks.size(); ++b) {
+            GlobalBlockId g = p.globalBlockId(pid, b);
+            EXPECT_EQ(g, next++);
+            auto [rp, rb] = p.locateBlock(g);
+            EXPECT_EQ(rp, pid);
+            EXPECT_EQ(rb, b);
+        }
+    }
+}
+
+TEST(Program, SizeInstrsSumsBlocks)
+{
+    Program p("test");
+    p.addProcedure(tinyProc("a")); // 3 + 2
+    p.addProcedure(tinyProc("b"));
+    EXPECT_EQ(p.sizeInstrs(), 10u);
+    EXPECT_EQ(p.proc(0).sizeInstrs(), 5u);
+}
+
+TEST(Program, ValidAcceptsWellFormed)
+{
+    Program p("test");
+    p.addProcedure(tinyProc("a"));
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(Validate, RejectsCondWithoutBothEdges)
+{
+    ProcedureBuilder b("bad");
+    auto c = b.addBlock(1, Terminator::CondBranch);
+    auto r = b.addBlock(1, Terminator::Return);
+    b.addEdge(c, r, EdgeKind::CondTaken, 1.0); // missing fall-through
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Validate, RejectsReturnWithSuccessor)
+{
+    ProcedureBuilder b("bad");
+    auto r = b.addBlock(1, Terminator::Return);
+    auto r2 = b.addBlock(1, Terminator::Return);
+    b.addEdge(r, r2, EdgeKind::FallThrough);
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Validate, RejectsFallThroughWithoutEdge)
+{
+    ProcedureBuilder b("bad");
+    b.addBlock(1, Terminator::FallThrough);
+    b.addBlock(1, Terminator::Return);
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Validate, RejectsCallWithoutCallee)
+{
+    ProcedureBuilder b("bad");
+    auto c = b.addBlock(1, Terminator::Call); // no callee
+    auto r = b.addBlock(1, Terminator::Return);
+    b.addEdge(c, r, EdgeKind::FallThrough);
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Validate, RejectsBadProbabilitySum)
+{
+    ProcedureBuilder b("bad");
+    auto c = b.addBlock(1, Terminator::CondBranch);
+    auto t = b.addBlock(1, Terminator::Return);
+    auto f = b.addBlock(1, Terminator::Return);
+    b.addEdge(c, t, EdgeKind::CondTaken, 0.5);
+    b.addEdge(c, f, EdgeKind::FallThrough, 0.3); // sums to 0.8
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Validate, RejectsMissingReturn)
+{
+    ProcedureBuilder b("bad");
+    auto a = b.addBlock(1, Terminator::UncondBranch);
+    auto c = b.addBlock(1, Terminator::UncondBranch);
+    b.addEdge(a, c, EdgeKind::UncondTarget);
+    b.addEdge(c, a, EdgeKind::UncondTarget);
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Validate, RejectsCalleeOutOfRange)
+{
+    ProcedureBuilder b("bad");
+    auto c = b.addBlock(1, Terminator::Call, 42); // proc 42 missing
+    auto r = b.addBlock(1, Terminator::Return);
+    b.addEdge(c, r, EdgeKind::FallThrough);
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Validate, RejectsIndirectWithoutTargets)
+{
+    ProcedureBuilder b("bad");
+    b.addBlock(1, Terminator::IndirectJump);
+    b.addBlock(1, Terminator::Return);
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Validate, AcceptsIndirectWithTargets)
+{
+    ProcedureBuilder b("ok");
+    auto s = b.addBlock(1, Terminator::IndirectJump);
+    auto a = b.addBlock(1, Terminator::Return);
+    auto c = b.addBlock(1, Terminator::Return);
+    b.addEdge(s, a, EdgeKind::IndirectTarget, 0.25);
+    b.addEdge(s, c, EdgeKind::IndirectTarget, 0.75);
+    Program p("test");
+    p.addProcedure(b.build());
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(TerminatorNames, AreDistinct)
+{
+    EXPECT_STREQ(terminatorName(Terminator::Call), "call");
+    EXPECT_STREQ(terminatorName(Terminator::Return), "return");
+    EXPECT_STRNE(terminatorName(Terminator::CondBranch),
+                 terminatorName(Terminator::UncondBranch));
+}
+
+TEST(Builder, CondHelperWiresBothEdges)
+{
+    ProcedureBuilder b("p");
+    auto c = b.addBlock(2, Terminator::CondBranch);
+    auto t = b.addBlock(1, Terminator::Return);
+    auto f = b.addBlock(1, Terminator::Return);
+    b.addCond(c, t, f, 0.3);
+    Procedure proc = b.build();
+    ASSERT_EQ(proc.edges.size(), 2u);
+    EXPECT_EQ(proc.edges[0].kind, EdgeKind::CondTaken);
+    EXPECT_DOUBLE_EQ(proc.edges[0].prob, 0.3);
+    EXPECT_EQ(proc.edges[1].kind, EdgeKind::FallThrough);
+    EXPECT_DOUBLE_EQ(proc.edges[1].prob, 0.7);
+}
+
+TEST(Procedure, OutEdgesFiltersBySource)
+{
+    ProcedureBuilder b("p");
+    auto c = b.addBlock(2, Terminator::CondBranch);
+    auto t = b.addBlock(1, Terminator::Return);
+    auto f = b.addBlock(1, Terminator::Return);
+    b.addCond(c, t, f, 0.3);
+    Procedure proc = b.build();
+    EXPECT_EQ(proc.outEdges(c).size(), 2u);
+    EXPECT_EQ(proc.outEdges(t).size(), 0u);
+}
+
+} // namespace
+} // namespace spikesim::program

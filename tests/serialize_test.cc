@@ -1,0 +1,87 @@
+/** @file Tests for program text serialization. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "program/builder.hh"
+#include "program/serialize.hh"
+#include "synth/synthprog.hh"
+
+namespace spikesim::program {
+namespace {
+
+TEST(Serialize, RoundTripsHandBuiltProgram)
+{
+    Program p("hand");
+    {
+        ProcedureBuilder b("f");
+        auto c = b.addBlock(3, Terminator::CondBranch);
+        auto t = b.addBlock(2, Terminator::Call, 1);
+        auto r = b.addBlock(1, Terminator::Return);
+        b.addCond(c, r, t, 0.25);
+        b.addEdge(t, r, EdgeKind::FallThrough);
+        b.setHintSlot(c, 2);
+        p.addProcedure(b.build());
+    }
+    {
+        ProcedureBuilder b("g");
+        auto s = b.addBlock(1, Terminator::IndirectJump);
+        auto a = b.addBlock(4, Terminator::Return);
+        auto c = b.addBlock(5, Terminator::Return);
+        b.addEdge(s, a, EdgeKind::IndirectTarget, 0.75);
+        b.addEdge(s, c, EdgeKind::IndirectTarget, 0.25);
+        p.addProcedure(b.build());
+    }
+    ASSERT_EQ(p.validate(), "");
+
+    std::stringstream ss;
+    saveProgram(p, ss);
+    Program q = loadProgram(ss);
+    ASSERT_EQ(q.validate(), "");
+    ASSERT_EQ(q.numProcs(), p.numProcs());
+    ASSERT_EQ(q.numBlocks(), p.numBlocks());
+    EXPECT_EQ(q.name(), "hand");
+    EXPECT_EQ(q.proc(0).name, "f");
+    EXPECT_EQ(q.proc(0).blocks[0].hintSlot, 2);
+    EXPECT_EQ(q.proc(0).blocks[1].callee, 1u);
+    EXPECT_EQ(q.proc(1).edges.size(), 2u);
+    EXPECT_DOUBLE_EQ(q.proc(1).edges[0].prob, 0.75);
+}
+
+TEST(Serialize, RoundTripsTheKernelImageExactly)
+{
+    synth::SyntheticProgram sp =
+        synth::buildSyntheticProgram(synth::SynthParams::kernelLike(13));
+    std::stringstream ss;
+    saveProgram(sp.prog, ss);
+    Program q = loadProgram(ss);
+    ASSERT_EQ(q.validate(), "");
+    ASSERT_EQ(q.numProcs(), sp.prog.numProcs());
+    ASSERT_EQ(q.numBlocks(), sp.prog.numBlocks());
+    EXPECT_EQ(q.sizeInstrs(), sp.prog.sizeInstrs());
+    // Spot-check structural identity.
+    for (GlobalBlockId g = 0; g < q.numBlocks(); g += 37) {
+        EXPECT_EQ(q.block(g).sizeInstrs, sp.prog.block(g).sizeInstrs);
+        EXPECT_EQ(q.block(g).term, sp.prog.block(g).term);
+        EXPECT_EQ(q.block(g).callee, sp.prog.block(g).callee);
+    }
+    for (ProcId pid = 0; pid < q.numProcs(); pid += 17)
+        EXPECT_EQ(q.proc(pid).edges.size(),
+                  sp.prog.proc(pid).edges.size());
+}
+
+TEST(Serialize, SecondRoundTripIsIdentityText)
+{
+    synth::SyntheticProgram sp =
+        synth::buildSyntheticProgram(synth::SynthParams::kernelLike(14));
+    std::stringstream a;
+    saveProgram(sp.prog, a);
+    std::string first = a.str();
+    std::stringstream b;
+    saveProgram(loadProgram(a), b);
+    EXPECT_EQ(first, b.str());
+}
+
+} // namespace
+} // namespace spikesim::program

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Shape-regression tests: lightweight versions of the paper's headline
+ * results, run on a reduced workload so they fit in the unit-test
+ * budget. These are the guard rails that keep future changes to the
+ * generator, engine, or optimizer from silently destroying the
+ * reproduction. Bands are deliberately loose (the full-size numbers
+ * live in bench_output.txt / EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "metrics/footprint.hh"
+#include "metrics/sequence.hh"
+#include "sim/replay.hh"
+#include "sim/system.hh"
+#include "sim/timing.hh"
+
+namespace spikesim::sim {
+namespace {
+
+/** One shared reduced workload for every shape check. */
+class ShapeFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SystemConfig config;
+        config.tpcb.branches = 10;
+        config.tpcb.accounts_per_branch = 500;
+        config.tpcb.buffer_frames = 400;
+        system_ = new System(config);
+        system_->setup();
+        system_->warmup(20);
+        profiles_ = new System::Profiles(system_->collectProfiles(150));
+        buf_ = new trace::TraceBuffer();
+        system_->run(120, *buf_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete buf_;
+        delete profiles_;
+        delete system_;
+        buf_ = nullptr;
+        profiles_ = nullptr;
+        system_ = nullptr;
+    }
+
+    static core::Layout
+    layout(core::OptCombo combo)
+    {
+        core::PipelineOptions opts;
+        opts.combo = combo;
+        return core::buildLayout(system_->appProg(), profiles_->app,
+                                 opts);
+    }
+
+    static std::uint64_t
+    misses(const core::Layout& l, std::uint32_t kb)
+    {
+        Replayer rep(*buf_, l);
+        return rep.icache({kb * 1024, 128, 4}, StreamFilter::AppOnly)
+            .misses;
+    }
+
+    static System* system_;
+    static System::Profiles* profiles_;
+    static trace::TraceBuffer* buf_;
+};
+
+System* ShapeFixture::system_ = nullptr;
+System::Profiles* ShapeFixture::profiles_ = nullptr;
+trace::TraceBuffer* ShapeFixture::buf_ = nullptr;
+
+TEST_F(ShapeFixture, FullPipelineCutsMissesDeeply)
+{
+    // Paper: 55-65% at 64-128KB. Loose band for the reduced workload.
+    std::uint64_t base = misses(layout(core::OptCombo::Base), 64);
+    std::uint64_t all = misses(layout(core::OptCombo::All), 64);
+    double reduction = 1.0 - static_cast<double>(all) /
+                                 static_cast<double>(base);
+    EXPECT_GT(reduction, 0.35);
+    EXPECT_LT(reduction, 0.85);
+}
+
+TEST_F(ShapeFixture, ChainingIsTheLargestSingleOptimization)
+{
+    std::uint64_t base = misses(layout(core::OptCombo::Base), 64);
+    std::uint64_t chain = misses(layout(core::OptCombo::Chain), 64);
+    std::uint64_t porder = misses(layout(core::OptCombo::POrder), 64);
+    EXPECT_LT(chain, porder);
+    EXPECT_LT(chain, base);
+}
+
+TEST_F(ShapeFixture, OrderingAfterSplittingBeatsEverything)
+{
+    std::uint64_t all = misses(layout(core::OptCombo::All), 64);
+    for (core::OptCombo combo :
+         {core::OptCombo::Base, core::OptCombo::POrder,
+          core::OptCombo::Chain, core::OptCombo::ChainSplit,
+          core::OptCombo::ChainPOrder, core::OptCombo::Cfa})
+        EXPECT_LT(all, misses(layout(combo), 64))
+            << core::comboName(combo);
+}
+
+TEST_F(ShapeFixture, CfaUnderperformsThePipeline)
+{
+    // The paper's negative result: the hot-trace footprint overwhelms
+    // the reserved area.
+    std::uint64_t cfa = misses(layout(core::OptCombo::Cfa), 64);
+    std::uint64_t all = misses(layout(core::OptCombo::All), 64);
+    EXPECT_GT(cfa, all * 12 / 10); // at least 20% worse
+}
+
+TEST_F(ShapeFixture, ChainingLengthensSequences)
+{
+    core::Layout base = layout(core::OptCombo::Base);
+    core::Layout opt = layout(core::OptCombo::All);
+    auto sb = metrics::sequenceLengths(*buf_, base, trace::ImageId::App);
+    auto so = metrics::sequenceLengths(*buf_, opt, trace::ImageId::App);
+    EXPECT_GT(so.mean, sb.mean * 1.15);
+    // 1-instruction sequences shrink.
+    EXPECT_LT(so.lengths.fraction(1), sb.lengths.fraction(1));
+}
+
+TEST_F(ShapeFixture, OptimizedPacksFewerLines)
+{
+    std::uint64_t base_fp = metrics::packedFootprintBytes(
+        profiles_->app, layout(core::OptCombo::Base), 128);
+    std::uint64_t opt_fp = metrics::packedFootprintBytes(
+        profiles_->app, layout(core::OptCombo::All), 128);
+    EXPECT_LT(opt_fp, base_fp);
+}
+
+TEST_F(ShapeFixture, CombinedStreamGainsLessThanIsolated)
+{
+    core::Layout kernel = core::baselineLayout(
+        system_->kernelProg(), system_->config().kernel_text_base);
+    core::Layout base = layout(core::OptCombo::Base);
+    core::Layout opt = layout(core::OptCombo::All);
+    Replayer base_rep(*buf_, base, &kernel);
+    Replayer opt_rep(*buf_, opt, &kernel);
+    mem::CacheConfig cfg{64 * 1024, 128, 4};
+    double app_red =
+        1.0 -
+        static_cast<double>(
+            opt_rep.icache(cfg, StreamFilter::AppOnly).misses) /
+            static_cast<double>(
+                base_rep.icache(cfg, StreamFilter::AppOnly).misses);
+    double comb_red =
+        1.0 -
+        static_cast<double>(
+            opt_rep.icache(cfg, StreamFilter::Combined).misses) /
+            static_cast<double>(
+                base_rep.icache(cfg, StreamFilter::Combined).misses);
+    EXPECT_LT(comb_red, app_red);
+    EXPECT_GT(comb_red, 0.2);
+}
+
+TEST_F(ShapeFixture, AppMissesAreMostlySelfInterference)
+{
+    core::Layout kernel = core::baselineLayout(
+        system_->kernelProg(), system_->config().kernel_text_base);
+    core::Layout base = layout(core::OptCombo::Base);
+    Replayer rep(*buf_, base, &kernel);
+    auto r = rep.icache({128 * 1024, 128, 4}, StreamFilter::Combined);
+    const auto& m = r.interference;
+    EXPECT_GT(m.counts[0][0], m.counts[0][1]); // self > kernel-caused
+}
+
+TEST_F(ShapeFixture, TimingImprovesOnEveryPlatform)
+{
+    core::Layout kernel = core::baselineLayout(
+        system_->kernelProg(), system_->config().kernel_text_base);
+    core::Layout base = layout(core::OptCombo::Base);
+    core::Layout opt = layout(core::OptCombo::All);
+    for (const PlatformParams& p :
+         {PlatformParams::alpha21264(), PlatformParams::alpha21164(),
+          PlatformParams::sim21364()}) {
+        Replayer base_rep(*buf_, base, &kernel);
+        Replayer opt_rep(*buf_, opt, &kernel);
+        auto hb = base_rep.hierarchy(p.hierarchy);
+        auto ho = opt_rep.hierarchy(p.hierarchy);
+        std::uint64_t cb =
+            nonIdleCycles(hb.total, hb.instrs, p, hb.fetch_breaks);
+        std::uint64_t co =
+            nonIdleCycles(ho.total, ho.instrs, p, ho.fetch_breaks);
+        EXPECT_LT(co, cb) << p.name;
+    }
+}
+
+} // namespace
+} // namespace spikesim::sim

@@ -1,0 +1,192 @@
+/** @file Tests for fine-grain and hot/cold procedure splitting. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/chain.hh"
+#include "core/split.hh"
+#include "program/builder.hh"
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+
+namespace spikesim::core {
+namespace {
+
+using program::BlockLocalId;
+using program::EdgeKind;
+using program::ProcedureBuilder;
+using program::Program;
+using program::Terminator;
+
+/** Entry -> cond -> {then: uncond to ret} {else: fallthrough to ret}. */
+Program
+diamond()
+{
+    Program p("d");
+    ProcedureBuilder b("p");
+    auto e = b.addBlock(1, Terminator::CondBranch);   // 0
+    auto t = b.addBlock(1, Terminator::UncondBranch); // 1
+    auto f = b.addBlock(1, Terminator::FallThrough);  // 2
+    auto r = b.addBlock(1, Terminator::Return);       // 3
+    b.addCond(e, t, f, 0.5);
+    b.addEdge(t, r, EdgeKind::UncondTarget);
+    b.addEdge(f, r, EdgeKind::FallThrough);
+    p.addProcedure(b.build());
+    EXPECT_EQ(p.validate(), "");
+    return p;
+}
+
+TEST(FineGrainSplit, CutsAtUnconditionalTransfers)
+{
+    Program p = diamond();
+    // Natural order 0,1,2,3:
+    //   0 (cond, fall 2 non-adjacent? next is 1 = taken) -> no cut
+    //   1 (uncond to 3, next is 2)                       -> cut
+    //   2 (fallthrough to 3, adjacent)                   -> no cut
+    //   3 (return)                                       -> cut
+    std::vector<BlockLocalId> order{0, 1, 2, 3};
+    auto segs = splitFineGrain(p, 0, order);
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_EQ(segs[0].blocks, (std::vector<BlockLocalId>{0, 1}));
+    EXPECT_EQ(segs[1].blocks, (std::vector<BlockLocalId>{2, 3}));
+}
+
+TEST(FineGrainSplit, AdjacentUncondTargetIsNotACut)
+{
+    Program p = diamond();
+    // Order 0,2,1,3: 0 falls to 2 (adjacent), 2 falls to 3 (not next:
+    // cut after 2), 1's uncond target 3 is adjacent -> merged, 3 ret.
+    std::vector<BlockLocalId> order{0, 2, 1, 3};
+    auto segs = splitFineGrain(p, 0, order);
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_EQ(segs[0].blocks, (std::vector<BlockLocalId>{0, 2}));
+    EXPECT_EQ(segs[1].blocks, (std::vector<BlockLocalId>{1, 3}));
+}
+
+TEST(FineGrainSplit, ConcatenationPreservesOrder)
+{
+    Program p = diamond();
+    std::vector<BlockLocalId> order{3, 1, 0, 2};
+    auto segs = splitFineGrain(p, 0, order);
+    std::vector<BlockLocalId> cat;
+    for (const auto& s : segs) {
+        EXPECT_EQ(s.proc, 0u);
+        EXPECT_FALSE(s.blocks.empty());
+        cat.insert(cat.end(), s.blocks.begin(), s.blocks.end());
+    }
+    EXPECT_EQ(cat, order);
+}
+
+TEST(FineGrainSplit, EverySegmentEndsUnconditionally)
+{
+    synth::SyntheticProgram sp = synth::buildSyntheticProgram(
+        synth::SynthParams::kernelLike(9));
+    profile::Profile prof(sp.prog); // empty profile: natural chains
+    for (program::ProcId pid = 0; pid < sp.prog.numProcs(); pid += 13) {
+        auto order = chainBasicBlocks(sp.prog, pid, prof);
+        auto segs = splitFineGrain(sp.prog, pid, order);
+        const auto& proc = sp.prog.proc(pid);
+        std::size_t total = 0;
+        for (const auto& s : segs)
+            total += s.blocks.size();
+        EXPECT_EQ(total, proc.blocks.size());
+        // No segment may have an internal unconditional-transfer block
+        // whose next block in the segment is unreachable by fall-through.
+        for (const auto& s : segs) {
+            for (std::size_t i = 0; i + 1 < s.blocks.size(); ++i) {
+                Terminator t = proc.blocks[s.blocks[i]].term;
+                EXPECT_NE(t, Terminator::Return);
+                EXPECT_NE(t, Terminator::IndirectJump);
+            }
+        }
+    }
+}
+
+TEST(HotColdSplit, PartitionsByCount)
+{
+    Program p = diamond();
+    profile::Profile prof(p);
+    prof.addBlock(0, 10);
+    prof.addBlock(2, 10);
+    prof.addBlock(3, 10); // blocks 0,2,3 hot; block 1 cold
+    std::vector<BlockLocalId> order{0, 1, 2, 3};
+    auto segs = splitHotCold(p, 0, prof, order);
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_EQ(segs[0].blocks, (std::vector<BlockLocalId>{0, 2, 3}));
+    EXPECT_EQ(segs[1].blocks, (std::vector<BlockLocalId>{1}));
+}
+
+TEST(HotColdSplit, AllHotGivesOneSegment)
+{
+    Program p = diamond();
+    profile::Profile prof(p);
+    for (program::GlobalBlockId g = 0; g < 4; ++g)
+        prof.addBlock(g, 5);
+    auto segs = splitHotCold(p, 0, prof, {0, 1, 2, 3});
+    ASSERT_EQ(segs.size(), 1u);
+    EXPECT_EQ(segs[0].blocks.size(), 4u);
+}
+
+TEST(HotColdSplit, ThresholdIsRespected)
+{
+    Program p = diamond();
+    profile::Profile prof(p);
+    prof.addBlock(0, 100);
+    prof.addBlock(1, 5);
+    auto segs = splitHotCold(p, 0, prof, {0, 1, 2, 3}, 50);
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_EQ(segs[0].blocks, (std::vector<BlockLocalId>{0}));
+}
+
+TEST(SegmentGraph, CallAndSeveredFlowEdges)
+{
+    // Two procs; caller's blocks split into two segments; callee one.
+    Program p("g");
+    {
+        ProcedureBuilder b("caller");
+        auto c0 = b.addBlock(1, Terminator::Call, 1);   // calls callee
+        auto c1 = b.addBlock(1, Terminator::Return);
+        b.addEdge(c0, c1, EdgeKind::FallThrough);
+        p.addProcedure(b.build());
+    }
+    {
+        ProcedureBuilder b("callee");
+        auto r = b.addBlock(1, Terminator::Return);
+        (void)r;
+        p.addProcedure(b.build());
+    }
+    profile::Profile prof(p);
+    prof.addCall(0, 1, 42);  // caller block 0 -> proc 1
+    prof.addEdge(0, 1, 17);  // caller 0 -> caller 1 (severed below)
+
+    std::vector<CodeSegment> segs;
+    segs.push_back({0, {0}});
+    segs.push_back({0, {1}});
+    segs.push_back({1, {0}});
+    SegmentGraph g = buildSegmentGraph(p, prof, segs);
+    EXPECT_EQ(g.num_nodes, 3u);
+    std::uint64_t call_w = 0, flow_w = 0;
+    for (const auto& [from, to, w] : g.edges) {
+        if (from == 0 && to == 2)
+            call_w = w;
+        if (from == 0 && to == 1)
+            flow_w = w;
+    }
+    EXPECT_EQ(call_w, 42u);
+    EXPECT_EQ(flow_w, 17u);
+}
+
+TEST(SegmentGraph, IntraSegmentEdgesDropOut)
+{
+    Program p = diamond();
+    profile::Profile prof(p);
+    prof.addEdge(0, 1, 9);
+    std::vector<CodeSegment> segs;
+    segs.push_back({0, {0, 1, 2, 3}});
+    SegmentGraph g = buildSegmentGraph(p, prof, segs);
+    EXPECT_TRUE(g.edges.empty());
+}
+
+} // namespace
+} // namespace spikesim::core

@@ -1,0 +1,274 @@
+/** @file Unit tests for the support utilities. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/histogram.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace spikesim::support {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BoundedStaysInBounds)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint32_t v = rng.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Pcg32, BoundedCoversRange)
+{
+    Pcg32 rng(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        seen[rng.nextBounded(8)]++;
+    for (int c : seen)
+        EXPECT_GT(c, 300); // each bucket near 500
+}
+
+TEST(Pcg32, RangeInclusive)
+{
+    Pcg32 rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, DoubleInUnitInterval)
+{
+    Pcg32 rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Pcg32, BernoulliFrequency)
+{
+    Pcg32 rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Pcg32, GeometricMeanApproximatesTarget)
+{
+    Pcg32 rng(19);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextGeometric(5.0, 1000);
+    EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Pcg32, GeometricRespectsCap)
+{
+    Pcg32 rng(21);
+    for (int i = 0; i < 5000; ++i) {
+        int v = rng.nextGeometric(10.0, 12);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 12);
+    }
+}
+
+TEST(Pcg32, SplitProducesIndependentStream)
+{
+    Pcg32 a(23);
+    Pcg32 child = a.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == child.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Zipf, StaysInRangeAndSkews)
+{
+    Pcg32 rng(29);
+    ZipfSampler zipf(1000, 0.9);
+    std::uint64_t first_decile = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t v = zipf.sample(rng);
+        ASSERT_LT(v, 1000u);
+        first_decile += v < 100 ? 1 : 0;
+    }
+    // Heavily skewed: far more than 10% of samples in the first decile.
+    EXPECT_GT(first_decile, static_cast<std::uint64_t>(0.4 * n));
+}
+
+TEST(Zipf, ThetaZeroIsRoughlyUniform)
+{
+    Pcg32 rng(31);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 20000; ++i)
+        seen[zipf.sample(rng)]++;
+    for (int c : seen)
+        EXPECT_GT(c, 1200);
+}
+
+TEST(Histogram, RecordsAndClamps)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(1, 2);
+    h.record(3);
+    h.record(99); // clamps into last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.totalSamples(), 5u);
+}
+
+TEST(Histogram, MeanUsesUnclampedValues)
+{
+    Histogram h(4);
+    h.record(100);
+    EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(8);
+    Pcg32 rng(37);
+    for (int i = 0; i < 1000; ++i)
+        h.record(rng.nextBounded(8));
+    double sum = 0;
+    for (std::size_t i = 0; i < h.numBuckets(); ++i)
+        sum += h.fraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(4), b(4);
+    a.record(1);
+    b.record(1, 3);
+    b.record(2);
+    a.merge(b);
+    EXPECT_EQ(a.bucket(1), 4u);
+    EXPECT_EQ(a.bucket(2), 1u);
+    EXPECT_EQ(a.totalSamples(), 5u);
+}
+
+TEST(Log2Histogram, BucketsByLog2)
+{
+    Log2Histogram h(8);
+    h.record(0); // bucket 0
+    h.record(1); // bucket 0
+    h.record(2); // bucket 1
+    h.record(3); // bucket 1
+    h.record(4); // bucket 2
+    h.record(1023); // bucket 9 -> clamps to 7
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(7), 1u);
+}
+
+TEST(StatAccumulator, BasicMoments)
+{
+    StatAccumulator s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.record(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatAccumulator, MergeMatchesBatch)
+{
+    Pcg32 rng(41);
+    StatAccumulator whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble() * 100 - 50;
+        whole.record(v);
+        (i < 400 ? left : right).record(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(StatAccumulator, EmptyIsSafe)
+{
+    StatAccumulator s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Table, AlignsAndPrintsRows)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Format, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(percent(0.123, 1), "12.3%");
+    EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Format, BytesHuman)
+{
+    EXPECT_EQ(bytesHuman(512), "512B");
+    EXPECT_EQ(bytesHuman(64 * 1024), "64KB");
+    EXPECT_EQ(bytesHuman(1536 * 1024), "1.5MB");
+    EXPECT_EQ(bytesHuman(2 * 1024 * 1024), "2MB");
+}
+
+} // namespace
+} // namespace spikesim::support

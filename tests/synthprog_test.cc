@@ -1,0 +1,143 @@
+/** @file Tests for the synthetic program generator. */
+
+#include <gtest/gtest.h>
+
+#include "synth/synthprog.hh"
+#include "synth/walker.hh"
+#include "trace/trace.hh"
+
+namespace spikesim::synth {
+namespace {
+
+TEST(SynthProg, OracleImageIsValid)
+{
+    SyntheticProgram sp = buildSyntheticProgram(SynthParams::oracleLike());
+    EXPECT_EQ(sp.prog.validate(), "");
+    EXPECT_GT(sp.prog.numProcs(), 1000u);
+    EXPECT_GT(sp.prog.sizeInstrs() * 4, 400u * 1024); // > 400KB text
+}
+
+TEST(SynthProg, KernelImageIsValid)
+{
+    SyntheticProgram sp = buildSyntheticProgram(SynthParams::kernelLike());
+    EXPECT_EQ(sp.prog.validate(), "");
+    EXPECT_GT(sp.prog.numProcs(), 300u);
+}
+
+TEST(SynthProg, AllDeclaredEntriesExist)
+{
+    SynthParams params = SynthParams::oracleLike();
+    SyntheticProgram sp = buildSyntheticProgram(params);
+    for (const EntrySpec& e : params.entries) {
+        program::ProcId id = sp.entry(e.name);
+        EXPECT_LT(id, sp.prog.numProcs());
+        EXPECT_EQ(sp.prog.proc(id).name, e.name);
+    }
+}
+
+TEST(SynthProg, CallGraphIsADag)
+{
+    // Generation guarantees callees have strictly larger proc ids, so
+    // the call graph cannot contain cycles.
+    SyntheticProgram sp = buildSyntheticProgram(SynthParams::oracleLike());
+    for (program::ProcId pid = 0; pid < sp.prog.numProcs(); ++pid) {
+        for (const auto& blk : sp.prog.proc(pid).blocks) {
+            if (blk.term == program::Terminator::Call)
+                EXPECT_GT(blk.callee, pid);
+        }
+    }
+}
+
+TEST(SynthProg, DeterministicForSameSeed)
+{
+    SyntheticProgram a = buildSyntheticProgram(SynthParams::oracleLike(5));
+    SyntheticProgram b = buildSyntheticProgram(SynthParams::oracleLike(5));
+    ASSERT_EQ(a.prog.numProcs(), b.prog.numProcs());
+    ASSERT_EQ(a.prog.numBlocks(), b.prog.numBlocks());
+    EXPECT_EQ(a.prog.sizeInstrs(), b.prog.sizeInstrs());
+    for (program::GlobalBlockId g = 0; g < a.prog.numBlocks(); g += 97) {
+        EXPECT_EQ(a.prog.block(g).sizeInstrs, b.prog.block(g).sizeInstrs);
+        EXPECT_EQ(a.prog.block(g).term, b.prog.block(g).term);
+    }
+}
+
+TEST(SynthProg, DifferentSeedsDiffer)
+{
+    SyntheticProgram a = buildSyntheticProgram(SynthParams::oracleLike(5));
+    SyntheticProgram b = buildSyntheticProgram(SynthParams::oracleLike(6));
+    EXPECT_NE(a.prog.sizeInstrs(), b.prog.sizeInstrs());
+}
+
+TEST(SynthProg, UnknownEntryIsFatal)
+{
+    SyntheticProgram sp = buildSyntheticProgram(SynthParams::kernelLike());
+    EXPECT_DEATH(sp.entry("no_such_entry"), "unknown entry");
+}
+
+/** Parameterized over seeds: every generated image validates and every
+ *  entry point walks to completion within its cost envelope. */
+class SynthSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SynthSeeds, GeneratesValidWalkableImages)
+{
+    SynthParams params = SynthParams::oracleLike(GetParam());
+    SyntheticProgram sp = buildSyntheticProgram(params);
+    ASSERT_EQ(sp.prog.validate(), "");
+
+    CfgWalker walker(sp.prog, trace::ImageId::App, GetParam());
+    trace::NullSink sink;
+    trace::ExecContext ctx;
+    for (const EntrySpec& e : params.entries) {
+        std::uint64_t total = 0;
+        std::vector<int> hints(
+            static_cast<std::size_t>(e.hinted_loops), 3);
+        for (int i = 0; i < 20; ++i) {
+            WalkStats stats =
+                walker.run(sp.entry(e.name), ctx, sink,
+                           {hints.data(), hints.size()});
+            total += stats.instrs;
+        }
+        // Mean instructions per invocation stays within a generous
+        // multiple of the top-layer budget (walks are stochastic).
+        EXPECT_LT(total / 20, 2'000'000u) << e.name;
+        EXPECT_GT(total, 0u) << e.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthSeeds,
+                         ::testing::Values(1, 2, 3, 17, 42, 1000));
+
+TEST(SynthProg, SubsystemTaggingMatchesNames)
+{
+    SynthParams params = SynthParams::oracleLike();
+    SyntheticProgram sp = buildSyntheticProgram(params);
+    ASSERT_EQ(sp.subsystem_of.size(), sp.prog.numProcs());
+    // Generated (non-entry) procs are named "<subsystem>_pN".
+    for (program::ProcId pid = 0; pid < sp.prog.numProcs(); ++pid) {
+        const std::string& name = sp.prog.proc(pid).name;
+        const std::string& sub = sp.subsystem_of[pid];
+        if (name.find("_p") != std::string::npos)
+            EXPECT_EQ(name.rfind(sub, 0), 0u)
+                << name << " not in subsystem " << sub;
+    }
+}
+
+TEST(SynthProg, HintedEntriesHaveHintSlots)
+{
+    SynthParams params = SynthParams::oracleLike();
+    SyntheticProgram sp = buildSyntheticProgram(params);
+    for (const EntrySpec& e : params.entries) {
+        if (e.hinted_loops == 0)
+            continue;
+        const program::Procedure& proc = sp.prog.proc(sp.entry(e.name));
+        int max_slot = 0;
+        for (const auto& blk : proc.blocks)
+            max_slot = std::max(max_slot, static_cast<int>(blk.hintSlot));
+        EXPECT_EQ(max_slot, e.hinted_loops) << e.name;
+    }
+}
+
+} // namespace
+} // namespace spikesim::synth

@@ -1,0 +1,170 @@
+/** @file Integration tests for the full simulated system. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.hh"
+#include "sim/replay.hh"
+#include "sim/system.hh"
+#include "sim/timing.hh"
+
+namespace spikesim::sim {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.num_cpus = 2;
+    c.processes_per_cpu = 2;
+    c.tpcb.branches = 5;
+    c.tpcb.accounts_per_branch = 200;
+    c.tpcb.buffer_frames = 128;
+    c.quantum_instrs = 20'000;
+    return c;
+}
+
+TEST(System, RunsAndRecordsBothStreams)
+{
+    System sys(smallConfig());
+    sys.setup();
+    trace::TraceBuffer buf;
+    sys.run(50, buf);
+    EXPECT_GT(buf.imageEvents(trace::ImageId::App), 1000u);
+    EXPECT_GT(buf.imageEvents(trace::ImageId::Kernel), 100u);
+    EXPECT_GT(buf.imageEvents(trace::ImageId::Data), 100u);
+    EXPECT_GT(sys.appInstrs(), 0u);
+    EXPECT_GT(sys.kernelInstrs(), 0u);
+    EXPECT_EQ(sys.database().verify(), "");
+}
+
+TEST(System, SetupIsSilent)
+{
+    System sys(smallConfig());
+    trace::TraceBuffer buf;
+    sys.setup(); // must not emit anything (no sink attached)
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(sys.appInstrs(), 0u);
+}
+
+TEST(System, SpreadsWorkAcrossCpusAndProcesses)
+{
+    System sys(smallConfig());
+    sys.setup();
+    trace::TraceBuffer buf;
+    sys.run(40, buf);
+    std::set<int> cpus, procs;
+    for (const auto& e : buf.events()) {
+        cpus.insert(e.cpu);
+        procs.insert(e.process);
+    }
+    EXPECT_EQ(cpus.size(), 2u);
+    EXPECT_EQ(procs.size(), 4u);
+}
+
+TEST(System, DeterministicAcrossInstances)
+{
+    System a(smallConfig()), b(smallConfig());
+    a.setup();
+    b.setup();
+    trace::TraceBuffer ba, bb;
+    a.run(30, ba);
+    b.run(30, bb);
+    ASSERT_EQ(ba.size(), bb.size());
+    for (std::size_t i = 0; i < ba.size(); i += 101) {
+        EXPECT_EQ(ba.events()[i].block, bb.events()[i].block);
+        EXPECT_EQ(ba.events()[i].image, bb.events()[i].image);
+    }
+}
+
+TEST(System, ProfilesMatchTraceCounts)
+{
+    // Profiles collected through a tee must equal block frequencies in
+    // a trace of the same run.
+    System a(smallConfig()), b(smallConfig());
+    a.setup();
+    b.setup();
+    System::Profiles profiles = a.collectProfiles(25);
+    trace::TraceBuffer buf;
+    b.run(25, buf);
+    std::vector<std::uint64_t> counts(a.appProg().numBlocks(), 0);
+    for (const auto& e : buf.events())
+        if (e.image == trace::ImageId::App)
+            counts[e.block]++;
+    for (program::GlobalBlockId g = 0; g < counts.size(); g += 13)
+        EXPECT_EQ(profiles.app.blockCount(g), counts[g]) << g;
+}
+
+TEST(System, QuantumInjectsSchedulerActivity)
+{
+    SystemConfig config = smallConfig();
+    config.quantum_instrs = 5'000; // frequent preemption
+    System sys(config);
+    sys.setup();
+    trace::TraceBuffer buf;
+    sys.run(40, buf);
+    const auto& counts = sys.kernel().serviceCounts();
+    auto timer = counts.find("intr_timer");
+    auto sched = counts.find("sched_switch");
+    ASSERT_NE(timer, counts.end());
+    ASSERT_NE(sched, counts.end());
+    EXPECT_GT(timer->second, 10u);
+    EXPECT_EQ(timer->second, sched->second);
+}
+
+TEST(System, EndToEndOptimizationReducesMisses)
+{
+    // The headline result, in miniature: profile, optimize, replay.
+    System sys(smallConfig());
+    sys.setup();
+    sys.warmup(10);
+    System::Profiles profiles = sys.collectProfiles(60);
+    trace::TraceBuffer buf;
+    sys.run(60, buf);
+
+    core::PipelineOptions base_opts;
+    base_opts.combo = core::OptCombo::Base;
+    core::Layout base =
+        core::buildLayout(sys.appProg(), profiles.app, base_opts);
+    core::PipelineOptions all_opts;
+    all_opts.combo = core::OptCombo::All;
+    core::Layout optimized =
+        core::buildLayout(sys.appProg(), profiles.app, all_opts);
+
+    Replayer base_rep(buf, base);
+    Replayer opt_rep(buf, optimized);
+    mem::CacheConfig cache{32 * 1024, 128, 4};
+    std::uint64_t base_misses =
+        base_rep.icache(cache, StreamFilter::AppOnly).misses;
+    std::uint64_t opt_misses =
+        opt_rep.icache(cache, StreamFilter::AppOnly).misses;
+    EXPECT_LT(opt_misses, base_misses);
+}
+
+TEST(Timing, CycleModelIsExact)
+{
+    mem::HierarchyStats stats;
+    stats.l1i_misses = 10;
+    stats.l1d_misses = 5;
+    stats.l2_instr_misses = 2;
+    stats.l2_data_misses = 1;
+    stats.itlb_misses = 4;
+    PlatformParams p = PlatformParams::sim21364();
+    // 1000 instrs + 15*12 + 3*80 + 4*30 = 1000+180+240+120 = 1540.
+    EXPECT_EQ(nonIdleCycles(stats, 1000, p), 1540u);
+}
+
+TEST(Timing, PlatformPresetsAreDistinct)
+{
+    PlatformParams a = PlatformParams::alpha21264();
+    PlatformParams b = PlatformParams::alpha21164();
+    PlatformParams c = PlatformParams::sim21364();
+    EXPECT_NE(a.hierarchy.l1i.size_bytes, b.hierarchy.l1i.size_bytes);
+    EXPECT_EQ(b.hierarchy.l1i.assoc, 1u);
+    EXPECT_EQ(c.hierarchy.l2.size_bytes, 1536u * 1024);
+    EXPECT_EQ(b.hierarchy.itlb_entries, 48u);
+}
+
+} // namespace
+} // namespace spikesim::sim

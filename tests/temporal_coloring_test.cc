@@ -1,0 +1,158 @@
+/** @file Tests for temporal-affinity ordering and cache coloring. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/coloring.hh"
+#include "core/porder.hh"
+#include "core/temporal.hh"
+#include "program/builder.hh"
+
+namespace spikesim::core {
+namespace {
+
+using program::EdgeKind;
+using program::ProcedureBuilder;
+using program::Program;
+using program::Terminator;
+
+/** N single-block procedures of the given sizes (instrs each). */
+Program
+procs(std::initializer_list<int> sizes)
+{
+    Program p("t");
+    int i = 0;
+    for (int s : sizes) {
+        ProcedureBuilder b("p" + std::to_string(i++));
+        b.addBlock(static_cast<std::uint32_t>(s), Terminator::Return);
+        p.addProcedure(b.build());
+    }
+    return p;
+}
+
+TEST(Temporal, InterleavedProcsGetAffinity)
+{
+    Program p = procs({4, 4, 4, 4});
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    // Alternate p0/p1 heavily; touch p2/p3 once each far apart.
+    for (int i = 0; i < 50; ++i) {
+        buf.onBlock(ctx, trace::ImageId::App, p.globalBlockId(0, 0));
+        buf.onBlock(ctx, trace::ImageId::App, p.globalBlockId(1, 0));
+    }
+    buf.onBlock(ctx, trace::ImageId::App, p.globalBlockId(2, 0));
+    for (int i = 0; i < 20; ++i)
+        buf.onBlock(ctx, trace::ImageId::App, p.globalBlockId(0, 0));
+    buf.onBlock(ctx, trace::ImageId::App, p.globalBlockId(3, 0));
+
+    SegmentGraph g = buildTemporalGraph(p, buf);
+    EXPECT_EQ(g.num_nodes, 4u);
+    std::uint64_t w01 = 0, w23 = 0;
+    for (const auto& [a, b, w] : g.edges) {
+        if ((a == 0 && b == 1) || (a == 1 && b == 0))
+            w01 = w;
+        if ((a == 2 && b == 3) || (a == 3 && b == 2))
+            w23 = w;
+    }
+    EXPECT_GT(w01, 50u);
+    // p2 and p3 never appear near each other more than the window
+    // allows.
+    EXPECT_LE(w23, 2u);
+
+    // Ordering places the interleaved pair adjacently.
+    std::vector<std::uint32_t> order =
+        pettisHansenOrder(g.num_nodes, g.edges);
+    std::size_t pos[4];
+    for (std::size_t i = 0; i < 4; ++i)
+        pos[order[i]] = i;
+    EXPECT_EQ(std::max(pos[0], pos[1]) - std::min(pos[0], pos[1]), 1u);
+}
+
+TEST(Temporal, WindowBoundsAffinityDistance)
+{
+    Program p = procs({2, 2, 2});
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    // Sequence p0, p1, p2 repeatedly; with window 1 only adjacent
+    // pairs earn weight.
+    for (int i = 0; i < 30; ++i)
+        for (program::ProcId q = 0; q < 3; ++q)
+            buf.onBlock(ctx, trace::ImageId::App,
+                        p.globalBlockId(q, 0));
+    TemporalOptions opts;
+    opts.window = 1;
+    SegmentGraph g = buildTemporalGraph(p, buf, opts);
+    std::uint64_t w02 = 0, w01 = 0;
+    for (const auto& [a, b, w] : g.edges) {
+        if ((a == 0 && b == 2) || (a == 2 && b == 0))
+            w02 = w;
+        if ((a == 0 && b == 1) || (a == 1 && b == 0))
+            w01 = w;
+    }
+    EXPECT_GT(w01, 0u);
+    // p0 and p2 are two activations apart: outside a window of 1,
+    // except for the wrap-around (p2 then p0 of the next iteration).
+    EXPECT_GT(w01, w02);
+}
+
+TEST(Temporal, KernelEventsIgnoredByDefault)
+{
+    Program p = procs({2, 2});
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    buf.onBlock(ctx, trace::ImageId::Kernel, p.globalBlockId(0, 0));
+    buf.onBlock(ctx, trace::ImageId::Kernel, p.globalBlockId(1, 0));
+    SegmentGraph g = buildTemporalGraph(p, buf);
+    EXPECT_TRUE(g.edges.empty());
+}
+
+TEST(Coloring, HotProcsPackIntoRows)
+{
+    // Four procs of 8 instrs (32 bytes); cache of 64 bytes -> rows of
+    // two procs.
+    Program p = procs({8, 8, 8, 8});
+    profile::Profile prof(p);
+    prof.addBlock(p.globalBlockId(2, 0), 100); // hottest
+    prof.addBlock(p.globalBlockId(0, 0), 50);
+    prof.addBlock(p.globalBlockId(3, 0), 10);
+    // p1 cold.
+    ColoringOptions opts;
+    opts.target = {64, 32, 1};
+    auto segs = colorOrderProcedures(p, prof, opts);
+    ASSERT_EQ(segs.size(), 4u);
+    // Hottest first.
+    EXPECT_EQ(segs[0].proc, 2u);
+    EXPECT_EQ(segs[1].proc, 0u);
+    EXPECT_EQ(segs[2].proc, 3u);
+    // Cold last.
+    EXPECT_EQ(segs[3].proc, 1u);
+}
+
+TEST(Coloring, ColdProcsKeepOriginalOrder)
+{
+    Program p = procs({4, 4, 4, 4, 4});
+    profile::Profile prof(p);
+    prof.addBlock(p.globalBlockId(4, 0), 5);
+    auto segs = colorOrderProcedures(p, prof, {});
+    ASSERT_EQ(segs.size(), 5u);
+    EXPECT_EQ(segs[0].proc, 4u);
+    for (std::size_t i = 1; i < 5; ++i)
+        EXPECT_EQ(segs[i].proc, i - 1);
+}
+
+TEST(Coloring, SegmentsVariantCoversAllBlocks)
+{
+    Program p = procs({6, 6});
+    profile::Profile prof(p);
+    prof.addBlock(0, 3);
+    std::vector<CodeSegment> segs;
+    segs.push_back({0, {0}});
+    segs.push_back({1, {0}});
+    auto out = colorOrderSegments(p, prof, std::move(segs), {});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].proc, 0u); // the hot one leads
+}
+
+} // namespace
+} // namespace spikesim::core

@@ -1,0 +1,104 @@
+/** @file Tests for the three-C miss classification. */
+
+#include <gtest/gtest.h>
+
+#include "mem/threec.hh"
+#include "support/rng.hh"
+
+namespace spikesim::mem {
+namespace {
+
+TEST(FullyAssocLru, HitsWithinCapacity)
+{
+    FullyAssocLru lru(3);
+    EXPECT_FALSE(lru.access(1));
+    EXPECT_FALSE(lru.access(2));
+    EXPECT_FALSE(lru.access(3));
+    EXPECT_TRUE(lru.access(1));
+    EXPECT_TRUE(lru.access(2));
+    EXPECT_TRUE(lru.access(3));
+}
+
+TEST(FullyAssocLru, EvictsLeastRecentlyUsed)
+{
+    FullyAssocLru lru(2);
+    lru.access(1);
+    lru.access(2);
+    lru.access(1); // 2 is now LRU
+    lru.access(3); // evicts 2
+    EXPECT_TRUE(lru.access(1));
+    EXPECT_FALSE(lru.access(2));
+}
+
+TEST(FullyAssocLru, MatchesSetAssocWhenFullyAssociative)
+{
+    // A set-associative cache with one set IS fully associative LRU;
+    // the two implementations must agree exactly.
+    CacheConfig config{1024, 64, 16}; // 1 set x 16 ways
+    ASSERT_EQ(config.numSets(), 1u);
+    SetAssocCache sa(config);
+    FullyAssocLru fa(16);
+    support::Pcg32 rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t line = rng.nextBounded(64);
+        EXPECT_EQ(sa.access(line * 64, Owner::App).hit, fa.access(line));
+    }
+}
+
+TEST(ThreeC, FirstTouchIsCompulsory)
+{
+    ClassifyingICache c({1024, 64, 1});
+    c.access(0);
+    EXPECT_EQ(c.stats().compulsory, 1u);
+    EXPECT_EQ(c.stats().capacity, 0u);
+    EXPECT_EQ(c.stats().conflict, 0u);
+    c.access(0);
+    EXPECT_EQ(c.stats().totalMisses(), 1u);
+}
+
+TEST(ThreeC, PureConflictMiss)
+{
+    // Two lines in the same set of a direct-mapped cache; the
+    // fully-associative shadow (16 lines) holds both easily.
+    ClassifyingICache c({1024, 64, 1});
+    c.access(0);
+    c.access(1024);
+    c.access(0); // conflict: FA would hit
+    EXPECT_EQ(c.stats().compulsory, 2u);
+    EXPECT_EQ(c.stats().conflict, 1u);
+    EXPECT_EQ(c.stats().capacity, 0u);
+}
+
+TEST(ThreeC, PureCapacityMiss)
+{
+    // Cycle through 2x the cache's lines: fully-associative LRU also
+    // misses everything on the second pass.
+    ClassifyingICache c({1024, 64, 1}); // 16 lines
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t l = 0; l < 32; ++l)
+            c.access(l * 64);
+    EXPECT_EQ(c.stats().compulsory, 32u);
+    EXPECT_EQ(c.stats().capacity, 32u);
+    EXPECT_EQ(c.stats().conflict, 0u);
+}
+
+TEST(ThreeC, ClassesSumToRealMisses)
+{
+    // Random stream: the decomposition must account for every miss of
+    // an identically configured plain cache.
+    CacheConfig config{2048, 64, 2};
+    ClassifyingICache c(config);
+    SetAssocCache plain(config);
+    support::Pcg32 rng(9);
+    std::uint64_t plain_misses = 0;
+    for (int i = 0; i < 50000; ++i) {
+        std::uint64_t addr = rng.nextBounded(16 * 1024);
+        c.access(addr);
+        plain_misses += plain.access(addr, Owner::App).hit ? 0 : 1;
+    }
+    EXPECT_EQ(c.stats().totalMisses(), plain_misses);
+    EXPECT_EQ(c.stats().accesses, 50000u);
+}
+
+} // namespace
+} // namespace spikesim::mem

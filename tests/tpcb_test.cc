@@ -1,0 +1,209 @@
+/** @file Tests for the TPC-B workload driver. */
+
+#include <gtest/gtest.h>
+
+#include "db/tpcb.hh"
+
+namespace spikesim::db {
+namespace {
+
+TpcbConfig
+smallConfig(std::uint64_t seed = 7)
+{
+    TpcbConfig c;
+    c.branches = 5;
+    c.tellers_per_branch = 10;
+    c.accounts_per_branch = 200;
+    c.buffer_frames = 64;
+    c.seed = seed;
+    return c;
+}
+
+TEST(Tpcb, SetupPopulatesSchema)
+{
+    TpcbDatabase db(smallConfig());
+    db.setup();
+    EXPECT_EQ(db.numAccounts(), 1000);
+    EXPECT_EQ(db.numTellers(), 50);
+    EXPECT_EQ(db.accountIndex().numEntries(), 1000u);
+    EXPECT_EQ(db.accountIndex().check(), "");
+    EXPECT_EQ(db.verify(), "");
+}
+
+TEST(Tpcb, TransactionsConserveBalances)
+{
+    TpcbDatabase db(smallConfig());
+    db.setup();
+    for (int i = 0; i < 500; ++i)
+        db.runTransaction(static_cast<std::uint16_t>(i % 4));
+    EXPECT_EQ(db.verify(), "");
+    EXPECT_EQ(db.history().numRows(), 500u);
+    EXPECT_EQ(db.txns().numCommitted(), 501u); // setup txn + 500
+    EXPECT_EQ(db.txns().numActive(), 0u);
+}
+
+TEST(Tpcb, OutcomesAreWithinDomain)
+{
+    TpcbDatabase db(smallConfig());
+    db.setup();
+    int remote = 0;
+    for (int i = 0; i < 2000; ++i) {
+        TpcbOutcome out = db.runTransaction(0);
+        EXPECT_GE(out.account, 0);
+        EXPECT_LT(out.account, db.numAccounts());
+        EXPECT_GE(out.teller, 0);
+        EXPECT_LT(out.teller, db.numTellers());
+        EXPECT_EQ(out.teller / 10, out.branch);
+        std::int64_t account_branch = out.account / 200;
+        remote += account_branch != out.branch ? 1 : 0;
+    }
+    // ~15% remote-branch accounts.
+    EXPECT_NEAR(remote / 2000.0, 0.15, 0.04);
+}
+
+TEST(Tpcb, GroupCommitBatchesFlushes)
+{
+    TpcbConfig c = smallConfig();
+    c.wal.group_commit_batch = 4;
+    TpcbDatabase db(c);
+    db.setup();
+    for (int i = 0; i < 400; ++i)
+        db.runTransaction(0);
+    // Roughly one flush per 4 commits (plus threshold flushes).
+    EXPECT_GE(db.wal().flushes(), 100u);
+    EXPECT_LE(db.wal().flushes(), 220u);
+}
+
+TEST(Tpcb, HotBranchContentionTriggersWaits)
+{
+    TpcbConfig c = smallConfig();
+    c.branches = 2; // two branches: constant re-hits
+    c.contention_window = 8;
+    TpcbDatabase db(c);
+    db.setup();
+    int waits = 0;
+    for (int i = 0; i < 300; ++i)
+        waits += db.runTransaction(0).lock_waited ? 1 : 0;
+    EXPECT_GT(waits, 200); // nearly every txn re-touches a hot branch
+}
+
+TEST(Tpcb, WideScaleHasFewerWaits)
+{
+    TpcbConfig c = smallConfig();
+    c.branches = 64;
+    c.accounts_per_branch = 50;
+    c.contention_window = 2;
+    TpcbDatabase db(c);
+    db.setup();
+    int waits = 0;
+    for (int i = 0; i < 300; ++i)
+        waits += db.runTransaction(0).lock_waited ? 1 : 0;
+    EXPECT_LT(waits, 100);
+}
+
+TEST(Tpcb, DeterministicForSameSeed)
+{
+    TpcbDatabase a(smallConfig(11)), b(smallConfig(11));
+    a.setup();
+    b.setup();
+    for (int i = 0; i < 100; ++i) {
+        TpcbOutcome oa = a.runTransaction(0);
+        TpcbOutcome ob = b.runTransaction(0);
+        EXPECT_EQ(oa.account, ob.account);
+        EXPECT_EQ(oa.delta, ob.delta);
+    }
+}
+
+class TpcbCrash : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TpcbCrash, RecoveryRestoresConsistency)
+{
+    TpcbDatabase db(smallConfig(GetParam()));
+    db.setup();
+    for (int i = 0; i < 150; ++i)
+        db.runTransaction(static_cast<std::uint16_t>(i % 3));
+    std::uint64_t committed_before = db.wal().commits();
+    (void)committed_before;
+    db.crash();
+    RecoveryResult res = db.recover();
+    EXPECT_GT(res.records_redone, 0u);
+    // All *durable* transactions are replayed consistently: balances
+    // still conserve (losers vanish atomically).
+    EXPECT_EQ(db.verify(), "");
+    EXPECT_EQ(db.accountIndex().check(), "");
+    // The database keeps working after recovery.
+    for (int i = 0; i < 50; ++i)
+        db.runTransaction(0);
+    EXPECT_EQ(db.verify(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpcbCrash,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Tpcb, CheckpointThenCrashLosesNothing)
+{
+    TpcbDatabase db(smallConfig());
+    db.setup();
+    for (int i = 0; i < 100; ++i)
+        db.runTransaction(0);
+    db.checkpoint();
+    std::uint64_t rows = db.history().numRows();
+    db.crash();
+    db.recover();
+    EXPECT_EQ(db.history().numRows(), rows);
+    EXPECT_EQ(db.verify(), "");
+}
+
+TEST(Tpcb, HooksSeeTheTransactionOps)
+{
+    struct Names : EngineHooks
+    {
+        std::vector<std::string> ops;
+        std::vector<std::string> syscalls;
+        int data = 0;
+        void
+        onOp(const char* entry, std::span<const int>) override
+        {
+            ops.emplace_back(entry);
+        }
+        void
+        onSyscall(const char* entry, std::span<const int>) override
+        {
+            syscalls.emplace_back(entry);
+        }
+        void
+        onData(std::uint64_t) override
+        {
+            ++data;
+        }
+    } hooks;
+    TpcbDatabase db(smallConfig(), &hooks);
+    db.setup();
+    hooks.ops.clear();
+    hooks.syscalls.clear();
+    db.runTransaction(3);
+    auto count = [&](const std::vector<std::string>& v,
+                     const std::string& name) {
+        return std::count(v.begin(), v.end(), name);
+    };
+    EXPECT_EQ(count(hooks.ops, "net_recv"), 1);
+    EXPECT_EQ(count(hooks.ops, "net_reply"), 1);
+    EXPECT_EQ(count(hooks.ops, "txn_begin"), 1);
+    EXPECT_EQ(count(hooks.ops, "txn_commit"), 1);
+    EXPECT_EQ(count(hooks.ops, "sql_exec_update"), 3);
+    EXPECT_EQ(count(hooks.ops, "sql_exec_insert"), 1);
+    EXPECT_EQ(count(hooks.ops, "btree_search"), 3);
+    EXPECT_EQ(count(hooks.ops, "heap_update"), 3);
+    EXPECT_EQ(count(hooks.ops, "heap_insert"), 1);
+    EXPECT_EQ(count(hooks.syscalls, "sys_ipc"), 2);
+    EXPECT_GT(hooks.data, 0);
+    // Exactly one of log_flush / log_wait per commit.
+    EXPECT_EQ(count(hooks.ops, "log_flush") +
+                  count(hooks.ops, "log_wait"),
+              1);
+}
+
+} // namespace
+} // namespace spikesim::db

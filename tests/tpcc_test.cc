@@ -1,0 +1,117 @@
+/** @file Tests for the TPC-C-style order-entry workload. */
+
+#include <gtest/gtest.h>
+
+#include "db/tpcc.hh"
+
+namespace spikesim::db {
+namespace {
+
+TpccConfig
+smallConfig(std::uint64_t seed = 21)
+{
+    TpccConfig c;
+    c.warehouses = 2;
+    c.districts_per_warehouse = 4;
+    c.customers_per_district = 50;
+    c.items = 200;
+    c.buffer_frames = 128;
+    c.seed = seed;
+    return c;
+}
+
+TEST(Tpcc, SetupPopulatesSchema)
+{
+    TpccDatabase db(smallConfig());
+    db.setup();
+    EXPECT_EQ(db.numDistricts(), 8);
+    EXPECT_EQ(db.numCustomers(), 400);
+    EXPECT_EQ(db.verify(), "");
+}
+
+TEST(Tpcc, NewOrderAllocatesSequentialIds)
+{
+    TpccDatabase db(smallConfig());
+    db.setup();
+    for (int i = 0; i < 100; ++i) {
+        TpccOutcome out = db.runNewOrder(0);
+        EXPECT_GE(out.order_lines, 5);
+        EXPECT_LE(out.order_lines, 15);
+    }
+    EXPECT_EQ(db.newOrders(), 100u);
+    EXPECT_EQ(db.verify(), "");
+}
+
+TEST(Tpcc, PaymentsConserve)
+{
+    TpccDatabase db(smallConfig());
+    db.setup();
+    std::int64_t total = 0;
+    for (int i = 0; i < 200; ++i)
+        total += db.runPayment(0).amount;
+    EXPECT_GT(total, 0);
+    EXPECT_EQ(db.payments(), 200u);
+    EXPECT_EQ(db.verify(), "");
+}
+
+TEST(Tpcc, StockLevelIsReadOnly)
+{
+    TpccDatabase db(smallConfig());
+    db.setup();
+    for (int i = 0; i < 30; ++i)
+        db.runNewOrder(0);
+    std::string before = db.verify();
+    TpccOutcome out = db.runStockLevel(0);
+    EXPECT_EQ(out.kind, TpccKind::StockLevel);
+    EXPECT_EQ(db.verify(), before);
+}
+
+class TpccMix : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TpccMix, MixedWorkloadStaysConsistent)
+{
+    TpccDatabase db(smallConfig(GetParam()));
+    db.setup();
+    int kinds[3] = {0, 0, 0};
+    for (int i = 0; i < 400; ++i) {
+        TpccOutcome out =
+            db.runTransaction(static_cast<std::uint16_t>(i % 4));
+        kinds[static_cast<int>(out.kind)]++;
+    }
+    EXPECT_EQ(db.verify(), "");
+    // The mix is ~45/43/12.
+    EXPECT_GT(kinds[0], 120);
+    EXPECT_GT(kinds[1], 120);
+    EXPECT_GT(kinds[2], 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpccMix, ::testing::Values(1u, 2u, 3u));
+
+TEST(Tpcc, HooksSeeTheOrderEntryOps)
+{
+    struct Counter : EngineHooks
+    {
+        int updates = 0, inserts = 0;
+        void
+        onOp(const char* entry, std::span<const int>) override
+        {
+            std::string e(entry);
+            updates += e == "sql_exec_update" ? 1 : 0;
+            inserts += e == "sql_exec_insert" ? 1 : 0;
+        }
+    } hooks;
+    TpccDatabase db(smallConfig(), &hooks);
+    db.setup();
+    hooks.updates = 0;
+    hooks.inserts = 0;
+    TpccOutcome out = db.runNewOrder(0);
+    // One district update + one per line; one insert per line + the
+    // order header.
+    EXPECT_EQ(hooks.updates, 1 + out.order_lines);
+    EXPECT_EQ(hooks.inserts, out.order_lines + 1);
+}
+
+} // namespace
+} // namespace spikesim::db

@@ -1,0 +1,95 @@
+/** @file Tests for trace events, buffers and sinks. */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+
+namespace spikesim::trace {
+namespace {
+
+TEST(TraceBuffer, RecordsBlockEvents)
+{
+    TraceBuffer buf;
+    ExecContext ctx;
+    ctx.cpu = 2;
+    ctx.process = 5;
+    buf.onBlock(ctx, ImageId::App, 100);
+    buf.onBlock(ctx, ImageId::Kernel, 7);
+    ASSERT_EQ(buf.size(), 2u);
+    EXPECT_EQ(buf.events()[0].block, 100u);
+    EXPECT_EQ(buf.events()[0].cpu, 2);
+    EXPECT_EQ(buf.events()[0].process, 5);
+    EXPECT_EQ(buf.events()[0].image, ImageId::App);
+    EXPECT_EQ(buf.imageEvents(ImageId::App), 1u);
+    EXPECT_EQ(buf.imageEvents(ImageId::Kernel), 1u);
+}
+
+TEST(TraceBuffer, RecordsDataEventsAsWordIndices)
+{
+    TraceBuffer buf;
+    ExecContext ctx;
+    buf.onData(ctx, 0x1000);
+    ASSERT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf.events()[0].image, ImageId::Data);
+    EXPECT_EQ(buf.events()[0].block, 0x1000u >> 2);
+    EXPECT_EQ(buf.imageEvents(ImageId::Data), 1u);
+}
+
+TEST(TraceBuffer, ClearResets)
+{
+    TraceBuffer buf;
+    ExecContext ctx;
+    buf.onBlock(ctx, ImageId::App, 1);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(TeeSink, FansOutAllCallbacks)
+{
+    struct Counter : TraceSink
+    {
+        int blocks = 0, edges = 0, calls = 0, data = 0;
+        void
+        onBlock(const ExecContext&, ImageId,
+                program::GlobalBlockId) override
+        {
+            ++blocks;
+        }
+        void
+        onEdge(ImageId, program::GlobalBlockId,
+               program::GlobalBlockId) override
+        {
+            ++edges;
+        }
+        void
+        onCall(ImageId, program::GlobalBlockId, program::ProcId) override
+        {
+            ++calls;
+        }
+        void
+        onData(const ExecContext&, std::uint64_t) override
+        {
+            ++data;
+        }
+    } a, b;
+    TeeSink tee({&a, &b});
+    ExecContext ctx;
+    tee.onBlock(ctx, ImageId::App, 1);
+    tee.onEdge(ImageId::App, 1, 2);
+    tee.onCall(ImageId::App, 1, 3);
+    tee.onData(ctx, 0x40);
+    for (const auto* c : {&a, &b}) {
+        EXPECT_EQ(c->blocks, 1);
+        EXPECT_EQ(c->edges, 1);
+        EXPECT_EQ(c->calls, 1);
+        EXPECT_EQ(c->data, 1);
+    }
+}
+
+TEST(TraceEvent, StaysCompact)
+{
+    EXPECT_EQ(sizeof(TraceEvent), 8u);
+}
+
+} // namespace
+} // namespace spikesim::trace

@@ -1,0 +1,243 @@
+/** @file Tests for transactions (commit/abort) and crash recovery. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "db/btree.hh"
+#include "db/heap.hh"
+#include "db/recovery.hh"
+#include "db/txn.hh"
+
+namespace spikesim::db {
+namespace {
+
+struct Row
+{
+    std::int64_t id;
+    std::int64_t value;
+};
+
+struct Fixture
+{
+    SimDisk disk;
+    BufferPool pool{disk, 32};
+    Wal wal{disk};
+    LockManager locks;
+    TransactionManager txns{wal, locks, pool};
+    PageAllocator alloc{1};
+};
+
+TEST(Txn, CommitMakesStateDurable)
+{
+    Fixture f;
+    HeapTable t = HeapTable::create(f.pool, f.wal, f.alloc, sizeof(Row));
+    TxnId txn = f.txns.begin();
+    Row r{1, 42};
+    t.insert(txn, &r);
+    f.txns.commit(txn);
+    EXPECT_EQ(f.txns.state(txn), TxnState::Committed);
+    EXPECT_EQ(f.txns.numCommitted(), 1u);
+}
+
+TEST(Txn, AbortRollsBackUpdates)
+{
+    Fixture f;
+    HeapTable t = HeapTable::create(f.pool, f.wal, f.alloc, sizeof(Row));
+    TxnId setup = f.txns.begin();
+    Row r{1, 10};
+    RowId rid = t.insert(setup, &r);
+    f.txns.commit(setup);
+
+    TxnId txn = f.txns.begin();
+    r.value = 99;
+    t.update(txn, rid, &r);
+    r.value = 100;
+    t.update(txn, rid, &r);
+    f.txns.abort(txn);
+    EXPECT_EQ(f.txns.state(txn), TxnState::Aborted);
+
+    Row out{};
+    t.fetch(rid, &out);
+    EXPECT_EQ(out.value, 10); // both updates rolled back
+}
+
+TEST(Txn, AbortReleasesLocks)
+{
+    Fixture f;
+    TxnId a = f.txns.begin();
+    f.locks.acquire(a, {1, 5}, LockMode::Exclusive);
+    f.txns.abort(a);
+    TxnId b = f.txns.begin();
+    EXPECT_EQ(f.locks.acquire(b, {1, 5}, LockMode::Exclusive),
+              LockResult::Granted);
+}
+
+TEST(Recovery, CommittedTransactionSurvivesCrash)
+{
+    SimDisk disk;
+    PageId first;
+    RowId rid;
+    {
+        BufferPool pool(disk, 32);
+        Wal wal(disk);
+        PageAllocator alloc(1);
+        HeapTable t = HeapTable::create(pool, wal, alloc, sizeof(Row));
+        first = t.firstPage();
+        Row r{1, 55};
+        rid = t.insert(7, &r);
+        wal.logCommitRecord(7);
+        wal.flush();
+        // Crash: pool discarded, pages never written to disk.
+    }
+    BufferPool pool(disk, 32);
+    RecoveryResult res = recover(disk, pool);
+    EXPECT_EQ(res.txns_committed, 1u);
+    EXPECT_GT(res.records_redone, 0u);
+    Wal wal2(disk);
+    PageAllocator alloc2(res.max_page + 1);
+    HeapTable t = HeapTable::open(pool, wal2, alloc2, first);
+    Row out{};
+    t.fetch(rid, &out);
+    EXPECT_EQ(out.value, 55);
+}
+
+TEST(Recovery, UnflushedCommitIsLost)
+{
+    SimDisk disk;
+    {
+        BufferPool pool(disk, 32);
+        Wal wal(disk);
+        PageAllocator alloc(1);
+        HeapTable t = HeapTable::create(pool, wal, alloc, sizeof(Row));
+        wal.flush(); // table creation durable
+        Row r{1, 55};
+        t.insert(7, &r);
+        wal.logCommitRecord(7);
+        // No flush: commit record never reaches disk.
+    }
+    BufferPool pool(disk, 32);
+    RecoveryResult res = recover(disk, pool);
+    EXPECT_EQ(res.txns_committed, 0u);
+}
+
+TEST(Recovery, LoserUpdateOnFlushedPageIsUndone)
+{
+    SimDisk disk;
+    PageId first;
+    RowId rid;
+    {
+        BufferPool pool(disk, 32);
+        Wal wal(disk);
+        PageAllocator alloc(1);
+        HeapTable t = HeapTable::create(pool, wal, alloc, sizeof(Row));
+        first = t.firstPage();
+        Row r{1, 10};
+        rid = t.insert(5, &r);
+        wal.logCommitRecord(5);
+        // Loser txn 6 updates and its dirty page reaches disk, but the
+        // commit record does not.
+        r.value = 666;
+        t.update(6, rid, &r);
+        wal.flush(); // WAL rule: records precede the page write
+        pool.flushAll();
+        // Crash before txn 6 commits.
+    }
+    BufferPool pool(disk, 32);
+    RecoveryResult res = recover(disk, pool);
+    EXPECT_EQ(res.txns_committed, 1u);
+    EXPECT_EQ(res.txns_lost, 1u);
+    EXPECT_EQ(res.records_undone, 1u);
+    Wal wal2(disk);
+    PageAllocator alloc2(res.max_page + 1);
+    HeapTable t = HeapTable::open(pool, wal2, alloc2, first);
+    Row out{};
+    t.fetch(rid, &out);
+    EXPECT_EQ(out.value, 10);
+}
+
+TEST(Recovery, LoserInsertOnFlushedPageIsRemoved)
+{
+    SimDisk disk;
+    PageId first;
+    {
+        BufferPool pool(disk, 32);
+        Wal wal(disk);
+        PageAllocator alloc(1);
+        HeapTable t = HeapTable::create(pool, wal, alloc, sizeof(Row));
+        first = t.firstPage();
+        Row r{1, 10};
+        t.insert(5, &r);
+        wal.logCommitRecord(5);
+        Row loser{2, 20};
+        t.insert(6, &loser); // never commits
+        wal.flush();
+        pool.flushAll();
+    }
+    BufferPool pool(disk, 32);
+    RecoveryResult res = recover(disk, pool);
+    EXPECT_EQ(res.records_undone, 1u);
+    Wal wal2(disk);
+    PageAllocator alloc2(res.max_page + 1);
+    HeapTable t = HeapTable::open(pool, wal2, alloc2, first);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(Recovery, RedoIsIdempotent)
+{
+    SimDisk disk;
+    PageId first;
+    RowId rid;
+    {
+        BufferPool pool(disk, 32);
+        Wal wal(disk);
+        PageAllocator alloc(1);
+        HeapTable t = HeapTable::create(pool, wal, alloc, sizeof(Row));
+        first = t.firstPage();
+        Row r{1, 30};
+        rid = t.insert(4, &r);
+        wal.logCommitRecord(4);
+        wal.flush();
+        pool.flushAll(); // pages already reflect the log
+    }
+    BufferPool pool(disk, 32);
+    RecoveryResult res = recover(disk, pool);
+    // Page LSN guards: nothing needs re-applying.
+    EXPECT_EQ(res.records_redone, 0u);
+    Wal wal2(disk);
+    PageAllocator alloc2(res.max_page + 1);
+    HeapTable t = HeapTable::open(pool, wal2, alloc2, first);
+    Row out{};
+    t.fetch(rid, &out);
+    EXPECT_EQ(out.value, 30);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(Recovery, BtreeSplitsAreStructuralAndSurvive)
+{
+    SimDisk disk;
+    PageId anchor;
+    {
+        BufferPool pool(disk, 64);
+        Wal wal(disk);
+        PageAllocator alloc(1);
+        anchor = alloc.alloc();
+        BTree t = BTree::create(pool, wal, alloc, anchor);
+        for (std::int64_t k = 0; k < 2000; ++k)
+            t.insert(9, k, {static_cast<PageId>(k), 0});
+        wal.logCommitRecord(9);
+        wal.flush();
+        // Crash without flushing pages.
+    }
+    BufferPool pool(disk, 64);
+    RecoveryResult res = recover(disk, pool);
+    Wal wal2(disk);
+    PageAllocator alloc2(res.max_page + 1);
+    BTree t = BTree::open(pool, wal2, alloc2, anchor);
+    EXPECT_EQ(t.check(), "");
+    EXPECT_EQ(t.numEntries(), 2000u);
+    EXPECT_GE(t.height(), 2);
+}
+
+} // namespace
+} // namespace spikesim::db

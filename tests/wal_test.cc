@@ -1,0 +1,140 @@
+/** @file Tests for the write-ahead log. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "db/wal.hh"
+
+namespace spikesim::db {
+namespace {
+
+TEST(Wal, LsnsIncrease)
+{
+    SimDisk disk;
+    Wal wal(disk);
+    Lsn a = wal.logBegin(1);
+    Lsn b = wal.logCommitRecord(1);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(wal.currentLsn(), b);
+}
+
+TEST(Wal, RecordsRoundTripThroughDisk)
+{
+    SimDisk disk;
+    Wal wal(disk);
+    wal.logBegin(3);
+    std::int64_t payload = 0x1234;
+    wal.logAppend(3, 9, &payload, sizeof(payload));
+    wal.logSetExtra(3, 9, 777);
+    wal.logCommitRecord(3);
+    wal.flush();
+
+    auto records = Wal::readAll(disk);
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0].hdr.kind, WalKind::Begin);
+    EXPECT_EQ(records[0].hdr.txn, 3u);
+    EXPECT_EQ(records[1].hdr.kind, WalKind::Append);
+    EXPECT_EQ(records[1].hdr.page, 9u);
+    ASSERT_EQ(records[1].payload.size(), sizeof(payload));
+    std::int64_t read = 0;
+    std::memcpy(&read, records[1].payload.data(), sizeof(read));
+    EXPECT_EQ(read, 0x1234);
+    EXPECT_EQ(records[2].hdr.kind, WalKind::SetExtra);
+    EXPECT_EQ(records[2].hdr.aux64, 777u);
+    EXPECT_EQ(records[3].hdr.kind, WalKind::Commit);
+}
+
+TEST(Wal, UpdateCarriesAfterThenBefore)
+{
+    SimDisk disk;
+    Wal wal(disk);
+    std::int32_t after = 2, before = 1;
+    wal.logUpdate(5, 1, 0, &after, &before, sizeof(after));
+    wal.flush();
+    auto records = Wal::readAll(disk);
+    ASSERT_EQ(records.size(), 1u);
+    ASSERT_EQ(records[0].payload.size(), 8u);
+    std::int32_t a = 0, b = 0;
+    std::memcpy(&a, records[0].payload.data(), 4);
+    std::memcpy(&b, records[0].payload.data() + 4, 4);
+    EXPECT_EQ(a, 2);
+    EXPECT_EQ(b, 1);
+}
+
+TEST(Wal, GroupCommitBatches)
+{
+    SimDisk disk;
+    Wal::Config config;
+    config.group_commit_batch = 4;
+    Wal wal(disk, config);
+    int leaders = 0;
+    for (TxnId t = 1; t <= 12; ++t)
+        leaders += wal.commit(t) ? 1 : 0;
+    EXPECT_EQ(leaders, 3);
+    EXPECT_EQ(wal.flushes(), 3u);
+    EXPECT_EQ(wal.commits(), 12u);
+}
+
+TEST(Wal, LargeBufferForcesFlush)
+{
+    SimDisk disk;
+    Wal::Config config;
+    config.group_commit_batch = 1000;
+    config.flush_threshold_bytes = 256;
+    Wal wal(disk, config);
+    std::uint8_t blob[128] = {0};
+    wal.logAppend(1, 1, blob, sizeof(blob));
+    wal.logAppend(1, 1, blob, sizeof(blob));
+    EXPECT_TRUE(wal.commit(1)); // buffer beyond threshold -> leader
+}
+
+TEST(Wal, FlushedLsnTracksDurability)
+{
+    SimDisk disk;
+    Wal wal(disk);
+    wal.logBegin(1);
+    EXPECT_EQ(wal.flushedLsn(), 0u);
+    wal.flush();
+    EXPECT_EQ(wal.flushedLsn(), wal.currentLsn());
+}
+
+TEST(Wal, DiscardBufferLosesUnflushed)
+{
+    SimDisk disk;
+    Wal wal(disk);
+    wal.logBegin(1);
+    wal.flush();
+    wal.logBegin(2); // not flushed
+    wal.discardBuffer();
+    auto records = Wal::readAll(disk);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].hdr.txn, 1u);
+}
+
+TEST(Wal, UndoChainsAccumulateAndClear)
+{
+    SimDisk disk;
+    Wal wal(disk);
+    std::int32_t after = 2, before = 1;
+    wal.logUpdate(7, 1, 0, &after, &before, sizeof(after));
+    wal.logUpdate(7, 2, 3, &after, &before, sizeof(after));
+    EXPECT_EQ(wal.undoChain(7).size(), 2u);
+    EXPECT_EQ(wal.undoChain(7)[1].page, 2u);
+    EXPECT_EQ(wal.undoChain(7)[1].slot, 3u);
+    EXPECT_EQ(wal.undoChain(8).size(), 0u);
+    wal.commit(7);
+    EXPECT_EQ(wal.undoChain(7).size(), 0u);
+}
+
+TEST(Wal, StructuralRecordsHaveNoUndo)
+{
+    SimDisk disk;
+    Wal wal(disk);
+    std::int32_t after = 2, before = 1;
+    wal.logUpdate(kStructuralTxn, 1, 0, &after, &before, sizeof(after));
+    EXPECT_EQ(wal.undoChain(kStructuralTxn).size(), 0u);
+}
+
+} // namespace
+} // namespace spikesim::db

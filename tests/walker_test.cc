@@ -1,0 +1,253 @@
+/** @file Unit tests for the CFG walker. */
+
+#include <gtest/gtest.h>
+
+#include "program/builder.hh"
+#include "synth/walker.hh"
+#include "trace/trace.hh"
+
+namespace spikesim::synth {
+namespace {
+
+using program::EdgeKind;
+using program::Procedure;
+using program::ProcedureBuilder;
+using program::Program;
+using program::Terminator;
+
+/** Straight-line procedure. */
+Procedure
+straight(const std::string& name, int blocks)
+{
+    ProcedureBuilder b(name);
+    for (int i = 0; i < blocks - 1; ++i) {
+        auto id = b.addBlock(2, Terminator::FallThrough);
+        b.addEdge(id, id + 1, EdgeKind::FallThrough);
+    }
+    b.addBlock(2, Terminator::Return);
+    return b.build();
+}
+
+TEST(Walker, StraightLineVisitsEveryBlockOnce)
+{
+    Program p("t");
+    p.addProcedure(straight("s", 5));
+    ASSERT_EQ(p.validate(), "");
+    CfgWalker w(p, trace::ImageId::App, 1);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    WalkStats stats = w.run(0, ctx, buf);
+    EXPECT_EQ(stats.blocks, 5u);
+    EXPECT_EQ(stats.instrs, 10u);
+    ASSERT_EQ(buf.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(buf.events()[i].block, i);
+}
+
+TEST(Walker, DeterministicForSameSeed)
+{
+    Program p("t");
+    {
+        ProcedureBuilder b("coin");
+        auto c = b.addBlock(1, Terminator::CondBranch);
+        auto t = b.addBlock(1, Terminator::Return);
+        auto f = b.addBlock(1, Terminator::Return);
+        b.addCond(c, t, f, 0.5);
+        p.addProcedure(b.build());
+    }
+    trace::TraceBuffer b1, b2;
+    trace::ExecContext ctx;
+    CfgWalker w1(p, trace::ImageId::App, 99);
+    CfgWalker w2(p, trace::ImageId::App, 99);
+    for (int i = 0; i < 200; ++i) {
+        w1.run(0, ctx, b1);
+        w2.run(0, ctx, b2);
+    }
+    ASSERT_EQ(b1.size(), b2.size());
+    for (std::size_t i = 0; i < b1.size(); ++i)
+        EXPECT_EQ(b1.events()[i].block, b2.events()[i].block);
+}
+
+TEST(Walker, CondBranchFollowsProbability)
+{
+    Program p("t");
+    {
+        ProcedureBuilder b("coin");
+        auto c = b.addBlock(1, Terminator::CondBranch);
+        auto t = b.addBlock(1, Terminator::Return); // taken
+        auto f = b.addBlock(1, Terminator::Return);
+        b.addCond(c, t, f, 0.7);
+        p.addProcedure(b.build());
+    }
+    CfgWalker w(p, trace::ImageId::App, 5);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        w.run(0, ctx, buf);
+    int taken = 0;
+    for (const auto& e : buf.events())
+        taken += e.block == 1 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(taken) / n, 0.7, 0.02);
+}
+
+TEST(Walker, IndirectJumpFollowsDistribution)
+{
+    Program p("t");
+    {
+        ProcedureBuilder b("sw");
+        auto s = b.addBlock(1, Terminator::IndirectJump);
+        auto a = b.addBlock(1, Terminator::Return);
+        auto c = b.addBlock(1, Terminator::Return);
+        auto d = b.addBlock(1, Terminator::Return);
+        b.addEdge(s, a, EdgeKind::IndirectTarget, 0.6);
+        b.addEdge(s, c, EdgeKind::IndirectTarget, 0.3);
+        b.addEdge(s, d, EdgeKind::IndirectTarget, 0.1);
+        p.addProcedure(b.build());
+    }
+    CfgWalker w(p, trace::ImageId::App, 6);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        w.run(0, ctx, buf);
+    int counts[4] = {0, 0, 0, 0};
+    for (const auto& e : buf.events())
+        counts[e.block]++;
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.6, 0.02);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(Walker, HintedLoopTakesExactTripCount)
+{
+    // do { body } while (latch taken): latch hinted at slot 1.
+    Program p("t");
+    {
+        ProcedureBuilder b("loop");
+        auto body = b.addBlock(2, Terminator::FallThrough);
+        auto latch = b.addBlock(1, Terminator::CondBranch);
+        auto exit = b.addBlock(1, Terminator::Return);
+        b.addEdge(body, latch, EdgeKind::FallThrough);
+        b.addCond(latch, body, exit, 0.5);
+        b.setHintSlot(latch, 1);
+        p.addProcedure(b.build());
+    }
+    CfgWalker w(p, trace::ImageId::App, 7);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    int hint = 4; // take the back edge exactly 4 times
+    w.run(0, ctx, buf, {&hint, 1});
+    int body_visits = 0;
+    for (const auto& e : buf.events())
+        body_visits += e.block == 0 ? 1 : 0;
+    EXPECT_EQ(body_visits, 5); // 1 entry + 4 repeats
+}
+
+TEST(Walker, HintedLoopReinitializesPerActivation)
+{
+    Program p("t");
+    {
+        ProcedureBuilder b("loop");
+        auto body = b.addBlock(2, Terminator::FallThrough);
+        auto latch = b.addBlock(1, Terminator::CondBranch);
+        auto exit = b.addBlock(1, Terminator::Return);
+        b.addEdge(body, latch, EdgeKind::FallThrough);
+        b.addCond(latch, body, exit, 0.5);
+        b.setHintSlot(latch, 1);
+        p.addProcedure(b.build());
+    }
+    CfgWalker w(p, trace::ImageId::App, 8);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    int hint = 2;
+    for (int i = 0; i < 3; ++i)
+        w.run(0, ctx, buf, {&hint, 1});
+    int body_visits = 0;
+    for (const auto& e : buf.events())
+        body_visits += e.block == 0 ? 1 : 0;
+    EXPECT_EQ(body_visits, 3 * 3);
+}
+
+TEST(Walker, CallsDescendAndReportEdges)
+{
+    Program p("t");
+    program::ProcId callee_id = 1;
+    {
+        ProcedureBuilder b("caller");
+        auto c = b.addBlock(1, Terminator::Call, callee_id);
+        auto r = b.addBlock(1, Terminator::Return);
+        b.addEdge(c, r, EdgeKind::FallThrough);
+        p.addProcedure(b.build());
+    }
+    p.addProcedure(straight("callee", 2));
+    ASSERT_EQ(p.validate(), "");
+
+    struct CallCounter : trace::TraceSink
+    {
+        int calls = 0;
+        int edges = 0;
+        int blocks = 0;
+        void
+        onBlock(const trace::ExecContext&, trace::ImageId,
+                program::GlobalBlockId) override
+        {
+            ++blocks;
+        }
+        void
+        onEdge(trace::ImageId, program::GlobalBlockId,
+               program::GlobalBlockId) override
+        {
+            ++edges;
+        }
+        void
+        onCall(trace::ImageId, program::GlobalBlockId caller,
+               program::ProcId callee) override
+        {
+            ++calls;
+            EXPECT_EQ(caller, 0u);
+            EXPECT_EQ(callee, 1u);
+        }
+    } sink;
+
+    CfgWalker w(p, trace::ImageId::App, 9);
+    trace::ExecContext ctx;
+    WalkStats stats = w.run(0, ctx, sink);
+    EXPECT_EQ(sink.calls, 1);
+    EXPECT_EQ(sink.blocks, 4); // caller 2 + callee 2
+    EXPECT_EQ(stats.calls, 1u);
+    // Edges: caller call->ret, callee b0->b1.
+    EXPECT_EQ(sink.edges, 2);
+}
+
+TEST(Walker, ContextPropagatesToEvents)
+{
+    Program p("t");
+    p.addProcedure(straight("s", 2));
+    CfgWalker w(p, trace::ImageId::Kernel, 10);
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    ctx.cpu = 3;
+    ctx.process = 17;
+    w.run(0, ctx, buf);
+    ASSERT_EQ(buf.size(), 2u);
+    EXPECT_EQ(buf.events()[0].cpu, 3);
+    EXPECT_EQ(buf.events()[0].process, 17);
+    EXPECT_EQ(buf.events()[0].image, trace::ImageId::Kernel);
+    EXPECT_EQ(buf.imageEvents(trace::ImageId::Kernel), 2u);
+}
+
+TEST(Walker, TotalInstrsAccumulates)
+{
+    Program p("t");
+    p.addProcedure(straight("s", 3));
+    CfgWalker w(p, trace::ImageId::App, 11);
+    trace::NullSink sink;
+    trace::ExecContext ctx;
+    w.run(0, ctx, sink);
+    w.run(0, ctx, sink);
+    EXPECT_EQ(w.totalInstrs(), 12u);
+}
+
+} // namespace
+} // namespace spikesim::synth
