@@ -4,30 +4,34 @@
  * sizes (32KB-512KB) and line sizes (16B-256B), direct-mapped, for the
  * baseline (a) and fully optimized (b) binaries. Also reports the
  * paper's packed-footprint comparison (500KB vs 315KB at 128B lines).
+ *
+ * Both 25-configuration sweeps are priced by the single-pass
+ * stack-distance engine (one trace resolution + one pass per line size
+ * per binary) and run concurrently on a thread pool.
  */
 
 #include "bench/common.hh"
 #include "metrics/footprint.hh"
+#include "sim/sweep.hh"
 
 using namespace spikesim;
 
 namespace {
 
+const std::vector<std::uint32_t> kSizesKb{32, 64, 128, 256, 512};
+const std::vector<std::uint32_t> kLines{16, 32, 64, 128, 256};
+
 void
-sweep(const bench::Workload& w, const core::Layout& layout,
-      const std::string& title)
+printSweep(const sim::SweepResult& result, const std::string& title)
 {
     std::cout << title << "\n";
-    sim::Replayer rep(w.buf, layout);
     support::TablePrinter table(
         {"cache", "16B", "32B", "64B", "128B", "256B"});
-    for (std::uint32_t kb : {32, 64, 128, 256, 512}) {
+    for (std::uint32_t kb : kSizesKb) {
         std::vector<std::string> row{std::to_string(kb) + "KB"};
-        for (std::uint32_t line : {16, 32, 64, 128, 256}) {
-            auto r = rep.icache({kb * 1024, line, 1},
-                                sim::StreamFilter::AppOnly);
-            row.push_back(support::withCommas(r.misses));
-        }
+        for (std::uint32_t line : kLines)
+            row.push_back(support::withCommas(
+                result.misses(kb * 1024, line, 1)));
         table.addRow(row);
     }
     table.print(std::cout);
@@ -46,8 +50,22 @@ main(int argc, char** argv)
     core::Layout base = w.appLayout(core::OptCombo::Base);
     core::Layout opt = w.appLayout(core::OptCombo::All);
 
-    sweep(w, base, "(a) baseline OLTP binary");
-    sweep(w, opt, "(b) optimized OLTP binary");
+    sim::SweepSpec spec;
+    for (std::uint32_t kb : kSizesKb)
+        spec.size_bytes.push_back(kb * 1024);
+    spec.line_bytes = kLines;
+    spec.assocs = {1};
+
+    support::ThreadPool pool;
+    std::vector<sim::SweepJob> jobs{
+        {&base, nullptr, sim::StreamFilter::AppOnly, spec, "base"},
+        {&opt, nullptr, sim::StreamFilter::AppOnly, spec, "opt"},
+    };
+    std::vector<sim::SweepResult> results =
+        sim::runSweepJobs(w.buf, jobs, &pool);
+
+    printSweep(results[0], "(a) baseline OLTP binary");
+    printSweep(results[1], "(b) optimized OLTP binary");
 
     std::uint64_t base_fp =
         metrics::packedFootprintBytes(w.appProfile(), base, 128);

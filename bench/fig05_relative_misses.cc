@@ -1,10 +1,13 @@
 /**
  * @file
  * Figure 5: instruction cache misses of the optimized binary relative
- * to the baseline (percent), across cache sizes and line sizes.
+ * to the baseline (percent), across cache sizes and line sizes. Both
+ * binaries' sweeps run through the single-pass sweep engine in
+ * parallel.
  */
 
 #include "bench/common.hh"
+#include "sim/sweep.hh"
 
 using namespace spikesim;
 
@@ -16,25 +19,37 @@ main(int argc, char** argv)
     bench::Workload w = bench::runWorkload(argc, argv);
     core::Layout base = w.appLayout(core::OptCombo::Base);
     core::Layout opt = w.appLayout(core::OptCombo::All);
-    sim::Replayer base_rep(w.buf, base);
-    sim::Replayer opt_rep(w.buf, opt);
+
+    sim::SweepSpec spec;
+    for (std::uint32_t kb : {32, 64, 128, 256, 512})
+        spec.size_bytes.push_back(kb * 1024);
+    spec.line_bytes = {16, 32, 64, 128, 256};
+    spec.assocs = {1};
+
+    support::ThreadPool pool;
+    std::vector<sim::SweepJob> jobs{
+        {&base, nullptr, sim::StreamFilter::AppOnly, spec, "base"},
+        {&opt, nullptr, sim::StreamFilter::AppOnly, spec, "opt"},
+    };
+    std::vector<sim::SweepResult> results =
+        sim::runSweepJobs(w.buf, jobs, &pool);
+    const sim::SweepResult& b = results[0];
+    const sim::SweepResult& o = results[1];
 
     support::TablePrinter table(
         {"cache", "16B", "32B", "64B", "128B", "256B"});
     double at64_128 = 0, at128_128 = 0;
-    for (std::uint32_t kb : {32, 64, 128, 256, 512}) {
-        std::vector<std::string> row{std::to_string(kb) + "KB"};
-        for (std::uint32_t line : {16, 32, 64, 128, 256}) {
-            mem::CacheConfig cfg{kb * 1024, line, 1};
-            auto b = base_rep.icache(cfg, sim::StreamFilter::AppOnly);
-            auto o = opt_rep.icache(cfg, sim::StreamFilter::AppOnly);
-            double rel = b.misses == 0
-                             ? 100.0
-                             : 100.0 * static_cast<double>(o.misses) /
-                                   static_cast<double>(b.misses);
-            if (line == 128 && kb == 64)
+    for (std::uint32_t kb : spec.size_bytes) {
+        std::vector<std::string> row{std::to_string(kb / 1024) + "KB"};
+        for (std::uint32_t line : spec.line_bytes) {
+            std::uint64_t bm = b.misses(kb, line, 1);
+            std::uint64_t om = o.misses(kb, line, 1);
+            double rel = bm == 0 ? 100.0
+                                 : 100.0 * static_cast<double>(om) /
+                                       static_cast<double>(bm);
+            if (line == 128 && kb == 64 * 1024)
                 at64_128 = rel;
-            if (line == 128 && kb == 128)
+            if (line == 128 && kb == 128 * 1024)
                 at128_128 = rel;
             row.push_back(support::fixed(rel, 1) + "%");
         }

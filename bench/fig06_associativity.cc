@@ -2,10 +2,12 @@
  * @file
  * Figure 6: impact of associativity (direct-mapped vs 4-way) on
  * instruction cache misses for the baseline and optimized binaries,
- * 128-byte lines.
+ * 128-byte lines. One stack-distance pass per binary prices both
+ * associativities at every size.
  */
 
 #include "bench/common.hh"
+#include "sim/sweep.hh"
 
 using namespace spikesim;
 
@@ -17,34 +19,40 @@ main(int argc, char** argv)
     bench::Workload w = bench::runWorkload(argc, argv);
     core::Layout base = w.appLayout(core::OptCombo::Base);
     core::Layout opt = w.appLayout(core::OptCombo::All);
-    sim::Replayer base_rep(w.buf, base);
-    sim::Replayer opt_rep(w.buf, opt);
+
+    sim::SweepSpec spec;
+    for (std::uint32_t kb : {32, 64, 128, 256, 512})
+        spec.size_bytes.push_back(kb * 1024);
+    spec.line_bytes = {128};
+    spec.assocs = {1, 4};
+
+    support::ThreadPool pool;
+    std::vector<sim::SweepJob> jobs{
+        {&base, nullptr, sim::StreamFilter::AppOnly, spec, "base"},
+        {&opt, nullptr, sim::StreamFilter::AppOnly, spec, "opt"},
+    };
+    std::vector<sim::SweepResult> results =
+        sim::runSweepJobs(w.buf, jobs, &pool);
+    const sim::SweepResult& b = results[0];
+    const sim::SweepResult& o = results[1];
 
     support::TablePrinter table({"cache", "baseline", "baseline 4-way",
                                  "optimized", "optimized 4-way"});
     double assoc_gain_64 = 0, layout_gain_64 = 0;
-    for (std::uint32_t kb : {32, 64, 128, 256, 512}) {
-        auto b1 = base_rep.icache({kb * 1024, 128, 1},
-                                  sim::StreamFilter::AppOnly);
-        auto b4 = base_rep.icache({kb * 1024, 128, 4},
-                                  sim::StreamFilter::AppOnly);
-        auto o1 = opt_rep.icache({kb * 1024, 128, 1},
-                                 sim::StreamFilter::AppOnly);
-        auto o4 = opt_rep.icache({kb * 1024, 128, 4},
-                                 sim::StreamFilter::AppOnly);
-        if (kb == 64) {
-            assoc_gain_64 =
-                1.0 - static_cast<double>(b4.misses) /
-                          static_cast<double>(b1.misses);
-            layout_gain_64 =
-                1.0 - static_cast<double>(o1.misses) /
-                          static_cast<double>(b1.misses);
+    for (std::uint32_t kb : spec.size_bytes) {
+        std::uint64_t b1 = b.misses(kb, 128, 1);
+        std::uint64_t b4 = b.misses(kb, 128, 4);
+        std::uint64_t o1 = o.misses(kb, 128, 1);
+        std::uint64_t o4 = o.misses(kb, 128, 4);
+        if (kb == 64 * 1024) {
+            assoc_gain_64 = 1.0 - static_cast<double>(b4) /
+                                      static_cast<double>(b1);
+            layout_gain_64 = 1.0 - static_cast<double>(o1) /
+                                       static_cast<double>(b1);
         }
-        table.addRow({std::to_string(kb) + "KB",
-                      support::withCommas(b1.misses),
-                      support::withCommas(b4.misses),
-                      support::withCommas(o1.misses),
-                      support::withCommas(o4.misses)});
+        table.addRow({std::to_string(kb / 1024) + "KB",
+                      support::withCommas(b1), support::withCommas(b4),
+                      support::withCommas(o1), support::withCommas(o4)});
     }
     table.print(std::cout);
     std::cout << "\n";

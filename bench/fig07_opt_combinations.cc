@@ -5,9 +5,11 @@
  * application instruction cache misses (128B lines, 4-way). The two
  * ablations the repository adds (classic hot/cold splitting and the
  * CFA layout the paper evaluated and rejected) are reported as well.
+ * Every combination's sweep is an independent job on the thread pool.
  */
 
 #include "bench/common.hh"
+#include "sim/sweep.hh"
 
 using namespace spikesim;
 
@@ -18,28 +20,47 @@ main(int argc, char** argv)
                   "impact of each optimization combination (128B/4-way)");
     bench::Workload w = bench::runWorkload(argc, argv);
 
-    const std::vector<std::uint32_t> sizes{32, 64, 128, 256, 512};
+    sim::SweepSpec spec;
+    for (std::uint32_t kb : {32, 64, 128, 256, 512})
+        spec.size_bytes.push_back(kb * 1024);
+    spec.line_bytes = {128};
+    spec.assocs = {4};
+
+    // Build every combination's layout up front (jobs hold pointers).
+    std::vector<core::OptCombo> combos = core::allCombos();
+    std::vector<core::Layout> layouts;
+    layouts.reserve(combos.size());
+    for (core::OptCombo combo : combos)
+        layouts.push_back(w.appLayout(combo));
+
+    support::ThreadPool pool;
+    std::vector<sim::SweepJob> jobs;
+    jobs.reserve(combos.size());
+    for (std::size_t i = 0; i < combos.size(); ++i)
+        jobs.push_back({&layouts[i], nullptr,
+                        sim::StreamFilter::AppOnly, spec,
+                        core::comboName(combos[i])});
+    std::vector<sim::SweepResult> results =
+        sim::runSweepJobs(w.buf, jobs, &pool);
+
     support::TablePrinter table({"optimizations", "32KB", "64KB",
                                  "128KB", "256KB", "512KB"});
     std::uint64_t base64 = 0, porder64 = 0, chain64 = 0, all64 = 0;
-    for (core::OptCombo combo : core::allCombos()) {
-        core::Layout layout = w.appLayout(combo);
-        sim::Replayer rep(w.buf, layout);
-        std::vector<std::string> row{core::comboName(combo)};
-        for (std::uint32_t kb : sizes) {
-            auto r = rep.icache({kb * 1024, 128, 4},
-                                sim::StreamFilter::AppOnly);
-            if (kb == 64) {
-                if (combo == core::OptCombo::Base)
-                    base64 = r.misses;
-                if (combo == core::OptCombo::POrder)
-                    porder64 = r.misses;
-                if (combo == core::OptCombo::Chain)
-                    chain64 = r.misses;
-                if (combo == core::OptCombo::All)
-                    all64 = r.misses;
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+        std::vector<std::string> row{core::comboName(combos[i])};
+        for (std::uint32_t kb : spec.size_bytes) {
+            std::uint64_t misses = results[i].misses(kb, 128, 4);
+            if (kb == 64 * 1024) {
+                if (combos[i] == core::OptCombo::Base)
+                    base64 = misses;
+                if (combos[i] == core::OptCombo::POrder)
+                    porder64 = misses;
+                if (combos[i] == core::OptCombo::Chain)
+                    chain64 = misses;
+                if (combos[i] == core::OptCombo::All)
+                    all64 = misses;
             }
-            row.push_back(support::withCommas(r.misses));
+            row.push_back(support::withCommas(misses));
         }
         table.addRow(row);
     }

@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include "support/panic.hh"
+
 namespace spikesim::mem {
 
 HierarchyStats&
@@ -35,6 +37,12 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
       l2_(config.l2),
       itlb_(config.itlb_entries, config.page_bytes)
 {
+    SPIKESIM_ASSERT(config.l1i.check().empty(),
+                    "bad L1I config: " << config.l1i.check());
+    SPIKESIM_ASSERT(config.l1d.check().empty(),
+                    "bad L1D config: " << config.l1d.check());
+    SPIKESIM_ASSERT(config.l2.check().empty(),
+                    "bad L2 config: " << config.l2.check());
 }
 
 void

@@ -1,0 +1,90 @@
+#ifndef SPIKESIM_MEM_LRUSTACK_HH
+#define SPIKESIM_MEM_LRUSTACK_HH
+
+#include <cstdint>
+#include <vector>
+
+/**
+ * @file
+ * Single-pass multi-configuration cache simulation via Mattson's LRU
+ * stack-distance algorithm (Mattson et al., IBM Systems Journal 1970),
+ * applied per cache set. For a fixed number of sets, one pass over a
+ * line-address stream yields hit/miss counts for *every* associativity
+ * simultaneously: an access hits an A-way set-associative true-LRU
+ * cache iff its per-set stack distance is < A (the inclusion
+ * property). The figure benches sweep dozens of cache geometries over
+ * the same trace; this turns each sweep's N full replays into one.
+ */
+
+namespace spikesim::mem {
+
+/**
+ * Per-set LRU stack-distance simulator for one set count. Stacks are
+ * truncated at `max_assoc` entries — distances >= max_assoc are
+ * indistinguishable (they miss in every tracked associativity), so the
+ * truncation keeps the per-access cost bounded while staying exact for
+ * every associativity up to the cap.
+ */
+class LruStackSim
+{
+  public:
+    /**
+     * @param num_sets number of cache sets (power of two).
+     * @param max_assoc deepest associativity that will be queried.
+     */
+    LruStackSim(std::uint32_t num_sets, std::uint32_t max_assoc);
+
+    /** Record one access to the given line number. */
+    void
+    access(std::uint64_t line)
+    {
+        std::uint64_t set = line & set_mask_;
+        std::uint64_t* stack = &stack_[set * max_assoc_];
+        std::uint32_t depth = depth_[set];
+        std::uint32_t d = 0;
+        while (d < depth && stack[d] != line)
+            ++d;
+        ++dist_hist_[d < depth ? d : max_assoc_];
+        ++accesses_;
+        // Move-to-front; entries past the cap fall off (they are LRU).
+        std::uint32_t shift = d < depth ? d : max_assoc_ - 1;
+        if (d >= depth && depth < max_assoc_) {
+            shift = depth;
+            depth_[set] = static_cast<std::uint8_t>(depth + 1);
+        }
+        for (std::uint32_t i = shift; i > 0; --i)
+            stack[i] = stack[i - 1];
+        stack[0] = line;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Hits in an `assoc`-way cache of numSets() sets (assoc <= cap). */
+    std::uint64_t hitsUpTo(std::uint32_t assoc) const;
+
+    /** Misses in an `assoc`-way cache of numSets() sets (assoc <= cap). */
+    std::uint64_t
+    missesAt(std::uint32_t assoc) const
+    {
+        return accesses_ - hitsUpTo(assoc);
+    }
+
+    /** Accesses with stack distance exactly d (d == maxAssoc() bucket
+     *  collects all deeper/cold accesses). */
+    std::uint64_t distanceCount(std::uint32_t d) const;
+
+    std::uint32_t numSets() const { return set_mask_ + 1; }
+    std::uint32_t maxAssoc() const { return max_assoc_; }
+
+  private:
+    std::uint64_t set_mask_;
+    std::uint32_t max_assoc_;
+    std::vector<std::uint64_t> stack_;     ///< num_sets * max_assoc, MRU-first
+    std::vector<std::uint8_t> depth_;      ///< valid entries per set
+    std::vector<std::uint64_t> dist_hist_; ///< [0, max_assoc]; last = beyond
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace spikesim::mem
+
+#endif // SPIKESIM_MEM_LRUSTACK_HH

@@ -10,6 +10,8 @@ StreamBufferICache::StreamBufferICache(const CacheConfig& config,
                                        int num_buffers)
     : cache_(config)
 {
+    std::string err = config.check();
+    SPIKESIM_ASSERT(err.empty(), "bad cache config: " << err);
     SPIKESIM_ASSERT(num_buffers > 0, "need at least one stream buffer");
     buffers_.resize(static_cast<std::size_t>(num_buffers));
     line_shift_ = static_cast<std::uint32_t>(

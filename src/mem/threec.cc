@@ -37,6 +37,8 @@ ClassifyingICache::ClassifyingICache(const CacheConfig& config)
       line_shift_(static_cast<std::uint32_t>(
           std::bit_width(config.line_bytes) - 1))
 {
+    std::string err = config.check();
+    SPIKESIM_ASSERT(err.empty(), "bad cache config: " << err);
 }
 
 void

@@ -30,6 +30,116 @@ enum class StreamFilter {
     Combined,
 };
 
+/**
+ * One trace event resolved through a layout: the byte range its block
+ * occupies and the CPU that fetched it. Resolving the trace once and
+ * replaying the flat vector is what lets one pass feed many cache
+ * configurations.
+ */
+struct ResolvedRef
+{
+    std::uint64_t addr = 0;
+    std::uint32_t bytes = 0;
+    std::uint8_t cpu = 0;
+};
+
+/** A trace pre-resolved through one (app, kernel) layout pair. */
+struct ResolvedTrace
+{
+    std::vector<ResolvedRef> refs;
+    int num_cpus = 1;
+};
+
+/**
+ * A cache-geometry sweep: the cross product of sizes x line sizes x
+ * associativities. Every combination must be a valid CacheConfig.
+ */
+struct SweepSpec
+{
+    std::vector<std::uint32_t> size_bytes;
+    std::vector<std::uint32_t> line_bytes;
+    std::vector<std::uint32_t> assocs{1};
+
+    /** Empty when every combination is consistent, else a complaint. */
+    std::string check() const;
+
+    /** Number of (size, line, assoc) combinations. */
+    std::size_t
+    numConfigs() const
+    {
+        return size_bytes.size() * line_bytes.size() * assocs.size();
+    }
+};
+
+/**
+ * Hit/miss counts for every configuration of a SweepSpec, produced by
+ * the single-pass stack-distance engine. Counts are aggregated over
+ * CPUs (each CPU simulates its own cache, as in Replayer::icache).
+ */
+class SweepResult
+{
+  public:
+    SweepResult() = default;
+    explicit SweepResult(SweepSpec spec);
+
+    const SweepSpec& spec() const { return spec_; }
+
+    /** Line fetches for the given line size (size/assoc-independent). */
+    std::uint64_t accesses(std::uint32_t line_bytes) const;
+
+    std::uint64_t misses(std::uint32_t size_bytes,
+                         std::uint32_t line_bytes,
+                         std::uint32_t assoc) const;
+
+    std::uint64_t
+    misses(const mem::CacheConfig& config) const
+    {
+        return misses(config.size_bytes, config.line_bytes, config.assoc);
+    }
+
+    std::uint64_t
+    hits(std::uint32_t size_bytes, std::uint32_t line_bytes,
+         std::uint32_t assoc) const
+    {
+        return accesses(line_bytes) -
+               misses(size_bytes, line_bytes, assoc);
+    }
+
+  private:
+    friend void sweepLineSize(const ResolvedTrace&, const SweepSpec&,
+                              std::size_t, SweepResult&);
+    friend void sweepAllLines(const ResolvedTrace&, const SweepSpec&,
+                              SweepResult&);
+
+    std::size_t lineIndex(std::uint32_t line_bytes) const;
+    std::size_t index(std::size_t si, std::size_t li,
+                      std::size_t ai) const;
+
+    SweepSpec spec_;
+    std::vector<std::uint64_t> accesses_; ///< per line-size index
+    std::vector<std::uint64_t> misses_;   ///< [li][si][ai], line-major
+};
+
+/**
+ * Run the single-pass sweep for one line size of the spec, filling that
+ * line's slice of `out`. Distinct line indices touch disjoint slices,
+ * so concurrent calls on the same result are safe — the parallel sweep
+ * executor (sim/sweep.hh) relies on this.
+ */
+void sweepLineSize(const ResolvedTrace& trace, const SweepSpec& spec,
+                   std::size_t line_index, SweepResult& out);
+
+/**
+ * Run the sweep for every line size of the spec in ONE pass over the
+ * resolved trace. Equivalent to calling sweepLineSize for each line
+ * index, but the per-reference loop overhead (which dominates for short
+ * basic blocks) is paid once instead of once per line size. This is the
+ * serial fast path; the parallel executor uses sweepLineSize so line
+ * sizes can run on different threads.
+ */
+void sweepAllLines(const ResolvedTrace& trace, const SweepSpec& spec,
+                   SweepResult& out);
+
 /** App/kernel interference matrix (Figure 13). */
 struct InterferenceMatrix
 {
@@ -105,6 +215,24 @@ class Replayer
     /** Line-granular replay against per-CPU instruction caches. */
     ICacheReplayResult icache(const mem::CacheConfig& config,
                               StreamFilter filter) const;
+
+    /**
+     * Resolve the filtered trace through the layouts once: every block
+     * event becomes a flat (addr, bytes, cpu) record. Data events and
+     * zero-sized blocks are dropped.
+     */
+    ResolvedTrace resolve(StreamFilter filter) const;
+
+    /**
+     * Single-pass cache sweep: resolves the trace once and prices every
+     * configuration of the spec via per-set LRU stack distances
+     * (mem::LruStackSim). Miss counts are bit-identical to running
+     * icache() once per configuration, at a fraction of the cost; only
+     * the owner/interference attribution is unavailable (use the
+     * per-config path for Figure 13 style studies).
+     */
+    SweepResult icacheSweep(const SweepSpec& spec,
+                            StreamFilter filter) const;
 
     /** Word-granular instrumented replay (histograms merged over
      *  CPUs). */

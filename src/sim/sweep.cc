@@ -1,0 +1,58 @@
+#include "sim/sweep.hh"
+
+#include "support/panic.hh"
+
+namespace spikesim::sim {
+
+std::vector<SweepResult>
+runSweepJobs(const trace::TraceBuffer& trace,
+             const std::vector<SweepJob>& jobs,
+             support::ThreadPool* pool)
+{
+    std::vector<SweepResult> results;
+    results.reserve(jobs.size());
+    for (const SweepJob& job : jobs) {
+        SPIKESIM_ASSERT(job.app_layout != nullptr,
+                        "sweep job needs an application layout");
+        std::string err = job.spec.check();
+        SPIKESIM_ASSERT(err.empty(),
+                        "bad sweep spec (" << job.label << "): " << err);
+        results.emplace_back(job.spec);
+    }
+
+    if (pool == nullptr) {
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            Replayer rep(trace, *jobs[j].app_layout,
+                         jobs[j].kernel_layout);
+            ResolvedTrace resolved = rep.resolve(jobs[j].filter);
+            sweepAllLines(resolved, jobs[j].spec, results[j]);
+        }
+        return results;
+    }
+
+    // Phase 1: resolve each job's trace through its layouts.
+    std::vector<ResolvedTrace> resolved(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        pool->submit([&trace, &jobs, &resolved, j] {
+            Replayer rep(trace, *jobs[j].app_layout,
+                         jobs[j].kernel_layout);
+            resolved[j] = rep.resolve(jobs[j].filter);
+        });
+    }
+    pool->wait();
+
+    // Phase 2: every (job, line size) pair is an independent task
+    // writing a disjoint slice of its job's result.
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        for (std::size_t li = 0; li < jobs[j].spec.line_bytes.size();
+             ++li) {
+            pool->submit([&jobs, &resolved, &results, j, li] {
+                sweepLineSize(resolved[j], jobs[j].spec, li, results[j]);
+            });
+        }
+    }
+    pool->wait();
+    return results;
+}
+
+} // namespace spikesim::sim

@@ -1,0 +1,49 @@
+#ifndef SPIKESIM_SIM_SWEEP_HH
+#define SPIKESIM_SIM_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/replay.hh"
+#include "support/threadpool.hh"
+
+/**
+ * @file
+ * Parallel sweep executor: runs many single-pass cache sweeps —
+ * independent (layout x stream-filter x line-size) jobs — concurrently
+ * over one shared read-only TraceBuffer. The trace is resolved once
+ * per job (the layouts differ), then every line size of every job
+ * becomes its own task; tasks write disjoint slices of their job's
+ * SweepResult, so no synchronization beyond the pool's barrier is
+ * needed.
+ */
+
+namespace spikesim::sim {
+
+/** One sweep to run: a layout pair, a stream filter, and a spec. */
+struct SweepJob
+{
+    /** Application layout; must outlive the executor call. */
+    const core::Layout* app_layout = nullptr;
+    /** Kernel layout; may be null when the filter never selects
+     *  kernel events. */
+    const core::Layout* kernel_layout = nullptr;
+    StreamFilter filter = StreamFilter::AppOnly;
+    SweepSpec spec;
+    /** Free-form tag for reporting (e.g. the layout combo name). */
+    std::string label;
+};
+
+/**
+ * Run every job's sweep over the trace. With a pool, resolution and
+ * per-line-size simulation tasks run on the workers; with `pool`
+ * null everything runs serially on the caller. Results are returned
+ * in job order and are identical either way.
+ */
+std::vector<SweepResult> runSweepJobs(const trace::TraceBuffer& trace,
+                                      const std::vector<SweepJob>& jobs,
+                                      support::ThreadPool* pool = nullptr);
+
+} // namespace spikesim::sim
+
+#endif // SPIKESIM_SIM_SWEEP_HH

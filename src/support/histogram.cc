@@ -102,6 +102,17 @@ Log2Histogram::fraction(std::size_t i) const
            static_cast<double>(total_samples_);
 }
 
+void
+Log2Histogram::merge(const Log2Histogram& other)
+{
+    SPIKESIM_ASSERT(counts_.size() == other.counts_.size(),
+                    "histogram bucket counts differ");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_samples_ += other.total_samples_;
+    sum_ += other.sum_;
+}
+
 double
 Log2Histogram::mean() const
 {

@@ -68,6 +68,9 @@ class Log2Histogram
     double fraction(std::size_t i) const;
     double mean() const;
 
+    /** Merge another histogram (must have the same bucket count). */
+    void merge(const Log2Histogram& other);
+
   private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_samples_;

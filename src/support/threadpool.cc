@@ -1,0 +1,77 @@
+#include "support/threadpool.hh"
+
+#include "support/panic.hh"
+
+namespace spikesim::support {
+
+int
+ThreadPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0)
+        num_threads = defaultThreads();
+    workers_.reserve(static_cast<std::size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    SPIKESIM_ASSERT(task != nullptr, "null task submitted to pool");
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        SPIKESIM_ASSERT(!stopping_, "submit after pool shutdown began");
+        queue_.push_back(std::move(task));
+        ++unfinished_;
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            task_ready_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (--unfinished_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+} // namespace spikesim::support

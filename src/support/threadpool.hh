@@ -1,0 +1,64 @@
+#ifndef SPIKESIM_SUPPORT_THREADPOOL_HH
+#define SPIKESIM_SUPPORT_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/**
+ * @file
+ * Fixed-size worker-thread pool for the parallel sweep executor. The
+ * replay workloads are embarrassingly parallel — independent
+ * (layout x filter x line-size) jobs over a shared read-only trace —
+ * so a plain task queue with a drain barrier is all the machinery
+ * needed. Tasks must not throw (simulation errors panic/abort).
+ */
+
+namespace spikesim::support {
+
+/** Fixed pool of worker threads consuming a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 picks the hardware
+     *        concurrency (at least 1).
+     */
+    explicit ThreadPool(int num_threads = 0);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished executing. */
+    void wait();
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static int defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable task_ready_;
+    std::condition_variable all_done_;
+    std::size_t unfinished_ = 0; ///< queued + currently running
+    bool stopping_ = false;
+};
+
+} // namespace spikesim::support
+
+#endif // SPIKESIM_SUPPORT_THREADPOOL_HH

@@ -6,6 +6,10 @@
 #include <vector>
 
 #include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/instrumented.hh"
+#include "mem/streambuf.hh"
+#include "mem/threec.hh"
 #include "support/rng.hh"
 
 namespace spikesim::mem {
@@ -155,6 +159,25 @@ TEST(Cache, FullyAssociativeNeverConflictMisses)
             c.access(i * 8192, Owner::App);
     EXPECT_EQ(c.misses(), 64u);
     EXPECT_EQ(c.hits(), 2u * 64u);
+}
+
+using CacheDeathTest = ::testing::Test;
+
+TEST(CacheDeathTest, SimulatorsRejectBadConfigsAtConstruction)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // Every simulator must validate its geometry up front instead of
+    // mis-indexing sets later.
+    CacheConfig bad_line{64 * 1024, 48, 1};
+    CacheConfig bad_mult{1000, 64, 1};
+    EXPECT_DEATH(SetAssocCache{bad_line}, "bad cache config");
+    EXPECT_DEATH(SetAssocCache{bad_mult}, "bad cache config");
+    EXPECT_DEATH(InstrumentedICache{bad_line}, "bad cache config");
+    EXPECT_DEATH(ClassifyingICache{bad_line}, "bad cache config");
+    EXPECT_DEATH(StreamBufferICache(bad_line, 4), "bad cache config");
+    HierarchyConfig h;
+    h.l2 = bad_mult;
+    EXPECT_DEATH(MemoryHierarchy{h}, "bad (L2|cache) config");
 }
 
 } // namespace

@@ -1,0 +1,96 @@
+/** @file Tests for the worker-thread pool behind the sweep executor. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/threadpool.hh"
+
+namespace spikesim::support {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsABarrier)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1);
+        });
+    pool.wait();
+    // Every task must have finished -- not merely been dequeued --
+    // before wait() returns.
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int wave = 0; wave < 5; ++wave) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(ran.load(), (wave + 1) * 20);
+    }
+}
+
+TEST(ThreadPool, WaitWithNothingQueuedReturns)
+{
+    ThreadPool pool(2);
+    pool.wait(); // must not deadlock
+    SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        // No wait(): the destructor must finish the queue first.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+    ThreadPool pool; // num_threads = 0 picks the default
+    EXPECT_EQ(pool.numThreads(), ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers)
+{
+    // Two tasks that rendezvous: each waits for the other's arrival, so
+    // the pair only completes if two workers run them in parallel.
+    ThreadPool pool(2);
+    std::atomic<int> arrived{0};
+    for (int i = 0; i < 2; ++i)
+        pool.submit([&arrived] {
+            arrived.fetch_add(1);
+            while (arrived.load() < 2)
+                std::this_thread::yield();
+        });
+    pool.wait();
+    EXPECT_EQ(arrived.load(), 2);
+}
+
+} // namespace
+} // namespace spikesim::support
