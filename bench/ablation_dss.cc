@@ -21,6 +21,7 @@ main(int argc, char** argv)
     // The shared OLTP workload also provides the profile used to
     // optimize the binary (as in production PGO: profile once).
     bench::Workload w = bench::runWorkload(argc, argv);
+    w.ensureDb(); // the DSS queries below scan the database
 
     std::uint64_t queries = w.trace_txns / 5 + 8;
     std::cerr << "[workload] tracing " << queries << " DSS queries...\n";

@@ -37,6 +37,7 @@ main(int argc, char** argv)
     bench::banner("Profile-quality ablation",
                   "layout gains vs profile fidelity (64KB/128B/4-way)");
     bench::Workload w = bench::runWorkload(argc, argv);
+    w.ensureDb(); // the tiny-profile rerun below executes transactions
 
     // Baseline (no optimization).
     std::uint64_t base_misses;

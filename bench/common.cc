@@ -1,37 +1,108 @@
 #include "bench/common.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <vector>
+
+#include "sim/corpus.hh"
+#include "support/panic.hh"
 
 namespace spikesim::bench {
+
+namespace {
+
+[[noreturn]] void
+usage(const char* argv0, const std::string& complaint)
+{
+    support::fatal(complaint + "\nusage: " + argv0 +
+                   " [--corpus DIR] [profile_txns] [trace_txns]");
+}
+
+/** Strict decimal parse; rejects sign, junk, and overflow. */
+std::uint64_t
+parseTxnCount(const char* argv0, const std::string& arg, const char* what)
+{
+    if (arg.empty())
+        usage(argv0, std::string(what) + " is empty");
+    if (arg[0] == '-' || arg[0] == '+')
+        usage(argv0, std::string(what) + " must be a non-negative "
+                                         "integer, got '" + arg + "'");
+    for (char c : arg)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            usage(argv0, std::string(what) + " is not a number: '" +
+                             arg + "'");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+    if (errno == ERANGE || end != arg.c_str() + arg.size())
+        usage(argv0, std::string(what) + " is out of range: '" + arg +
+                         "'");
+    return v;
+}
+
+bool
+envFlagSet(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+} // namespace
 
 Workload
 runWorkload(int argc, char** argv, std::uint64_t profile_txns,
             std::uint64_t trace_txns)
 {
+    std::string corpus_dir;
+    if (const char* env = std::getenv("SPIKESIM_CORPUS_DIR"))
+        corpus_dir = env;
+
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--corpus") {
+            if (i + 1 >= argc)
+                usage(argv[0], "--corpus needs a directory argument");
+            corpus_dir = argv[++i];
+        } else if (arg.rfind("--corpus=", 0) == 0) {
+            corpus_dir = arg.substr(9);
+        } else if (arg.size() > 1 && arg[0] == '-' &&
+                   !std::isdigit(static_cast<unsigned char>(arg[1]))) {
+            usage(argv[0], "unknown option '" + arg + "'");
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() > 2)
+        usage(argv[0], "too many arguments");
+    if (positional.size() > 0)
+        profile_txns =
+            parseTxnCount(argv[0], positional[0], "profile_txns");
+    if (positional.size() > 1)
+        trace_txns = parseTxnCount(argv[0], positional[1], "trace_txns");
+
+    sim::CorpusParams params;
+    params.profile_txns = profile_txns;
+    params.trace_txns = trace_txns;
+
+    sim::GeneratedWorkload g;
+    if (corpus_dir.empty()) {
+        g = sim::generateWorkload(params, &std::cerr);
+    } else {
+        g = sim::loadOrCapture(params, corpus_dir, &std::cerr);
+        if (envFlagSet("SPIKESIM_CORPUS_VERIFY"))
+            sim::verifyCorpusAgainstFresh(params, *g.profiles, g.buf,
+                                          &std::cerr);
+    }
+
     Workload w;
-    if (argc > 1)
-        profile_txns = static_cast<std::uint64_t>(std::atoll(argv[1]));
-    if (argc > 2)
-        trace_txns = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    w.system = std::move(g.system);
+    w.profiles = std::move(g.profiles);
+    w.buf = std::move(g.buf);
     w.profile_txns = profile_txns;
     w.trace_txns = trace_txns;
-
-    sim::SystemConfig config;
-    w.system = std::make_unique<sim::System>(config);
-    std::cerr << "[workload] loading database ("
-              << w.system->database().numAccounts() << " accounts)...\n";
-    w.system->setup();
-    std::cerr << "[workload] warmup + profiling " << profile_txns
-              << " transactions...\n";
-    w.system->warmup(50);
-    w.profiles = w.system->collectProfiles(profile_txns);
-    std::cerr << "[workload] tracing " << trace_txns
-              << " transactions...\n";
-    w.system->run(trace_txns, w.buf);
-    std::cerr << "[workload] trace: " << w.buf.size() << " events ("
-              << w.buf.imageEvents(trace::ImageId::Kernel)
-              << " kernel, " << w.buf.imageEvents(trace::ImageId::Data)
-              << " data)\n\n";
+    w.db_ready = g.db_ready;
     return w;
 }
 

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Microbenchmarks for the persistent trace/profile corpus (capture vs.
+ * load, encode/decode throughput).
+ *
+ * Before the google-benchmark suite runs, a headline comparison prices
+ * the full default bench workload (800 profile + 500 trace
+ * transactions) both ways: generate it from scratch the way a
+ * cache-missing bench would, then load the saved corpus the way every
+ * later bench of a sweep does. It verifies the loaded trace is
+ * bit-identical, reports the compression ratio and the load-vs-
+ * regeneration speedup (the acceptance bar is ≥10x), and writes the
+ * numbers to BENCH_trace_io.json alongside BENCH_cachesim.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "sim/corpus.hh"
+#include "support/rng.hh"
+#include "support/varint.hh"
+#include "trace/serialize.hh"
+
+using namespace spikesim;
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Bursty synthetic trace shaped like the real event stream. */
+trace::TraceBuffer
+syntheticTrace(std::size_t n)
+{
+    trace::TraceBuffer buf;
+    buf.reserve(n);
+    support::Pcg32 rng(41);
+    trace::TraceEvent e;
+    std::uint32_t walk[trace::kNumImages] = {500, 90000, 4000000};
+    std::size_t made = 0;
+    while (made < n) {
+        e.image = static_cast<trace::ImageId>(rng.nextBounded(3));
+        e.process = static_cast<std::uint16_t>(rng.nextBounded(32));
+        e.cpu = static_cast<std::uint8_t>(rng.nextBounded(4));
+        const std::size_t run =
+            std::min<std::size_t>(n - made, 1 + rng.nextBounded(50));
+        auto& pos = walk[static_cast<std::size_t>(e.image)];
+        for (std::size_t i = 0; i < run; ++i) {
+            pos += static_cast<std::uint32_t>(rng.nextBounded(17)) - 8;
+            e.block = pos;
+            buf.append(e);
+            ++made;
+        }
+    }
+    return buf;
+}
+
+/**
+ * Headline: regeneration vs. corpus load at the default bench
+ * transaction counts, with a bit-identity check. Writes
+ * BENCH_trace_io.json.
+ */
+void
+runCaptureVsLoad()
+{
+    using clock = std::chrono::steady_clock;
+    sim::CorpusParams params; // bench defaults: 800 profile, 500 trace
+
+    std::cout << "=== corpus capture vs load (default bench workload) "
+                 "===\n";
+    // Both sides of the comparison are measured three times and
+    // reported as medians; generation is deterministic, so repeating
+    // it prices the same work. One scheduling hiccup on this shared
+    // machine otherwise swings the ratio by over 10%.
+    double gen_samples[3];
+    sim::GeneratedWorkload gen;
+    for (double& sample : gen_samples) {
+        const auto t0 = clock::now();
+        gen = sim::generateWorkload(params, &std::cerr);
+        const auto t1 = clock::now();
+        sample = seconds(t0, t1);
+    }
+    std::sort(std::begin(gen_samples), std::end(gen_samples));
+
+    const std::string path = "corpus_trace_io_tmp.spkc";
+    const auto t1 = clock::now();
+    const sim::CorpusStats stats =
+        sim::saveCorpus(params, *gen.profiles, gen.buf, path);
+    const auto t2 = clock::now();
+
+    // The load path exactly as a cache-hitting bench pays it: build
+    // the system (images only — replay never touches the database, so
+    // loadOrCapture skips setup() on a hit), decode the corpus. Run it
+    // three times and report the median so one scheduling hiccup does
+    // not skew the headline number.
+    struct LoadSample
+    {
+        double build_s, decode_s, total_s;
+    };
+    LoadSample samples[3];
+    std::optional<sim::System::Profiles> profiles;
+    trace::TraceBuffer buf;
+    for (LoadSample& sample : samples) {
+        profiles.reset();
+        buf = trace::TraceBuffer(); // drop capacity: a fresh load
+        const auto t3 = clock::now();
+        sim::System system(params.config);
+        const auto t4 = clock::now();
+        if (!sim::loadCorpus(path, params, system, profiles, buf)) {
+            std::cerr << "FATAL: corpus load missed its own capture\n";
+            std::exit(1);
+        }
+        const auto t5 = clock::now();
+        sample = {seconds(t3, t4), seconds(t4, t5), seconds(t3, t5)};
+    }
+    std::sort(std::begin(samples), std::end(samples),
+              [](const LoadSample& a, const LoadSample& b) {
+                  return a.total_s < b.total_s;
+              });
+    const LoadSample& med = samples[1];
+
+    if (buf.size() != gen.buf.size() ||
+        !std::equal(buf.events().begin(), buf.events().end(),
+                    gen.buf.events().begin(),
+                    [](const trace::TraceEvent& a,
+                       const trace::TraceEvent& b) {
+                        return a.block == b.block &&
+                               a.process == b.process && a.cpu == b.cpu &&
+                               a.image == b.image;
+                    })) {
+        std::cerr << "FATAL: corpus-loaded trace differs from the "
+                     "generated trace\n";
+        std::exit(1);
+    }
+
+    const double generate_s = gen_samples[1];
+    const double save_s = seconds(t1, t2);
+    const double build_s = med.build_s;
+    const double decode_s = med.decode_s;
+    const double load_total_s = med.total_s;
+    const double speedup = generate_s / load_total_s;
+
+    std::cout << "trace events:        " << stats.events << "\n"
+              << "raw trace bytes:     " << stats.raw_bytes << "\n"
+              << "corpus file bytes:   " << stats.file_bytes << "\n"
+              << "trace compression:   " << stats.ratio << "x\n"
+              << "generate (capture):  " << generate_s
+              << " s (median of 3)\n"
+              << "corpus save:         " << save_s << " s\n"
+              << "corpus load:         " << load_total_s
+              << " s (median of 3; " << build_s << " s image build + "
+              << decode_s << " s decode)\n"
+              << "load speedup:        " << speedup
+              << "x vs regeneration (bar: >= 10x)\n"
+              << "differential check:  PASS (trace bit-identical)\n\n";
+
+    std::ofstream json("BENCH_trace_io.json");
+    json << "{\n"
+         << "  \"bench\": \"trace_io\",\n"
+         << "  \"profile_txns\": " << params.profile_txns << ",\n"
+         << "  \"trace_txns\": " << params.trace_txns << ",\n"
+         << "  \"trace_events\": " << stats.events << ",\n"
+         << "  \"raw_trace_bytes\": " << stats.raw_bytes << ",\n"
+         << "  \"corpus_file_bytes\": " << stats.file_bytes << ",\n"
+         << "  \"trace_compression_ratio\": " << stats.ratio << ",\n"
+         << "  \"generate_seconds\": " << generate_s << ",\n"
+         << "  \"save_seconds\": " << save_s << ",\n"
+         << "  \"load_image_build_seconds\": " << build_s << ",\n"
+         << "  \"load_decode_seconds\": " << decode_s << ",\n"
+         << "  \"load_total_seconds\": " << load_total_s << ",\n"
+         << "  \"load_speedup_vs_regeneration\": " << speedup << ",\n"
+         << "  \"speedup_bar_10x_met\": "
+         << (speedup >= 10.0 ? "true" : "false") << ",\n"
+         << "  \"differential_ok\": true\n"
+         << "}\n";
+    std::cout << "wrote BENCH_trace_io.json\n\n";
+
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+}
+
+void
+BM_TraceEncode(benchmark::State& state)
+{
+    static trace::TraceBuffer buf = syntheticTrace(1 << 20);
+    std::size_t encoded = 0;
+    for (auto _ : state) {
+        std::vector<std::uint8_t> bytes;
+        trace::TraceWriter w;
+        w.addAll(buf);
+        w.finish(bytes);
+        encoded = bytes.size();
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(buf.size() * sizeof(trace::TraceEvent)));
+    state.counters["encoded_bytes"] =
+        static_cast<double>(encoded);
+}
+BENCHMARK(BM_TraceEncode)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceDecode(benchmark::State& state)
+{
+    static trace::TraceBuffer buf = syntheticTrace(1 << 20);
+    static std::vector<std::uint8_t> bytes = [] {
+        std::vector<std::uint8_t> out;
+        trace::TraceWriter w;
+        w.addAll(buf);
+        w.finish(out);
+        return out;
+    }();
+    for (auto _ : state) {
+        trace::TraceBuffer out;
+        support::ByteReader r(bytes.data(), bytes.size());
+        trace::TraceReader reader(r);
+        reader.readAll(out);
+        benchmark::DoNotOptimize(out.events().data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(buf.size() * sizeof(trace::TraceEvent)));
+}
+BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond);
+
+void
+BM_VarintEncode(benchmark::State& state)
+{
+    support::Pcg32 rng(3);
+    std::vector<std::uint64_t> values(1 << 16);
+    for (auto& v : values)
+        v = rng.next() >> rng.nextBounded(28);
+    for (auto _ : state) {
+        std::vector<std::uint8_t> out;
+        out.reserve(values.size() * 5);
+        for (std::uint64_t v : values)
+            support::putVarint(out, v);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintEncode);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    runCaptureVsLoad();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,102 @@
+#include "profile/serialize.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace spikesim::profile {
+
+using support::ByteReader;
+using support::putVarint;
+
+namespace {
+
+/** Append a key-sorted (key, count) map section with delta-coded keys. */
+void
+appendSortedPairs(std::vector<std::pair<std::uint64_t, std::uint64_t>> kv,
+                  std::vector<std::uint8_t>& out)
+{
+    std::sort(kv.begin(), kv.end());
+    putVarint(out, kv.size());
+    std::uint64_t prev = 0;
+    for (const auto& [key, count] : kv) {
+        putVarint(out, key - prev);
+        putVarint(out, count);
+        prev = key;
+    }
+}
+
+} // namespace
+
+void
+appendProfile(const Profile& p, std::vector<std::uint8_t>& out)
+{
+    const std::uint32_t num_blocks = p.prog().numBlocks();
+    putVarint(out, num_blocks);
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> nonzero;
+    for (std::uint32_t g = 0; g < num_blocks; ++g)
+        if (std::uint64_t n = p.blockCount(g))
+            nonzero.emplace_back(g, n);
+    putVarint(out, nonzero.size());
+    std::uint64_t prev = 0;
+    for (const auto& [g, n] : nonzero) {
+        putVarint(out, g - prev);
+        putVarint(out, n);
+        prev = g;
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> kv;
+    for (const auto& [from, to, n] : p.edges())
+        kv.emplace_back(pairKey(from, to), n);
+    appendSortedPairs(std::move(kv), out);
+
+    kv.clear();
+    for (const auto& [caller, callee, n] : p.calls())
+        kv.emplace_back(pairKey(caller, callee), n);
+    appendSortedPairs(std::move(kv), out);
+}
+
+Profile
+readProfile(const program::Program& prog, ByteReader& r)
+{
+    const std::uint64_t num_blocks = r.varint();
+    if (num_blocks != prog.numBlocks())
+        support::fatal("profile section does not match program: " +
+                       std::to_string(num_blocks) + " blocks vs " +
+                       std::to_string(prog.numBlocks()));
+    Profile p(prog);
+
+    const std::uint64_t nonzero = r.varint();
+    std::uint64_t g = 0;
+    for (std::uint64_t i = 0; i < nonzero; ++i) {
+        g += r.varint();
+        if (g >= num_blocks)
+            support::fatal("profile section corrupt: block id out of "
+                           "range");
+        const std::uint64_t n = r.varint();
+        if (n == 0)
+            support::fatal("profile section corrupt: zero block count "
+                           "stored");
+        p.addBlock(static_cast<program::GlobalBlockId>(g), n);
+    }
+
+    const std::uint64_t num_edges = r.varint();
+    std::uint64_t key = 0;
+    for (std::uint64_t i = 0; i < num_edges; ++i) {
+        key += r.varint();
+        p.addEdge(static_cast<program::GlobalBlockId>(key >> 32),
+                  static_cast<program::GlobalBlockId>(key), r.varint());
+    }
+
+    const std::uint64_t num_calls = r.varint();
+    key = 0;
+    for (std::uint64_t i = 0; i < num_calls; ++i) {
+        key += r.varint();
+        p.addCall(static_cast<program::GlobalBlockId>(key >> 32),
+                  static_cast<program::ProcId>(key), r.varint());
+    }
+    return p;
+}
+
+} // namespace spikesim::profile

@@ -1,0 +1,40 @@
+#ifndef SPIKESIM_PROFILE_SERIALIZE_HH
+#define SPIKESIM_PROFILE_SERIALIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/profile.hh"
+#include "support/varint.hh"
+
+/**
+ * @file
+ * Compact binary (de)serialization of Profile — the corpus counterpart
+ * of the line-oriented Profile::save()/load() text format. Block counts
+ * are stored as (index-delta, count) pairs over the non-zero entries;
+ * edge and call maps are key-sorted and delta-encoded, which makes the
+ * output deterministic for a given profile (hash-map iteration order
+ * never leaks into the file).
+ *
+ * Section layout (all varints):
+ *
+ *   varint num_blocks              (must match the program on read)
+ *   varint num_nonzero_blocks, pairs: (index_delta, count)
+ *   varint num_edges,  pairs sorted by key: (key_delta, count)
+ *   varint num_calls,  pairs sorted by key: (key_delta, count)
+ */
+
+namespace spikesim::profile {
+
+/** Append the profile's binary section to `out`. */
+void appendProfile(const Profile& p, std::vector<std::uint8_t>& out);
+
+/**
+ * Read a profile section written by appendProfile(). fatal()s if the
+ * section is corrupt or does not match `prog`'s block count.
+ */
+Profile readProfile(const program::Program& prog, support::ByteReader& r);
+
+} // namespace spikesim::profile
+
+#endif // SPIKESIM_PROFILE_SERIALIZE_HH

@@ -1,0 +1,415 @@
+#include "sim/corpus.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "profile/serialize.hh"
+#include "sim/replay.hh"
+#include "support/checksum.hh"
+#include "support/panic.hh"
+#include "support/varint.hh"
+#include "trace/serialize.hh"
+
+namespace spikesim::sim {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'K', 'C', 'O', 'R', 'P', '1'};
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Read-only mmap of a whole file, with a buffered-read fallback when
+ * mmap is unavailable (e.g. an exotic filesystem). data() stays valid
+ * for the object's lifetime.
+ */
+class MappedFile
+{
+  public:
+    explicit MappedFile(const std::string& path)
+    {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            return;
+        struct stat st = {};
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            return;
+        }
+        size_ = static_cast<std::size_t>(st.st_size);
+        opened_ = true;
+        if (size_ == 0) {
+            ::close(fd);
+            return;
+        }
+        int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+        flags |= MAP_POPULATE; // pre-fault: the whole file is read once
+#endif
+        void* p = ::mmap(nullptr, size_, PROT_READ, flags, fd, 0);
+        if (p != MAP_FAILED) {
+            map_ = p;
+            data_ = static_cast<const std::uint8_t*>(p);
+        } else {
+            fallback_.resize(size_);
+            std::size_t off = 0;
+            while (off < size_) {
+                ssize_t n = ::read(fd, fallback_.data() + off,
+                                   size_ - off);
+                if (n <= 0) {
+                    opened_ = false;
+                    break;
+                }
+                off += static_cast<std::size_t>(n);
+            }
+            data_ = fallback_.data();
+        }
+        ::close(fd);
+    }
+
+    ~MappedFile()
+    {
+        if (map_ != nullptr)
+            ::munmap(map_, size_);
+    }
+
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+
+    bool opened() const { return opened_; }
+    const std::uint8_t* data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    bool opened_ = false;
+    const std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+    void* map_ = nullptr;
+    std::vector<std::uint8_t> fallback_;
+};
+
+} // namespace
+
+std::uint64_t
+corpusFingerprint(const CorpusParams& params)
+{
+    const SystemConfig& c = params.config;
+    std::vector<std::uint8_t> bytes;
+    auto u = [&bytes](std::uint64_t v) { support::putVarint(bytes, v); };
+    auto d = [&u](double v) { u(std::bit_cast<std::uint64_t>(v)); };
+
+    u(kCorpusVersion);
+    u(1); // workload kind: the standard TPC-B OLTP sequence
+    u(static_cast<std::uint64_t>(c.num_cpus));
+    u(static_cast<std::uint64_t>(c.processes_per_cpu));
+    u(c.quantum_instrs);
+    u(c.app_seed);
+    u(c.kernel_seed);
+    u(c.workload_seed);
+    u(c.app_text_base);
+    u(c.kernel_text_base);
+    d(c.app_image_scale);
+    u(static_cast<std::uint64_t>(c.tpcb.branches));
+    u(static_cast<std::uint64_t>(c.tpcb.tellers_per_branch));
+    u(static_cast<std::uint64_t>(c.tpcb.accounts_per_branch));
+    u(c.tpcb.buffer_frames);
+    d(c.tpcb.remote_account_prob);
+    u(c.tpcb.contention_window);
+    u(c.tpcb.wal.group_commit_batch);
+    u(c.tpcb.wal.flush_threshold_bytes);
+    u(params.warmup_txns);
+    u(params.profile_txns);
+    u(params.trace_txns);
+    return support::fnv1a64(bytes.data(), bytes.size());
+}
+
+std::string
+corpusFileName(const CorpusParams& params)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      corpusFingerprint(params)));
+    return std::string("corpus-") + hex + ".spkc";
+}
+
+GeneratedWorkload
+generateWorkload(const CorpusParams& params, std::ostream* log)
+{
+    GeneratedWorkload g;
+    g.system = std::make_unique<System>(params.config);
+    if (log)
+        *log << "[workload] loading database ("
+             << g.system->database().numAccounts() << " accounts)...\n";
+    g.system->setup();
+    if (log)
+        *log << "[workload] warmup + profiling " << params.profile_txns
+             << " transactions...\n";
+    g.system->warmup(params.warmup_txns);
+    g.profiles = g.system->collectProfiles(params.profile_txns);
+    if (log)
+        *log << "[workload] tracing " << params.trace_txns
+             << " transactions...\n";
+    g.system->run(params.trace_txns, g.buf);
+    if (log)
+        *log << "[workload] trace: " << g.buf.size() << " events ("
+             << g.buf.imageEvents(trace::ImageId::Kernel) << " kernel, "
+             << g.buf.imageEvents(trace::ImageId::Data) << " data)\n\n";
+    g.db_ready = true;
+    return g;
+}
+
+CorpusStats
+saveCorpus(const CorpusParams& params, const System::Profiles& profiles,
+           const trace::TraceBuffer& buf, const std::string& path)
+{
+    std::vector<std::uint8_t> payload;
+    support::putVarint(payload, params.warmup_txns);
+    support::putVarint(payload, params.profile_txns);
+    support::putVarint(payload, params.trace_txns);
+
+    const std::size_t trace_start = payload.size();
+    trace::TraceWriter writer;
+    writer.addAll(buf);
+    writer.finish(payload);
+    const std::size_t trace_bytes = payload.size() - trace_start;
+
+    profile::appendProfile(profiles.app, payload);
+    profile::appendProfile(profiles.kernel, payload);
+
+    std::vector<std::uint8_t> header;
+    header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+    support::putFixed32(header, kCorpusVersion);
+    support::putFixed32(header, 0); // reserved
+    support::putFixed64(header, corpusFingerprint(params));
+    support::putFixed64(header, payload.size());
+    support::putFixed64(
+        header, support::fnv1a64Words(payload.data(), payload.size()));
+    SPIKESIM_ASSERT(header.size() == kCorpusHeaderBytes,
+                    "corpus header layout drifted");
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            support::fatal("cannot write corpus file " + tmp);
+        os.write(reinterpret_cast<const char*>(header.data()),
+                 static_cast<std::streamsize>(header.size()));
+        os.write(reinterpret_cast<const char*>(payload.data()),
+                 static_cast<std::streamsize>(payload.size()));
+        if (!os)
+            support::fatal("short write to corpus file " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        support::fatal("cannot rename corpus file into place: " +
+                       ec.message());
+
+    CorpusStats stats;
+    stats.events = buf.size();
+    stats.raw_bytes = buf.size() * sizeof(trace::TraceEvent);
+    stats.file_bytes = header.size() + payload.size();
+    stats.ratio = trace_bytes == 0
+                      ? 0.0
+                      : static_cast<double>(stats.raw_bytes) /
+                            static_cast<double>(trace_bytes);
+    return stats;
+}
+
+bool
+loadCorpus(const std::string& path, const CorpusParams& params,
+           System& system, std::optional<System::Profiles>& profiles,
+           trace::TraceBuffer& buf)
+{
+    MappedFile file(path);
+    if (!file.opened())
+        return false;
+    if (file.size() < kCorpusHeaderBytes)
+        support::fatal("corpus file truncated: " + path + " is " +
+                       std::to_string(file.size()) +
+                       " bytes, smaller than the header");
+
+    support::ByteReader header(file.data(), kCorpusHeaderBytes);
+    const std::uint8_t* magic = header.raw(sizeof(kMagic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        support::fatal("not a spikesim corpus file: " + path);
+    const std::uint32_t version = header.fixed32();
+    if (version != kCorpusVersion)
+        support::fatal("unsupported corpus version " +
+                       std::to_string(version) + " in " + path +
+                       " (this build reads version " +
+                       std::to_string(kCorpusVersion) + ")");
+    header.fixed32(); // reserved
+    const std::uint64_t fingerprint = header.fixed64();
+    const std::uint64_t payload_len = header.fixed64();
+    const std::uint64_t checksum = header.fixed64();
+
+    if (payload_len != file.size() - kCorpusHeaderBytes)
+        support::fatal("corpus file truncated: payload of " + path +
+                       " is " +
+                       std::to_string(file.size() - kCorpusHeaderBytes) +
+                       " bytes, header promises " +
+                       std::to_string(payload_len));
+    const std::uint8_t* payload = file.data() + kCorpusHeaderBytes;
+    if (support::fnv1a64Words(payload, payload_len) != checksum)
+        support::fatal("corpus checksum mismatch in " + path +
+                       " (file is corrupt)");
+    if (fingerprint != corpusFingerprint(params))
+        return false; // a different workload's corpus
+
+    support::ByteReader r(payload, payload_len);
+    if (r.varint() != params.warmup_txns ||
+        r.varint() != params.profile_txns ||
+        r.varint() != params.trace_txns)
+        support::fatal("corpus parameter echo disagrees with its "
+                       "fingerprint in " + path);
+
+    buf.clear();
+    trace::TraceReader trace_reader(r);
+    trace_reader.readAll(buf);
+
+    profiles.emplace(System::Profiles{
+        profile::readProfile(system.appProg(), r),
+        profile::readProfile(system.kernelProg(), r)});
+    if (!r.done())
+        support::fatal("corpus file corrupt: " +
+                       std::to_string(r.remaining()) +
+                       " trailing bytes after the profile sections");
+    return true;
+}
+
+GeneratedWorkload
+loadOrCapture(const CorpusParams& params, const std::string& dir,
+              std::ostream* log)
+{
+    using clock = std::chrono::steady_clock;
+    const std::string path =
+        (std::filesystem::path(dir) / corpusFileName(params)).string();
+
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+        GeneratedWorkload g;
+        g.system = std::make_unique<System>(params.config);
+        // No setup(): replay only needs the images; consumers that run
+        // extra transactions load the database lazily (db_ready).
+        const auto t0 = clock::now();
+        if (loadCorpus(path, params, *g.system, g.profiles, g.buf)) {
+            if (log)
+                *log << "[corpus] hit: " << g.buf.size()
+                     << " events + profiles from " << path << " in "
+                     << seconds(t0, clock::now()) * 1e3 << " ms\n\n";
+            return g;
+        }
+        if (log)
+            *log << "[corpus] " << path
+                 << " is for a different workload; regenerating\n";
+    }
+
+    if (log)
+        *log << "[corpus] miss: generating workload for "
+             << corpusFileName(params) << "\n";
+    GeneratedWorkload g = generateWorkload(params, log);
+    std::filesystem::create_directories(dir, ec);
+    const CorpusStats stats = saveCorpus(params, *g.profiles, g.buf, path);
+    if (log)
+        *log << "[corpus] saved " << stats.events << " events + profiles"
+             << " to " << path << " (" << stats.file_bytes << " bytes, "
+             << stats.ratio << "x trace compression)\n\n";
+    return g;
+}
+
+void
+verifyCorpusAgainstFresh(const CorpusParams& params,
+                         const System::Profiles& profiles,
+                         const trace::TraceBuffer& buf, std::ostream* log)
+{
+    if (log)
+        *log << "[corpus] verify: regenerating workload from scratch "
+                "for the differential check...\n";
+    GeneratedWorkload fresh = generateWorkload(params, nullptr);
+
+    if (buf.size() != fresh.buf.size())
+        support::fatal("corpus verify failed: " +
+                       std::to_string(buf.size()) +
+                       " loaded events vs " +
+                       std::to_string(fresh.buf.size()) + " regenerated");
+    const auto& a = buf.events();
+    const auto& b = fresh.buf.events();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].block != b[i].block || a[i].process != b[i].process ||
+            a[i].cpu != b[i].cpu || a[i].image != b[i].image)
+            support::fatal("corpus verify failed: event " +
+                           std::to_string(i) +
+                           " differs from the regenerated trace");
+    for (std::size_t img = 0; img < trace::kNumImages; ++img) {
+        const auto id = static_cast<trace::ImageId>(img);
+        if (buf.imageEvents(id) != fresh.buf.imageEvents(id))
+            support::fatal("corpus verify failed: per-image event "
+                           "counts differ");
+    }
+
+    std::vector<std::uint8_t> loaded_bytes, fresh_bytes;
+    profile::appendProfile(profiles.app, loaded_bytes);
+    profile::appendProfile(profiles.kernel, loaded_bytes);
+    profile::appendProfile(fresh.profiles->app, fresh_bytes);
+    profile::appendProfile(fresh.profiles->kernel, fresh_bytes);
+    if (loaded_bytes != fresh_bytes)
+        support::fatal("corpus verify failed: profiles differ from the "
+                       "regenerated run");
+
+    // Profile-driven layouts: optimize the app image from each profile
+    // and demand identical block placement.
+    core::PipelineOptions opts;
+    opts.combo = core::OptCombo::All;
+    opts.text_base = params.config.app_text_base;
+    const program::Program& app_prog = fresh.system->appProg();
+    core::Layout loaded_layout =
+        core::buildLayout(app_prog, profiles.app, opts);
+    core::Layout fresh_layout =
+        core::buildLayout(app_prog, fresh.profiles->app, opts);
+    for (std::uint32_t g = 0; g < app_prog.numBlocks(); ++g)
+        if (loaded_layout.blockAddr(g) != fresh_layout.blockAddr(g))
+            support::fatal("corpus verify failed: profile-driven layout "
+                           "places block " + std::to_string(g) +
+                           " differently");
+
+    // Replay both traces through their layouts: miss counts must match.
+    core::Layout kernel_layout = core::baselineLayout(
+        fresh.system->kernelProg(), params.config.kernel_text_base);
+    Replayer loaded_rep(buf, loaded_layout, &kernel_layout);
+    Replayer fresh_rep(fresh.buf, fresh_layout, &kernel_layout);
+    const mem::CacheConfig cache{64 * 1024, 128, 1};
+    const auto loaded_r = loaded_rep.icache(cache, StreamFilter::Combined);
+    const auto fresh_r = fresh_rep.icache(cache, StreamFilter::Combined);
+    if (loaded_r.misses != fresh_r.misses ||
+        loaded_r.accesses != fresh_r.accesses)
+        support::fatal("corpus verify failed: icache replay differs (" +
+                       std::to_string(loaded_r.misses) + " vs " +
+                       std::to_string(fresh_r.misses) + " misses)");
+
+    if (log)
+        *log << "[corpus] verify OK: trace bit-identical, profiles "
+                "byte-identical, layouts identical, replay misses "
+                "identical (" << loaded_r.misses << " misses on "
+             << loaded_r.accesses << " accesses)\n\n";
+}
+
+} // namespace spikesim::sim

@@ -1,0 +1,146 @@
+#ifndef SPIKESIM_SIM_CORPUS_HH
+#define SPIKESIM_SIM_CORPUS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/system.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Persistent trace/profile corpus: the paper's "record the instruction
+ * trace once, replay it many times" methodology made to hold *across*
+ * processes, the way BOLT and Propeller treat profiles as reusable
+ * on-disk artifacts. A corpus file bundles the measured TraceBuffer and
+ * the app+kernel profiles for one exact workload parameterization,
+ * identified by a fingerprint over every parameter that influences the
+ * generated event stream. Benches consult a cache directory
+ * (SPIKESIM_CORPUS_DIR or --corpus): on a fingerprint hit the
+ * multi-minute generation phase collapses to a millisecond-scale
+ * mmap + decode; on a miss they generate, save, and every later bench
+ * of the sweep hits.
+ *
+ * File layout (little-endian; see DESIGN.md §10):
+ *
+ *   0   8B  magic "SPKCORP1"
+ *   8   4B  format version (1)
+ *   12  4B  reserved (0)
+ *   16  8B  workload fingerprint
+ *   24  8B  payload length in bytes
+ *   32  8B  payload checksum (4-lane word-wise FNV-1a 64, fnv1a64Words)
+ *   40      payload: params echo, trace section (trace/serialize),
+ *           app profile, kernel profile (profile/serialize)
+ */
+
+namespace spikesim::sim {
+
+inline constexpr std::uint32_t kCorpusVersion = 1;
+inline constexpr std::size_t kCorpusHeaderBytes = 40;
+
+/** Everything that determines the generated workload bit-for-bit. */
+struct CorpusParams
+{
+    SystemConfig config;
+    std::uint64_t warmup_txns = 50;
+    std::uint64_t profile_txns = 800;
+    std::uint64_t trace_txns = 500;
+};
+
+/**
+ * Fingerprint over every CorpusParams field (machine shape, seeds,
+ * TPC-B scale, WAL tuning, transaction counts). Two parameterizations
+ * that could produce different event streams get different
+ * fingerprints.
+ */
+std::uint64_t corpusFingerprint(const CorpusParams& params);
+
+/** Cache file name for the given parameters: corpus-<hex>.spkc. */
+std::string corpusFileName(const CorpusParams& params);
+
+/** Size accounting returned by saveCorpus(). */
+struct CorpusStats
+{
+    std::uint64_t events = 0;
+    std::uint64_t raw_bytes = 0;  ///< events * sizeof(TraceEvent)
+    std::uint64_t file_bytes = 0; ///< encoded file size incl. header
+    double ratio = 0;             ///< raw_bytes / trace-section bytes
+};
+
+/** A workload either generated from scratch or loaded from a corpus. */
+struct GeneratedWorkload
+{
+    std::unique_ptr<System> system;
+    std::optional<System::Profiles> profiles;
+    trace::TraceBuffer buf;
+    /**
+     * Whether system->setup() has run. Generation always loads the
+     * database; a corpus hit skips it — replay-only consumers never
+     * touch the database, and the skip is most of the hit-path
+     * latency. Callers that run extra transactions must call
+     * system->setup() first when this is false.
+     */
+    bool db_ready = false;
+};
+
+/**
+ * Run the standard generation sequence from scratch: build the system,
+ * load the database, warm up, profile, trace. This is the single
+ * definition of the sequence — benches and the capture tool both use
+ * it, so a captured corpus is bit-identical to what a bench would have
+ * generated inline. Progress lines go to `log` when non-null.
+ */
+GeneratedWorkload generateWorkload(const CorpusParams& params,
+                                   std::ostream* log);
+
+/** Serialize and atomically write a corpus file (tmp file + rename). */
+CorpusStats saveCorpus(const CorpusParams& params,
+                       const System::Profiles& profiles,
+                       const trace::TraceBuffer& buf,
+                       const std::string& path);
+
+/**
+ * Load a corpus into `profiles`/`buf`, resolving profile block ids
+ * against `system`'s programs (the system must be built with the same
+ * config; its database state is untouched). Returns false when the
+ * file does not exist or records a different fingerprint; fatal()s on
+ * any corruption (truncation, checksum, version) — never garbage.
+ * The read path mmaps the file when possible.
+ */
+bool loadCorpus(const std::string& path, const CorpusParams& params,
+                System& system,
+                std::optional<System::Profiles>& profiles,
+                trace::TraceBuffer& buf);
+
+/**
+ * The cache: look up `dir`/corpusFileName(params); load on hit,
+ * generate + save on miss. On a hit the database is NOT loaded
+ * (db_ready is false): replaying the trace needs only the images and
+ * profiles. Benches that run extra transactions afterwards must set up
+ * the database first (bench::Workload::ensureDb does this lazily; a
+ * post-hit database starts fresh rather than post-trace — see
+ * EXPERIMENTS.md).
+ */
+GeneratedWorkload loadOrCapture(const CorpusParams& params,
+                                const std::string& dir,
+                                std::ostream* log);
+
+/**
+ * Differential check (SPIKESIM_CORPUS_VERIFY): regenerate the workload
+ * from scratch and fatal() unless the corpus-loaded trace is
+ * bit-identical, the profiles serialize to identical bytes, the
+ * profile-driven optimized layouts place every block at the same
+ * address, and an instruction-cache replay of both traces produces
+ * identical miss counts.
+ */
+void verifyCorpusAgainstFresh(const CorpusParams& params,
+                              const System::Profiles& profiles,
+                              const trace::TraceBuffer& buf,
+                              std::ostream* log);
+
+} // namespace spikesim::sim
+
+#endif // SPIKESIM_SIM_CORPUS_HH

@@ -47,6 +47,7 @@ void
 System::run(std::uint64_t txns, trace::TraceSink& sink)
 {
     SPIKESIM_ASSERT(db_ != nullptr, "system not set up");
+    reserveForRun(txns, sink);
     sink_ = &sink;
     const int procs =
         config_.num_cpus * config_.processes_per_cpu;
@@ -59,6 +60,28 @@ System::run(std::uint64_t txns, trace::TraceSink& sink)
         db_->runTransaction(process);
     }
     sink_ = nullptr;
+    txns_hooked_ += txns;
+}
+
+std::uint64_t
+System::estimatedEventsPerTxn() const
+{
+    return txns_hooked_ == 0 ? 0 : events_emitted_ / txns_hooked_;
+}
+
+void
+System::reserveForRun(std::uint64_t txns, trace::TraceSink& sink)
+{
+    auto* buf = dynamic_cast<trace::TraceBuffer*>(&sink);
+    if (buf == nullptr)
+        return;
+    const std::uint64_t per_txn = estimatedEventsPerTxn();
+    if (per_txn == 0)
+        return;
+    // Headroom of one transaction plus 1/16 absorbs rate drift between
+    // the profiling estimate and the measured run.
+    const std::uint64_t estimate = txns * per_txn;
+    buf->reserve(buf->size() + estimate + estimate / 16 + per_txn);
 }
 
 void
@@ -88,6 +111,7 @@ System::runDss(std::uint64_t queries, trace::TraceSink& sink)
             dss_->rangeQuery(process);
     }
     sink_ = nullptr;
+    txns_hooked_ += queries;
 }
 
 void
@@ -105,6 +129,7 @@ System::runCustom(std::uint64_t requests, trace::TraceSink& sink,
         request_fn(process);
     }
     sink_ = nullptr;
+    txns_hooked_ += requests;
 }
 
 System::Profiles
@@ -127,6 +152,7 @@ System::onOp(const char* entry, std::span<const int> hints)
     synth::WalkStats stats =
         app_walker_->run(app_image_.entry(entry), ctx_, *sink_, hints);
     app_instrs_ += stats.instrs;
+    events_emitted_ += stats.blocks;
     instrs_since_switch_ += stats.instrs;
     maybePreempt();
 }
@@ -136,6 +162,7 @@ System::onData(std::uint64_t addr)
 {
     if (sink_ == nullptr)
         return;
+    ++events_emitted_;
     sink_->onData(ctx_, addr);
 }
 
@@ -147,6 +174,7 @@ System::onSyscall(const char* entry, std::span<const int> hints)
     bool nested = in_kernel_;
     in_kernel_ = true;
     synth::WalkStats stats = kernel_.enter(entry, ctx_, *sink_, hints);
+    events_emitted_ += stats.blocks;
     instrs_since_switch_ += stats.instrs;
     in_kernel_ = nested;
     if (!nested)
@@ -160,8 +188,8 @@ System::maybePreempt()
         return;
     instrs_since_switch_ = 0;
     in_kernel_ = true;
-    kernel_.timerInterrupt(ctx_, *sink_);
-    kernel_.contextSwitch(ctx_, *sink_);
+    events_emitted_ += kernel_.timerInterrupt(ctx_, *sink_).blocks;
+    events_emitted_ += kernel_.contextSwitch(ctx_, *sink_).blocks;
     in_kernel_ = false;
 }
 

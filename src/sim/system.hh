@@ -103,6 +103,15 @@ class System : public db::EngineHooks
     std::uint64_t appInstrs() const { return app_instrs_; }
     std::uint64_t kernelInstrs() const { return kernel_.totalInstrs(); }
 
+    /**
+     * Mean trace events (blocks + data refs) emitted per transaction,
+     * measured over every hooked run so far (warmup and profiling runs
+     * included); 0 until at least one transaction has run. run() uses
+     * it to pre-reserve TraceBuffer sinks so the multi-million-event
+     * measured trace never reallocates mid-recording.
+     */
+    std::uint64_t estimatedEventsPerTxn() const;
+
     // EngineHooks interface (called by the database engine).
     void onOp(const char* entry, std::span<const int> hints) override;
     void onData(std::uint64_t addr) override;
@@ -110,6 +119,7 @@ class System : public db::EngineHooks
 
   private:
     void maybePreempt();
+    void reserveForRun(std::uint64_t txns, trace::TraceSink& sink);
 
     SystemConfig config_;
     synth::SyntheticProgram app_image_;
@@ -122,6 +132,8 @@ class System : public db::EngineHooks
     trace::NullSink null_sink_;
     trace::ExecContext ctx_;
     std::uint64_t app_instrs_ = 0;
+    std::uint64_t events_emitted_ = 0; ///< block + data events, all runs
+    std::uint64_t txns_hooked_ = 0;    ///< txns run with hooks live
     std::uint64_t instrs_since_switch_ = 0;
     bool in_kernel_ = false; ///< guards quantum-preemption recursion
     std::uint64_t txns_issued_ = 0;

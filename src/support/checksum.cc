@@ -1,0 +1,74 @@
+#include "support/checksum.hh"
+
+#include <cstring>
+
+namespace spikesim::support {
+
+void
+Fnv1a64::update(const void* data, std::size_t n)
+{
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::uint64_t h = h_;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kPrime;
+    }
+    h_ = h;
+}
+
+void
+Fnv1a64::update64(std::uint64_t v)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    update(bytes, 8);
+}
+
+std::uint64_t
+fnv1a64(const void* data, std::size_t n)
+{
+    Fnv1a64 h;
+    h.update(data, n);
+    return h.digest();
+}
+
+std::uint64_t
+fnv1a64Words(const void* data, std::size_t n)
+{
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    // Four independent lanes: a single FNV chain is bound by multiply
+    // latency (~1.5GB/s); four chains keep the multiplier pipelined and
+    // run ~4x faster. Lane offsets are decorrelated so swapping words
+    // between lanes changes the digest.
+    std::uint64_t h[4];
+    for (std::uint64_t l = 0; l < 4; ++l)
+        h[l] = Fnv1a64::kOffsetBasis ^ (l * 0x9e3779b97f4a7c15ULL);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        for (std::size_t l = 0; l < 4; ++l) {
+            std::uint64_t w;
+            // little-endian hosts only (x86/arm)
+            std::memcpy(&w, p + i + 8 * l, 8);
+            h[l] = (h[l] ^ w) * Fnv1a64::kPrime;
+        }
+    }
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p + i, 8);
+        h[0] = (h[0] ^ w) * Fnv1a64::kPrime;
+    }
+    if (i < n) {
+        std::uint64_t w = 0;
+        std::memcpy(&w, p + i, n - i);
+        h[0] = (h[0] ^ w) * Fnv1a64::kPrime;
+    }
+    std::uint64_t hh = h[0];
+    for (std::size_t l = 1; l < 4; ++l)
+        hh = (hh ^ h[l]) * Fnv1a64::kPrime;
+    // Fold in the length so "abc" and "abc\0" cannot collide via the
+    // zero-padded tail.
+    return (hh ^ n) * Fnv1a64::kPrime;
+}
+
+} // namespace spikesim::support

@@ -1,0 +1,50 @@
+#ifndef SPIKESIM_SUPPORT_CHECKSUM_HH
+#define SPIKESIM_SUPPORT_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+/**
+ * @file
+ * FNV-1a 64-bit hashing: the corpus file checksum and the workload
+ * fingerprint both use it. Not cryptographic — it guards against
+ * truncation and bit rot, not adversaries.
+ */
+
+namespace spikesim::support {
+
+/** Streaming FNV-1a 64-bit hasher. */
+class Fnv1a64
+{
+  public:
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+    /** Mix n bytes into the hash. */
+    void update(const void* data, std::size_t n);
+
+    /** Mix one 64-bit value (as 8 little-endian bytes). */
+    void update64(std::uint64_t v);
+
+    std::uint64_t digest() const { return h_; }
+
+  private:
+    std::uint64_t h_ = kOffsetBasis;
+};
+
+/** One-shot FNV-1a 64 of a byte range. */
+std::uint64_t fnv1a64(const void* data, std::size_t n);
+
+/**
+ * FNV-1a 64 folding 8 little-endian bytes per step (the tail is
+ * zero-padded) across four interleaved lanes, so checksumming a
+ * multi-megabyte corpus payload pipelines the multiplies instead of
+ * serializing on their latency. NOT byte-compatible with fnv1a64();
+ * the corpus format uses this variant for the payload checksum. Any
+ * single-bit flip still changes the digest.
+ */
+std::uint64_t fnv1a64Words(const void* data, std::size_t n);
+
+} // namespace spikesim::support
+
+#endif // SPIKESIM_SUPPORT_CHECKSUM_HH

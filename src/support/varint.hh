@@ -1,0 +1,177 @@
+#ifndef SPIKESIM_SUPPORT_VARINT_HH
+#define SPIKESIM_SUPPORT_VARINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/panic.hh"
+
+/**
+ * @file
+ * LEB128 variable-length integers, zigzag signed mapping, and a
+ * bounds-checked byte-stream reader. These are the primitives of the
+ * corpus file format (trace/serialize, profile/serialize, sim/corpus):
+ * small values cost one byte, so delta-encoded block ids and
+ * run-length-encoded contexts compress the 8-byte TraceEvent stream by
+ * several times.
+ */
+
+namespace spikesim::support {
+
+/** Append v as an LEB128 varint (1..10 bytes). */
+inline void
+putVarint(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/** Map a signed value to an unsigned one with small |v| staying small. */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+inline std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Append a signed value as a zigzag varint. */
+inline void
+putSignedVarint(std::vector<std::uint8_t>& out, std::int64_t v)
+{
+    putVarint(out, zigzagEncode(v));
+}
+
+/** Append v as 4 little-endian bytes. */
+inline void
+putFixed32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/** Append v as 8 little-endian bytes. */
+inline void
+putFixed64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/**
+ * Sequential decoder over a byte span. Every read is bounds-checked and
+ * fatal()s on overrun ("truncated"), so corrupt or cut-short corpus
+ * files fail cleanly instead of replaying garbage.
+ */
+class ByteReader
+{
+  public:
+    ByteReader() = default;
+
+    ByteReader(const std::uint8_t* data, std::size_t size)
+        : p_(data), end_(data + size)
+    {
+    }
+
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end_ - p_);
+    }
+
+    bool done() const { return p_ == end_; }
+
+    /** Current read position (for sub-span extraction). */
+    const std::uint8_t* pos() const { return p_; }
+
+    std::uint64_t
+    varint()
+    {
+        // Fast path: one-byte values dominate delta-encoded streams.
+        if (p_ != end_ && *p_ < 0x80)
+            return *p_++;
+        return varintSlow();
+    }
+
+    std::int64_t svarint() { return zigzagDecode(varint()); }
+
+    std::uint32_t
+    fixed32()
+    {
+        const std::uint8_t* b = raw(4);
+        return static_cast<std::uint32_t>(b[0]) |
+               static_cast<std::uint32_t>(b[1]) << 8 |
+               static_cast<std::uint32_t>(b[2]) << 16 |
+               static_cast<std::uint32_t>(b[3]) << 24;
+    }
+
+    std::uint64_t
+    fixed64()
+    {
+        const std::uint8_t* b = raw(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    /** Consume n raw bytes; fatal() if fewer remain. */
+    const std::uint8_t*
+    raw(std::size_t n)
+    {
+        if (remaining() < n)
+            fatal("byte stream truncated: fewer bytes than expected");
+        const std::uint8_t* b = p_;
+        p_ += n;
+        return b;
+    }
+
+    /** Consume n bytes and return them as a sub-reader. */
+    ByteReader
+    subReader(std::size_t n)
+    {
+        const std::uint8_t* b = raw(n);
+        return ByteReader(b, n);
+    }
+
+    /** Advance past n bytes already consumed externally (see pos()). */
+    void skip(std::size_t n) { raw(n); }
+
+  private:
+    std::uint64_t
+    varintSlow()
+    {
+        std::uint64_t v = 0;
+        int shift = 0;
+        while (true) {
+            if (p_ == end_)
+                fatal("varint truncated: byte stream ended mid-value");
+            std::uint8_t b = *p_++;
+            if (shift == 63 && b > 1)
+                fatal("varint overflow: value does not fit in 64 bits");
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if ((b & 0x80) == 0)
+                return v;
+            shift += 7;
+            if (shift > 63)
+                fatal("varint overflow: value does not fit in 64 bits");
+        }
+    }
+
+    const std::uint8_t* p_ = nullptr;
+    const std::uint8_t* end_ = nullptr;
+};
+
+} // namespace spikesim::support
+
+#endif // SPIKESIM_SUPPORT_VARINT_HH

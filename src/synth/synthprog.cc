@@ -184,7 +184,43 @@ struct Gen
     /** True while generating a tight (scan-loop) entry procedure. */
     bool tight_mode = false;
 
+    /**
+     * Candidate indexes over the planned procedures, so pickCallee
+     * visits only real candidates instead of scanning every procedure
+     * per call site (the scans dominated image-build time):
+     * by_subsystem[s] = ascending proc indices of subsystem s;
+     * hot_above[l] / cold_above[l] = ascending indices with layer > l,
+     * split by the cold flag.
+     */
+    std::vector<std::vector<std::uint32_t>> by_subsystem;
+    std::vector<std::vector<std::uint32_t>> hot_above;
+    std::vector<std::vector<std::uint32_t>> cold_above;
+    /** Reused per call site to avoid allocation churn. */
+    std::vector<std::uint32_t> same_scratch, deeper_scratch, cold_scratch;
+
     explicit Gen(const SynthParams& p) : params(p), rng(p.seed) {}
+
+    /** Build the candidate indexes; call once metas are planned. */
+    void
+    indexCandidates()
+    {
+        int max_layer = 0;
+        for (const ProcMeta& m : metas)
+            max_layer = std::max(max_layer, m.layer);
+        by_subsystem.assign(params.subsystems.size(), {});
+        hot_above.assign(static_cast<std::size_t>(max_layer) + 1, {});
+        cold_above.assign(static_cast<std::size_t>(max_layer) + 1, {});
+        for (std::size_t j = 0; j < metas.size(); ++j) {
+            const ProcMeta& m = metas[j];
+            const auto idx = static_cast<std::uint32_t>(j);
+            by_subsystem[static_cast<std::size_t>(m.subsystem)]
+                .push_back(idx);
+            for (int l = 0; l < m.layer; ++l)
+                (m.cold ? cold_above : hot_above)[static_cast<
+                    std::size_t>(l)]
+                    .push_back(idx);
+        }
+    }
 
     int
     blockSize()
@@ -263,22 +299,36 @@ struct Gen
     pickCallee(std::size_t caller, bool cold_path, double budget)
     {
         const ProcMeta& cm = metas[caller];
-        std::vector<std::uint32_t> same, deeper, cold;
-        for (std::size_t j = caller + 1;
-             j < metas.size() && same.size() < 48; ++j) {
-            if (metas[j].subsystem == cm.subsystem &&
-                expected_cost[j] <= budget)
-                same.push_back(static_cast<std::uint32_t>(j));
+        // Walk the precomputed candidate indexes from the first entry
+        // past the caller; contents and order match what full scans
+        // over [caller+1, n) would produce.
+        const auto first_after = [&](const std::vector<std::uint32_t>& v) {
+            return std::upper_bound(v.begin(), v.end(),
+                                    static_cast<std::uint32_t>(caller));
+        };
+        std::vector<std::uint32_t>& same = same_scratch;
+        std::vector<std::uint32_t>& deeper = deeper_scratch;
+        std::vector<std::uint32_t>& cold = cold_scratch;
+        same.clear();
+        deeper.clear();
+        cold.clear();
+        const auto& subs =
+            by_subsystem[static_cast<std::size_t>(cm.subsystem)];
+        for (auto it = first_after(subs);
+             it != subs.end() && same.size() < 48; ++it) {
+            if (expected_cost[*it] <= budget)
+                same.push_back(*it);
         }
-        for (std::size_t j = caller + 1; j < metas.size(); ++j) {
-            if (metas[j].layer > cm.layer &&
-                expected_cost[j] <= budget) {
-                if (metas[j].cold)
-                    cold.push_back(static_cast<std::uint32_t>(j));
-                else
-                    deeper.push_back(static_cast<std::uint32_t>(j));
-            }
-        }
+        const auto& hot =
+            hot_above[static_cast<std::size_t>(cm.layer)];
+        for (auto it = first_after(hot); it != hot.end(); ++it)
+            if (expected_cost[*it] <= budget)
+                deeper.push_back(*it);
+        const auto& colds =
+            cold_above[static_cast<std::size_t>(cm.layer)];
+        for (auto it = first_after(colds); it != colds.end(); ++it)
+            if (expected_cost[*it] <= budget)
+                cold.push_back(*it);
         auto pick_skewed = [&](const std::vector<std::uint32_t>& v)
             -> ProcId {
             if (v.empty())
@@ -616,6 +666,8 @@ buildSyntheticProgram(const SynthParams& params)
             gen.metas.push_back(std::move(m));
         }
     }
+
+    gen.indexCandidates();
 
     int max_layer = 0;
     for (const SubsystemSpec& sub : params.subsystems)

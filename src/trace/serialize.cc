@@ -1,0 +1,359 @@
+#include "trace/serialize.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "support/panic.hh"
+
+namespace spikesim::trace {
+
+using support::ByteReader;
+using support::putVarint;
+using support::zigzagEncode;
+
+namespace {
+
+/** Value masks for the four group-varint width codes {1, 2, 4, 8}. */
+constexpr std::uint64_t kWidthMask[4] = {0xffULL, 0xffffULL,
+                                         0xffffffffULL, ~0ULL};
+
+/**
+ * Zero bytes appended after each data stream so the decoder's
+ * unaligned 8-byte loads on the last values stay inside the buffer.
+ */
+constexpr std::size_t kDataPad = 7;
+
+} // namespace
+
+void
+TraceWriter::add(const TraceEvent& e)
+{
+    SPIKESIM_ASSERT(!finished_, "TraceWriter::add after finish");
+    const auto img_idx = static_cast<std::size_t>(e.image);
+    SPIKESIM_ASSERT(img_idx < kNumImages, "bad image id in trace event");
+
+    if (num_events_ == 0) {
+        cur_process_ = e.process;
+        cur_cpu_ = e.cpu;
+        cur_img_ = e.image;
+    }
+    if (e.process != cur_process_ || e.cpu != cur_cpu_) {
+        flushCtxRun();
+        cur_process_ = e.process;
+        cur_cpu_ = e.cpu;
+    }
+    if (e.image != cur_img_) {
+        flushImgRun();
+        cur_img_ = e.image;
+    }
+    ++cur_ctx_len_;
+    ++cur_img_len_;
+
+    ImageStream& s = streams_[img_idx];
+    const std::int64_t delta = static_cast<std::int64_t>(e.block) -
+                               static_cast<std::int64_t>(s.last);
+    const std::uint64_t v = zigzagEncode(delta);
+    const unsigned code = v < 0x100       ? 0
+                          : v < 0x10000   ? 1
+                          : v <= kWidthMask[2] ? 2
+                                               : 3;
+    if (s.slot == 0)
+        s.ctrl.push_back(static_cast<std::uint8_t>(code));
+    else
+        s.ctrl.back() |= static_cast<std::uint8_t>(code << (2 * s.slot));
+    s.slot = (s.slot + 1) & 3;
+    std::uint8_t bytes[8];
+    std::memcpy(bytes, &v, sizeof v); // little-endian hosts only
+    s.data.insert(s.data.end(), bytes, bytes + (std::size_t{1} << code));
+    s.last = e.block;
+    ++s.count;
+    ++num_events_;
+}
+
+void
+TraceWriter::addAll(const TraceBuffer& buf)
+{
+    for (const TraceEvent& e : buf.events())
+        add(e);
+}
+
+void
+TraceWriter::flushCtxRun()
+{
+    if (cur_ctx_len_ == 0)
+        return;
+    putVarint(ctx_runs_, cur_ctx_len_);
+    putVarint(ctx_runs_, cur_process_);
+    putVarint(ctx_runs_, cur_cpu_);
+    ++num_ctx_runs_;
+    cur_ctx_len_ = 0;
+}
+
+void
+TraceWriter::flushImgRun()
+{
+    if (cur_img_len_ == 0)
+        return;
+    putVarint(img_runs_, cur_img_len_);
+    putVarint(img_runs_, static_cast<std::uint64_t>(cur_img_));
+    ++num_img_runs_;
+    cur_img_len_ = 0;
+}
+
+void
+TraceWriter::finish(std::vector<std::uint8_t>& out)
+{
+    SPIKESIM_ASSERT(!finished_, "TraceWriter::finish called twice");
+    finished_ = true;
+    flushCtxRun();
+    flushImgRun();
+
+    putVarint(out, num_events_);
+    putVarint(out, num_ctx_runs_);
+    putVarint(out, ctx_runs_.size());
+    out.insert(out.end(), ctx_runs_.begin(), ctx_runs_.end());
+    putVarint(out, num_img_runs_);
+    putVarint(out, img_runs_.size());
+    out.insert(out.end(), img_runs_.begin(), img_runs_.end());
+    for (const ImageStream& s : streams_) {
+        putVarint(out, s.count);
+        putVarint(out, s.ctrl.size());
+        out.insert(out.end(), s.ctrl.begin(), s.ctrl.end());
+        putVarint(out, s.data.size() + kDataPad);
+        out.insert(out.end(), s.data.begin(), s.data.end());
+        out.insert(out.end(), kDataPad, std::uint8_t{0});
+    }
+}
+
+TraceReader::TraceReader(support::ByteReader& r)
+{
+    num_events_ = r.varint();
+    ctx_runs_left_ = r.varint();
+    ctx_runs_ = r.subReader(r.varint());
+    img_runs_left_ = r.varint();
+    img_runs_ = r.subReader(r.varint());
+    std::uint64_t stream_total = 0;
+    for (ImageStream& s : streams_) {
+        s.remaining = r.varint();
+        stream_total += s.remaining;
+        s.ctrl = r.subReader(r.varint());
+        s.data = r.subReader(r.varint());
+        // Every value needs a 2-bit width code and at least one data
+        // byte; the data stream additionally carries the tail pad.
+        // Subtraction instead of addition so corrupt counts near 2^64
+        // cannot overflow the comparisons.
+        if (s.ctrl.remaining() <
+            s.remaining / 4 + (s.remaining % 4 != 0 ? 1 : 0))
+            support::fatal("trace section corrupt: control stream "
+                           "shorter than its value count");
+        if (s.data.remaining() < kDataPad ||
+            s.data.remaining() - kDataPad < s.remaining)
+            support::fatal("trace section corrupt: image block stream "
+                           "shorter than its run lengths");
+    }
+    if (stream_total != num_events_)
+        support::fatal("trace section corrupt: per-image counts do not "
+                       "sum to the event count");
+}
+
+void
+TraceReader::refillCtxRun()
+{
+    if (ctx_runs_left_ == 0)
+        support::fatal("trace section truncated: context runs "
+                       "ended before the event stream");
+    --ctx_runs_left_;
+    cur_ctx_left_ = ctx_runs_.varint();
+    if (cur_ctx_left_ == 0)
+        support::fatal("trace section corrupt: empty context run");
+    cur_process_ = static_cast<std::uint16_t>(ctx_runs_.varint());
+    cur_cpu_ = static_cast<std::uint8_t>(ctx_runs_.varint());
+}
+
+void
+TraceReader::refillImgRun()
+{
+    if (img_runs_left_ == 0)
+        support::fatal("trace section truncated: image runs ended "
+                       "before the event stream");
+    --img_runs_left_;
+    cur_img_left_ = img_runs_.varint();
+    if (cur_img_left_ == 0)
+        support::fatal("trace section corrupt: empty image run");
+    const std::uint64_t img = img_runs_.varint();
+    if (img >= kNumImages)
+        support::fatal("trace section corrupt: bad image id");
+    cur_img_ = static_cast<ImageId>(img);
+}
+
+bool
+TraceReader::next(TraceEvent& e)
+{
+    if (events_read_ == num_events_)
+        return false;
+    if (cur_ctx_left_ == 0)
+        refillCtxRun();
+    if (cur_img_left_ == 0)
+        refillImgRun();
+    --cur_ctx_left_;
+    --cur_img_left_;
+
+    ImageStream& s = streams_[static_cast<std::size_t>(cur_img_)];
+    if (s.remaining == 0)
+        support::fatal("trace section corrupt: image block stream "
+                       "shorter than its run lengths");
+    --s.remaining;
+    if (s.slot == 0)
+        s.cur_ctrl = *s.ctrl.raw(1);
+    const unsigned code = (s.cur_ctrl >> (2 * s.slot)) & 3;
+    s.slot = (s.slot + 1) & 3;
+    const std::size_t len = std::size_t{1} << code;
+    if (s.data.remaining() < len + kDataPad)
+        support::fatal("trace section corrupt: image block stream "
+                       "shorter than its run lengths");
+    std::uint64_t v = 0;
+    std::memcpy(&v, s.data.raw(len), len); // little-endian hosts only
+    const std::int64_t block = static_cast<std::int64_t>(s.last) +
+                               support::zigzagDecode(v);
+    if (block < 0 || block > 0xffffffffLL)
+        support::fatal("trace section corrupt: block id out of range");
+    s.last = static_cast<std::uint32_t>(block);
+
+    e.block = s.last;
+    e.process = cur_process_;
+    e.cpu = cur_cpu_;
+    e.image = cur_img_;
+    ++events_read_;
+    return true;
+}
+
+void
+TraceReader::readAll(TraceBuffer& buf)
+{
+    buf.reserve(buf.size() + (num_events_ - events_read_));
+    while (events_read_ < num_events_) {
+        if (cur_ctx_left_ == 0)
+            refillCtxRun();
+        if (cur_img_left_ == 0)
+            refillImgRun();
+        // Decode one (context ∩ image) run in a single tight loop.
+        std::uint64_t chunk = std::min(cur_ctx_left_, cur_img_left_);
+        chunk = std::min(chunk, num_events_ - events_read_);
+        ImageStream& s = streams_[static_cast<std::size_t>(cur_img_)];
+        if (s.remaining < chunk)
+            support::fatal("trace section corrupt: image block stream "
+                           "shorter than its run lengths");
+        // Local copies of the stream cursors and run context: the
+        // batch is filled through byte-level stores that could
+        // otherwise alias the reader's members and force per-event
+        // reloads.
+        const std::uint8_t* cp = s.ctrl.pos();
+        const std::uint8_t* const cend = cp + s.ctrl.remaining();
+        const std::uint8_t* dp = s.data.pos();
+        const std::uint8_t* const dend = dp + s.data.remaining();
+        unsigned slot = s.slot;
+        std::uint8_t ctrl_byte = s.cur_ctrl;
+        std::uint32_t last = s.last;
+        TraceEvent proto;
+        proto.process = cur_process_;
+        proto.cpu = cur_cpu_;
+        proto.image = cur_img_;
+        // The context half of every event in this run is identical;
+        // precompose it so each event is a single 8-byte store
+        // (proto.block is 0, so OR-ing the block id in is exact).
+        std::uint64_t proto_word;
+        std::memcpy(&proto_word, &proto, sizeof proto_word);
+        // Decode into an L1-resident batch, then memcpy it into the
+        // buffer: appending pre-formed events skips the
+        // value-initialization pass a resize-then-write scheme pays on
+        // a multi-hundred-MB buffer.
+        constexpr std::uint64_t kBatch = 1024;
+        TraceEvent batch[kBatch];
+        for (std::uint64_t done = 0; done < chunk;) {
+            const std::uint64_t want = std::min(kBatch, chunk - done);
+            if (static_cast<std::uint64_t>(dend - dp) >= want * 8 &&
+                static_cast<std::uint64_t>(cend - cp) >= want / 4 + 1) {
+                // Fast path: enough bytes remain that no per-value
+                // bounds check can fire (each value reads 8 bytes and
+                // consumes at most 8; ctrl consumes at most one byte
+                // per four values plus the straddled first byte).
+                for (std::uint64_t i = 0; i < want; ++i) {
+                    if (slot == 0)
+                        ctrl_byte = *cp++;
+                    const unsigned code = (ctrl_byte >> (2 * slot)) & 3;
+                    slot = (slot + 1) & 3;
+                    std::uint64_t v;
+                    std::memcpy(&v, dp, sizeof v);
+                    v &= kWidthMask[code];
+                    dp += std::size_t{1} << code;
+                    const std::int64_t block =
+                        static_cast<std::int64_t>(last) +
+                        support::zigzagDecode(v);
+                    if (block < 0 || block > 0xffffffffLL)
+                        support::fatal("trace section corrupt: block "
+                                       "id out of range");
+                    last = static_cast<std::uint32_t>(block);
+                    if constexpr (std::endian::native ==
+                                  std::endian::little) {
+                        // block is the struct's low word on
+                        // little-endian hosts, so the whole event is
+                        // one 8-byte store.
+                        const std::uint64_t word =
+                            proto_word | static_cast<std::uint64_t>(last);
+                        batch[i] = std::bit_cast<TraceEvent>(word);
+                    } else {
+                        batch[i] = proto;
+                        batch[i].block = last;
+                    }
+                }
+            } else {
+                // Stream tails: per-value bounds checks, never reading
+                // past the pad.
+                for (std::uint64_t i = 0; i < want; ++i) {
+                    if (slot == 0) {
+                        if (cp == cend)
+                            support::fatal(
+                                "trace section corrupt: control stream "
+                                "shorter than its value count");
+                        ctrl_byte = *cp++;
+                    }
+                    const unsigned code = (ctrl_byte >> (2 * slot)) & 3;
+                    slot = (slot + 1) & 3;
+                    const std::size_t len = std::size_t{1} << code;
+                    if (static_cast<std::size_t>(dend - dp) <
+                        len + kDataPad)
+                        support::fatal(
+                            "trace section corrupt: image block stream "
+                            "shorter than its run lengths");
+                    std::uint64_t v = 0;
+                    std::memcpy(&v, dp, len);
+                    dp += len;
+                    const std::int64_t block =
+                        static_cast<std::int64_t>(last) +
+                        support::zigzagDecode(v);
+                    if (block < 0 || block > 0xffffffffLL)
+                        support::fatal("trace section corrupt: block "
+                                       "id out of range");
+                    last = static_cast<std::uint32_t>(block);
+                    batch[i] = proto;
+                    batch[i].block = last;
+                }
+            }
+            buf.appendRun(batch, static_cast<std::size_t>(want),
+                          proto.image);
+            done += want;
+        }
+        s.ctrl.skip(static_cast<std::size_t>(cp - s.ctrl.pos()));
+        s.data.skip(static_cast<std::size_t>(dp - s.data.pos()));
+        s.slot = slot;
+        s.cur_ctrl = ctrl_byte;
+        s.last = last;
+        s.remaining -= chunk;
+        cur_ctx_left_ -= chunk;
+        cur_img_left_ -= chunk;
+        events_read_ += chunk;
+    }
+}
+
+} // namespace spikesim::trace

@@ -1,0 +1,150 @@
+#ifndef SPIKESIM_TRACE_SERIALIZE_HH
+#define SPIKESIM_TRACE_SERIALIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/varint.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Compact binary serialization of TraceBuffer event streams. The
+ * encoding exploits the structure of the trace:
+ *
+ *  - Events arrive in long runs of the same image (the CFG walker emits
+ *    many App blocks, then a burst of Kernel blocks, then Data touches),
+ *    so the image id stream is run-length encoded.
+ *  - The (process, cpu) context changes only at transaction boundaries
+ *    and context switches — thousands of events apart — so it is also
+ *    run-length encoded.
+ *  - Block ids are spatially local within one image (CFG walks revisit
+ *    nearby blocks), so each image's block-id stream is delta-encoded
+ *    against the previous block of the *same* image and stored zigzag
+ *    as group varints: a control stream holding one byte per four
+ *    deltas (two bits each coding a width of 1, 2, 4 or 8 bytes) and a
+ *    data stream holding just the value bytes, typically 1–2 per event
+ *    vs. the 8-byte in-memory TraceEvent. Decoupling widths from data
+ *    lets the decoder run branch-free masked 8-byte loads instead of
+ *    testing a continuation bit per byte — LEB128's load→length→
+ *    address dependency chain is what bounds a varint decoder.
+ *
+ * The interleaved total order — which cache simulation depends on — is
+ * exactly reconstructed from the image run lengths.
+ *
+ * Section layout (lengths as LEB128 varints, see DESIGN.md §10):
+ *
+ *   varint num_events
+ *   varint num_ctx_runs,  varint byte_len, runs: (len, process, cpu)
+ *   varint num_img_runs,  varint byte_len, runs: (len, image)
+ *   3 × per-image stream: varint count,
+ *                         varint ctrl_len, control bytes,
+ *                         varint data_len, value bytes + 7 pad bytes
+ *                         (pad keeps the decoder's unaligned 8-byte
+ *                         tail loads inside the buffer)
+ */
+
+namespace spikesim::trace {
+
+/**
+ * Streaming encoder: feed events in trace order via add() (or a whole
+ * buffer via addAll()), then finish() appends the encoded section to an
+ * output byte vector. State per event is O(1) beyond the output bytes.
+ */
+class TraceWriter
+{
+  public:
+    TraceWriter() = default;
+
+    /** Append one event (must be called in trace order). */
+    void add(const TraceEvent& e);
+
+    /** Append every event of a buffer. */
+    void addAll(const TraceBuffer& buf);
+
+    /** Flush pending runs and append the encoded section to `out`. */
+    void finish(std::vector<std::uint8_t>& out);
+
+    std::uint64_t numEvents() const { return num_events_; }
+
+  private:
+    void flushCtxRun();
+    void flushImgRun();
+
+    struct ImageStream
+    {
+        std::vector<std::uint8_t> ctrl; ///< 2-bit width codes, 4/byte
+        std::vector<std::uint8_t> data; ///< value bytes, widths in ctrl
+        std::uint32_t last = 0;
+        std::uint64_t count = 0;
+        unsigned slot = 0; ///< next 2-bit position in the ctrl byte
+    };
+
+    ImageStream streams_[kNumImages];
+    std::vector<std::uint8_t> ctx_runs_;
+    std::vector<std::uint8_t> img_runs_;
+    std::uint64_t num_ctx_runs_ = 0;
+    std::uint64_t num_img_runs_ = 0;
+    std::uint64_t cur_ctx_len_ = 0;
+    std::uint16_t cur_process_ = 0;
+    std::uint8_t cur_cpu_ = 0;
+    std::uint64_t cur_img_len_ = 0;
+    ImageId cur_img_ = ImageId::App;
+    std::uint64_t num_events_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Streaming decoder over an encoded section (e.g. a slice of an
+ * mmap-ed corpus file; the bytes must stay alive while reading).
+ * fatal()s on any structural corruption — never yields garbage events.
+ */
+class TraceReader
+{
+  public:
+    /** `r` is positioned at the start of a section written by
+     *  TraceWriter::finish(); the reader consumes exactly the section. */
+    explicit TraceReader(support::ByteReader& r);
+
+    std::uint64_t numEvents() const { return num_events_; }
+
+    /** Decode the next event; false when the section is exhausted. */
+    bool next(TraceEvent& e);
+
+    /**
+     * Decode all (remaining) events, appending to `buf` (reserved).
+     * Faster than a next() loop: run boundaries are resolved once per
+     * run, and the run's events are written straight into the buffer.
+     */
+    void readAll(TraceBuffer& buf);
+
+  private:
+    void refillCtxRun();
+    void refillImgRun();
+    struct ImageStream
+    {
+        support::ByteReader ctrl;
+        support::ByteReader data;
+        std::uint32_t last = 0;
+        std::uint64_t remaining = 0;
+        unsigned slot = 0;            ///< next 2-bit ctrl position
+        std::uint8_t cur_ctrl = 0;    ///< ctrl byte being consumed
+    };
+
+    ImageStream streams_[kNumImages];
+    support::ByteReader ctx_runs_;
+    support::ByteReader img_runs_;
+    std::uint64_t ctx_runs_left_ = 0;
+    std::uint64_t img_runs_left_ = 0;
+    std::uint64_t cur_ctx_left_ = 0;
+    std::uint16_t cur_process_ = 0;
+    std::uint8_t cur_cpu_ = 0;
+    std::uint64_t cur_img_left_ = 0;
+    ImageId cur_img_ = ImageId::App;
+    std::uint64_t num_events_ = 0;
+    std::uint64_t events_read_ = 0;
+};
+
+} // namespace spikesim::trace
+
+#endif // SPIKESIM_TRACE_SERIALIZE_HH

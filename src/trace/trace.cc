@@ -1,5 +1,9 @@
 #include "trace/trace.hh"
 
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
 #include "support/panic.hh"
 
 namespace spikesim::trace {
@@ -64,6 +68,42 @@ TraceBuffer::onData(const ExecContext& ctx, std::uint64_t byte_addr)
     e.image = ImageId::Data;
     events_.push_back(e);
     per_image_[static_cast<std::size_t>(ImageId::Data)]++;
+}
+
+void
+TraceBuffer::reserve(std::size_t n)
+{
+    if (n <= events_.capacity())
+        return;
+    events_.reserve(n);
+#ifdef __linux__
+    // Large reservations are about to be filled front to back, so tell
+    // the kernel up front instead of paying ~50k first-touch faults on
+    // a 200MB buffer: prefault the whole range in one syscall where
+    // MADV_POPULATE_WRITE exists (5.14+), and ask for 2MB pages on the
+    // interior when THP is in madvise mode. Both are best-effort:
+    // errors are ignored and writes just fault on demand.
+    const std::size_t bytes = events_.capacity() * sizeof(TraceEvent);
+    if (bytes >= (std::size_t{8} << 20)) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(events_.data());
+#ifdef MADV_HUGEPAGE
+        constexpr std::uintptr_t kHuge = std::uintptr_t{2} << 20;
+        const std::uintptr_t hlo = (addr + kHuge - 1) & ~(kHuge - 1);
+        const std::uintptr_t hhi = (addr + bytes) & ~(kHuge - 1);
+        if (hhi > hlo)
+            ::madvise(reinterpret_cast<void*>(hlo), hhi - hlo,
+                      MADV_HUGEPAGE);
+#endif
+#ifdef MADV_POPULATE_WRITE
+        constexpr std::uintptr_t kPage = 4096;
+        const std::uintptr_t plo = (addr + kPage - 1) & ~(kPage - 1);
+        const std::uintptr_t phi = (addr + bytes) & ~(kPage - 1);
+        if (phi > plo)
+            ::madvise(reinterpret_cast<void*>(plo), phi - plo,
+                      MADV_POPULATE_WRITE);
+#endif
+    }
+#endif
 }
 
 std::uint64_t

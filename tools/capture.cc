@@ -1,0 +1,149 @@
+/**
+ * @file
+ * capture — generate the OLTP workload once and persist it as a corpus
+ * file that every figure bench can then load instead of re-simulating
+ * (see sim/corpus.hh and DESIGN.md §10).
+ *
+ * usage: capture [--dir DIR] [--accounts N] [--force]
+ *                [profile_txns] [trace_txns]
+ *
+ *   --dir DIR      corpus directory (default: $SPIKESIM_CORPUS_DIR,
+ *                  else the current directory)
+ *   --accounts N   total TPC-B accounts; scales accounts-per-branch
+ *                  across the default 40 branches
+ *   --force        re-capture even if the corpus file already exists
+ *
+ * profile_txns / trace_txns default to the bench defaults (800 / 500),
+ * so a plain `capture --dir D` primes the cache for a default figure
+ * sweep.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/corpus.hh"
+#include "support/panic.hh"
+
+using namespace spikesim;
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string& complaint)
+{
+    support::fatal(complaint +
+                   "\nusage: capture [--dir DIR] [--accounts N] "
+                   "[--force] [profile_txns] [trace_txns]");
+}
+
+std::uint64_t
+parseCount(const std::string& arg, const char* what)
+{
+    if (arg.empty() || arg[0] == '-' || arg[0] == '+')
+        usage(std::string(what) + " must be a non-negative integer, "
+                                  "got '" + arg + "'");
+    for (char c : arg)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            usage(std::string(what) + " is not a number: '" + arg + "'");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+    if (errno == ERANGE || end != arg.c_str() + arg.size())
+        usage(std::string(what) + " is out of range: '" + arg + "'");
+    return v;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string dir = ".";
+    if (const char* env = std::getenv("SPIKESIM_CORPUS_DIR"))
+        dir = env;
+    bool force = false;
+    std::uint64_t accounts = 0;
+    std::vector<std::string> positional;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dir") {
+            if (i + 1 >= argc)
+                usage("--dir needs a directory argument");
+            dir = argv[++i];
+        } else if (arg.rfind("--dir=", 0) == 0) {
+            dir = arg.substr(6);
+        } else if (arg == "--accounts") {
+            if (i + 1 >= argc)
+                usage("--accounts needs a count argument");
+            accounts = parseCount(argv[++i], "--accounts");
+        } else if (arg.rfind("--accounts=", 0) == 0) {
+            accounts = parseCount(arg.substr(11), "--accounts");
+        } else if (arg == "--force") {
+            force = true;
+        } else if (arg.size() > 1 && arg[0] == '-' &&
+                   !std::isdigit(static_cast<unsigned char>(arg[1]))) {
+            usage("unknown option '" + arg + "'");
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() > 2)
+        usage("too many arguments");
+
+    sim::CorpusParams params;
+    if (positional.size() > 0)
+        params.profile_txns =
+            parseCount(positional[0], "profile_txns");
+    if (positional.size() > 1)
+        params.trace_txns = parseCount(positional[1], "trace_txns");
+    if (accounts > 0) {
+        const int branches = params.config.tpcb.branches;
+        params.config.tpcb.accounts_per_branch = std::max(
+            1, static_cast<int>(accounts /
+                                static_cast<std::uint64_t>(branches)));
+    }
+
+    const std::string path =
+        (std::filesystem::path(dir) / sim::corpusFileName(params))
+            .string();
+    std::error_code ec;
+    if (!force && std::filesystem::exists(path, ec)) {
+        std::cout << "corpus already present: " << path
+                  << " (use --force to re-capture)\n";
+        return 0;
+    }
+
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    sim::GeneratedWorkload g = sim::generateWorkload(params, &std::cerr);
+    const auto t1 = clock::now();
+    std::filesystem::create_directories(dir, ec);
+    const sim::CorpusStats stats =
+        sim::saveCorpus(params, *g.profiles, g.buf, path);
+    const auto t2 = clock::now();
+
+    std::cout << "captured corpus: " << path << "\n"
+              << "  events:        " << stats.events << "\n"
+              << "  raw trace:     " << stats.raw_bytes << " bytes\n"
+              << "  file size:     " << stats.file_bytes << " bytes\n"
+              << "  compression:   " << stats.ratio
+              << "x (trace section)\n"
+              << "  capture time:  " << seconds(t0, t1) << " s\n"
+              << "  write time:    " << seconds(t1, t2) << " s\n";
+    return 0;
+}
