@@ -42,11 +42,13 @@ main(int argc, char** argv)
         std::string name = row == 0 ? "OLTP (TPC-B)" : "DSS (scans)";
         std::uint64_t base64 = 0;
         for (const core::Layout* layout : {&base, &opt}) {
-            sim::Replayer rep(*stream, *layout);
-            auto r32 = rep.icache({32 * 1024, 128, 4},
-                                  sim::StreamFilter::AppOnly);
-            auto r64 = rep.icache({64 * 1024, 128, 4},
-                                  sim::StreamFilter::AppOnly);
+            bench::BenchReplay rep(*stream, *layout, nullptr, w.pool());
+            const mem::CacheConfig configs[] = {{32 * 1024, 128, 4},
+                                                {64 * 1024, 128, 4}};
+            auto col =
+                rep.icacheColumn(configs, sim::StreamFilter::AppOnly);
+            const auto& r32 = col[0];
+            const auto& r64 = col[1];
             std::uint64_t instrs =
                 rep.dynamicInstrs(sim::StreamFilter::AppOnly);
             double mpki = instrs == 0

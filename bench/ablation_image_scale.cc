@@ -25,7 +25,7 @@ struct Row
 
 Row
 runScale(double scale, std::uint64_t profile_txns,
-         std::uint64_t trace_txns)
+         std::uint64_t trace_txns, support::ThreadPool* pool)
 {
     sim::SystemConfig config;
     config.app_image_scale = scale;
@@ -46,7 +46,7 @@ runScale(double scale, std::uint64_t profile_txns,
         opts.text_base = config.app_text_base;
         core::Layout layout =
             core::buildLayout(system.appProg(), profiles.app, opts);
-        sim::Replayer rep(buf, layout);
+        bench::BenchReplay rep(buf, layout, nullptr, pool);
         return rep.icache({64 * 1024, 128, 4},
                           sim::StreamFilter::AppOnly)
             .misses;
@@ -78,9 +78,13 @@ main(int argc, char** argv)
                                  "porder gain", "chain gain",
                                  "all gain"});
     double porder_small = 0, porder_big = 0;
+    const int threads = bench::threadsFromEnv();
+    std::unique_ptr<support::ThreadPool> pool;
+    if (threads > 0)
+        pool = std::make_unique<support::ThreadPool>(threads);
     const double scales[3] = {0.5, 1.0, 3.0};
     for (double scale : scales) {
-        Row r = runScale(scale, profile_txns, trace_txns);
+        Row r = runScale(scale, profile_txns, trace_txns, pool.get());
         if (scale == scales[0])
             porder_small = r.porder_gain;
         if (scale == scales[2])

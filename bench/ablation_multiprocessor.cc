@@ -24,7 +24,7 @@ struct Case
 
 Case
 runCase(int num_cpus, std::uint64_t profile_txns,
-        std::uint64_t trace_txns)
+        std::uint64_t trace_txns, support::ThreadPool* pool)
 {
     sim::SystemConfig config;
     config.num_cpus = num_cpus;
@@ -47,7 +47,7 @@ runCase(int num_cpus, std::uint64_t profile_txns,
         opts.text_base = config.app_text_base;
         core::Layout layout =
             core::buildLayout(system.appProg(), profiles.app, opts);
-        sim::Replayer rep(buf, layout, &kernel);
+        bench::BenchReplay rep(buf, layout, &kernel, pool);
         auto h = rep.hierarchy(platform.hierarchy, true,
                                /*model_coherence=*/true);
         return std::pair<std::uint64_t, std::uint64_t>(
@@ -76,8 +76,12 @@ main(int argc, char** argv)
     std::uint64_t profile_txns = argc > 1 ? std::atoll(argv[1]) : 600;
     std::uint64_t trace_txns = argc > 2 ? std::atoll(argv[2]) : 400;
 
-    Case up = runCase(1, profile_txns, trace_txns);
-    Case mp = runCase(4, profile_txns, trace_txns);
+    const int threads = bench::threadsFromEnv();
+    std::unique_ptr<support::ThreadPool> pool;
+    if (threads > 0)
+        pool = std::make_unique<support::ThreadPool>(threads);
+    Case up = runCase(1, profile_txns, trace_txns, pool.get());
+    Case mp = runCase(4, profile_txns, trace_txns, pool.get());
 
     support::TablePrinter table(
         {"system", "speedup (all vs base)", "communication misses"});

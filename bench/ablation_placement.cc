@@ -50,13 +50,14 @@ void
 report(support::TablePrinter& table, const bench::Workload& w,
        const std::string& name, const core::Layout& layout)
 {
-    sim::Replayer rep(w.buf, layout);
+    bench::BenchReplay rep(w, layout);
+    std::vector<mem::CacheConfig> configs;
+    for (std::uint32_t kb : {32, 64, 128})
+        configs.push_back({kb * 1024, 128, 4});
+    auto col = rep.icacheColumn(configs, sim::StreamFilter::AppOnly);
     std::vector<std::string> row{name};
-    for (std::uint32_t kb : {32, 64, 128}) {
-        auto r = rep.icache({kb * 1024, 128, 4},
-                            sim::StreamFilter::AppOnly);
+    for (const auto& r : col)
         row.push_back(support::withCommas(r.misses));
-    }
     table.addRow(row);
 }
 

@@ -24,7 +24,7 @@ missesWith(const bench::Workload& w, const profile::Profile& prof)
     opts.combo = core::OptCombo::All;
     opts.text_base = w.system->config().app_text_base;
     core::Layout layout = core::buildLayout(w.appProg(), prof, opts);
-    sim::Replayer rep(w.buf, layout);
+    bench::BenchReplay rep(w, layout);
     return rep.icache({64 * 1024, 128, 4}, sim::StreamFilter::AppOnly)
         .misses;
 }
@@ -43,7 +43,7 @@ main(int argc, char** argv)
     std::uint64_t base_misses;
     {
         core::Layout base = w.appLayout(core::OptCombo::Base);
-        sim::Replayer rep(w.buf, base);
+        bench::BenchReplay rep(w, base);
         base_misses = rep.icache({64 * 1024, 128, 4},
                                  sim::StreamFilter::AppOnly)
                           .misses;

@@ -31,11 +31,10 @@ main(int argc, char** argv)
     double coverage[2] = {0, 0};
     int i = 0;
     for (const core::Layout* layout : {&base, &opt}) {
-        sim::Replayer rep(w.buf, *layout);
+        bench::BenchReplay rep(w, *layout);
         mem::StreamBufferStats s =
             rep.streamBuffer(l1i, 4, sim::StreamFilter::AppOnly);
-        auto seq = metrics::sequenceLengths(w.buf, *layout,
-                                            trace::ImageId::App);
+        auto seq = rep.sequence(sim::StreamFilter::AppOnly);
         coverage[i] = s.coverage();
         table.addRow({layout == &base ? "base" : "optimized",
                       support::withCommas(s.l1_misses),

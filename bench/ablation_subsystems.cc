@@ -24,9 +24,7 @@ missesBySubsystem(const bench::Workload& w, const core::Layout& layout)
     // Per-CPU caches, attributing each miss to the block's subsystem.
     const auto& image = w.system->appImage();
     std::vector<mem::SetAssocCache> caches;
-    int cpus = 1;
-    for (const auto& e : w.buf.events())
-        cpus = std::max(cpus, e.cpu + 1);
+    const int cpus = w.buf.numCpus();
     for (int i = 0; i < cpus; ++i)
         caches.emplace_back(mem::CacheConfig{64 * 1024, 128, 4});
 

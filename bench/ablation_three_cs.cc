@@ -23,17 +23,29 @@ main(int argc, char** argv)
     core::Layout base = w.appLayout(core::OptCombo::Base);
     core::Layout opt = w.appLayout(core::OptCombo::All);
 
+    const std::uint32_t sizes_kb[] = {32, 64, 128, 256};
+    std::vector<mem::CacheConfig> configs;
+    for (std::uint32_t kb : sizes_kb)
+        configs.push_back({kb * 1024, 128, 1});
+    // One fused walk per binary prices all four cache sizes.
+    std::vector<mem::ThreeCStats> cols[2];
+    {
+        bench::BenchReplay base_rep(w, base);
+        bench::BenchReplay opt_rep(w, opt);
+        cols[0] =
+            base_rep.threeCsColumn(configs, sim::StreamFilter::AppOnly);
+        cols[1] =
+            opt_rep.threeCsColumn(configs, sim::StreamFilter::AppOnly);
+    }
+
     support::TablePrinter table({"cache", "binary", "compulsory",
                                  "capacity", "conflict", "capacity %"});
     std::uint64_t base_cap64 = 0, opt_cap64 = 0, base_conf64 = 0,
                   opt_conf64 = 0;
-    for (std::uint32_t kb : {32, 64, 128, 256}) {
-        mem::CacheConfig cfg{kb * 1024, 128, 1};
-        int which = 0;
-        for (const core::Layout* layout : {&base, &opt}) {
-            sim::Replayer rep(w.buf, *layout);
-            mem::ThreeCStats s =
-                rep.threeCs(cfg, sim::StreamFilter::AppOnly);
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+        const std::uint32_t kb = sizes_kb[ci];
+        for (int which = 0; which < 2; ++which) {
+            const mem::ThreeCStats& s = cols[which][ci];
             double cap_share =
                 s.totalMisses() == 0
                     ? 0.0
@@ -53,7 +65,6 @@ main(int argc, char** argv)
                           support::withCommas(s.capacity),
                           support::withCommas(s.conflict),
                           support::percent(cap_share)});
-            ++which;
         }
     }
     table.print(std::cout);

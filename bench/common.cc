@@ -16,7 +16,8 @@ namespace {
 usage(const char* argv0, const std::string& complaint)
 {
     support::fatal(complaint + "\nusage: " + argv0 +
-                   " [--corpus DIR] [profile_txns] [trace_txns]");
+                   " [--corpus DIR] [--threads N] [profile_txns]"
+                   " [trace_txns]");
 }
 
 /** Strict decimal parse; rejects sign, junk, and overflow. */
@@ -48,7 +49,26 @@ envFlagSet(const char* name)
     return v != nullptr && *v != '\0' && std::string(v) != "0";
 }
 
+/** Strict thread-count parse: 0 (serial oracle) .. 4096. */
+int
+parseThreads(const char* argv0, const std::string& arg)
+{
+    const std::uint64_t v = parseTxnCount(argv0, arg, "thread count");
+    if (v > 4096)
+        usage(argv0, "thread count is out of range: '" + arg + "'");
+    return static_cast<int>(v);
+}
+
 } // namespace
+
+int
+threadsFromEnv()
+{
+    const char* v = std::getenv("SPIKESIM_THREADS");
+    if (v == nullptr || *v == '\0')
+        return support::ThreadPool::defaultThreads();
+    return parseThreads("SPIKESIM_THREADS", v);
+}
 
 Workload
 runWorkload(int argc, char** argv, std::uint64_t profile_txns,
@@ -57,6 +77,8 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     std::string corpus_dir;
     if (const char* env = std::getenv("SPIKESIM_CORPUS_DIR"))
         corpus_dir = env;
+
+    int threads = -1; // unset: SPIKESIM_THREADS, then hardware
 
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
@@ -67,6 +89,12 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
             corpus_dir = argv[++i];
         } else if (arg.rfind("--corpus=", 0) == 0) {
             corpus_dir = arg.substr(9);
+        } else if (arg == "--threads") {
+            if (i + 1 >= argc)
+                usage(argv[0], "--threads needs a count argument");
+            threads = parseThreads(argv[0], argv[++i]);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = parseThreads(argv[0], arg.substr(10));
         } else if (arg.size() > 1 && arg[0] == '-' &&
                    !std::isdigit(static_cast<unsigned char>(arg[1]))) {
             usage(argv[0], "unknown option '" + arg + "'");
@@ -103,7 +131,155 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     w.profile_txns = profile_txns;
     w.trace_txns = trace_txns;
     w.db_ready = g.db_ready;
+    w.threads = threads >= 0 ? threads : threadsFromEnv();
+    if (w.threads > 0)
+        w.worker_pool =
+            std::make_unique<support::ThreadPool>(w.threads);
     return w;
+}
+
+const sim::ResolvedTrace&
+BenchReplay::resolved(sim::StreamFilter filter, bool include_data)
+{
+    const auto key =
+        std::make_pair(static_cast<int>(filter), include_data);
+    auto it = resolved_.find(key);
+    if (it == resolved_.end())
+        it = resolved_
+                 .emplace(key, rep_.resolve(filter, include_data))
+                 .first;
+    return it->second;
+}
+
+sim::ICacheReplayResult
+BenchReplay::icache(const mem::CacheConfig& config,
+                    sim::StreamFilter filter)
+{
+    if (!parallel_)
+        return rep_.icache(config, filter);
+    return sim::replayICache(resolved(filter, false), {&config, 1},
+                             pool_)[0];
+}
+
+std::vector<sim::ICacheReplayResult>
+BenchReplay::icacheColumn(std::span<const mem::CacheConfig> configs,
+                          sim::StreamFilter filter)
+{
+    if (!parallel_) {
+        std::vector<sim::ICacheReplayResult> out;
+        out.reserve(configs.size());
+        for (const mem::CacheConfig& config : configs)
+            out.push_back(rep_.icache(config, filter));
+        return out;
+    }
+    return sim::replayICache(resolved(filter, false), configs, pool_);
+}
+
+mem::ThreeCStats
+BenchReplay::threeCs(const mem::CacheConfig& config,
+                     sim::StreamFilter filter)
+{
+    if (!parallel_)
+        return rep_.threeCs(config, filter);
+    return sim::replayThreeCs(resolved(filter, false), {&config, 1},
+                              pool_)[0];
+}
+
+std::vector<mem::ThreeCStats>
+BenchReplay::threeCsColumn(std::span<const mem::CacheConfig> configs,
+                           sim::StreamFilter filter)
+{
+    if (!parallel_) {
+        std::vector<mem::ThreeCStats> out;
+        out.reserve(configs.size());
+        for (const mem::CacheConfig& config : configs)
+            out.push_back(rep_.threeCs(config, filter));
+        return out;
+    }
+    return sim::replayThreeCs(resolved(filter, false), configs, pool_);
+}
+
+mem::StreamBufferStats
+BenchReplay::streamBuffer(const mem::CacheConfig& config, int num_buffers,
+                          sim::StreamFilter filter)
+{
+    if (!parallel_)
+        return rep_.streamBuffer(config, num_buffers, filter);
+    return sim::replayStreamBuffer(resolved(filter, false), {&config, 1},
+                                   num_buffers, pool_)[0];
+}
+
+sim::WordStats
+BenchReplay::instrumented(const mem::CacheConfig& config,
+                          sim::StreamFilter filter, bool flush_at_end)
+{
+    if (!parallel_)
+        return rep_.instrumented(config, filter, flush_at_end);
+    return sim::replayInstrumented(resolved(filter, false), {&config, 1},
+                                   flush_at_end, pool_)[0];
+}
+
+sim::ITlbReplayResult
+BenchReplay::itlb(const sim::ITlbSpec& spec, sim::StreamFilter filter)
+{
+    if (!parallel_)
+        return rep_.itlb(spec, filter);
+    return sim::replayITlb(resolved(filter, false), {&spec, 1},
+                           pool_)[0];
+}
+
+sim::HierarchyReplayResult
+BenchReplay::hierarchy(const mem::HierarchyConfig& config,
+                       bool include_data, bool model_coherence)
+{
+    if (!parallel_)
+        return rep_.hierarchy(config, include_data, model_coherence);
+    return sim::replayHierarchy(
+        resolved(sim::StreamFilter::Combined, include_data), {&config, 1},
+        model_coherence, pool_)[0];
+}
+
+std::vector<sim::HierarchyReplayResult>
+BenchReplay::hierarchyColumn(std::span<const mem::HierarchyConfig> configs,
+                             bool include_data, bool model_coherence)
+{
+    if (!parallel_) {
+        std::vector<sim::HierarchyReplayResult> out;
+        out.reserve(configs.size());
+        for (const mem::HierarchyConfig& config : configs)
+            out.push_back(
+                rep_.hierarchy(config, include_data, model_coherence));
+        return out;
+    }
+    return sim::replayHierarchy(
+        resolved(sim::StreamFilter::Combined, include_data), configs,
+        model_coherence, pool_);
+}
+
+metrics::SequenceStats
+BenchReplay::sequence(sim::StreamFilter filter)
+{
+    if (!parallel_) {
+        // The scalar oracle takes one image and the layout that maps
+        // it; Combined has no oracle form (two layouts, one stream).
+        SPIKESIM_ASSERT(filter != sim::StreamFilter::Combined,
+                        "sequence() needs a single-image filter");
+        return filter == sim::StreamFilter::AppOnly
+                   ? metrics::sequenceLengths(rep_.trace(), rep_.app(),
+                                              trace::ImageId::App)
+                   : metrics::sequenceLengths(rep_.trace(),
+                                              *rep_.kernel(),
+                                              trace::ImageId::Kernel);
+    }
+    return sim::replaySequence(resolved(filter, false), pool_);
+}
+
+std::uint64_t
+BenchReplay::dynamicInstrs(sim::StreamFilter filter)
+{
+    if (!parallel_)
+        return rep_.dynamicInstrs(filter);
+    return resolved(filter, false).instrs;
 }
 
 void

@@ -3,14 +3,19 @@
 
 #include <cstdint>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "core/pipeline.hh"
+#include "metrics/sequence.hh"
+#include "sim/engine.hh"
 #include "sim/replay.hh"
 #include "sim/system.hh"
 #include "support/table.hh"
+#include "support/threadpool.hh"
 #include "trace/trace.hh"
 
 /**
@@ -29,6 +34,16 @@
  * it for every subsequent bench of the sweep. Setting
  * SPIKESIM_CORPUS_VERIFY=1 additionally regenerates the workload from
  * scratch and fatal()s unless the loaded artifacts are bit-identical.
+ *
+ * Replay threading is shared across every bench the same way: the
+ * `--threads N` flag (or the SPIKESIM_THREADS environment variable)
+ * sizes one support::ThreadPool owned by the Workload, used by both the
+ * sweep executor (sim/sweep.hh) and the parallel replay engine
+ * (sim/engine.hh, via BenchReplay below). `--threads 0` disables the
+ * pool entirely and BenchReplay falls back to the scalar per-config
+ * Replayer walks — the differential oracle path, so `--threads 0`
+ * versus `--threads N` is a byte-identical A/B of every table. The
+ * default is the hardware concurrency.
  */
 
 namespace spikesim::bench {
@@ -42,6 +57,12 @@ struct Workload
     std::uint64_t profile_txns = 0;
     std::uint64_t trace_txns = 0;
     bool db_ready = false; ///< system->setup() has run
+    int threads = 0;       ///< resolved --threads / SPIKESIM_THREADS
+    /** Shared worker pool, or null when threads == 0 (serial oracle
+     *  path). Sized once by runWorkload so sweep and replay share it. */
+    std::unique_ptr<support::ThreadPool> worker_pool;
+
+    support::ThreadPool* pool() const { return worker_pool.get(); }
 
     /**
      * Load the database if it is not loaded yet. A corpus hit skips
@@ -102,6 +123,87 @@ struct Workload
 };
 
 /**
+ * Replay dispatcher for the figure benches: one trace + layout pair,
+ * replayed either by the scalar per-config Replayer walks (no pool —
+ * the differential oracle path) or by the parallel replay engine over
+ * a per-CPU-partitioned ResolvedTrace cached per (filter, data) key.
+ * Both paths produce bit-identical results (sim/engine.hh), so every
+ * bench table is byte-identical across `--threads` settings; the
+ * engine path resolves the trace once per key and fuses all
+ * configurations of a column into one walk.
+ */
+class BenchReplay
+{
+  public:
+    /** Uses the workload's shared pool (null = oracle path). */
+    BenchReplay(const Workload& w, const core::Layout& app,
+                const core::Layout* kernel = nullptr)
+        : BenchReplay(w.buf, app, kernel, w.pool())
+    {
+    }
+
+    /** For benches that build their own trace/pool (ablations). */
+    BenchReplay(const trace::TraceBuffer& buf, const core::Layout& app,
+                const core::Layout* kernel, support::ThreadPool* pool)
+        : rep_(buf, app, kernel), pool_(pool), parallel_(pool != nullptr)
+    {
+    }
+
+    /** The replayer stores references; temporaries would dangle. */
+    BenchReplay(const Workload&, core::Layout&&,
+                const core::Layout* = nullptr) = delete;
+
+    const sim::Replayer& replayer() const { return rep_; }
+
+    sim::ICacheReplayResult icache(const mem::CacheConfig& config,
+                                   sim::StreamFilter filter);
+    /** One fused walk pricing a whole column of configurations. */
+    std::vector<sim::ICacheReplayResult>
+    icacheColumn(std::span<const mem::CacheConfig> configs,
+                 sim::StreamFilter filter);
+
+    mem::ThreeCStats threeCs(const mem::CacheConfig& config,
+                             sim::StreamFilter filter);
+    std::vector<mem::ThreeCStats>
+    threeCsColumn(std::span<const mem::CacheConfig> configs,
+                  sim::StreamFilter filter);
+
+    mem::StreamBufferStats streamBuffer(const mem::CacheConfig& config,
+                                        int num_buffers,
+                                        sim::StreamFilter filter);
+
+    sim::WordStats instrumented(const mem::CacheConfig& config,
+                                sim::StreamFilter filter,
+                                bool flush_at_end = false);
+
+    sim::ITlbReplayResult itlb(const sim::ITlbSpec& spec,
+                               sim::StreamFilter filter);
+
+    sim::HierarchyReplayResult
+    hierarchy(const mem::HierarchyConfig& config, bool include_data = true,
+              bool model_coherence = false);
+    std::vector<sim::HierarchyReplayResult>
+    hierarchyColumn(std::span<const mem::HierarchyConfig> configs,
+                    bool include_data = true,
+                    bool model_coherence = false);
+
+    /** Figure 8 run lengths for one image's stream (AppOnly or
+     *  KernelOnly; the scalar oracle has no combined mode). */
+    metrics::SequenceStats sequence(sim::StreamFilter filter);
+
+    std::uint64_t dynamicInstrs(sim::StreamFilter filter);
+
+  private:
+    const sim::ResolvedTrace& resolved(sim::StreamFilter filter,
+                                       bool include_data);
+
+    sim::Replayer rep_;
+    support::ThreadPool* pool_;
+    bool parallel_;
+    std::map<std::pair<int, bool>, sim::ResolvedTrace> resolved_;
+};
+
+/**
  * Run the standard workload: build the system, load the database, warm
  * up, profile `profile_txns`, then record a `trace_txns` trace — or
  * load all of it from a corpus cache hit (see the file comment).
@@ -112,6 +214,14 @@ struct Workload
 Workload runWorkload(int argc, char** argv,
                      std::uint64_t profile_txns = 800,
                      std::uint64_t trace_txns = 500);
+
+/**
+ * Thread count from SPIKESIM_THREADS, or the hardware concurrency when
+ * unset. For benches with their own argument parsing; runWorkload
+ * additionally accepts `--threads N` (the flag wins over the
+ * environment). 0 means serial oracle path.
+ */
+int threadsFromEnv();
 
 /** Print the bench banner. */
 void banner(const std::string& figure, const std::string& what);

@@ -56,13 +56,12 @@ main(int argc, char** argv)
     spec.line_bytes = kLines;
     spec.assocs = {1};
 
-    support::ThreadPool pool;
     std::vector<sim::SweepJob> jobs{
         {&base, nullptr, sim::StreamFilter::AppOnly, spec, "base"},
         {&opt, nullptr, sim::StreamFilter::AppOnly, spec, "opt"},
     };
     std::vector<sim::SweepResult> results =
-        sim::runSweepJobs(w.buf, jobs, &pool);
+        sim::runSweepJobs(w.buf, jobs, w.pool());
 
     printSweep(results[0], "(a) baseline OLTP binary");
     printSweep(results[1], "(b) optimized OLTP binary");

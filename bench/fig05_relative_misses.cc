@@ -26,13 +26,12 @@ main(int argc, char** argv)
     spec.line_bytes = {16, 32, 64, 128, 256};
     spec.assocs = {1};
 
-    support::ThreadPool pool;
     std::vector<sim::SweepJob> jobs{
         {&base, nullptr, sim::StreamFilter::AppOnly, spec, "base"},
         {&opt, nullptr, sim::StreamFilter::AppOnly, spec, "opt"},
     };
     std::vector<sim::SweepResult> results =
-        sim::runSweepJobs(w.buf, jobs, &pool);
+        sim::runSweepJobs(w.buf, jobs, w.pool());
     const sim::SweepResult& b = results[0];
     const sim::SweepResult& o = results[1];
 

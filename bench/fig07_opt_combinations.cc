@@ -33,7 +33,6 @@ main(int argc, char** argv)
     for (core::OptCombo combo : combos)
         layouts.push_back(w.appLayout(combo));
 
-    support::ThreadPool pool;
     std::vector<sim::SweepJob> jobs;
     jobs.reserve(combos.size());
     for (std::size_t i = 0; i < combos.size(); ++i)
@@ -41,7 +40,7 @@ main(int argc, char** argv)
                         sim::StreamFilter::AppOnly, spec,
                         core::comboName(combos[i])});
     std::vector<sim::SweepResult> results =
-        sim::runSweepJobs(w.buf, jobs, &pool);
+        sim::runSweepJobs(w.buf, jobs, w.pool());
 
     support::TablePrinter table({"optimizations", "32KB", "64KB",
                                  "128KB", "256KB", "512KB"});

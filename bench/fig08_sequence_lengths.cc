@@ -18,10 +18,12 @@ main(int argc, char** argv)
     core::Layout base = w.appLayout(core::OptCombo::Base);
     core::Layout opt = w.appLayout(core::OptCombo::All);
 
+    bench::BenchReplay base_replay(w, base);
+    bench::BenchReplay opt_replay(w, opt);
     metrics::SequenceStats sb =
-        metrics::sequenceLengths(w.buf, base, trace::ImageId::App);
+        base_replay.sequence(sim::StreamFilter::AppOnly);
     metrics::SequenceStats so =
-        metrics::sequenceLengths(w.buf, opt, trace::ImageId::App);
+        opt_replay.sequence(sim::StreamFilter::AppOnly);
 
     std::cout << "(a) average sequence lengths\n";
     support::TablePrinter avg({"setup", "average length (instrs)"});

@@ -18,8 +18,8 @@ main(int argc, char** argv)
     mem::CacheConfig cache{128 * 1024, 128, 4};
     core::Layout base_layout = w.appLayout(core::OptCombo::Base);
     core::Layout opt_layout = w.appLayout(core::OptCombo::All);
-    sim::Replayer base_rep(w.buf, base_layout);
-    sim::Replayer opt_rep(w.buf, opt_layout);
+    bench::BenchReplay base_rep(w, base_layout);
+    bench::BenchReplay opt_rep(w, opt_layout);
     sim::WordStats base =
         base_rep.instrumented(cache, sim::StreamFilter::AppOnly);
     sim::WordStats opt =

@@ -13,35 +13,39 @@ using namespace spikesim;
 
 namespace {
 
+constexpr std::uint32_t kSizesKb[] = {32, 64, 128, 256, 512};
+
 void
 runCase(const bench::Workload& w, const core::Layout& app,
         const core::Layout& kernel, const std::string& title,
-        double* reduction_out, std::uint64_t* combined64)
+        std::uint64_t* combined64)
 {
     std::cout << title << "\n";
-    sim::Replayer rep(w.buf, app, &kernel);
+    bench::BenchReplay rep(w, app, &kernel);
+    std::vector<mem::CacheConfig> configs;
+    for (std::uint32_t kb : kSizesKb)
+        configs.push_back({kb * 1024, 128, 4});
+    auto a = rep.icacheColumn(configs, sim::StreamFilter::AppOnly);
+    auto k = rep.icacheColumn(configs, sim::StreamFilter::KernelOnly);
+    auto c = rep.icacheColumn(configs, sim::StreamFilter::Combined);
+
     support::TablePrinter table({"cache", "app isolated",
                                  "kernel isolated", "combined",
                                  "interference overhead"});
-    for (std::uint32_t kb : {32, 64, 128, 256, 512}) {
-        mem::CacheConfig cfg{kb * 1024, 128, 4};
-        auto a = rep.icache(cfg, sim::StreamFilter::AppOnly);
-        auto k = rep.icache(cfg, sim::StreamFilter::KernelOnly);
-        auto c = rep.icache(cfg, sim::StreamFilter::Combined);
-        std::uint64_t isolated = a.misses + k.misses;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        std::uint64_t isolated = a[i].misses + k[i].misses;
         double overhead =
             isolated == 0 ? 0.0
-                          : static_cast<double>(c.misses) /
+                          : static_cast<double>(c[i].misses) /
                                     static_cast<double>(isolated) -
                                 1.0;
-        if (kb == 64 && combined64 != nullptr)
-            *combined64 = c.misses;
-        table.addRow({std::to_string(kb) + "KB",
-                      support::withCommas(a.misses),
-                      support::withCommas(k.misses),
-                      support::withCommas(c.misses),
+        if (kSizesKb[i] == 64 && combined64 != nullptr)
+            *combined64 = c[i].misses;
+        table.addRow({std::to_string(kSizesKb[i]) + "KB",
+                      support::withCommas(a[i].misses),
+                      support::withCommas(k[i].misses),
+                      support::withCommas(c[i].misses),
                       "+" + support::percent(overhead)});
-        (void)reduction_out;
     }
     table.print(std::cout);
     std::cout << "\n";
@@ -61,10 +65,8 @@ main(int argc, char** argv)
     core::Layout kernel = w.kernelLayout();
 
     std::uint64_t base64 = 0, opt64 = 0;
-    runCase(w, base, kernel, "(a) baseline OLTP binary", nullptr,
-            &base64);
-    runCase(w, opt, kernel, "(b) optimized OLTP binary", nullptr,
-            &opt64);
+    runCase(w, base, kernel, "(a) baseline OLTP binary", &base64);
+    runCase(w, opt, kernel, "(b) optimized OLTP binary", &opt64);
 
     double reduction = 1.0 - static_cast<double>(opt64) /
                                  static_cast<double>(base64);

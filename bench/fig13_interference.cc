@@ -17,7 +17,7 @@ matrix(const bench::Workload& w, const core::Layout& app,
        double* app_self_frac)
 {
     std::cout << title << "\n";
-    sim::Replayer rep(w.buf, app, &kernel);
+    bench::BenchReplay rep(w, app, &kernel);
     auto r = rep.icache({128 * 1024, 128, 4},
                         sim::StreamFilter::Combined);
     const auto& m = r.interference;

@@ -24,10 +24,15 @@ main(int argc, char** argv)
 
     mem::HierarchyConfig simos =
         sim::PlatformParams::sim21364().hierarchy;
-    sim::Replayer base_rep(w.buf, base, &kernel);
-    sim::Replayer opt_rep(w.buf, opt, &kernel);
-    auto b = base_rep.hierarchy(simos);
-    auto o = opt_rep.hierarchy(simos);
+    mem::HierarchyConfig h21164 =
+        sim::PlatformParams::alpha21164().hierarchy;
+    const mem::HierarchyConfig hierarchies[] = {simos, h21164};
+    bench::BenchReplay base_rep(w, base, &kernel);
+    bench::BenchReplay opt_rep(w, opt, &kernel);
+    auto b_col = base_rep.hierarchyColumn(hierarchies);
+    auto o_col = opt_rep.hierarchyColumn(hierarchies);
+    const auto& b = b_col[0];
+    const auto& o = o_col[0];
 
     support::TablePrinter table({"metric", "base", "optimized",
                                  "reduction"});
@@ -52,16 +57,25 @@ main(int argc, char** argv)
     table.addRow({"L1I misses", support::withCommas(b.total.l1i_misses),
                   support::withCommas(o.total.l1i_misses),
                   pct(o.total.l1i_misses, b.total.l1i_misses)});
+    // Standalone iTLB replay, instruction streams only: same TLB
+    // geometry, one lookup per fetched L1I line — the caches around it
+    // do not change what the iTLB sees.
+    sim::ITlbSpec tlb_spec{simos.itlb_entries, simos.page_bytes,
+                           simos.l1i.line_bytes};
+    auto b_tlb = base_rep.itlb(tlb_spec, sim::StreamFilter::Combined);
+    auto o_tlb = opt_rep.itlb(tlb_spec, sim::StreamFilter::Combined);
+    table.addRow({"iTLB misses (standalone)",
+                  support::withCommas(b_tlb.misses),
+                  support::withCommas(o_tlb.misses),
+                  pct(o_tlb.misses, b_tlb.misses)});
     table.print(std::cout);
     std::cout << "\n";
 
     // The paper's 21164 hardware-counter measurements.
     std::cout << "21164 hardware-counter section (8KB DM i-cache, "
                  "48-entry iTLB, 2MB board cache):\n";
-    mem::HierarchyConfig h21164 =
-        sim::PlatformParams::alpha21164().hierarchy;
-    auto b164 = base_rep.hierarchy(h21164);
-    auto o164 = opt_rep.hierarchy(h21164);
+    const auto& b164 = b_col[1];
+    const auto& o164 = o_col[1];
     support::TablePrinter hw({"metric", "base", "optimized",
                               "reduction"});
     hw.addRow({"i-cache misses (8KB)",

@@ -25,16 +25,20 @@ main(int argc, char** argv)
         sim::PlatformParams::sim21364(),
     };
 
+    std::vector<mem::HierarchyConfig> hierarchies;
+    for (const auto& p : platforms)
+        hierarchies.push_back(p.hierarchy);
+
     // Baseline cycles per platform.
     std::vector<std::uint64_t> base_cycles;
     {
         core::Layout base = w.appLayout(core::OptCombo::Base);
-        sim::Replayer rep(w.buf, base, &kernel);
-        for (const auto& p : platforms) {
-            auto h = rep.hierarchy(p.hierarchy);
-            base_cycles.push_back(sim::nonIdleCycles(
-                h.total, h.instrs, p, h.fetch_breaks));
-        }
+        bench::BenchReplay rep(w, base, &kernel);
+        auto col = rep.hierarchyColumn(hierarchies);
+        for (std::size_t i = 0; i < platforms.size(); ++i)
+            base_cycles.push_back(
+                sim::nonIdleCycles(col[i].total, col[i].instrs,
+                                   platforms[i], col[i].fetch_breaks));
     }
 
     std::vector<std::string> headers{"optimizations"};
@@ -44,10 +48,11 @@ main(int argc, char** argv)
     double speedup_21264 = 1.0, speedup_21164 = 1.0, speedup_sim = 1.0;
     for (core::OptCombo combo : core::allCombos()) {
         core::Layout layout = w.appLayout(combo);
-        sim::Replayer rep(w.buf, layout, &kernel);
+        bench::BenchReplay rep(w, layout, &kernel);
+        auto col = rep.hierarchyColumn(hierarchies);
         std::vector<std::string> row{core::comboName(combo)};
         for (std::size_t i = 0; i < platforms.size(); ++i) {
-            auto h = rep.hierarchy(platforms[i].hierarchy);
+            const auto& h = col[i];
             std::uint64_t cycles = sim::nonIdleCycles(
                 h.total, h.instrs, platforms[i], h.fetch_breaks);
             double rel = static_cast<double>(cycles) /
@@ -72,8 +77,8 @@ main(int argc, char** argv)
         core::Layout app = w.appLayout(core::OptCombo::All);
         core::Layout kopt = w.kernelOptimizedLayout();
         const sim::PlatformParams& p = platforms[2];
-        sim::Replayer plain(w.buf, app, &kernel);
-        sim::Replayer with_kopt(w.buf, app, &kopt);
+        bench::BenchReplay plain(w, app, &kernel);
+        bench::BenchReplay with_kopt(w, app, &kopt);
         auto h0 = plain.hierarchy(p.hierarchy);
         auto h1 = with_kopt.hierarchy(p.hierarchy);
         std::uint64_t c0 =

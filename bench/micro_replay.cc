@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Headline microbenchmark for the unified parallel replay engine
+ * (sim/engine.hh). One multiprocessor trace (4 simulated CPUs) is
+ * replayed through every simulator family — i-cache columns with
+ * interference attribution, three-C classification, stream buffers,
+ * word-granular instrumentation, standalone iTLBs, full hierarchies
+ * with the coherence model, sequential-run analysis, and the dynamic
+ * instruction count — three ways:
+ *
+ *   per-config oracle   one scalar Replayer walk per configuration
+ *   serial fused        resolve once, engine with no thread pool
+ *   parallel fused      resolve once, engine sharded across a pool
+ *
+ * All three must produce bit-identical results (the process exits
+ * non-zero on any divergence, which is what bench_micro_replay_smoke
+ * checks in ctest). Timings go to BENCH_replay.json. The
+ * fused-vs-per-config ratio is host-independent; the parallel ratio
+ * additionally depends on how many hardware threads the host gives the
+ * pool (SPIKESIM_THREADS overrides, as in the figure benches).
+ *
+ * Usage: micro_replay [profile_txns] [trace_txns]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+
+#include "bench/common.hh"
+#include "sim/timing.hh"
+
+using namespace spikesim;
+
+namespace {
+
+constexpr int kStreamBuffers = 4;
+
+std::vector<mem::CacheConfig>
+icacheConfigs()
+{
+    std::vector<mem::CacheConfig> configs;
+    for (std::uint32_t kb : {32, 64, 128, 256, 512})
+        configs.push_back({kb * 1024, 128, 4});
+    return configs;
+}
+
+std::vector<mem::CacheConfig>
+threeCConfigs()
+{
+    std::vector<mem::CacheConfig> configs;
+    for (std::uint32_t kb : {32, 64, 128, 256})
+        configs.push_back({kb * 1024, 128, 1});
+    return configs;
+}
+
+std::vector<mem::CacheConfig>
+streamConfigs()
+{
+    return {{8 * 1024, 32, 1}, {64 * 1024, 32, 2}};
+}
+
+std::vector<mem::CacheConfig>
+instrConfigs()
+{
+    return {{64 * 1024, 64, 2}, {64 * 1024, 128, 2}};
+}
+
+std::vector<sim::ITlbSpec>
+itlbSpecs()
+{
+    return {{64, 8 * 1024, 64}, {128, 8 * 1024, 64}};
+}
+
+std::vector<mem::HierarchyConfig>
+hierarchyConfigs()
+{
+    return {sim::PlatformParams::sim21364().hierarchy,
+            sim::PlatformParams::alpha21164().hierarchy};
+}
+
+/** Everything one pass over the suite produces, for bit-comparison. */
+struct SuiteResults
+{
+    std::vector<sim::ICacheReplayResult> icache;
+    std::vector<mem::ThreeCStats> threec;
+    std::vector<mem::StreamBufferStats> sbuf;
+    std::vector<sim::WordStats> words;
+    std::vector<sim::ITlbReplayResult> itlb;
+    std::vector<sim::HierarchyReplayResult> hier;
+    metrics::SequenceStats seq;
+    std::uint64_t dyn_instrs = 0;
+    double seconds = 0;
+};
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Run the full suite. The fused paths charge the resolve passes to
+ * their own time — the resolve-once cost is part of what the engine
+ * buys (or doesn't) versus re-walking the raw trace per config.
+ */
+SuiteResults
+runSuite(const sim::Replayer& rep, bool fused,
+         support::ThreadPool* pool)
+{
+    using clock = std::chrono::steady_clock;
+    const auto icfg = icacheConfigs();
+    const auto tcfg = threeCConfigs();
+    const auto scfg = streamConfigs();
+    const auto wcfg = instrConfigs();
+    const auto specs = itlbSpecs();
+    const auto hcfg = hierarchyConfigs();
+    const auto filter = sim::StreamFilter::Combined;
+
+    SuiteResults r;
+    auto t0 = clock::now();
+    if (!fused) {
+        for (const auto& c : icfg)
+            r.icache.push_back(rep.icache(c, filter));
+        for (const auto& c : tcfg)
+            r.threec.push_back(rep.threeCs(c, filter));
+        for (const auto& c : scfg)
+            r.sbuf.push_back(
+                rep.streamBuffer(c, kStreamBuffers, filter));
+        for (const auto& c : wcfg)
+            r.words.push_back(rep.instrumented(c, filter));
+        for (const auto& s : specs)
+            r.itlb.push_back(rep.itlb(s, filter));
+        for (const auto& h : hcfg)
+            r.hier.push_back(rep.hierarchy(h, true, true));
+        r.seq = metrics::sequenceLengths(rep.trace(), rep.app(),
+                                         trace::ImageId::App);
+        r.dyn_instrs = rep.dynamicInstrs(filter);
+    } else {
+        sim::ResolvedTrace instr = rep.resolve(filter);
+        sim::ResolvedTrace with_data = rep.resolve(filter, true);
+        sim::ResolvedTrace app_only =
+            rep.resolve(sim::StreamFilter::AppOnly);
+        r.icache = sim::replayICache(instr, icfg, pool);
+        r.threec = sim::replayThreeCs(instr, tcfg, pool);
+        r.sbuf = sim::replayStreamBuffer(instr, scfg, kStreamBuffers,
+                                         pool);
+        r.words = sim::replayInstrumented(instr, wcfg, false, pool);
+        r.itlb = sim::replayITlb(instr, specs, pool);
+        r.hier = sim::replayHierarchy(with_data, hcfg, true, pool);
+        r.seq = sim::replaySequence(app_only, pool);
+        r.dyn_instrs = instr.instrs;
+    }
+    r.seconds = seconds(t0, clock::now());
+    return r;
+}
+
+template <typename H>
+bool
+sameHist(const H& a, const H& b)
+{
+    if (a.numBuckets() != b.numBuckets())
+        return false;
+    for (std::size_t i = 0; i < a.numBuckets(); ++i)
+        if (a.bucket(i) != b.bucket(i))
+            return false;
+    return true;
+}
+
+bool
+sameDouble(double a, double b)
+{
+    return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+bool
+sameStats(const mem::HierarchyStats& x, const mem::HierarchyStats& y)
+{
+    return x.fetches == y.fetches && x.l1i_misses == y.l1i_misses &&
+           x.data_refs == y.data_refs &&
+           x.l1d_misses == y.l1d_misses &&
+           x.l2_instr_accesses == y.l2_instr_accesses &&
+           x.l2_instr_misses == y.l2_instr_misses &&
+           x.l2_data_accesses == y.l2_data_accesses &&
+           x.l2_data_misses == y.l2_data_misses &&
+           x.itlb_misses == y.itlb_misses &&
+           x.comm_misses == y.comm_misses;
+}
+
+/** Exit non-zero on the first divergence between two suite runs. */
+void
+compareSuites(const SuiteResults& a, const SuiteResults& b,
+              const char* label)
+{
+    auto check = [&](bool ok, const char* what) {
+        if (ok)
+            return;
+        std::cerr << "[micro_replay] FAIL: " << what << " differs ("
+                  << label << ")\n";
+        std::exit(1);
+    };
+
+    check(a.icache.size() == b.icache.size(), "icache config count");
+    for (std::size_t i = 0; i < a.icache.size(); ++i) {
+        const auto& x = a.icache[i];
+        const auto& y = b.icache[i];
+        check(x.accesses == y.accesses && x.misses == y.misses &&
+                  x.app_misses == y.app_misses &&
+                  x.kernel_misses == y.kernel_misses,
+              "icache counts");
+        for (int m = 0; m < 2; ++m)
+            for (int v = 0; v < 3; ++v)
+                check(x.interference.counts[m][v] ==
+                          y.interference.counts[m][v],
+                      "interference matrix");
+    }
+
+    check(a.threec.size() == b.threec.size(), "threeC config count");
+    for (std::size_t i = 0; i < a.threec.size(); ++i) {
+        const auto& x = a.threec[i];
+        const auto& y = b.threec[i];
+        check(x.accesses == y.accesses &&
+                  x.compulsory == y.compulsory &&
+                  x.capacity == y.capacity &&
+                  x.conflict == y.conflict,
+              "threeC counts");
+    }
+
+    check(a.sbuf.size() == b.sbuf.size(), "stream config count");
+    for (std::size_t i = 0; i < a.sbuf.size(); ++i) {
+        const auto& x = a.sbuf[i];
+        const auto& y = b.sbuf[i];
+        check(x.accesses == y.accesses &&
+                  x.l1_misses == y.l1_misses &&
+                  x.stream_hits == y.stream_hits &&
+                  x.demand_misses == y.demand_misses,
+              "stream buffer counts");
+    }
+
+    check(a.words.size() == b.words.size(), "instr config count");
+    for (std::size_t i = 0; i < a.words.size(); ++i) {
+        const auto& x = a.words[i];
+        const auto& y = b.words[i];
+        check(sameHist(x.words_used, y.words_used), "words_used");
+        check(sameHist(x.word_reuse, y.word_reuse), "word_reuse");
+        check(sameHist(x.lifetimes, y.lifetimes), "lifetimes");
+        check(sameDouble(x.unused_word_fraction,
+                         y.unused_word_fraction),
+              "unused_word_fraction");
+        check(x.misses == y.misses, "instrumented misses");
+    }
+
+    check(a.itlb.size() == b.itlb.size(), "itlb spec count");
+    for (std::size_t i = 0; i < a.itlb.size(); ++i)
+        check(a.itlb[i].accesses == b.itlb[i].accesses &&
+                  a.itlb[i].misses == b.itlb[i].misses,
+              "itlb counts");
+
+    check(a.hier.size() == b.hier.size(), "hierarchy config count");
+    for (std::size_t i = 0; i < a.hier.size(); ++i) {
+        const auto& x = a.hier[i];
+        const auto& y = b.hier[i];
+        check(sameStats(x.total, y.total), "hierarchy totals");
+        check(x.per_cpu.size() == y.per_cpu.size(),
+              "hierarchy per-cpu count");
+        for (std::size_t c = 0; c < x.per_cpu.size(); ++c)
+            check(sameStats(x.per_cpu[c], y.per_cpu[c]),
+                  "hierarchy per-cpu stats");
+        check(x.instrs == y.instrs && x.fetch_breaks == y.fetch_breaks,
+              "hierarchy instrs/fetch_breaks");
+    }
+
+    check(sameHist(a.seq.lengths, b.seq.lengths), "sequence lengths");
+    check(sameDouble(a.seq.mean, b.seq.mean), "sequence mean");
+    check(sameDouble(a.seq.mean_block_size, b.seq.mean_block_size),
+          "sequence mean_block_size");
+    check(a.dyn_instrs == b.dyn_instrs, "dynamic instrs");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Replay engine microbenchmark",
+                  "per-config oracle vs fused vs parallel replay "
+                  "(bit-identical)");
+    std::uint64_t profile_txns = argc > 1 ? std::atoll(argv[1]) : 400;
+    std::uint64_t trace_txns = argc > 2 ? std::atoll(argv[2]) : 300;
+
+    sim::SystemConfig config;
+    config.num_cpus = 4;
+    sim::System system(config);
+    std::cerr << "[micro_replay] 4-cpu system: loading...\n";
+    system.setup();
+    system.warmup(50);
+    sim::System::Profiles profiles =
+        system.collectProfiles(profile_txns);
+    trace::TraceBuffer buf;
+    system.run(trace_txns, buf);
+
+    core::PipelineOptions opts;
+    opts.combo = core::OptCombo::All;
+    opts.text_base = config.app_text_base;
+    core::Layout app =
+        core::buildLayout(system.appProg(), profiles.app, opts);
+    core::Layout kernel = core::baselineLayout(system.kernelProg(),
+                                               config.kernel_text_base);
+    sim::Replayer rep(buf, app, &kernel);
+
+    const int threads = std::max(1, bench::threadsFromEnv());
+    support::ThreadPool pool(threads);
+
+    std::cerr << "[micro_replay] trace: " << buf.size() << " events, "
+              << buf.numCpus() << " cpus; replaying...\n";
+    SuiteResults oracle = runSuite(rep, false, nullptr);
+    SuiteResults fused = runSuite(rep, true, nullptr);
+    SuiteResults parallel = runSuite(rep, true, &pool);
+
+    compareSuites(oracle, fused, "oracle vs serial fused");
+    compareSuites(oracle, parallel, "oracle vs parallel fused");
+
+    // The suite total is dominated by the two (unfusable-with-anything
+    // -else) hierarchy configs; time the five-config i-cache column on
+    // its own: five raw-trace walks plus five layout resolutions vs
+    // one resolution and one fused walk. Simulator work is identical
+    // either way, so this isolates what resolve amortization buys (or
+    // costs — the resolved vector is larger than the raw trace) for
+    // one family.
+    using clock = std::chrono::steady_clock;
+    const auto icfg = icacheConfigs();
+    auto t0 = clock::now();
+    for (const auto& c : icfg)
+        (void)rep.icache(c, sim::StreamFilter::Combined);
+    auto t1 = clock::now();
+    {
+        sim::ResolvedTrace instr =
+            rep.resolve(sim::StreamFilter::Combined);
+        (void)sim::replayICache(instr, icfg, nullptr);
+    }
+    auto t2 = clock::now();
+    double icache_oracle_s = seconds(t0, t1);
+    double icache_fused_s = seconds(t1, t2);
+    double icache_speedup = icache_oracle_s / icache_fused_s;
+
+    double fused_speedup = oracle.seconds / fused.seconds;
+    double parallel_speedup = fused.seconds / parallel.seconds;
+    double end_to_end = oracle.seconds / parallel.seconds;
+
+    std::cout << "trace events:        " << buf.size() << " ("
+              << buf.numCpus() << " cpus)\n"
+              << "per-config oracle:   " << oracle.seconds << " s\n"
+              << "serial fused:        " << fused.seconds << " s\n"
+              << "parallel fused:      " << parallel.seconds << " s ("
+              << pool.numThreads() << " threads)\n"
+              << "fused speedup:       " << fused_speedup << "x\n"
+              << "parallel speedup:    " << parallel_speedup << "x\n"
+              << "end-to-end speedup:  " << end_to_end << "x\n"
+              << "icache column:       " << icache_oracle_s
+              << " s per-config, " << icache_fused_s << " s fused ("
+              << icache_speedup << "x)\n"
+              << "differential check:  PASS (all simulator families "
+                 "bit-identical)\n\n";
+
+    std::ofstream json("BENCH_replay.json");
+    json << "{\n"
+         << "  \"bench\": \"replay\",\n"
+         << "  \"trace_events\": " << buf.size() << ",\n"
+         << "  \"trace_cpus\": " << buf.numCpus() << ",\n"
+         << "  \"oracle_seconds\": " << oracle.seconds << ",\n"
+         << "  \"serial_fused_seconds\": " << fused.seconds << ",\n"
+         << "  \"parallel_fused_seconds\": " << parallel.seconds
+         << ",\n"
+         << "  \"parallel_threads\": " << pool.numThreads() << ",\n"
+         << "  \"fused_vs_per_config\": " << fused_speedup << ",\n"
+         << "  \"parallel_vs_serial_fused\": " << parallel_speedup
+         << ",\n"
+         << "  \"end_to_end_speedup\": " << end_to_end << ",\n"
+         << "  \"icache_column_oracle_seconds\": " << icache_oracle_s
+         << ",\n"
+         << "  \"icache_column_fused_seconds\": " << icache_fused_s
+         << ",\n"
+         << "  \"icache_column_fused_speedup\": " << icache_speedup
+         << ",\n"
+         << "  \"differential_ok\": true\n"
+         << "}\n";
+    std::cout << "wrote BENCH_replay.json\n";
+    return 0;
+}

@@ -197,7 +197,8 @@ saveCorpus(const CorpusParams& params, const System::Profiles& profiles,
     std::vector<std::uint8_t> header;
     header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
     support::putFixed32(header, kCorpusVersion);
-    support::putFixed32(header, 0); // reserved
+    support::putFixed32(header,
+                        static_cast<std::uint32_t>(buf.numCpus()));
     support::putFixed64(header, corpusFingerprint(params));
     support::putFixed64(header, payload.size());
     support::putFixed64(
@@ -257,7 +258,7 @@ loadCorpus(const std::string& path, const CorpusParams& params,
                        std::to_string(version) + " in " + path +
                        " (this build reads version " +
                        std::to_string(kCorpusVersion) + ")");
-    header.fixed32(); // reserved
+    const std::uint32_t header_cpus = header.fixed32();
     const std::uint64_t fingerprint = header.fixed64();
     const std::uint64_t payload_len = header.fixed64();
     const std::uint64_t checksum = header.fixed64();
@@ -285,6 +286,16 @@ loadCorpus(const std::string& path, const CorpusParams& params,
     buf.clear();
     trace::TraceReader trace_reader(r);
     trace_reader.readAll(buf);
+    // Files written before the cpu-count field carry 0 there (it was
+    // reserved); otherwise the recorded count must match the decoded
+    // events — a disagreement means the file is corrupt.
+    if (header_cpus != 0 &&
+        header_cpus != static_cast<std::uint32_t>(buf.numCpus()))
+        support::fatal("corpus cpu count mismatch in " + path +
+                       ": header records " +
+                       std::to_string(header_cpus) +
+                       " cpus, decoded trace has " +
+                       std::to_string(buf.numCpus()));
 
     profiles.emplace(System::Profiles{
         profile::readProfile(system.appProg(), r),

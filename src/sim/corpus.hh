@@ -28,7 +28,8 @@
  *
  *   0   8B  magic "SPKCORP1"
  *   8   4B  format version (1)
- *   12  4B  reserved (0)
+ *   12  4B  trace cpu count (0 in files from before the field; the
+ *           loader then derives it from the decoded events)
  *   16  8B  workload fingerprint
  *   24  8B  payload length in bytes
  *   32  8B  payload checksum (4-lane word-wise FNV-1a 64, fnv1a64Words)

@@ -40,13 +40,9 @@ ownerOf(ImageId image)
 Replayer::Replayer(const trace::TraceBuffer& trace,
                    const core::Layout& app_layout,
                    const core::Layout* kernel_layout)
-    : trace_(trace), app_(app_layout), kernel_(kernel_layout)
+    : trace_(trace), app_(app_layout), kernel_(kernel_layout),
+      num_cpus_(trace.numCpus())
 {
-    int max_cpu = 0;
-    for (const TraceEvent& e : trace.events())
-        if (e.cpu > max_cpu)
-            max_cpu = e.cpu;
-    num_cpus_ = max_cpu + 1;
 }
 
 namespace {
@@ -126,16 +122,23 @@ SweepResult::SweepResult(SweepSpec spec) : spec_(std::move(spec))
 {
     accesses_.assign(spec_.line_bytes.size(), 0);
     misses_.assign(spec_.numConfigs(), 0);
+    // emplace keeps the first occurrence, matching what a linear scan
+    // of a (degenerate) spec with duplicates would have found.
+    for (std::size_t i = 0; i < spec_.size_bytes.size(); ++i)
+        size_index_.emplace(spec_.size_bytes[i], i);
+    for (std::size_t i = 0; i < spec_.line_bytes.size(); ++i)
+        line_index_.emplace(spec_.line_bytes[i], i);
+    for (std::size_t i = 0; i < spec_.assocs.size(); ++i)
+        assoc_index_.emplace(spec_.assocs[i], i);
 }
 
 std::size_t
 SweepResult::lineIndex(std::uint32_t line_bytes) const
 {
-    auto it = std::find(spec_.line_bytes.begin(), spec_.line_bytes.end(),
-                        line_bytes);
-    SPIKESIM_ASSERT(it != spec_.line_bytes.end(),
+    auto it = line_index_.find(line_bytes);
+    SPIKESIM_ASSERT(it != line_index_.end(),
                     "line size " << line_bytes << "B not in sweep");
-    return static_cast<std::size_t>(it - spec_.line_bytes.begin());
+    return it->second;
 }
 
 std::size_t
@@ -154,17 +157,14 @@ std::uint64_t
 SweepResult::misses(std::uint32_t size_bytes, std::uint32_t line_bytes,
                     std::uint32_t assoc) const
 {
-    auto sit = std::find(spec_.size_bytes.begin(), spec_.size_bytes.end(),
-                         size_bytes);
-    SPIKESIM_ASSERT(sit != spec_.size_bytes.end(),
+    auto sit = size_index_.find(size_bytes);
+    SPIKESIM_ASSERT(sit != size_index_.end(),
                     "cache size " << size_bytes << "B not in sweep");
-    auto ait = std::find(spec_.assocs.begin(), spec_.assocs.end(), assoc);
-    SPIKESIM_ASSERT(ait != spec_.assocs.end(),
+    auto ait = assoc_index_.find(assoc);
+    SPIKESIM_ASSERT(ait != assoc_index_.end(),
                     "associativity " << assoc << " not in sweep");
-    return misses_[index(
-        static_cast<std::size_t>(sit - spec_.size_bytes.begin()),
-        lineIndex(line_bytes),
-        static_cast<std::size_t>(ait - spec_.assocs.begin()))];
+    return misses_[index(sit->second, lineIndex(line_bytes),
+                         ait->second)];
 }
 
 namespace {
@@ -401,20 +401,67 @@ sweepAllLines(const ResolvedTrace& trace, const SweepSpec& spec,
 }
 
 ResolvedTrace
-Replayer::resolve(StreamFilter filter) const
+Replayer::resolve(StreamFilter filter, bool include_data) const
 {
     ResolvedTrace out;
     out.num_cpus = num_cpus_;
-    out.refs.reserve(trace_.size());
+    const std::size_t n_cpus = static_cast<std::size_t>(num_cpus_);
+
+    // Pass 1: per-CPU ref counts, so the partitioned vector is filled
+    // in place (exact-size allocation, no grow-and-regroup step).
+    std::vector<std::size_t> count(n_cpus, 0);
     for (const TraceEvent& e : trace_.events()) {
-        if (e.image == ImageId::Data || !wantImage(filter, e.image))
+        if (e.image == ImageId::Data) {
+            if (include_data)
+                ++count[e.cpu];
             continue;
+        }
+        if (!wantImage(filter, e.image))
+            continue;
+        const core::Layout& layout = layoutFor(e.image, app_, kernel_);
+        ++out.instr_events;
+        std::uint32_t size = layout.blockSize(e.block);
+        out.instrs += size;
+        if (size != 0)
+            ++count[e.cpu];
+    }
+
+    out.cpu_begin.assign(n_cpus + 1, 0);
+    for (std::size_t c = 0; c < n_cpus; ++c)
+        out.cpu_begin[c + 1] = out.cpu_begin[c] + count[c];
+    out.refs.resize(out.cpu_begin[n_cpus]);
+
+    // Pass 2: fill each CPU's slice in trace order. A block event of a
+    // filtered-out image marks a pending run break on its CPU (the
+    // fetch unit was taken by the other stream); data events never
+    // break runs.
+    std::vector<std::size_t> cursor(out.cpu_begin.begin(),
+                                    out.cpu_begin.end() - 1);
+    std::vector<std::uint8_t> pending(n_cpus, 0);
+    for (const TraceEvent& e : trace_.events()) {
+        if (e.image == ImageId::Data) {
+            if (include_data) {
+                std::uint64_t addr = static_cast<std::uint64_t>(e.block)
+                                     << 2;
+                out.refs[cursor[e.cpu]++] = {addr, 4, e.cpu,
+                                             mem::Owner::Data, 0};
+                out.data_refs.push_back({addr, e.cpu});
+            }
+            continue;
+        }
+        if (!wantImage(filter, e.image)) {
+            pending[e.cpu] = kRefRunBreak;
+            continue;
+        }
         const core::Layout& layout = layoutFor(e.image, app_, kernel_);
         std::uint64_t bytes = layout.blockBytes(e.block);
         if (bytes == 0)
             continue;
-        out.refs.push_back({layout.blockAddr(e.block),
-                            static_cast<std::uint32_t>(bytes), e.cpu});
+        out.refs[cursor[e.cpu]++] = {layout.blockAddr(e.block),
+                                     static_cast<std::uint32_t>(bytes),
+                                     e.cpu, ownerOf(e.image),
+                                     pending[e.cpu]};
+        pending[e.cpu] = 0;
     }
     return out;
 }
@@ -497,6 +544,36 @@ Replayer::threeCs(const mem::CacheConfig& config,
     for (const auto& c : caches)
         total += c.stats();
     return total;
+}
+
+ITlbReplayResult
+Replayer::itlb(const ITlbSpec& spec, StreamFilter filter) const
+{
+    std::vector<mem::ITlb> tlbs;
+    tlbs.reserve(static_cast<std::size_t>(num_cpus_));
+    for (int i = 0; i < num_cpus_; ++i)
+        tlbs.emplace_back(spec.entries, spec.page_bytes);
+
+    ITlbReplayResult result;
+    const std::uint64_t line = spec.fetch_bytes;
+    for (const TraceEvent& e : trace_.events()) {
+        if (!wantImage(filter, e.image))
+            continue;
+        const core::Layout& layout = layoutFor(e.image, app_, kernel_);
+        std::uint64_t bytes = layout.blockBytes(e.block);
+        if (bytes == 0)
+            continue;
+        std::uint64_t addr = layout.blockAddr(e.block);
+        std::uint64_t end = addr + bytes;
+        mem::ITlb& tlb = tlbs[e.cpu];
+        for (std::uint64_t a = addr & ~(line - 1); a < end; a += line) {
+            ++result.accesses;
+            tlb.access(a);
+        }
+    }
+    for (const mem::ITlb& t : tlbs)
+        result.misses += t.misses();
+    return result;
 }
 
 mem::StreamBufferStats

@@ -2,6 +2,8 @@
 #define SPIKESIM_SIM_REPLAY_HH
 
 #include <cstdint>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/layout.hh"
@@ -30,24 +32,74 @@ enum class StreamFilter {
     Combined,
 };
 
+/** Flag bits on a ResolvedRef. */
+inline constexpr std::uint8_t kRefRunBreak = 1;
+
 /**
  * One trace event resolved through a layout: the byte range its block
- * occupies and the CPU that fetched it. Resolving the trace once and
- * replaying the flat vector is what lets one pass feed many cache
- * configurations.
+ * occupies, the CPU that fetched it, and which stream owns it.
+ * Resolving the trace once and replaying the flat vector is what lets
+ * one pass feed many cache configurations. The instruction count of a
+ * block ref is bytes / program::kInstrBytes (layouts place blocks at
+ * blockSize * kInstrBytes bytes, so the two are locked together).
+ * kRefRunBreak marks refs where another image's block event took this
+ * CPU's fetch unit since the previous ref — a filtered-out kernel
+ * entry breaks a sequential run even when the addresses abut.
  */
 struct ResolvedRef
 {
     std::uint64_t addr = 0;
     std::uint32_t bytes = 0;
     std::uint8_t cpu = 0;
+    mem::Owner owner = mem::Owner::App; ///< App/Kernel text, or Data
+    std::uint8_t flags = 0;
 };
 
-/** A trace pre-resolved through one (app, kernel) layout pair. */
+/** One data reference, kept in global trace order: the coherence model
+ *  (Replayer::hierarchy with model_coherence) depends on the cross-CPU
+ *  interleaving of data events, unlike every cache simulator. */
+struct ResolvedDataRef
+{
+    std::uint64_t addr = 0; ///< byte address of the referenced word
+    std::uint8_t cpu = 0;
+};
+
+/**
+ * A trace pre-resolved through one (app, kernel) layout pair,
+ * partitioned by CPU. Every cache simulator's state is per-CPU, so a
+ * replay of cpuRefs(c) on its own thread is bit-identical to the
+ * interleaved scalar walk — the parallel replay engine (sim/engine.hh)
+ * rests on exactly this. When resolved with include_data, each CPU's
+ * slice also carries that CPU's data refs (owner == Data) interleaved
+ * in trace order, because a CPU's private L2 sees its instruction and
+ * data streams in exactly that order; data_refs additionally keeps the
+ * global data-event order for the coherence pass.
+ */
 struct ResolvedTrace
 {
+    /** Refs grouped by CPU; within one CPU's slice, trace order. */
     std::vector<ResolvedRef> refs;
+    /** Partition offsets: CPU c owns [cpu_begin[c], cpu_begin[c+1]). */
+    std::vector<std::size_t> cpu_begin;
+    /** Data references in global trace order (include_data only). */
+    std::vector<ResolvedDataRef> data_refs;
     int num_cpus = 1;
+    /** Filtered block events, including zero-sized blocks. */
+    std::uint64_t instr_events = 0;
+    /** Dynamic instructions: sum of block sizes over filtered events
+     *  (what Replayer::dynamicInstrs walks the raw trace for). */
+    std::uint64_t instrs = 0;
+
+    std::span<const ResolvedRef>
+    cpuRefs(int cpu) const
+    {
+        if (cpu < 0 || cpu + 1 >= static_cast<int>(cpu_begin.size()))
+            return {};
+        const std::size_t b = cpu_begin[static_cast<std::size_t>(cpu)];
+        const std::size_t e =
+            cpu_begin[static_cast<std::size_t>(cpu) + 1];
+        return std::span<const ResolvedRef>(refs).subspan(b, e - b);
+    }
 };
 
 /**
@@ -118,6 +170,12 @@ class SweepResult
     SweepSpec spec_;
     std::vector<std::uint64_t> accesses_; ///< per line-size index
     std::vector<std::uint64_t> misses_;   ///< [li][si][ai], line-major
+    // Dimension-value -> index maps, built once by the constructor so
+    // the accessors (called per table cell by the benches) don't
+    // re-scan the spec vectors on every lookup.
+    std::unordered_map<std::uint32_t, std::size_t> size_index_;
+    std::unordered_map<std::uint32_t, std::size_t> line_index_;
+    std::unordered_map<std::uint32_t, std::size_t> assoc_index_;
 };
 
 /**
@@ -178,6 +236,27 @@ struct WordStats
     WordStats() : words_used(65), word_reuse(16), lifetimes(32) {}
 };
 
+/**
+ * Geometry of a standalone iTLB replay (the TLB rows of Figure 14
+ * without simulating the caches around it). One TLB access is made per
+ * fetched line of `fetch_bytes`, matching how MemoryHierarchy consults
+ * its iTLB once per L1I line fetch — with fetch_bytes equal to the
+ * hierarchy's L1I line size the miss counts coincide.
+ */
+struct ITlbSpec
+{
+    std::uint32_t entries = 64;
+    std::uint32_t page_bytes = 8 * 1024;
+    std::uint32_t fetch_bytes = 64;
+};
+
+/** Result of a standalone iTLB replay (summed over per-CPU TLBs). */
+struct ITlbReplayResult
+{
+    std::uint64_t accesses = 0; ///< line-granular TLB lookups
+    std::uint64_t misses = 0;
+};
+
 /** Full-hierarchy replay result (Figures 14-15). */
 struct HierarchyReplayResult
 {
@@ -212,16 +291,26 @@ class Replayer
     /** Number of CPUs observed in the trace. */
     int numCpus() const { return num_cpus_; }
 
+    const trace::TraceBuffer& trace() const { return trace_; }
+    const core::Layout& app() const { return app_; }
+    /** May be null (application-only replays). */
+    const core::Layout* kernel() const { return kernel_; }
+
     /** Line-granular replay against per-CPU instruction caches. */
     ICacheReplayResult icache(const mem::CacheConfig& config,
                               StreamFilter filter) const;
 
     /**
      * Resolve the filtered trace through the layouts once: every block
-     * event becomes a flat (addr, bytes, cpu) record. Data events and
-     * zero-sized blocks are dropped.
+     * event becomes a flat (addr, bytes, cpu, owner) record, grouped
+     * by CPU (see ResolvedTrace). Zero-sized blocks are dropped from
+     * the refs but still counted in instr_events/instrs. Data events
+     * are dropped unless `include_data` is set, in which case they
+     * appear both in the per-CPU slices (owner == Data) and in
+     * data_refs in global order.
      */
-    ResolvedTrace resolve(StreamFilter filter) const;
+    ResolvedTrace resolve(StreamFilter filter,
+                          bool include_data = false) const;
 
     /**
      * Single-pass cache sweep: resolves the trace once and prices every
@@ -249,6 +338,11 @@ class Replayer
      *  classification, merged over CPUs. */
     mem::ThreeCStats threeCs(const mem::CacheConfig& config,
                              StreamFilter filter) const;
+
+    /** Standalone iTLB replay against per-CPU TLBs (line-granular
+     *  lookups at spec.fetch_bytes). */
+    ITlbReplayResult itlb(const ITlbSpec& spec,
+                          StreamFilter filter) const;
 
     /**
      * Full hierarchy replay: instruction lines + data lines through

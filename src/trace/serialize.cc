@@ -341,7 +341,7 @@ TraceReader::readAll(TraceBuffer& buf)
                 }
             }
             buf.appendRun(batch, static_cast<std::size_t>(want),
-                          proto.image);
+                          proto.image, proto.cpu);
             done += want;
         }
         s.ctrl.skip(static_cast<std::size_t>(cp - s.ctrl.pos()));

@@ -56,6 +56,8 @@ TraceBuffer::onBlock(const ExecContext& ctx, ImageId image,
     e.image = image;
     events_.push_back(e);
     per_image_[static_cast<std::size_t>(image)]++;
+    if (e.cpu > max_cpu_)
+        max_cpu_ = e.cpu;
 }
 
 void
@@ -68,6 +70,8 @@ TraceBuffer::onData(const ExecContext& ctx, std::uint64_t byte_addr)
     e.image = ImageId::Data;
     events_.push_back(e);
     per_image_[static_cast<std::size_t>(ImageId::Data)]++;
+    if (e.cpu > max_cpu_)
+        max_cpu_ = e.cpu;
 }
 
 void

@@ -132,18 +132,25 @@ class TraceBuffer : public TraceSink
     {
         events_.push_back(e);
         per_image_[static_cast<std::size_t>(e.image)]++;
+        if (e.cpu > max_cpu_)
+            max_cpu_ = e.cpu;
     }
 
     /**
      * Bulk append for decoders: copy n already-formed events of one
-     * image. Unlike append() in a loop, the copy is a single memcpy
-     * with no per-event bookkeeping and no value-initialization pass.
+     * image and one CPU (decoders emit (process, cpu) runs, so the cpu
+     * is constant per call). Unlike append() in a loop, the copy is a
+     * single memcpy with no per-event bookkeeping and no
+     * value-initialization pass.
      */
     void
-    appendRun(const TraceEvent* events, std::size_t n, ImageId image)
+    appendRun(const TraceEvent* events, std::size_t n, ImageId image,
+              std::uint8_t cpu)
     {
         per_image_[static_cast<std::size_t>(image)] += n;
         events_.insert(events_.end(), events, events + n);
+        if (n > 0 && cpu > max_cpu_)
+            max_cpu_ = cpu;
     }
 
     const std::vector<TraceEvent>& events() const { return events_; }
@@ -156,7 +163,16 @@ class TraceBuffer : public TraceSink
         events_.clear();
         for (std::uint64_t& n : per_image_)
             n = 0;
+        max_cpu_ = 0;
     }
+
+    /**
+     * Number of CPUs the trace was recorded on: one past the highest
+     * cpu id observed, maintained incrementally at capture/append time
+     * so consumers (Replayer, the parallel replay engine) never rescan
+     * the full event stream. An empty trace reports 1.
+     */
+    int numCpus() const { return static_cast<int>(max_cpu_) + 1; }
 
     /**
      * Pre-allocate space for n events. Multi-megabyte reservations are
@@ -180,6 +196,7 @@ class TraceBuffer : public TraceSink
   private:
     std::vector<TraceEvent> events_;
     std::uint64_t per_image_[kNumImages] = {};
+    std::uint8_t max_cpu_ = 0;
 };
 
 /** Sink that discards everything (for warmup phases). */

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Randomized differential tests for the unified parallel replay engine
+ * (sim/engine.hh): on random programs and multi-CPU traces with app +
+ * kernel images and data noise, every engine family — fused i-cache
+ * with interference, three-C, stream buffers, instrumented word stats,
+ * iTLB, full hierarchy with coherence, and sequence analysis — must be
+ * bit-identical to the scalar per-config Replayer/metrics oracles,
+ * both serial-fused (no pool) and sharded across a thread pool,
+ * including a pool wider than the trace's CPU count (which engages the
+ * per-(cpu, config-chunk) sharding path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/layout.hh"
+#include "metrics/sequence.hh"
+#include "program/builder.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "support/threadpool.hh"
+
+namespace spikesim::sim {
+namespace {
+
+using program::EdgeKind;
+using program::ProcedureBuilder;
+using program::Program;
+using program::Terminator;
+
+/** A program of `blocks` random-sized blocks (paired into procs). */
+Program
+randomProgram(const char* name, int blocks, std::uint32_t seed)
+{
+    support::Pcg32 rng(seed);
+    Program p(name);
+    for (int i = 0; i < blocks; i += 2) {
+        ProcedureBuilder b("p" + std::to_string(i));
+        auto a = b.addBlock(1 + rng.nextBounded(32),
+                            Terminator::FallThrough);
+        auto r = b.addBlock(1 + rng.nextBounded(32), Terminator::Return);
+        b.addEdge(a, r, EdgeKind::FallThrough);
+        p.addProcedure(b.build());
+    }
+    EXPECT_EQ(p.validate(), "");
+    return p;
+}
+
+/**
+ * A trace with loop-like locality spread across CPUs and both images,
+ * plus data refs: mostly nearby re-executions with occasional far
+ * jumps, 30% kernel blocks, 10% of events followed by a data touch on
+ * a small hot region (so several CPUs hit the same data lines and the
+ * coherence model has migrations to count).
+ */
+trace::TraceBuffer
+randomTrace(int blocks, int events, int num_cpus, std::uint32_t seed)
+{
+    support::Pcg32 rng(seed);
+    trace::TraceBuffer buf;
+    std::vector<trace::ExecContext> ctx(num_cpus);
+    std::vector<std::uint32_t> cur(num_cpus, 0);
+    for (int c = 0; c < num_cpus; ++c)
+        ctx[c].cpu = static_cast<std::uint8_t>(c);
+    for (int i = 0; i < events; ++i) {
+        int c = static_cast<int>(
+            rng.nextBounded(static_cast<std::uint32_t>(num_cpus)));
+        if (rng.nextBool(0.15))
+            cur[c] = rng.nextBounded(static_cast<std::uint32_t>(blocks));
+        else
+            cur[c] = static_cast<std::uint32_t>(
+                (cur[c] + 1) % static_cast<std::uint32_t>(blocks));
+        trace::ImageId image = rng.nextBool(0.3)
+                                   ? trace::ImageId::Kernel
+                                   : trace::ImageId::App;
+        buf.onBlock(ctx[c], image, cur[c]);
+        if (rng.nextBool(0.1))
+            buf.onData(ctx[c], 0x80000000ULL + rng.nextBounded(1 << 14));
+    }
+    return buf;
+}
+
+/** The test grid: a column of mixed geometries. */
+std::vector<mem::CacheConfig>
+testConfigs()
+{
+    return {{8 * 1024, 32, 1}, {32 * 1024, 64, 2}, {64 * 1024, 128, 4}};
+}
+
+const StreamFilter kFilters[] = {StreamFilter::AppOnly,
+                                 StreamFilter::KernelOnly,
+                                 StreamFilter::Combined};
+
+template <typename H>
+void
+expectHistEq(const H& a, const H& b, const char* what)
+{
+    ASSERT_EQ(a.numBuckets(), b.numBuckets()) << what;
+    for (std::size_t i = 0; i < a.numBuckets(); ++i)
+        EXPECT_EQ(a.bucket(i), b.bucket(i)) << what << " bucket " << i;
+}
+
+void
+expectStatsEq(const mem::HierarchyStats& a, const mem::HierarchyStats& b,
+              const char* what)
+{
+    EXPECT_EQ(a.fetches, b.fetches) << what;
+    EXPECT_EQ(a.l1i_misses, b.l1i_misses) << what;
+    EXPECT_EQ(a.data_refs, b.data_refs) << what;
+    EXPECT_EQ(a.l1d_misses, b.l1d_misses) << what;
+    EXPECT_EQ(a.l2_instr_accesses, b.l2_instr_accesses) << what;
+    EXPECT_EQ(a.l2_instr_misses, b.l2_instr_misses) << what;
+    EXPECT_EQ(a.l2_data_accesses, b.l2_data_accesses) << what;
+    EXPECT_EQ(a.l2_data_misses, b.l2_data_misses) << what;
+    EXPECT_EQ(a.itlb_misses, b.itlb_misses) << what;
+    EXPECT_EQ(a.comm_misses, b.comm_misses) << what;
+}
+
+/** Fixture state: one random workload per CPU count. */
+struct Workload
+{
+    Program app;
+    Program kern;
+    core::Layout app_layout;
+    core::Layout kern_layout;
+    trace::TraceBuffer buf;
+    Replayer rep;
+
+    Workload(int num_cpus, std::uint32_t seed)
+        : app(randomProgram("app", 120, seed)),
+          kern(randomProgram("kern", 120, seed + 1)),
+          app_layout(core::baselineLayout(app, 0)),
+          kern_layout(core::baselineLayout(kern, 0x400000)),
+          buf(randomTrace(120, 20000, num_cpus, seed + 2)),
+          rep(buf, app_layout, &kern_layout)
+    {
+    }
+};
+
+/** Pools exercised against every oracle: none (serial fused), one
+ *  matching a small host, and one wider than any trace's CPU count
+ *  (config-chunked sharding). */
+struct Pools
+{
+    support::ThreadPool narrow{2};
+    support::ThreadPool wide{8};
+    std::vector<support::ThreadPool*> all{nullptr, &narrow, &wide};
+};
+
+TEST(ReplayEngine, MatchesICacheOracleRandomized)
+{
+    Pools pools;
+    const auto configs = testConfigs();
+    for (int cpus : {1, 2, 4, 8}) {
+        Workload w(cpus, 100 + static_cast<std::uint32_t>(cpus));
+        ASSERT_EQ(w.rep.numCpus(), cpus);
+        for (StreamFilter filter : kFilters) {
+            ResolvedTrace trace = w.rep.resolve(filter);
+            for (support::ThreadPool* pool : pools.all) {
+                auto col = replayICache(trace, configs, pool);
+                ASSERT_EQ(col.size(), configs.size());
+                for (std::size_t i = 0; i < configs.size(); ++i) {
+                    auto r = w.rep.icache(configs[i], filter);
+                    EXPECT_EQ(col[i].accesses, r.accesses);
+                    EXPECT_EQ(col[i].misses, r.misses);
+                    EXPECT_EQ(col[i].app_misses, r.app_misses);
+                    EXPECT_EQ(col[i].kernel_misses, r.kernel_misses);
+                    for (int m = 0; m < 2; ++m)
+                        for (int v = 0; v < 3; ++v)
+                            EXPECT_EQ(
+                                col[i].interference.counts[m][v],
+                                r.interference.counts[m][v])
+                                << "cpus " << cpus << " config " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(ReplayEngine, MatchesThreeCsAndStreamBufferOracles)
+{
+    Pools pools;
+    const auto configs = testConfigs();
+    for (int cpus : {1, 3, 8}) {
+        Workload w(cpus, 200 + static_cast<std::uint32_t>(cpus));
+        for (StreamFilter filter : kFilters) {
+            ResolvedTrace trace = w.rep.resolve(filter);
+            for (support::ThreadPool* pool : pools.all) {
+                auto threec = replayThreeCs(trace, configs, pool);
+                auto sbuf =
+                    replayStreamBuffer(trace, configs, 4, pool);
+                for (std::size_t i = 0; i < configs.size(); ++i) {
+                    auto t = w.rep.threeCs(configs[i], filter);
+                    EXPECT_EQ(threec[i].accesses, t.accesses);
+                    EXPECT_EQ(threec[i].compulsory, t.compulsory);
+                    EXPECT_EQ(threec[i].capacity, t.capacity);
+                    EXPECT_EQ(threec[i].conflict, t.conflict);
+                    auto s = w.rep.streamBuffer(configs[i], 4, filter);
+                    EXPECT_EQ(sbuf[i].accesses, s.accesses);
+                    EXPECT_EQ(sbuf[i].l1_misses, s.l1_misses);
+                    EXPECT_EQ(sbuf[i].stream_hits, s.stream_hits);
+                    EXPECT_EQ(sbuf[i].demand_misses, s.demand_misses);
+                }
+            }
+        }
+    }
+}
+
+TEST(ReplayEngine, MatchesInstrumentedOracleIncludingFlush)
+{
+    Pools pools;
+    const auto configs = testConfigs();
+    for (int cpus : {2, 5}) {
+        Workload w(cpus, 300 + static_cast<std::uint32_t>(cpus));
+        for (StreamFilter filter : kFilters) {
+            ResolvedTrace trace = w.rep.resolve(filter);
+            for (bool flush : {false, true}) {
+                for (support::ThreadPool* pool : pools.all) {
+                    auto col =
+                        replayInstrumented(trace, configs, flush, pool);
+                    for (std::size_t i = 0; i < configs.size(); ++i) {
+                        auto r = w.rep.instrumented(configs[i], filter,
+                                                    flush);
+                        expectHistEq(col[i].words_used, r.words_used,
+                                     "words_used");
+                        expectHistEq(col[i].word_reuse, r.word_reuse,
+                                     "word_reuse");
+                        expectHistEq(col[i].lifetimes, r.lifetimes,
+                                     "lifetimes");
+                        // Bit-identical, not just close: the engine
+                        // replays the oracle's FP operation sequence.
+                        EXPECT_EQ(col[i].unused_word_fraction,
+                                  r.unused_word_fraction);
+                        EXPECT_EQ(col[i].misses, r.misses);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ReplayEngine, MatchesITlbOracleAndDynamicInstrs)
+{
+    Pools pools;
+    const std::vector<ITlbSpec> specs = {
+        {16, 4 * 1024, 32}, {64, 8 * 1024, 64}, {128, 8 * 1024, 128}};
+    for (int cpus : {1, 4}) {
+        Workload w(cpus, 400 + static_cast<std::uint32_t>(cpus));
+        for (StreamFilter filter : kFilters) {
+            ResolvedTrace trace = w.rep.resolve(filter);
+            EXPECT_EQ(trace.instrs, w.rep.dynamicInstrs(filter));
+            for (support::ThreadPool* pool : pools.all) {
+                auto col = replayITlb(trace, specs, pool);
+                for (std::size_t i = 0; i < specs.size(); ++i) {
+                    auto r = w.rep.itlb(specs[i], filter);
+                    EXPECT_EQ(col[i].accesses, r.accesses);
+                    EXPECT_EQ(col[i].misses, r.misses);
+                }
+            }
+        }
+    }
+}
+
+TEST(ReplayEngine, MatchesHierarchyOracleWithCoherence)
+{
+    Pools pools;
+    std::vector<mem::HierarchyConfig> configs(2);
+    configs[1].l1i = {8 * 1024, 32, 1};
+    configs[1].l1d = {8 * 1024, 32, 1};
+    configs[1].l2 = {2 * 1024 * 1024, 64, 1};
+    configs[1].itlb_entries = 48;
+    for (int cpus : {1, 2, 4, 8}) {
+        Workload w(cpus, 500 + static_cast<std::uint32_t>(cpus));
+        for (bool coherence : {false, true}) {
+            ResolvedTrace trace =
+                w.rep.resolve(StreamFilter::Combined, true);
+            for (support::ThreadPool* pool : pools.all) {
+                auto col =
+                    replayHierarchy(trace, configs, coherence, pool);
+                for (std::size_t i = 0; i < configs.size(); ++i) {
+                    auto r = w.rep.hierarchy(configs[i], true,
+                                             coherence);
+                    expectStatsEq(col[i].total, r.total, "total");
+                    ASSERT_EQ(col[i].per_cpu.size(),
+                              r.per_cpu.size());
+                    for (std::size_t c = 0; c < r.per_cpu.size(); ++c)
+                        expectStatsEq(col[i].per_cpu[c], r.per_cpu[c],
+                                      "per_cpu");
+                    EXPECT_EQ(col[i].instrs, r.instrs);
+                    EXPECT_EQ(col[i].fetch_breaks, r.fetch_breaks);
+                }
+            }
+        }
+    }
+}
+
+TEST(ReplayEngine, MatchesSequenceOracleOnBothImages)
+{
+    Pools pools;
+    for (int cpus : {1, 2, 4, 8}) {
+        Workload w(cpus, 600 + static_cast<std::uint32_t>(cpus));
+        struct Case
+        {
+            StreamFilter filter;
+            trace::ImageId image;
+            const core::Layout* layout;
+        };
+        const Case cases[] = {
+            {StreamFilter::AppOnly, trace::ImageId::App,
+             &w.app_layout},
+            {StreamFilter::KernelOnly, trace::ImageId::Kernel,
+             &w.kern_layout},
+        };
+        for (const Case& c : cases) {
+            metrics::SequenceStats oracle = metrics::sequenceLengths(
+                w.buf, *c.layout, c.image);
+            ResolvedTrace trace = w.rep.resolve(c.filter);
+            for (support::ThreadPool* pool : pools.all) {
+                metrics::SequenceStats got = replaySequence(trace, pool);
+                expectHistEq(got.lengths, oracle.lengths, "lengths");
+                EXPECT_EQ(got.mean, oracle.mean) << "cpus " << cpus;
+                EXPECT_EQ(got.mean_block_size, oracle.mean_block_size)
+                    << "cpus " << cpus;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace spikesim::sim
