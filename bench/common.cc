@@ -16,8 +16,8 @@ namespace {
 usage(const char* argv0, const std::string& complaint)
 {
     support::fatal(complaint + "\nusage: " + argv0 +
-                   " [--corpus DIR] [--threads N] [profile_txns]"
-                   " [trace_txns]");
+                   " [--corpus DIR] [--threads N] [--seed N]"
+                   " [profile_txns] [trace_txns]");
 }
 
 /** Strict decimal parse; rejects sign, junk, and overflow. */
@@ -70,6 +70,15 @@ threadsFromEnv()
     return parseThreads("SPIKESIM_THREADS", v);
 }
 
+std::uint64_t
+seedFromEnv(std::uint64_t fallback)
+{
+    const char* v = std::getenv("SPIKESIM_SEED");
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    return parseTxnCount("SPIKESIM_SEED", v, "seed");
+}
+
 Workload
 runWorkload(int argc, char** argv, std::uint64_t profile_txns,
             std::uint64_t trace_txns)
@@ -79,6 +88,8 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
         corpus_dir = env;
 
     int threads = -1; // unset: SPIKESIM_THREADS, then hardware
+    bool seed_set = false;
+    std::uint64_t seed = kDefaultSeed;
 
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
@@ -95,6 +106,14 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
             threads = parseThreads(argv[0], argv[++i]);
         } else if (arg.rfind("--threads=", 0) == 0) {
             threads = parseThreads(argv[0], arg.substr(10));
+        } else if (arg == "--seed") {
+            if (i + 1 >= argc)
+                usage(argv[0], "--seed needs a value argument");
+            seed = parseTxnCount(argv[0], argv[++i], "seed");
+            seed_set = true;
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            seed = parseTxnCount(argv[0], arg.substr(7), "seed");
+            seed_set = true;
         } else if (arg.size() > 1 && arg[0] == '-' &&
                    !std::isdigit(static_cast<unsigned char>(arg[1]))) {
             usage(argv[0], "unknown option '" + arg + "'");
@@ -132,6 +151,7 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     w.trace_txns = trace_txns;
     w.db_ready = g.db_ready;
     w.threads = threads >= 0 ? threads : threadsFromEnv();
+    w.seed = seed_set ? seed : seedFromEnv();
     if (w.threads > 0)
         w.worker_pool =
             std::make_unique<support::ThreadPool>(w.threads);

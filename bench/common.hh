@@ -58,6 +58,9 @@ struct Workload
     std::uint64_t trace_txns = 0;
     bool db_ready = false; ///< system->setup() has run
     int threads = 0;       ///< resolved --threads / SPIKESIM_THREADS
+    /** Resolved `--seed` / SPIKESIM_SEED (kDefaultSeed when unset);
+     *  the one RNG seed every randomized bench derives from. */
+    std::uint64_t seed = 1;
     /** Shared worker pool, or null when threads == 0 (serial oracle
      *  path). Sized once by runWorkload so sweep and replay share it. */
     std::unique_ptr<support::ThreadPool> worker_pool;
@@ -222,6 +225,21 @@ Workload runWorkload(int argc, char** argv,
  * environment). 0 means serial oracle path.
  */
 int threadsFromEnv();
+
+/** The seed every randomized bench uses when nothing overrides it. */
+inline constexpr std::uint64_t kDefaultSeed = 1;
+
+/**
+ * RNG seed from SPIKESIM_SEED, or `fallback` when unset. The shared
+ * convention for every randomized bench: figure-style benches get the
+ * resolved value in Workload::seed (runWorkload additionally accepts
+ * `--seed N`, which wins over the environment); google-benchmark
+ * binaries, which own their argv, call this directly. Distinct
+ * randomized sites within one binary derive their streams via
+ * support::Pcg32's (seed, sequence) pairs rather than ad-hoc per-site
+ * seed constants.
+ */
+std::uint64_t seedFromEnv(std::uint64_t fallback = kDefaultSeed);
 
 /** Print the bench banner. */
 void banner(const std::string& figure, const std::string& what);

@@ -8,6 +8,8 @@
  * Every combination's sweep is an independent job on the thread pool.
  */
 
+#include <map>
+
 #include "bench/common.hh"
 #include "sim/sweep.hh"
 
@@ -42,29 +44,29 @@ main(int argc, char** argv)
     std::vector<sim::SweepResult> results =
         sim::runSweepJobs(w.buf, jobs, w.pool());
 
+    // Key the summary picks on combo *names*, not enum positions, so
+    // the table and the paper-comparison lines below survive combos
+    // being appended to allCombos().
     support::TablePrinter table({"optimizations", "32KB", "64KB",
                                  "128KB", "256KB", "512KB"});
-    std::uint64_t base64 = 0, porder64 = 0, chain64 = 0, all64 = 0;
+    std::map<std::string, std::uint64_t> misses64;
     for (std::size_t i = 0; i < combos.size(); ++i) {
         std::vector<std::string> row{core::comboName(combos[i])};
         for (std::uint32_t kb : spec.size_bytes) {
             std::uint64_t misses = results[i].misses(kb, 128, 4);
-            if (kb == 64 * 1024) {
-                if (combos[i] == core::OptCombo::Base)
-                    base64 = misses;
-                if (combos[i] == core::OptCombo::POrder)
-                    porder64 = misses;
-                if (combos[i] == core::OptCombo::Chain)
-                    chain64 = misses;
-                if (combos[i] == core::OptCombo::All)
-                    all64 = misses;
-            }
+            if (kb == 64 * 1024)
+                misses64[core::comboName(combos[i])] = misses;
             row.push_back(support::withCommas(misses));
         }
         table.addRow(row);
     }
     table.print(std::cout);
     std::cout << "\n";
+
+    const std::uint64_t base64 = misses64.at("base");
+    const std::uint64_t porder64 = misses64.at("porder");
+    const std::uint64_t chain64 = misses64.at("chain");
+    const std::uint64_t all64 = misses64.at("all");
 
     auto pct = [](std::uint64_t part, std::uint64_t whole) {
         return support::percent(1.0 - static_cast<double>(part) /

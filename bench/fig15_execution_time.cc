@@ -57,7 +57,9 @@ main(int argc, char** argv)
                 h.total, h.instrs, platforms[i], h.fetch_breaks);
             double rel = static_cast<double>(cycles) /
                          static_cast<double>(base_cycles[i]);
-            if (combo == core::OptCombo::All) {
+            // Keyed on the combo *name* so appended combos don't shift
+            // which row feeds the summary.
+            if (std::string(core::comboName(combo)) == "all") {
                 if (i == 0)
                     speedup_21264 = 1.0 / rel;
                 if (i == 1)

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench/common.hh"
 #include "core/pipeline.hh"
 #include "mem/cache.hh"
 #include "sim/sweep.hh"
@@ -28,6 +29,10 @@
 using namespace spikesim;
 
 namespace {
+
+// RNG stream id for the random-address microbench, derived from the
+// shared bench seed (bench::seedFromEnv).
+constexpr std::uint64_t kRawAccessStream = 7;
 
 /** Shared workload: image + profile + a modest trace. */
 struct Shared
@@ -213,7 +218,7 @@ BM_RawCacheAccess(benchmark::State& state)
 {
     mem::SetAssocCache cache(
         {64 * 1024, 64, static_cast<std::uint32_t>(state.range(0))});
-    support::Pcg32 rng(7);
+    support::Pcg32 rng(bench::seedFromEnv(), kRawAccessStream);
     std::vector<std::uint64_t> addrs(1 << 16);
     for (auto& a : addrs)
         a = rng.nextBounded(256 * 1024);

@@ -10,6 +10,8 @@
 #include "core/chain.hh"
 #include "core/pipeline.hh"
 #include "core/split.hh"
+#include "opt/exttsp.hh"
+#include "opt/search.hh"
 #include "profile/profile.hh"
 #include "synth/synthprog.hh"
 #include "synth/walker.hh"
@@ -103,6 +105,45 @@ BM_SegmentGraph(benchmark::State& state)
     }
 }
 BENCHMARK(BM_SegmentGraph)->Unit(benchmark::kMillisecond);
+
+void
+BM_ExtTspScore(benchmark::State& state)
+{
+    Shared& s = shared();
+    core::PipelineOptions opts;
+    opts.combo = core::OptCombo::All;
+    core::Layout layout = core::buildLayout(s.image.prog, s.prof, opts);
+    opt::ExtTspParams params;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            opt::extTspScore(layout, s.prof, params));
+    // Items = profiled edges scored per pass.
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(s.prof.edges().size()));
+}
+BENCHMARK(BM_ExtTspScore)->Unit(benchmark::kMillisecond);
+
+void
+BM_AnnealEpoch(benchmark::State& state)
+{
+    Shared& s = shared();
+    core::PipelineOptions popts;
+    popts.combo = core::OptCombo::All;
+    opt::SearchOptions sopts;
+    sopts.epochs = 1;
+    sopts.batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        opt::SearchResult r =
+            opt::searchLayout(s.image.prog, s.prof, popts, sopts);
+        benchmark::DoNotOptimize(r.best_score);
+    }
+    // Items = candidate evaluations (proxy scores) per epoch.
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(sopts.batch));
+}
+BENCHMARK(BM_AnnealEpoch)->Arg(24)->Unit(benchmark::kMillisecond);
 
 void
 BM_SynthesizeImage(benchmark::State& state)

@@ -22,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench/common.hh"
 #include "sim/corpus.hh"
 #include "support/rng.hh"
 #include "support/varint.hh"
@@ -30,6 +31,11 @@
 using namespace spikesim;
 
 namespace {
+
+// Per-site RNG streams derived from the one shared seed
+// (bench::seedFromEnv); the stream ids keep the sites decorrelated.
+constexpr std::uint64_t kSyntheticTraceStream = 41;
+constexpr std::uint64_t kVarintStream = 3;
 
 double
 seconds(std::chrono::steady_clock::time_point t0,
@@ -44,7 +50,7 @@ syntheticTrace(std::size_t n)
 {
     trace::TraceBuffer buf;
     buf.reserve(n);
-    support::Pcg32 rng(41);
+    support::Pcg32 rng(bench::seedFromEnv(), kSyntheticTraceStream);
     trace::TraceEvent e;
     std::uint32_t walk[trace::kNumImages] = {500, 90000, 4000000};
     std::size_t made = 0;
@@ -237,7 +243,7 @@ BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond);
 void
 BM_VarintEncode(benchmark::State& state)
 {
-    support::Pcg32 rng(3);
+    support::Pcg32 rng(bench::seedFromEnv(), kVarintStream);
     std::vector<std::uint64_t> values(1 << 16);
     for (auto& v : values)
         v = rng.next() >> rng.nextBounded(28);

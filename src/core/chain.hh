@@ -37,7 +37,10 @@ chainBasicBlocks(const program::Program& prog, program::ProcId proc,
  * Dynamic fall-through weight of a block order: the sum of profiled
  * edge counts over pairs (order[i] -> order[i+1]) that are actual flow
  * edges capable of falling through. Chaining maximizes this greedily;
- * tests use it to check chained >= original.
+ * tests use it to check chained >= original. Its distance-aware
+ * sibling is opt::extTspOrderScore (opt/exttsp.hh), which also credits
+ * short jumps and i-cache-line co-residency and is the proxy objective
+ * of the layout search engine (opt/search.hh).
  */
 std::uint64_t
 fallThroughWeight(const program::Program& prog, program::ProcId proc,

@@ -1,0 +1,114 @@
+#ifndef SPIKESIM_OPT_EXTTSP_HH
+#define SPIKESIM_OPT_EXTTSP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hh"
+#include "profile/profile.hh"
+#include "program/program.hh"
+
+/**
+ * @file
+ * ExtTSP-style layout cost model (Newell & Pupyrev, "Improved Basic
+ * Block Reordering"). Where the paper's greedy pipeline follows one
+ * merge rule (heaviest edge becomes a fall-through), ExtTSP assigns a
+ * *score* to a whole layout and lets a search optimize it directly:
+ *
+ *   score = sum over profiled transfer edges (s -> t, count w) of
+ *           w * k(kind, distance)
+ *
+ * with k = 1 for an exact fall-through (the jump distance is zero),
+ * a linearly decaying bonus for short forward jumps (the target is
+ * likely in an already-fetched or prefetched line), a smaller, faster-
+ * decaying bonus for short backward jumps (loop bodies resident in the
+ * i-cache), and an additive co-residency bonus when source and target
+ * share one i-cache line (a transfer inside a line can never miss).
+ *
+ * The model is a cheap proxy for replayed i-cache misses: evaluating it
+ * is O(profiled edges) and needs no trace, so an annealer can score
+ * thousands of candidate layouts per second and reserve the replay
+ * engine for periodic ground-truth re-ranks (opt/search.hh).
+ */
+
+namespace spikesim::opt {
+
+/** Knobs of the ExtTSP score. Defaults follow Newell & Pupyrev scaled
+ *  to this repo's 4-byte instructions, plus the line-co-residency term
+ *  (AI-PROPELLER-style) that ties the proxy to i-cache geometry. */
+struct ExtTspParams
+{
+    /** Weight of an exact fall-through (distance 0). */
+    double fallthrough_weight = 1.0;
+    /** Peak weight of a short forward jump, decaying linearly to zero
+     *  at forward_window_bytes. */
+    double forward_weight = 0.1;
+    std::uint32_t forward_window_bytes = 1024;
+    /** Peak weight of a short backward jump, decaying linearly to zero
+     *  at backward_window_bytes. */
+    double backward_weight = 0.1;
+    std::uint32_t backward_window_bytes = 640;
+    /** Additive bonus when source branch and target live in the same
+     *  i-cache line of line_bytes. */
+    double coline_weight = 0.05;
+    std::uint32_t line_bytes = 64;
+    /** Score inter-procedure call edges (caller block -> callee entry)
+     *  too; this is what lets the model see segment-ordering quality,
+     *  not just intra-procedure chaining. */
+    bool include_calls = true;
+};
+
+/**
+ * Score one transfer of `count` executions from a branch ending at
+ * byte `src_end` to a target at byte `dst_addr` (the edge kernel;
+ * exposed so tests can cross-check the whole-layout sums).
+ */
+double extTspEdgeScore(std::uint64_t src_end, std::uint64_t dst_addr,
+                       std::uint64_t count, const ExtTspParams& params);
+
+/**
+ * ExtTSP score of a full layout under a profile: flow edges of every
+ * procedure plus (optionally) call edges, each scored by the kernel
+ * above at the layout's addresses. Higher is better. Deterministic:
+ * edges are accumulated in a fixed program order, so equal layouts
+ * produce bit-equal scores.
+ */
+double extTspScore(const core::Layout& layout,
+                   const profile::Profile& profile,
+                   const ExtTspParams& params = {});
+
+/**
+ * Shared layout-quality helper, the ExtTSP sibling of
+ * core::fallThroughWeight: score a single procedure's intra-procedure
+ * block order as if the procedure were laid out alone (blocks packed
+ * tight from address 0, layout-adjusted sizes). Call edges are ignored
+ * — there is no "rest of the program" to have distances to.
+ */
+double extTspOrderScore(const program::Program& prog,
+                        program::ProcId proc,
+                        const profile::Profile& profile,
+                        const std::vector<program::BlockLocalId>& order,
+                        const ExtTspParams& params = {});
+
+/** Result of the brute-force permutation oracle. */
+struct ExhaustiveBest
+{
+    std::vector<program::BlockLocalId> order;
+    double score = 0.0;
+    std::uint64_t permutations = 0;
+};
+
+/**
+ * Brute-force tiny-CFG oracle: enumerate every permutation of one
+ * procedure's blocks (entry pinned first — layouts never move a
+ * procedure's entry) and return the best extTspOrderScore. Intended
+ * for CFGs of <= 8 blocks (5040 permutations); panics above 9.
+ */
+ExhaustiveBest bestOrderExhaustive(const program::Program& prog,
+                                   program::ProcId proc,
+                                   const profile::Profile& profile,
+                                   const ExtTspParams& params = {});
+
+} // namespace spikesim::opt
+
+#endif // SPIKESIM_OPT_EXTTSP_HH

@@ -1,0 +1,240 @@
+#include "opt/perturb.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace spikesim::opt {
+
+using program::BlockLocalId;
+
+const char*
+perturbOpName(PerturbOp op)
+{
+    switch (op) {
+      case PerturbOp::SegmentSwap: return "segment_swap";
+      case PerturbOp::SegmentMove: return "segment_move";
+      case PerturbOp::SegmentReverse: return "segment_reverse";
+      case PerturbOp::SegmentRotate: return "segment_rotate";
+      case PerturbOp::SplitShift: return "split_shift";
+      case PerturbOp::SplitCut: return "split_cut";
+      case PerturbOp::BlockSwap: return "block_swap";
+    }
+    return "?";
+}
+
+Candidate
+candidateFromLayout(const core::Layout& layout)
+{
+    return Candidate{layout.segments()};
+}
+
+core::Layout
+materialize(const Candidate& cand, const program::Program& prog,
+            const core::AssignOptions& opts)
+{
+    return core::Layout(prog, cand.segments, opts);
+}
+
+std::uint64_t
+fingerprint(const Candidate& cand)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a 64 offset basis
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+    };
+    for (const core::CodeSegment& seg : cand.segments) {
+        mix(0x5e65e65e65e65e65ULL); // segment separator
+        mix(seg.proc);
+        for (BlockLocalId b : seg.blocks)
+            mix(b + 1);
+    }
+    return h;
+}
+
+namespace {
+
+/** Bounded rejection sampling keeps draws deterministic and cheap. */
+constexpr int kSiteTries = 8;
+
+bool
+opSegmentSwap(Candidate& c, support::Pcg32& rng)
+{
+    const std::size_t n = c.segments.size();
+    if (n < 2)
+        return false;
+    const std::uint32_t i = rng.nextBounded(static_cast<std::uint32_t>(n));
+    const std::uint32_t j = rng.nextBounded(static_cast<std::uint32_t>(n));
+    if (i == j)
+        return false;
+    std::swap(c.segments[i], c.segments[j]);
+    return true;
+}
+
+bool
+opSegmentMove(Candidate& c, support::Pcg32& rng)
+{
+    const std::size_t n = c.segments.size();
+    if (n < 2)
+        return false;
+    const std::uint32_t i = rng.nextBounded(static_cast<std::uint32_t>(n));
+    const std::uint32_t j = rng.nextBounded(static_cast<std::uint32_t>(n));
+    if (i == j)
+        return false;
+    core::CodeSegment seg = std::move(c.segments[i]);
+    c.segments.erase(c.segments.begin() + i);
+    c.segments.insert(c.segments.begin() + j, std::move(seg));
+    return true;
+}
+
+/** Random run [begin, begin+len) of 2..8 segments. */
+bool
+pickRun(const Candidate& c, support::Pcg32& rng, std::size_t& begin,
+        std::size_t& len)
+{
+    const std::size_t n = c.segments.size();
+    if (n < 2)
+        return false;
+    len = 2 + rng.nextBounded(
+                  static_cast<std::uint32_t>(std::min<std::size_t>(7, n - 1)));
+    begin = rng.nextBounded(static_cast<std::uint32_t>(n - len + 1));
+    return true;
+}
+
+bool
+opSegmentReverse(Candidate& c, support::Pcg32& rng)
+{
+    std::size_t begin = 0, len = 0;
+    if (!pickRun(c, rng, begin, len))
+        return false;
+    std::reverse(c.segments.begin() + begin,
+                 c.segments.begin() + begin + len);
+    return true;
+}
+
+bool
+opSegmentRotate(Candidate& c, support::Pcg32& rng)
+{
+    std::size_t begin = 0, len = 0;
+    if (!pickRun(c, rng, begin, len))
+        return false;
+    const std::uint32_t k =
+        1 + rng.nextBounded(static_cast<std::uint32_t>(len - 1));
+    std::rotate(c.segments.begin() + begin,
+                c.segments.begin() + begin + k,
+                c.segments.begin() + begin + len);
+    return true;
+}
+
+bool
+opSplitShift(Candidate& c, support::Pcg32& rng)
+{
+    const std::size_t n = c.segments.size();
+    if (n < 2)
+        return false;
+    for (int t = 0; t < kSiteTries; ++t) {
+        const std::size_t i =
+            rng.nextBounded(static_cast<std::uint32_t>(n - 1));
+        core::CodeSegment& a = c.segments[i];
+        core::CodeSegment& b = c.segments[i + 1];
+        if (a.proc != b.proc)
+            continue;
+        if (rng.nextBool(0.5)) {
+            // Last block of a moves to the front of b.
+            b.blocks.insert(b.blocks.begin(), a.blocks.back());
+            a.blocks.pop_back();
+            if (a.blocks.empty())
+                c.segments.erase(c.segments.begin() + i);
+        } else {
+            // First block of b moves to the end of a.
+            a.blocks.push_back(b.blocks.front());
+            b.blocks.erase(b.blocks.begin());
+            if (b.blocks.empty())
+                c.segments.erase(c.segments.begin() + i + 1);
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+opSplitCut(Candidate& c, support::Pcg32& rng)
+{
+    const std::size_t n = c.segments.size();
+    for (int t = 0; t < kSiteTries; ++t) {
+        const std::size_t i = rng.nextBounded(static_cast<std::uint32_t>(n));
+        core::CodeSegment& seg = c.segments[i];
+        if (seg.blocks.size() < 2)
+            continue;
+        const std::uint32_t cut =
+            1 + rng.nextBounded(
+                    static_cast<std::uint32_t>(seg.blocks.size() - 1));
+        core::CodeSegment tail;
+        tail.proc = seg.proc;
+        tail.blocks.assign(seg.blocks.begin() + cut, seg.blocks.end());
+        seg.blocks.resize(cut);
+        c.segments.insert(c.segments.begin() + i + 1, std::move(tail));
+        return true;
+    }
+    return false;
+}
+
+bool
+opBlockSwap(Candidate& c, support::Pcg32& rng)
+{
+    const std::size_t n = c.segments.size();
+    for (int t = 0; t < kSiteTries; ++t) {
+        const std::size_t i = rng.nextBounded(static_cast<std::uint32_t>(n));
+        core::CodeSegment& seg = c.segments[i];
+        if (seg.blocks.size() < 2)
+            continue;
+        const std::uint32_t j = rng.nextBounded(
+            static_cast<std::uint32_t>(seg.blocks.size() - 1));
+        std::swap(seg.blocks[j], seg.blocks[j + 1]);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+PerturbOp
+perturbOnce(Candidate& cand, support::Pcg32& rng, PerturbCounts* counts)
+{
+    SPIKESIM_ASSERT(!cand.segments.empty(), "empty candidate");
+    const auto op = static_cast<PerturbOp>(
+        rng.nextBounded(static_cast<std::uint32_t>(kNumPerturbOps)));
+    bool applied = false;
+    switch (op) {
+      case PerturbOp::SegmentSwap: applied = opSegmentSwap(cand, rng); break;
+      case PerturbOp::SegmentMove: applied = opSegmentMove(cand, rng); break;
+      case PerturbOp::SegmentReverse:
+        applied = opSegmentReverse(cand, rng);
+        break;
+      case PerturbOp::SegmentRotate:
+        applied = opSegmentRotate(cand, rng);
+        break;
+      case PerturbOp::SplitShift: applied = opSplitShift(cand, rng); break;
+      case PerturbOp::SplitCut: applied = opSplitCut(cand, rng); break;
+      case PerturbOp::BlockSwap: applied = opBlockSwap(cand, rng); break;
+    }
+    if (counts != nullptr) {
+        const auto idx = static_cast<std::size_t>(op);
+        if (applied)
+            ++counts->applied[idx];
+        else
+            ++counts->noop[idx];
+    }
+    return op;
+}
+
+void
+perturb(Candidate& cand, support::Pcg32& rng, int ops,
+        PerturbCounts* counts)
+{
+    for (int i = 0; i < ops; ++i)
+        perturbOnce(cand, rng, counts);
+}
+
+} // namespace spikesim::opt

@@ -1,0 +1,102 @@
+#ifndef SPIKESIM_OPT_PERTURB_HH
+#define SPIKESIM_OPT_PERTURB_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hh"
+#include "support/rng.hh"
+
+/**
+ * @file
+ * Deterministic seeded perturbation operators over a layout candidate.
+ * A candidate is just a segment sequence (the same representation
+ * core::Layout is built from); every operator preserves the layout
+ * invariants — segments stay non-empty, each segment stays within one
+ * procedure, and the multiset of blocks is untouched — so any reachable
+ * candidate materializes into a valid core::Layout.
+ *
+ * The operator set spans the space the greedy pipeline commits to in
+ * one pass: segment-level moves/swaps/reversals/rotations revisit
+ * Pettis-Hansen ordering decisions (including its arbitrary
+ * tie-breaks), split shifts and cuts revisit the fine-grain split
+ * points, and intra-segment block swaps revisit individual chain-join
+ * decisions.
+ *
+ * All randomness flows through the caller's Pcg32, so a (seed, call
+ * sequence) pair reproduces candidates bit-exactly on any host.
+ */
+
+namespace spikesim::opt {
+
+/** A layout candidate: segments in placement order. */
+struct Candidate
+{
+    std::vector<core::CodeSegment> segments;
+};
+
+/** Perturbation operators (see file comment). */
+enum class PerturbOp : std::uint8_t {
+    /** Swap two segments (revisits porder ties). */
+    SegmentSwap,
+    /** Remove one segment and reinsert it elsewhere. */
+    SegmentMove,
+    /** Reverse a short run of segments. */
+    SegmentReverse,
+    /** Rotate a short run of segments. */
+    SegmentRotate,
+    /** Move one block across the boundary of two adjacent same-proc
+     *  segments (shifts a split point; may erase an emptied segment,
+     *  i.e. re-join a split). */
+    SplitShift,
+    /** Cut one multi-block segment in two (introduces a split point). */
+    SplitCut,
+    /** Swap two adjacent blocks inside a segment (revisits one
+     *  chain-join decision). */
+    BlockSwap,
+};
+
+inline constexpr std::size_t kNumPerturbOps = 7;
+
+/** Operator name for reports ("segment_swap", ...). */
+const char* perturbOpName(PerturbOp op);
+
+/** Per-operator application counters (no-ops = the drawn operator had
+ *  no legal site, e.g. SplitShift with no same-proc boundary). */
+struct PerturbCounts
+{
+    std::array<std::uint64_t, kNumPerturbOps> applied{};
+    std::array<std::uint64_t, kNumPerturbOps> noop{};
+};
+
+/** Candidate from an existing layout's segment order. */
+Candidate candidateFromLayout(const core::Layout& layout);
+
+/** Materialize a candidate into an addressed layout. */
+core::Layout materialize(const Candidate& cand,
+                         const program::Program& prog,
+                         const core::AssignOptions& opts);
+
+/**
+ * Content fingerprint of a candidate (FNV-1a over the segment/block
+ * sequence). Equal fingerprints are used as "same layout" keys by the
+ * search's ground-truth cache and by determinism tests.
+ */
+std::uint64_t fingerprint(const Candidate& cand);
+
+/**
+ * Apply one randomly drawn operator to the candidate. Returns the
+ * operator drawn (counted in `counts` when given), whether or not a
+ * legal application site existed.
+ */
+PerturbOp perturbOnce(Candidate& cand, support::Pcg32& rng,
+                      PerturbCounts* counts = nullptr);
+
+/** Apply `ops` drawn operators in sequence. */
+void perturb(Candidate& cand, support::Pcg32& rng, int ops,
+             PerturbCounts* counts = nullptr);
+
+} // namespace spikesim::opt
+
+#endif // SPIKESIM_OPT_PERTURB_HH

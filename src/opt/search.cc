@@ -1,0 +1,275 @@
+#include "opt/search.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "sim/engine.hh"
+#include "support/panic.hh"
+
+namespace spikesim::opt {
+
+namespace {
+
+/** RNG stream ids (Pcg32 sequence selectors). Candidate generation
+ *  uses streams >= kCandidateStreamBase so acceptance draws and
+ *  candidate draws can never alias. */
+constexpr std::uint64_t kAcceptStream = 0xacce97ULL;
+constexpr std::uint64_t kCandidateStreamBase = 0x10000ULL;
+
+struct ScoredCandidate
+{
+    Candidate cand;
+    std::uint64_t fp = 0;
+    double score = 0.0;
+};
+
+/** Ground-truth evaluator: engine replay on the recorded trace with a
+ *  fingerprint-keyed result cache. */
+class GroundTruth
+{
+  public:
+    GroundTruth(const trace::TraceBuffer* trace,
+                const program::Program& prog,
+                const core::AssignOptions& aopts,
+                const core::Layout* kernel, const SearchOptions& sopts)
+        : trace_(trace),
+          prog_(prog),
+          aopts_(aopts),
+          kernel_(kernel),
+          config_(sopts.rerank_config),
+          filter_(sopts.filter)
+    {
+    }
+
+    /** Misses for every entry (cached or freshly replayed; uncached
+     *  entries replay concurrently on the pool). */
+    std::vector<std::uint64_t>
+    misses(const std::vector<const ScoredCandidate*>& entries,
+           support::ThreadPool* pool)
+    {
+        std::vector<std::uint64_t> out(entries.size(), 0);
+        std::vector<std::size_t> todo;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            auto it = cache_.find(entries[i]->fp);
+            if (it != cache_.end()) {
+                out[i] = it->second;
+                ++hits_;
+            } else {
+                todo.push_back(i);
+            }
+        }
+        SPIKESIM_ASSERT(trace_ != nullptr || todo.empty(),
+                        "ground-truth evaluation needs a trace");
+        auto replay = [&](std::size_t i) {
+            const core::Layout layout =
+                materialize(entries[i]->cand, prog_, aopts_);
+            const sim::Replayer rep(*trace_, layout, kernel_);
+            const sim::ResolvedTrace rt = rep.resolve(filter_);
+            out[i] = sim::replayICache(rt, {&config_, 1}, nullptr)[0]
+                         .misses;
+        };
+        if (pool != nullptr && todo.size() > 1) {
+            for (std::size_t i : todo)
+                pool->submit([&replay, i] { replay(i); });
+            pool->wait();
+        } else {
+            for (std::size_t i : todo)
+                replay(i);
+        }
+        for (std::size_t i : todo)
+            cache_.emplace(entries[i]->fp, out[i]);
+        evals_ += todo.size();
+        return out;
+    }
+
+    std::uint64_t evals() const { return evals_; }
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    const trace::TraceBuffer* trace_;
+    const program::Program& prog_;
+    core::AssignOptions aopts_;
+    const core::Layout* kernel_;
+    mem::CacheConfig config_;
+    sim::StreamFilter filter_;
+    std::unordered_map<std::uint64_t, std::uint64_t> cache_;
+    std::uint64_t evals_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace
+
+SearchResult
+searchLayout(const program::Program& prog,
+             const profile::Profile& profile,
+             const core::PipelineOptions& popts,
+             const SearchOptions& sopts, const trace::TraceBuffer* trace,
+             const core::Layout* kernel_layout, support::ThreadPool* pool)
+{
+    SPIKESIM_ASSERT(sopts.epochs >= 0 && sopts.batch > 0 &&
+                        sopts.max_ops > 0,
+                    "bad search budget");
+    core::AssignOptions aopts;
+    aopts.text_base = popts.text_base;
+    aopts.segment_align = popts.segment_align;
+
+    // Seed: the greedy pipeline's layout, re-materialized tight.
+    ScoredCandidate seed;
+    seed.cand =
+        candidateFromLayout(core::buildLayout(prog, profile, popts));
+    seed.fp = fingerprint(seed.cand);
+    seed.score = extTspScore(materialize(seed.cand, prog, aopts), profile,
+                             sopts.exttsp);
+
+    SearchResult result{materialize(seed.cand, prog, aopts)};
+    result.seed_score = seed.score;
+    result.best_score = seed.score;
+
+    ScoredCandidate incumbent = seed;
+    ScoredCandidate best_proxy = seed;
+
+    const bool rerank = trace != nullptr && sopts.rerank_every > 0;
+    GroundTruth gt(trace, prog, aopts, kernel_layout, sopts);
+    bool have_gt = false;
+    ScoredCandidate best_gt = seed;
+    std::uint64_t best_gt_misses = 0;
+
+    const double temp0 =
+        sopts.init_temp_frac * std::max(std::abs(seed.score), 1.0);
+    support::Pcg32 accept_rng(sopts.seed, kAcceptStream);
+
+    /** Ground-truth re-rank of the survivor set; the winner becomes
+     *  the incumbent. The seed always participates, so the champion
+     *  can never be worse than the seed on the re-rank config. */
+    auto rerankSurvivors = [&](const std::vector<ScoredCandidate>& batch,
+                               int epochs_done) {
+        std::vector<const ScoredCandidate*> survivors{&seed, &incumbent,
+                                                      &best_proxy};
+        std::vector<std::size_t> order(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return batch[a].score > batch[b].score;
+                         });
+        for (std::size_t i = 0;
+             i < std::min(sopts.rerank_top, order.size()); ++i)
+            survivors.push_back(&batch[order[i]]);
+        // Dedup by fingerprint, keeping first occurrence.
+        std::vector<const ScoredCandidate*> uniq;
+        for (const ScoredCandidate* s : survivors) {
+            bool dup = false;
+            for (const ScoredCandidate* u : uniq)
+                dup = dup || u->fp == s->fp;
+            if (!dup)
+                uniq.push_back(s);
+        }
+        const std::vector<std::uint64_t> m = gt.misses(uniq, pool);
+        // Winner: fewest misses; ties go to the higher proxy score,
+        // then the earlier survivor (seed < incumbent < ...).
+        std::size_t win = 0;
+        for (std::size_t i = 1; i < uniq.size(); ++i)
+            if (m[i] < m[win] ||
+                (m[i] == m[win] && uniq[i]->score > uniq[win]->score))
+                win = i;
+        if (!have_gt || m[win] < best_gt_misses ||
+            (m[win] == best_gt_misses &&
+             uniq[win]->score > best_gt.score)) {
+            best_gt = *uniq[win];
+            best_gt_misses = m[win];
+        }
+        result.seed_misses = gt.misses({&seed}, nullptr)[0];
+        have_gt = true;
+        incumbent = *uniq[win];
+        if (!result.rerank_curve.empty() &&
+            result.rerank_curve.back().epoch == epochs_done)
+            result.rerank_curve.back().misses = best_gt_misses;
+        else
+            result.rerank_curve.push_back({epochs_done, best_gt_misses});
+    };
+
+    std::vector<ScoredCandidate> batch;
+    for (int e = 0; e < sopts.epochs; ++e) {
+        batch.resize(static_cast<std::size_t>(sopts.batch));
+        // Generate the batch sequentially (seeded per-candidate
+        // streams), then score it in parallel; scores are pure
+        // per-candidate functions, so pool width cannot change them.
+        for (int i = 0; i < sopts.batch; ++i) {
+            support::Pcg32 rng(
+                sopts.seed,
+                kCandidateStreamBase +
+                    static_cast<std::uint64_t>(e) *
+                        static_cast<std::uint64_t>(sopts.batch) +
+                    static_cast<std::uint64_t>(i));
+            ScoredCandidate& c = batch[static_cast<std::size_t>(i)];
+            c.cand = incumbent.cand;
+            const int ops =
+                1 + static_cast<int>(rng.nextBounded(
+                        static_cast<std::uint32_t>(sopts.max_ops)));
+            perturb(c.cand, rng, ops, &result.perturb_counts);
+            c.fp = fingerprint(c.cand);
+        }
+        auto score = [&](std::size_t i) {
+            batch[i].score = extTspScore(
+                materialize(batch[i].cand, prog, aopts), profile,
+                sopts.exttsp);
+        };
+        if (pool != nullptr) {
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                pool->submit([&score, i] { score(i); });
+            pool->wait();
+        } else {
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                score(i);
+        }
+        result.proxy_evals += batch.size();
+
+        // Acceptance (sequential, deterministic).
+        if (sopts.algorithm == SearchOptions::Algorithm::HillClimb) {
+            for (const ScoredCandidate& c : batch)
+                if (c.score > incumbent.score) {
+                    incumbent = c;
+                    break;
+                }
+        } else {
+            std::size_t bi = 0;
+            for (std::size_t i = 1; i < batch.size(); ++i)
+                if (batch[i].score > batch[bi].score)
+                    bi = i;
+            const ScoredCandidate& c = batch[bi];
+            if (c.score > incumbent.score) {
+                incumbent = c;
+            } else {
+                const double temp =
+                    temp0 * std::pow(sopts.cooling, static_cast<double>(e));
+                if (temp > 0.0 &&
+                    accept_rng.nextDouble() <
+                        std::exp((c.score - incumbent.score) / temp))
+                    incumbent = c;
+            }
+        }
+        if (incumbent.score > best_proxy.score)
+            best_proxy = incumbent;
+        result.epoch_best.push_back(best_proxy.score);
+
+        if (rerank && (e + 1) % sopts.rerank_every == 0)
+            rerankSurvivors(batch, e + 1);
+    }
+
+    if (rerank) {
+        // Final re-rank so the last epochs' progress is measured too.
+        rerankSurvivors(batch, sopts.epochs);
+        result.best_misses = best_gt_misses;
+        result.best_score = best_proxy.score;
+        result.layout = materialize(best_gt.cand, prog, aopts);
+    } else {
+        result.best_score = best_proxy.score;
+        result.layout = materialize(best_proxy.cand, prog, aopts);
+    }
+    result.sim_evals = gt.evals();
+    result.sim_cache_hits = gt.hits();
+    return result;
+}
+
+} // namespace spikesim::opt

@@ -1,0 +1,153 @@
+#ifndef SPIKESIM_OPT_SEARCH_HH
+#define SPIKESIM_OPT_SEARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "mem/cache.hh"
+#include "opt/exttsp.hh"
+#include "opt/perturb.hh"
+#include "sim/replay.hh"
+#include "support/threadpool.hh"
+#include "trace/trace.hh"
+
+/**
+ * @file
+ * Budgeted layout search over the greedy pipeline's output. The greedy
+ * combos (core/pipeline.hh) each make one pass of locally-optimal
+ * decisions; the search treats any combo's layout as a *seed* and
+ * explores the neighbourhood its tie-breaks and merge order never
+ * visited:
+ *
+ *   - Candidates are perturbed segment sequences (opt/perturb.hh).
+ *   - Each epoch, a batch of candidates is scored with the cheap
+ *     ExtTSP proxy (opt/exttsp.hh) in parallel on a ThreadPool; batch
+ *     generation and acceptance are sequential and seeded, so the
+ *     result is byte-identical for a given seed regardless of the
+ *     pool's width (proxy scores are pure per-candidate functions).
+ *   - Acceptance is either first-improvement hill climbing or
+ *     simulated annealing with a geometric temperature schedule.
+ *   - Every `rerank_every` epochs (and once at the end), the survivors
+ *     — seed, incumbent, proxy-best, and the top of the current batch
+ *     — are re-ranked against ground truth: each candidate's layout is
+ *     resolved and replayed through the sim/engine i-cache path on the
+ *     recorded trace, with results cached by candidate fingerprint so
+ *     a layout is never replayed twice. The returned layout is the
+ *     ground-truth winner, which by construction is never worse than
+ *     the seed on the re-rank cache configuration.
+ *
+ * This is the first subsystem where the simulator runs *inside* the
+ * optimizer loop rather than only after it.
+ */
+
+namespace spikesim::opt {
+
+/** Search configuration. */
+struct SearchOptions
+{
+    /** RNG seed; equal seeds give byte-identical results. */
+    std::uint64_t seed = 1;
+
+    enum class Algorithm {
+        /** First-improvement hill climbing (scan batch in index
+         *  order, take the first candidate beating the incumbent). */
+        HillClimb,
+        /** Simulated annealing (batch best; Metropolis acceptance). */
+        Anneal,
+    };
+    Algorithm algorithm = Algorithm::Anneal;
+
+    /** Search budget: epochs x batch candidate evaluations. */
+    int epochs = 48;
+    int batch = 24;
+    /** Each candidate applies 1..max_ops perturbation operators. */
+    int max_ops = 4;
+
+    /** Initial annealing temperature as a fraction of |seed score|. */
+    double init_temp_frac = 0.02;
+    /** Geometric cooling factor per epoch. */
+    double cooling = 0.92;
+
+    /** Ground-truth re-rank period in epochs; 0 disables re-ranking
+     *  (proxy-only search; also disabled when no trace is given). */
+    int rerank_every = 12;
+    /** How many of the current batch's proxy-best candidates join the
+     *  survivors at each re-rank. */
+    std::size_t rerank_top = 3;
+    /** Cache configuration ground truth is measured on (the paper's
+     *  Figure 7 setup: 64KB, 128B lines, 4-way). */
+    mem::CacheConfig rerank_config{64 * 1024, 128, 4};
+    /** Stream replayed for ground truth. */
+    sim::StreamFilter filter = sim::StreamFilter::AppOnly;
+
+    ExtTspParams exttsp;
+};
+
+/** Search outcome plus the audit trail the benches report. */
+struct SearchResult
+{
+    explicit SearchResult(core::Layout seed_layout)
+        : layout(std::move(seed_layout))
+    {
+    }
+
+    /** The winning layout (ground-truth winner when re-ranking ran,
+     *  else the proxy-best). */
+    core::Layout layout;
+
+    /** ExtTSP score of the (re-materialized) seed layout. */
+    double seed_score = 0.0;
+    /** Best ExtTSP score found (>= seed_score always). */
+    double best_score = 0.0;
+
+    /** Ground-truth misses on rerank_config (0 when never re-ranked). */
+    std::uint64_t seed_misses = 0;
+    std::uint64_t best_misses = 0;
+
+    /** Proxy evaluations performed (excludes the seed's). */
+    std::uint64_t proxy_evals = 0;
+    /** Ground-truth replays performed / avoided by the cache. */
+    std::uint64_t sim_evals = 0;
+    std::uint64_t sim_cache_hits = 0;
+
+    /** Best-so-far proxy score after each epoch (non-decreasing). */
+    std::vector<double> epoch_best;
+
+    /** Champion ground-truth misses at each re-rank — the search-budget
+     *  vs miss-count curve. One point per re-rank; non-increasing. */
+    struct RerankPoint
+    {
+        int epoch = 0;            ///< epochs completed at this point
+        std::uint64_t misses = 0; ///< champion misses on rerank_config
+    };
+    std::vector<RerankPoint> rerank_curve;
+
+    PerturbCounts perturb_counts;
+};
+
+/**
+ * Search for an improved layout, seeded from the greedy pipeline's
+ * layout for `popts.combo`. Candidate layouts are materialized with
+ * popts.text_base / popts.segment_align (tight packing, like the
+ * split-based combos), so seeding from a non-split combo first
+ * re-materializes its segments tightly.
+ *
+ * @param trace when non-null, enables periodic ground-truth re-ranking
+ *        on this trace (sopts.rerank_every).
+ * @param kernel_layout kernel image layout, needed only when
+ *        sopts.filter selects kernel events.
+ * @param pool parallel proxy evaluation; null = serial. The result is
+ *        byte-identical either way.
+ */
+SearchResult searchLayout(const program::Program& prog,
+                          const profile::Profile& profile,
+                          const core::PipelineOptions& popts,
+                          const SearchOptions& sopts,
+                          const trace::TraceBuffer* trace = nullptr,
+                          const core::Layout* kernel_layout = nullptr,
+                          support::ThreadPool* pool = nullptr);
+
+} // namespace spikesim::opt
+
+#endif // SPIKESIM_OPT_SEARCH_HH
