@@ -177,7 +177,9 @@ main(int argc, char** argv)
                  << g_search.misses(kb * 1024, line, 1) << "}";
         }
     json << "\n  ]\n}\n";
+    json.close(); // flush before the manifest embeds it
     std::cout << "wrote BENCH_layout_search.json\n\n";
+    w.recordArtifact("BENCH_layout_search.json");
 
     bench::paperVsMeasured(
         "searched vs greedy All (64KB/128B/4-way app misses)",

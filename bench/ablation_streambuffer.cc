@@ -37,9 +37,9 @@ main(int argc, char** argv)
         auto seq = rep.sequence(sim::StreamFilter::AppOnly);
         coverage[i] = s.coverage();
         table.addRow({layout == &base ? "base" : "optimized",
-                      support::withCommas(s.l1_misses),
-                      support::withCommas(s.stream_hits),
-                      support::withCommas(s.demand_misses),
+                      support::withCommas(s.l1Misses()),
+                      support::withCommas(s.streamHits()),
+                      support::withCommas(s.demandMisses()),
                       support::percent(s.coverage()),
                       support::fixed(seq.mean, 1)});
         ++i;

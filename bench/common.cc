@@ -2,7 +2,11 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "sim/corpus.hh"
@@ -17,7 +21,8 @@ usage(const char* argv0, const std::string& complaint)
 {
     support::fatal(complaint + "\nusage: " + argv0 +
                    " [--corpus DIR] [--threads N] [--seed N]"
-                   " [profile_txns] [trace_txns]");
+                   " [--trace-out FILE] [--manifest-out FILE]"
+                   " [--progress SECS] [profile_txns] [trace_txns]");
 }
 
 /** Strict decimal parse; rejects sign, junk, and overflow. */
@@ -59,7 +64,107 @@ parseThreads(const char* argv0, const std::string& arg)
     return static_cast<int>(v);
 }
 
+/** Strict positive-seconds parse for `--progress`. */
+double
+parseSeconds(const char* argv0, const std::string& arg)
+{
+    if (arg.empty())
+        usage(argv0, "--progress needs a period in seconds");
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(arg.c_str(), &end);
+    if (errno == ERANGE || end != arg.c_str() + arg.size() ||
+        !std::isfinite(v) || v <= 0.0)
+        usage(argv0, "--progress period must be a positive number of "
+                     "seconds, got '" + arg + "'");
+    return v;
+}
+
+/** A flag value that must be a non-empty file path. */
+std::string
+parsePath(const char* argv0, const std::string& arg, const char* flag)
+{
+    if (arg.empty())
+        usage(argv0, std::string(flag) + " needs a file path");
+    return arg;
+}
+
 } // namespace
+
+ObsOptions
+obsOptionsFromEnv()
+{
+    ObsOptions o;
+    if (const char* v = std::getenv("SPIKESIM_TRACE_OUT");
+        v != nullptr && *v != '\0')
+        o.trace_out = v;
+    if (const char* v = std::getenv("SPIKESIM_MANIFEST_OUT");
+        v != nullptr && *v != '\0')
+        o.manifest_out = v;
+    if (const char* v = std::getenv("SPIKESIM_PROGRESS");
+        v != nullptr && *v != '\0')
+        o.progress_s = parseSeconds("SPIKESIM_PROGRESS", v);
+    return o;
+}
+
+ObsRun::ObsRun(ObsOptions opts, int argc, char** argv)
+    : opts_(std::move(opts))
+{
+    if (argc > 0)
+        manifest_.binary = argv[0];
+    for (int i = 1; i < argc; ++i)
+        manifest_.args.emplace_back(argv[i]);
+    if (!opts_.trace_out.empty())
+        obs::startTracing();
+    if (opts_.progress_s > 0.0)
+        progress_ = std::make_unique<obs::ProgressMeter>(opts_.progress_s,
+                                                         std::cerr);
+}
+
+ObsRun::~ObsRun()
+{
+    finish();
+}
+
+void
+ObsRun::addArtifact(std::string name, std::string json)
+{
+    manifest_.artifacts.push_back(
+        {std::move(name), std::move(json)});
+}
+
+void
+ObsRun::addArtifactFile(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::cerr << "[obs] warning: cannot read artifact " << path
+                  << "; not embedded in the manifest\n";
+        return;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    addArtifact(std::filesystem::path(path).filename().string(),
+                buf.str());
+}
+
+void
+ObsRun::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    progress_.reset(); // join the heartbeat before flushing anything
+    if (!opts_.trace_out.empty()) {
+        obs::stopTracing(opts_.trace_out);
+        std::cerr << "[obs] wrote trace to " << opts_.trace_out << "\n";
+    }
+    if (!opts_.manifest_out.empty()) {
+        obs::writeManifest(manifest_, opts_.manifest_out);
+        std::cerr << "[obs] wrote manifest to " << opts_.manifest_out
+                  << "\n";
+    }
+}
 
 int
 threadsFromEnv()
@@ -90,6 +195,7 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     int threads = -1; // unset: SPIKESIM_THREADS, then hardware
     bool seed_set = false;
     std::uint64_t seed = kDefaultSeed;
+    ObsOptions oopts = obsOptionsFromEnv(); // flags below win
 
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
@@ -100,6 +206,28 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
             corpus_dir = argv[++i];
         } else if (arg.rfind("--corpus=", 0) == 0) {
             corpus_dir = arg.substr(9);
+        } else if (arg == "--trace-out") {
+            if (i + 1 >= argc)
+                usage(argv[0], "--trace-out needs a file path");
+            oopts.trace_out =
+                parsePath(argv[0], argv[++i], "--trace-out");
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            oopts.trace_out =
+                parsePath(argv[0], arg.substr(12), "--trace-out");
+        } else if (arg == "--manifest-out") {
+            if (i + 1 >= argc)
+                usage(argv[0], "--manifest-out needs a file path");
+            oopts.manifest_out =
+                parsePath(argv[0], argv[++i], "--manifest-out");
+        } else if (arg.rfind("--manifest-out=", 0) == 0) {
+            oopts.manifest_out =
+                parsePath(argv[0], arg.substr(15), "--manifest-out");
+        } else if (arg == "--progress") {
+            if (i + 1 >= argc)
+                usage(argv[0], "--progress needs a period in seconds");
+            oopts.progress_s = parseSeconds(argv[0], argv[++i]);
+        } else if (arg.rfind("--progress=", 0) == 0) {
+            oopts.progress_s = parseSeconds(argv[0], arg.substr(11));
         } else if (arg == "--threads") {
             if (i + 1 >= argc)
                 usage(argv[0], "--threads needs a count argument");
@@ -133,17 +261,26 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     params.profile_txns = profile_txns;
     params.trace_txns = trace_txns;
 
+    Workload w;
+    if (oopts.active())
+        w.obs_run = std::make_unique<ObsRun>(std::move(oopts), argc,
+                                             argv);
+
     sim::GeneratedWorkload g;
-    if (corpus_dir.empty()) {
-        g = sim::generateWorkload(params, &std::cerr);
-    } else {
-        g = sim::loadOrCapture(params, corpus_dir, &std::cerr);
-        if (envFlagSet("SPIKESIM_CORPUS_VERIFY"))
-            sim::verifyCorpusAgainstFresh(params, *g.profiles, g.buf,
-                                          &std::cerr);
+    {
+        std::optional<obs::PhaseClock> phase;
+        if (w.obs_run)
+            phase.emplace(w.obs_run->manifest(), "workload");
+        if (corpus_dir.empty()) {
+            g = sim::generateWorkload(params, &std::cerr);
+        } else {
+            g = sim::loadOrCapture(params, corpus_dir, &std::cerr);
+            if (envFlagSet("SPIKESIM_CORPUS_VERIFY"))
+                sim::verifyCorpusAgainstFresh(params, *g.profiles, g.buf,
+                                              &std::cerr);
+        }
     }
 
-    Workload w;
     w.system = std::move(g.system);
     w.profiles = std::move(g.profiles);
     w.buf = std::move(g.buf);
@@ -155,6 +292,17 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     if (w.threads > 0)
         w.worker_pool =
             std::make_unique<support::ThreadPool>(w.threads);
+
+    if (w.obs_run) {
+        obs::Manifest& m = w.obs_run->manifest();
+        m.seed = w.seed;
+        m.threads = static_cast<std::size_t>(w.threads);
+        m.info.emplace_back("profile_txns",
+                            std::to_string(profile_txns));
+        m.info.emplace_back("trace_txns", std::to_string(trace_txns));
+        if (!corpus_dir.empty())
+            m.info.emplace_back("corpus_dir", corpus_dir);
+    }
     return w;
 }
 

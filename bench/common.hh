@@ -11,6 +11,8 @@
 
 #include "core/pipeline.hh"
 #include "metrics/sequence.hh"
+#include "obs/manifest.hh"
+#include "obs/tracing.hh"
 #include "sim/engine.hh"
 #include "sim/replay.hh"
 #include "sim/system.hh"
@@ -48,9 +50,83 @@
 
 namespace spikesim::bench {
 
+/**
+ * Resolved observability switches. All default off, so a run without
+ * them is byte-identical to a build without the obs layer: no trace
+ * collection, no heartbeat, no manifest, nothing extra on stdout.
+ */
+struct ObsOptions
+{
+    std::string trace_out;    ///< Chrome trace JSON path ("" = off)
+    std::string manifest_out; ///< run manifest JSON path ("" = off)
+    double progress_s = 0.0;  ///< heartbeat period in seconds (0 = off)
+
+    bool
+    active() const
+    {
+        return !trace_out.empty() || !manifest_out.empty() ||
+               progress_s > 0.0;
+    }
+};
+
+/**
+ * Observability switches from the environment: SPIKESIM_TRACE_OUT,
+ * SPIKESIM_MANIFEST_OUT, SPIKESIM_PROGRESS (seconds). The only route
+ * into the google-benchmark binaries, whose argv belongs to the
+ * benchmark library; runWorkload() additionally accepts `--trace-out`,
+ * `--manifest-out`, and `--progress` flags, which win over the
+ * environment.
+ */
+ObsOptions obsOptionsFromEnv();
+
+/**
+ * RAII driver for one observed run: starts trace collection and the
+ * progress heartbeat on construction, and on finish() (or destruction)
+ * stops the heartbeat, flushes the Chrome trace, and writes the run
+ * manifest with a final registry snapshot. All obs status lines go to
+ * stderr — stdout stays byte-identical with the switches off.
+ * runWorkload() hangs one off the Workload; google-benchmark mains
+ * construct their own from obsOptionsFromEnv().
+ */
+class ObsRun
+{
+  public:
+    ObsRun(ObsOptions opts, int argc, char** argv);
+    ~ObsRun();
+
+    ObsRun(const ObsRun&) = delete;
+    ObsRun& operator=(const ObsRun&) = delete;
+
+    obs::Manifest& manifest() { return manifest_; }
+    const ObsOptions& options() const { return opts_; }
+
+    /** Embed a produced artifact (verbatim JSON) in the manifest. */
+    void addArtifact(std::string name, std::string json);
+
+    /**
+     * Read a just-written BENCH_*.json file and embed it in the
+     * manifest under its basename. Missing/unreadable files warn on
+     * stderr rather than failing the bench.
+     */
+    void addArtifactFile(const std::string& path);
+
+    /** Stop the heartbeat, flush trace + manifest. Idempotent. */
+    void finish();
+
+  private:
+    ObsOptions opts_;
+    obs::Manifest manifest_;
+    std::unique_ptr<obs::ProgressMeter> progress_;
+    bool finished_ = false;
+};
+
 /** Everything a figure bench needs. */
 struct Workload
 {
+    /** Observed-run driver, or null when no obs switch is set. First
+     *  member on purpose: destroyed last, after the worker pool has
+     *  drained, so the trace flush sees every span. */
+    std::unique_ptr<ObsRun> obs_run;
     std::unique_ptr<sim::System> system;
     std::optional<sim::System::Profiles> profiles;
     trace::TraceBuffer buf;
@@ -66,6 +142,18 @@ struct Workload
     std::unique_ptr<support::ThreadPool> worker_pool;
 
     support::ThreadPool* pool() const { return worker_pool.get(); }
+    ObsRun* obs() const { return obs_run.get(); }
+
+    /**
+     * Register a BENCH_*.json file this bench just wrote with the run
+     * manifest (no-op when no `--manifest-out`/ObsRun is active).
+     */
+    void
+    recordArtifact(const std::string& path) const
+    {
+        if (obs_run)
+            obs_run->addArtifactFile(path);
+    }
 
     /**
      * Load the database if it is not loaded yet. A corpus hit skips
@@ -211,8 +299,16 @@ class BenchReplay
  * up, profile `profile_txns`, then record a `trace_txns` trace — or
  * load all of it from a corpus cache hit (see the file comment).
  * Malformed command-line arguments (negative, non-numeric, or
- * out-of-range transaction counts, unknown flags) are rejected with
- * fatal() instead of being silently misparsed.
+ * out-of-range transaction counts, unknown flags, missing or empty
+ * flag values) are rejected with fatal() instead of being silently
+ * misparsed.
+ *
+ * Observability flags (all optional, stdout-neutral): `--trace-out
+ * FILE` collects a Chrome trace-event JSON of the whole run,
+ * `--manifest-out FILE` writes the run manifest, `--progress SECS`
+ * prints a counter heartbeat to stderr every SECS seconds. Environment
+ * fallbacks: SPIKESIM_TRACE_OUT, SPIKESIM_MANIFEST_OUT,
+ * SPIKESIM_PROGRESS.
  */
 Workload runWorkload(int argc, char** argv,
                      std::uint64_t profile_txns = 800,

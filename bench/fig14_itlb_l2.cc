@@ -47,16 +47,16 @@ main(int argc, char** argv)
                   support::withCommas(o.total.itlb_misses),
                   pct(o.total.itlb_misses, b.total.itlb_misses)});
     table.addRow({"L2 instr. misses",
-                  support::withCommas(b.total.l2_instr_misses),
-                  support::withCommas(o.total.l2_instr_misses),
-                  pct(o.total.l2_instr_misses, b.total.l2_instr_misses)});
+                  support::withCommas(b.total.l2i.misses),
+                  support::withCommas(o.total.l2i.misses),
+                  pct(o.total.l2i.misses, b.total.l2i.misses)});
     table.addRow({"L2 data misses",
-                  support::withCommas(b.total.l2_data_misses),
-                  support::withCommas(o.total.l2_data_misses),
-                  pct(o.total.l2_data_misses, b.total.l2_data_misses)});
-    table.addRow({"L1I misses", support::withCommas(b.total.l1i_misses),
-                  support::withCommas(o.total.l1i_misses),
-                  pct(o.total.l1i_misses, b.total.l1i_misses)});
+                  support::withCommas(b.total.l2d.misses),
+                  support::withCommas(o.total.l2d.misses),
+                  pct(o.total.l2d.misses, b.total.l2d.misses)});
+    table.addRow({"L1I misses", support::withCommas(b.total.l1i.misses),
+                  support::withCommas(o.total.l1i.misses),
+                  pct(o.total.l1i.misses, b.total.l1i.misses)});
     // Standalone iTLB replay, instruction streams only: same TLB
     // geometry, one lookup per fetched L1I line — the caches around it
     // do not change what the iTLB sees.
@@ -79,22 +79,22 @@ main(int argc, char** argv)
     support::TablePrinter hw({"metric", "base", "optimized",
                               "reduction"});
     hw.addRow({"i-cache misses (8KB)",
-               support::withCommas(b164.total.l1i_misses),
-               support::withCommas(o164.total.l1i_misses),
-               pct(o164.total.l1i_misses, b164.total.l1i_misses)});
+               support::withCommas(b164.total.l1i.misses),
+               support::withCommas(o164.total.l1i.misses),
+               pct(o164.total.l1i.misses, b164.total.l1i.misses)});
     hw.addRow({"iTLB misses (48-entry)",
                support::withCommas(b164.total.itlb_misses),
                support::withCommas(o164.total.itlb_misses),
                pct(o164.total.itlb_misses, b164.total.itlb_misses)});
     hw.addRow({"board cache misses (2MB)",
-               support::withCommas(b164.total.l2_instr_misses +
-                                   b164.total.l2_data_misses),
-               support::withCommas(o164.total.l2_instr_misses +
-                                   o164.total.l2_data_misses),
-               pct(o164.total.l2_instr_misses +
-                       o164.total.l2_data_misses,
-                   b164.total.l2_instr_misses +
-                       b164.total.l2_data_misses)});
+               support::withCommas(b164.total.l2i.misses +
+                                   b164.total.l2d.misses),
+               support::withCommas(o164.total.l2i.misses +
+                                   o164.total.l2d.misses),
+               pct(o164.total.l2i.misses +
+                       o164.total.l2d.misses,
+                   b164.total.l2i.misses +
+                       b164.total.l2d.misses)});
     hw.print(std::cout);
     std::cout << "\n";
 
@@ -106,19 +106,19 @@ main(int argc, char** argv)
         "instruction side improves strongly, data side slightly "
         "(less interference)",
         "instr " +
-            pct(o.total.l2_instr_misses, b.total.l2_instr_misses) +
+            pct(o.total.l2i.misses, b.total.l2i.misses) +
             ", data " +
-            pct(o.total.l2_data_misses, b.total.l2_data_misses));
+            pct(o.total.l2d.misses, b.total.l2d.misses));
     bench::paperVsMeasured(
         "21164 hardware counters",
         "-28% i-cache, -43% iTLB, -39% board cache",
-        pct(o164.total.l1i_misses, b164.total.l1i_misses) +
+        pct(o164.total.l1i.misses, b164.total.l1i.misses) +
             " i-cache, " +
             pct(o164.total.itlb_misses, b164.total.itlb_misses) +
             " iTLB, " +
-            pct(o164.total.l2_instr_misses + o164.total.l2_data_misses,
-                b164.total.l2_instr_misses +
-                    b164.total.l2_data_misses) +
+            pct(o164.total.l2i.misses + o164.total.l2d.misses,
+                b164.total.l2i.misses +
+                    b164.total.l2d.misses) +
             " board cache");
     return 0;
 }

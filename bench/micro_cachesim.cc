@@ -289,7 +289,7 @@ BM_HierarchyReplay(benchmark::State& state)
     mem::HierarchyConfig config;
     for (auto _ : state) {
         auto r = rep.hierarchy(config);
-        benchmark::DoNotOptimize(r.total.l1i_misses);
+        benchmark::DoNotOptimize(r.total.l1i.misses);
     }
 }
 BENCHMARK(BM_HierarchyReplay)->Unit(benchmark::kMillisecond);
@@ -317,8 +317,13 @@ main(int argc, char** argv)
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    // google-benchmark owns the argv, so observability comes from the
+    // environment (SPIKESIM_TRACE_OUT / SPIKESIM_MANIFEST_OUT /
+    // SPIKESIM_PROGRESS).
+    bench::ObsRun obs(bench::obsOptionsFromEnv(), argc, argv);
     runSweepComparison();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    obs.addArtifactFile("BENCH_cachesim.json");
     return 0;
 }

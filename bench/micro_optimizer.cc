@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hh"
 #include "core/chain.hh"
 #include "core/pipeline.hh"
 #include "core/split.hh"
@@ -158,4 +159,17 @@ BENCHMARK(BM_SynthesizeImage)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    // google-benchmark owns the argv, so observability comes from the
+    // environment (SPIKESIM_TRACE_OUT / SPIKESIM_MANIFEST_OUT /
+    // SPIKESIM_PROGRESS).
+    bench::ObsRun obs(bench::obsOptionsFromEnv(), argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -176,13 +176,14 @@ sameDouble(double a, double b)
 bool
 sameStats(const mem::HierarchyStats& x, const mem::HierarchyStats& y)
 {
-    return x.fetches == y.fetches && x.l1i_misses == y.l1i_misses &&
-           x.data_refs == y.data_refs &&
-           x.l1d_misses == y.l1d_misses &&
-           x.l2_instr_accesses == y.l2_instr_accesses &&
-           x.l2_instr_misses == y.l2_instr_misses &&
-           x.l2_data_accesses == y.l2_data_accesses &&
-           x.l2_data_misses == y.l2_data_misses &&
+    return x.l1i.accesses == y.l1i.accesses &&
+           x.l1i.misses == y.l1i.misses &&
+           x.l1d.accesses == y.l1d.accesses &&
+           x.l1d.misses == y.l1d.misses &&
+           x.l2i.accesses == y.l2i.accesses &&
+           x.l2i.misses == y.l2i.misses &&
+           x.l2d.accesses == y.l2d.accesses &&
+           x.l2d.misses == y.l2d.misses &&
            x.itlb_misses == y.itlb_misses &&
            x.comm_misses == y.comm_misses;
 }
@@ -219,7 +220,7 @@ compareSuites(const SuiteResults& a, const SuiteResults& b,
     for (std::size_t i = 0; i < a.threec.size(); ++i) {
         const auto& x = a.threec[i];
         const auto& y = b.threec[i];
-        check(x.accesses == y.accesses &&
+        check(x.accesses() == y.accesses() &&
                   x.compulsory == y.compulsory &&
                   x.capacity == y.capacity &&
                   x.conflict == y.conflict,
@@ -230,10 +231,10 @@ compareSuites(const SuiteResults& a, const SuiteResults& b,
     for (std::size_t i = 0; i < a.sbuf.size(); ++i) {
         const auto& x = a.sbuf[i];
         const auto& y = b.sbuf[i];
-        check(x.accesses == y.accesses &&
-                  x.l1_misses == y.l1_misses &&
-                  x.stream_hits == y.stream_hits &&
-                  x.demand_misses == y.demand_misses,
+        check(x.accesses() == y.accesses() &&
+                  x.l1Misses() == y.l1Misses() &&
+                  x.streamHits() == y.streamHits() &&
+                  x.demandMisses() == y.demandMisses(),
               "stream buffer counts");
     }
 
@@ -282,6 +283,7 @@ compareSuites(const SuiteResults& a, const SuiteResults& b,
 int
 main(int argc, char** argv)
 {
+    bench::ObsRun obs(bench::obsOptionsFromEnv(), argc, argv);
     bench::banner("Replay engine microbenchmark",
                   "per-config oracle vs fused vs parallel replay "
                   "(bit-identical)");
@@ -384,6 +386,8 @@ main(int argc, char** argv)
          << ",\n"
          << "  \"differential_ok\": true\n"
          << "}\n";
+    json.close(); // flush before the manifest embeds it
     std::cout << "wrote BENCH_replay.json\n";
+    obs.addArtifactFile("BENCH_replay.json");
     return 0;
 }

@@ -268,8 +268,13 @@ main(int argc, char** argv)
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    // google-benchmark owns the argv, so observability comes from the
+    // environment (SPIKESIM_TRACE_OUT / SPIKESIM_MANIFEST_OUT /
+    // SPIKESIM_PROGRESS).
+    bench::ObsRun obs(bench::obsOptionsFromEnv(), argc, argv);
     runCaptureVsLoad();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    obs.addArtifactFile("BENCH_trace_io.json");
     return 0;
 }

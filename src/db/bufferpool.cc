@@ -1,5 +1,7 @@
 #include "db/bufferpool.hh"
 
+#include "obs/registry.hh"
+
 #include "support/panic.hh"
 
 namespace spikesim::db {
@@ -23,6 +25,8 @@ BufferPool::fetch(PageId id)
         f.stamp = now_;
         ++f.pins;
         ++hits_;
+        static obs::Counter& c_hits = obs::counter("db.bufferpool.hits");
+        c_hits.add(1);
         if (hooks_ != nullptr) {
             hooks_->onOp("buf_get_hit");
             hooks_->onData(addrmap::bufferFrame(it->second));
@@ -31,6 +35,8 @@ BufferPool::fetch(PageId id)
     }
 
     ++misses_;
+    static obs::Counter& c_misses = obs::counter("db.bufferpool.misses");
+    c_misses.add(1);
     std::uint32_t victim = pickVictim();
     Frame& f = frames_[victim];
     if (f.valid) {

@@ -1,5 +1,7 @@
 #include "db/lockmgr.hh"
 
+#include "obs/registry.hh"
+
 #include <algorithm>
 
 #include "support/panic.hh"
@@ -59,9 +61,11 @@ LockManager::acquire(TxnId txn, const LockName& name, LockMode mode)
     // Already held by us?
     bool mine = std::find(s.holders.begin(), s.holders.end(), txn) !=
                 s.holders.end();
+    static obs::Counter& c_regrants = obs::counter("db.lockmgr.grants");
     if (mine) {
         if (mode == LockMode::Shared || s.mode == LockMode::Exclusive) {
             ++grants_;
+            c_regrants.add(1);
             cancelWait(txn);
             return LockResult::Granted;
         }
@@ -69,6 +73,7 @@ LockManager::acquire(TxnId txn, const LockName& name, LockMode mode)
         if (s.holders.size() == 1) {
             s.mode = LockMode::Exclusive;
             ++grants_;
+            c_regrants.add(1);
             cancelWait(txn);
             return LockResult::Granted;
         }
@@ -77,8 +82,14 @@ LockManager::acquire(TxnId txn, const LockName& name, LockMode mode)
     if (conflicts(s, txn, mode) ||
         (mine && mode == LockMode::Exclusive)) {
         ++conflicts_;
+        static obs::Counter& c_conflicts =
+            obs::counter("db.lockmgr.conflicts");
+        c_conflicts.add(1);
         if (wouldDeadlock(txn, s)) {
             ++deadlocks_;
+            static obs::Counter& c_deadlocks =
+                obs::counter("db.lockmgr.deadlocks");
+            c_deadlocks.add(1);
             return LockResult::Deadlock;
         }
         auto& waits = wait_for_[txn];
@@ -97,6 +108,8 @@ LockManager::acquire(TxnId txn, const LockName& name, LockMode mode)
     else if (s.holders.size() == 1 && !mine)
         s.mode = mode;
     ++grants_;
+    static obs::Counter& c_grants = obs::counter("db.lockmgr.grants");
+    c_grants.add(1);
     cancelWait(txn);
     return LockResult::Granted;
 }

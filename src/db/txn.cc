@@ -1,5 +1,7 @@
 #include "db/txn.hh"
 
+#include "obs/registry.hh"
+
 #include <cstring>
 
 #include "support/panic.hh"
@@ -40,6 +42,8 @@ TransactionManager::commit(TxnId txn)
     locks_.releaseAll(txn);
     it->second = TxnState::Committed;
     ++committed_;
+    static obs::Counter& c_commits = obs::counter("db.txn.commits");
+    c_commits.add(1);
 }
 
 void
@@ -68,6 +72,8 @@ TransactionManager::abort(TxnId txn)
     locks_.releaseAll(txn);
     it->second = TxnState::Aborted;
     ++aborted_;
+    static obs::Counter& c_aborts = obs::counter("db.txn.aborts");
+    c_aborts.add(1);
 }
 
 TxnState

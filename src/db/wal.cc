@@ -1,5 +1,7 @@
 #include "db/wal.hh"
 
+#include "obs/registry.hh"
+
 #include <cstring>
 
 #include "support/panic.hh"
@@ -129,6 +131,8 @@ Wal::commit(TxnId txn)
     logCommitRecord(txn);
     dropUndoChain(txn);
     ++commits_;
+    static obs::Counter& c_commits = obs::counter("db.wal.commits");
+    c_commits.add(1);
     ++pending_commits_;
     bool lead = pending_commits_ >= config_.group_commit_batch ||
                 buffer_.size() >= config_.flush_threshold_bytes;
@@ -160,6 +164,12 @@ Wal::flush()
     flushed_lsn_ = next_lsn_ - 1;
     buffered_from_lsn_ = next_lsn_;
     buffer_.clear();
+    static obs::Counter& c_flushes = obs::counter("db.wal.flushes");
+    static obs::Histogram& h_batch =
+        obs::histogram("db.wal.group_commit_size");
+    c_flushes.add(1);
+    if (pending_commits_ > 0)
+        h_batch.record(pending_commits_);
     pending_commits_ = 0;
     ++flushes_;
 }

@@ -58,7 +58,7 @@ SetAssocCache::access(std::uint64_t addr, Owner owner)
         Entry& e = ways[w];
         if (e.valid && e.tag == line) {
             e.stamp = now_;
-            ++hits_;
+            stats_.record(false);
             return {true, Owner::None};
         }
         if (!e.valid) {
@@ -68,7 +68,7 @@ SetAssocCache::access(std::uint64_t addr, Owner owner)
         }
     }
 
-    ++misses_;
+    stats_.record(true);
     ++misses_by_[static_cast<std::size_t>(owner)];
     AccessResult r;
     r.hit = false;
@@ -92,8 +92,7 @@ SetAssocCache::reset()
     for (auto& e : entries_)
         e = Entry();
     now_ = 0;
-    hits_ = 0;
-    misses_ = 0;
+    stats_.clear();
     for (auto& m : misses_by_)
         m = 0;
 }

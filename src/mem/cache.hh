@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "support/stats.hh"
+
 /**
  * @file
  * Trace-driven set-associative cache simulator with true-LRU
@@ -70,9 +72,10 @@ class SetAssocCache
     AccessResult access(std::uint64_t addr, Owner owner);
 
     const CacheConfig& config() const { return config_; }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
-    std::uint64_t accesses() const { return hits_ + misses_; }
+    std::uint64_t hits() const { return stats_.hits(); }
+    std::uint64_t misses() const { return stats_.misses; }
+    std::uint64_t accesses() const { return stats_.accesses; }
+    const support::AccessStats& stats() const { return stats_; }
     /** Misses broken down by accessing owner. */
     std::uint64_t missesBy(Owner owner) const;
 
@@ -92,8 +95,7 @@ class SetAssocCache
     std::uint32_t line_shift_;
     std::uint32_t set_mask_;
     std::uint64_t now_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
+    support::AccessStats stats_;
     std::uint64_t misses_by_[kNumOwners] = {0, 0, 0};
 };
 

@@ -7,14 +7,10 @@ namespace spikesim::mem {
 HierarchyStats&
 HierarchyStats::operator+=(const HierarchyStats& o)
 {
-    fetches += o.fetches;
-    l1i_misses += o.l1i_misses;
-    data_refs += o.data_refs;
-    l1d_misses += o.l1d_misses;
-    l2_instr_accesses += o.l2_instr_accesses;
-    l2_instr_misses += o.l2_instr_misses;
-    l2_data_accesses += o.l2_data_accesses;
-    l2_data_misses += o.l2_data_misses;
+    l1i += o.l1i;
+    l1d += o.l1d;
+    l2i += o.l2i;
+    l2d += o.l2d;
     itlb_misses += o.itlb_misses;
     comm_misses += o.comm_misses;
     return *this;
@@ -48,30 +44,30 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
 void
 MemoryHierarchy::fetchLine(std::uint64_t addr, Owner owner)
 {
-    ++stats_.fetches;
     if (!itlb_.access(addr))
         ++stats_.itlb_misses;
-    if (!l1i_.access(addr, owner).hit) {
-        ++stats_.l1i_misses;
-        ++stats_.l2_instr_accesses;
-        if (!l2_.access(pseudoPhysical(addr, config_.page_bytes), owner)
-                 .hit)
-            ++stats_.l2_instr_misses;
+    if (l1i_.access(addr, owner).hit) {
+        stats_.l1i.record(false);
+        return;
     }
+    stats_.l1i.record(true);
+    stats_.l2i.record(
+        !l2_.access(pseudoPhysical(addr, config_.page_bytes), owner)
+             .hit);
 }
 
 void
 MemoryHierarchy::dataLine(std::uint64_t addr)
 {
-    ++stats_.data_refs;
-    if (!l1d_.access(addr, Owner::Data).hit) {
-        ++stats_.l1d_misses;
-        ++stats_.l2_data_accesses;
-        if (!l2_.access(pseudoPhysical(addr, config_.page_bytes),
-                        Owner::Data)
-                 .hit)
-            ++stats_.l2_data_misses;
+    if (l1d_.access(addr, Owner::Data).hit) {
+        stats_.l1d.record(false);
+        return;
     }
+    stats_.l1d.record(true);
+    stats_.l2d.record(
+        !l2_.access(pseudoPhysical(addr, config_.page_bytes),
+                    Owner::Data)
+             .hit);
 }
 
 } // namespace spikesim::mem

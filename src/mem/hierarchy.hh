@@ -27,17 +27,18 @@ struct HierarchyConfig
     std::uint32_t page_bytes = 8 * 1024;
 };
 
-/** Aggregate miss counters for one hierarchy. */
+/**
+ * Aggregate miss counters for one hierarchy: one support::AccessStats
+ * per cache view (l1i.accesses = instruction fetches, l1d.accesses =
+ * data refs, l2i/l2d = the L2 split by requester), plus the two
+ * counters with no hit notion.
+ */
 struct HierarchyStats
 {
-    std::uint64_t fetches = 0;
-    std::uint64_t l1i_misses = 0;
-    std::uint64_t data_refs = 0;
-    std::uint64_t l1d_misses = 0;
-    std::uint64_t l2_instr_accesses = 0;
-    std::uint64_t l2_instr_misses = 0;
-    std::uint64_t l2_data_accesses = 0;
-    std::uint64_t l2_data_misses = 0;
+    support::AccessStats l1i;
+    support::AccessStats l1d;
+    support::AccessStats l2i;
+    support::AccessStats l2d;
     std::uint64_t itlb_misses = 0;
     /** Coherence (communication) misses on shared data lines; filled
      *  by the multi-CPU replayer, not by a single hierarchy. */

@@ -22,17 +22,18 @@ void
 StreamBufferICache::fetchLine(std::uint64_t addr)
 {
     ++now_;
-    ++stats_.accesses;
-    if (cache_.access(addr, Owner::App).hit)
+    if (cache_.access(addr, Owner::App).hit) {
+        stats_.l1.record(false);
         return;
-    ++stats_.l1_misses;
+    }
+    stats_.l1.record(true);
 
     std::uint64_t line = addr >> line_shift_;
     // Head check: a buffer whose head holds this line supplies it and
     // streams ahead.
     for (Buffer& b : buffers_) {
         if (b.valid && b.next_line == line) {
-            ++stats_.stream_hits;
+            stats_.stream.record(false);
             b.next_line = line + 1;
             b.stamp = now_;
             return;
@@ -41,7 +42,7 @@ StreamBufferICache::fetchLine(std::uint64_t addr)
 
     // Demand miss: fetch from the next level and (re)allocate the LRU
     // buffer to stream the successor lines.
-    ++stats_.demand_misses;
+    stats_.stream.record(true);
     Buffer* victim = &buffers_[0];
     for (Buffer& b : buffers_) {
         if (!b.valid) {

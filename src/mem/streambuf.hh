@@ -23,20 +23,37 @@
 
 namespace spikesim::mem {
 
-/** Statistics of a stream-buffered i-cache run. */
+/**
+ * Statistics of a stream-buffered i-cache run: two chained
+ * support::AccessStats levels. `l1` counts every fetch against the
+ * cache itself; `stream` counts the L1 misses against the stream
+ * buffers (its hits were buffer-supplied, its misses went to the next
+ * level).
+ */
 struct StreamBufferStats
 {
-    std::uint64_t accesses = 0;
-    std::uint64_t l1_misses = 0;       ///< missed the cache itself
-    std::uint64_t stream_hits = 0;     ///< satisfied by a stream buffer
-    std::uint64_t demand_misses = 0;   ///< went to the next level
+    support::AccessStats l1;
+    support::AccessStats stream;
+
+    std::uint64_t accesses() const { return l1.accesses; }
+    std::uint64_t l1Misses() const { return l1.misses; }
+    std::uint64_t streamHits() const { return stream.hits(); }
+    std::uint64_t demandMisses() const { return stream.misses; }
+
+    StreamBufferStats&
+    operator+=(const StreamBufferStats& o)
+    {
+        l1 += o.l1;
+        stream += o.stream;
+        return *this;
+    }
 
     double
     coverage() const
     {
-        return l1_misses == 0 ? 0.0
-                              : static_cast<double>(stream_hits) /
-                                    static_cast<double>(l1_misses);
+        return l1.misses == 0 ? 0.0
+                              : static_cast<double>(streamHits()) /
+                                    static_cast<double>(l1.misses);
     }
 };
 

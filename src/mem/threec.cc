@@ -44,10 +44,10 @@ ClassifyingICache::ClassifyingICache(const CacheConfig& config)
 void
 ClassifyingICache::access(std::uint64_t addr)
 {
-    ++stats_.accesses;
     std::uint64_t line = addr >> line_shift_;
     bool real_hit = real_.access(addr, Owner::App).hit;
     bool ideal_hit = ideal_.access(line);
+    stats_.base.record(!real_hit);
     bool& seen = touched_[line];
     if (real_hit) {
         seen = true;

@@ -21,24 +21,26 @@
 
 namespace spikesim::mem {
 
-/** Miss counts by cause. */
+/**
+ * Miss counts by cause. The base access/miss pair is the shared
+ * support::AccessStats shape (base.misses == compulsory + capacity +
+ * conflict by construction); the three classes refine it.
+ */
 struct ThreeCStats
 {
-    std::uint64_t accesses = 0;
+    support::AccessStats base;
     std::uint64_t compulsory = 0;
     std::uint64_t capacity = 0;
     std::uint64_t conflict = 0;
 
-    std::uint64_t
-    totalMisses() const
-    {
-        return compulsory + capacity + conflict;
-    }
+    std::uint64_t accesses() const { return base.accesses; }
+
+    std::uint64_t totalMisses() const { return base.misses; }
 
     ThreeCStats&
     operator+=(const ThreeCStats& o)
     {
-        accesses += o.accesses;
+        base += o.base;
         compulsory += o.compulsory;
         capacity += o.capacity;
         conflict += o.conflict;

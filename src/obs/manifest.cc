@@ -1,0 +1,163 @@
+#include "obs/manifest.hh"
+
+#include <chrono>
+#include <ctime>
+#include <fstream>
+
+#include "obs/json.hh"
+#include "obs/tracing.hh"
+#include "support/panic.hh"
+
+namespace spikesim::obs {
+
+namespace {
+
+void appendString(std::string& out, std::string_view s)
+{
+    out += '"';
+    out += jsonEscape(s);
+    out += '"';
+}
+
+} // namespace
+
+std::string renderManifest(const Manifest& m)
+{
+    std::string out = "{\"spikesim_manifest\":1,\"binary\":";
+    appendString(out, m.binary);
+    out += ",\"args\":[";
+    for (std::size_t i = 0; i < m.args.size(); ++i) {
+        if (i)
+            out += ',';
+        appendString(out, m.args[i]);
+    }
+    out += "],\"seed\":" + std::to_string(m.seed);
+    out += ",\"threads\":" + std::to_string(m.threads);
+    out += ",\"info\":{";
+    for (std::size_t i = 0; i < m.info.size(); ++i) {
+        if (i)
+            out += ',';
+        appendString(out, m.info[i].first);
+        out += ':';
+        appendString(out, m.info[i].second);
+    }
+    out += "},\"phases\":[";
+    for (std::size_t i = 0; i < m.phases.size(); ++i) {
+        const PhaseTime& p = m.phases[i];
+        if (i)
+            out += ',';
+        out += "{\"name\":";
+        appendString(out, p.name);
+        out += ",\"wall_s\":" + jsonNumber(p.wall_s);
+        out += ",\"cpu_s\":" + jsonNumber(p.cpu_s);
+        out += '}';
+    }
+    out += "],\"artifacts\":{";
+    for (std::size_t i = 0; i < m.artifacts.size(); ++i) {
+        if (i)
+            out += ',';
+        appendString(out, m.artifacts[i].name);
+        out += ':';
+        // Re-parse before embedding: a malformed BENCH_*.json must
+        // degrade to null, not corrupt the whole manifest document.
+        JsonValue artifact;
+        if (!m.artifacts[i].json.empty() &&
+            parseJson(m.artifacts[i].json, artifact))
+            out += artifact.dump();
+        else
+            out += "null";
+    }
+    out += "},\"metrics\":{\"counters\":{";
+    Snapshot snap = Registry::instance().snapshot();
+    bool first = true;
+    for (const auto& [name, v] : snap.counters) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendString(out, name);
+        out += ':' + std::to_string(v);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : snap.gauges) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendString(out, name);
+        out += ':' + std::to_string(v);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : snap.histograms) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendString(out, name);
+        out += ":{\"total\":" + std::to_string(h.totalSamples());
+        out += ",\"mean\":" + jsonNumber(h.mean());
+        out += ",\"log2_buckets\":[";
+        std::size_t last = 0;
+        for (std::size_t b = 0; b < h.numBuckets(); ++b)
+            if (h.bucket(b))
+                last = b + 1;
+        for (std::size_t b = 0; b < last; ++b) {
+            if (b)
+                out += ',';
+            out += std::to_string(h.bucket(b));
+        }
+        out += "]}";
+    }
+    out += "}}}";
+    return out;
+}
+
+void writeManifest(const Manifest& m, const std::string& path)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        support::fatal("cannot open manifest output file: " + path);
+    f << renderManifest(m) << '\n';
+    f.close();
+    if (!f)
+        support::fatal("failed writing manifest output file: " + path);
+}
+
+struct PhaseClock::Impl {
+    Manifest& m;
+    std::string name;
+    std::chrono::steady_clock::time_point wall0;
+    std::clock_t cpu0;
+    Span span;
+
+    Impl(Manifest& mf, std::string n)
+        : m(mf),
+          name(std::move(n)),
+          wall0(std::chrono::steady_clock::now()),
+          cpu0(std::clock()),
+          // Interned: the event buffer keeps raw pointers past this
+          // object's lifetime.
+          span(internName(name), "phase")
+    {
+    }
+};
+
+PhaseClock::PhaseClock(Manifest& m, std::string name)
+    : impl_(new Impl(m, std::move(name)))
+{
+}
+
+PhaseClock::~PhaseClock()
+{
+    PhaseTime p;
+    p.name = impl_->name;
+    p.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - impl_->wall0)
+                   .count();
+    std::clock_t cpu1 = std::clock();
+    if (impl_->cpu0 != std::clock_t(-1) && cpu1 != std::clock_t(-1))
+        p.cpu_s = double(cpu1 - impl_->cpu0) / CLOCKS_PER_SEC;
+    impl_->m.phases.push_back(std::move(p));
+    delete impl_;
+}
+
+} // namespace spikesim::obs

@@ -1,0 +1,78 @@
+#ifndef SPIKESIM_OBS_MANIFEST_HH
+#define SPIKESIM_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hh"
+
+/**
+ * @file
+ * Run manifests: a structured JSON record of one bench invocation —
+ * binary, arguments, seed, thread count, wall/cpu time per phase, the
+ * BENCH_*.json artifacts it produced, and a final snapshot of every
+ * registry metric. Written by `--manifest-out file.json` through
+ * bench/common's ObsRun and pretty-printed by tools/obs_dump, so the
+ * perf numbers in a BENCH file are never separated from the
+ * configuration that produced them.
+ */
+
+namespace spikesim::obs {
+
+/** One timed phase (wall via steady_clock, cpu via std::clock). */
+struct PhaseTime {
+    std::string name;
+    double wall_s = 0.0;
+    double cpu_s = 0.0;
+};
+
+/** One artifact the run produced (name + raw JSON payload). */
+struct Artifact {
+    std::string name;
+    std::string json; ///< verbatim document, embedded on write
+};
+
+struct Manifest {
+    std::string binary;
+    std::vector<std::string> args;
+    std::uint64_t seed = 0;
+    std::size_t threads = 0;
+    /// Free-form key/value metadata (config labels, corpus state...).
+    std::vector<std::pair<std::string, std::string>> info;
+    std::vector<PhaseTime> phases;
+    std::vector<Artifact> artifacts;
+};
+
+/**
+ * Render the manifest (plus the current registry snapshot) as a JSON
+ * document. Histograms are emitted as {total, mean, buckets:[...]}
+ * with trailing zero buckets trimmed.
+ */
+std::string renderManifest(const Manifest& m);
+
+/** renderManifest() + write to a file; fatal() on I/O failure. */
+void writeManifest(const Manifest& m, const std::string& path);
+
+/**
+ * RAII phase timer: appends one PhaseTime to `m.phases` on
+ * destruction and doubles as a trace span (same name, cat "phase").
+ */
+class PhaseClock
+{
+  public:
+    PhaseClock(Manifest& m, std::string name);
+    ~PhaseClock();
+
+    PhaseClock(const PhaseClock&) = delete;
+    PhaseClock& operator=(const PhaseClock&) = delete;
+
+  private:
+    struct Impl;
+    Impl* impl_;
+};
+
+} // namespace spikesim::obs
+
+#endif // SPIKESIM_OBS_MANIFEST_HH

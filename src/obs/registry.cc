@@ -1,0 +1,141 @@
+#include "obs/registry.hh"
+
+namespace spikesim::obs {
+
+namespace detail {
+
+std::size_t shardIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local std::size_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace detail
+
+std::uint64_t Counter::value() const
+{
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_)
+        sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void Counter::reset()
+{
+    for (auto& c : cells_)
+        c.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::max(std::int64_t v)
+{
+#if SPIKESIM_OBS
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v,
+                                     std::memory_order_relaxed))
+        ;
+#else
+    (void)v;
+#endif
+}
+
+support::Log2Histogram Histogram::snapshot() const
+{
+    support::Log2Histogram h(kBuckets);
+    for (const auto& s : shards_)
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            std::uint64_t n =
+                s.bucket[b].load(std::memory_order_relaxed);
+            if (n)
+                h.record(std::uint64_t(1) << b, n);
+        }
+    return h;
+}
+
+std::uint64_t Histogram::totalSamples() const
+{
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_)
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            sum += s.bucket[b].load(std::memory_order_relaxed);
+    return sum;
+}
+
+void Histogram::reset()
+{
+    for (auto& s : shards_)
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            s.bucket[b].store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+Counter& Registry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>())
+                 .first;
+    return *it->second;
+}
+
+Snapshot Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Snapshot s;
+    s.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_)
+        s.counters.emplace_back(name, c->value());
+    s.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_)
+        s.gauges.emplace_back(name, g->value());
+    s.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+        s.histograms.emplace_back(name, h->snapshot());
+    return s;
+}
+
+void Registry::resetValues()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [name, c] : counters_)
+        c->reset();
+    for (auto& [name, g] : gauges_)
+        g->reset();
+    for (auto& [name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace spikesim::obs

@@ -1,0 +1,295 @@
+#include "obs/tracing.hh"
+
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hh"
+#include "support/panic.hh"
+
+namespace spikesim::obs {
+
+namespace {
+
+struct Event {
+    const char* name;
+    const char* cat;
+    std::uint32_t tid;
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;
+};
+
+// Hard cap on buffered events so a runaway span site can't eat the
+// heap; overflow is counted and reported instead of silently dropped.
+constexpr std::size_t kMaxEvents = 1u << 22;
+
+std::atomic<bool> g_active{false};
+std::mutex g_mu;
+std::vector<Event> g_events;
+std::atomic<std::uint64_t> g_dropped{0};
+std::chrono::steady_clock::time_point g_epoch;
+
+std::uint64_t nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - g_epoch)
+            .count());
+}
+
+std::uint32_t threadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace
+
+bool tracingActive()
+{
+    return g_active.load(std::memory_order_relaxed);
+}
+
+void startTracing()
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    g_events.clear();
+    g_events.reserve(1u << 16);
+    g_dropped.store(0, std::memory_order_relaxed);
+    g_epoch = std::chrono::steady_clock::now();
+    g_active.store(true, std::memory_order_relaxed);
+}
+
+void Span::begin(const char* name, const char* cat)
+{
+    name_ = name;
+    cat_ = cat;
+    start_ns_ = nowNs();
+    armed_ = true;
+}
+
+void Span::end()
+{
+    armed_ = false;
+    if (!tracingActive())
+        return; // collection stopped while the span was open
+    Event e{name_, cat_, threadId(), start_ns_,
+            nowNs() - start_ns_};
+    std::lock_guard<std::mutex> lk(g_mu);
+    if (g_events.size() >= kMaxEvents) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    g_events.push_back(e);
+}
+
+std::uint64_t droppedEvents()
+{
+    return g_dropped.load(std::memory_order_relaxed);
+}
+
+const char* internName(std::string_view s)
+{
+    static std::mutex mu;
+    static std::map<std::string, std::unique_ptr<std::string>,
+                    std::less<>>
+        pool;
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = pool.find(s);
+    if (it == pool.end())
+        it = pool.emplace(std::string(s),
+                          std::make_unique<std::string>(s))
+                 .first;
+    return it->second->c_str();
+}
+
+std::string stopTracingToString()
+{
+    g_active.store(false, std::memory_order_relaxed);
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> lk(g_mu);
+        events.swap(g_events);
+    }
+    // Chrome trace-event JSON: ts/dur are microseconds (fractional
+    // allowed); "X" complete events carry their own duration so no
+    // B/E pairing is needed.
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event& e : events) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":\"";
+        out += jsonEscape(e.name);
+        out += "\",\"cat\":\"";
+        out += jsonEscape(e.cat);
+        out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"ts\":";
+        out += jsonNumber(static_cast<double>(e.ts_ns) / 1000.0);
+        out += ",\"dur\":";
+        out += jsonNumber(static_cast<double>(e.dur_ns) / 1000.0);
+        out += '}';
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+void stopTracing(const std::string& path)
+{
+    std::uint64_t dropped = droppedEvents();
+    std::string doc = stopTracingToString();
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        support::fatal("cannot open trace output file: " + path);
+    f << doc << '\n';
+    f.close();
+    if (!f)
+        support::fatal("failed writing trace output file: " + path);
+    if (dropped)
+        std::fprintf(stderr,
+                     "[trace] warning: %llu events dropped (buffer "
+                     "cap %zu)\n",
+                     static_cast<unsigned long long>(dropped),
+                     kMaxEvents);
+}
+
+bool validateChromeTrace(const JsonValue& doc, std::string* err)
+{
+    auto fail = [&](const std::string& msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("top level is not an object");
+    const JsonValue* events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail("missing traceEvents array");
+    // Balanced-B/E bookkeeping per tid (we only emit X, but the
+    // validator accepts the other legal phase encoding too).
+    std::map<double, std::int64_t> open_per_tid;
+    std::size_t i = 0;
+    for (const JsonValue& e : events->array()) {
+        std::string at = " in event " + std::to_string(i++);
+        if (!e.isObject())
+            return fail("event is not an object" + at);
+        const JsonValue* name = e.find("name");
+        const JsonValue* cat = e.find("cat");
+        const JsonValue* ph = e.find("ph");
+        const JsonValue* pid = e.find("pid");
+        const JsonValue* tid = e.find("tid");
+        const JsonValue* ts = e.find("ts");
+        if (!name || !name->isString())
+            return fail("missing string name" + at);
+        if (!cat || !cat->isString())
+            return fail("missing string cat" + at);
+        if (!ph || !ph->isString() || ph->str().size() != 1)
+            return fail("missing one-char ph" + at);
+        if (!pid || !pid->isNumber())
+            return fail("missing numeric pid" + at);
+        if (!tid || !tid->isNumber())
+            return fail("missing numeric tid" + at);
+        if (!ts || !ts->isNumber() || ts->number() < 0)
+            return fail("missing numeric ts >= 0" + at);
+        char phase = ph->str()[0];
+        if (phase == 'X') {
+            const JsonValue* dur = e.find("dur");
+            if (!dur || !dur->isNumber() || dur->number() < 0)
+                return fail("X event missing numeric dur >= 0" + at);
+        } else if (phase == 'B') {
+            ++open_per_tid[tid->number()];
+        } else if (phase == 'E') {
+            if (--open_per_tid[tid->number()] < 0)
+                return fail("E without matching B" + at);
+        } else {
+            return fail(std::string("unsupported phase '") + phase +
+                        "'" + at);
+        }
+    }
+    for (const auto& [tid, open] : open_per_tid)
+        if (open != 0)
+            return fail("unbalanced B/E on tid " +
+                        std::to_string(static_cast<long long>(tid)));
+    return true;
+}
+
+struct ProgressMeter::Impl {
+    std::ostream& out;
+    double interval_s;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stop = false;
+    std::thread thread;
+
+    explicit Impl(double s, std::ostream& o) : out(o), interval_s(s) {}
+
+    void run()
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        std::map<std::string, std::uint64_t> last;
+        std::unique_lock<std::mutex> lk(mu);
+        while (!stop) {
+            cv.wait_for(lk,
+                        std::chrono::duration<double>(interval_s),
+                        [&] { return stop; });
+            if (stop)
+                break;
+            lk.unlock();
+            beat(t0, last);
+            lk.lock();
+        }
+    }
+
+    void beat(std::chrono::steady_clock::time_point t0,
+              std::map<std::string, std::uint64_t>& last)
+    {
+        double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        Snapshot snap = Registry::instance().snapshot();
+        std::string line =
+            "[progress] t=" + jsonNumber(std::floor(t * 10) / 10) +
+            "s";
+        for (const auto& [name, v] : snap.counters) {
+            std::uint64_t prev = last[name];
+            last[name] = v;
+            if (v == 0)
+                continue;
+            line += " " + name + "=" + std::to_string(v);
+            if (v > prev)
+                line += "(+" + std::to_string(v - prev) + ")";
+        }
+        line += '\n';
+        out << line << std::flush;
+    }
+};
+
+ProgressMeter::ProgressMeter(double interval_s, std::ostream& out)
+    : impl_(new Impl(interval_s, out))
+{
+    impl_->thread = std::thread([this] { impl_->run(); });
+}
+
+ProgressMeter::~ProgressMeter()
+{
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    impl_->thread.join();
+    delete impl_;
+}
+
+} // namespace spikesim::obs

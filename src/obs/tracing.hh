@@ -1,0 +1,119 @@
+#ifndef SPIKESIM_OBS_TRACING_HH
+#define SPIKESIM_OBS_TRACING_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/json.hh"
+
+/**
+ * @file
+ * Phase-scoped tracing: RAII spans collected into an in-memory event
+ * buffer and flushed as Chrome trace-event JSON ("X" complete events,
+ * one per span), loadable in Perfetto or chrome://tracing. Collection
+ * is off by default — `Span` costs one relaxed atomic load when
+ * tracing is inactive — and is switched on per run by `--trace-out`.
+ *
+ * Also hosts the progress heartbeat (`--progress N`): a background
+ * thread that prints selected registry counters to stderr every N
+ * seconds so multi-hour sweeps and searches are not silent.
+ */
+
+namespace spikesim::obs {
+
+/** True while a trace collection is active (relaxed load). */
+bool tracingActive();
+
+/**
+ * Begin collecting span events. Resets the buffer and the trace epoch
+ * (spans get timestamps relative to this call).
+ */
+void startTracing();
+
+/**
+ * Stop collecting and render the buffered events as a Chrome
+ * trace-event document: {"traceEvents":[...]}. No-op ("" events) if
+ * tracing was never started.
+ */
+std::string stopTracingToString();
+
+/** stopTracingToString() + write to a file; fatal() on I/O failure. */
+void stopTracing(const std::string& path);
+
+/** Number of events dropped because the buffer cap was reached. */
+std::uint64_t droppedEvents();
+
+/**
+ * Copy a dynamically built name into a process-lifetime pool and
+ * return a stable pointer (deduplicated). Cold path only — use for
+ * span names that are not string literals (e.g. phase names).
+ */
+const char* internName(std::string_view s);
+
+/**
+ * RAII span. Name and category must be string literals (or otherwise
+ * outlive the trace collection) — the buffer stores the pointers.
+ *
+ *     { obs::Span s("replay.shard", "sim"); ... }
+ */
+class Span
+{
+  public:
+    Span(const char* name, const char* cat)
+    {
+        if (tracingActive())
+            begin(name, cat);
+    }
+    ~Span()
+    {
+        if (armed_)
+            end();
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+  private:
+    void begin(const char* name, const char* cat);
+    void end();
+
+    const char* name_ = nullptr;
+    const char* cat_ = nullptr;
+    std::uint64_t start_ns_ = 0;
+    bool armed_ = false;
+};
+
+/**
+ * Validate a parsed Chrome trace-event document: top-level object with
+ * a "traceEvents" array; every event has string name/cat, ph "X" with
+ * numeric ts/dur >= 0 (or balanced "B"/"E" per tid), and numeric
+ * pid/tid. Returns false and fills `err` on the first violation.
+ */
+bool validateChromeTrace(const JsonValue& doc, std::string* err);
+
+/**
+ * Background heartbeat: every `interval_s` seconds prints one
+ * "[progress] t=...s key=val ..." line (counter deltas since the last
+ * beat) to `out`. Goes to stderr in the benches so stdout stays
+ * byte-identical with observability off.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(double interval_s, std::ostream& out);
+    ~ProgressMeter();
+
+    ProgressMeter(const ProgressMeter&) = delete;
+    ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  private:
+    struct Impl;
+    Impl* impl_;
+};
+
+} // namespace spikesim::obs
+
+#endif // SPIKESIM_OBS_TRACING_HH

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/registry.hh"
+#include "obs/tracing.hh"
 #include "sim/engine.hh"
 #include "support/panic.hh"
 
@@ -144,6 +146,7 @@ searchLayout(const program::Program& prog,
      *  can never be worse than the seed on the re-rank config. */
     auto rerankSurvivors = [&](const std::vector<ScoredCandidate>& batch,
                                int epochs_done) {
+        obs::Span span("search.rerank", "opt");
         std::vector<const ScoredCandidate*> survivors{&seed, &incumbent,
                                                       &best_proxy};
         std::vector<std::size_t> order(batch.size());
@@ -189,8 +192,12 @@ searchLayout(const program::Program& prog,
             result.rerank_curve.push_back({epochs_done, best_gt_misses});
     };
 
+    static obs::Counter& c_accepted = obs::counter("opt.search.accepted");
+    static obs::Counter& c_proxy = obs::counter("opt.search.proxy_evals");
+
     std::vector<ScoredCandidate> batch;
     for (int e = 0; e < sopts.epochs; ++e) {
+        obs::Span epoch_span("search.epoch", "opt");
         batch.resize(static_cast<std::size_t>(sopts.batch));
         // Generate the batch sequentially (seeded per-candidate
         // streams), then score it in parallel; scores are pure
@@ -224,12 +231,14 @@ searchLayout(const program::Program& prog,
                 score(i);
         }
         result.proxy_evals += batch.size();
+        c_proxy.add(batch.size());
 
         // Acceptance (sequential, deterministic).
         if (sopts.algorithm == SearchOptions::Algorithm::HillClimb) {
             for (const ScoredCandidate& c : batch)
                 if (c.score > incumbent.score) {
                     incumbent = c;
+                    c_accepted.add(1);
                     break;
                 }
         } else {
@@ -240,13 +249,16 @@ searchLayout(const program::Program& prog,
             const ScoredCandidate& c = batch[bi];
             if (c.score > incumbent.score) {
                 incumbent = c;
+                c_accepted.add(1);
             } else {
                 const double temp =
                     temp0 * std::pow(sopts.cooling, static_cast<double>(e));
                 if (temp > 0.0 &&
                     accept_rng.nextDouble() <
-                        std::exp((c.score - incumbent.score) / temp))
+                        std::exp((c.score - incumbent.score) / temp)) {
                     incumbent = c;
+                    c_accepted.add(1);
+                }
             }
         }
         if (incumbent.score > best_proxy.score)
@@ -269,6 +281,11 @@ searchLayout(const program::Program& prog,
     }
     result.sim_evals = gt.evals();
     result.sim_cache_hits = gt.hits();
+    static obs::Counter& c_sim = obs::counter("opt.search.sim_evals");
+    static obs::Counter& c_rerank_hits =
+        obs::counter("opt.search.rerank_cache_hits");
+    c_sim.add(gt.evals());
+    c_rerank_hits.add(gt.hits());
     return result;
 }
 

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/pipeline.hh"
+#include "obs/registry.hh"
+#include "obs/tracing.hh"
 #include "profile/serialize.hh"
 #include "sim/replay.hh"
 #include "support/checksum.hh"
@@ -158,16 +160,28 @@ generateWorkload(const CorpusParams& params, std::ostream* log)
     if (log)
         *log << "[workload] loading database ("
              << g.system->database().numAccounts() << " accounts)...\n";
-    g.system->setup();
+    {
+        obs::Span span("workload.setup", "sim");
+        g.system->setup();
+    }
     if (log)
         *log << "[workload] warmup + profiling " << params.profile_txns
              << " transactions...\n";
-    g.system->warmup(params.warmup_txns);
-    g.profiles = g.system->collectProfiles(params.profile_txns);
+    {
+        obs::Span span("workload.warmup", "sim");
+        g.system->warmup(params.warmup_txns);
+    }
+    {
+        obs::Span span("workload.profile", "sim");
+        g.profiles = g.system->collectProfiles(params.profile_txns);
+    }
     if (log)
         *log << "[workload] tracing " << params.trace_txns
              << " transactions...\n";
-    g.system->run(params.trace_txns, g.buf);
+    {
+        obs::Span span("workload.trace", "sim");
+        g.system->run(params.trace_txns, g.buf);
+    }
     if (log)
         *log << "[workload] trace: " << g.buf.size() << " events ("
              << g.buf.imageEvents(trace::ImageId::Kernel) << " kernel, "
@@ -315,6 +329,10 @@ loadOrCapture(const CorpusParams& params, const std::string& dir,
     const std::string path =
         (std::filesystem::path(dir) / corpusFileName(params)).string();
 
+    static obs::Counter& c_hits = obs::counter("sim.corpus.cache_hits");
+    static obs::Counter& c_misses =
+        obs::counter("sim.corpus.cache_misses");
+
     std::error_code ec;
     if (std::filesystem::exists(path, ec)) {
         GeneratedWorkload g;
@@ -322,7 +340,14 @@ loadOrCapture(const CorpusParams& params, const std::string& dir,
         // No setup(): replay only needs the images; consumers that run
         // extra transactions load the database lazily (db_ready).
         const auto t0 = clock::now();
-        if (loadCorpus(path, params, *g.system, g.profiles, g.buf)) {
+        bool loaded;
+        {
+            obs::Span span("corpus.load", "sim");
+            loaded = loadCorpus(path, params, *g.system, g.profiles,
+                                g.buf);
+        }
+        if (loaded) {
+            c_hits.add(1);
             if (log)
                 *log << "[corpus] hit: " << g.buf.size()
                      << " events + profiles from " << path << " in "
@@ -334,12 +359,17 @@ loadOrCapture(const CorpusParams& params, const std::string& dir,
                  << " is for a different workload; regenerating\n";
     }
 
+    c_misses.add(1);
     if (log)
         *log << "[corpus] miss: generating workload for "
              << corpusFileName(params) << "\n";
     GeneratedWorkload g = generateWorkload(params, log);
     std::filesystem::create_directories(dir, ec);
-    const CorpusStats stats = saveCorpus(params, *g.profiles, g.buf, path);
+    CorpusStats stats;
+    {
+        obs::Span span("corpus.save", "sim");
+        stats = saveCorpus(params, *g.profiles, g.buf, path);
+    }
     if (log)
         *log << "[corpus] saved " << stats.events << " events + profiles"
              << " to " << path << " (" << stats.file_bytes << " bytes, "

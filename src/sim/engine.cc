@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "mem/itlb.hh"
+#include "obs/registry.hh"
+#include "obs/tracing.hh"
 #include "support/panic.hh"
 
 namespace spikesim::sim {
@@ -29,9 +31,17 @@ forEachShard(const ResolvedTrace& trace, std::size_t n_cfg,
     if (n_cfg == 0)
         return;
     const int n_cpu = trace.num_cpus;
+    // Bulk-add the replayed ref count once per shard walk — never
+    // per-ref inside the fused loops, which must stay counter-free.
+    static obs::Counter& c_refs = obs::counter("sim.replay.refs");
+    static obs::Counter& c_shards = obs::counter("sim.replay.shards");
     if (pool == nullptr) {
-        for (int c = 0; c < n_cpu; ++c)
+        for (int c = 0; c < n_cpu; ++c) {
+            obs::Span span("replay.shard", "sim");
             fn(c, std::size_t{0}, n_cfg);
+            c_refs.add(trace.cpuRefs(c).size());
+            c_shards.add(1);
+        }
         return;
     }
     const std::size_t threads =
@@ -46,7 +56,12 @@ forEachShard(const ResolvedTrace& trace, std::size_t n_cfg,
             const std::size_t k1 = n_cfg * (i + 1) / chunks;
             if (k0 == k1)
                 continue;
-            pool->submit([&fn, c, k0, k1] { fn(c, k0, k1); });
+            pool->submit([&fn, &trace, c, k0, k1] {
+                obs::Span span("replay.shard", "sim");
+                fn(c, k0, k1);
+                c_refs.add(trace.cpuRefs(c).size());
+                c_shards.add(1);
+            });
         }
     }
     pool->wait();
@@ -188,15 +203,9 @@ replayStreamBuffer(const ResolvedTrace& trace,
     });
 
     std::vector<mem::StreamBufferStats> out(n_cfg);
-    for (std::size_t k = 0; k < n_cfg; ++k) {
-        for (std::size_t c = 0; c < n_cpu; ++c) {
-            const mem::StreamBufferStats& p = partial[k * n_cpu + c];
-            out[k].accesses += p.accesses;
-            out[k].l1_misses += p.l1_misses;
-            out[k].stream_hits += p.stream_hits;
-            out[k].demand_misses += p.demand_misses;
-        }
-    }
+    for (std::size_t k = 0; k < n_cfg; ++k)
+        for (std::size_t c = 0; c < n_cpu; ++c)
+            out[k] += partial[k * n_cpu + c];
     return out;
 }
 

@@ -600,12 +600,8 @@ Replayer::streamBuffer(const mem::CacheConfig& config, int num_buffers,
             cache.fetchLine(a);
     }
     mem::StreamBufferStats total;
-    for (const auto& c : caches) {
-        total.accesses += c.stats().accesses;
-        total.l1_misses += c.stats().l1_misses;
-        total.stream_hits += c.stats().stream_hits;
-        total.demand_misses += c.stats().demand_misses;
-    }
+    for (const auto& c : caches)
+        total += c.stats();
     return total;
 }
 

@@ -250,12 +250,12 @@ struct ITlbSpec
     std::uint32_t fetch_bytes = 64;
 };
 
-/** Result of a standalone iTLB replay (summed over per-CPU TLBs). */
-struct ITlbReplayResult
-{
-    std::uint64_t accesses = 0; ///< line-granular TLB lookups
-    std::uint64_t misses = 0;
-};
+/**
+ * Result of a standalone iTLB replay (summed over per-CPU TLBs):
+ * accesses are line-granular TLB lookups. The shared access/miss shape
+ * directly — an iTLB has no refinement beyond hit or miss.
+ */
+using ITlbReplayResult = support::AccessStats;
 
 /** Full-hierarchy replay result (Figures 14-15). */
 struct HierarchyReplayResult

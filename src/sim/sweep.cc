@@ -1,5 +1,7 @@
 #include "sim/sweep.hh"
 
+#include "obs/registry.hh"
+#include "obs/tracing.hh"
 #include "support/panic.hh"
 
 namespace spikesim::sim {
@@ -20,8 +22,12 @@ runSweepJobs(const trace::TraceBuffer& trace,
         results.emplace_back(job.spec);
     }
 
+    static obs::Counter& c_jobs = obs::counter("sim.sweep.jobs");
+    c_jobs.add(jobs.size());
+
     if (pool == nullptr) {
         for (std::size_t j = 0; j < jobs.size(); ++j) {
+            obs::Span span("sweep.job", "sim");
             Replayer rep(trace, *jobs[j].app_layout,
                          jobs[j].kernel_layout);
             ResolvedTrace resolved = rep.resolve(jobs[j].filter);
@@ -34,6 +40,7 @@ runSweepJobs(const trace::TraceBuffer& trace,
     std::vector<ResolvedTrace> resolved(jobs.size());
     for (std::size_t j = 0; j < jobs.size(); ++j) {
         pool->submit([&trace, &jobs, &resolved, j] {
+            obs::Span span("sweep.resolve", "sim");
             Replayer rep(trace, *jobs[j].app_layout,
                          jobs[j].kernel_layout);
             resolved[j] = rep.resolve(jobs[j].filter);
@@ -47,6 +54,7 @@ runSweepJobs(const trace::TraceBuffer& trace,
         for (std::size_t li = 0; li < jobs[j].spec.line_bytes.size();
              ++li) {
             pool->submit([&jobs, &resolved, &results, j, li] {
+                obs::Span span("sweep.line", "sim");
                 sweepLineSize(resolved[j], jobs[j].spec, li, results[j]);
             });
         }

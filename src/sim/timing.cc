@@ -58,10 +58,10 @@ nonIdleCycles(const mem::HierarchyStats& stats, std::uint64_t instrs,
     double cycles = static_cast<double>(instrs) * platform.cpi_base;
     cycles += static_cast<double>(fetch_breaks) *
               platform.fetch_break_cycles;
-    cycles += static_cast<double>(stats.l1i_misses + stats.l1d_misses) *
+    cycles += static_cast<double>(stats.l1i.misses + stats.l1d.misses) *
               platform.l2_hit_cycles;
-    cycles += static_cast<double>(stats.l2_instr_misses +
-                                  stats.l2_data_misses) *
+    cycles += static_cast<double>(stats.l2i.misses +
+                                  stats.l2d.misses) *
               platform.mem_cycles;
     cycles += static_cast<double>(stats.itlb_misses) *
               platform.itlb_cycles;

@@ -12,6 +12,41 @@
 
 namespace spikesim::support {
 
+/**
+ * Access/miss counter pair shared by every cache-like simulator
+ * (SetAssocCache, the 3C classifier, stream buffers, the full
+ * hierarchy, the iTLB replay). One snapshot-able shape instead of a
+ * per-simulator struct: hits are derived, merge is operator+=, and
+ * the common miss-rate arithmetic lives in one place.
+ */
+struct AccessStats {
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t hits() const { return accesses - misses; }
+
+    double missRate() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+
+    /** Count one access; `miss` says whether it missed. */
+    void record(bool miss)
+    {
+        ++accesses;
+        misses += miss ? 1 : 0;
+    }
+
+    AccessStats& operator+=(const AccessStats& o)
+    {
+        accesses += o.accesses;
+        misses += o.misses;
+        return *this;
+    }
+
+    void clear() { *this = AccessStats{}; }
+};
+
 /** Streaming mean/variance/min/max accumulator. */
 class StatAccumulator
 {

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -47,16 +48,40 @@ class ThreadPool
     /** Hardware concurrency, clamped to at least 1. */
     static int defaultThreads();
 
+    /**
+     * Point-in-time copy of this pool's execution stats. The counts
+     * are also published to the obs registry (`support.pool.*`), where
+     * they aggregate across pools; this per-pool view backs the
+     * pool-width invariance assertions in tests.
+     */
+    struct Stats {
+        std::uint64_t submitted = 0;
+        std::uint64_t executed = 0;
+        /** Nanoseconds workers spent parked waiting for work. */
+        std::uint64_t idle_ns = 0;
+        /** Deepest the queue has been since construction. */
+        std::uint64_t max_queue_depth = 0;
+    };
+
+    /** Exact when no submits are racing (e.g. right after wait()). */
+    Stats stats() const;
+
   private:
     void workerLoop();
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable task_ready_;
     std::condition_variable all_done_;
     std::size_t unfinished_ = 0; ///< queued + currently running
     bool stopping_ = false;
+    // Stats below are guarded by mu_ except idle_ns_, which workers
+    // accumulate after reacquiring the lock anyway.
+    std::uint64_t submitted_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint64_t idle_ns_ = 0;
+    std::uint64_t max_queue_depth_ = 0;
 };
 
 } // namespace spikesim::support

@@ -22,13 +22,13 @@ TEST(Hierarchy, L1MissGoesToL2)
 {
     MemoryHierarchy h(tinyConfig());
     h.fetchLine(0, Owner::App);
-    EXPECT_EQ(h.stats().fetches, 1u);
-    EXPECT_EQ(h.stats().l1i_misses, 1u);
-    EXPECT_EQ(h.stats().l2_instr_accesses, 1u);
-    EXPECT_EQ(h.stats().l2_instr_misses, 1u);
+    EXPECT_EQ(h.stats().l1i.accesses, 1u);
+    EXPECT_EQ(h.stats().l1i.misses, 1u);
+    EXPECT_EQ(h.stats().l2i.accesses, 1u);
+    EXPECT_EQ(h.stats().l2i.misses, 1u);
     h.fetchLine(0, Owner::App);
-    EXPECT_EQ(h.stats().l1i_misses, 1u); // L1 hit, no L2 traffic
-    EXPECT_EQ(h.stats().l2_instr_accesses, 1u);
+    EXPECT_EQ(h.stats().l1i.misses, 1u); // L1 hit, no L2 traffic
+    EXPECT_EQ(h.stats().l2i.accesses, 1u);
 }
 
 TEST(Hierarchy, L2CatchesL1Conflicts)
@@ -38,8 +38,8 @@ TEST(Hierarchy, L2CatchesL1Conflicts)
     h.fetchLine(0, Owner::App);
     h.fetchLine(1024, Owner::App);
     h.fetchLine(0, Owner::App); // L1 conflict miss, L2 hit
-    EXPECT_EQ(h.stats().l1i_misses, 3u);
-    EXPECT_EQ(h.stats().l2_instr_misses, 2u);
+    EXPECT_EQ(h.stats().l1i.misses, 3u);
+    EXPECT_EQ(h.stats().l2i.misses, 2u);
 }
 
 TEST(Hierarchy, DataAndInstructionsShareL2)
@@ -48,13 +48,13 @@ TEST(Hierarchy, DataAndInstructionsShareL2)
     h.fetchLine(0, Owner::App);
     h.dataLine(4096); // same L2 set as address 0 (4KB direct L2)
     h.fetchLine(0, Owner::App); // L1 hit: unified L2 not consulted
-    EXPECT_EQ(h.stats().l2_data_misses, 1u);
+    EXPECT_EQ(h.stats().l2d.misses, 1u);
     // Force the L1I line out, then refetch: L2 line was displaced by
     // the data line, so it misses in L2 too.
     h.fetchLine(1024, Owner::App);
     h.fetchLine(2048, Owner::App);
     h.fetchLine(0, Owner::App);
-    EXPECT_EQ(h.stats().l2_instr_misses, 4u);
+    EXPECT_EQ(h.stats().l2i.misses, 4u);
 }
 
 TEST(Hierarchy, ITlbMissesCounted)
@@ -70,14 +70,14 @@ TEST(Hierarchy, ITlbMissesCounted)
 TEST(Hierarchy, StatsAggregate)
 {
     HierarchyStats a, b;
-    a.fetches = 1;
-    a.l1i_misses = 2;
-    b.fetches = 10;
-    b.l2_data_misses = 3;
+    a.l1i.accesses = 1;
+    a.l1i.misses = 2;
+    b.l1i.accesses = 10;
+    b.l2d.misses = 3;
     a += b;
-    EXPECT_EQ(a.fetches, 11u);
-    EXPECT_EQ(a.l1i_misses, 2u);
-    EXPECT_EQ(a.l2_data_misses, 3u);
+    EXPECT_EQ(a.l1i.accesses, 11u);
+    EXPECT_EQ(a.l1i.misses, 2u);
+    EXPECT_EQ(a.l2d.misses, 3u);
 }
 
 } // namespace

@@ -106,14 +106,14 @@ void
 expectStatsEq(const mem::HierarchyStats& a, const mem::HierarchyStats& b,
               const char* what)
 {
-    EXPECT_EQ(a.fetches, b.fetches) << what;
-    EXPECT_EQ(a.l1i_misses, b.l1i_misses) << what;
-    EXPECT_EQ(a.data_refs, b.data_refs) << what;
-    EXPECT_EQ(a.l1d_misses, b.l1d_misses) << what;
-    EXPECT_EQ(a.l2_instr_accesses, b.l2_instr_accesses) << what;
-    EXPECT_EQ(a.l2_instr_misses, b.l2_instr_misses) << what;
-    EXPECT_EQ(a.l2_data_accesses, b.l2_data_accesses) << what;
-    EXPECT_EQ(a.l2_data_misses, b.l2_data_misses) << what;
+    EXPECT_EQ(a.l1i.accesses, b.l1i.accesses) << what;
+    EXPECT_EQ(a.l1i.misses, b.l1i.misses) << what;
+    EXPECT_EQ(a.l1d.accesses, b.l1d.accesses) << what;
+    EXPECT_EQ(a.l1d.misses, b.l1d.misses) << what;
+    EXPECT_EQ(a.l2i.accesses, b.l2i.accesses) << what;
+    EXPECT_EQ(a.l2i.misses, b.l2i.misses) << what;
+    EXPECT_EQ(a.l2d.accesses, b.l2d.accesses) << what;
+    EXPECT_EQ(a.l2d.misses, b.l2d.misses) << what;
     EXPECT_EQ(a.itlb_misses, b.itlb_misses) << what;
     EXPECT_EQ(a.comm_misses, b.comm_misses) << what;
 }
@@ -193,15 +193,15 @@ TEST(ReplayEngine, MatchesThreeCsAndStreamBufferOracles)
                     replayStreamBuffer(trace, configs, 4, pool);
                 for (std::size_t i = 0; i < configs.size(); ++i) {
                     auto t = w.rep.threeCs(configs[i], filter);
-                    EXPECT_EQ(threec[i].accesses, t.accesses);
+                    EXPECT_EQ(threec[i].accesses(), t.accesses());
                     EXPECT_EQ(threec[i].compulsory, t.compulsory);
                     EXPECT_EQ(threec[i].capacity, t.capacity);
                     EXPECT_EQ(threec[i].conflict, t.conflict);
                     auto s = w.rep.streamBuffer(configs[i], 4, filter);
-                    EXPECT_EQ(sbuf[i].accesses, s.accesses);
-                    EXPECT_EQ(sbuf[i].l1_misses, s.l1_misses);
-                    EXPECT_EQ(sbuf[i].stream_hits, s.stream_hits);
-                    EXPECT_EQ(sbuf[i].demand_misses, s.demand_misses);
+                    EXPECT_EQ(sbuf[i].accesses(), s.accesses());
+                    EXPECT_EQ(sbuf[i].l1Misses(), s.l1Misses());
+                    EXPECT_EQ(sbuf[i].streamHits(), s.streamHits());
+                    EXPECT_EQ(sbuf[i].demandMisses(), s.demandMisses());
                 }
             }
         }

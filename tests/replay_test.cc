@@ -172,11 +172,11 @@ TEST(Replay, HierarchyCountsInstructionsAndData)
     mem::HierarchyConfig config;
     auto result = rep.hierarchy(config);
     EXPECT_EQ(result.instrs, 16u);
-    EXPECT_EQ(result.total.fetches, 1u);
-    EXPECT_EQ(result.total.data_refs, 2u);
-    EXPECT_EQ(result.total.l1d_misses, 1u);
+    EXPECT_EQ(result.total.l1i.accesses, 1u);
+    EXPECT_EQ(result.total.l1d.accesses, 2u);
+    EXPECT_EQ(result.total.l1d.misses, 1u);
     auto no_data = rep.hierarchy(config, /*include_data=*/false);
-    EXPECT_EQ(no_data.total.data_refs, 0u);
+    EXPECT_EQ(no_data.total.l1d.accesses, 0u);
 }
 
 TEST(Replay, CoherenceCountsMigratingDataLines)
@@ -234,9 +234,9 @@ TEST(Replay, StreamBufferCoversSequentialStreams)
     Replayer rep(buf, layout);
     auto s = rep.streamBuffer({128, 64, 1}, 4,
                               sim::StreamFilter::AppOnly);
-    EXPECT_EQ(s.l1_misses, 10u);
-    EXPECT_EQ(s.demand_misses, 1u);
-    EXPECT_EQ(s.stream_hits, 9u);
+    EXPECT_EQ(s.l1Misses(), 10u);
+    EXPECT_EQ(s.demandMisses(), 1u);
+    EXPECT_EQ(s.streamHits(), 9u);
 }
 
 TEST(Replay, ZeroSizedBlocksFetchNothing)

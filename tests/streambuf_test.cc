@@ -14,9 +14,9 @@ TEST(StreamBuffer, SequentialMissesAreCovered)
     StreamBufferICache c({128, 64, 1}, 4);
     for (std::uint64_t line = 0; line < 32; ++line)
         c.fetchLine(line * 64);
-    EXPECT_EQ(c.stats().accesses, 32u);
-    EXPECT_EQ(c.stats().demand_misses, 1u);
-    EXPECT_EQ(c.stats().stream_hits, 31u);
+    EXPECT_EQ(c.stats().accesses(), 32u);
+    EXPECT_EQ(c.stats().demandMisses(), 1u);
+    EXPECT_EQ(c.stats().streamHits(), 31u);
     EXPECT_NEAR(c.stats().coverage(), 31.0 / 32.0, 1e-9);
 }
 
@@ -26,8 +26,8 @@ TEST(StreamBuffer, CacheHitsBypassBuffers)
     c.fetchLine(0);
     c.fetchLine(0);
     c.fetchLine(0);
-    EXPECT_EQ(c.stats().l1_misses, 1u);
-    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().l1Misses(), 1u);
+    EXPECT_EQ(c.stats().accesses(), 3u);
 }
 
 TEST(StreamBuffer, RandomJumpsAreDemandMisses)
@@ -36,8 +36,8 @@ TEST(StreamBuffer, RandomJumpsAreDemandMisses)
     // Strided pattern (not +1 line): buffers never match.
     for (std::uint64_t i = 0; i < 16; ++i)
         c.fetchLine(i * 64 * 7);
-    EXPECT_EQ(c.stats().stream_hits, 0u);
-    EXPECT_EQ(c.stats().demand_misses, 16u);
+    EXPECT_EQ(c.stats().streamHits(), 0u);
+    EXPECT_EQ(c.stats().demandMisses(), 16u);
 }
 
 TEST(StreamBuffer, MultipleStreamsTrackedIndependently)
@@ -48,8 +48,8 @@ TEST(StreamBuffer, MultipleStreamsTrackedIndependently)
         c.fetchLine(i * 64);             // stream A
         c.fetchLine(0x100000 + i * 64);  // stream B
     }
-    EXPECT_EQ(c.stats().demand_misses, 2u); // one per stream head
-    EXPECT_EQ(c.stats().stream_hits, 14u);
+    EXPECT_EQ(c.stats().demandMisses(), 2u); // one per stream head
+    EXPECT_EQ(c.stats().streamHits(), 14u);
 }
 
 TEST(StreamBuffer, LruBufferReallocation)
@@ -58,8 +58,8 @@ TEST(StreamBuffer, LruBufferReallocation)
     c.fetchLine(0);          // allocates the only buffer (next = 1)
     c.fetchLine(0x100000);   // steals it
     c.fetchLine(64);         // stream A's successor: buffer was stolen
-    EXPECT_EQ(c.stats().stream_hits, 0u);
-    EXPECT_EQ(c.stats().demand_misses, 3u);
+    EXPECT_EQ(c.stats().streamHits(), 0u);
+    EXPECT_EQ(c.stats().demandMisses(), 3u);
 }
 
 } // namespace

@@ -145,10 +145,10 @@ TEST(System, EndToEndOptimizationReducesMisses)
 TEST(Timing, CycleModelIsExact)
 {
     mem::HierarchyStats stats;
-    stats.l1i_misses = 10;
-    stats.l1d_misses = 5;
-    stats.l2_instr_misses = 2;
-    stats.l2_data_misses = 1;
+    stats.l1i.misses = 10;
+    stats.l1d.misses = 5;
+    stats.l2i.misses = 2;
+    stats.l2d.misses = 1;
     stats.itlb_misses = 4;
     PlatformParams p = PlatformParams::sim21364();
     // 1000 instrs + 15*12 + 3*80 + 4*30 = 1000+180+240+120 = 1540.

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hh"
 #include "support/threadpool.hh"
 
 namespace spikesim::support {
@@ -74,6 +75,48 @@ TEST(ThreadPool, DefaultsToHardwareConcurrency)
     EXPECT_GE(ThreadPool::defaultThreads(), 1);
     ThreadPool pool; // num_threads = 0 picks the default
     EXPECT_EQ(pool.numThreads(), ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPool, StatsAndRegistryAreWidthInvariant)
+{
+    // The execution counts must depend only on the submitted work,
+    // never on the worker count — both in the per-pool Stats and in
+    // the process-wide obs registry (`support.pool.*`).
+    constexpr std::uint64_t kTasks = 64;
+    for (int width : {1, 2, 4, 8}) {
+        obs::Counter& submitted =
+            obs::counter("support.pool.submitted");
+        obs::Counter& executed = obs::counter("support.pool.executed");
+        const std::uint64_t sub0 = submitted.value();
+        const std::uint64_t exec0 = executed.value();
+
+        std::atomic<std::uint64_t> ran{0};
+        ThreadPool pool(width);
+        for (std::uint64_t i = 0; i < kTasks; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        pool.wait();
+
+        const ThreadPool::Stats s = pool.stats();
+        EXPECT_EQ(ran.load(), kTasks) << "width " << width;
+        EXPECT_EQ(s.submitted, kTasks) << "width " << width;
+        EXPECT_EQ(s.executed, kTasks) << "width " << width;
+        EXPECT_GE(s.max_queue_depth, 1u);
+        EXPECT_LE(s.max_queue_depth, kTasks);
+        EXPECT_EQ(submitted.value() - sub0, kTasks)
+            << "width " << width;
+        EXPECT_EQ(executed.value() - exec0, kTasks)
+            << "width " << width;
+    }
+}
+
+TEST(ThreadPool, IdleTimeAccumulatesWhileParked)
+{
+    ThreadPool pool(2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pool.submit([] {});
+    pool.wait();
+    // Both workers parked ~20ms before the first task arrived.
+    EXPECT_GT(pool.stats().idle_ns, 0u);
 }
 
 TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers)

@@ -97,7 +97,7 @@ TEST(ThreeC, ClassesSumToRealMisses)
         plain_misses += plain.access(addr, Owner::App).hit ? 0 : 1;
     }
     EXPECT_EQ(c.stats().totalMisses(), plain_misses);
-    EXPECT_EQ(c.stats().accesses, 50000u);
+    EXPECT_EQ(c.stats().accesses(), 50000u);
 }
 
 } // namespace

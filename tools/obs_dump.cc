@@ -1,0 +1,219 @@
+/**
+ * @file
+ * obs_dump — inspect the observability layer's JSON artifacts.
+ *
+ * usage: obs_dump MANIFEST.json
+ *        obs_dump --check-trace TRACE.json
+ *
+ * The default mode pretty-prints a run manifest (written by a bench's
+ * `--manifest-out`): binary, arguments, seed, thread count, per-phase
+ * wall/cpu time, embedded BENCH artifacts, and the final metrics
+ * snapshot. `--check-trace` validates a Chrome trace-event file
+ * (written by `--trace-out`) against the schema Perfetto expects —
+ * traceEvents array, string name/cat, numeric pid/tid/ts, complete "X"
+ * events with dur >= 0 or balanced "B"/"E" pairs — and additionally
+ * round-trips the document through the JSON writer to prove the
+ * parse/serialize pair is lossless. Exits non-zero on any violation,
+ * so ctest can use it as a smoke gate.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/tracing.hh"
+#include "support/panic.hh"
+
+using namespace spikesim;
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string& complaint)
+{
+    support::fatal(complaint +
+                   "\nusage: obs_dump MANIFEST.json\n"
+                   "       obs_dump --check-trace TRACE.json");
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        support::fatal("cannot open " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (!is && !is.eof())
+        support::fatal("error reading " + path);
+    return buf.str();
+}
+
+obs::JsonValue
+parseFile(const std::string& path)
+{
+    const std::string text = readFile(path);
+    obs::JsonValue doc;
+    std::string err;
+    if (!obs::parseJson(text, doc, &err))
+        support::fatal(path + " is not valid JSON: " + err);
+    return doc;
+}
+
+/** Validate + round-trip one Chrome trace file; 0 on success. */
+int
+checkTrace(const std::string& path)
+{
+    const std::string text = readFile(path);
+    obs::JsonValue doc;
+    std::string err;
+    if (!obs::parseJson(text, doc, &err)) {
+        std::cerr << "obs_dump: " << path << " is not valid JSON: "
+                  << err << "\n";
+        return 1;
+    }
+    if (!obs::validateChromeTrace(doc, &err)) {
+        std::cerr << "obs_dump: " << path
+                  << " violates the Chrome trace-event schema: " << err
+                  << "\n";
+        return 1;
+    }
+    // Round-trip: our writer and parser must agree on the document.
+    obs::JsonValue again;
+    if (!obs::parseJson(doc.dump(), again, &err)) {
+        std::cerr << "obs_dump: round-trip re-parse failed: " << err
+                  << "\n";
+        return 1;
+    }
+    if (!(again == doc)) {
+        std::cerr << "obs_dump: round-trip changed the document\n";
+        return 1;
+    }
+    const auto* events = doc.find("traceEvents");
+    std::cout << "ok: " << path << " (" << events->array().size()
+              << " events, schema valid, round-trip exact)\n";
+    return 0;
+}
+
+void
+printMetricsSection(const obs::JsonValue& metrics)
+{
+    if (const auto* counters = metrics.find("counters");
+        counters != nullptr && counters->isObject() &&
+        !counters->members().empty()) {
+        std::cout << "counters:\n";
+        for (const auto& [name, v] : counters->members())
+            std::cout << "  " << name << " = " << obs::jsonNumber(
+                             v.isNumber() ? v.number() : 0.0)
+                      << "\n";
+    }
+    if (const auto* gauges = metrics.find("gauges");
+        gauges != nullptr && gauges->isObject() &&
+        !gauges->members().empty()) {
+        std::cout << "gauges:\n";
+        for (const auto& [name, v] : gauges->members())
+            std::cout << "  " << name << " = " << obs::jsonNumber(
+                             v.isNumber() ? v.number() : 0.0)
+                      << "\n";
+    }
+    if (const auto* hists = metrics.find("histograms");
+        hists != nullptr && hists->isObject() &&
+        !hists->members().empty()) {
+        std::cout << "histograms:\n";
+        for (const auto& [name, h] : hists->members()) {
+            const auto* total = h.find("total");
+            const auto* mean = h.find("mean");
+            std::cout << "  " << name;
+            if (total != nullptr && total->isNumber())
+                std::cout << ": " << obs::jsonNumber(total->number())
+                          << " samples";
+            if (mean != nullptr && mean->isNumber())
+                std::cout << ", mean " << obs::jsonNumber(mean->number());
+            std::cout << "\n";
+        }
+    }
+}
+
+/** Pretty-print one run manifest; 0 on success. */
+int
+dumpManifest(const std::string& path)
+{
+    const obs::JsonValue doc = parseFile(path);
+    if (!doc.isObject() || doc.find("spikesim_manifest") == nullptr)
+        support::fatal(path + " is not a spikesim run manifest "
+                              "(missing \"spikesim_manifest\")");
+
+    if (const auto* binary = doc.find("binary"))
+        std::cout << "binary:  " << binary->str() << "\n";
+    if (const auto* args = doc.find("args"); args && args->isArray()) {
+        std::cout << "args:   ";
+        for (const obs::JsonValue& a : args->array())
+            std::cout << " " << a.str();
+        std::cout << "\n";
+    }
+    if (const auto* seed = doc.find("seed"); seed && seed->isNumber())
+        std::cout << "seed:    " << obs::jsonNumber(seed->number())
+                  << "\n";
+    if (const auto* threads = doc.find("threads");
+        threads && threads->isNumber())
+        std::cout << "threads: " << obs::jsonNumber(threads->number())
+                  << "\n";
+    if (const auto* info = doc.find("info");
+        info && info->isObject() && !info->members().empty()) {
+        std::cout << "info:\n";
+        for (const auto& [k, v] : info->members())
+            std::cout << "  " << k << " = "
+                      << (v.isString() ? v.str() : v.dump()) << "\n";
+    }
+    if (const auto* phases = doc.find("phases");
+        phases && phases->isArray() && !phases->array().empty()) {
+        std::cout << "phases:\n";
+        for (const obs::JsonValue& p : phases->array()) {
+            const auto* name = p.find("name");
+            const auto* wall = p.find("wall_s");
+            const auto* cpu = p.find("cpu_s");
+            std::printf("  %-24s wall %9.3f s   cpu %9.3f s\n",
+                        name != nullptr ? name->str().c_str() : "?",
+                        wall != nullptr ? wall->number() : 0.0,
+                        cpu != nullptr ? cpu->number() : 0.0);
+        }
+    }
+    if (const auto* artifacts = doc.find("artifacts");
+        artifacts && artifacts->isObject() &&
+        !artifacts->members().empty()) {
+        std::cout << "artifacts:\n";
+        for (const auto& [name, v] : artifacts->members())
+            std::cout << "  " << name << " (" << v.dump().size()
+                      << " bytes)\n";
+    }
+    if (const auto* metrics = doc.find("metrics");
+        metrics && metrics->isObject())
+        printMetricsSection(*metrics);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool check_trace = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--check-trace")
+            check_trace = true;
+        else if (arg.size() > 1 && arg[0] == '-')
+            usage("unknown option '" + arg + "'");
+        else if (path.empty())
+            path = arg;
+        else
+            usage("too many arguments");
+    }
+    if (path.empty())
+        usage("missing input file");
+    return check_trace ? checkTrace(path) : dumpManifest(path);
+}
