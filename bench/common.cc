@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -21,8 +22,9 @@ usage(const char* argv0, const std::string& complaint)
 {
     support::fatal(complaint + "\nusage: " + argv0 +
                    " [--corpus DIR] [--threads N] [--seed N]"
-                   " [--trace-out FILE] [--manifest-out FILE]"
-                   " [--progress SECS] [profile_txns] [trace_txns]");
+                   " [--simd 0|1] [--trace-out FILE]"
+                   " [--manifest-out FILE] [--progress SECS]"
+                   " [profile_txns] [trace_txns]");
 }
 
 /** Strict decimal parse; rejects sign, junk, and overflow. */
@@ -89,6 +91,26 @@ parsePath(const char* argv0, const std::string& arg, const char* flag)
     return arg;
 }
 
+/** Strict `--simd` parse: exactly "0" (scalar) or "1" (AVX2). */
+sim::SimdMode
+parseSimd(const char* argv0, const std::string& arg)
+{
+    if (arg == "0")
+        return sim::SimdMode::Scalar;
+    if (arg == "1")
+        return sim::SimdMode::Simd;
+    usage(argv0, "--simd must be 0 or 1, got '" + arg + "'");
+}
+
+/** Format a double with fixed precision for manifest info fields. */
+std::string
+fmtRate(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+}
+
 } // namespace
 
 ObsOptions
@@ -108,7 +130,8 @@ obsOptionsFromEnv()
 }
 
 ObsRun::ObsRun(ObsOptions opts, int argc, char** argv)
-    : opts_(std::move(opts))
+    : opts_(std::move(opts)),
+      perf_(std::make_unique<obs::PerfCounters>())
 {
     if (argc > 0)
         manifest_.binary = argv[0];
@@ -116,6 +139,9 @@ ObsRun::ObsRun(ObsOptions opts, int argc, char** argv)
         manifest_.args.emplace_back(argv[i]);
     if (!opts_.trace_out.empty())
         obs::startTracing();
+    // Start hardware counters before any worker pool exists: the fds
+    // are inherit-enabled, so threads spawned from here on are counted.
+    perf_->start();
     if (opts_.progress_s > 0.0)
         progress_ = std::make_unique<obs::ProgressMeter>(opts_.progress_s,
                                                          std::cerr);
@@ -155,6 +181,52 @@ ObsRun::finish()
         return;
     finished_ = true;
     progress_.reset(); // join the heartbeat before flushing anything
+
+    // Hardware self-profile: fold the run's counters into the registry
+    // (perf.* gauges land in the manifest's metrics snapshot too) and
+    // the manifest's info block. Unavailable perf records the reason
+    // and nothing else — the run is never degraded by it.
+    {
+        obs::Span span("perf.sample", "obs");
+        perf_->stop();
+        const obs::PerfSample s = perf_->sample();
+        manifest_.info.emplace_back("perf.available",
+                                    s.available ? "1" : "0");
+        if (!perf_->available())
+            manifest_.info.emplace_back("perf.reason", perf_->reason());
+        const auto count = [&](const char* name,
+                               const obs::PerfSample::Value& v) {
+            if (!v.ok)
+                return;
+            const auto n = static_cast<std::int64_t>(std::llround(
+                v.count));
+            obs::gauge(name).set(n);
+            manifest_.info.emplace_back(name, std::to_string(n));
+        };
+        count("perf.cycles", s.cycles);
+        count("perf.instructions", s.instructions);
+        count("perf.branches", s.branches);
+        count("perf.branch_misses", s.branch_misses);
+        count("perf.stalled_cycles_frontend", s.stalled_frontend);
+        count("perf.l1i_misses", s.l1i_misses);
+        count("perf.l1d_misses", s.l1d_misses);
+        count("perf.itlb_misses", s.itlb_misses);
+        if (s.available) {
+            manifest_.info.emplace_back("perf.ipc", fmtRate(s.ipc()));
+            manifest_.info.emplace_back("perf.branch_miss_pct",
+                                        fmtRate(s.branchMissPct()));
+            manifest_.info.emplace_back("perf.l1i_mpki",
+                                        fmtRate(s.l1iMpki()));
+            manifest_.info.emplace_back("perf.l1d_mpki",
+                                        fmtRate(s.l1dMpki()));
+            manifest_.info.emplace_back("perf.itlb_mpki",
+                                        fmtRate(s.itlbMpki()));
+            manifest_.info.emplace_back(
+                "perf.frontend_bound_pct",
+                fmtRate(s.frontendBoundPct()));
+        }
+    }
+
     if (!opts_.trace_out.empty()) {
         obs::stopTracing(opts_.trace_out);
         std::cerr << "[obs] wrote trace to " << opts_.trace_out << "\n";
@@ -195,6 +267,7 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     int threads = -1; // unset: SPIKESIM_THREADS, then hardware
     bool seed_set = false;
     std::uint64_t seed = kDefaultSeed;
+    sim::SimdMode simd = sim::SimdMode::Auto;
     ObsOptions oopts = obsOptionsFromEnv(); // flags below win
 
     std::vector<std::string> positional;
@@ -242,6 +315,12 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
         } else if (arg.rfind("--seed=", 0) == 0) {
             seed = parseTxnCount(argv[0], arg.substr(7), "seed");
             seed_set = true;
+        } else if (arg == "--simd") {
+            if (i + 1 >= argc)
+                usage(argv[0], "--simd needs a 0|1 argument");
+            simd = parseSimd(argv[0], argv[++i]);
+        } else if (arg.rfind("--simd=", 0) == 0) {
+            simd = parseSimd(argv[0], arg.substr(7));
         } else if (arg.size() > 1 && arg[0] == '-' &&
                    !std::isdigit(static_cast<unsigned char>(arg[1]))) {
             usage(argv[0], "unknown option '" + arg + "'");
@@ -289,6 +368,10 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     w.db_ready = g.db_ready;
     w.threads = threads >= 0 ? threads : threadsFromEnv();
     w.seed = seed_set ? seed : seedFromEnv();
+    w.simd = simd;
+    // Resolve eagerly: a forced-but-unavailable --simd 1 must fail
+    // here, before any replay silently runs scalar.
+    const bool simd_resolved = sim::resolveSimd(w.simd);
     if (w.threads > 0)
         w.worker_pool =
             std::make_unique<support::ThreadPool>(w.threads);
@@ -300,13 +383,15 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
         m.info.emplace_back("profile_txns",
                             std::to_string(profile_txns));
         m.info.emplace_back("trace_txns", std::to_string(trace_txns));
+        m.info.emplace_back("simd_kernel",
+                            sim::simdKernelName(simd_resolved));
         if (!corpus_dir.empty())
             m.info.emplace_back("corpus_dir", corpus_dir);
     }
     return w;
 }
 
-const sim::ResolvedTrace&
+const sim::ResolvedTraceSoA&
 BenchReplay::resolved(sim::StreamFilter filter, bool include_data)
 {
     const auto key =
@@ -314,7 +399,8 @@ BenchReplay::resolved(sim::StreamFilter filter, bool include_data)
     auto it = resolved_.find(key);
     if (it == resolved_.end())
         it = resolved_
-                 .emplace(key, rep_.resolve(filter, include_data))
+                 .emplace(key,
+                          sim::toSoA(rep_.resolve(filter, include_data)))
                  .first;
     return it->second;
 }
@@ -326,7 +412,7 @@ BenchReplay::icache(const mem::CacheConfig& config,
     if (!parallel_)
         return rep_.icache(config, filter);
     return sim::replayICache(resolved(filter, false), {&config, 1},
-                             pool_)[0];
+                             simd_, pool_)[0];
 }
 
 std::vector<sim::ICacheReplayResult>
@@ -340,7 +426,8 @@ BenchReplay::icacheColumn(std::span<const mem::CacheConfig> configs,
             out.push_back(rep_.icache(config, filter));
         return out;
     }
-    return sim::replayICache(resolved(filter, false), configs, pool_);
+    return sim::replayICache(resolved(filter, false), configs, simd_,
+                             pool_);
 }
 
 mem::ThreeCStats

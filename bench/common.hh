@@ -12,6 +12,7 @@
 #include "core/pipeline.hh"
 #include "metrics/sequence.hh"
 #include "obs/manifest.hh"
+#include "obs/perf.hh"
 #include "obs/tracing.hh"
 #include "sim/engine.hh"
 #include "sim/replay.hh"
@@ -46,6 +47,20 @@
  * Replayer walks — the differential oracle path, so `--threads 0`
  * versus `--threads N` is a byte-identical A/B of every table. The
  * default is the hardware concurrency.
+ *
+ * SIMD kernel selection is shared the same way: `--simd 0|1` (or the
+ * SPIKESIM_SIMD environment variable, the flag wins) forces the SoA
+ * replay kernels scalar or AVX2; unset means runtime CPU detection
+ * (sim/kernels.hh). The engine path of BenchReplay replays through the
+ * structure-of-arrays trace either way, and every setting is
+ * byte-identical to every other — `--simd` only moves time.
+ *
+ * When any observability switch is active, ObsRun also opens hardware
+ * perf counters (obs/perf.hh) over the whole run and folds cycles,
+ * instructions, IPC, branch-miss %, L1I/L1D/iTLB MPKI and the
+ * front-end-bound estimate into the registry (perf.* gauges) and the
+ * run manifest. Hosts where perf_event_open is forbidden record
+ * perf.available = 0 and run on unaffected.
  */
 
 namespace spikesim::bench {
@@ -113,9 +128,13 @@ class ObsRun
     /** Stop the heartbeat, flush trace + manifest. Idempotent. */
     void finish();
 
+    /** The run's hardware counters (never null; may be inert). */
+    obs::PerfCounters& perf() { return *perf_; }
+
   private:
     ObsOptions opts_;
     obs::Manifest manifest_;
+    std::unique_ptr<obs::PerfCounters> perf_;
     std::unique_ptr<obs::ProgressMeter> progress_;
     bool finished_ = false;
 };
@@ -137,6 +156,9 @@ struct Workload
     /** Resolved `--seed` / SPIKESIM_SEED (kDefaultSeed when unset);
      *  the one RNG seed every randomized bench derives from. */
     std::uint64_t seed = 1;
+    /** Resolved `--simd` flag: Scalar/Simd when given, else Auto
+     *  (SPIKESIM_SIMD, then CPU detection — sim/kernels.hh). */
+    sim::SimdMode simd = sim::SimdMode::Auto;
     /** Shared worker pool, or null when threads == 0 (serial oracle
      *  path). Sized once by runWorkload so sweep and replay share it. */
     std::unique_ptr<support::ThreadPool> worker_pool;
@@ -217,26 +239,30 @@ struct Workload
  * Replay dispatcher for the figure benches: one trace + layout pair,
  * replayed either by the scalar per-config Replayer walks (no pool —
  * the differential oracle path) or by the parallel replay engine over
- * a per-CPU-partitioned ResolvedTrace cached per (filter, data) key.
- * Both paths produce bit-identical results (sim/engine.hh), so every
- * bench table is byte-identical across `--threads` settings; the
- * engine path resolves the trace once per key and fuses all
- * configurations of a column into one walk.
+ * a per-CPU-partitioned structure-of-arrays trace (sim/soa.hh) cached
+ * per (filter, data) key. Both paths produce bit-identical results
+ * (sim/engine.hh), so every bench table is byte-identical across
+ * `--threads` and `--simd` settings; the engine path resolves and
+ * transposes the trace once per key and fuses all configurations of a
+ * column into one walk through the SoA replay kernels.
  */
 class BenchReplay
 {
   public:
-    /** Uses the workload's shared pool (null = oracle path). */
+    /** Uses the workload's shared pool and SIMD mode (null pool =
+     *  oracle path). */
     BenchReplay(const Workload& w, const core::Layout& app,
                 const core::Layout* kernel = nullptr)
-        : BenchReplay(w.buf, app, kernel, w.pool())
+        : BenchReplay(w.buf, app, kernel, w.pool(), w.simd)
     {
     }
 
     /** For benches that build their own trace/pool (ablations). */
     BenchReplay(const trace::TraceBuffer& buf, const core::Layout& app,
-                const core::Layout* kernel, support::ThreadPool* pool)
-        : rep_(buf, app, kernel), pool_(pool), parallel_(pool != nullptr)
+                const core::Layout* kernel, support::ThreadPool* pool,
+                sim::SimdMode simd = sim::SimdMode::Auto)
+        : rep_(buf, app, kernel), pool_(pool),
+          parallel_(pool != nullptr), simd_(simd)
     {
     }
 
@@ -285,13 +311,14 @@ class BenchReplay
     std::uint64_t dynamicInstrs(sim::StreamFilter filter);
 
   private:
-    const sim::ResolvedTrace& resolved(sim::StreamFilter filter,
-                                       bool include_data);
+    const sim::ResolvedTraceSoA& resolved(sim::StreamFilter filter,
+                                          bool include_data);
 
     sim::Replayer rep_;
     support::ThreadPool* pool_;
     bool parallel_;
-    std::map<std::pair<int, bool>, sim::ResolvedTrace> resolved_;
+    sim::SimdMode simd_ = sim::SimdMode::Auto;
+    std::map<std::pair<int, bool>, sim::ResolvedTraceSoA> resolved_;
 };
 
 /**
@@ -309,6 +336,10 @@ class BenchReplay
  * prints a counter heartbeat to stderr every SECS seconds. Environment
  * fallbacks: SPIKESIM_TRACE_OUT, SPIKESIM_MANIFEST_OUT,
  * SPIKESIM_PROGRESS.
+ *
+ * `--simd 0|1` forces the SoA replay kernels scalar or AVX2 (strictly
+ * 0 or 1; wins over SPIKESIM_SIMD). Forcing 1 on a host that cannot
+ * run the AVX2 kernels is a fatal error, never a silent fallback.
  */
 Workload runWorkload(int argc, char** argv,
                      std::uint64_t profile_txns = 800,

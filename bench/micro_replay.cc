@@ -1,39 +1,54 @@
 /**
  * @file
  * Headline microbenchmark for the unified parallel replay engine
- * (sim/engine.hh). One multiprocessor trace (4 simulated CPUs) is
- * replayed through every simulator family — i-cache columns with
- * interference attribution, three-C classification, stream buffers,
- * word-granular instrumentation, standalone iTLBs, full hierarchies
- * with the coherence model, sequential-run analysis, and the dynamic
- * instruction count — three ways:
+ * (sim/engine.hh) and the SoA/SIMD replay kernels (sim/kernels.hh).
+ * One multiprocessor trace (4 simulated CPUs) is replayed through
+ * every simulator family — i-cache columns with interference
+ * attribution, three-C classification, stream buffers, word-granular
+ * instrumentation, standalone iTLBs, full hierarchies with the
+ * coherence model, sequential-run analysis, and the dynamic
+ * instruction count — several ways:
  *
  *   per-config oracle   one scalar Replayer walk per configuration
- *   serial fused        resolve once, engine with no thread pool
- *   parallel fused      resolve once, engine sharded across a pool
+ *   serial fused        resolve once, AoS engine, no thread pool
+ *   parallel fused      resolve once, AoS engine sharded across a pool
+ *   soa scalar          resolve + transpose once, SoA engine, scalar
+ *                       kernels forced
+ *   soa avx2            same, AVX2 kernels forced (when runnable here)
  *
- * All three must produce bit-identical results (the process exits
- * non-zero on any divergence, which is what bench_micro_replay_smoke
- * checks in ctest). Timings go to BENCH_replay.json. The
- * fused-vs-per-config ratio is host-independent; the parallel ratio
- * additionally depends on how many hardware threads the host gives the
- * pool (SPIKESIM_THREADS overrides, as in the figure benches).
+ * All paths must produce bit-identical results (the process exits
+ * non-zero on any divergence, which is what the ctest smokes check —
+ * bench_micro_replay_smoke with default dispatch and
+ * bench_micro_replay_scalar_smoke with SPIKESIM_SIMD=0). Fused rows
+ * report their resolve/transpose and replay phases separately: the
+ * resolve-once cost is part of what the engine buys (or doesn't)
+ * versus re-walking the raw trace per config, but the kernel speedups
+ * only show in the replay phase.
  *
- * Usage: micro_replay [profile_txns] [trace_txns]
+ * The headline number is the fig04 grid: the paper's 25-configuration
+ * direct-mapped i-cache sweep ({32..512}KB x {16..256}B), replayed
+ * single-threaded through the PR 3 AoS engine, the SoA scalar kernel,
+ * and the SoA AVX2 kernel. Timings go to BENCH_replay.json.
+ * SPIKESIM_THREADS sizes the pool, as in the figure benches.
+ *
+ * Usage: micro_replay [profile_txns] [trace_txns] [--simd 0|1]
  */
 
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 
 #include "bench/common.hh"
 #include "sim/timing.hh"
+#include "support/panic.hh"
 
 using namespace spikesim;
 
 namespace {
 
 constexpr int kStreamBuffers = 4;
+constexpr int kGridReps = 3; ///< best-of-N for the grid timings
 
 std::vector<mem::CacheConfig>
 icacheConfigs()
@@ -41,6 +56,17 @@ icacheConfigs()
     std::vector<mem::CacheConfig> configs;
     for (std::uint32_t kb : {32, 64, 128, 256, 512})
         configs.push_back({kb * 1024, 128, 4});
+    return configs;
+}
+
+/** The paper's Figure 4 grid: 25 direct-mapped configurations. */
+std::vector<mem::CacheConfig>
+fig04Grid()
+{
+    std::vector<mem::CacheConfig> configs;
+    for (std::uint32_t kb : {32, 64, 128, 256, 512})
+        for (std::uint32_t line : {16, 32, 64, 128, 256})
+            configs.push_back({kb * 1024, line, 1});
     return configs;
 }
 
@@ -89,7 +115,16 @@ struct SuiteResults
     std::vector<sim::HierarchyReplayResult> hier;
     metrics::SequenceStats seq;
     std::uint64_t dyn_instrs = 0;
-    double seconds = 0;
+    double resolve_seconds = 0; ///< resolve (+ SoA transpose) phase
+    double replay_seconds = 0;  ///< simulator walks only
+    double seconds = 0;         ///< total
+};
+
+/** How runSuite reaches the simulators. */
+enum class SuitePath {
+    Oracle,   ///< one scalar Replayer walk per configuration
+    FusedAoS, ///< PR 3 engine over the AoS resolved trace
+    FusedSoA, ///< SoA engine; `mode` picks the i-cache kernel
 };
 
 double
@@ -99,13 +134,8 @@ seconds(std::chrono::steady_clock::time_point t0,
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
-/**
- * Run the full suite. The fused paths charge the resolve passes to
- * their own time — the resolve-once cost is part of what the engine
- * buys (or doesn't) versus re-walking the raw trace per config.
- */
 SuiteResults
-runSuite(const sim::Replayer& rep, bool fused,
+runSuite(const sim::Replayer& rep, SuitePath path, sim::SimdMode mode,
          support::ThreadPool* pool)
 {
     using clock = std::chrono::steady_clock;
@@ -118,8 +148,8 @@ runSuite(const sim::Replayer& rep, bool fused,
     const auto filter = sim::StreamFilter::Combined;
 
     SuiteResults r;
-    auto t0 = clock::now();
-    if (!fused) {
+    const auto t0 = clock::now();
+    if (path == SuitePath::Oracle) {
         for (const auto& c : icfg)
             r.icache.push_back(rep.icache(c, filter));
         for (const auto& c : tcfg)
@@ -136,11 +166,14 @@ runSuite(const sim::Replayer& rep, bool fused,
         r.seq = metrics::sequenceLengths(rep.trace(), rep.app(),
                                          trace::ImageId::App);
         r.dyn_instrs = rep.dynamicInstrs(filter);
-    } else {
+        r.replay_seconds = seconds(t0, clock::now());
+    } else if (path == SuitePath::FusedAoS) {
         sim::ResolvedTrace instr = rep.resolve(filter);
         sim::ResolvedTrace with_data = rep.resolve(filter, true);
         sim::ResolvedTrace app_only =
             rep.resolve(sim::StreamFilter::AppOnly);
+        const auto t1 = clock::now();
+        r.resolve_seconds = seconds(t0, t1);
         r.icache = sim::replayICache(instr, icfg, pool);
         r.threec = sim::replayThreeCs(instr, tcfg, pool);
         r.sbuf = sim::replayStreamBuffer(instr, scfg, kStreamBuffers,
@@ -150,6 +183,25 @@ runSuite(const sim::Replayer& rep, bool fused,
         r.hier = sim::replayHierarchy(with_data, hcfg, true, pool);
         r.seq = sim::replaySequence(app_only, pool);
         r.dyn_instrs = instr.instrs;
+        r.replay_seconds = seconds(t1, clock::now());
+    } else {
+        sim::ResolvedTraceSoA instr = sim::toSoA(rep.resolve(filter));
+        sim::ResolvedTraceSoA with_data =
+            sim::toSoA(rep.resolve(filter, true));
+        sim::ResolvedTraceSoA app_only =
+            sim::toSoA(rep.resolve(sim::StreamFilter::AppOnly));
+        const auto t1 = clock::now();
+        r.resolve_seconds = seconds(t0, t1);
+        r.icache = sim::replayICache(instr, icfg, mode, pool);
+        r.threec = sim::replayThreeCs(instr, tcfg, pool);
+        r.sbuf = sim::replayStreamBuffer(instr, scfg, kStreamBuffers,
+                                         pool);
+        r.words = sim::replayInstrumented(instr, wcfg, false, pool);
+        r.itlb = sim::replayITlb(instr, specs, pool);
+        r.hier = sim::replayHierarchy(with_data, hcfg, true, pool);
+        r.seq = sim::replaySequence(app_only, pool);
+        r.dyn_instrs = instr.instrs;
+        r.replay_seconds = seconds(t1, clock::now());
     }
     r.seconds = seconds(t0, clock::now());
     return r;
@@ -188,6 +240,22 @@ sameStats(const mem::HierarchyStats& x, const mem::HierarchyStats& y)
            x.comm_misses == y.comm_misses;
 }
 
+bool
+sameICache(const sim::ICacheReplayResult& x,
+           const sim::ICacheReplayResult& y)
+{
+    if (x.accesses != y.accesses || x.misses != y.misses ||
+        x.app_misses != y.app_misses ||
+        x.kernel_misses != y.kernel_misses)
+        return false;
+    for (int m = 0; m < 2; ++m)
+        for (int v = 0; v < 3; ++v)
+            if (x.interference.counts[m][v] !=
+                y.interference.counts[m][v])
+                return false;
+    return true;
+}
+
 /** Exit non-zero on the first divergence between two suite runs. */
 void
 compareSuites(const SuiteResults& a, const SuiteResults& b,
@@ -202,19 +270,8 @@ compareSuites(const SuiteResults& a, const SuiteResults& b,
     };
 
     check(a.icache.size() == b.icache.size(), "icache config count");
-    for (std::size_t i = 0; i < a.icache.size(); ++i) {
-        const auto& x = a.icache[i];
-        const auto& y = b.icache[i];
-        check(x.accesses == y.accesses && x.misses == y.misses &&
-                  x.app_misses == y.app_misses &&
-                  x.kernel_misses == y.kernel_misses,
-              "icache counts");
-        for (int m = 0; m < 2; ++m)
-            for (int v = 0; v < 3; ++v)
-                check(x.interference.counts[m][v] ==
-                          y.interference.counts[m][v],
-                      "interference matrix");
-    }
+    for (std::size_t i = 0; i < a.icache.size(); ++i)
+        check(sameICache(a.icache[i], b.icache[i]), "icache counts");
 
     check(a.threec.size() == b.threec.size(), "threeC config count");
     for (std::size_t i = 0; i < a.threec.size(); ++i) {
@@ -278,6 +335,23 @@ compareSuites(const SuiteResults& a, const SuiteResults& b,
     check(a.dyn_instrs == b.dyn_instrs, "dynamic instrs");
 }
 
+/** Best-of-N single-thread timing of one grid replay path. */
+template <typename Fn>
+double
+bestOf(Fn&& fn)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 0;
+    for (int i = 0; i < kGridReps; ++i) {
+        const auto t0 = clock::now();
+        fn();
+        const double s = seconds(t0, clock::now());
+        if (i == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -285,10 +359,40 @@ main(int argc, char** argv)
 {
     bench::ObsRun obs(bench::obsOptionsFromEnv(), argc, argv);
     bench::banner("Replay engine microbenchmark",
-                  "per-config oracle vs fused vs parallel replay "
+                  "per-config oracle vs fused AoS vs SoA kernels "
                   "(bit-identical)");
-    std::uint64_t profile_txns = argc > 1 ? std::atoll(argv[1]) : 400;
-    std::uint64_t trace_txns = argc > 2 ? std::atoll(argv[2]) : 300;
+
+    std::uint64_t positional[2] = {400, 300};
+    int n_positional = 0;
+    sim::SimdMode simd_mode = sim::SimdMode::Auto;
+    auto parseSimd = [](const char* v) {
+        if (std::strcmp(v, "0") == 0)
+            return sim::SimdMode::Scalar;
+        if (std::strcmp(v, "1") == 0)
+            return sim::SimdMode::Simd;
+        support::fatal(std::string("--simd must be 0 or 1, got \"") + v +
+                       "\"");
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc)
+            simd_mode = parseSimd(argv[++i]);
+        else if (std::strncmp(argv[i], "--simd=", 7) == 0)
+            simd_mode = parseSimd(argv[i] + 7);
+        else if (std::strncmp(argv[i], "--", 2) == 0)
+            support::fatal(std::string("unknown flag ") + argv[i] +
+                           "; usage: micro_replay [profile_txns] "
+                           "[trace_txns] [--simd 0|1]");
+        else if (n_positional < 2)
+            positional[n_positional++] =
+                static_cast<std::uint64_t>(std::atoll(argv[i]));
+    }
+    const std::uint64_t profile_txns = positional[0];
+    const std::uint64_t trace_txns = positional[1];
+    // Resolve the dispatch once, up front: --simd 1 (or SPIKESIM_SIMD=1)
+    // on a host that cannot run the AVX2 kernels must fail loudly here,
+    // not silently fall back mid-run.
+    const bool use_simd = sim::resolveSimd(simd_mode);
+    const char* kernel_name = sim::simdKernelName(use_simd);
 
     sim::SystemConfig config;
     config.num_cpus = 4;
@@ -314,32 +418,79 @@ main(int argc, char** argv)
     support::ThreadPool pool(threads);
 
     std::cerr << "[micro_replay] trace: " << buf.size() << " events, "
-              << buf.numCpus() << " cpus; replaying...\n";
-    SuiteResults oracle = runSuite(rep, false, nullptr);
-    SuiteResults fused = runSuite(rep, true, nullptr);
-    SuiteResults parallel = runSuite(rep, true, &pool);
+              << buf.numCpus() << " cpus; kernel " << kernel_name
+              << "; replaying...\n";
+    SuiteResults oracle =
+        runSuite(rep, SuitePath::Oracle, simd_mode, nullptr);
+    SuiteResults fused =
+        runSuite(rep, SuitePath::FusedAoS, simd_mode, nullptr);
+    SuiteResults parallel =
+        runSuite(rep, SuitePath::FusedAoS, simd_mode, &pool);
+    SuiteResults soa_scalar =
+        runSuite(rep, SuitePath::FusedSoA, sim::SimdMode::Scalar,
+                 nullptr);
 
     compareSuites(oracle, fused, "oracle vs serial fused");
     compareSuites(oracle, parallel, "oracle vs parallel fused");
+    compareSuites(oracle, soa_scalar, "oracle vs soa scalar");
+
+    // The avx2 comparison rows run only when the resolved dispatch is
+    // avx2: --simd 0 / SPIKESIM_SIMD=0 means a fully scalar run (what
+    // bench_micro_replay_scalar_smoke pins), not "scalar dispatch plus
+    // an avx2 row anyway".
+    const bool simd_runnable = use_simd;
+    SuiteResults soa_simd;
+    if (simd_runnable) {
+        soa_simd = runSuite(rep, SuitePath::FusedSoA,
+                            sim::SimdMode::Simd, nullptr);
+        compareSuites(oracle, soa_simd, "oracle vs soa avx2");
+    }
+
+    // Headline: the paper's 25-config direct-mapped grid (Figure 4),
+    // single-threaded, resolve/transpose excluded — this isolates the
+    // replay kernels themselves. PR 3's AoS engine is the baseline the
+    // SoA kernels are measured against.
+    const auto grid = fig04Grid();
+    const sim::ResolvedTrace grid_trace =
+        rep.resolve(sim::StreamFilter::Combined);
+    const sim::ResolvedTraceSoA grid_soa = sim::toSoA(grid_trace);
+    std::vector<sim::ICacheReplayResult> grid_aos, grid_scalar,
+        grid_simd;
+    const double grid_aos_s = bestOf([&] {
+        grid_aos = sim::replayICache(grid_trace, grid, nullptr);
+    });
+    const double grid_scalar_s = bestOf([&] {
+        grid_scalar = sim::replayICache(grid_soa, grid,
+                                        sim::SimdMode::Scalar, nullptr);
+    });
+    double grid_simd_s = 0;
+    if (simd_runnable)
+        grid_simd_s = bestOf([&] {
+            grid_simd = sim::replayICache(
+                grid_soa, grid, sim::SimdMode::Simd, nullptr);
+        });
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!sameICache(grid_aos[i], grid_scalar[i]) ||
+            (simd_runnable && !sameICache(grid_aos[i], grid_simd[i]))) {
+            std::cerr << "[micro_replay] FAIL: fig04 grid config " << i
+                      << " diverges across kernels\n";
+            return 1;
+        }
+    }
+    const double grid_scalar_speedup = grid_aos_s / grid_scalar_s;
+    const double grid_simd_speedup =
+        simd_runnable ? grid_aos_s / grid_simd_s : 0;
 
     // The suite total is dominated by the two (unfusable-with-anything
-    // -else) hierarchy configs; time the five-config i-cache column on
-    // its own: five raw-trace walks plus five layout resolutions vs
-    // one resolution and one fused walk. Simulator work is identical
-    // either way, so this isolates what resolve amortization buys (or
-    // costs — the resolved vector is larger than the raw trace) for
-    // one family.
+    // -else) hierarchy configs; the 5-config i-cache column on its own
+    // shows what resolve amortization buys for one family.
     using clock = std::chrono::steady_clock;
     const auto icfg = icacheConfigs();
     auto t0 = clock::now();
     for (const auto& c : icfg)
         (void)rep.icache(c, sim::StreamFilter::Combined);
     auto t1 = clock::now();
-    {
-        sim::ResolvedTrace instr =
-            rep.resolve(sim::StreamFilter::Combined);
-        (void)sim::replayICache(instr, icfg, nullptr);
-    }
+    (void)sim::replayICache(grid_soa, icfg, simd_mode, nullptr);
     auto t2 = clock::now();
     double icache_oracle_s = seconds(t0, t1);
     double icache_fused_s = seconds(t1, t2);
@@ -349,19 +500,36 @@ main(int argc, char** argv)
     double parallel_speedup = fused.seconds / parallel.seconds;
     double end_to_end = oracle.seconds / parallel.seconds;
 
+    auto phase_row = [](const char* name, const SuiteResults& s) {
+        std::cout << name << s.seconds << " s (resolve "
+                  << s.resolve_seconds << " s + replay "
+                  << s.replay_seconds << " s)\n";
+    };
     std::cout << "trace events:        " << buf.size() << " ("
               << buf.numCpus() << " cpus)\n"
-              << "per-config oracle:   " << oracle.seconds << " s\n"
-              << "serial fused:        " << fused.seconds << " s\n"
-              << "parallel fused:      " << parallel.seconds << " s ("
-              << pool.numThreads() << " threads)\n"
-              << "fused speedup:       " << fused_speedup << "x\n"
+              << "simd kernel:         " << kernel_name
+              << (sim::simdAvailable() ? "" : " (avx2 unavailable)")
+              << "\n"
+              << "per-config oracle:   " << oracle.seconds << " s\n";
+    phase_row("serial fused (aos):  ", fused);
+    std::cout << "parallel fused(aos): " << parallel.seconds << " s ("
+              << pool.numThreads() << " threads)\n";
+    phase_row("soa scalar:          ", soa_scalar);
+    if (simd_runnable)
+        phase_row("soa avx2:            ", soa_simd);
+    std::cout << "fused speedup:       " << fused_speedup << "x\n"
               << "parallel speedup:    " << parallel_speedup << "x\n"
               << "end-to-end speedup:  " << end_to_end << "x\n"
               << "icache column:       " << icache_oracle_s
               << " s per-config, " << icache_fused_s << " s fused ("
               << icache_speedup << "x)\n"
-              << "differential check:  PASS (all simulator families "
+              << "fig04 grid (25 cfg): aos " << grid_aos_s
+              << " s, soa scalar " << grid_scalar_s << " s ("
+              << grid_scalar_speedup << "x)";
+    if (simd_runnable)
+        std::cout << ", soa avx2 " << grid_simd_s << " s ("
+                  << grid_simd_speedup << "x)";
+    std::cout << "\ndifferential check:  PASS (all simulator families "
                  "bit-identical)\n\n";
 
     std::ofstream json("BENCH_replay.json");
@@ -369,12 +537,30 @@ main(int argc, char** argv)
          << "  \"bench\": \"replay\",\n"
          << "  \"trace_events\": " << buf.size() << ",\n"
          << "  \"trace_cpus\": " << buf.numCpus() << ",\n"
+         << "  \"simd_kernel\": \"" << kernel_name << "\",\n"
+         << "  \"simd_available\": "
+         << (simd_runnable ? "true" : "false") << ",\n"
          << "  \"oracle_seconds\": " << oracle.seconds << ",\n"
          << "  \"serial_fused_seconds\": " << fused.seconds << ",\n"
+         << "  \"serial_fused_resolve_seconds\": "
+         << fused.resolve_seconds << ",\n"
+         << "  \"serial_fused_replay_seconds\": "
+         << fused.replay_seconds << ",\n"
          << "  \"parallel_fused_seconds\": " << parallel.seconds
          << ",\n"
          << "  \"parallel_threads\": " << pool.numThreads() << ",\n"
-         << "  \"fused_vs_per_config\": " << fused_speedup << ",\n"
+         << "  \"soa_scalar_seconds\": " << soa_scalar.seconds << ",\n"
+         << "  \"soa_scalar_resolve_seconds\": "
+         << soa_scalar.resolve_seconds << ",\n"
+         << "  \"soa_scalar_replay_seconds\": "
+         << soa_scalar.replay_seconds << ",\n";
+    if (simd_runnable)
+        json << "  \"soa_simd_seconds\": " << soa_simd.seconds << ",\n"
+             << "  \"soa_simd_resolve_seconds\": "
+             << soa_simd.resolve_seconds << ",\n"
+             << "  \"soa_simd_replay_seconds\": "
+             << soa_simd.replay_seconds << ",\n";
+    json << "  \"fused_vs_per_config\": " << fused_speedup << ",\n"
          << "  \"parallel_vs_serial_fused\": " << parallel_speedup
          << ",\n"
          << "  \"end_to_end_speedup\": " << end_to_end << ",\n"
@@ -384,7 +570,19 @@ main(int argc, char** argv)
          << ",\n"
          << "  \"icache_column_fused_speedup\": " << icache_speedup
          << ",\n"
-         << "  \"differential_ok\": true\n"
+         << "  \"icache_grid_configs\": "
+         << grid.size() << ",\n"
+         << "  \"icache_grid_aos_seconds\": " << grid_aos_s << ",\n"
+         << "  \"icache_grid_soa_scalar_seconds\": " << grid_scalar_s
+         << ",\n"
+         << "  \"icache_grid_scalar_speedup\": " << grid_scalar_speedup
+         << ",\n";
+    if (simd_runnable)
+        json << "  \"icache_grid_soa_simd_seconds\": " << grid_simd_s
+             << ",\n"
+             << "  \"icache_grid_simd_speedup\": " << grid_simd_speedup
+             << ",\n";
+    json << "  \"differential_ok\": true\n"
          << "}\n";
     json.close(); // flush before the manifest embeds it
     std::cout << "wrote BENCH_replay.json\n";

@@ -1,0 +1,255 @@
+#include "obs/perf.hh"
+
+#include <vector>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace spikesim::obs {
+
+namespace {
+
+double
+ratio(const PerfSample::Value& num, const PerfSample::Value& den,
+      double scale)
+{
+    if (!num.ok || !den.ok || den.count <= 0.0)
+        return 0.0;
+    return num.count / den.count * scale;
+}
+
+} // namespace
+
+double
+PerfSample::ipc() const
+{
+    return ratio(instructions, cycles, 1.0);
+}
+
+double
+PerfSample::branchMissPct() const
+{
+    return ratio(branch_misses, branches, 100.0);
+}
+
+double
+PerfSample::l1iMpki() const
+{
+    return ratio(l1i_misses, instructions, 1000.0);
+}
+
+double
+PerfSample::l1dMpki() const
+{
+    return ratio(l1d_misses, instructions, 1000.0);
+}
+
+double
+PerfSample::itlbMpki() const
+{
+    return ratio(itlb_misses, instructions, 1000.0);
+}
+
+double
+PerfSample::frontendBoundPct() const
+{
+    return ratio(stalled_frontend, cycles, 100.0);
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/** Hardware-cache config encoding per perf_event_open(2). */
+constexpr std::uint64_t
+hwCache(std::uint64_t cache, std::uint64_t op, std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+struct EventSpec {
+    const char* name;
+    std::uint32_t type;
+    std::uint64_t config;
+    PerfSample::Value PerfSample::* slot;
+};
+
+constexpr EventSpec kEvents[] = {
+    {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES,
+     &PerfSample::cycles},
+    {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+     &PerfSample::instructions},
+    {"branches", PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS,
+     &PerfSample::branches},
+    {"branch-misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES,
+     &PerfSample::branch_misses},
+    {"stalled-cycles-frontend", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_STALLED_CYCLES_FRONTEND,
+     &PerfSample::stalled_frontend},
+    {"L1-icache-load-misses", PERF_TYPE_HW_CACHE,
+     hwCache(PERF_COUNT_HW_CACHE_L1I, PERF_COUNT_HW_CACHE_OP_READ,
+             PERF_COUNT_HW_CACHE_RESULT_MISS),
+     &PerfSample::l1i_misses},
+    {"L1-dcache-load-misses", PERF_TYPE_HW_CACHE,
+     hwCache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+             PERF_COUNT_HW_CACHE_RESULT_MISS),
+     &PerfSample::l1d_misses},
+    {"iTLB-load-misses", PERF_TYPE_HW_CACHE,
+     hwCache(PERF_COUNT_HW_CACHE_ITLB, PERF_COUNT_HW_CACHE_OP_READ,
+             PERF_COUNT_HW_CACHE_RESULT_MISS),
+     &PerfSample::itlb_misses},
+};
+
+} // namespace
+
+struct PerfCounters::Impl {
+    struct Open {
+        const EventSpec* spec = nullptr;
+        int fd = -1;
+    };
+    std::vector<Open> open;
+    std::string reason;
+};
+
+PerfCounters::PerfCounters() : impl_(std::make_unique<Impl>())
+{
+    std::string first_err;
+    for (const EventSpec& ev : kEvents) {
+        perf_event_attr attr;
+        std::memset(&attr, 0, sizeof(attr));
+        attr.size = sizeof(attr);
+        attr.type = ev.type;
+        attr.config = ev.config;
+        attr.disabled = 1;
+        // Count only our own user-space work: stays openable at
+        // perf_event_paranoid == 2 and measures exactly the simulator.
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        // Child threads inherit the counter — the replay pool's workers
+        // are created after construction and must be counted.
+        attr.inherit = 1;
+        attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
+                           PERF_FORMAT_TOTAL_TIME_RUNNING;
+        const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                /*cpu=*/-1, /*group_fd=*/-1,
+                                /*flags=*/0UL);
+        if (fd < 0) {
+            if (first_err.empty())
+                first_err = std::string(ev.name) + ": " +
+                            std::strerror(errno);
+            continue;
+        }
+        impl_->open.push_back({&ev, static_cast<int>(fd)});
+    }
+    if (impl_->open.empty())
+        impl_->reason = first_err.empty()
+                            ? "no events attempted"
+                            : "perf_event_open failed (" + first_err +
+                                  ")";
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (const Impl::Open& o : impl_->open)
+        close(o.fd);
+}
+
+bool
+PerfCounters::available() const
+{
+    return !impl_->open.empty();
+}
+
+const std::string&
+PerfCounters::reason() const
+{
+    return impl_->reason;
+}
+
+void
+PerfCounters::start()
+{
+    for (const Impl::Open& o : impl_->open) {
+        ioctl(o.fd, PERF_EVENT_IOC_RESET, 0);
+        ioctl(o.fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+}
+
+void
+PerfCounters::stop()
+{
+    for (const Impl::Open& o : impl_->open)
+        ioctl(o.fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+PerfSample
+PerfCounters::sample() const
+{
+    PerfSample s;
+    for (const Impl::Open& o : impl_->open) {
+        // value, time_enabled, time_running (per read_format above).
+        std::uint64_t buf[3] = {0, 0, 0};
+        const ssize_t n = read(o.fd, buf, sizeof(buf));
+        if (n != static_cast<ssize_t>(sizeof(buf)))
+            continue;
+        double count = static_cast<double>(buf[0]);
+        // Standard multiplex scaling: extrapolate to the full enabled
+        // window when the PMU timesliced this counter.
+        if (buf[2] != 0 && buf[2] < buf[1])
+            count *= static_cast<double>(buf[1]) /
+                     static_cast<double>(buf[2]);
+        PerfSample::Value& v = s.*(o.spec->slot);
+        v.count = count;
+        v.ok = true;
+        s.available = true;
+    }
+    return s;
+}
+
+#else // !__linux__
+
+struct PerfCounters::Impl {
+    std::string reason = "perf_event_open requires Linux";
+};
+
+PerfCounters::PerfCounters() : impl_(std::make_unique<Impl>()) {}
+PerfCounters::~PerfCounters() = default;
+
+bool
+PerfCounters::available() const
+{
+    return false;
+}
+
+const std::string&
+PerfCounters::reason() const
+{
+    return impl_->reason;
+}
+
+void
+PerfCounters::start()
+{
+}
+
+void
+PerfCounters::stop()
+{
+}
+
+PerfSample
+PerfCounters::sample() const
+{
+    return {};
+}
+
+#endif // __linux__
+
+} // namespace spikesim::obs

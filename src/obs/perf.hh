@@ -1,0 +1,100 @@
+#ifndef SPIKESIM_OBS_PERF_HH
+#define SPIKESIM_OBS_PERF_HH
+
+#include <memory>
+#include <string>
+
+/**
+ * @file
+ * Hardware self-profiling via perf_event_open: the process counts its
+ * own cycles, instructions, branches and cache/TLB misses while a bench
+ * runs, and folds the derived rates (IPC, branch-miss %, L1I/L1D/iTLB
+ * MPKI, a topdown-style front-end-bound estimate) into the metrics
+ * registry and run manifests. For a simulator whose subject is i-cache
+ * behaviour, this closes the loop: the replay engine's own front-end
+ * profile lands next to the miss curves it produces.
+ *
+ * Counters are opened per-process (pid 0, all CPUs) with inherit set,
+ * so worker threads created *after* the open are counted too —
+ * bench/common starts the counters before building its thread pool.
+ * Each counter is an individual fd (inherit does not compose with
+ * group reads) read with TOTAL_TIME_ENABLED/RUNNING so multiplexed
+ * values are scaled the standard way.
+ *
+ * Availability is strictly best-effort: unprivileged containers
+ * (perf_event_paranoid >= 2 without CAP_PERFMON), kernels without a
+ * PMU driver, and non-Linux hosts all simply yield available() ==
+ * false with a human-readable reason, and every consumer keeps
+ * running — manifests then record perf.available = 0 and no rates.
+ * Individual counters can also fail (e.g. no stalled-cycles event on
+ * this PMU) while the rest work; each sampled value carries its own
+ * ok flag.
+ */
+
+namespace spikesim::obs {
+
+/** One read of every counter, multiplex-scaled. */
+struct PerfSample {
+    struct Value {
+        double count = 0.0; ///< scaled event count
+        bool ok = false;    ///< counter opened and read successfully
+    };
+
+    bool available = false; ///< at least one counter delivered
+    Value cycles;
+    Value instructions;
+    Value branches;
+    Value branch_misses;
+    Value stalled_frontend; ///< stalled-cycles-frontend (may be absent)
+    Value l1i_misses;       ///< L1I read misses
+    Value l1d_misses;       ///< L1D read misses
+    Value itlb_misses;      ///< iTLB read misses
+
+    /** Derived rates; 0.0 whenever an input is missing or zero. */
+    double ipc() const;
+    double branchMissPct() const;
+    double l1iMpki() const;
+    double l1dMpki() const;
+    double itlbMpki() const;
+    /** Topdown-style front-end-bound estimate:
+     *  stalled-cycles-frontend / cycles, in percent. */
+    double frontendBoundPct() const;
+};
+
+/**
+ * Owns the counter fds. Construct, then start() immediately before the
+ * measured region (resets and enables), then sample() at any point
+ * after. Never fatal: when nothing can be opened the object is inert.
+ */
+class PerfCounters
+{
+  public:
+    PerfCounters();
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters&) = delete;
+    PerfCounters& operator=(const PerfCounters&) = delete;
+
+    /** True when at least one hardware counter is open. */
+    bool available() const;
+
+    /** Why available() is false ("" while it is true). */
+    const std::string& reason() const;
+
+    /** Zero and enable every open counter. */
+    void start();
+
+    /** Disable counting (sample() still works afterwards). */
+    void stop();
+
+    /** Read every counter, scaling for multiplexing. */
+    PerfSample sample() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace spikesim::obs
+
+#endif // SPIKESIM_OBS_PERF_HH

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "metrics/sequence.hh"
+#include "sim/kernels.hh"
 #include "sim/replay.hh"
+#include "sim/soa.hh"
 #include "support/threadpool.hh"
 
 /**
@@ -96,6 +98,52 @@ replayHierarchy(const ResolvedTrace& trace,
  */
 metrics::SequenceStats
 replaySequence(const ResolvedTrace& trace,
+               support::ThreadPool* pool = nullptr);
+
+/**
+ * SoA overloads: the same seven replays over a column-major
+ * ResolvedTraceSoA (sim/soa.hh). Results are bit-identical to the AoS
+ * overloads — the per-CPU record sequences are the same values in the
+ * same order, only the storage layout differs. The i-cache replay
+ * additionally routes through the throughput kernels of sim/kernels.hh
+ * and accepts a SimdMode; every other family keeps its simulator
+ * objects and simply streams the columns.
+ */
+
+std::vector<ICacheReplayResult>
+replayICache(const ResolvedTraceSoA& soa,
+             std::span<const mem::CacheConfig> configs,
+             SimdMode mode = SimdMode::Auto,
+             support::ThreadPool* pool = nullptr);
+
+std::vector<mem::ThreeCStats>
+replayThreeCs(const ResolvedTraceSoA& soa,
+              std::span<const mem::CacheConfig> configs,
+              support::ThreadPool* pool = nullptr);
+
+std::vector<mem::StreamBufferStats>
+replayStreamBuffer(const ResolvedTraceSoA& soa,
+                   std::span<const mem::CacheConfig> configs,
+                   int num_buffers, support::ThreadPool* pool = nullptr);
+
+std::vector<WordStats>
+replayInstrumented(const ResolvedTraceSoA& soa,
+                   std::span<const mem::CacheConfig> configs,
+                   bool flush_at_end = false,
+                   support::ThreadPool* pool = nullptr);
+
+std::vector<ITlbReplayResult>
+replayITlb(const ResolvedTraceSoA& soa, std::span<const ITlbSpec> specs,
+           support::ThreadPool* pool = nullptr);
+
+std::vector<HierarchyReplayResult>
+replayHierarchy(const ResolvedTraceSoA& soa,
+                std::span<const mem::HierarchyConfig> configs,
+                bool model_coherence = false,
+                support::ThreadPool* pool = nullptr);
+
+metrics::SequenceStats
+replaySequence(const ResolvedTraceSoA& soa,
                support::ThreadPool* pool = nullptr);
 
 } // namespace spikesim::sim

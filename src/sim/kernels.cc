@@ -1,0 +1,90 @@
+#include "sim/kernels.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/kernels_detail.hh"
+#include "support/cpufeat.hh"
+#include "support/panic.hh"
+
+namespace spikesim::sim {
+
+bool
+simdKernelsCompiled()
+{
+#if defined(SPIKESIM_AVX2_TU)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+simdAvailable()
+{
+    return simdKernelsCompiled() && support::cpuHasAvx2();
+}
+
+SimdMode
+simdModeFromEnv()
+{
+    const char* raw = std::getenv("SPIKESIM_SIMD");
+    if (raw == nullptr || raw[0] == '\0')
+        return SimdMode::Auto;
+    const std::string val(raw);
+    if (val == "0")
+        return SimdMode::Scalar;
+    if (val == "1")
+        return SimdMode::Simd;
+    support::fatal("SPIKESIM_SIMD must be \"0\" or \"1\", got \"" + val +
+                   "\"");
+}
+
+bool
+resolveSimd(SimdMode mode)
+{
+    if (mode == SimdMode::Auto)
+        mode = simdModeFromEnv();
+    switch (mode) {
+    case SimdMode::Scalar:
+        return false;
+    case SimdMode::Simd:
+        if (!simdAvailable())
+            support::fatal(
+                std::string("SIMD kernels requested but unavailable: ") +
+                (simdKernelsCompiled()
+                     ? "host CPU does not report AVX2"
+                     : "binary was built without AVX2 support"));
+        return true;
+    case SimdMode::Auto:
+        break;
+    }
+    return simdAvailable();
+}
+
+const char*
+simdKernelName(bool simd)
+{
+    return simd ? "avx2" : "scalar";
+}
+
+namespace detail {
+
+void
+icacheShardScalar(const IcacheShard& shard)
+{
+    runIcacheShardImpl<ScalarProbe>(shard);
+}
+
+#if !defined(SPIKESIM_AVX2_TU)
+void
+icacheShardAvx2(const IcacheShard& shard)
+{
+    (void)shard;
+    support::fatal("AVX2 kernel invoked in a binary built without it");
+}
+#endif
+
+} // namespace detail
+
+} // namespace spikesim::sim

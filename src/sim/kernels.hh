@@ -1,0 +1,101 @@
+#ifndef SPIKESIM_SIM_KERNELS_HH
+#define SPIKESIM_SIM_KERNELS_HH
+
+#include <cstddef>
+
+#include "mem/cache.hh"
+#include "sim/soa.hh"
+
+/**
+ * @file
+ * Throughput replay kernels over the SoA resolved trace, plus the
+ * runtime SIMD dispatch that picks between them.
+ *
+ * Two implementations of the fused i-cache config-column kernel exist
+ * behind one interface:
+ *
+ *  - scalar (kernels.cc): branch-lean reference implementation, built
+ *    with the project's default flags. This path runs on any x86-64 /
+ *    any architecture and is the differential ground truth — the fuzz
+ *    in tests/replay_parallel_test.cc pins it (and the AVX2 path) to
+ *    the per-config scalar Replayer oracle bit for bit.
+ *
+ *  - AVX2 (kernels_avx2.cc): same algorithm with vector probes — the
+ *    direct-mapped tag tables of a config chunk are probed with a
+ *    256-bit gather+compare across four configurations at once, and
+ *    4/8-way sets use vector tag compare plus conditional-move LRU age
+ *    updates. The TU is compiled with -mavx2 only when the compiler
+ *    supports the flag (no global -march change), and is only entered
+ *    when the host CPU reports AVX2, so the binary still runs on
+ *    non-AVX2 hosts through the scalar path.
+ *
+ * Both kernels share their state layout and outer walk via
+ * kernels_detail.hh (one template, two probe traits), which is what
+ * makes "bit-identical by construction" a structural property rather
+ * than a testing aspiration: the only code that differs is the probe
+ * arithmetic, and that computes the same integers.
+ *
+ * Dispatch: SimdMode::Auto consults the SPIKESIM_SIMD environment
+ * variable (strictly "0" or "1"; anything else is a fatal user error),
+ * then falls back to runtime CPU detection. Benches expose the same
+ * choice as a --simd 0|1 flag, which wins over the environment.
+ */
+
+namespace spikesim::sim {
+
+/** Kernel selection for the SoA replay entry points. */
+enum class SimdMode {
+    Auto = 0, ///< SPIKESIM_SIMD env if set, else hardware detection
+    Scalar,   ///< force the scalar kernels (any host)
+    Simd,     ///< force the AVX2 kernels (fatal if unavailable)
+};
+
+/** True when the AVX2 kernel TU was compiled into this binary. */
+bool simdKernelsCompiled();
+
+/** True when the AVX2 kernels can run here (compiled + CPU support). */
+bool simdAvailable();
+
+/**
+ * Strict SPIKESIM_SIMD parse: unset/empty -> Auto, "0" -> Scalar,
+ * "1" -> Simd; anything else is a fatal configuration error.
+ */
+SimdMode simdModeFromEnv();
+
+/**
+ * Resolve a mode to the final kernel choice (true = AVX2). Scalar and
+ * Simd are explicit caller requests (e.g. a --simd flag) and win over
+ * the environment; Auto defers to simdModeFromEnv(), then to
+ * simdAvailable(). Requesting Simd on a host that cannot run it is a
+ * fatal user error, never a silent fallback.
+ */
+bool resolveSimd(SimdMode mode);
+
+/** "avx2" or "scalar" — for banners, manifests and JSON artifacts. */
+const char* simdKernelName(bool simd);
+
+namespace detail {
+
+/**
+ * One (cpu, config-chunk) cell of a fused i-cache replay: walk the
+ * CPU's SoA column once, feeding configs [k0, k1); results land in
+ * out[0 .. k1-k0), fully overwritten (not accumulated).
+ */
+struct IcacheShard
+{
+    const ResolvedTraceSoA* soa = nullptr;
+    int cpu = 0;
+    const mem::CacheConfig* configs = nullptr;
+    std::size_t k0 = 0;
+    std::size_t k1 = 0;
+    ICacheReplayResult* out = nullptr;
+};
+
+void icacheShardScalar(const IcacheShard& shard);
+void icacheShardAvx2(const IcacheShard& shard); ///< AVX2 TU only
+
+} // namespace detail
+
+} // namespace spikesim::sim
+
+#endif // SPIKESIM_SIM_KERNELS_HH

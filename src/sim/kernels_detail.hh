@@ -1,0 +1,316 @@
+#ifndef SPIKESIM_SIM_KERNELS_DETAIL_HH
+#define SPIKESIM_SIM_KERNELS_DETAIL_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernels.hh"
+#include "support/panic.hh"
+
+/**
+ * @file
+ * Shared implementation of the fused i-cache config-column kernel:
+ * state layout, state construction, the outer SoA walk with its two
+ * fast paths, and the scalar probe set. The scalar TU (kernels.cc)
+ * and the AVX2 TU (kernels_avx2.cc) both instantiate
+ * runIcacheShardImpl with their probe traits, so the two kernels can
+ * only differ in probe arithmetic — never in state layout, walk
+ * order, or counting — which is what keeps them bit-identical to each
+ * other and to the scalar Replayer oracle.
+ *
+ * Algorithm (per CPU, per line-size group of the config chunk):
+ *
+ *  - Repeat line: a line equal to this group's previous line is the
+ *    MRU entry of its set in every member cache — a guaranteed hit
+ *    with no LRU state change (re-stamping the MRU entry is a no-op),
+ *    so only the access counter moves. Instruction streams are
+ *    sequential, so this path takes a large share of fetches.
+ *
+ *  - Direct-mapped members share one inclusive check: the set masks
+ *    at one line size are nested low-bit masks, so if the fewest-set
+ *    table's slot holds the line, every table's slot does (the last
+ *    write to the coarse slot wrote this line to all tables, and any
+ *    later line that evicts it from a finer table would also have
+ *    evicted it from the coarse one). One compare answers the whole
+ *    member list; only on failure are the tables probed per member.
+ *
+ *  - Set-associative members keep true-LRU state as an age
+ *    permutation (0 = MRU .. assoc-1 = LRU) per set, updated
+ *    branch-free: age[w] += (age[w] < age[touched]); age[touched] = 0.
+ *    Ages are initialized to way index, which reproduces the scalar
+ *    SetAssocCache victim order exactly (invalid ways fill from the
+ *    highest index down, then true LRU).
+ *
+ * Interference attribution needs the victim owner, so every table
+ * slot carries an owner byte (0 app / 1 kernel / 2 cold) that is only
+ * written on fills — identical to the oracle's owner-tag semantics.
+ */
+
+namespace spikesim::sim::detail {
+
+inline constexpr std::uint64_t kInvalidTag = ~0ULL;
+/** Victim-owner code for an invalid (cold) entry. */
+inline constexpr std::uint8_t kOwnerCold = 2;
+
+/** One direct-mapped configuration of a line-size group. */
+struct DmMember
+{
+    std::uint64_t mask = 0;   ///< sets - 1
+    std::uint64_t offset = 0; ///< start of this table in dm_tags
+    std::uint32_t sets = 0;
+    std::size_t slot = 0; ///< config index relative to the chunk
+};
+
+/** One set-associative configuration of a line-size group. */
+struct AssocMember
+{
+    std::size_t slot = 0;
+    std::uint32_t assoc = 0;
+    std::uint64_t set_mask = 0;
+    std::size_t base = 0; ///< start in am_tags/am_ages/am_owners
+};
+
+/** All configurations sharing one line size, plus their cache state. */
+struct LineGroup
+{
+    std::uint32_t line = 0;
+    std::uint32_t shift = 0;
+
+    std::vector<DmMember> dm;
+    std::size_t dm_min = 0; ///< member with the fewest sets
+    std::size_t dm_big = 0; ///< member with the most sets (prefetch)
+    std::vector<std::uint64_t> dm_tags;
+    std::vector<std::uint8_t> dm_owners;
+    /** Member mask/offset columns for the vector gather probe. */
+    std::vector<std::uint64_t> dm_masks;
+    std::vector<std::uint64_t> dm_offsets;
+
+    std::vector<AssocMember> am;
+    std::vector<std::uint64_t> am_tags;
+    std::vector<std::uint64_t> am_ages;
+    std::vector<std::uint8_t> am_owners;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t last_line = kInvalidTag;
+};
+
+struct IcacheState
+{
+    std::vector<LineGroup> groups;
+    /** Per config slot: interference counts indexed [m * 3 + victim]. */
+    std::vector<std::array<std::uint64_t, 6>> intf;
+};
+
+inline IcacheState
+buildIcacheState(const mem::CacheConfig* configs, std::size_t k0,
+                 std::size_t k1)
+{
+    IcacheState st;
+    st.intf.assign(k1 - k0, {});
+    for (std::size_t k = k0; k < k1; ++k) {
+        const mem::CacheConfig& c = configs[k];
+        const std::string err = c.check();
+        SPIKESIM_ASSERT(err.empty(), "bad cache config: " << err);
+        LineGroup* g = nullptr;
+        for (LineGroup& cand : st.groups)
+            if (cand.line == c.line_bytes)
+                g = &cand;
+        if (g == nullptr) {
+            st.groups.emplace_back();
+            g = &st.groups.back();
+            g->line = c.line_bytes;
+            g->shift = static_cast<std::uint32_t>(
+                std::bit_width(c.line_bytes) - 1);
+        }
+        const std::uint32_t sets = c.numSets();
+        if (c.assoc == 1) {
+            DmMember d;
+            d.mask = sets - 1;
+            d.sets = sets;
+            d.slot = k - k0;
+            g->dm.push_back(d);
+        } else {
+            AssocMember a;
+            a.slot = k - k0;
+            a.assoc = c.assoc;
+            a.set_mask = sets - 1;
+            g->am.push_back(a);
+        }
+    }
+    for (LineGroup& g : st.groups) {
+        std::uint64_t off = 0;
+        for (std::size_t j = 0; j < g.dm.size(); ++j) {
+            DmMember& d = g.dm[j];
+            d.offset = off;
+            off += d.sets;
+            if (d.sets < g.dm[g.dm_min].sets)
+                g.dm_min = j;
+            if (d.sets > g.dm[g.dm_big].sets)
+                g.dm_big = j;
+            g.dm_masks.push_back(d.mask);
+            g.dm_offsets.push_back(d.offset);
+        }
+        g.dm_tags.assign(off, kInvalidTag);
+        g.dm_owners.assign(off, kOwnerCold);
+
+        std::size_t am_off = 0;
+        for (AssocMember& a : g.am) {
+            a.base = am_off;
+            am_off += static_cast<std::size_t>(a.set_mask + 1) * a.assoc;
+        }
+        g.am_tags.assign(am_off, kInvalidTag);
+        g.am_owners.assign(am_off, kOwnerCold);
+        g.am_ages.resize(am_off);
+        for (const AssocMember& a : g.am)
+            for (std::size_t s = 0; s <= a.set_mask; ++s)
+                for (std::uint32_t w = 0; w < a.assoc; ++w)
+                    g.am_ages[a.base + s * a.assoc + w] = w;
+    }
+    return st;
+}
+
+/** Branch-lean reference probes; also the tail/odd-assoc fallback of
+ *  the AVX2 traits. */
+struct ScalarProbe
+{
+    /** Probe every direct-mapped member (the inclusive check already
+     *  failed); count misses and fill. */
+    static void
+    dmSlow(LineGroup& g, std::uint64_t ln, unsigned m,
+           std::array<std::uint64_t, 6>* intf)
+    {
+        std::uint64_t* tags = g.dm_tags.data();
+        std::uint8_t* own = g.dm_owners.data();
+        for (const DmMember& d : g.dm) {
+            const std::uint64_t idx = d.offset + (ln & d.mask);
+            if (tags[idx] != ln) {
+                ++intf[d.slot][m * 3 + own[idx]];
+                tags[idx] = ln;
+                own[idx] = static_cast<std::uint8_t>(m);
+            }
+        }
+    }
+
+    /** Probe one set-associative member with age-permutation LRU. */
+    static void
+    amProbe(LineGroup& g, const AssocMember& a, std::uint64_t ln,
+            unsigned m, std::array<std::uint64_t, 6>* intf)
+    {
+        const std::uint32_t assoc = a.assoc;
+        const std::size_t set = ln & a.set_mask;
+        std::uint64_t* tags = g.am_tags.data() + a.base + set * assoc;
+        std::uint64_t* ages = g.am_ages.data() + a.base + set * assoc;
+        std::uint8_t* own = g.am_owners.data() + a.base + set * assoc;
+
+        std::uint32_t hit = assoc;
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            hit = tags[w] == ln ? w : hit;
+        if (hit < assoc) {
+            const std::uint64_t h = ages[hit];
+            for (std::uint32_t w = 0; w < assoc; ++w)
+                ages[w] += static_cast<std::uint64_t>(ages[w] < h);
+            ages[hit] = 0;
+            return;
+        }
+        // Miss: exactly one way carries age assoc-1 (the permutation
+        // invariant), and it is the scalar cache's victim.
+        const std::uint64_t lru = assoc - 1;
+        std::uint32_t v = 0;
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            v = ages[w] == lru ? w : v;
+        ++intf[a.slot][m * 3 + own[v]];
+        tags[v] = ln;
+        own[v] = static_cast<std::uint8_t>(m);
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            ages[w] += static_cast<std::uint64_t>(ages[w] < lru);
+        ages[v] = 0;
+    }
+};
+
+/** How many refs ahead the column prefetches run. */
+inline constexpr std::size_t kRefPrefetch = 24;
+/** Lead (in refs) for the tag-line prefetch of the biggest DM table. */
+inline constexpr std::size_t kTagPrefetch = 4;
+
+template <class Probe>
+inline void
+runIcacheShardImpl(const IcacheShard& sh)
+{
+    const ResolvedTraceSoA& soa = *sh.soa;
+    IcacheState st = buildIcacheState(sh.configs, sh.k0, sh.k1);
+    const auto [begin, end] = soa.cpuRange(sh.cpu);
+    const std::uint64_t* addrs = soa.addr.data();
+    const std::uint32_t* sizes = soa.bytes.data();
+    const std::uint8_t* owners = soa.owner.data();
+
+    for (std::size_t i = begin; i < end; ++i) {
+        // Stream the upcoming ref columns; prefetching one address
+        // pulls its whole cache line of packed 8-byte entries.
+        if (i + kRefPrefetch < end) {
+            __builtin_prefetch(addrs + i + kRefPrefetch);
+            __builtin_prefetch(sizes + i + kRefPrefetch);
+        }
+        if (owners[i] ==
+            static_cast<std::uint8_t>(mem::Owner::Data))
+            continue;
+        const unsigned m =
+            owners[i] == static_cast<std::uint8_t>(mem::Owner::App)
+                ? 0u
+                : 1u;
+        const std::uint64_t addr = addrs[i];
+        const std::uint64_t last_byte = addr + sizes[i] - 1;
+        // Cover the probe latency of the biggest (least cache-resident)
+        // direct-mapped table with a short-lead slot prefetch.
+        const std::uint64_t next_addr =
+            addrs[i + kTagPrefetch < end ? i + kTagPrefetch : i];
+        for (LineGroup& g : st.groups) {
+            if (!g.dm.empty()) {
+                const DmMember& big = g.dm[g.dm_big];
+                __builtin_prefetch(
+                    &g.dm_tags[big.offset +
+                               ((next_addr >> g.shift) & big.mask)]);
+            }
+            std::uint64_t ln = addr >> g.shift;
+            const std::uint64_t ln_end = last_byte >> g.shift;
+            g.accesses += ln_end - ln + 1;
+            std::uint64_t last = g.last_line;
+            for (; ln <= ln_end; ++ln) {
+                if (ln == last)
+                    continue;
+                last = ln;
+                if (!g.dm.empty()) {
+                    const DmMember& mn = g.dm[g.dm_min];
+                    if (g.dm_tags[mn.offset + (ln & mn.mask)] != ln)
+                        Probe::dmSlow(g, ln, m, st.intf.data());
+                }
+                for (const AssocMember& a : g.am)
+                    Probe::amProbe(g, a, ln, m, st.intf.data());
+            }
+            g.last_line = last;
+        }
+    }
+
+    for (const LineGroup& g : st.groups) {
+        const auto fold = [&](std::size_t slot) {
+            ICacheReplayResult& r = sh.out[slot];
+            const std::array<std::uint64_t, 6>& c = st.intf[slot];
+            r.accesses = g.accesses;
+            for (int mm = 0; mm < 2; ++mm)
+                for (int v = 0; v < 3; ++v)
+                    r.interference.counts[mm][v] = c[mm * 3 + v];
+            r.app_misses = c[0] + c[1] + c[2];
+            r.kernel_misses = c[3] + c[4] + c[5];
+            r.misses = r.app_misses + r.kernel_misses;
+        };
+        for (const DmMember& d : g.dm)
+            fold(d.slot);
+        for (const AssocMember& a : g.am)
+            fold(a.slot);
+    }
+}
+
+} // namespace spikesim::sim::detail
+
+#endif // SPIKESIM_SIM_KERNELS_DETAIL_HH

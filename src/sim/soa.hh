@@ -1,0 +1,68 @@
+#ifndef SPIKESIM_SIM_SOA_HH
+#define SPIKESIM_SIM_SOA_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/replay.hh"
+
+/**
+ * @file
+ * Structure-of-arrays resolved trace: the same CPU-partitioned record
+ * stream as sim::ResolvedTrace, but with addr/bytes/owner/flags stored
+ * as separate contiguous columns. The replay hot loops consume one or
+ * two of the four fields per family (the i-cache kernels read addr and
+ * bytes and only branch on owner), so streaming a packed 8-byte addr
+ * column instead of striding 24-byte ResolvedRef structs keeps the
+ * loads dense, lets the hardware prefetcher see plain unit-stride
+ * streams, and gives the SIMD kernels (sim/kernels.hh) contiguous
+ * lanes to load from.
+ *
+ * The conversion is a by-construction bijection on the fields: every
+ * SoA replay result is bit-identical to the AoS walk because the
+ * per-CPU record sequences are byte-for-byte the same values in the
+ * same order. tests/replay_parallel_test.cc fuzzes exactly that claim
+ * against the scalar Replayer oracles for all seven families.
+ */
+
+namespace spikesim::sim {
+
+/**
+ * Column view of a ResolvedTrace. Owns its columns (the source trace
+ * may be dropped after conversion); data_refs is copied verbatim for
+ * the hierarchy coherence pass, which needs the global event order.
+ */
+struct ResolvedTraceSoA
+{
+    std::vector<std::uint64_t> addr;
+    std::vector<std::uint32_t> bytes;
+    std::vector<std::uint8_t> owner; ///< mem::Owner as raw uint8
+    std::vector<std::uint8_t> flags; ///< kRefRunBreak etc.
+    /** Partition offsets: CPU c owns [cpu_begin[c], cpu_begin[c+1]). */
+    std::vector<std::size_t> cpu_begin;
+    /** Data references in global trace order (include_data only). */
+    std::vector<ResolvedDataRef> data_refs;
+    int num_cpus = 1;
+    std::uint64_t instr_events = 0;
+    std::uint64_t instrs = 0;
+
+    std::size_t size() const { return addr.size(); }
+
+    /** [begin, end) column index range owned by `cpu`. */
+    std::pair<std::size_t, std::size_t>
+    cpuRange(int cpu) const
+    {
+        if (cpu < 0 || cpu + 1 >= static_cast<int>(cpu_begin.size()))
+            return {0, 0};
+        return {cpu_begin[static_cast<std::size_t>(cpu)],
+                cpu_begin[static_cast<std::size_t>(cpu) + 1]};
+    }
+};
+
+/** Transpose a resolved trace into columns (one linear pass). */
+ResolvedTraceSoA toSoA(const ResolvedTrace& trace);
+
+} // namespace spikesim::sim
+
+#endif // SPIKESIM_SIM_SOA_HH

@@ -9,6 +9,13 @@
  * both serial-fused (no pool) and sharded across a thread pool,
  * including a pool wider than the trace's CPU count (which engages the
  * per-(cpu, config-chunk) sharding path).
+ *
+ * Every family is additionally replayed through the structure-of-arrays
+ * overloads (sim/soa.hh), and the i-cache family through both SoA
+ * kernels — forced scalar and, when this host can run it, forced AVX2
+ * (sim/kernels.hh) — against the same oracles. The SIMD kernels have no
+ * tolerance: miss counts and interference matrices must match the
+ * scalar Replayer bit for bit.
  */
 
 #include <gtest/gtest.h>
@@ -93,6 +100,22 @@ const StreamFilter kFilters[] = {StreamFilter::AppOnly,
                                  StreamFilter::KernelOnly,
                                  StreamFilter::Combined};
 
+/** Kernel modes runnable here: scalar always, AVX2 when the host can. */
+std::vector<SimdMode>
+runnableModes()
+{
+    std::vector<SimdMode> modes{SimdMode::Scalar};
+    if (simdAvailable())
+        modes.push_back(SimdMode::Simd);
+    return modes;
+}
+
+const char*
+modeLabel(SimdMode mode)
+{
+    return mode == SimdMode::Simd ? "soa avx2" : "soa scalar";
+}
+
 template <typename H>
 void
 expectHistEq(const H& a, const H& b, const char* what)
@@ -153,27 +176,45 @@ TEST(ReplayEngine, MatchesICacheOracleRandomized)
 {
     Pools pools;
     const auto configs = testConfigs();
+    const auto modes = runnableModes();
     for (int cpus : {1, 2, 4, 8}) {
         Workload w(cpus, 100 + static_cast<std::uint32_t>(cpus));
         ASSERT_EQ(w.rep.numCpus(), cpus);
         for (StreamFilter filter : kFilters) {
             ResolvedTrace trace = w.rep.resolve(filter);
+            const ResolvedTraceSoA soa = toSoA(trace);
+            std::vector<ICacheReplayResult> oracle;
+            for (const auto& c : configs)
+                oracle.push_back(w.rep.icache(c, filter));
+            auto expect_oracle =
+                [&](const std::vector<ICacheReplayResult>& col,
+                    const char* label) {
+                    ASSERT_EQ(col.size(), oracle.size()) << label;
+                    for (std::size_t i = 0; i < oracle.size(); ++i) {
+                        const auto& r = oracle[i];
+                        EXPECT_EQ(col[i].accesses, r.accesses)
+                            << label << " cpus " << cpus << " cfg " << i;
+                        EXPECT_EQ(col[i].misses, r.misses)
+                            << label << " cpus " << cpus << " cfg " << i;
+                        EXPECT_EQ(col[i].app_misses, r.app_misses)
+                            << label;
+                        EXPECT_EQ(col[i].kernel_misses, r.kernel_misses)
+                            << label;
+                        for (int m = 0; m < 2; ++m)
+                            for (int v = 0; v < 3; ++v)
+                                EXPECT_EQ(
+                                    col[i].interference.counts[m][v],
+                                    r.interference.counts[m][v])
+                                    << label << " cpus " << cpus
+                                    << " config " << i;
+                    }
+                };
             for (support::ThreadPool* pool : pools.all) {
-                auto col = replayICache(trace, configs, pool);
-                ASSERT_EQ(col.size(), configs.size());
-                for (std::size_t i = 0; i < configs.size(); ++i) {
-                    auto r = w.rep.icache(configs[i], filter);
-                    EXPECT_EQ(col[i].accesses, r.accesses);
-                    EXPECT_EQ(col[i].misses, r.misses);
-                    EXPECT_EQ(col[i].app_misses, r.app_misses);
-                    EXPECT_EQ(col[i].kernel_misses, r.kernel_misses);
-                    for (int m = 0; m < 2; ++m)
-                        for (int v = 0; v < 3; ++v)
-                            EXPECT_EQ(
-                                col[i].interference.counts[m][v],
-                                r.interference.counts[m][v])
-                                << "cpus " << cpus << " config " << i;
-                }
+                expect_oracle(replayICache(trace, configs, pool), "aos");
+                for (SimdMode mode : modes)
+                    expect_oracle(
+                        replayICache(soa, configs, mode, pool),
+                        modeLabel(mode));
             }
         }
     }
@@ -187,21 +228,34 @@ TEST(ReplayEngine, MatchesThreeCsAndStreamBufferOracles)
         Workload w(cpus, 200 + static_cast<std::uint32_t>(cpus));
         for (StreamFilter filter : kFilters) {
             ResolvedTrace trace = w.rep.resolve(filter);
+            const ResolvedTraceSoA soa = toSoA(trace);
             for (support::ThreadPool* pool : pools.all) {
                 auto threec = replayThreeCs(trace, configs, pool);
+                auto threec_soa = replayThreeCs(soa, configs, pool);
                 auto sbuf =
                     replayStreamBuffer(trace, configs, 4, pool);
+                auto sbuf_soa =
+                    replayStreamBuffer(soa, configs, 4, pool);
                 for (std::size_t i = 0; i < configs.size(); ++i) {
                     auto t = w.rep.threeCs(configs[i], filter);
                     EXPECT_EQ(threec[i].accesses(), t.accesses());
                     EXPECT_EQ(threec[i].compulsory, t.compulsory);
                     EXPECT_EQ(threec[i].capacity, t.capacity);
                     EXPECT_EQ(threec[i].conflict, t.conflict);
+                    EXPECT_EQ(threec_soa[i].accesses(), t.accesses());
+                    EXPECT_EQ(threec_soa[i].compulsory, t.compulsory);
+                    EXPECT_EQ(threec_soa[i].capacity, t.capacity);
+                    EXPECT_EQ(threec_soa[i].conflict, t.conflict);
                     auto s = w.rep.streamBuffer(configs[i], 4, filter);
                     EXPECT_EQ(sbuf[i].accesses(), s.accesses());
                     EXPECT_EQ(sbuf[i].l1Misses(), s.l1Misses());
                     EXPECT_EQ(sbuf[i].streamHits(), s.streamHits());
                     EXPECT_EQ(sbuf[i].demandMisses(), s.demandMisses());
+                    EXPECT_EQ(sbuf_soa[i].accesses(), s.accesses());
+                    EXPECT_EQ(sbuf_soa[i].l1Misses(), s.l1Misses());
+                    EXPECT_EQ(sbuf_soa[i].streamHits(), s.streamHits());
+                    EXPECT_EQ(sbuf_soa[i].demandMisses(),
+                              s.demandMisses());
                 }
             }
         }
@@ -216,10 +270,13 @@ TEST(ReplayEngine, MatchesInstrumentedOracleIncludingFlush)
         Workload w(cpus, 300 + static_cast<std::uint32_t>(cpus));
         for (StreamFilter filter : kFilters) {
             ResolvedTrace trace = w.rep.resolve(filter);
+            const ResolvedTraceSoA soa = toSoA(trace);
             for (bool flush : {false, true}) {
                 for (support::ThreadPool* pool : pools.all) {
                     auto col =
                         replayInstrumented(trace, configs, flush, pool);
+                    auto col_soa =
+                        replayInstrumented(soa, configs, flush, pool);
                     for (std::size_t i = 0; i < configs.size(); ++i) {
                         auto r = w.rep.instrumented(configs[i], filter,
                                                     flush);
@@ -234,6 +291,15 @@ TEST(ReplayEngine, MatchesInstrumentedOracleIncludingFlush)
                         EXPECT_EQ(col[i].unused_word_fraction,
                                   r.unused_word_fraction);
                         EXPECT_EQ(col[i].misses, r.misses);
+                        expectHistEq(col_soa[i].words_used,
+                                     r.words_used, "soa words_used");
+                        expectHistEq(col_soa[i].word_reuse,
+                                     r.word_reuse, "soa word_reuse");
+                        expectHistEq(col_soa[i].lifetimes, r.lifetimes,
+                                     "soa lifetimes");
+                        EXPECT_EQ(col_soa[i].unused_word_fraction,
+                                  r.unused_word_fraction);
+                        EXPECT_EQ(col_soa[i].misses, r.misses);
                     }
                 }
             }
@@ -250,13 +316,18 @@ TEST(ReplayEngine, MatchesITlbOracleAndDynamicInstrs)
         Workload w(cpus, 400 + static_cast<std::uint32_t>(cpus));
         for (StreamFilter filter : kFilters) {
             ResolvedTrace trace = w.rep.resolve(filter);
+            const ResolvedTraceSoA soa = toSoA(trace);
             EXPECT_EQ(trace.instrs, w.rep.dynamicInstrs(filter));
+            EXPECT_EQ(soa.instrs, trace.instrs);
             for (support::ThreadPool* pool : pools.all) {
                 auto col = replayITlb(trace, specs, pool);
+                auto col_soa = replayITlb(soa, specs, pool);
                 for (std::size_t i = 0; i < specs.size(); ++i) {
                     auto r = w.rep.itlb(specs[i], filter);
                     EXPECT_EQ(col[i].accesses, r.accesses);
                     EXPECT_EQ(col[i].misses, r.misses);
+                    EXPECT_EQ(col_soa[i].accesses, r.accesses);
+                    EXPECT_EQ(col_soa[i].misses, r.misses);
                 }
             }
         }
@@ -276,9 +347,12 @@ TEST(ReplayEngine, MatchesHierarchyOracleWithCoherence)
         for (bool coherence : {false, true}) {
             ResolvedTrace trace =
                 w.rep.resolve(StreamFilter::Combined, true);
+            const ResolvedTraceSoA soa = toSoA(trace);
             for (support::ThreadPool* pool : pools.all) {
                 auto col =
                     replayHierarchy(trace, configs, coherence, pool);
+                auto col_soa =
+                    replayHierarchy(soa, configs, coherence, pool);
                 for (std::size_t i = 0; i < configs.size(); ++i) {
                     auto r = w.rep.hierarchy(configs[i], true,
                                              coherence);
@@ -290,6 +364,15 @@ TEST(ReplayEngine, MatchesHierarchyOracleWithCoherence)
                                       "per_cpu");
                     EXPECT_EQ(col[i].instrs, r.instrs);
                     EXPECT_EQ(col[i].fetch_breaks, r.fetch_breaks);
+                    expectStatsEq(col_soa[i].total, r.total,
+                                  "soa total");
+                    ASSERT_EQ(col_soa[i].per_cpu.size(),
+                              r.per_cpu.size());
+                    for (std::size_t c = 0; c < r.per_cpu.size(); ++c)
+                        expectStatsEq(col_soa[i].per_cpu[c],
+                                      r.per_cpu[c], "soa per_cpu");
+                    EXPECT_EQ(col_soa[i].instrs, r.instrs);
+                    EXPECT_EQ(col_soa[i].fetch_breaks, r.fetch_breaks);
                 }
             }
         }
@@ -317,11 +400,20 @@ TEST(ReplayEngine, MatchesSequenceOracleOnBothImages)
             metrics::SequenceStats oracle = metrics::sequenceLengths(
                 w.buf, *c.layout, c.image);
             ResolvedTrace trace = w.rep.resolve(c.filter);
+            const ResolvedTraceSoA soa = toSoA(trace);
             for (support::ThreadPool* pool : pools.all) {
                 metrics::SequenceStats got = replaySequence(trace, pool);
                 expectHistEq(got.lengths, oracle.lengths, "lengths");
                 EXPECT_EQ(got.mean, oracle.mean) << "cpus " << cpus;
                 EXPECT_EQ(got.mean_block_size, oracle.mean_block_size)
+                    << "cpus " << cpus;
+                metrics::SequenceStats got_soa =
+                    replaySequence(soa, pool);
+                expectHistEq(got_soa.lengths, oracle.lengths,
+                             "soa lengths");
+                EXPECT_EQ(got_soa.mean, oracle.mean) << "cpus " << cpus;
+                EXPECT_EQ(got_soa.mean_block_size,
+                          oracle.mean_block_size)
                     << "cpus " << cpus;
             }
         }

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit and differential tests for the SoA resolved trace (sim/soa.hh)
+ * and the SIMD kernel dispatch (sim/kernels.hh):
+ *
+ *  - toSoA is a field-exact transpose: columns, partition offsets,
+ *    data refs and totals all match the AoS source.
+ *  - SPIKESIM_SIMD parsing is strict — unset/empty means Auto, "0"
+ *    and "1" force a kernel, and anything else is a fatal user error
+ *    (death-tested, since support::fatal exits).
+ *  - resolveSimd: explicit modes win over the environment, Auto
+ *    consults the env then hardware detection, and forcing SIMD on a
+ *    host that cannot run it dies instead of silently falling back.
+ *  - The i-cache kernels match the scalar Replayer oracle on geometry
+ *    the AVX2 fast paths do NOT cover (3-way and 6-way sets take the
+ *    generic scalar probe inside the AVX2 build) mixed with geometry
+ *    they do (direct-mapped, 4-way, 8-way), across several line sizes
+ *    in one fused column — so group construction, the nested-mask DM
+ *    inclusion fast path, and the per-assoc dispatch all get exercised
+ *    in a single replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/layout.hh"
+#include "program/builder.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "support/threadpool.hh"
+
+namespace spikesim::sim {
+namespace {
+
+using program::EdgeKind;
+using program::ProcedureBuilder;
+using program::Program;
+using program::Terminator;
+
+/** RAII guard: sets/unsets SPIKESIM_SIMD and restores it on exit. */
+class SimdEnvGuard
+{
+  public:
+    explicit SimdEnvGuard(const char* value)
+    {
+        const char* old = std::getenv("SPIKESIM_SIMD");
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (value == nullptr)
+            ::unsetenv("SPIKESIM_SIMD");
+        else
+            ::setenv("SPIKESIM_SIMD", value, 1);
+    }
+
+    ~SimdEnvGuard()
+    {
+        if (had_old_)
+            ::setenv("SPIKESIM_SIMD", old_.c_str(), 1);
+        else
+            ::unsetenv("SPIKESIM_SIMD");
+    }
+
+  private:
+    bool had_old_ = false;
+    std::string old_;
+};
+
+Program
+randomProgram(const char* name, int blocks, std::uint32_t seed)
+{
+    support::Pcg32 rng(seed);
+    Program p(name);
+    for (int i = 0; i < blocks; i += 2) {
+        ProcedureBuilder b("p" + std::to_string(i));
+        auto a = b.addBlock(1 + rng.nextBounded(32),
+                            Terminator::FallThrough);
+        auto r = b.addBlock(1 + rng.nextBounded(32), Terminator::Return);
+        b.addEdge(a, r, EdgeKind::FallThrough);
+        p.addProcedure(b.build());
+    }
+    EXPECT_EQ(p.validate(), "");
+    return p;
+}
+
+trace::TraceBuffer
+randomTrace(int blocks, int events, int num_cpus, std::uint32_t seed)
+{
+    support::Pcg32 rng(seed);
+    trace::TraceBuffer buf;
+    std::vector<trace::ExecContext> ctx(num_cpus);
+    std::vector<std::uint32_t> cur(num_cpus, 0);
+    for (int c = 0; c < num_cpus; ++c)
+        ctx[c].cpu = static_cast<std::uint8_t>(c);
+    for (int i = 0; i < events; ++i) {
+        int c = static_cast<int>(
+            rng.nextBounded(static_cast<std::uint32_t>(num_cpus)));
+        if (rng.nextBool(0.15))
+            cur[c] = rng.nextBounded(static_cast<std::uint32_t>(blocks));
+        else
+            cur[c] = static_cast<std::uint32_t>(
+                (cur[c] + 1) % static_cast<std::uint32_t>(blocks));
+        trace::ImageId image = rng.nextBool(0.3)
+                                   ? trace::ImageId::Kernel
+                                   : trace::ImageId::App;
+        buf.onBlock(ctx[c], image, cur[c]);
+        if (rng.nextBool(0.1))
+            buf.onData(ctx[c], 0x80000000ULL + rng.nextBounded(1 << 14));
+    }
+    return buf;
+}
+
+/** One self-contained random workload. */
+struct Workload
+{
+    Program app;
+    Program kern;
+    core::Layout app_layout;
+    core::Layout kern_layout;
+    trace::TraceBuffer buf;
+    Replayer rep;
+
+    Workload(int num_cpus, std::uint32_t seed)
+        : app(randomProgram("app", 120, seed)),
+          kern(randomProgram("kern", 120, seed + 1)),
+          app_layout(core::baselineLayout(app, 0)),
+          kern_layout(core::baselineLayout(kern, 0x400000)),
+          buf(randomTrace(120, 20000, num_cpus, seed + 2)),
+          rep(buf, app_layout, &kern_layout)
+    {
+    }
+};
+
+TEST(ResolvedTraceSoA, TransposeIsFieldExact)
+{
+    Workload w(4, 7001);
+    // include_data so the data_refs column and Data owners are present.
+    ResolvedTrace trace = w.rep.resolve(StreamFilter::Combined, true);
+    ResolvedTraceSoA soa = toSoA(trace);
+
+    ASSERT_EQ(soa.size(), trace.refs.size());
+    ASSERT_EQ(soa.bytes.size(), trace.refs.size());
+    ASSERT_EQ(soa.owner.size(), trace.refs.size());
+    ASSERT_EQ(soa.flags.size(), trace.refs.size());
+    for (std::size_t i = 0; i < trace.refs.size(); ++i) {
+        EXPECT_EQ(soa.addr[i], trace.refs[i].addr) << i;
+        EXPECT_EQ(soa.bytes[i], trace.refs[i].bytes) << i;
+        EXPECT_EQ(soa.owner[i],
+                  static_cast<std::uint8_t>(trace.refs[i].owner))
+            << i;
+        EXPECT_EQ(soa.flags[i], trace.refs[i].flags) << i;
+    }
+
+    ASSERT_EQ(soa.cpu_begin, trace.cpu_begin);
+    EXPECT_EQ(soa.num_cpus, trace.num_cpus);
+    EXPECT_EQ(soa.instr_events, trace.instr_events);
+    EXPECT_EQ(soa.instrs, trace.instrs);
+
+    ASSERT_EQ(soa.data_refs.size(), trace.data_refs.size());
+    for (std::size_t i = 0; i < trace.data_refs.size(); ++i) {
+        EXPECT_EQ(soa.data_refs[i].addr, trace.data_refs[i].addr);
+        EXPECT_EQ(soa.data_refs[i].cpu, trace.data_refs[i].cpu);
+    }
+
+    // cpuRange agrees with the AoS span accessor, including the
+    // out-of-range behavior on both sides.
+    for (int c = 0; c < trace.num_cpus; ++c) {
+        auto [b, e] = soa.cpuRange(c);
+        auto span = trace.cpuRefs(c);
+        EXPECT_EQ(e - b, span.size()) << "cpu " << c;
+        EXPECT_EQ(b, trace.cpu_begin[static_cast<std::size_t>(c)]);
+    }
+    EXPECT_EQ(soa.cpuRange(-1), (std::pair<std::size_t, std::size_t>{}));
+    EXPECT_EQ(soa.cpuRange(trace.num_cpus),
+              (std::pair<std::size_t, std::size_t>{}));
+}
+
+TEST(SimdDispatch, EnvParseIsStrict)
+{
+    {
+        SimdEnvGuard guard(nullptr);
+        EXPECT_EQ(simdModeFromEnv(), SimdMode::Auto);
+    }
+    {
+        SimdEnvGuard guard("");
+        EXPECT_EQ(simdModeFromEnv(), SimdMode::Auto);
+    }
+    {
+        SimdEnvGuard guard("0");
+        EXPECT_EQ(simdModeFromEnv(), SimdMode::Scalar);
+    }
+    {
+        SimdEnvGuard guard("1");
+        EXPECT_EQ(simdModeFromEnv(), SimdMode::Simd);
+    }
+}
+
+TEST(SimdDispatchDeathTest, EnvParseRejectsJunk)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    for (const char* junk : {"2", "yes", "true", "01", " 1"}) {
+        SimdEnvGuard guard(junk);
+        EXPECT_DEATH(simdModeFromEnv(),
+                     "SPIKESIM_SIMD must be \"0\" or \"1\"")
+            << junk;
+    }
+}
+
+TEST(SimdDispatch, ResolveHonorsExplicitAndAutoModes)
+{
+    // Explicit Scalar ignores the environment entirely.
+    {
+        SimdEnvGuard guard("1");
+        EXPECT_FALSE(resolveSimd(SimdMode::Scalar));
+    }
+    // Auto follows the env when set...
+    {
+        SimdEnvGuard guard("0");
+        EXPECT_FALSE(resolveSimd(SimdMode::Auto));
+    }
+    // ...and hardware detection when not.
+    {
+        SimdEnvGuard guard(nullptr);
+        EXPECT_EQ(resolveSimd(SimdMode::Auto), simdAvailable());
+    }
+    if (simdAvailable()) {
+        SimdEnvGuard guard("0");
+        // Explicit Simd wins over a scalar-forcing environment.
+        EXPECT_TRUE(resolveSimd(SimdMode::Simd));
+    }
+    EXPECT_STREQ(simdKernelName(false), "scalar");
+    EXPECT_STREQ(simdKernelName(true), "avx2");
+    // Compiled-but-no-CPU can't be simulated here, but the implication
+    // must hold: available implies compiled.
+    if (simdAvailable()) {
+        EXPECT_TRUE(simdKernelsCompiled());
+    }
+}
+
+TEST(SimdDispatchDeathTest, ForcingSimdWithoutSupportDies)
+{
+    if (simdAvailable())
+        GTEST_SKIP() << "host can run the AVX2 kernels";
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(resolveSimd(SimdMode::Simd),
+                 "SIMD kernels requested but unavailable");
+}
+
+/**
+ * Mixed geometry fuzz: odd associativities (3-way, 6-way) ride the
+ * generic probe inside the AVX2 build, 4-way and 8-way take the vector
+ * set probes, direct-mapped configs of several line sizes take the
+ * gather probe — all fused into one column so the line-size groups and
+ * the nested-mask DM inclusion fast path are in play.
+ */
+TEST(SimdKernels, OddAssocAndMixedGeometryMatchOracle)
+{
+    const std::vector<mem::CacheConfig> configs = {
+        {16 * 1024, 64, 1},  {64 * 1024, 64, 1},  {8 * 1024, 32, 2},
+        {48 * 1024, 64, 3},  {64 * 1024, 128, 4}, {24 * 1024, 32, 6},
+        {64 * 1024, 128, 8}, {32 * 1024, 256, 1}, {128 * 1024, 256, 4},
+    };
+    std::vector<SimdMode> modes{SimdMode::Scalar};
+    if (simdAvailable())
+        modes.push_back(SimdMode::Simd);
+    support::ThreadPool pool(3);
+    std::vector<support::ThreadPool*> pools{nullptr, &pool};
+    for (int cpus : {1, 4}) {
+        Workload w(cpus, 7100 + static_cast<std::uint32_t>(cpus));
+        for (StreamFilter filter :
+             {StreamFilter::AppOnly, StreamFilter::Combined}) {
+            ResolvedTrace trace = w.rep.resolve(filter);
+            const ResolvedTraceSoA soa = toSoA(trace);
+            std::vector<ICacheReplayResult> oracle;
+            for (const auto& c : configs)
+                oracle.push_back(w.rep.icache(c, filter));
+            for (SimdMode mode : modes) {
+                for (support::ThreadPool* p : pools) {
+                    auto col = replayICache(soa, configs, mode, p);
+                    ASSERT_EQ(col.size(), oracle.size());
+                    for (std::size_t i = 0; i < oracle.size(); ++i) {
+                        EXPECT_EQ(col[i].accesses, oracle[i].accesses)
+                            << "cfg " << i;
+                        EXPECT_EQ(col[i].misses, oracle[i].misses)
+                            << "cfg " << i;
+                        EXPECT_EQ(col[i].app_misses,
+                                  oracle[i].app_misses)
+                            << "cfg " << i;
+                        EXPECT_EQ(col[i].kernel_misses,
+                                  oracle[i].kernel_misses)
+                            << "cfg " << i;
+                        for (int m = 0; m < 2; ++m)
+                            for (int v = 0; v < 3; ++v)
+                                EXPECT_EQ(
+                                    col[i].interference.counts[m][v],
+                                    oracle[i].interference.counts[m][v])
+                                    << "cfg " << i;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace spikesim::sim
