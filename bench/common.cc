@@ -22,7 +22,7 @@ usage(const char* argv0, const std::string& complaint)
 {
     support::fatal(complaint + "\nusage: " + argv0 +
                    " [--corpus DIR] [--threads N] [--seed N]"
-                   " [--simd 0|1] [--trace-out FILE]"
+                   " [--simd 0|1|2] [--trace-out FILE]"
                    " [--manifest-out FILE] [--progress SECS]"
                    " [profile_txns] [trace_txns]");
 }
@@ -91,7 +91,8 @@ parsePath(const char* argv0, const std::string& arg, const char* flag)
     return arg;
 }
 
-/** Strict `--simd` parse: exactly "0" (scalar) or "1" (AVX2). */
+/** Strict `--simd` parse: exactly "0" (scalar), "1" (AVX2), or "2"
+ *  (AVX-512). */
 sim::SimdMode
 parseSimd(const char* argv0, const std::string& arg)
 {
@@ -99,7 +100,9 @@ parseSimd(const char* argv0, const std::string& arg)
         return sim::SimdMode::Scalar;
     if (arg == "1")
         return sim::SimdMode::Simd;
-    usage(argv0, "--simd must be 0 or 1, got '" + arg + "'");
+    if (arg == "2")
+        return sim::SimdMode::Avx512;
+    usage(argv0, "--simd must be 0, 1 or 2, got '" + arg + "'");
 }
 
 /** Format a double with fixed precision for manifest info fields. */
@@ -317,7 +320,7 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
             seed_set = true;
         } else if (arg == "--simd") {
             if (i + 1 >= argc)
-                usage(argv[0], "--simd needs a 0|1 argument");
+                usage(argv[0], "--simd needs a 0|1|2 argument");
             simd = parseSimd(argv[0], argv[++i]);
         } else if (arg.rfind("--simd=", 0) == 0) {
             simd = parseSimd(argv[0], arg.substr(7));
@@ -369,9 +372,11 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     w.threads = threads >= 0 ? threads : threadsFromEnv();
     w.seed = seed_set ? seed : seedFromEnv();
     w.simd = simd;
-    // Resolve eagerly: a forced-but-unavailable --simd 1 must fail
-    // here, before any replay silently runs scalar.
-    const bool simd_resolved = sim::resolveSimd(w.simd);
+    // Resolve eagerly: a forced-but-unavailable --simd 1|2 must fail
+    // here, before any replay silently runs scalar. In Auto mode this
+    // also runs (and caches) the startup calibration, so the choice
+    // and its reason are known before the first replay.
+    const sim::KernelChoice choice = sim::resolveKernel(w.simd);
     if (w.threads > 0)
         w.worker_pool =
             std::make_unique<support::ThreadPool>(w.threads);
@@ -384,7 +389,8 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
                             std::to_string(profile_txns));
         m.info.emplace_back("trace_txns", std::to_string(trace_txns));
         m.info.emplace_back("simd_kernel",
-                            sim::simdKernelName(simd_resolved));
+                            sim::kernelName(choice.kind));
+        m.info.emplace_back("simd_kernel_reason", choice.reason);
         if (!corpus_dir.empty())
             m.info.emplace_back("corpus_dir", corpus_dir);
     }
@@ -399,8 +405,7 @@ BenchReplay::resolved(sim::StreamFilter filter, bool include_data)
     auto it = resolved_.find(key);
     if (it == resolved_.end())
         it = resolved_
-                 .emplace(key,
-                          sim::toSoA(rep_.resolve(filter, include_data)))
+                 .emplace(key, rep_.resolveSoA(filter, include_data))
                  .first;
     return it->second;
 }
@@ -437,7 +442,7 @@ BenchReplay::threeCs(const mem::CacheConfig& config,
     if (!parallel_)
         return rep_.threeCs(config, filter);
     return sim::replayThreeCs(resolved(filter, false), {&config, 1},
-                              pool_)[0];
+                              simd_, pool_)[0];
 }
 
 std::vector<mem::ThreeCStats>
@@ -451,7 +456,8 @@ BenchReplay::threeCsColumn(std::span<const mem::CacheConfig> configs,
             out.push_back(rep_.threeCs(config, filter));
         return out;
     }
-    return sim::replayThreeCs(resolved(filter, false), configs, pool_);
+    return sim::replayThreeCs(resolved(filter, false), configs, simd_,
+                              pool_);
 }
 
 mem::StreamBufferStats
@@ -461,7 +467,7 @@ BenchReplay::streamBuffer(const mem::CacheConfig& config, int num_buffers,
     if (!parallel_)
         return rep_.streamBuffer(config, num_buffers, filter);
     return sim::replayStreamBuffer(resolved(filter, false), {&config, 1},
-                                   num_buffers, pool_)[0];
+                                   num_buffers, simd_, pool_)[0];
 }
 
 sim::WordStats
@@ -479,7 +485,7 @@ BenchReplay::itlb(const sim::ITlbSpec& spec, sim::StreamFilter filter)
 {
     if (!parallel_)
         return rep_.itlb(spec, filter);
-    return sim::replayITlb(resolved(filter, false), {&spec, 1},
+    return sim::replayITlb(resolved(filter, false), {&spec, 1}, simd_,
                            pool_)[0];
 }
 

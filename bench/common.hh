@@ -48,12 +48,16 @@
  * versus `--threads N` is a byte-identical A/B of every table. The
  * default is the hardware concurrency.
  *
- * SIMD kernel selection is shared the same way: `--simd 0|1` (or the
+ * SIMD kernel selection is shared the same way: `--simd 0|1|2` (or the
  * SPIKESIM_SIMD environment variable, the flag wins) forces the SoA
- * replay kernels scalar or AVX2; unset means runtime CPU detection
- * (sim/kernels.hh). The engine path of BenchReplay replays through the
- * structure-of-arrays trace either way, and every setting is
- * byte-identical to every other — `--simd` only moves time.
+ * replay kernels scalar, AVX2, or AVX-512; unset means runtime
+ * auto-calibration (sim/kernels.hh resolveKernel, which times each
+ * runnable kernel on a synthetic trace and picks the fastest). The
+ * engine path of BenchReplay replays through the structure-of-arrays
+ * trace either way, and every setting is byte-identical to every
+ * other — `--simd` only moves time. The chosen kernel and the reason
+ * it was chosen land in the run manifest (simd_kernel,
+ * simd_kernel_reason).
  *
  * When any observability switch is active, ObsRun also opens hardware
  * perf counters (obs/perf.hh) over the whole run and folds cycles,
@@ -156,8 +160,8 @@ struct Workload
     /** Resolved `--seed` / SPIKESIM_SEED (kDefaultSeed when unset);
      *  the one RNG seed every randomized bench derives from. */
     std::uint64_t seed = 1;
-    /** Resolved `--simd` flag: Scalar/Simd when given, else Auto
-     *  (SPIKESIM_SIMD, then CPU detection — sim/kernels.hh). */
+    /** Resolved `--simd` flag: Scalar/Simd/Avx512 when given, else
+     *  Auto (SPIKESIM_SIMD, then calibration — sim/kernels.hh). */
     sim::SimdMode simd = sim::SimdMode::Auto;
     /** Shared worker pool, or null when threads == 0 (serial oracle
      *  path). Sized once by runWorkload so sweep and replay share it. */
@@ -242,9 +246,10 @@ struct Workload
  * a per-CPU-partitioned structure-of-arrays trace (sim/soa.hh) cached
  * per (filter, data) key. Both paths produce bit-identical results
  * (sim/engine.hh), so every bench table is byte-identical across
- * `--threads` and `--simd` settings; the engine path resolves and
- * transposes the trace once per key and fuses all configurations of a
- * column into one walk through the SoA replay kernels.
+ * `--threads` and `--simd` settings; the engine path resolves the
+ * trace straight into its SoA columns once per key
+ * (Replayer::resolveSoA — no transpose) and fuses all configurations
+ * of a column into one walk through the SoA replay kernels.
  */
 class BenchReplay
 {
@@ -337,9 +342,10 @@ class BenchReplay
  * fallbacks: SPIKESIM_TRACE_OUT, SPIKESIM_MANIFEST_OUT,
  * SPIKESIM_PROGRESS.
  *
- * `--simd 0|1` forces the SoA replay kernels scalar or AVX2 (strictly
- * 0 or 1; wins over SPIKESIM_SIMD). Forcing 1 on a host that cannot
- * run the AVX2 kernels is a fatal error, never a silent fallback.
+ * `--simd 0|1|2` forces the SoA replay kernels scalar, AVX2, or
+ * AVX-512 (strictly one of those digits; wins over SPIKESIM_SIMD).
+ * Forcing a kernel on a host that cannot run it is a fatal error,
+ * never a silent fallback.
  */
 Workload runWorkload(int argc, char** argv,
                      std::uint64_t profile_txns = 800,

@@ -12,32 +12,40 @@
  *   per-config oracle   one scalar Replayer walk per configuration
  *   serial fused        resolve once, AoS engine, no thread pool
  *   parallel fused      resolve once, AoS engine sharded across a pool
- *   soa scalar          resolve + transpose once, SoA engine, scalar
- *                       kernels forced
- *   soa avx2            same, AVX2 kernels forced (when runnable here)
+ *   soa scalar          direct SoA resolve, scalar kernels forced
+ *   soa avx2 / avx512   same, the vector kernels (when runnable here)
  *
  * All paths must produce bit-identical results (the process exits
  * non-zero on any divergence, which is what the ctest smokes check —
- * bench_micro_replay_smoke with default dispatch and
- * bench_micro_replay_scalar_smoke with SPIKESIM_SIMD=0). Fused rows
- * report their resolve/transpose and replay phases separately: the
- * resolve-once cost is part of what the engine buys (or doesn't)
- * versus re-walking the raw trace per config, but the kernel speedups
- * only show in the replay phase.
+ * bench_micro_replay_smoke with default dispatch,
+ * bench_micro_replay_scalar_smoke with SPIKESIM_SIMD=0, and
+ * bench_micro_replay_avx512_smoke with --simd 2, which exits 77 /
+ * SKIP on hosts that cannot run the AVX-512 kernels). `--results-out
+ * FILE` additionally dumps every replayed counter in a fixed text
+ * format; the bench_micro_replay_identity ctest compares the dump of
+ * a forced-scalar run byte-for-byte against an auto-dispatch run.
  *
- * The headline number is the fig04 grid: the paper's 25-configuration
- * direct-mapped i-cache sweep ({32..512}KB x {16..256}B), replayed
- * single-threaded through the PR 3 AoS engine, the SoA scalar kernel,
- * and the SoA AVX2 kernel. Timings go to BENCH_replay.json.
- * SPIKESIM_THREADS sizes the pool, as in the figure benches.
+ * Timed phases, all in BENCH_replay.json:
  *
- * Usage: micro_replay [profile_txns] [trace_txns] [--simd 0|1]
+ *  - resolve_direct vs resolve_transpose: Replayer::resolveSoA
+ *    against the PR 6 route (resolve to AoS, then sim::toSoA).
+ *  - per-family kernel rows: the three-C, iTLB, and stream-buffer
+ *    column replays under each runnable kernel, next to the i-cache
+ *    column (the iTLB kernel is FA-LRU-bound, so its rows measure
+ *    the grouped flat walk, not vector width).
+ *  - the fig04 grid: the paper's 25-configuration direct-mapped
+ *    sweep ({32..512}KB x {16..256}B), single-threaded, through the
+ *    AoS engine and every runnable SoA kernel.
+ *
+ * Usage: micro_replay [profile_txns] [trace_txns] [--simd 0|1|2]
+ *                     [--skip-unsupported-simd] [--results-out FILE]
  */
 
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 
 #include "bench/common.hh"
 #include "sim/timing.hh"
@@ -115,7 +123,7 @@ struct SuiteResults
     std::vector<sim::HierarchyReplayResult> hier;
     metrics::SequenceStats seq;
     std::uint64_t dyn_instrs = 0;
-    double resolve_seconds = 0; ///< resolve (+ SoA transpose) phase
+    double resolve_seconds = 0; ///< resolve phase
     double replay_seconds = 0;  ///< simulator walks only
     double seconds = 0;         ///< total
 };
@@ -124,7 +132,7 @@ struct SuiteResults
 enum class SuitePath {
     Oracle,   ///< one scalar Replayer walk per configuration
     FusedAoS, ///< PR 3 engine over the AoS resolved trace
-    FusedSoA, ///< SoA engine; `mode` picks the i-cache kernel
+    FusedSoA, ///< direct SoA resolve; `mode` picks the kernels
 };
 
 double
@@ -185,19 +193,18 @@ runSuite(const sim::Replayer& rep, SuitePath path, sim::SimdMode mode,
         r.dyn_instrs = instr.instrs;
         r.replay_seconds = seconds(t1, clock::now());
     } else {
-        sim::ResolvedTraceSoA instr = sim::toSoA(rep.resolve(filter));
-        sim::ResolvedTraceSoA with_data =
-            sim::toSoA(rep.resolve(filter, true));
+        sim::ResolvedTraceSoA instr = rep.resolveSoA(filter);
+        sim::ResolvedTraceSoA with_data = rep.resolveSoA(filter, true);
         sim::ResolvedTraceSoA app_only =
-            sim::toSoA(rep.resolve(sim::StreamFilter::AppOnly));
+            rep.resolveSoA(sim::StreamFilter::AppOnly);
         const auto t1 = clock::now();
         r.resolve_seconds = seconds(t0, t1);
         r.icache = sim::replayICache(instr, icfg, mode, pool);
-        r.threec = sim::replayThreeCs(instr, tcfg, pool);
+        r.threec = sim::replayThreeCs(instr, tcfg, mode, pool);
         r.sbuf = sim::replayStreamBuffer(instr, scfg, kStreamBuffers,
-                                         pool);
+                                         mode, pool);
         r.words = sim::replayInstrumented(instr, wcfg, false, pool);
-        r.itlb = sim::replayITlb(instr, specs, pool);
+        r.itlb = sim::replayITlb(instr, specs, mode, pool);
         r.hier = sim::replayHierarchy(with_data, hcfg, true, pool);
         r.seq = sim::replaySequence(app_only, pool);
         r.dyn_instrs = instr.instrs;
@@ -256,6 +263,30 @@ sameICache(const sim::ICacheReplayResult& x,
     return true;
 }
 
+bool
+sameThreeC(const mem::ThreeCStats& x, const mem::ThreeCStats& y)
+{
+    return x.accesses() == y.accesses() &&
+           x.compulsory == y.compulsory && x.capacity == y.capacity &&
+           x.conflict == y.conflict;
+}
+
+bool
+sameSbuf(const mem::StreamBufferStats& x,
+         const mem::StreamBufferStats& y)
+{
+    return x.accesses() == y.accesses() &&
+           x.l1Misses() == y.l1Misses() &&
+           x.streamHits() == y.streamHits() &&
+           x.demandMisses() == y.demandMisses();
+}
+
+bool
+sameITlb(const sim::ITlbReplayResult& x, const sim::ITlbReplayResult& y)
+{
+    return x.accesses == y.accesses && x.misses == y.misses;
+}
+
 /** Exit non-zero on the first divergence between two suite runs. */
 void
 compareSuites(const SuiteResults& a, const SuiteResults& b,
@@ -274,26 +305,12 @@ compareSuites(const SuiteResults& a, const SuiteResults& b,
         check(sameICache(a.icache[i], b.icache[i]), "icache counts");
 
     check(a.threec.size() == b.threec.size(), "threeC config count");
-    for (std::size_t i = 0; i < a.threec.size(); ++i) {
-        const auto& x = a.threec[i];
-        const auto& y = b.threec[i];
-        check(x.accesses() == y.accesses() &&
-                  x.compulsory == y.compulsory &&
-                  x.capacity == y.capacity &&
-                  x.conflict == y.conflict,
-              "threeC counts");
-    }
+    for (std::size_t i = 0; i < a.threec.size(); ++i)
+        check(sameThreeC(a.threec[i], b.threec[i]), "threeC counts");
 
     check(a.sbuf.size() == b.sbuf.size(), "stream config count");
-    for (std::size_t i = 0; i < a.sbuf.size(); ++i) {
-        const auto& x = a.sbuf[i];
-        const auto& y = b.sbuf[i];
-        check(x.accesses() == y.accesses() &&
-                  x.l1Misses() == y.l1Misses() &&
-                  x.streamHits() == y.streamHits() &&
-                  x.demandMisses() == y.demandMisses(),
-              "stream buffer counts");
-    }
+    for (std::size_t i = 0; i < a.sbuf.size(); ++i)
+        check(sameSbuf(a.sbuf[i], b.sbuf[i]), "stream buffer counts");
 
     check(a.words.size() == b.words.size(), "instr config count");
     for (std::size_t i = 0; i < a.words.size(); ++i) {
@@ -310,9 +327,7 @@ compareSuites(const SuiteResults& a, const SuiteResults& b,
 
     check(a.itlb.size() == b.itlb.size(), "itlb spec count");
     for (std::size_t i = 0; i < a.itlb.size(); ++i)
-        check(a.itlb[i].accesses == b.itlb[i].accesses &&
-                  a.itlb[i].misses == b.itlb[i].misses,
-              "itlb counts");
+        check(sameITlb(a.itlb[i], b.itlb[i]), "itlb counts");
 
     check(a.hier.size() == b.hier.size(), "hierarchy config count");
     for (std::size_t i = 0; i < a.hier.size(); ++i) {
@@ -335,7 +350,81 @@ compareSuites(const SuiteResults& a, const SuiteResults& b,
     check(a.dyn_instrs == b.dyn_instrs, "dynamic instrs");
 }
 
-/** Best-of-N single-thread timing of one grid replay path. */
+/**
+ * Dump every replayed counter of one suite run in a fixed text format.
+ * Counters only — no timings, no host facts — so the file is
+ * byte-identical across kernels, thread counts, and hosts; the
+ * bench_micro_replay_identity ctest diffs a forced-scalar run against
+ * an auto-dispatch run through this.
+ */
+void
+writeResults(const std::string& path, const SuiteResults& r)
+{
+    std::ofstream os(path);
+    if (!os)
+        support::fatal("cannot write --results-out file " + path);
+    os << std::setprecision(17);
+    auto hist = [&](const char* name, std::size_t i, const auto& h) {
+        os << name << '[' << i << "]:";
+        for (std::size_t b = 0; b < h.numBuckets(); ++b)
+            os << ' ' << h.bucket(b);
+        os << '\n';
+    };
+    for (std::size_t i = 0; i < r.icache.size(); ++i) {
+        const auto& x = r.icache[i];
+        os << "icache[" << i << "]: " << x.accesses << ' ' << x.misses
+           << ' ' << x.app_misses << ' ' << x.kernel_misses;
+        for (int m = 0; m < 2; ++m)
+            for (int v = 0; v < 3; ++v)
+                os << ' ' << x.interference.counts[m][v];
+        os << '\n';
+    }
+    for (std::size_t i = 0; i < r.threec.size(); ++i) {
+        const auto& x = r.threec[i];
+        os << "threec[" << i << "]: " << x.accesses() << ' '
+           << x.compulsory << ' ' << x.capacity << ' ' << x.conflict
+           << '\n';
+    }
+    for (std::size_t i = 0; i < r.sbuf.size(); ++i) {
+        const auto& x = r.sbuf[i];
+        os << "sbuf[" << i << "]: " << x.accesses() << ' '
+           << x.l1Misses() << ' ' << x.streamHits() << ' '
+           << x.demandMisses() << '\n';
+    }
+    for (std::size_t i = 0; i < r.words.size(); ++i) {
+        const auto& x = r.words[i];
+        hist("words_used", i, x.words_used);
+        hist("word_reuse", i, x.word_reuse);
+        hist("lifetimes", i, x.lifetimes);
+        os << "unused_word_fraction[" << i
+           << "]: " << x.unused_word_fraction << '\n'
+           << "instr_misses[" << i << "]: " << x.misses << '\n';
+    }
+    for (std::size_t i = 0; i < r.itlb.size(); ++i)
+        os << "itlb[" << i << "]: " << r.itlb[i].accesses << ' '
+           << r.itlb[i].misses << '\n';
+    for (std::size_t i = 0; i < r.hier.size(); ++i) {
+        const auto& x = r.hier[i];
+        auto stats = [&](const char* what, const mem::HierarchyStats& s) {
+            os << what << ": " << s.l1i.accesses << ' ' << s.l1i.misses
+               << ' ' << s.l1d.accesses << ' ' << s.l1d.misses << ' '
+               << s.l2i.accesses << ' ' << s.l2i.misses << ' '
+               << s.l2d.accesses << ' ' << s.l2d.misses << ' '
+               << s.itlb_misses << ' ' << s.comm_misses << '\n';
+        };
+        os << "hier[" << i << "] instrs: " << x.instrs
+           << " fetch_breaks: " << x.fetch_breaks << '\n';
+        stats("hier total", x.total);
+        for (std::size_t c = 0; c < x.per_cpu.size(); ++c)
+            stats("hier cpu", x.per_cpu[c]);
+    }
+    hist("seq_lengths", 0, r.seq.lengths);
+    os << "seq_mean: " << r.seq.mean << '\n'
+       << "seq_mean_block_size: " << r.seq.mean_block_size << '\n'
+       << "dyn_instrs: " << r.dyn_instrs << '\n';
+}
+
+/** Best-of-N single-thread timing of one replay path. */
 template <typename Fn>
 double
 bestOf(Fn&& fn)
@@ -352,6 +441,28 @@ bestOf(Fn&& fn)
     return best;
 }
 
+/** Per-family single-thread column timings for one kernel kind. */
+struct FamilyTimes
+{
+    double icache = 0;
+    double threec = 0;
+    double sbuf = 0;
+    double itlb = 0;
+};
+
+sim::SimdMode
+modeFor(sim::KernelKind kind)
+{
+    switch (kind) {
+    case sim::KernelKind::Avx2:
+        return sim::SimdMode::Simd;
+    case sim::KernelKind::Avx512:
+        return sim::SimdMode::Avx512;
+    default:
+        return sim::SimdMode::Scalar;
+    }
+}
+
 } // namespace
 
 int
@@ -365,34 +476,69 @@ main(int argc, char** argv)
     std::uint64_t positional[2] = {400, 300};
     int n_positional = 0;
     sim::SimdMode simd_mode = sim::SimdMode::Auto;
+    bool skip_unsupported = false;
+    std::string results_out;
     auto parseSimd = [](const char* v) {
         if (std::strcmp(v, "0") == 0)
             return sim::SimdMode::Scalar;
         if (std::strcmp(v, "1") == 0)
             return sim::SimdMode::Simd;
-        support::fatal(std::string("--simd must be 0 or 1, got \"") + v +
-                       "\"");
+        if (std::strcmp(v, "2") == 0)
+            return sim::SimdMode::Avx512;
+        support::fatal(std::string("--simd must be 0, 1 or 2, got \"") +
+                       v + "\"");
     };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc)
             simd_mode = parseSimd(argv[++i]);
         else if (std::strncmp(argv[i], "--simd=", 7) == 0)
             simd_mode = parseSimd(argv[i] + 7);
+        else if (std::strcmp(argv[i], "--skip-unsupported-simd") == 0)
+            skip_unsupported = true;
+        else if (std::strcmp(argv[i], "--results-out") == 0 &&
+                 i + 1 < argc)
+            results_out = argv[++i];
+        else if (std::strncmp(argv[i], "--results-out=", 14) == 0)
+            results_out = argv[i] + 14;
         else if (std::strncmp(argv[i], "--", 2) == 0)
             support::fatal(std::string("unknown flag ") + argv[i] +
                            "; usage: micro_replay [profile_txns] "
-                           "[trace_txns] [--simd 0|1]");
+                           "[trace_txns] [--simd 0|1|2] "
+                           "[--skip-unsupported-simd] "
+                           "[--results-out FILE]");
         else if (n_positional < 2)
             positional[n_positional++] =
                 static_cast<std::uint64_t>(std::atoll(argv[i]));
     }
     const std::uint64_t profile_txns = positional[0];
     const std::uint64_t trace_txns = positional[1];
-    // Resolve the dispatch once, up front: --simd 1 (or SPIKESIM_SIMD=1)
-    // on a host that cannot run the AVX2 kernels must fail loudly here,
-    // not silently fall back mid-run.
-    const bool use_simd = sim::resolveSimd(simd_mode);
-    const char* kernel_name = sim::simdKernelName(use_simd);
+
+    // A forced-but-unrunnable kernel is normally a fatal error (never a
+    // silent fallback). The ctest AVX-512 smoke instead passes
+    // --skip-unsupported-simd and maps exit 77 to SKIP, recording why.
+    if (skip_unsupported) {
+        const char* why = nullptr;
+        if (simd_mode == sim::SimdMode::Simd && !sim::simdAvailable())
+            why = sim::simdKernelsCompiled()
+                      ? "host CPU does not report AVX2"
+                      : "binary was built without AVX2 support";
+        if (simd_mode == sim::SimdMode::Avx512 &&
+            !sim::avx512Available())
+            why = sim::avx512KernelsCompiled()
+                      ? "host CPU does not report AVX512F"
+                      : "binary was built without AVX-512 support";
+        if (why != nullptr) {
+            std::cerr << "[micro_replay] SKIP: requested SIMD kernel "
+                         "unavailable: "
+                      << why << "\n";
+            return 77;
+        }
+    }
+    // Resolve the dispatch once, up front: --simd on a host that cannot
+    // run the requested kernels must fail loudly here, not silently
+    // fall back mid-run. Auto runs (and caches) the calibration.
+    const sim::KernelChoice choice = sim::resolveKernel(simd_mode);
+    const char* kernel_name = sim::kernelName(choice.kind);
 
     sim::SystemConfig config;
     config.num_cpus = 4;
@@ -419,7 +565,7 @@ main(int argc, char** argv)
 
     std::cerr << "[micro_replay] trace: " << buf.size() << " events, "
               << buf.numCpus() << " cpus; kernel " << kernel_name
-              << "; replaying...\n";
+              << " (" << choice.reason << "); replaying...\n";
     SuiteResults oracle =
         runSuite(rep, SuitePath::Oracle, simd_mode, nullptr);
     SuiteResults fused =
@@ -434,28 +580,49 @@ main(int argc, char** argv)
     compareSuites(oracle, parallel, "oracle vs parallel fused");
     compareSuites(oracle, soa_scalar, "oracle vs soa scalar");
 
-    // The avx2 comparison rows run only when the resolved dispatch is
-    // avx2: --simd 0 / SPIKESIM_SIMD=0 means a fully scalar run (what
-    // bench_micro_replay_scalar_smoke pins), not "scalar dispatch plus
-    // an avx2 row anyway".
-    const bool simd_runnable = use_simd;
-    SuiteResults soa_simd;
-    if (simd_runnable) {
-        soa_simd = runSuite(rep, SuitePath::FusedSoA,
-                            sim::SimdMode::Simd, nullptr);
-        compareSuites(oracle, soa_simd, "oracle vs soa avx2");
+    // Which vector kernels get their own comparison rows: --simd 0
+    // means a fully scalar run (what bench_micro_replay_scalar_smoke
+    // pins), a forced vector mode runs exactly that kernel, and Auto
+    // runs every kernel the host can — that is what makes the fig04
+    // scalar-vs-vector verdict measurable in one invocation.
+    std::vector<sim::KernelKind> vec_kinds;
+    if (simd_mode == sim::SimdMode::Auto) {
+        if (sim::simdAvailable())
+            vec_kinds.push_back(sim::KernelKind::Avx2);
+        if (sim::avx512Available())
+            vec_kinds.push_back(sim::KernelKind::Avx512);
+    } else if (choice.kind != sim::KernelKind::Scalar) {
+        vec_kinds.push_back(choice.kind);
     }
 
+    std::vector<SuiteResults> soa_vec(vec_kinds.size());
+    for (std::size_t v = 0; v < vec_kinds.size(); ++v) {
+        soa_vec[v] = runSuite(rep, SuitePath::FusedSoA,
+                              modeFor(vec_kinds[v]), nullptr);
+        const std::string label =
+            std::string("oracle vs soa ") +
+            sim::kernelName(vec_kinds[v]);
+        compareSuites(oracle, soa_vec[v], label.c_str());
+    }
+
+    // Resolve-phase A/B: the direct column resolve against the PR 6
+    // route (AoS resolve, then transpose). Same filter, same output.
+    const auto filter = sim::StreamFilter::Combined;
+    const double resolve_direct_s =
+        bestOf([&] { (void)rep.resolveSoA(filter); });
+    const double resolve_transpose_s =
+        bestOf([&] { (void)sim::toSoA(rep.resolve(filter)); });
+    const double resolve_speedup =
+        resolve_transpose_s / resolve_direct_s;
+
     // Headline: the paper's 25-config direct-mapped grid (Figure 4),
-    // single-threaded, resolve/transpose excluded — this isolates the
-    // replay kernels themselves. PR 3's AoS engine is the baseline the
-    // SoA kernels are measured against.
+    // single-threaded, resolve excluded — this isolates the replay
+    // kernels themselves. PR 3's AoS engine is the baseline the SoA
+    // kernels are measured against.
     const auto grid = fig04Grid();
-    const sim::ResolvedTrace grid_trace =
-        rep.resolve(sim::StreamFilter::Combined);
-    const sim::ResolvedTraceSoA grid_soa = sim::toSoA(grid_trace);
-    std::vector<sim::ICacheReplayResult> grid_aos, grid_scalar,
-        grid_simd;
+    const sim::ResolvedTrace grid_trace = rep.resolve(filter);
+    const sim::ResolvedTraceSoA grid_soa = rep.resolveSoA(filter);
+    std::vector<sim::ICacheReplayResult> grid_aos, grid_scalar;
     const double grid_aos_s = bestOf([&] {
         grid_aos = sim::replayICache(grid_trace, grid, nullptr);
     });
@@ -463,73 +630,107 @@ main(int argc, char** argv)
         grid_scalar = sim::replayICache(grid_soa, grid,
                                         sim::SimdMode::Scalar, nullptr);
     });
-    double grid_simd_s = 0;
-    if (simd_runnable)
-        grid_simd_s = bestOf([&] {
-            grid_simd = sim::replayICache(
-                grid_soa, grid, sim::SimdMode::Simd, nullptr);
+    std::vector<double> grid_vec_s(vec_kinds.size(), 0.0);
+    for (std::size_t v = 0; v < vec_kinds.size(); ++v) {
+        std::vector<sim::ICacheReplayResult> grid_vec;
+        grid_vec_s[v] = bestOf([&] {
+            grid_vec = sim::replayICache(grid_soa, grid,
+                                         modeFor(vec_kinds[v]), nullptr);
         });
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            if (!sameICache(grid_aos[i], grid_vec[i])) {
+                std::cerr << "[micro_replay] FAIL: fig04 grid config "
+                          << i << " diverges under "
+                          << sim::kernelName(vec_kinds[v]) << "\n";
+                return 1;
+            }
+        }
+    }
     for (std::size_t i = 0; i < grid.size(); ++i) {
-        if (!sameICache(grid_aos[i], grid_scalar[i]) ||
-            (simd_runnable && !sameICache(grid_aos[i], grid_simd[i]))) {
+        if (!sameICache(grid_aos[i], grid_scalar[i])) {
             std::cerr << "[micro_replay] FAIL: fig04 grid config " << i
                       << " diverges across kernels\n";
             return 1;
         }
     }
     const double grid_scalar_speedup = grid_aos_s / grid_scalar_s;
-    const double grid_simd_speedup =
-        simd_runnable ? grid_aos_s / grid_simd_s : 0;
 
-    // The suite total is dominated by the two (unfusable-with-anything
-    // -else) hierarchy configs; the 5-config i-cache column on its own
-    // shows what resolve amortization buys for one family.
-    using clock = std::chrono::steady_clock;
+    // Per-family column timings under each kernel, over the same SoA
+    // trace: where each family's vector port pays (or, for the
+    // FA-LRU-bound iTLB walk, provably cannot).
     const auto icfg = icacheConfigs();
-    auto t0 = clock::now();
-    for (const auto& c : icfg)
-        (void)rep.icache(c, sim::StreamFilter::Combined);
-    auto t1 = clock::now();
-    (void)sim::replayICache(grid_soa, icfg, simd_mode, nullptr);
-    auto t2 = clock::now();
-    double icache_oracle_s = seconds(t0, t1);
-    double icache_fused_s = seconds(t1, t2);
-    double icache_speedup = icache_oracle_s / icache_fused_s;
+    const auto tcfg = threeCConfigs();
+    const auto scfg = streamConfigs();
+    const auto specs = itlbSpecs();
+    std::vector<sim::KernelKind> all_kinds{sim::KernelKind::Scalar};
+    all_kinds.insert(all_kinds.end(), vec_kinds.begin(),
+                     vec_kinds.end());
+    std::vector<FamilyTimes> family(all_kinds.size());
+    for (std::size_t v = 0; v < all_kinds.size(); ++v) {
+        const sim::SimdMode m = modeFor(all_kinds[v]);
+        family[v].icache = bestOf([&] {
+            (void)sim::replayICache(grid_soa, icfg, m, nullptr);
+        });
+        family[v].threec = bestOf([&] {
+            (void)sim::replayThreeCs(grid_soa, tcfg, m, nullptr);
+        });
+        family[v].sbuf = bestOf([&] {
+            (void)sim::replayStreamBuffer(grid_soa, scfg,
+                                          kStreamBuffers, m, nullptr);
+        });
+        family[v].itlb = bestOf([&] {
+            (void)sim::replayITlb(grid_soa, specs, m, nullptr);
+        });
+    }
 
     double fused_speedup = oracle.seconds / fused.seconds;
     double parallel_speedup = fused.seconds / parallel.seconds;
     double end_to_end = oracle.seconds / parallel.seconds;
 
-    auto phase_row = [](const char* name, const SuiteResults& s) {
+    auto phase_row = [](const std::string& name,
+                        const SuiteResults& s) {
         std::cout << name << s.seconds << " s (resolve "
                   << s.resolve_seconds << " s + replay "
                   << s.replay_seconds << " s)\n";
     };
     std::cout << "trace events:        " << buf.size() << " ("
               << buf.numCpus() << " cpus)\n"
-              << "simd kernel:         " << kernel_name
-              << (sim::simdAvailable() ? "" : " (avx2 unavailable)")
-              << "\n"
+              << "simd kernel:         " << kernel_name << " ("
+              << choice.reason << ")\n"
               << "per-config oracle:   " << oracle.seconds << " s\n";
     phase_row("serial fused (aos):  ", fused);
     std::cout << "parallel fused(aos): " << parallel.seconds << " s ("
               << pool.numThreads() << " threads)\n";
     phase_row("soa scalar:          ", soa_scalar);
-    if (simd_runnable)
-        phase_row("soa avx2:            ", soa_simd);
+    for (std::size_t v = 0; v < vec_kinds.size(); ++v) {
+        std::string name =
+            std::string("soa ") + sim::kernelName(vec_kinds[v]) + ":";
+        name.resize(21, ' ');
+        phase_row(name, soa_vec[v]);
+    }
     std::cout << "fused speedup:       " << fused_speedup << "x\n"
               << "parallel speedup:    " << parallel_speedup << "x\n"
               << "end-to-end speedup:  " << end_to_end << "x\n"
-              << "icache column:       " << icache_oracle_s
-              << " s per-config, " << icache_fused_s << " s fused ("
-              << icache_speedup << "x)\n"
+              << "resolve phase:       direct " << resolve_direct_s
+              << " s vs transpose " << resolve_transpose_s << " s ("
+              << resolve_speedup << "x)\n"
               << "fig04 grid (25 cfg): aos " << grid_aos_s
               << " s, soa scalar " << grid_scalar_s << " s ("
               << grid_scalar_speedup << "x)";
-    if (simd_runnable)
-        std::cout << ", soa avx2 " << grid_simd_s << " s ("
-                  << grid_simd_speedup << "x)";
-    std::cout << "\ndifferential check:  PASS (all simulator families "
+    for (std::size_t v = 0; v < vec_kinds.size(); ++v)
+        std::cout << ", soa " << sim::kernelName(vec_kinds[v]) << " "
+                  << grid_vec_s[v] << " s ("
+                  << grid_aos_s / grid_vec_s[v] << "x)";
+    std::cout << "\nper-family columns (s):\n";
+    for (std::size_t v = 0; v < all_kinds.size(); ++v) {
+        std::string name = sim::kernelName(all_kinds[v]);
+        name.resize(8, ' ');
+        std::cout << "  " << name << " icache " << family[v].icache
+                  << "  threec " << family[v].threec << "  sbuf "
+                  << family[v].sbuf << "  itlb " << family[v].itlb
+                  << "\n";
+    }
+    std::cout << "differential check:  PASS (all simulator families "
                  "bit-identical)\n\n";
 
     std::ofstream json("BENCH_replay.json");
@@ -538,8 +739,11 @@ main(int argc, char** argv)
          << "  \"trace_events\": " << buf.size() << ",\n"
          << "  \"trace_cpus\": " << buf.numCpus() << ",\n"
          << "  \"simd_kernel\": \"" << kernel_name << "\",\n"
-         << "  \"simd_available\": "
-         << (simd_runnable ? "true" : "false") << ",\n"
+         << "  \"simd_kernel_reason\": \"" << choice.reason << "\",\n"
+         << "  \"avx2_available\": "
+         << (sim::simdAvailable() ? "true" : "false") << ",\n"
+         << "  \"avx512_available\": "
+         << (sim::avx512Available() ? "true" : "false") << ",\n"
          << "  \"oracle_seconds\": " << oracle.seconds << ",\n"
          << "  \"serial_fused_seconds\": " << fused.seconds << ",\n"
          << "  \"serial_fused_resolve_seconds\": "
@@ -554,38 +758,65 @@ main(int argc, char** argv)
          << soa_scalar.resolve_seconds << ",\n"
          << "  \"soa_scalar_replay_seconds\": "
          << soa_scalar.replay_seconds << ",\n";
-    if (simd_runnable)
-        json << "  \"soa_simd_seconds\": " << soa_simd.seconds << ",\n"
-             << "  \"soa_simd_resolve_seconds\": "
-             << soa_simd.resolve_seconds << ",\n"
-             << "  \"soa_simd_replay_seconds\": "
-             << soa_simd.replay_seconds << ",\n";
+    for (std::size_t v = 0; v < vec_kinds.size(); ++v) {
+        const char* kn = sim::kernelName(vec_kinds[v]);
+        json << "  \"soa_" << kn << "_seconds\": "
+             << soa_vec[v].seconds << ",\n"
+             << "  \"soa_" << kn << "_resolve_seconds\": "
+             << soa_vec[v].resolve_seconds << ",\n"
+             << "  \"soa_" << kn << "_replay_seconds\": "
+             << soa_vec[v].replay_seconds << ",\n";
+    }
     json << "  \"fused_vs_per_config\": " << fused_speedup << ",\n"
          << "  \"parallel_vs_serial_fused\": " << parallel_speedup
          << ",\n"
          << "  \"end_to_end_speedup\": " << end_to_end << ",\n"
-         << "  \"icache_column_oracle_seconds\": " << icache_oracle_s
+         << "  \"resolve_direct_seconds\": " << resolve_direct_s
          << ",\n"
-         << "  \"icache_column_fused_seconds\": " << icache_fused_s
+         << "  \"resolve_transpose_seconds\": " << resolve_transpose_s
          << ",\n"
-         << "  \"icache_column_fused_speedup\": " << icache_speedup
+         << "  \"resolve_direct_speedup\": " << resolve_speedup
          << ",\n"
-         << "  \"icache_grid_configs\": "
-         << grid.size() << ",\n"
+         << "  \"icache_grid_configs\": " << grid.size() << ",\n"
          << "  \"icache_grid_aos_seconds\": " << grid_aos_s << ",\n"
          << "  \"icache_grid_soa_scalar_seconds\": " << grid_scalar_s
          << ",\n"
          << "  \"icache_grid_scalar_speedup\": " << grid_scalar_speedup
          << ",\n";
-    if (simd_runnable)
-        json << "  \"icache_grid_soa_simd_seconds\": " << grid_simd_s
-             << ",\n"
-             << "  \"icache_grid_simd_speedup\": " << grid_simd_speedup
-             << ",\n";
+    for (std::size_t v = 0; v < vec_kinds.size(); ++v) {
+        const char* kn = sim::kernelName(vec_kinds[v]);
+        json << "  \"icache_grid_soa_" << kn << "_seconds\": "
+             << grid_vec_s[v] << ",\n"
+             << "  \"icache_grid_" << kn << "_speedup\": "
+             << grid_aos_s / grid_vec_s[v] << ",\n";
+    }
+    for (std::size_t v = 0; v < all_kinds.size(); ++v) {
+        const char* kn = sim::kernelName(all_kinds[v]);
+        json << "  \"family_" << kn << "_icache_seconds\": "
+             << family[v].icache << ",\n"
+             << "  \"family_" << kn << "_threec_seconds\": "
+             << family[v].threec << ",\n"
+             << "  \"family_" << kn << "_streambuf_seconds\": "
+             << family[v].sbuf << ",\n"
+             << "  \"family_" << kn << "_itlb_seconds\": "
+             << family[v].itlb << ",\n";
+    }
     json << "  \"differential_ok\": true\n"
          << "}\n";
     json.close(); // flush before the manifest embeds it
     std::cout << "wrote BENCH_replay.json\n";
     obs.addArtifactFile("BENCH_replay.json");
+
+    // The identity dump uses the suite replayed under the resolved
+    // dispatch: for --simd 0 that is the all-scalar run, otherwise the
+    // last (widest) vector run — so diffing a forced-scalar dump
+    // against an auto dump compares scalar and vector kernel output
+    // across two processes, not just within this one.
+    if (!results_out.empty()) {
+        writeResults(results_out, soa_vec.empty()
+                                      ? soa_scalar
+                                      : soa_vec.back());
+        std::cout << "wrote " << results_out << "\n";
+    }
     return 0;
 }

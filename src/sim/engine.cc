@@ -489,10 +489,12 @@ replaySequence(const ResolvedTrace& trace, support::ThreadPool* pool)
 }
 
 // ---------------------------------------------------------------------
-// SoA overloads. The walks below are the column-major ports of the AoS
-// shard bodies above: identical simulator objects, identical per-CPU
-// record order, only the field loads differ. The i-cache family instead
-// dispatches into the throughput kernels (sim/kernels.hh).
+// SoA overloads. The instrumented/hierarchy/sequence walks below are
+// the column-major ports of the AoS shard bodies above: identical
+// simulator objects, identical per-CPU record order, only the field
+// loads differ. The i-cache, three-C, iTLB, and stream-buffer families
+// instead dispatch into the throughput kernels (sim/kernels.hh), which
+// replace the simulator objects with flat grouped tables.
 // ---------------------------------------------------------------------
 
 namespace {
@@ -510,7 +512,7 @@ replayICache(const ResolvedTraceSoA& soa,
     // Resolve once, up front: a fatal misconfiguration (forced SIMD on
     // a host without it) must fire before any shard runs, and every
     // shard must use the same kernel.
-    const bool simd = resolveSimd(mode);
+    const KernelKind kind = resolveKernel(mode).kind;
     const std::size_t n_cfg = configs.size();
     const std::size_t n_cpu = static_cast<std::size_t>(soa.num_cpus);
     std::vector<ICacheReplayResult> partial(n_cfg * n_cpu);
@@ -525,10 +527,7 @@ replayICache(const ResolvedTraceSoA& soa,
         shard.k0 = k0;
         shard.k1 = k1;
         shard.out = local.data();
-        if (simd)
-            detail::icacheShardAvx2(shard);
-        else
-            detail::icacheShardScalar(shard);
+        detail::icacheShardRun(kind, shard);
         for (std::size_t k = k0; k < k1; ++k)
             partial[k * n_cpu + static_cast<std::size_t>(cpu)] =
                 local[k - k0];
@@ -553,36 +552,28 @@ replayICache(const ResolvedTraceSoA& soa,
 
 std::vector<mem::ThreeCStats>
 replayThreeCs(const ResolvedTraceSoA& soa,
-              std::span<const mem::CacheConfig> configs,
+              std::span<const mem::CacheConfig> configs, SimdMode mode,
               support::ThreadPool* pool)
 {
+    const KernelKind kind = resolveKernel(mode).kind;
     const std::size_t n_cfg = configs.size();
     const std::size_t n_cpu = static_cast<std::size_t>(soa.num_cpus);
     std::vector<mem::ThreeCStats> partial(n_cfg * n_cpu);
 
     forEachShard(soa, n_cfg, pool,
                  [&](int cpu, std::size_t k0, std::size_t k1) {
-        std::vector<mem::ClassifyingICache> caches;
-        caches.reserve(k1 - k0);
-        for (std::size_t k = k0; k < k1; ++k)
-            caches.emplace_back(configs[k]);
-        const auto [begin, end_i] = soa.cpuRange(cpu);
-        for (std::size_t i = begin; i < end_i; ++i) {
-            if (soa.owner[i] == kOwnerDataByte)
-                continue;
-            const std::uint64_t addr = soa.addr[i];
-            const std::uint64_t end = addr + soa.bytes[i];
-            for (std::size_t k = k0; k < k1; ++k) {
-                const std::uint64_t line = configs[k].line_bytes;
-                mem::ClassifyingICache& cache = caches[k - k0];
-                for (std::uint64_t a = addr & ~(line - 1); a < end;
-                     a += line)
-                    cache.access(a);
-            }
-        }
+        std::vector<mem::ThreeCStats> local(k1 - k0);
+        detail::ThreeCShard shard;
+        shard.soa = &soa;
+        shard.cpu = cpu;
+        shard.configs = configs.data();
+        shard.k0 = k0;
+        shard.k1 = k1;
+        shard.out = local.data();
+        detail::threeCShardRun(kind, shard);
         for (std::size_t k = k0; k < k1; ++k)
             partial[k * n_cpu + static_cast<std::size_t>(cpu)] =
-                caches[k - k0].stats();
+                local[k - k0];
     });
 
     std::vector<mem::ThreeCStats> out(n_cfg);
@@ -595,35 +586,29 @@ replayThreeCs(const ResolvedTraceSoA& soa,
 std::vector<mem::StreamBufferStats>
 replayStreamBuffer(const ResolvedTraceSoA& soa,
                    std::span<const mem::CacheConfig> configs,
-                   int num_buffers, support::ThreadPool* pool)
+                   int num_buffers, SimdMode mode,
+                   support::ThreadPool* pool)
 {
+    const KernelKind kind = resolveKernel(mode).kind;
     const std::size_t n_cfg = configs.size();
     const std::size_t n_cpu = static_cast<std::size_t>(soa.num_cpus);
     std::vector<mem::StreamBufferStats> partial(n_cfg * n_cpu);
 
     forEachShard(soa, n_cfg, pool,
                  [&](int cpu, std::size_t k0, std::size_t k1) {
-        std::vector<mem::StreamBufferICache> caches;
-        caches.reserve(k1 - k0);
-        for (std::size_t k = k0; k < k1; ++k)
-            caches.emplace_back(configs[k], num_buffers);
-        const auto [begin, end_i] = soa.cpuRange(cpu);
-        for (std::size_t i = begin; i < end_i; ++i) {
-            if (soa.owner[i] == kOwnerDataByte)
-                continue;
-            const std::uint64_t addr = soa.addr[i];
-            const std::uint64_t end = addr + soa.bytes[i];
-            for (std::size_t k = k0; k < k1; ++k) {
-                const std::uint64_t line = configs[k].line_bytes;
-                mem::StreamBufferICache& cache = caches[k - k0];
-                for (std::uint64_t a = addr & ~(line - 1); a < end;
-                     a += line)
-                    cache.fetchLine(a);
-            }
-        }
+        std::vector<mem::StreamBufferStats> local(k1 - k0);
+        detail::StreamBufShard shard;
+        shard.soa = &soa;
+        shard.cpu = cpu;
+        shard.configs = configs.data();
+        shard.k0 = k0;
+        shard.k1 = k1;
+        shard.num_buffers = num_buffers;
+        shard.out = local.data();
+        detail::streamBufShardRun(kind, shard);
         for (std::size_t k = k0; k < k1; ++k)
             partial[k * n_cpu + static_cast<std::size_t>(cpu)] =
-                caches[k - k0].stats();
+                local[k - k0];
     });
 
     std::vector<mem::StreamBufferStats> out(n_cfg);
@@ -700,39 +685,27 @@ replayInstrumented(const ResolvedTraceSoA& soa,
 
 std::vector<ITlbReplayResult>
 replayITlb(const ResolvedTraceSoA& soa, std::span<const ITlbSpec> specs,
-           support::ThreadPool* pool)
+           SimdMode mode, support::ThreadPool* pool)
 {
+    const KernelKind kind = resolveKernel(mode).kind;
     const std::size_t n_cfg = specs.size();
     const std::size_t n_cpu = static_cast<std::size_t>(soa.num_cpus);
     std::vector<ITlbReplayResult> partial(n_cfg * n_cpu);
 
     forEachShard(soa, n_cfg, pool,
                  [&](int cpu, std::size_t k0, std::size_t k1) {
-        std::vector<mem::ITlb> tlbs;
-        tlbs.reserve(k1 - k0);
+        std::vector<ITlbReplayResult> local(k1 - k0);
+        detail::ITlbShard shard;
+        shard.soa = &soa;
+        shard.cpu = cpu;
+        shard.specs = specs.data();
+        shard.k0 = k0;
+        shard.k1 = k1;
+        shard.out = local.data();
+        detail::iTlbShardRun(kind, shard);
         for (std::size_t k = k0; k < k1; ++k)
-            tlbs.emplace_back(specs[k].entries, specs[k].page_bytes);
-        const auto [begin, end_i] = soa.cpuRange(cpu);
-        for (std::size_t i = begin; i < end_i; ++i) {
-            if (soa.owner[i] == kOwnerDataByte)
-                continue;
-            const std::uint64_t addr = soa.addr[i];
-            const std::uint64_t end = addr + soa.bytes[i];
-            for (std::size_t k = k0; k < k1; ++k) {
-                const std::uint64_t line = specs[k].fetch_bytes;
-                ITlbReplayResult& res =
-                    partial[k * n_cpu + static_cast<std::size_t>(cpu)];
-                mem::ITlb& tlb = tlbs[k - k0];
-                for (std::uint64_t a = addr & ~(line - 1); a < end;
-                     a += line) {
-                    ++res.accesses;
-                    tlb.access(a);
-                }
-            }
-        }
-        for (std::size_t k = k0; k < k1; ++k)
-            partial[k * n_cpu + static_cast<std::size_t>(cpu)].misses =
-                tlbs[k - k0].misses();
+            partial[k * n_cpu + static_cast<std::size_t>(cpu)] =
+                local[k - k0];
     });
 
     std::vector<ITlbReplayResult> out(n_cfg);

@@ -104,10 +104,12 @@ replaySequence(const ResolvedTrace& trace,
  * SoA overloads: the same seven replays over a column-major
  * ResolvedTraceSoA (sim/soa.hh). Results are bit-identical to the AoS
  * overloads — the per-CPU record sequences are the same values in the
- * same order, only the storage layout differs. The i-cache replay
- * additionally routes through the throughput kernels of sim/kernels.hh
- * and accepts a SimdMode; every other family keeps its simulator
- * objects and simply streams the columns.
+ * same order, only the storage layout differs. The i-cache, three-C,
+ * iTLB, and stream-buffer families route through the throughput
+ * kernels of sim/kernels.hh and accept a SimdMode (the iTLB kernel is
+ * FA-LRU-bound and runs the same scalar walk under every mode); the
+ * remaining families keep their simulator objects and simply stream
+ * the columns.
  */
 
 std::vector<ICacheReplayResult>
@@ -119,12 +121,14 @@ replayICache(const ResolvedTraceSoA& soa,
 std::vector<mem::ThreeCStats>
 replayThreeCs(const ResolvedTraceSoA& soa,
               std::span<const mem::CacheConfig> configs,
+              SimdMode mode = SimdMode::Auto,
               support::ThreadPool* pool = nullptr);
 
 std::vector<mem::StreamBufferStats>
 replayStreamBuffer(const ResolvedTraceSoA& soa,
                    std::span<const mem::CacheConfig> configs,
-                   int num_buffers, support::ThreadPool* pool = nullptr);
+                   int num_buffers, SimdMode mode = SimdMode::Auto,
+                   support::ThreadPool* pool = nullptr);
 
 std::vector<WordStats>
 replayInstrumented(const ResolvedTraceSoA& soa,
@@ -134,6 +138,7 @@ replayInstrumented(const ResolvedTraceSoA& soa,
 
 std::vector<ITlbReplayResult>
 replayITlb(const ResolvedTraceSoA& soa, std::span<const ITlbSpec> specs,
+           SimdMode mode = SimdMode::Auto,
            support::ThreadPool* pool = nullptr);
 
 std::vector<HierarchyReplayResult>

@@ -1,6 +1,9 @@
 #include "sim/kernels.hh"
 
+#include <chrono>
 #include <cstdlib>
+#include <iomanip>
+#include <sstream>
 #include <string>
 
 #include "sim/kernels_detail.hh"
@@ -25,6 +28,22 @@ simdAvailable()
     return simdKernelsCompiled() && support::cpuHasAvx2();
 }
 
+bool
+avx512KernelsCompiled()
+{
+#if defined(SPIKESIM_AVX512_TU)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+avx512Available()
+{
+    return avx512KernelsCompiled() && support::cpuHasAvx512f();
+}
+
 SimdMode
 simdModeFromEnv()
 {
@@ -36,18 +55,149 @@ simdModeFromEnv()
         return SimdMode::Scalar;
     if (val == "1")
         return SimdMode::Simd;
-    support::fatal("SPIKESIM_SIMD must be \"0\" or \"1\", got \"" + val +
-                   "\"");
+    if (val == "2")
+        return SimdMode::Avx512;
+    support::fatal("SPIKESIM_SIMD must be \"0\", \"1\" or \"2\", got \"" +
+                   val + "\"");
 }
 
-bool
-resolveSimd(SimdMode mode)
+namespace {
+
+/**
+ * Build a tiny deterministic single-CPU SoA trace with the shape real
+ * resolved traces have — mostly sequential fetch runs with periodic
+ * jumps, a minority kernel-owned stretch — for the calibration replay.
+ */
+ResolvedTraceSoA
+makeCalibrationTrace()
 {
-    if (mode == SimdMode::Auto)
-        mode = simdModeFromEnv();
+    ResolvedTraceSoA soa;
+    const std::size_t n = 32 * 1024;
+    soa.addr.resize(n);
+    soa.bytes.resize(n);
+    soa.owner.resize(n);
+    soa.flags.assign(n, 0);
+    soa.num_cpus = 1;
+    soa.cpu_begin = {0, n};
+    soa.instr_events = n;
+    soa.instrs = n;
+
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+    const auto rnd = [&state]() {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+    };
+    std::uint64_t addr = 0;
+    std::uint8_t owner = static_cast<std::uint8_t>(mem::Owner::App);
+    std::size_t run_left = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (run_left == 0) {
+            run_left = 4 + rnd() % 48;
+            addr = (rnd() % (1u << 18)) & ~3ULL;
+            owner = static_cast<std::uint8_t>(
+                rnd() % 10 == 0 ? mem::Owner::Kernel : mem::Owner::App);
+        }
+        const std::uint32_t bytes =
+            4u * (1u + static_cast<std::uint32_t>(rnd() % 16));
+        soa.addr[i] = addr;
+        soa.bytes[i] = bytes;
+        soa.owner[i] = owner;
+        addr += bytes;
+        --run_left;
+    }
+    return soa;
+}
+
+double
+timeKernel(KernelKind kind, const ResolvedTraceSoA& soa,
+           const mem::CacheConfig* configs, std::size_t n_cfg)
+{
+    using clock = std::chrono::steady_clock;
+    std::vector<ICacheReplayResult> out(n_cfg);
+    detail::IcacheShard sh;
+    sh.soa = &soa;
+    sh.cpu = 0;
+    sh.configs = configs;
+    sh.k0 = 0;
+    sh.k1 = n_cfg;
+    sh.out = out.data();
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = clock::now();
+        detail::icacheShardRun(kind, sh);
+        const double s =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        if (rep == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+/** One-time calibration replay: time every runnable kernel on the
+ *  synthetic trace and keep the fastest. */
+const KernelChoice&
+calibratedChoice()
+{
+    static const KernelChoice choice = [] {
+        KernelChoice c;
+        if (!simdAvailable() && !avx512Available()) {
+            c.kind = KernelKind::Scalar;
+            c.reason = "auto: no vector kernel runnable on this host";
+            return c;
+        }
+        const ResolvedTraceSoA soa = makeCalibrationTrace();
+        // A fig04-shaped mix: direct-mapped sizes at two line sizes
+        // plus one 4-way member.
+        const mem::CacheConfig configs[] = {
+            {32 * 1024, 32, 1},  {64 * 1024, 32, 1},
+            {128 * 1024, 64, 1}, {256 * 1024, 64, 1},
+            {64 * 1024, 64, 4},
+        };
+        const std::size_t n_cfg = sizeof(configs) / sizeof(configs[0]);
+        const double scalar_s =
+            timeKernel(KernelKind::Scalar, soa, configs, n_cfg);
+        c.kind = KernelKind::Scalar;
+        double best_s = scalar_s;
+        if (simdAvailable()) {
+            const double s =
+                timeKernel(KernelKind::Avx2, soa, configs, n_cfg);
+            if (s < best_s) {
+                best_s = s;
+                c.kind = KernelKind::Avx2;
+            }
+        }
+        if (avx512Available()) {
+            const double s =
+                timeKernel(KernelKind::Avx512, soa, configs, n_cfg);
+            if (s < best_s) {
+                best_s = s;
+                c.kind = KernelKind::Avx512;
+            }
+        }
+        std::ostringstream reason;
+        if (c.kind == KernelKind::Scalar) {
+            reason << "auto-calibrated: scalar (vector kernels slower "
+                      "on this host)";
+        } else {
+            reason << "auto-calibrated: " << kernelName(c.kind) << " ("
+                   << std::fixed << std::setprecision(2)
+                   << (best_s > 0.0 ? scalar_s / best_s : 0.0)
+                   << "x vs scalar)";
+        }
+        c.reason = reason.str();
+        return c;
+    }();
+    return choice;
+}
+
+KernelChoice
+explicitChoice(SimdMode mode, const char* source)
+{
+    KernelChoice c;
     switch (mode) {
     case SimdMode::Scalar:
-        return false;
+        c.kind = KernelKind::Scalar;
+        break;
     case SimdMode::Simd:
         if (!simdAvailable())
             support::fatal(
@@ -55,17 +205,50 @@ resolveSimd(SimdMode mode)
                 (simdKernelsCompiled()
                      ? "host CPU does not report AVX2"
                      : "binary was built without AVX2 support"));
-        return true;
+        c.kind = KernelKind::Avx2;
+        break;
+    case SimdMode::Avx512:
+        if (!avx512Available())
+            support::fatal(
+                std::string(
+                    "AVX-512 kernels requested but unavailable: ") +
+                (avx512KernelsCompiled()
+                     ? "host CPU does not report AVX512F"
+                     : "binary was built without AVX-512 support"));
+        c.kind = KernelKind::Avx512;
+        break;
     case SimdMode::Auto:
         break;
     }
-    return simdAvailable();
+    c.reason = std::string(source) + ": " + kernelName(c.kind);
+    return c;
+}
+
+} // namespace
+
+KernelChoice
+resolveKernel(SimdMode mode)
+{
+    if (mode != SimdMode::Auto)
+        return explicitChoice(mode, "forced by caller");
+    const SimdMode env = simdModeFromEnv();
+    if (env != SimdMode::Auto)
+        return explicitChoice(env, "SPIKESIM_SIMD");
+    return calibratedChoice();
 }
 
 const char*
-simdKernelName(bool simd)
+kernelName(KernelKind kind)
 {
-    return simd ? "avx2" : "scalar";
+    switch (kind) {
+    case KernelKind::Scalar:
+        return "scalar";
+    case KernelKind::Avx2:
+        return "avx2";
+    case KernelKind::Avx512:
+        return "avx512";
+    }
+    return "scalar";
 }
 
 namespace detail {
@@ -76,6 +259,24 @@ icacheShardScalar(const IcacheShard& shard)
     runIcacheShardImpl<ScalarProbe>(shard);
 }
 
+void
+threeCShardScalar(const ThreeCShard& shard)
+{
+    runThreeCShardImpl<ScalarStatsProbe>(shard);
+}
+
+void
+iTlbShard(const ITlbShard& shard)
+{
+    runITlbShardImpl(shard);
+}
+
+void
+streamBufShardScalar(const StreamBufShard& shard)
+{
+    runStreamBufShardImpl<ScalarStatsProbe>(shard);
+}
+
 #if !defined(SPIKESIM_AVX2_TU)
 void
 icacheShardAvx2(const IcacheShard& shard)
@@ -83,7 +284,102 @@ icacheShardAvx2(const IcacheShard& shard)
     (void)shard;
     support::fatal("AVX2 kernel invoked in a binary built without it");
 }
+
+void
+threeCShardAvx2(const ThreeCShard& shard)
+{
+    (void)shard;
+    support::fatal("AVX2 kernel invoked in a binary built without it");
+}
+
+void
+streamBufShardAvx2(const StreamBufShard& shard)
+{
+    (void)shard;
+    support::fatal("AVX2 kernel invoked in a binary built without it");
+}
 #endif
+
+#if !defined(SPIKESIM_AVX512_TU)
+void
+icacheShardAvx512(const IcacheShard& shard)
+{
+    (void)shard;
+    support::fatal(
+        "AVX-512 kernel invoked in a binary built without it");
+}
+
+void
+threeCShardAvx512(const ThreeCShard& shard)
+{
+    (void)shard;
+    support::fatal(
+        "AVX-512 kernel invoked in a binary built without it");
+}
+
+void
+streamBufShardAvx512(const StreamBufShard& shard)
+{
+    (void)shard;
+    support::fatal(
+        "AVX-512 kernel invoked in a binary built without it");
+}
+#endif
+
+void
+icacheShardRun(KernelKind kind, const IcacheShard& shard)
+{
+    switch (kind) {
+    case KernelKind::Scalar:
+        icacheShardScalar(shard);
+        return;
+    case KernelKind::Avx2:
+        icacheShardAvx2(shard);
+        return;
+    case KernelKind::Avx512:
+        icacheShardAvx512(shard);
+        return;
+    }
+}
+
+void
+threeCShardRun(KernelKind kind, const ThreeCShard& shard)
+{
+    switch (kind) {
+    case KernelKind::Scalar:
+        threeCShardScalar(shard);
+        return;
+    case KernelKind::Avx2:
+        threeCShardAvx2(shard);
+        return;
+    case KernelKind::Avx512:
+        threeCShardAvx512(shard);
+        return;
+    }
+}
+
+void
+iTlbShardRun(KernelKind kind, const ITlbShard& shard)
+{
+    (void)kind; // one exact FA-LRU implementation serves every kind
+    iTlbShard(shard);
+}
+
+void
+streamBufShardRun(KernelKind kind, const StreamBufShard& shard)
+{
+    switch (kind) {
+    case KernelKind::Scalar:
+        streamBufShardScalar(shard);
+        return;
+    case KernelKind::Avx2:
+        streamBufShardAvx2(shard);
+        return;
+    case KernelKind::Avx512:
+        streamBufShardAvx512(shard);
+        return;
+    }
+}
 
 } // namespace detail
 

@@ -2,195 +2,36 @@
 
 #if defined(SPIKESIM_AVX2_TU)
 
-#include <immintrin.h>
+#include "sim/kernels_vec.hh"
 
 /**
  * @file
- * AVX2 probe traits for the fused i-cache kernel. This TU alone is
- * compiled with -mavx2 (see src/sim/CMakeLists.txt); nothing here runs
- * unless sim::resolveSimd() confirmed the host CPU reports AVX2.
- *
- * Vectorization points:
- *  - direct-mapped slow path: one 64-bit gather probes the tag tables
- *    of four configurations at once (the per-member mask/offset columns
- *    are preshaped in LineGroup::dm_masks/dm_offsets); misses are fixed
- *    up scalar since AVX2 has no scatter, but misses are the rare case.
- *  - 4-way / 8-way sets: tag compare and the LRU age-permutation update
- *    run as whole-set vectors ("age += (age < touched_age)" becomes a
- *    compare mask and a subtract of -1 lanes). Other associativities
- *    fall back to the scalar probe, which computes identical integers.
+ * AVX2 instantiations of the shared vector kernels (kernels_vec.hh).
+ * This TU alone is compiled with -mavx2 (see src/sim/CMakeLists.txt);
+ * nothing here runs unless sim::resolveKernel() confirmed the host CPU
+ * reports AVX2. The i-cache walk is the run-coalescing span kernel
+ * with 4-wide (256-bit) iota tag probes; the three-C and stream-buffer
+ * families reuse the shared grouped walk with 4/8-way whole-set vector
+ * probes.
  */
 
 namespace spikesim::sim::detail {
 namespace {
 
-/** Lane mask (4 bits) of 64-bit lanes equal to `ln`. */
-inline unsigned
-eqMask4(__m256i tags, __m256i vln)
+struct Avx2Ops
 {
-    const __m256i eq = _mm256_cmpeq_epi64(tags, vln);
-    return static_cast<unsigned>(
-        _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
-}
+    static constexpr std::size_t W = 4;
 
-/** ages[w] += (ages[w] < h) for four ways at once. */
-inline __m256i
-bumpYounger(__m256i ages, __m256i h)
-{
-    // Ages are tiny non-negative integers, so signed compare is exact;
-    // subtracting the all-ones mask adds one to the younger lanes.
-    return _mm256_sub_epi64(ages, _mm256_cmpgt_epi64(h, ages));
-}
-
-struct Avx2Probe
-{
-    static void
-    dmSlow(LineGroup& g, std::uint64_t ln, unsigned m,
-           std::array<std::uint64_t, 6>* intf)
+    /** Bitmask of lanes where tags[i] != ln0 + i. */
+    static unsigned
+    missMask(const std::uint64_t* tags, std::uint64_t ln0)
     {
-        const std::size_t n = g.dm.size();
-        std::uint64_t* tags = g.dm_tags.data();
-        std::uint8_t* own = g.dm_owners.data();
-        const __m256i vln =
-            _mm256_set1_epi64x(static_cast<long long>(ln));
-        std::size_t j = 0;
-        for (; j + 4 <= n; j += 4) {
-            const __m256i vmask = _mm256_loadu_si256(
-                reinterpret_cast<const __m256i*>(g.dm_masks.data() + j));
-            const __m256i voff = _mm256_loadu_si256(
-                reinterpret_cast<const __m256i*>(g.dm_offsets.data() +
-                                                 j));
-            const __m256i vidx = _mm256_add_epi64(
-                voff, _mm256_and_si256(vln, vmask));
-            const __m256i vtags = _mm256_i64gather_epi64(
-                reinterpret_cast<const long long*>(tags), vidx, 8);
-            unsigned miss = ~eqMask4(vtags, vln) & 0xfu;
-            while (miss != 0) {
-                const unsigned lane =
-                    static_cast<unsigned>(__builtin_ctz(miss));
-                miss &= miss - 1;
-                const DmMember& d = g.dm[j + lane];
-                const std::uint64_t idx = d.offset + (ln & d.mask);
-                ++intf[d.slot][m * 3 + own[idx]];
-                tags[idx] = ln;
-                own[idx] = static_cast<std::uint8_t>(m);
-            }
-        }
-        for (; j < n; ++j) {
-            const DmMember& d = g.dm[j];
-            const std::uint64_t idx = d.offset + (ln & d.mask);
-            if (tags[idx] != ln) {
-                ++intf[d.slot][m * 3 + own[idx]];
-                tags[idx] = ln;
-                own[idx] = static_cast<std::uint8_t>(m);
-            }
-        }
-    }
-
-    static void
-    amProbe(LineGroup& g, const AssocMember& a, std::uint64_t ln,
-            unsigned m, std::array<std::uint64_t, 6>* intf)
-    {
-        switch (a.assoc) {
-        case 4:
-            probe4(g, a, ln, m, intf);
-            return;
-        case 8:
-            probe8(g, a, ln, m, intf);
-            return;
-        default:
-            ScalarProbe::amProbe(g, a, ln, m, intf);
-            return;
-        }
-    }
-
-  private:
-    static void
-    probe4(LineGroup& g, const AssocMember& a, std::uint64_t ln,
-           unsigned m, std::array<std::uint64_t, 6>* intf)
-    {
-        const std::size_t set = ln & a.set_mask;
-        std::uint64_t* tags = g.am_tags.data() + a.base + set * 4;
-        std::uint64_t* ages = g.am_ages.data() + a.base + set * 4;
-        std::uint8_t* own = g.am_owners.data() + a.base + set * 4;
-
-        const __m256i vln =
-            _mm256_set1_epi64x(static_cast<long long>(ln));
+        const __m256i iota = _mm256_add_epi64(
+            _mm256_set1_epi64x(static_cast<long long>(ln0)),
+            _mm256_setr_epi64x(0, 1, 2, 3));
         const __m256i vtags = _mm256_loadu_si256(
             reinterpret_cast<const __m256i*>(tags));
-        __m256i vages = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i*>(ages));
-        const unsigned hit = eqMask4(vtags, vln);
-        if (hit != 0) {
-            const unsigned h =
-                static_cast<unsigned>(__builtin_ctz(hit));
-            const __m256i vh = _mm256_set1_epi64x(
-                static_cast<long long>(ages[h]));
-            vages = bumpYounger(vages, vh);
-            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ages),
-                                vages);
-            ages[h] = 0;
-            return;
-        }
-        const __m256i vlru = _mm256_set1_epi64x(3);
-        const unsigned vict_mask = eqMask4(vages, vlru);
-        const unsigned v =
-            static_cast<unsigned>(__builtin_ctz(vict_mask));
-        ++intf[a.slot][m * 3 + own[v]];
-        tags[v] = ln;
-        own[v] = static_cast<std::uint8_t>(m);
-        vages = bumpYounger(vages, vlru);
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(ages), vages);
-        ages[v] = 0;
-    }
-
-    static void
-    probe8(LineGroup& g, const AssocMember& a, std::uint64_t ln,
-           unsigned m, std::array<std::uint64_t, 6>* intf)
-    {
-        const std::size_t set = ln & a.set_mask;
-        std::uint64_t* tags = g.am_tags.data() + a.base + set * 8;
-        std::uint64_t* ages = g.am_ages.data() + a.base + set * 8;
-        std::uint8_t* own = g.am_owners.data() + a.base + set * 8;
-
-        const __m256i vln =
-            _mm256_set1_epi64x(static_cast<long long>(ln));
-        const __m256i t_lo = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i*>(tags));
-        const __m256i t_hi = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i*>(tags + 4));
-        __m256i a_lo = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i*>(ages));
-        __m256i a_hi = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i*>(ages + 4));
-        const unsigned hit =
-            eqMask4(t_lo, vln) | (eqMask4(t_hi, vln) << 4);
-        if (hit != 0) {
-            const unsigned h =
-                static_cast<unsigned>(__builtin_ctz(hit));
-            const __m256i vh = _mm256_set1_epi64x(
-                static_cast<long long>(ages[h]));
-            a_lo = bumpYounger(a_lo, vh);
-            a_hi = bumpYounger(a_hi, vh);
-            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ages), a_lo);
-            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ages + 4),
-                                a_hi);
-            ages[h] = 0;
-            return;
-        }
-        const __m256i vlru = _mm256_set1_epi64x(7);
-        const unsigned vict_mask =
-            eqMask4(a_lo, vlru) | (eqMask4(a_hi, vlru) << 4);
-        const unsigned v =
-            static_cast<unsigned>(__builtin_ctz(vict_mask));
-        ++intf[a.slot][m * 3 + own[v]];
-        tags[v] = ln;
-        own[v] = static_cast<std::uint8_t>(m);
-        a_lo = bumpYounger(a_lo, vlru);
-        a_hi = bumpYounger(a_hi, vlru);
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(ages), a_lo);
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(ages + 4), a_hi);
-        ages[v] = 0;
+        return ~eqMask4(vtags, iota) & 0xfu;
     }
 };
 
@@ -199,7 +40,19 @@ struct Avx2Probe
 void
 icacheShardAvx2(const IcacheShard& shard)
 {
-    runIcacheShardImpl<Avx2Probe>(shard);
+    runIcacheShardRuns<Avx2Ops>(shard);
+}
+
+void
+threeCShardAvx2(const ThreeCShard& shard)
+{
+    runThreeCShardImpl<VecStatsProbe>(shard);
+}
+
+void
+streamBufShardAvx2(const StreamBufShard& shard)
+{
+    runStreamBufShardImpl<VecStatsProbe>(shard);
 }
 
 } // namespace spikesim::sim::detail

@@ -1,0 +1,63 @@
+#include "sim/kernels_detail.hh"
+
+#if defined(SPIKESIM_AVX512_TU)
+
+#include "sim/kernels_vec.hh"
+
+/**
+ * @file
+ * AVX-512 instantiations of the shared vector kernels
+ * (kernels_vec.hh). This TU alone is compiled with -mavx512f (see
+ * src/sim/CMakeLists.txt); nothing here runs unless
+ * sim::resolveKernel() confirmed the host CPU reports AVX512F. The
+ * i-cache walk is the run-coalescing span kernel with 8-wide (512-bit)
+ * iota tag probes — compare-to-mask yields the per-lane miss bitmask
+ * directly, with no movemask round trip. The three-C and stream-buffer
+ * families share the grouped walk with the whole-set vector probes
+ * (compiled here under the wider ISA).
+ */
+
+namespace spikesim::sim::detail {
+namespace {
+
+struct Avx512Ops
+{
+    static constexpr std::size_t W = 8;
+
+    /** Bitmask of lanes where tags[i] != ln0 + i. */
+    static unsigned
+    missMask(const std::uint64_t* tags, std::uint64_t ln0)
+    {
+        const __m512i iota = _mm512_add_epi64(
+            _mm512_set1_epi64(static_cast<long long>(ln0)),
+            _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7));
+        const __m512i vtags = _mm512_loadu_si512(
+            reinterpret_cast<const void*>(tags));
+        return static_cast<unsigned>(
+            _mm512_cmp_epu64_mask(vtags, iota, _MM_CMPINT_NE));
+    }
+};
+
+} // namespace
+
+void
+icacheShardAvx512(const IcacheShard& shard)
+{
+    runIcacheShardRuns<Avx512Ops>(shard);
+}
+
+void
+threeCShardAvx512(const ThreeCShard& shard)
+{
+    runThreeCShardImpl<VecStatsProbe>(shard);
+}
+
+void
+streamBufShardAvx512(const StreamBufShard& shard)
+{
+    runStreamBufShardImpl<VecStatsProbe>(shard);
+}
+
+} // namespace spikesim::sim::detail
+
+#endif // SPIKESIM_AVX512_TU

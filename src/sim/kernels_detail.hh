@@ -11,14 +11,15 @@
 
 /**
  * @file
- * Shared implementation of the fused i-cache config-column kernel:
- * state layout, state construction, the outer SoA walk with its two
- * fast paths, and the scalar probe set. The scalar TU (kernels.cc)
- * and the AVX2 TU (kernels_avx2.cc) both instantiate
- * runIcacheShardImpl with their probe traits, so the two kernels can
- * only differ in probe arithmetic — never in state layout, walk
- * order, or counting — which is what keeps them bit-identical to each
- * other and to the scalar Replayer oracle.
+ * Shared implementation of the fused replay kernels: state layout and
+ * construction, the outer SoA walks with their fast paths, and the
+ * scalar probe sets, for the i-cache, three-C, iTLB and stream-buffer
+ * families. The scalar TU (kernels.cc) and the vector TUs
+ * (kernels_avx2.cc / kernels_avx512.cc via kernels_vec.hh) instantiate
+ * the same templates with their probe traits, so the kernels can only
+ * differ in probe arithmetic — never in state layout, walk order, or
+ * counting — which is what keeps them bit-identical to each other and
+ * to the scalar Replayer oracle.
  *
  * Algorithm (per CPU, per line-size group of the config chunk):
  *
@@ -83,9 +84,6 @@ struct LineGroup
     std::size_t dm_big = 0; ///< member with the most sets (prefetch)
     std::vector<std::uint64_t> dm_tags;
     std::vector<std::uint8_t> dm_owners;
-    /** Member mask/offset columns for the vector gather probe. */
-    std::vector<std::uint64_t> dm_masks;
-    std::vector<std::uint64_t> dm_offsets;
 
     std::vector<AssocMember> am;
     std::vector<std::uint64_t> am_tags;
@@ -149,8 +147,6 @@ buildIcacheState(const mem::CacheConfig* configs, std::size_t k0,
                 g.dm_min = j;
             if (d.sets > g.dm[g.dm_big].sets)
                 g.dm_big = j;
-            g.dm_masks.push_back(d.mask);
-            g.dm_offsets.push_back(d.offset);
         }
         g.dm_tags.assign(off, kInvalidTag);
         g.dm_owners.assign(off, kOwnerCold);
@@ -169,6 +165,30 @@ buildIcacheState(const mem::CacheConfig* configs, std::size_t k0,
                     g.am_ages[a.base + s * a.assoc + w] = w;
     }
     return st;
+}
+
+/** Fold one shard's i-cache state into the output results. Shared by
+ *  the scalar per-ref walk and the vector run-coalescing walk. */
+inline void
+foldIcacheState(const IcacheState& st, const IcacheShard& sh)
+{
+    for (const LineGroup& g : st.groups) {
+        const auto fold = [&](std::size_t slot) {
+            ICacheReplayResult& r = sh.out[slot];
+            const std::array<std::uint64_t, 6>& c = st.intf[slot];
+            r.accesses = g.accesses;
+            for (int mm = 0; mm < 2; ++mm)
+                for (int v = 0; v < 3; ++v)
+                    r.interference.counts[mm][v] = c[mm * 3 + v];
+            r.app_misses = c[0] + c[1] + c[2];
+            r.kernel_misses = c[3] + c[4] + c[5];
+            r.misses = r.app_misses + r.kernel_misses;
+        };
+        for (const DmMember& d : g.dm)
+            fold(d.slot);
+        for (const AssocMember& a : g.am)
+            fold(a.slot);
+    }
 }
 
 /** Branch-lean reference probes; also the tail/odd-assoc fallback of
@@ -292,22 +312,734 @@ runIcacheShardImpl(const IcacheShard& sh)
         }
     }
 
-    for (const LineGroup& g : st.groups) {
+    foldIcacheState(st, sh);
+}
+
+// ---------------------------------------------------------------------
+// Flat hash structures for the three-C / iTLB / stream-buffer families.
+//
+// The scalar simulator objects lean on std::unordered_map and
+// std::list; the kernels below replace them with flat, allocation-free
+// (after construction) equivalents that compute the same integers:
+//
+//  - FlatLineSet: open-addressing first-touch set (no deletion).
+//  - FlatFaLru: fully-associative LRU over line/page numbers as an
+//    intrusive doubly-linked list over a fixed node pool plus a chained
+//    hash index — O(1) access, exact FullyAssocLru semantics
+//    (insert-at-front, evict-back once full).
+// ---------------------------------------------------------------------
+
+/** Mix for line/page-number hashing (finalizer of MurmurHash3). */
+inline std::uint64_t
+hashLine(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Open-addressing set of line numbers; grows, never deletes. The
+ *  empty sentinel is kInvalidTag, which no real line number can be. */
+class FlatLineSet
+{
+  public:
+    explicit FlatLineSet(std::size_t expected = 64)
+    {
+        std::size_t cap = 64;
+        while (cap < expected * 2)
+            cap <<= 1;
+        slots_.assign(cap, kInvalidTag);
+    }
+
+    /** Insert; returns whether the line was already present. */
+    bool
+    testAndSet(std::uint64_t ln)
+    {
+        if ((count_ + 1) * 2 > slots_.size())
+            grow();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = hashLine(ln) & mask;
+        while (slots_[i] != kInvalidTag) {
+            if (slots_[i] == ln)
+                return true;
+            i = (i + 1) & mask;
+        }
+        slots_[i] = ln;
+        ++count_;
+        return false;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old = std::move(slots_);
+        slots_.assign(old.size() * 2, kInvalidTag);
+        const std::size_t mask = slots_.size() - 1;
+        for (std::uint64_t v : old) {
+            if (v == kInvalidTag)
+                continue;
+            std::size_t i = hashLine(v) & mask;
+            while (slots_[i] != kInvalidTag)
+                i = (i + 1) & mask;
+            slots_[i] = v;
+        }
+    }
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t count_ = 0;
+};
+
+/** Flat fully-associative LRU, bit-identical to mem::FullyAssocLru:
+ *  hit moves to front; miss inserts at front and evicts the back once
+ *  the capacity is exceeded. */
+class FlatFaLru
+{
+  public:
+    explicit FlatFaLru(std::uint32_t capacity) : cap_(capacity)
+    {
+        SPIKESIM_ASSERT(capacity > 0, "LRU needs capacity");
+        line_.resize(cap_);
+        prev_.resize(cap_);
+        next_.resize(cap_);
+        hnext_.resize(cap_);
+        std::size_t b = 16;
+        while (b < static_cast<std::size_t>(cap_) * 2)
+            b <<= 1;
+        bucket_.assign(b, kNull);
+        bmask_ = static_cast<std::uint32_t>(b - 1);
+    }
+
+    /** Touch a line; true on hit. */
+    bool
+    access(std::uint64_t ln)
+    {
+        const std::uint32_t b =
+            static_cast<std::uint32_t>(hashLine(ln)) & bmask_;
+        for (std::uint32_t n = bucket_[b]; n != kNull; n = hnext_[n]) {
+            if (line_[n] == ln) {
+                moveToFront(n);
+                return true;
+            }
+        }
+        std::uint32_t n;
+        if (count_ == cap_) {
+            n = tail_;
+            tail_ = prev_[n];
+            if (tail_ != kNull)
+                next_[tail_] = kNull;
+            else
+                head_ = kNull;
+            chainRemove(n);
+        } else {
+            n = count_++;
+        }
+        line_[n] = ln;
+        prev_[n] = kNull;
+        next_[n] = head_;
+        if (head_ != kNull)
+            prev_[head_] = n;
+        else
+            tail_ = n;
+        head_ = n;
+        hnext_[n] = bucket_[b];
+        bucket_[b] = n;
+        return false;
+    }
+
+  private:
+    void
+    moveToFront(std::uint32_t n)
+    {
+        if (head_ == n)
+            return;
+        const std::uint32_t p = prev_[n];
+        const std::uint32_t x = next_[n];
+        next_[p] = x;
+        if (x != kNull)
+            prev_[x] = p;
+        else
+            tail_ = p;
+        prev_[n] = kNull;
+        next_[n] = head_;
+        prev_[head_] = n;
+        head_ = n;
+    }
+
+    void
+    chainRemove(std::uint32_t n)
+    {
+        const std::uint32_t b =
+            static_cast<std::uint32_t>(hashLine(line_[n])) & bmask_;
+        std::uint32_t cur = bucket_[b];
+        if (cur == n) {
+            bucket_[b] = hnext_[n];
+            return;
+        }
+        while (hnext_[cur] != n)
+            cur = hnext_[cur];
+        hnext_[cur] = hnext_[n];
+    }
+
+    static constexpr std::uint32_t kNull = 0xFFFFFFFFu;
+
+    std::uint32_t cap_;
+    std::uint32_t count_ = 0;
+    std::uint32_t head_ = kNull;
+    std::uint32_t tail_ = kNull;
+    std::uint32_t bmask_ = 0;
+    std::vector<std::uint64_t> line_;
+    std::vector<std::uint32_t> prev_, next_, hnext_;
+    std::vector<std::uint32_t> bucket_;
+};
+
+/** Stats-only set-associative probe (no owner tags): true on hit,
+ *  fills the LRU victim on miss. Same age-permutation scheme as
+ *  ScalarProbe::amProbe. `tags`/`ages` point at the set. */
+struct ScalarStatsProbe
+{
+    static bool
+    amAccess(std::uint64_t* tags, std::uint64_t* ages,
+             std::uint32_t assoc, std::uint64_t ln)
+    {
+        std::uint32_t hit = assoc;
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            hit = tags[w] == ln ? w : hit;
+        if (hit < assoc) {
+            const std::uint64_t h = ages[hit];
+            for (std::uint32_t w = 0; w < assoc; ++w)
+                ages[w] += static_cast<std::uint64_t>(ages[w] < h);
+            ages[hit] = 0;
+            return true;
+        }
+        const std::uint64_t lru = assoc - 1;
+        std::uint32_t v = 0;
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            v = ages[w] == lru ? w : v;
+        tags[v] = ln;
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            ages[w] += static_cast<std::uint64_t>(ages[w] < lru);
+        ages[v] = 0;
+        return false;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Three-C classification kernel.
+//
+// Exact port of mem::ClassifyingICache onto the grouped-column layout:
+// per line-size group one shared first-touch set, one shared ideal
+// FA-LRU per *distinct capacity* (ideal caches of equal capacity see
+// the identical line-step sequence, so their state is identical and
+// can be deduplicated), and the same DM/assoc real-cache machinery as
+// the i-cache kernel minus owner tags. Per non-repeat line-step the
+// walk reads `seen` (before setting it), accesses every ideal LRU, and
+// classifies each member's real miss as compulsory (!seen), capacity
+// (!ideal_hit) or conflict — the oracle's exact decision tree. The
+// repeat-line fast path is valid for the same reason as the i-cache
+// kernel: a repeated line is MRU everywhere (real sets, ideal LRU) and
+// already touched, so only the access counter moves.
+// ---------------------------------------------------------------------
+
+/** All three-C configurations sharing one line size, plus state. */
+struct ThreeCGroup
+{
+    std::uint32_t line = 0;
+    std::uint32_t shift = 0;
+
+    std::vector<DmMember> dm;
+    std::size_t dm_min = 0;
+    std::vector<std::uint64_t> dm_tags;
+    std::vector<std::uint32_t> dm_cap; ///< per dm member: ideal index
+
+    std::vector<AssocMember> am;
+    std::vector<std::uint64_t> am_tags;
+    std::vector<std::uint64_t> am_ages;
+    std::vector<std::uint32_t> am_cap; ///< per am member: ideal index
+
+    std::vector<FlatFaLru> ideal;      ///< one per distinct capacity
+    std::vector<std::uint32_t> ideal_lines; ///< capacities (in lines)
+    std::vector<std::uint8_t> ideal_hit;    ///< per-line-step scratch
+    FlatLineSet touched;
+
+    std::uint64_t line_steps = 0;
+    std::uint64_t last_line = kInvalidTag;
+};
+
+inline std::vector<ThreeCGroup>
+buildThreeCGroups(const mem::CacheConfig* configs, std::size_t k0,
+                  std::size_t k1)
+{
+    std::vector<ThreeCGroup> groups;
+    for (std::size_t k = k0; k < k1; ++k) {
+        const mem::CacheConfig& c = configs[k];
+        const std::string err = c.check();
+        SPIKESIM_ASSERT(err.empty(), "bad cache config: " << err);
+        ThreeCGroup* g = nullptr;
+        for (ThreeCGroup& cand : groups)
+            if (cand.line == c.line_bytes)
+                g = &cand;
+        if (g == nullptr) {
+            groups.emplace_back();
+            g = &groups.back();
+            g->line = c.line_bytes;
+            g->shift = static_cast<std::uint32_t>(
+                std::bit_width(c.line_bytes) - 1);
+        }
+        const std::uint32_t lines = c.numLines();
+        std::uint32_t ci = static_cast<std::uint32_t>(g->ideal_lines.size());
+        for (std::uint32_t j = 0; j < g->ideal_lines.size(); ++j)
+            if (g->ideal_lines[j] == lines)
+                ci = j;
+        if (ci == g->ideal_lines.size()) {
+            g->ideal_lines.push_back(lines);
+            g->ideal.emplace_back(lines);
+        }
+        const std::uint32_t sets = c.numSets();
+        if (c.assoc == 1) {
+            DmMember d;
+            d.mask = sets - 1;
+            d.sets = sets;
+            d.slot = k - k0;
+            g->dm.push_back(d);
+            g->dm_cap.push_back(ci);
+        } else {
+            AssocMember a;
+            a.slot = k - k0;
+            a.assoc = c.assoc;
+            a.set_mask = sets - 1;
+            g->am.push_back(a);
+            g->am_cap.push_back(ci);
+        }
+    }
+    for (ThreeCGroup& g : groups) {
+        std::uint64_t off = 0;
+        for (std::size_t j = 0; j < g.dm.size(); ++j) {
+            DmMember& d = g.dm[j];
+            d.offset = off;
+            off += d.sets;
+            if (d.sets < g.dm[g.dm_min].sets)
+                g.dm_min = j;
+        }
+        g.dm_tags.assign(off, kInvalidTag);
+
+        std::size_t am_off = 0;
+        for (AssocMember& a : g.am) {
+            a.base = am_off;
+            am_off += static_cast<std::size_t>(a.set_mask + 1) * a.assoc;
+        }
+        g.am_tags.assign(am_off, kInvalidTag);
+        g.am_ages.resize(am_off);
+        for (const AssocMember& a : g.am)
+            for (std::size_t s = 0; s <= a.set_mask; ++s)
+                for (std::uint32_t w = 0; w < a.assoc; ++w)
+                    g.am_ages[a.base + s * a.assoc + w] = w;
+        g.ideal_hit.assign(g.ideal.size(), 0);
+    }
+    return groups;
+}
+
+/** The oracle's exact miss decision tree. c = [comp, cap, conf]. */
+inline void
+classifyThreeC(std::uint64_t* c, bool seen, bool ideal_hit)
+{
+    if (!seen)
+        ++c[0];
+    else if (!ideal_hit)
+        ++c[1];
+    else
+        ++c[2];
+}
+
+template <class Probe>
+inline void
+runThreeCShardImpl(const ThreeCShard& sh)
+{
+    const ResolvedTraceSoA& soa = *sh.soa;
+    std::vector<ThreeCGroup> groups =
+        buildThreeCGroups(sh.configs, sh.k0, sh.k1);
+    // Per config slot: [compulsory, capacity, conflict].
+    std::vector<std::array<std::uint64_t, 3>> cls(sh.k1 - sh.k0, std::array<std::uint64_t, 3>{});
+
+    const auto [begin, end] = soa.cpuRange(sh.cpu);
+    const std::uint64_t* addrs = soa.addr.data();
+    const std::uint32_t* sizes = soa.bytes.data();
+    const std::uint8_t* owners = soa.owner.data();
+
+    for (std::size_t i = begin; i < end; ++i) {
+        if (i + kRefPrefetch < end) {
+            __builtin_prefetch(addrs + i + kRefPrefetch);
+            __builtin_prefetch(sizes + i + kRefPrefetch);
+        }
+        if (owners[i] == static_cast<std::uint8_t>(mem::Owner::Data))
+            continue;
+        const std::uint64_t addr = addrs[i];
+        const std::uint64_t last_byte = addr + sizes[i] - 1;
+        for (ThreeCGroup& g : groups) {
+            std::uint64_t ln = addr >> g.shift;
+            const std::uint64_t ln_end = last_byte >> g.shift;
+            g.line_steps += ln_end - ln + 1;
+            std::uint64_t last = g.last_line;
+            for (; ln <= ln_end; ++ln) {
+                if (ln == last)
+                    continue;
+                last = ln;
+                const bool seen = g.touched.testAndSet(ln);
+                for (std::size_t ci = 0; ci < g.ideal.size(); ++ci)
+                    g.ideal_hit[ci] =
+                        static_cast<std::uint8_t>(g.ideal[ci].access(ln));
+                if (!g.dm.empty()) {
+                    const DmMember& mn = g.dm[g.dm_min];
+                    if (g.dm_tags[mn.offset + (ln & mn.mask)] != ln) {
+                        for (std::size_t j = 0; j < g.dm.size(); ++j) {
+                            const DmMember& d = g.dm[j];
+                            const std::uint64_t idx =
+                                d.offset + (ln & d.mask);
+                            if (g.dm_tags[idx] != ln) {
+                                g.dm_tags[idx] = ln;
+                                classifyThreeC(
+                                    cls[d.slot].data(), seen,
+                                    g.ideal_hit[g.dm_cap[j]] != 0);
+                            }
+                        }
+                    }
+                }
+                for (std::size_t j = 0; j < g.am.size(); ++j) {
+                    const AssocMember& a = g.am[j];
+                    const std::size_t set = ln & a.set_mask;
+                    std::uint64_t* tags =
+                        g.am_tags.data() + a.base + set * a.assoc;
+                    std::uint64_t* ages =
+                        g.am_ages.data() + a.base + set * a.assoc;
+                    if (!Probe::amAccess(tags, ages, a.assoc, ln))
+                        classifyThreeC(cls[a.slot].data(), seen,
+                                       g.ideal_hit[g.am_cap[j]] != 0);
+                }
+            }
+            g.last_line = last;
+        }
+    }
+
+    for (const ThreeCGroup& g : groups) {
         const auto fold = [&](std::size_t slot) {
-            ICacheReplayResult& r = sh.out[slot];
-            const std::array<std::uint64_t, 6>& c = st.intf[slot];
-            r.accesses = g.accesses;
-            for (int mm = 0; mm < 2; ++mm)
-                for (int v = 0; v < 3; ++v)
-                    r.interference.counts[mm][v] = c[mm * 3 + v];
-            r.app_misses = c[0] + c[1] + c[2];
-            r.kernel_misses = c[3] + c[4] + c[5];
-            r.misses = r.app_misses + r.kernel_misses;
+            mem::ThreeCStats& o = sh.out[slot];
+            o = mem::ThreeCStats();
+            o.compulsory = cls[slot][0];
+            o.capacity = cls[slot][1];
+            o.conflict = cls[slot][2];
+            o.base.accesses = g.line_steps;
+            o.base.misses = o.compulsory + o.capacity + o.conflict;
         };
         for (const DmMember& d : g.dm)
             fold(d.slot);
         for (const AssocMember& a : g.am)
             fold(a.slot);
+    }
+}
+
+// ---------------------------------------------------------------------
+// iTLB kernel.
+//
+// mem::ITlb is an exact fully-associative LRU over virtual page
+// numbers: a hit re-stamps (making the entry MRU) and the victim scan
+// picks the last invalid entry, else the minimum stamp — which, with
+// strictly increasing stamps, is precisely "evict LRU once full". The
+// resident set after every access therefore equals FlatFaLru's, and so
+// do the hit/miss counts (which slot holds an entry never matters).
+// The one-entry last-page filter is a pure MRU no-op, mirrored here so
+// the FA-LRU is only consulted on page changes. Specs are grouped by
+// fetch granularity (their line-step walks differ); there is no
+// vector-profitable arithmetic, so one scalar implementation serves
+// every KernelKind.
+// ---------------------------------------------------------------------
+
+/** One iTLB spec within a fetch-granularity group. */
+struct ITlbMember
+{
+    std::size_t slot = 0;
+    std::uint32_t page_shift = 0;
+    std::uint64_t last_page = kInvalidTag;
+    std::uint64_t misses = 0;
+    FlatFaLru tlb;
+
+    ITlbMember(std::size_t s, std::uint32_t ps, std::uint32_t entries)
+        : slot(s), page_shift(ps), tlb(entries)
+    {
+    }
+};
+
+/** All iTLB specs sharing one fetch granularity. */
+struct ITlbGroup
+{
+    std::uint32_t fetch = 0;
+    std::uint32_t shift = 0;
+    std::vector<ITlbMember> members;
+    std::uint64_t line_steps = 0;
+    std::uint64_t last_line = kInvalidTag;
+};
+
+inline void
+runITlbShardImpl(const ITlbShard& sh)
+{
+    const ResolvedTraceSoA& soa = *sh.soa;
+    std::vector<ITlbGroup> groups;
+    for (std::size_t k = sh.k0; k < sh.k1; ++k) {
+        const ITlbSpec& spec = sh.specs[k];
+        SPIKESIM_ASSERT(spec.fetch_bytes > 0 &&
+                            (spec.fetch_bytes &
+                             (spec.fetch_bytes - 1)) == 0,
+                        "fetch granularity must be a power of two");
+        SPIKESIM_ASSERT(spec.page_bytes > 0 &&
+                            (spec.page_bytes & (spec.page_bytes - 1)) ==
+                                0,
+                        "page size must be a power of two");
+        ITlbGroup* g = nullptr;
+        for (ITlbGroup& cand : groups)
+            if (cand.fetch == spec.fetch_bytes)
+                g = &cand;
+        if (g == nullptr) {
+            groups.emplace_back();
+            g = &groups.back();
+            g->fetch = spec.fetch_bytes;
+            g->shift = static_cast<std::uint32_t>(
+                std::bit_width(spec.fetch_bytes) - 1);
+        }
+        g->members.emplace_back(
+            k - sh.k0,
+            static_cast<std::uint32_t>(
+                std::bit_width(spec.page_bytes) - 1),
+            spec.entries);
+    }
+
+    const auto [begin, end] = soa.cpuRange(sh.cpu);
+    const std::uint64_t* addrs = soa.addr.data();
+    const std::uint32_t* sizes = soa.bytes.data();
+    const std::uint8_t* owners = soa.owner.data();
+
+    for (std::size_t i = begin; i < end; ++i) {
+        if (i + kRefPrefetch < end) {
+            __builtin_prefetch(addrs + i + kRefPrefetch);
+            __builtin_prefetch(sizes + i + kRefPrefetch);
+        }
+        if (owners[i] == static_cast<std::uint8_t>(mem::Owner::Data))
+            continue;
+        const std::uint64_t addr = addrs[i];
+        const std::uint64_t last_byte = addr + sizes[i] - 1;
+        for (ITlbGroup& g : groups) {
+            std::uint64_t ln = addr >> g.shift;
+            const std::uint64_t ln_end = last_byte >> g.shift;
+            g.line_steps += ln_end - ln + 1;
+            std::uint64_t last = g.last_line;
+            for (; ln <= ln_end; ++ln) {
+                if (ln == last)
+                    continue;
+                last = ln;
+                const std::uint64_t la = ln << g.shift;
+                for (ITlbMember& m : g.members) {
+                    const std::uint64_t page = la >> m.page_shift;
+                    if (page == m.last_page)
+                        continue;
+                    m.last_page = page;
+                    if (!m.tlb.access(page))
+                        ++m.misses;
+                }
+            }
+            g.last_line = last;
+        }
+    }
+
+    for (const ITlbGroup& g : groups) {
+        for (const ITlbMember& m : g.members) {
+            ITlbReplayResult& o = sh.out[m.slot];
+            o = ITlbReplayResult();
+            o.accesses = g.line_steps;
+            o.misses = m.misses;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream-buffer kernel.
+//
+// Exact port of mem::StreamBufferICache: per line-step the L1 is
+// probed (and filled on miss — the demand fetch happens whether or not
+// a buffer supplies the line); on an L1 miss the buffer heads are
+// scanned in array order and the first match streams ahead; otherwise
+// the first invalid buffer (else the minimum-stamp buffer) is
+// reallocated. The oracle stamps buffers with a per-access clock; only
+// the *order* of stamp assignments ever matters (stamps are compared
+// with strict <, and each assignment uses a fresh clock value), so the
+// kernel's per-member assignment counter reproduces every victim
+// decision. Repeat lines are guaranteed L1 MRU hits and touch neither
+// the buffers nor the clock order — the usual fast path.
+// ---------------------------------------------------------------------
+
+/** One stream-buffer configuration within a line-size group. */
+struct StreamBufMember
+{
+    std::size_t slot = 0;
+    std::uint32_t assoc = 0; ///< 1 = direct-mapped L1
+    std::uint64_t set_mask = 0;
+    std::size_t base = 0; ///< into the group tag/age arrays
+
+    std::vector<std::uint64_t> buf_next;
+    std::vector<std::uint64_t> buf_stamp;
+    std::vector<std::uint8_t> buf_valid;
+    std::uint64_t ctr = 0; ///< stamp-assignment order clock
+    std::uint64_t l1_misses = 0;
+    std::uint64_t demand_misses = 0;
+};
+
+/** All stream-buffer configurations sharing one line size. */
+struct StreamBufGroup
+{
+    std::uint32_t line = 0;
+    std::uint32_t shift = 0;
+    std::vector<StreamBufMember> members;
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint64_t> ages;
+    std::uint64_t line_steps = 0;
+    std::uint64_t last_line = kInvalidTag;
+};
+
+inline std::vector<StreamBufGroup>
+buildStreamBufGroups(const mem::CacheConfig* configs, std::size_t k0,
+                     std::size_t k1, int num_buffers)
+{
+    SPIKESIM_ASSERT(num_buffers > 0, "need at least one stream buffer");
+    std::vector<StreamBufGroup> groups;
+    for (std::size_t k = k0; k < k1; ++k) {
+        const mem::CacheConfig& c = configs[k];
+        const std::string err = c.check();
+        SPIKESIM_ASSERT(err.empty(), "bad cache config: " << err);
+        StreamBufGroup* g = nullptr;
+        for (StreamBufGroup& cand : groups)
+            if (cand.line == c.line_bytes)
+                g = &cand;
+        if (g == nullptr) {
+            groups.emplace_back();
+            g = &groups.back();
+            g->line = c.line_bytes;
+            g->shift = static_cast<std::uint32_t>(
+                std::bit_width(c.line_bytes) - 1);
+        }
+        StreamBufMember m;
+        m.slot = k - k0;
+        m.assoc = c.assoc;
+        m.set_mask = c.numSets() - 1;
+        m.buf_next.assign(static_cast<std::size_t>(num_buffers), 0);
+        m.buf_stamp.assign(static_cast<std::size_t>(num_buffers), 0);
+        m.buf_valid.assign(static_cast<std::size_t>(num_buffers), 0);
+        g->members.push_back(std::move(m));
+    }
+    for (StreamBufGroup& g : groups) {
+        std::size_t off = 0;
+        for (StreamBufMember& m : g.members) {
+            m.base = off;
+            off += static_cast<std::size_t>(m.set_mask + 1) * m.assoc;
+        }
+        g.tags.assign(off, kInvalidTag);
+        g.ages.resize(off);
+        for (const StreamBufMember& m : g.members)
+            if (m.assoc > 1)
+                for (std::size_t s = 0; s <= m.set_mask; ++s)
+                    for (std::uint32_t w = 0; w < m.assoc; ++w)
+                        g.ages[m.base + s * m.assoc + w] = w;
+    }
+    return groups;
+}
+
+template <class Probe>
+inline void
+runStreamBufShardImpl(const StreamBufShard& sh)
+{
+    const ResolvedTraceSoA& soa = *sh.soa;
+    std::vector<StreamBufGroup> groups = buildStreamBufGroups(
+        sh.configs, sh.k0, sh.k1, sh.num_buffers);
+    const std::size_t nb = static_cast<std::size_t>(sh.num_buffers);
+
+    const auto [begin, end] = soa.cpuRange(sh.cpu);
+    const std::uint64_t* addrs = soa.addr.data();
+    const std::uint32_t* sizes = soa.bytes.data();
+    const std::uint8_t* owners = soa.owner.data();
+
+    for (std::size_t i = begin; i < end; ++i) {
+        if (i + kRefPrefetch < end) {
+            __builtin_prefetch(addrs + i + kRefPrefetch);
+            __builtin_prefetch(sizes + i + kRefPrefetch);
+        }
+        if (owners[i] == static_cast<std::uint8_t>(mem::Owner::Data))
+            continue;
+        const std::uint64_t addr = addrs[i];
+        const std::uint64_t last_byte = addr + sizes[i] - 1;
+        for (StreamBufGroup& g : groups) {
+            std::uint64_t ln = addr >> g.shift;
+            const std::uint64_t ln_end = last_byte >> g.shift;
+            g.line_steps += ln_end - ln + 1;
+            std::uint64_t last = g.last_line;
+            for (; ln <= ln_end; ++ln) {
+                if (ln == last)
+                    continue;
+                last = ln;
+                for (StreamBufMember& m : g.members) {
+                    bool hit;
+                    if (m.assoc == 1) {
+                        const std::size_t idx =
+                            m.base + (ln & m.set_mask);
+                        hit = g.tags[idx] == ln;
+                        if (!hit)
+                            g.tags[idx] = ln;
+                    } else {
+                        const std::size_t set =
+                            (ln & m.set_mask) * m.assoc;
+                        hit = Probe::amAccess(
+                            g.tags.data() + m.base + set,
+                            g.ages.data() + m.base + set, m.assoc, ln);
+                    }
+                    if (hit)
+                        continue;
+                    ++m.l1_misses;
+                    bool streamed = false;
+                    for (std::size_t b = 0; b < nb; ++b) {
+                        if (m.buf_valid[b] != 0 &&
+                            m.buf_next[b] == ln) {
+                            m.buf_next[b] = ln + 1;
+                            m.buf_stamp[b] = ++m.ctr;
+                            streamed = true;
+                            break;
+                        }
+                    }
+                    if (streamed)
+                        continue;
+                    ++m.demand_misses;
+                    std::size_t v = 0;
+                    for (std::size_t b = 0; b < nb; ++b) {
+                        if (m.buf_valid[b] == 0) {
+                            v = b;
+                            break;
+                        }
+                        if (m.buf_stamp[b] < m.buf_stamp[v])
+                            v = b;
+                    }
+                    m.buf_valid[v] = 1;
+                    m.buf_next[v] = ln + 1;
+                    m.buf_stamp[v] = ++m.ctr;
+                }
+            }
+            g.last_line = last;
+        }
+    }
+
+    for (const StreamBufGroup& g : groups) {
+        for (const StreamBufMember& m : g.members) {
+            mem::StreamBufferStats& o = sh.out[m.slot];
+            o = mem::StreamBufferStats();
+            o.l1.accesses = g.line_steps;
+            o.l1.misses = m.l1_misses;
+            o.stream.accesses = m.l1_misses;
+            o.stream.misses = m.demand_misses;
+        }
     }
 }
 

@@ -1,7 +1,10 @@
 #ifndef SPIKESIM_SIM_REPLAY_HH
 #define SPIKESIM_SIM_REPLAY_HH
 
+#include <array>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +104,9 @@ struct ResolvedTrace
         return std::span<const ResolvedRef>(refs).subspan(b, e - b);
     }
 };
+
+/** Column form of ResolvedTrace; defined in sim/soa.hh. */
+struct ResolvedTraceSoA;
 
 /**
  * A cache-geometry sweep: the cross product of sizes x line sizes x
@@ -313,6 +319,18 @@ class Replayer
                           bool include_data = false) const;
 
     /**
+     * Resolve straight into the column (SoA) form consumed by the
+     * kernel replay paths, skipping the AoS intermediate and its
+     * transpose. Field-for-field identical to toSoA(resolve(...)) —
+     * the fuzz in tests/replay_parallel_test.cc pins that — with every
+     * column and data_refs sized exactly from the first counting pass
+     * (no growth reallocation). resolve() remains the differential
+     * oracle.
+     */
+    ResolvedTraceSoA resolveSoA(StreamFilter filter,
+                                bool include_data = false) const;
+
+    /**
      * Single-pass cache sweep: resolves the trace once and prices every
      * configuration of the spec via per-set LRU stack distances
      * (mem::LruStackSim). Miss counts are bit-identical to running
@@ -361,10 +379,28 @@ class Replayer
     std::uint64_t dynamicInstrs(StreamFilter filter) const;
 
   private:
+    /** Per-CPU ref counts (and data-event total) for one (filter,
+     *  include_data) key — the sizing product of resolveSoA's counting
+     *  pass. A pure function of the immutable trace and layouts, so it
+     *  is computed once and memoized: benches and multi-family suites
+     *  resolve the same stream repeatedly, and the counting walk is
+     *  ~15% of the resolve phase. */
+    struct ResolveCounts
+    {
+        std::vector<std::size_t> count;
+        std::size_t n_data = 0;
+    };
+
+    const ResolveCounts& countsFor(StreamFilter filter,
+                                   bool include_data) const;
+
     const trace::TraceBuffer& trace_;
     const core::Layout& app_;
     const core::Layout* kernel_;
     int num_cpus_ = 1;
+    mutable std::mutex counts_mu_;
+    /** Memo slots indexed filter * 2 + include_data. */
+    mutable std::array<std::optional<ResolveCounts>, 6> counts_memo_;
 };
 
 } // namespace spikesim::sim

@@ -11,11 +11,15 @@
  * per-(cpu, config-chunk) sharding path).
  *
  * Every family is additionally replayed through the structure-of-arrays
- * overloads (sim/soa.hh), and the i-cache family through both SoA
- * kernels — forced scalar and, when this host can run it, forced AVX2
- * (sim/kernels.hh) — against the same oracles. The SIMD kernels have no
- * tolerance: miss counts and interference matrices must match the
- * scalar Replayer bit for bit.
+ * overloads (sim/soa.hh) over a *directly resolved* SoA trace
+ * (Replayer::resolveSoA — no transpose), and the i-cache, three-C, and
+ * stream-buffer families through every SoA kernel runnable here —
+ * forced scalar, forced AVX2, and forced AVX-512 (sim/kernels.hh) —
+ * against the same oracles. The SIMD kernels have no tolerance: miss
+ * counts, classification counts, and interference matrices must match
+ * the scalar Replayer bit for bit. Direct resolve itself is
+ * bit-compared against transpose-of-AoS across every filter,
+ * include_data setting, and CPU count.
  */
 
 #include <gtest/gtest.h>
@@ -100,20 +104,30 @@ const StreamFilter kFilters[] = {StreamFilter::AppOnly,
                                  StreamFilter::KernelOnly,
                                  StreamFilter::Combined};
 
-/** Kernel modes runnable here: scalar always, AVX2 when the host can. */
+/** Kernel modes runnable here: scalar always, AVX2 and AVX-512 when
+ *  the host can. */
 std::vector<SimdMode>
 runnableModes()
 {
     std::vector<SimdMode> modes{SimdMode::Scalar};
     if (simdAvailable())
         modes.push_back(SimdMode::Simd);
+    if (avx512Available())
+        modes.push_back(SimdMode::Avx512);
     return modes;
 }
 
 const char*
 modeLabel(SimdMode mode)
 {
-    return mode == SimdMode::Simd ? "soa avx2" : "soa scalar";
+    switch (mode) {
+    case SimdMode::Simd:
+        return "soa avx2";
+    case SimdMode::Avx512:
+        return "soa avx512";
+    default:
+        return "soa scalar";
+    }
 }
 
 template <typename H>
@@ -182,7 +196,7 @@ TEST(ReplayEngine, MatchesICacheOracleRandomized)
         ASSERT_EQ(w.rep.numCpus(), cpus);
         for (StreamFilter filter : kFilters) {
             ResolvedTrace trace = w.rep.resolve(filter);
-            const ResolvedTraceSoA soa = toSoA(trace);
+            const ResolvedTraceSoA soa = w.rep.resolveSoA(filter);
             std::vector<ICacheReplayResult> oracle;
             for (const auto& c : configs)
                 oracle.push_back(w.rep.icache(c, filter));
@@ -224,38 +238,63 @@ TEST(ReplayEngine, MatchesThreeCsAndStreamBufferOracles)
 {
     Pools pools;
     const auto configs = testConfigs();
+    const auto modes = runnableModes();
     for (int cpus : {1, 3, 8}) {
         Workload w(cpus, 200 + static_cast<std::uint32_t>(cpus));
         for (StreamFilter filter : kFilters) {
             ResolvedTrace trace = w.rep.resolve(filter);
-            const ResolvedTraceSoA soa = toSoA(trace);
+            const ResolvedTraceSoA soa = w.rep.resolveSoA(filter);
+            std::vector<mem::ThreeCStats> t_oracle;
+            std::vector<mem::StreamBufferStats> s_oracle;
+            for (const auto& c : configs) {
+                t_oracle.push_back(w.rep.threeCs(c, filter));
+                s_oracle.push_back(w.rep.streamBuffer(c, 4, filter));
+            }
+            auto expect_threec =
+                [&](const std::vector<mem::ThreeCStats>& col,
+                    const char* label) {
+                    ASSERT_EQ(col.size(), t_oracle.size()) << label;
+                    for (std::size_t i = 0; i < col.size(); ++i) {
+                        const auto& t = t_oracle[i];
+                        EXPECT_EQ(col[i].accesses(), t.accesses())
+                            << label << " cpus " << cpus << " cfg " << i;
+                        EXPECT_EQ(col[i].compulsory, t.compulsory)
+                            << label << " cfg " << i;
+                        EXPECT_EQ(col[i].capacity, t.capacity)
+                            << label << " cfg " << i;
+                        EXPECT_EQ(col[i].conflict, t.conflict)
+                            << label << " cfg " << i;
+                    }
+                };
+            auto expect_sbuf =
+                [&](const std::vector<mem::StreamBufferStats>& col,
+                    const char* label) {
+                    ASSERT_EQ(col.size(), s_oracle.size()) << label;
+                    for (std::size_t i = 0; i < col.size(); ++i) {
+                        const auto& s = s_oracle[i];
+                        EXPECT_EQ(col[i].accesses(), s.accesses())
+                            << label << " cpus " << cpus << " cfg " << i;
+                        EXPECT_EQ(col[i].l1Misses(), s.l1Misses())
+                            << label << " cfg " << i;
+                        EXPECT_EQ(col[i].streamHits(), s.streamHits())
+                            << label << " cfg " << i;
+                        EXPECT_EQ(col[i].demandMisses(),
+                                  s.demandMisses())
+                            << label << " cfg " << i;
+                    }
+                };
             for (support::ThreadPool* pool : pools.all) {
-                auto threec = replayThreeCs(trace, configs, pool);
-                auto threec_soa = replayThreeCs(soa, configs, pool);
-                auto sbuf =
-                    replayStreamBuffer(trace, configs, 4, pool);
-                auto sbuf_soa =
-                    replayStreamBuffer(soa, configs, 4, pool);
-                for (std::size_t i = 0; i < configs.size(); ++i) {
-                    auto t = w.rep.threeCs(configs[i], filter);
-                    EXPECT_EQ(threec[i].accesses(), t.accesses());
-                    EXPECT_EQ(threec[i].compulsory, t.compulsory);
-                    EXPECT_EQ(threec[i].capacity, t.capacity);
-                    EXPECT_EQ(threec[i].conflict, t.conflict);
-                    EXPECT_EQ(threec_soa[i].accesses(), t.accesses());
-                    EXPECT_EQ(threec_soa[i].compulsory, t.compulsory);
-                    EXPECT_EQ(threec_soa[i].capacity, t.capacity);
-                    EXPECT_EQ(threec_soa[i].conflict, t.conflict);
-                    auto s = w.rep.streamBuffer(configs[i], 4, filter);
-                    EXPECT_EQ(sbuf[i].accesses(), s.accesses());
-                    EXPECT_EQ(sbuf[i].l1Misses(), s.l1Misses());
-                    EXPECT_EQ(sbuf[i].streamHits(), s.streamHits());
-                    EXPECT_EQ(sbuf[i].demandMisses(), s.demandMisses());
-                    EXPECT_EQ(sbuf_soa[i].accesses(), s.accesses());
-                    EXPECT_EQ(sbuf_soa[i].l1Misses(), s.l1Misses());
-                    EXPECT_EQ(sbuf_soa[i].streamHits(), s.streamHits());
-                    EXPECT_EQ(sbuf_soa[i].demandMisses(),
-                              s.demandMisses());
+                expect_threec(replayThreeCs(trace, configs, pool),
+                              "aos");
+                expect_sbuf(replayStreamBuffer(trace, configs, 4, pool),
+                            "aos");
+                for (SimdMode mode : modes) {
+                    expect_threec(
+                        replayThreeCs(soa, configs, mode, pool),
+                        modeLabel(mode));
+                    expect_sbuf(replayStreamBuffer(soa, configs, 4,
+                                                   mode, pool),
+                                modeLabel(mode));
                 }
             }
         }
@@ -270,7 +309,7 @@ TEST(ReplayEngine, MatchesInstrumentedOracleIncludingFlush)
         Workload w(cpus, 300 + static_cast<std::uint32_t>(cpus));
         for (StreamFilter filter : kFilters) {
             ResolvedTrace trace = w.rep.resolve(filter);
-            const ResolvedTraceSoA soa = toSoA(trace);
+            const ResolvedTraceSoA soa = w.rep.resolveSoA(filter);
             for (bool flush : {false, true}) {
                 for (support::ThreadPool* pool : pools.all) {
                     auto col =
@@ -312,22 +351,31 @@ TEST(ReplayEngine, MatchesITlbOracleAndDynamicInstrs)
     Pools pools;
     const std::vector<ITlbSpec> specs = {
         {16, 4 * 1024, 32}, {64, 8 * 1024, 64}, {128, 8 * 1024, 128}};
+    const auto modes = runnableModes();
     for (int cpus : {1, 4}) {
         Workload w(cpus, 400 + static_cast<std::uint32_t>(cpus));
         for (StreamFilter filter : kFilters) {
             ResolvedTrace trace = w.rep.resolve(filter);
-            const ResolvedTraceSoA soa = toSoA(trace);
+            const ResolvedTraceSoA soa = w.rep.resolveSoA(filter);
             EXPECT_EQ(trace.instrs, w.rep.dynamicInstrs(filter));
             EXPECT_EQ(soa.instrs, trace.instrs);
             for (support::ThreadPool* pool : pools.all) {
                 auto col = replayITlb(trace, specs, pool);
-                auto col_soa = replayITlb(soa, specs, pool);
                 for (std::size_t i = 0; i < specs.size(); ++i) {
                     auto r = w.rep.itlb(specs[i], filter);
                     EXPECT_EQ(col[i].accesses, r.accesses);
                     EXPECT_EQ(col[i].misses, r.misses);
-                    EXPECT_EQ(col_soa[i].accesses, r.accesses);
-                    EXPECT_EQ(col_soa[i].misses, r.misses);
+                }
+                // The iTLB kernel is the same scalar walk under every
+                // mode; replaying under each pins that equivalence.
+                for (SimdMode mode : modes) {
+                    auto col_soa = replayITlb(soa, specs, mode, pool);
+                    for (std::size_t i = 0; i < specs.size(); ++i) {
+                        EXPECT_EQ(col_soa[i].accesses, col[i].accesses)
+                            << modeLabel(mode) << " spec " << i;
+                        EXPECT_EQ(col_soa[i].misses, col[i].misses)
+                            << modeLabel(mode) << " spec " << i;
+                    }
                 }
             }
         }
@@ -347,7 +395,8 @@ TEST(ReplayEngine, MatchesHierarchyOracleWithCoherence)
         for (bool coherence : {false, true}) {
             ResolvedTrace trace =
                 w.rep.resolve(StreamFilter::Combined, true);
-            const ResolvedTraceSoA soa = toSoA(trace);
+            const ResolvedTraceSoA soa =
+                w.rep.resolveSoA(StreamFilter::Combined, true);
             for (support::ThreadPool* pool : pools.all) {
                 auto col =
                     replayHierarchy(trace, configs, coherence, pool);
@@ -379,6 +428,58 @@ TEST(ReplayEngine, MatchesHierarchyOracleWithCoherence)
     }
 }
 
+/**
+ * The direct SoA resolve (Replayer::resolveSoA) must be bit-identical
+ * to the retained transpose route (toSoA of Replayer::resolve) —
+ * every column element, partition offset, data ref, and total, across
+ * all filters, both include_data settings, and 1/2/4/8-CPU traces.
+ * This is the differential oracle that lets the engine run on direct
+ * resolve alone.
+ */
+TEST(ReplayEngine, DirectSoAResolveMatchesTransposeOfAoS)
+{
+    for (int cpus : {1, 2, 4, 8}) {
+        Workload w(cpus, 700 + static_cast<std::uint32_t>(cpus));
+        for (StreamFilter filter : kFilters) {
+            for (bool data : {false, true}) {
+                const ResolvedTraceSoA via_aos =
+                    toSoA(w.rep.resolve(filter, data));
+                const ResolvedTraceSoA direct =
+                    w.rep.resolveSoA(filter, data);
+                const std::string what =
+                    "cpus " + std::to_string(cpus) + " filter " +
+                    std::to_string(static_cast<int>(filter)) +
+                    (data ? " +data" : "");
+                ASSERT_EQ(direct.size(), via_aos.size()) << what;
+                ASSERT_EQ(direct.addr, via_aos.addr) << what;
+                ASSERT_EQ(direct.bytes, via_aos.bytes) << what;
+                ASSERT_EQ(direct.owner, via_aos.owner) << what;
+                ASSERT_EQ(direct.flags, via_aos.flags) << what;
+                ASSERT_EQ(direct.cpu_begin, via_aos.cpu_begin) << what;
+                EXPECT_EQ(direct.num_cpus, via_aos.num_cpus) << what;
+                EXPECT_EQ(direct.instr_events, via_aos.instr_events)
+                    << what;
+                EXPECT_EQ(direct.instrs, via_aos.instrs) << what;
+                ASSERT_EQ(direct.data_refs.size(),
+                          via_aos.data_refs.size())
+                    << what;
+                for (std::size_t i = 0; i < direct.data_refs.size();
+                     ++i) {
+                    EXPECT_EQ(direct.data_refs[i].addr,
+                              via_aos.data_refs[i].addr)
+                        << what << " data ref " << i;
+                    EXPECT_EQ(direct.data_refs[i].cpu,
+                              via_aos.data_refs[i].cpu)
+                        << what << " data ref " << i;
+                }
+                for (int c = -1; c <= cpus; ++c)
+                    EXPECT_EQ(direct.cpuRange(c), via_aos.cpuRange(c))
+                        << what << " cpu " << c;
+            }
+        }
+    }
+}
+
 TEST(ReplayEngine, MatchesSequenceOracleOnBothImages)
 {
     Pools pools;
@@ -400,7 +501,7 @@ TEST(ReplayEngine, MatchesSequenceOracleOnBothImages)
             metrics::SequenceStats oracle = metrics::sequenceLengths(
                 w.buf, *c.layout, c.image);
             ResolvedTrace trace = w.rep.resolve(c.filter);
-            const ResolvedTraceSoA soa = toSoA(trace);
+            const ResolvedTraceSoA soa = w.rep.resolveSoA(c.filter);
             for (support::ThreadPool* pool : pools.all) {
                 metrics::SequenceStats got = replaySequence(trace, pool);
                 expectHistEq(got.lengths, oracle.lengths, "lengths");

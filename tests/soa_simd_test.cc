@@ -5,19 +5,21 @@
  *
  *  - toSoA is a field-exact transpose: columns, partition offsets,
  *    data refs and totals all match the AoS source.
- *  - SPIKESIM_SIMD parsing is strict — unset/empty means Auto, "0"
- *    and "1" force a kernel, and anything else is a fatal user error
- *    (death-tested, since support::fatal exits).
- *  - resolveSimd: explicit modes win over the environment, Auto
- *    consults the env then hardware detection, and forcing SIMD on a
- *    host that cannot run it dies instead of silently falling back.
+ *  - SPIKESIM_SIMD parsing is strict — unset/empty means Auto, "0",
+ *    "1" and "2" force a kernel, and anything else is a fatal user
+ *    error (death-tested, since support::fatal exits).
+ *  - resolveKernel: explicit modes win over the environment, Auto
+ *    consults the env then the startup calibration, every choice
+ *    carries a human-readable reason, and forcing a vector kernel on
+ *    a host that cannot run it dies instead of silently falling back
+ *    (both the AVX2 and AVX-512 tiers).
  *  - The i-cache kernels match the scalar Replayer oracle on geometry
- *    the AVX2 fast paths do NOT cover (3-way and 6-way sets take the
- *    generic scalar probe inside the AVX2 build) mixed with geometry
- *    they do (direct-mapped, 4-way, 8-way), across several line sizes
- *    in one fused column — so group construction, the nested-mask DM
- *    inclusion fast path, and the per-assoc dispatch all get exercised
- *    in a single replay.
+ *    the vector fast paths do NOT cover (3-way and 6-way sets take the
+ *    generic scalar probe inside the vector builds) mixed with
+ *    geometry they do (direct-mapped, 4-way, 8-way), across several
+ *    line sizes in one fused column — so group construction, the
+ *    span-segmented DM probes, and the per-assoc dispatch all get
+ *    exercised in a single replay, under every runnable kernel.
  */
 
 #include <gtest/gtest.h>
@@ -196,15 +198,19 @@ TEST(SimdDispatch, EnvParseIsStrict)
         SimdEnvGuard guard("1");
         EXPECT_EQ(simdModeFromEnv(), SimdMode::Simd);
     }
+    {
+        SimdEnvGuard guard("2");
+        EXPECT_EQ(simdModeFromEnv(), SimdMode::Avx512);
+    }
 }
 
 TEST(SimdDispatchDeathTest, EnvParseRejectsJunk)
 {
     ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
-    for (const char* junk : {"2", "yes", "true", "01", " 1"}) {
+    for (const char* junk : {"3", "yes", "true", "01", " 1", " 2"}) {
         SimdEnvGuard guard(junk);
         EXPECT_DEATH(simdModeFromEnv(),
-                     "SPIKESIM_SIMD must be \"0\" or \"1\"")
+                     "SPIKESIM_SIMD must be \"0\", \"1\" or \"2\"")
             << junk;
     }
 }
@@ -214,29 +220,62 @@ TEST(SimdDispatch, ResolveHonorsExplicitAndAutoModes)
     // Explicit Scalar ignores the environment entirely.
     {
         SimdEnvGuard guard("1");
-        EXPECT_FALSE(resolveSimd(SimdMode::Scalar));
+        const KernelChoice c = resolveKernel(SimdMode::Scalar);
+        EXPECT_EQ(c.kind, KernelKind::Scalar);
+        EXPECT_NE(c.reason.find("forced by caller"), std::string::npos)
+            << c.reason;
     }
     // Auto follows the env when set...
     {
         SimdEnvGuard guard("0");
-        EXPECT_FALSE(resolveSimd(SimdMode::Auto));
+        const KernelChoice c = resolveKernel(SimdMode::Auto);
+        EXPECT_EQ(c.kind, KernelKind::Scalar);
+        EXPECT_NE(c.reason.find("SPIKESIM_SIMD"), std::string::npos)
+            << c.reason;
     }
-    // ...and hardware detection when not.
+    if (simdAvailable()) {
+        SimdEnvGuard guard("1");
+        EXPECT_EQ(resolveKernel(SimdMode::Auto).kind,
+                  KernelKind::Avx2);
+    }
+    if (avx512Available()) {
+        SimdEnvGuard guard("2");
+        EXPECT_EQ(resolveKernel(SimdMode::Auto).kind,
+                  KernelKind::Avx512);
+    }
+    // ...and the calibrated choice when not: whatever kernel wins, it
+    // must be runnable here and must say why it was picked.
     {
         SimdEnvGuard guard(nullptr);
-        EXPECT_EQ(resolveSimd(SimdMode::Auto), simdAvailable());
+        const KernelChoice c = resolveKernel(SimdMode::Auto);
+        if (c.kind == KernelKind::Avx2)
+            EXPECT_TRUE(simdAvailable());
+        if (c.kind == KernelKind::Avx512)
+            EXPECT_TRUE(avx512Available());
+        EXPECT_NE(c.reason.find("auto"), std::string::npos)
+            << c.reason;
+        // Calibration is cached: resolving again returns the same
+        // choice without re-timing.
+        const KernelChoice again = resolveKernel(SimdMode::Auto);
+        EXPECT_EQ(again.kind, c.kind);
+        EXPECT_EQ(again.reason, c.reason);
     }
     if (simdAvailable()) {
         SimdEnvGuard guard("0");
         // Explicit Simd wins over a scalar-forcing environment.
-        EXPECT_TRUE(resolveSimd(SimdMode::Simd));
+        EXPECT_EQ(resolveKernel(SimdMode::Simd).kind,
+                  KernelKind::Avx2);
     }
-    EXPECT_STREQ(simdKernelName(false), "scalar");
-    EXPECT_STREQ(simdKernelName(true), "avx2");
+    EXPECT_STREQ(kernelName(KernelKind::Scalar), "scalar");
+    EXPECT_STREQ(kernelName(KernelKind::Avx2), "avx2");
+    EXPECT_STREQ(kernelName(KernelKind::Avx512), "avx512");
     // Compiled-but-no-CPU can't be simulated here, but the implication
     // must hold: available implies compiled.
     if (simdAvailable()) {
         EXPECT_TRUE(simdKernelsCompiled());
+    }
+    if (avx512Available()) {
+        EXPECT_TRUE(avx512KernelsCompiled());
     }
 }
 
@@ -245,8 +284,22 @@ TEST(SimdDispatchDeathTest, ForcingSimdWithoutSupportDies)
     if (simdAvailable())
         GTEST_SKIP() << "host can run the AVX2 kernels";
     ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
-    EXPECT_DEATH(resolveSimd(SimdMode::Simd),
+    EXPECT_DEATH(resolveKernel(SimdMode::Simd),
                  "SIMD kernels requested but unavailable");
+}
+
+TEST(SimdDispatchDeathTest, ForcingAvx512WithoutSupportDies)
+{
+    if (avx512Available())
+        GTEST_SKIP() << "host can run the AVX-512 kernels";
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(resolveKernel(SimdMode::Avx512),
+                 "AVX-512 kernels requested but unavailable");
+    // The environment route must die identically: strict parsing
+    // accepts "2", then availability checking rejects it.
+    SimdEnvGuard guard("2");
+    EXPECT_DEATH(resolveKernel(SimdMode::Auto),
+                 "AVX-512 kernels requested but unavailable");
 }
 
 /**
@@ -266,6 +319,8 @@ TEST(SimdKernels, OddAssocAndMixedGeometryMatchOracle)
     std::vector<SimdMode> modes{SimdMode::Scalar};
     if (simdAvailable())
         modes.push_back(SimdMode::Simd);
+    if (avx512Available())
+        modes.push_back(SimdMode::Avx512);
     support::ThreadPool pool(3);
     std::vector<support::ThreadPool*> pools{nullptr, &pool};
     for (int cpus : {1, 4}) {
