@@ -17,6 +17,7 @@
 #include "core/porder.hh"
 #include "core/split.hh"
 #include "core/temporal.hh"
+#include "opt/hierarchy.hh"
 
 using namespace spikesim;
 
@@ -55,8 +56,17 @@ report(support::TablePrinter& table, const bench::Workload& w,
     for (std::uint32_t kb : {32, 64, 128})
         configs.push_back({kb * 1024, 128, 4});
     auto col = rep.icacheColumn(configs, sim::StreamFilter::AppOnly);
+    // Standalone-iTLB misses at base and huge pages, priced through
+    // the same fused column path fig14 uses.
+    const sim::ITlbSpec tlb_specs[] = {
+        {64, 4096, 128},
+        {64, 2u * 1024 * 1024, 128},
+    };
+    auto tlb = rep.itlbColumn(tlb_specs, sim::StreamFilter::AppOnly);
     std::vector<std::string> row{name};
     for (const auto& r : col)
+        row.push_back(support::withCommas(r.misses));
+    for (const auto& r : tlb)
         row.push_back(support::withCommas(r.misses));
     table.addRow(row);
 }
@@ -70,8 +80,8 @@ main(int argc, char** argv)
                   "Pettis-Hansen vs temporal affinity vs cache "
                   "coloring (chained + split segments; 128B/4-way)");
     bench::Workload w = bench::runWorkload(argc, argv);
-    support::TablePrinter table(
-        {"placement", "32KB", "64KB", "128KB"});
+    support::TablePrinter table({"placement", "32KB", "64KB", "128KB",
+                                 "iTLB 4KB", "iTLB 2MB"});
 
     // Reference points.
     core::Layout base = w.appLayout(core::OptCombo::Base);
@@ -118,6 +128,18 @@ main(int argc, char** argv)
     report(table, w, "hot/cold split (classic PH)", hotcold);
     core::Layout cfa = w.appLayout(core::OptCombo::Cfa);
     report(table, w, "CFA / software trace cache", cfa);
+
+    // Codestitcher-style distance-bounded hierarchical chain merging
+    // over the same chained + split segments (opt/hierarchy.hh): hot
+    // chains merged at 64B, then 4KB, then 2MB distance bounds, cold
+    // tail appended.
+    {
+        opt::HierarchyResult hr = opt::hierarchicalOrder(
+            w.appProg(), w.appProfile(), splitSegments(w));
+        core::Layout hier = makeLayout(w, std::move(hr.segments));
+        report(table, w, "hierarchical merge (Codestitcher-style)",
+               hier);
+    }
 
     table.print(std::cout);
     std::cout << "\n";

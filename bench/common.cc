@@ -372,6 +372,23 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
     w.threads = threads >= 0 ? threads : threadsFromEnv();
     w.seed = seed_set ? seed : seedFromEnv();
     w.simd = simd;
+    // When Auto-mode calibration is going to run (no --simd flag, no
+    // SPIKESIM_SIMD, at least one vector kernel runnable), ground it on
+    // a slice of the real resolved trace instead of the synthetic one:
+    // the synthetic trace's fetch-run shape has picked AVX-512 on hosts
+    // where AVX2 measures faster on the actual workload. The baseline
+    // layouts are the cheapest resolvable pair and the slice only has
+    // to be representative of run shape, not of layout quality.
+    if (w.simd == sim::SimdMode::Auto &&
+        sim::simdModeFromEnv() == sim::SimdMode::Auto &&
+        (sim::simdAvailable() || sim::avx512Available()) &&
+        w.buf.events().size() > 0) {
+        const core::Layout app = w.appLayout(core::OptCombo::Base);
+        const core::Layout kernel = w.kernelLayout();
+        const sim::Replayer rep(w.buf, app, &kernel);
+        sim::seedCalibrationTrace(
+            rep.resolveSoA(sim::StreamFilter::Combined));
+    }
     // Resolve eagerly: a forced-but-unavailable --simd 1|2 must fail
     // here, before any replay silently runs scalar. In Auto mode this
     // also runs (and caches) the startup calibration, so the choice
@@ -391,6 +408,12 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
         m.info.emplace_back("simd_kernel",
                             sim::kernelName(choice.kind));
         m.info.emplace_back("simd_kernel_reason", choice.reason);
+        const sim::CalibrationInfo calib = sim::calibrationInfo();
+        if (calib.ran) {
+            m.info.emplace_back("calibration_source", calib.source);
+            m.info.emplace_back("calibration_sample_refs",
+                                std::to_string(calib.sample_refs));
+        }
         if (!corpus_dir.empty())
             m.info.emplace_back("corpus_dir", corpus_dir);
     }
@@ -483,10 +506,22 @@ BenchReplay::instrumented(const mem::CacheConfig& config,
 sim::ITlbReplayResult
 BenchReplay::itlb(const sim::ITlbSpec& spec, sim::StreamFilter filter)
 {
-    if (!parallel_)
-        return rep_.itlb(spec, filter);
-    return sim::replayITlb(resolved(filter, false), {&spec, 1}, simd_,
-                           pool_)[0];
+    return itlbColumn({&spec, 1}, filter)[0];
+}
+
+std::vector<sim::ITlbReplayResult>
+BenchReplay::itlbColumn(std::span<const sim::ITlbSpec> specs,
+                        sim::StreamFilter filter)
+{
+    if (!parallel_) {
+        std::vector<sim::ITlbReplayResult> out;
+        out.reserve(specs.size());
+        for (const sim::ITlbSpec& spec : specs)
+            out.push_back(rep_.itlb(spec, filter));
+        return out;
+    }
+    return sim::replayITlb(resolved(filter, false), specs, simd_,
+                           pool_);
 }
 
 sim::HierarchyReplayResult

@@ -300,6 +300,12 @@ class BenchReplay
 
     sim::ITlbReplayResult itlb(const sim::ITlbSpec& spec,
                                sim::StreamFilter filter);
+    /** One fused walk pricing a column of iTLB geometries — the shared
+     *  path for every bench reporting standalone-iTLB columns (fig14,
+     *  placement/layout-search ablations). */
+    std::vector<sim::ITlbReplayResult>
+    itlbColumn(std::span<const sim::ITlbSpec> specs,
+               sim::StreamFilter filter);
 
     sim::HierarchyReplayResult
     hierarchy(const mem::HierarchyConfig& config, bool include_data = true,

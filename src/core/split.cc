@@ -1,5 +1,6 @@
 #include "core/split.hh"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "support/panic.hh"
@@ -101,6 +102,23 @@ splitHotCold(const program::Program& prog, ProcId proc,
     if (!cold.blocks.empty())
         segs.push_back(std::move(cold));
     return segs;
+}
+
+HotColdPartition
+partitionHotCold(const program::Program& prog,
+                 const profile::Profile& profile,
+                 const std::vector<CodeSegment>& segments,
+                 std::uint64_t hot_threshold)
+{
+    HotColdPartition part;
+    for (const CodeSegment& seg : segments) {
+        std::uint64_t peak = 0;
+        for (BlockLocalId b : seg.blocks)
+            peak = std::max(
+                peak, profile.blockCount(prog.globalBlockId(seg.proc, b)));
+        (peak >= hot_threshold ? part.hot : part.cold).push_back(seg);
+    }
+    return part;
 }
 
 SegmentGraph

@@ -46,6 +46,26 @@ splitHotCold(const program::Program& prog, program::ProcId proc,
              const std::vector<program::BlockLocalId>& order,
              std::uint64_t hot_threshold = 1);
 
+/**
+ * Program-level hot/cold partition of a segment list (BOLT-style text
+ * splitting): segments whose peak block execution count reaches
+ * `hot_threshold` go to `hot`, the rest to `cold`, each preserving the
+ * input's relative order. Concatenated hot + cold is a permutation of
+ * the input segment list — every block placed exactly once, with the
+ * hot text forming one compact contiguous prefix.
+ */
+struct HotColdPartition
+{
+    std::vector<CodeSegment> hot;
+    std::vector<CodeSegment> cold;
+};
+
+HotColdPartition
+partitionHotCold(const program::Program& prog,
+                 const profile::Profile& profile,
+                 const std::vector<CodeSegment>& segments,
+                 std::uint64_t hot_threshold = 1);
+
 /** Weighted graph over code segments, input to procedure ordering. */
 struct SegmentGraph
 {

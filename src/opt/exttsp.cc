@@ -1,6 +1,7 @@
 #include "opt/exttsp.hh"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 #include "support/panic.hh"
@@ -47,6 +48,31 @@ extTspEdgeScore(std::uint64_t src_end, std::uint64_t dst_addr,
     if (params.coline_weight > 0.0 &&
         src_end / params.line_bytes == dst_addr / params.line_bytes)
         k += params.coline_weight;
+    // Distance-bucketed gap penalty: the decay windows above are blind
+    // past ~1KB, so long transfers are charged by the power-of-two
+    // bucket their gap lands in, saturating at huge-page scale.
+    if (params.gap_weight > 0.0) {
+        const std::uint64_t d =
+            dst_addr > src_end ? dst_addr - src_end : src_end - dst_addr;
+        if (d >= params.gap_start_bytes) {
+            const int bucket = std::min<int>(
+                std::bit_width(d / params.gap_start_bytes), 12);
+            k -= params.gap_weight * (static_cast<double>(bucket) / 12.0);
+        }
+    }
+    // Page co-residency: a transfer inside one 4KB page can never take
+    // a base-page iTLB miss; inside one 2MB region it stays within a
+    // single huge-page mapping.
+    if (params.page4k_weight > 0.0 &&
+        src_end / params.page4k_bytes == dst_addr / params.page4k_bytes)
+        k += params.page4k_weight;
+    if (params.page2m_weight > 0.0 &&
+        src_end / params.page2m_bytes == dst_addr / params.page2m_bytes)
+        k += params.page2m_weight;
+    // iTLB proxy: executions crossing a page boundary are charged.
+    if (params.itlb_weight > 0.0 &&
+        src_end / params.itlb_page_bytes != dst_addr / params.itlb_page_bytes)
+        k -= params.itlb_weight;
     return w * k;
 }
 
@@ -139,6 +165,44 @@ extTspScore(const core::Layout& layout, const profile::Profile& profile,
         }
     }
     return total;
+}
+
+double
+extTspITlbCost(const core::Layout& layout,
+               const profile::Profile& profile,
+               const ExtTspParams& params)
+{
+    const program::Program& prog = layout.prog();
+    const std::uint64_t page = params.itlb_page_bytes;
+    std::uint64_t total = 0;
+    auto crossings = [&](GlobalBlockId from, GlobalBlockId to,
+                         std::uint64_t w) {
+        const std::uint64_t src_end =
+            layout.blockAddr(from) + layout.blockBytes(from);
+        const std::uint64_t dst = layout.blockAddr(to);
+        if (src_end / page != dst / page)
+            total += w;
+    };
+    // Same fixed edge order as extTspScore, integer accumulation.
+    for (ProcId p = 0; p < prog.numProcs(); ++p) {
+        const Procedure& proc = prog.proc(p);
+        for (const FlowEdge& e : proc.edges) {
+            const GlobalBlockId from = prog.globalBlockId(p, e.from);
+            const GlobalBlockId to = prog.globalBlockId(p, e.to);
+            const std::uint64_t w = profile.edgeCount(from, to);
+            if (w != 0)
+                crossings(from, to, w);
+        }
+    }
+    if (params.include_calls) {
+        auto calls = profile.calls();
+        std::sort(calls.begin(), calls.end());
+        for (const auto& [caller_block, callee, w] : calls)
+            if (w != 0)
+                crossings(caller_block, prog.globalBlockId(callee, 0),
+                          w);
+    }
+    return static_cast<double>(total);
 }
 
 double

@@ -56,6 +56,32 @@ struct ExtTspParams
      *  too; this is what lets the model see segment-ordering quality,
      *  not just intra-procedure chaining. */
     bool include_calls = true;
+
+    // --- Page-aware terms (all off by default; the flat search and
+    // --- the PR 4 tests see the identical classic model). ---
+
+    /** Distance-bucketed gap penalty: jumps of >= gap_start_bytes are
+     *  charged gap_weight scaled by which power-of-two distance bucket
+     *  the gap lands in (1KB..2KB -> 1/12, 2KB..4KB -> 2/12, ...,
+     *  saturating at 12/12 for >= 2MB jumps). Distance-blind windows
+     *  above stop caring past 1KB; this term keeps pressure on long
+     *  transfers all the way up to huge-page scale. */
+    double gap_weight = 0.0;
+    std::uint32_t gap_start_bytes = 1024;
+    /** Additive bonus when source and target share one 4KB page (the
+     *  transfer cannot take an iTLB miss at base pages). */
+    double page4k_weight = 0.0;
+    std::uint32_t page4k_bytes = 4096;
+    /** Additive bonus when source and target share one 2MB region
+     *  (co-residency under a huge-page mapping). */
+    double page2m_weight = 0.0;
+    std::uint32_t page2m_bytes = 2u * 1024 * 1024;
+    /** Subtractive per-edge iTLB proxy: each execution of an edge whose
+     *  endpoints live on different itlb_page_bytes pages is charged
+     *  itlb_weight. extTspITlbCost() exposes the raw page-cross sum so
+     *  tests can differentially compare it with replayed iTLB misses. */
+    double itlb_weight = 0.0;
+    std::uint32_t itlb_page_bytes = 4096;
 };
 
 /**
@@ -76,6 +102,18 @@ double extTspEdgeScore(std::uint64_t src_end, std::uint64_t dst_addr,
 double extTspScore(const core::Layout& layout,
                    const profile::Profile& profile,
                    const ExtTspParams& params = {});
+
+/**
+ * Weighted page-cross count of a layout: sum over profiled transfer
+ * edges (flow + optional calls, same fixed order as extTspScore) of
+ * `count` for every edge whose source end and target addresses fall on
+ * different `itlb_page_bytes` pages. This is the raw quantity behind
+ * the itlb_weight term — a trace-free proxy for standalone-iTLB
+ * pressure. Lower is better. Deterministic fixed-order integer sum.
+ */
+double extTspITlbCost(const core::Layout& layout,
+                      const profile::Profile& profile,
+                      const ExtTspParams& params = {});
 
 /**
  * Shared layout-quality helper, the ExtTSP sibling of

@@ -1,0 +1,171 @@
+#include "opt/hierarchy.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/panic.hh"
+
+namespace spikesim::opt {
+
+using core::CodeSegment;
+using program::kInstrBytes;
+
+namespace {
+
+/** Approximate placed byte size of one segment (branch materialization
+ *  ignored — the bound is a locality heuristic, not an address map). */
+std::uint64_t
+segmentBytes(const program::Program& prog, const CodeSegment& seg)
+{
+    const program::Procedure& p = prog.proc(seg.proc);
+    std::uint64_t bytes = 0;
+    for (program::BlockLocalId b : seg.blocks)
+        bytes += static_cast<std::uint64_t>(p.blocks[b].sizeInstrs) *
+                 kInstrBytes;
+    return bytes;
+}
+
+std::uint64_t
+segmentHeat(const program::Program& prog,
+            const profile::Profile& profile, const CodeSegment& seg)
+{
+    std::uint64_t heat = 0;
+    for (program::BlockLocalId b : seg.blocks)
+        heat += profile.blockCount(prog.globalBlockId(seg.proc, b));
+    return heat;
+}
+
+} // namespace
+
+HierarchyResult
+hierarchicalOrder(const program::Program& prog,
+                  const profile::Profile& profile,
+                  const std::vector<CodeSegment>& segments,
+                  const HierarchyParams& params)
+{
+    const core::HotColdPartition part =
+        partitionHotCold(prog, profile, segments, params.hot_threshold);
+    const std::size_t num_hot = part.hot.size();
+
+    // Full list, hot first: segment indices below num_hot are hot.
+    std::vector<CodeSegment> full = part.hot;
+    full.insert(full.end(), part.cold.begin(), part.cold.end());
+
+    HierarchyResult out;
+    out.num_hot = num_hot;
+    out.merges_per_tier.assign(params.tiers.size(), 0);
+    if (num_hot == 0) {
+        out.segments = std::move(full);
+        return out;
+    }
+
+    const core::SegmentGraph graph =
+        core::buildSegmentGraph(prog, profile, full);
+
+    std::vector<std::uint64_t> bytes(full.size());
+    for (std::size_t i = 0; i < full.size(); ++i)
+        bytes[i] = segmentBytes(prog, full[i]);
+
+    // Chains over hot segments only; cold text stays a flat tail.
+    std::vector<std::vector<std::uint32_t>> chains(num_hot);
+    std::vector<std::uint64_t> chain_bytes(num_hot);
+    std::vector<std::uint32_t> chain_of(num_hot);
+    for (std::size_t i = 0; i < num_hot; ++i) {
+        chains[i] = {static_cast<std::uint32_t>(i)};
+        chain_bytes[i] = bytes[i];
+        chain_of[i] = static_cast<std::uint32_t>(i);
+    }
+
+    // Hot-to-hot transfer edges, heaviest first (deterministic ties).
+    std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>>
+        edges;
+    for (const auto& [from, to, w] : graph.edges)
+        if (from < num_hot && to < num_hot)
+            edges.emplace_back(w, from, to);
+    std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+        if (std::get<0>(a) != std::get<0>(b))
+            return std::get<0>(a) > std::get<0>(b);
+        if (std::get<1>(a) != std::get<1>(b))
+            return std::get<1>(a) < std::get<1>(b);
+        return std::get<2>(a) < std::get<2>(b);
+    });
+
+    // Byte offset of one segment inside its chain.
+    auto offsetIn = [&](const std::vector<std::uint32_t>& chain,
+                        std::uint32_t seg) {
+        std::uint64_t off = 0;
+        for (std::uint32_t s : chain) {
+            if (s == seg)
+                return off;
+            off += bytes[s];
+        }
+        SPIKESIM_ASSERT(false, "segment not in its chain");
+        return off;
+    };
+
+    for (std::size_t t = 0; t < params.tiers.size(); ++t) {
+        const std::uint64_t bound = params.tiers[t];
+        for (const auto& [w, from, to] : edges) {
+            const std::uint32_t a = chain_of[from];
+            const std::uint32_t b = chain_of[to];
+            if (a == b)
+                continue;
+            // Gap from the edge's source end to its target if chain b
+            // is concatenated after chain a.
+            const std::uint64_t src_end =
+                offsetIn(chains[a], from) + bytes[from];
+            const std::uint64_t dst =
+                chain_bytes[a] + offsetIn(chains[b], to);
+            if (dst - src_end > bound)
+                continue;
+            chains[a].insert(chains[a].end(), chains[b].begin(),
+                             chains[b].end());
+            chain_bytes[a] += chain_bytes[b];
+            for (std::uint32_t s : chains[b])
+                chain_of[s] = a;
+            chains[b].clear();
+            chain_bytes[b] = 0;
+            ++out.merges_per_tier[t];
+        }
+    }
+
+    // Emit surviving chains densest-first (heat per byte, the
+    // Codestitcher order): the hottest bytes concentrate in the fewest
+    // leading pages, which is what shrinks the iTLB working set. Ties
+    // break on total heat, then earliest segment. The comparison
+    // cross-multiplies to stay in exact integer arithmetic.
+    std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>>
+        order;
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+        if (chains[c].empty())
+            continue;
+        std::uint64_t heat = 0;
+        for (std::uint32_t s : chains[c])
+            heat += segmentHeat(prog, profile, full[s]);
+        order.emplace_back(heat, chain_bytes[c],
+                           static_cast<std::uint32_t>(c));
+    }
+    std::sort(order.begin(), order.end(), [&](const auto& x, const auto& y) {
+        const auto& [hx, bx, cx] = x;
+        const auto& [hy, by, cy] = y;
+        const unsigned __int128 dx =
+            static_cast<unsigned __int128>(hx) * std::max<std::uint64_t>(by, 1);
+        const unsigned __int128 dy =
+            static_cast<unsigned __int128>(hy) * std::max<std::uint64_t>(bx, 1);
+        if (dx != dy)
+            return dx > dy;
+        if (hx != hy)
+            return hx > hy;
+        return chains[cx].front() < chains[cy].front();
+    });
+
+    out.segments.reserve(full.size());
+    for (const auto& [heat, cbytes, c] : order)
+        for (std::uint32_t s : chains[c])
+            out.segments.push_back(full[s]);
+    for (std::size_t i = num_hot; i < full.size(); ++i)
+        out.segments.push_back(full[i]);
+    return out;
+}
+
+} // namespace spikesim::opt

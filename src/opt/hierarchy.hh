@@ -1,0 +1,66 @@
+#ifndef SPIKESIM_OPT_HIERARCHY_HH
+#define SPIKESIM_OPT_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hh"
+#include "core/split.hh"
+#include "profile/profile.hh"
+#include "program/program.hh"
+
+/**
+ * @file
+ * Codestitcher-style hierarchical layout candidate generation
+ * (Lavaee et al., PAPERS.md): split the program's placement units into
+ * hot and cold text, then merge hot chains under a *distance bound*
+ * that grows through the memory hierarchy — first only merges whose
+ * transfer gap fits inside one 64B i-cache line, then inside one 4KB
+ * page, then inside one 2MB huge page. Each tier consumes the heaviest
+ * profitable inter-chain edges first, so the tightest co-residency
+ * (line sharing) is claimed by the hottest transfers and page-scale
+ * locality is built from already-line-local chains. The result is a
+ * full segment permutation — compact hot text first, cold tail after —
+ * used to seed the annealer alongside the greedy pipeline
+ * (opt/search.hh), giving it a starting point the flat greedy ordering
+ * structurally cannot reach.
+ */
+
+namespace spikesim::opt {
+
+struct HierarchyParams
+{
+    /** Merge distance tiers in bytes, ascending: line, page, huge page. */
+    std::vector<std::uint64_t> tiers = {64, 4096, 2ull * 1024 * 1024};
+    /** Block execution count at or above which a segment is hot. */
+    std::uint64_t hot_threshold = 1;
+};
+
+/** One merged chain plus its bookkeeping (exposed for tests). */
+struct HierarchyResult
+{
+    /** The full candidate order: merged hot chains, then cold tail. */
+    std::vector<core::CodeSegment> segments;
+    /** Number of leading hot segments in `segments`. */
+    std::size_t num_hot = 0;
+    /** Number of merge operations performed per tier. */
+    std::vector<std::size_t> merges_per_tier;
+};
+
+/**
+ * Build the hierarchical candidate from a flat segment list: hot/cold
+ * partition (core::partitionHotCold), then tiered distance-bounded
+ * chain merging over the segment graph's transfer weights. The output
+ * places every input block exactly once. Deterministic: edges are
+ * processed in (weight desc, from, to) order and chain output order is
+ * (chain heat desc, first segment index asc).
+ */
+HierarchyResult
+hierarchicalOrder(const program::Program& prog,
+                  const profile::Profile& profile,
+                  const std::vector<core::CodeSegment>& segments,
+                  const HierarchyParams& params = {});
+
+} // namespace spikesim::opt
+
+#endif // SPIKESIM_OPT_HIERARCHY_HH

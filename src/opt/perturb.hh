@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/layout.hh"
@@ -30,10 +31,35 @@
 
 namespace spikesim::opt {
 
-/** A layout candidate: segments in placement order. */
+/**
+ * Page-region annotation over a candidate's segment sequence. Empty
+ * (`seg_region` empty) means the candidate is *flat* and perturbation
+ * draws from the classic whole-layout operator set. Non-empty, it maps
+ * every segment to a region id with two invariants the region-aware
+ * operators preserve: segments sharing an id are contiguous, and every
+ * hot-region segment (id < num_hot) precedes every cold-region one —
+ * so the hot text always stays one compact prefix. Region ids are a
+ * bound, not a surjection: an id may own zero segments after boundary
+ * shifts.
+ */
+struct RegionMap
+{
+    /** Region id per segment (parallel to Candidate::segments). */
+    std::vector<std::uint32_t> seg_region;
+    /** Total region id space. */
+    std::uint32_t num_regions = 0;
+    /** Region ids below this are hot; at or above, cold. */
+    std::uint32_t num_hot = 0;
+
+    bool empty() const { return seg_region.empty(); }
+};
+
+/** A layout candidate: segments in placement order, plus an optional
+ *  page-region annotation steering the perturbation operators. */
 struct Candidate
 {
     std::vector<core::CodeSegment> segments;
+    RegionMap regions;
 };
 
 /** Perturbation operators (see file comment). */
@@ -55,9 +81,22 @@ enum class PerturbOp : std::uint8_t {
     /** Swap two adjacent blocks inside a segment (revisits one
      *  chain-join decision). */
     BlockSwap,
+    /** Move one segment to another position inside its own region
+     *  (region mode only). */
+    RegionIntraMove,
+    /** Swap the segment runs of two whole regions on the same side of
+     *  the hot/cold boundary (region mode only). */
+    RegionReorder,
+    /** Reassign the boundary segment across the hot/cold boundary,
+     *  growing one side by one segment (region mode only). */
+    HotColdShift,
 };
 
-inline constexpr std::size_t kNumPerturbOps = 7;
+inline constexpr std::size_t kNumPerturbOps = 10;
+
+/** The flat operator set (the first kNumFlatOps enum values); region
+ *  mode draws from a different subset (see perturbOnce). */
+inline constexpr std::size_t kNumFlatOps = 7;
 
 /** Operator name for reports ("segment_swap", ...). */
 const char* perturbOpName(PerturbOp op);
@@ -86,9 +125,37 @@ core::Layout materialize(const Candidate& cand,
 std::uint64_t fingerprint(const Candidate& cand);
 
 /**
+ * Pack a candidate's leading `num_hot` segments into page-sized bins
+ * (a new region starts whenever adding the next segment would push
+ * the bin past `page_bytes`) and its cold tail into one region,
+ * producing the RegionMap the region-aware operators respect. With
+ * num_hot == 0 every segment lands in the single cold region.
+ */
+RegionMap buildRegionMap(const program::Program& prog,
+                         const std::vector<core::CodeSegment>& segments,
+                         std::size_t num_hot,
+                         std::uint64_t page_bytes = 4096);
+
+/**
+ * Check the RegionMap invariants of a candidate: map parallel to the
+ * segment list (or both absent), ids in range, equal ids contiguous,
+ * and every hot-region segment before every cold-region one. Returns
+ * "" when valid, else a description of the violation.
+ */
+std::string validateRegions(const Candidate& cand);
+
+/**
  * Apply one randomly drawn operator to the candidate. Returns the
  * operator drawn (counted in `counts` when given), whether or not a
  * legal application site existed.
+ *
+ * Flat candidates (no region map) draw uniformly from the first
+ * kNumFlatOps operators — the exact PR 4 behaviour, bit-for-bit.
+ * Region-annotated candidates draw from {SplitShift, SplitCut,
+ * BlockSwap, RegionIntraMove, RegionReorder, HotColdShift}, with
+ * SplitShift additionally confined to same-region boundaries, so no
+ * operator ever moves code across a region boundary except the
+ * explicit HotColdShift.
  */
 PerturbOp perturbOnce(Candidate& cand, support::Pcg32& rng,
                       PerturbCounts* counts = nullptr);

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <iostream>
 #include <unordered_map>
 
+#include "core/split.hh"
 #include "obs/registry.hh"
 #include "obs/tracing.hh"
+#include "opt/hierarchy.hh"
 #include "sim/engine.hh"
 #include "support/panic.hh"
 
@@ -26,6 +30,14 @@ struct ScoredCandidate
     double score = 0.0;
 };
 
+/** One ground-truth measurement (iTLB columns only in page mode). */
+struct GtResult
+{
+    std::uint64_t misses = 0;
+    std::uint64_t itlb4k = 0;
+    std::uint64_t itlb2m = 0;
+};
+
 /** Ground-truth evaluator: engine replay on the recorded trace with a
  *  fingerprint-keyed result cache. */
 class GroundTruth
@@ -42,15 +54,20 @@ class GroundTruth
           config_(sopts.rerank_config),
           filter_(sopts.filter)
     {
+        if (sopts.page.enabled)
+            specs_ = {{sopts.page.itlb_entries, 4096,
+                       sopts.rerank_config.line_bytes},
+                      {sopts.page.itlb_entries, 2u * 1024 * 1024,
+                       sopts.rerank_config.line_bytes}};
     }
 
-    /** Misses for every entry (cached or freshly replayed; uncached
-     *  entries replay concurrently on the pool). */
-    std::vector<std::uint64_t>
-    misses(const std::vector<const ScoredCandidate*>& entries,
-           support::ThreadPool* pool)
+    /** Measurements for every entry (cached or freshly replayed;
+     *  uncached entries replay concurrently on the pool). */
+    std::vector<GtResult>
+    evaluate(const std::vector<const ScoredCandidate*>& entries,
+             support::ThreadPool* pool)
     {
-        std::vector<std::uint64_t> out(entries.size(), 0);
+        std::vector<GtResult> out(entries.size());
         std::vector<std::size_t> todo;
         for (std::size_t i = 0; i < entries.size(); ++i) {
             auto it = cache_.find(entries[i]->fp);
@@ -68,8 +85,13 @@ class GroundTruth
                 materialize(entries[i]->cand, prog_, aopts_);
             const sim::Replayer rep(*trace_, layout, kernel_);
             const sim::ResolvedTrace rt = rep.resolve(filter_);
-            out[i] = sim::replayICache(rt, {&config_, 1}, nullptr)[0]
-                         .misses;
+            out[i].misses =
+                sim::replayICache(rt, {&config_, 1}, nullptr)[0].misses;
+            if (!specs_.empty()) {
+                const auto tlb = sim::replayITlb(rt, specs_, nullptr);
+                out[i].itlb4k = tlb[0].misses;
+                out[i].itlb2m = tlb[1].misses;
+            }
         };
         if (pool != nullptr && todo.size() > 1) {
             for (std::size_t i : todo)
@@ -95,10 +117,44 @@ class GroundTruth
     const core::Layout* kernel_;
     mem::CacheConfig config_;
     sim::StreamFilter filter_;
-    std::unordered_map<std::uint64_t, std::uint64_t> cache_;
+    std::vector<sim::ITlbSpec> specs_;
+    std::unordered_map<std::uint64_t, GtResult> cache_;
     std::uint64_t evals_ = 0;
     std::uint64_t hits_ = 0;
 };
+
+/** Segment byte size under tight packing (no branch adjustment). */
+std::uint64_t
+candidateBytes(const program::Program& prog, const core::CodeSegment& seg)
+{
+    const program::Procedure& p = prog.proc(seg.proc);
+    std::uint64_t bytes = 0;
+    for (program::BlockLocalId b : seg.blocks)
+        bytes += static_cast<std::uint64_t>(p.blocks[b].sizeInstrs) *
+                 program::kInstrBytes;
+    return bytes;
+}
+
+SearchResult::RegionSummary
+summarizeRegions(const program::Program& prog, const Candidate& cand)
+{
+    SearchResult::RegionSummary s;
+    if (cand.regions.empty())
+        return s;
+    s.num_regions = cand.regions.num_regions;
+    s.num_hot = cand.regions.num_hot;
+    for (std::size_t i = 0; i < cand.segments.size(); ++i) {
+        const std::uint64_t bytes = candidateBytes(prog, cand.segments[i]);
+        if (cand.regions.seg_region[i] < cand.regions.num_hot) {
+            ++s.hot_segments;
+            s.hot_bytes += bytes;
+        } else {
+            ++s.cold_segments;
+            s.cold_bytes += bytes;
+        }
+    }
+    return s;
+}
 
 } // namespace
 
@@ -128,14 +184,119 @@ searchLayout(const program::Program& prog,
     result.seed_score = seed.score;
     result.best_score = seed.score;
 
+    // Page-aware starting candidates: a hot/cold split of the greedy
+    // seed and the hierarchical distance-bounded merge, each carrying
+    // the region map that switches perturbation to the region ops.
+    const bool page = sopts.page.enabled;
+    std::vector<ScoredCandidate> hotcolds;
+    ScoredCandidate hier;
+    if (page) {
+        // Classic coarse hot/cold pipeline order expressed as a
+        // permutation of the seed's fine-grain segments: run the
+        // per-procedure splitHotCold + Pettis-Hansen pipeline to get
+        // the coarse slot order, then bucket the seed's segments into
+        // their (procedure, hotness) slot. Coarse granularity is what
+        // packs pages -- whole-procedure hot chunks stay contiguous,
+        // so the hot working set spans far fewer 4KB pages than any
+        // fine-grain shuffle -- while keeping the seed's fine split
+        // boundaries for the region-respecting annealer to exploit.
+        const auto makeHotCold = [&](std::uint64_t threshold) {
+            ScoredCandidate hc;
+            core::PipelineOptions hc_popts = popts;
+            hc_popts.combo = core::OptCombo::HotCold;
+            hc_popts.hot_threshold = threshold;
+            const core::Layout coarse =
+                core::buildLayout(prog, profile, hc_popts);
+            const auto segIsHot = [&](const core::CodeSegment& seg) {
+                std::uint64_t peak = 0;
+                for (program::BlockLocalId b : seg.blocks)
+                    peak = std::max(
+                        peak, profile.blockCount(
+                                  prog.globalBlockId(seg.proc, b)));
+                return peak >= threshold;
+            };
+            std::vector<std::vector<std::size_t>> hot_of(
+                prog.numProcs());
+            std::vector<std::vector<std::size_t>> cold_of(
+                prog.numProcs());
+            for (std::size_t i = 0; i < seed.cand.segments.size(); ++i) {
+                const core::CodeSegment& seg = seed.cand.segments[i];
+                (segIsHot(seg) ? hot_of : cold_of)[seg.proc].push_back(i);
+            }
+            // Hot slots first (in coarse layout order), then cold
+            // slots, so the hot region is a contiguous prefix for the
+            // region map.
+            std::size_t num_hot = 0;
+            for (const bool want_hot : {true, false})
+                for (const core::CodeSegment& cs : coarse.segments()) {
+                    if (cs.blocks.empty() || segIsHot(cs) != want_hot)
+                        continue;
+                    auto& bucket =
+                        (want_hot ? hot_of : cold_of)[cs.proc];
+                    for (std::size_t i : bucket)
+                        hc.cand.segments.push_back(
+                            seed.cand.segments[i]);
+                    num_hot += want_hot ? bucket.size() : 0;
+                    bucket.clear();
+                }
+            hc.cand.regions =
+                buildRegionMap(prog, hc.cand.segments, num_hot,
+                               sopts.page.region_page_bytes);
+            hc.fp = fingerprint(hc.cand);
+            hc.score = extTspScore(materialize(hc.cand, prog, aopts),
+                                   profile, sopts.exttsp);
+            return hc;
+        };
+        // A ladder of thresholds around the configured one: where the
+        // hot/cold knee sits relative to the iTLB reach is workload-
+        // dependent and sharply nonlinear, so several coarse candidates
+        // compete in the Pareto-guarded re-rank instead of betting on
+        // one. Duplicate fingerprints collapse in the survivor dedup.
+        const std::uint64_t base =
+            std::max<std::uint64_t>(1, sopts.page.hot_threshold);
+        for (const std::uint64_t thr :
+             {base, base * 5 / 4, base * 3 / 2, base * 2})
+            hotcolds.push_back(makeHotCold(std::max<std::uint64_t>(
+                1, thr)));
+
+        HierarchyParams hp;
+        hp.tiers = sopts.page.merge_tiers;
+        hp.hot_threshold = sopts.page.hot_threshold;
+        HierarchyResult hr =
+            hierarchicalOrder(prog, profile, seed.cand.segments, hp);
+        hier.cand.segments = std::move(hr.segments);
+        hier.cand.regions =
+            buildRegionMap(prog, hier.cand.segments, hr.num_hot,
+                           sopts.page.region_page_bytes);
+        hier.fp = fingerprint(hier.cand);
+        hier.score = extTspScore(materialize(hier.cand, prog, aopts),
+                                 profile, sopts.exttsp);
+    }
+
     ScoredCandidate incumbent = seed;
     ScoredCandidate best_proxy = seed;
+    if (page) {
+        // Start annealing from the best-proxy structured candidate.
+        for (const ScoredCandidate& hc : hotcolds)
+            if (hc.score > incumbent.score)
+                incumbent = hc;
+        if (hier.score > incumbent.score)
+            incumbent = hier;
+        best_proxy = incumbent;
+    }
 
     const bool rerank = trace != nullptr && sopts.rerank_every > 0;
     GroundTruth gt(trace, prog, aopts, kernel_layout, sopts);
     bool have_gt = false;
     ScoredCandidate best_gt = seed;
-    std::uint64_t best_gt_misses = 0;
+    GtResult best_gt_res;
+    double best_gt_obj = 0.0;
+
+    auto objective = [&](const GtResult& g) {
+        return sopts.page.icache_weight * static_cast<double>(g.misses) +
+               sopts.page.itlb4k_weight * static_cast<double>(g.itlb4k) +
+               sopts.page.itlb2m_weight * static_cast<double>(g.itlb2m);
+    };
 
     const double temp0 =
         sopts.init_temp_frac * std::max(std::abs(seed.score), 1.0);
@@ -149,6 +310,13 @@ searchLayout(const program::Program& prog,
         obs::Span span("search.rerank", "opt");
         std::vector<const ScoredCandidate*> survivors{&seed, &incumbent,
                                                       &best_proxy};
+        if (page) {
+            // The structured candidates always compete, so the champion
+            // is never worse than hot/cold or hierarchical placement.
+            for (const ScoredCandidate& hc : hotcolds)
+                survivors.push_back(&hc);
+            survivors.push_back(&hier);
+        }
         std::vector<std::size_t> order(batch.size());
         for (std::size_t i = 0; i < batch.size(); ++i)
             order[i] = i;
@@ -168,28 +336,69 @@ searchLayout(const program::Program& prog,
             if (!dup)
                 uniq.push_back(s);
         }
-        const std::vector<std::uint64_t> m = gt.misses(uniq, pool);
-        // Winner: fewest misses; ties go to the higher proxy score,
-        // then the earlier survivor (seed < incumbent < ...).
+        const std::vector<GtResult> m = gt.evaluate(uniq, pool);
+        if (std::getenv("SPIKESIM_SEARCH_DEBUG") != nullptr) {
+            const auto label = [&](const ScoredCandidate* s) {
+                if (s == &seed)
+                    return "seed";
+                for (const ScoredCandidate& hc : hotcolds)
+                    if (s == &hc)
+                        return "hotcold";
+                if (page && s == &hier)
+                    return "hier";
+                if (s == &incumbent)
+                    return "incumbent";
+                if (s == &best_proxy)
+                    return "best_proxy";
+                return "batch";
+            };
+            for (std::size_t i = 0; i < uniq.size(); ++i)
+                std::cerr << "[search] epoch " << epochs_done << " "
+                          << label(uniq[i]) << ": misses " << m[i].misses
+                          << " itlb4k " << m[i].itlb4k << " itlb2m "
+                          << m[i].itlb2m << " objective "
+                          << objective(m[i]) << "\n";
+        }
+        // Winner: lowest combined objective (== fewest misses with the
+        // default weights); ties go to the higher proxy score, then the
+        // earlier survivor (seed < incumbent < ...). Only candidates
+        // that weakly Pareto-dominate the seed on both hardware
+        // metrics are eligible: the weighted objective picks the
+        // tradeoff, but it may never buy page locality with i-cache
+        // misses or vice versa relative to the greedy baseline. The
+        // seed is always uniq[0], so a winner always exists.
         std::size_t win = 0;
-        for (std::size_t i = 1; i < uniq.size(); ++i)
-            if (m[i] < m[win] ||
-                (m[i] == m[win] && uniq[i]->score > uniq[win]->score))
+        for (std::size_t i = 1; i < uniq.size(); ++i) {
+            if (m[i].misses > m[0].misses || m[i].itlb4k > m[0].itlb4k)
+                continue;
+            if (objective(m[i]) < objective(m[win]) ||
+                (objective(m[i]) == objective(m[win]) &&
+                 uniq[i]->score > uniq[win]->score))
                 win = i;
-        if (!have_gt || m[win] < best_gt_misses ||
-            (m[win] == best_gt_misses &&
+        }
+        if (!have_gt || objective(m[win]) < best_gt_obj ||
+            (objective(m[win]) == best_gt_obj &&
              uniq[win]->score > best_gt.score)) {
             best_gt = *uniq[win];
-            best_gt_misses = m[win];
+            best_gt_res = m[win];
+            best_gt_obj = objective(m[win]);
         }
-        result.seed_misses = gt.misses({&seed}, nullptr)[0];
+        const GtResult seed_gt = gt.evaluate({&seed}, nullptr)[0];
+        result.seed_misses = seed_gt.misses;
+        result.seed_itlb4k = seed_gt.itlb4k;
+        result.seed_itlb2m = seed_gt.itlb2m;
+        result.seed_objective = objective(seed_gt);
         have_gt = true;
         incumbent = *uniq[win];
+        const SearchResult::RerankPoint point{epochs_done,
+                                              best_gt_res.misses,
+                                              best_gt_res.itlb4k,
+                                              best_gt_obj};
         if (!result.rerank_curve.empty() &&
             result.rerank_curve.back().epoch == epochs_done)
-            result.rerank_curve.back().misses = best_gt_misses;
+            result.rerank_curve.back() = point;
         else
-            result.rerank_curve.push_back({epochs_done, best_gt_misses});
+            result.rerank_curve.push_back(point);
     };
 
     static obs::Counter& c_accepted = obs::counter("opt.search.accepted");
@@ -272,12 +481,17 @@ searchLayout(const program::Program& prog,
     if (rerank) {
         // Final re-rank so the last epochs' progress is measured too.
         rerankSurvivors(batch, sopts.epochs);
-        result.best_misses = best_gt_misses;
+        result.best_misses = best_gt_res.misses;
+        result.best_itlb4k = best_gt_res.itlb4k;
+        result.best_itlb2m = best_gt_res.itlb2m;
+        result.best_objective = best_gt_obj;
         result.best_score = best_proxy.score;
         result.layout = materialize(best_gt.cand, prog, aopts);
+        result.regions = summarizeRegions(prog, best_gt.cand);
     } else {
         result.best_score = best_proxy.score;
         result.layout = materialize(best_proxy.cand, prog, aopts);
+        result.regions = summarizeRegions(prog, best_proxy.cand);
     }
     result.sim_evals = gt.evals();
     result.sim_cache_hits = gt.hits();

@@ -82,6 +82,38 @@ struct SearchOptions
     sim::StreamFilter filter = sim::StreamFilter::AppOnly;
 
     ExtTspParams exttsp;
+
+    /**
+     * Page-aware, multi-objective mode. When enabled the search (a)
+     * seeds the annealer from the best of three candidates — the flat
+     * greedy layout, a hot/cold split of it (compact hot prefix, cold
+     * tail), and the Codestitcher-style hierarchical merge
+     * (opt/hierarchy.hh) — with the latter two carrying a page RegionMap
+     * so perturbation uses the region-respecting operators, (b) keeps
+     * all three as permanent re-rank survivors, and (c) re-ranks on a
+     * combined objective: icache_weight x fused-i-cache misses +
+     * itlb4k_weight x standalone-iTLB misses at 4KB pages +
+     * itlb2m_weight x the same at 2MB pages. With weights (1, 0, 0)
+     * the objective degenerates to the PR 4 miss count.
+     */
+    struct PageSearchOptions
+    {
+        bool enabled = false;
+        /** Block count at or above which a segment is hot. */
+        std::uint64_t hot_threshold = 1;
+        /** Hierarchical merge distance tiers (line, page, huge page). */
+        std::vector<std::uint64_t> merge_tiers = {64, 4096,
+                                                  2ull * 1024 * 1024};
+        /** Page size used to bin hot segments into regions. */
+        std::uint64_t region_page_bytes = 4096;
+        /** Combined-objective weights. */
+        double icache_weight = 1.0;
+        double itlb4k_weight = 0.0;
+        double itlb2m_weight = 0.0;
+        /** iTLB geometry for the standalone-iTLB re-rank replays. */
+        std::uint32_t itlb_entries = 64;
+    };
+    PageSearchOptions page;
 };
 
 /** Search outcome plus the audit trail the benches report. */
@@ -105,6 +137,26 @@ struct SearchResult
     std::uint64_t seed_misses = 0;
     std::uint64_t best_misses = 0;
 
+    /** Standalone-iTLB misses at 4KB / 2MB pages (page-aware mode
+     *  only; 0 otherwise). */
+    std::uint64_t seed_itlb4k = 0, best_itlb4k = 0;
+    std::uint64_t seed_itlb2m = 0, best_itlb2m = 0;
+    /** Combined objective (== misses when weights are (1, 0, 0)). */
+    double seed_objective = 0.0;
+    double best_objective = 0.0;
+
+    /** Region map of the winning candidate (all zero when flat). */
+    struct RegionSummary
+    {
+        std::uint32_t num_regions = 0;
+        std::uint32_t num_hot = 0; ///< hot region count
+        std::size_t hot_segments = 0;
+        std::size_t cold_segments = 0;
+        std::uint64_t hot_bytes = 0;
+        std::uint64_t cold_bytes = 0;
+    };
+    RegionSummary regions;
+
     /** Proxy evaluations performed (excludes the seed's). */
     std::uint64_t proxy_evals = 0;
     /** Ground-truth replays performed / avoided by the cache. */
@@ -120,6 +172,8 @@ struct SearchResult
     {
         int epoch = 0;            ///< epochs completed at this point
         std::uint64_t misses = 0; ///< champion misses on rerank_config
+        std::uint64_t itlb4k = 0; ///< champion 4KB-page iTLB misses
+        double objective = 0.0;   ///< champion combined objective
     };
     std::vector<RerankPoint> rerank_curve;
 

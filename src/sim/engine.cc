@@ -629,36 +629,26 @@ replayInstrumented(const ResolvedTraceSoA& soa,
 
     forEachShard(soa, n_cfg, pool,
                  [&](int cpu, std::size_t k0, std::size_t k1) {
-        std::vector<mem::InstrumentedICache> caches;
-        caches.reserve(k1 - k0);
-        for (std::size_t k = k0; k < k1; ++k)
-            caches.emplace_back(configs[k]);
-        const auto [begin, end_i] = soa.cpuRange(cpu);
-        for (std::size_t i = begin; i < end_i; ++i) {
-            if (soa.owner[i] == kOwnerDataByte)
-                continue;
-            const std::uint64_t addr = soa.addr[i];
-            const std::uint32_t words = soa.bytes[i] / 4;
-            const mem::Owner owner =
-                static_cast<mem::Owner>(soa.owner[i]);
-            for (std::size_t k = k0; k < k1; ++k) {
-                mem::InstrumentedICache& cache = caches[k - k0];
-                for (std::uint32_t w = 0; w < words; ++w)
-                    cache.fetchWord(addr + w * 4ull, owner);
-            }
-        }
+        std::vector<detail::InstrShardOut> local(k1 - k0);
+        detail::InstrShard shard;
+        shard.soa = &soa;
+        shard.cpu = cpu;
+        shard.configs = configs.data();
+        shard.k0 = k0;
+        shard.k1 = k1;
+        shard.flush_at_end = flush_at_end;
+        shard.out = local.data();
+        detail::instrShardRun(KernelKind::Scalar, shard);
         for (std::size_t k = k0; k < k1; ++k) {
-            mem::InstrumentedICache& cache = caches[k - k0];
-            if (flush_at_end)
-                cache.flush();
+            detail::InstrShardOut& o = local[k - k0];
             InstrPartial& p =
                 partial[k * n_cpu + static_cast<std::size_t>(cpu)];
-            p.stats.words_used = cache.wordsUsed();
-            p.stats.word_reuse = cache.wordReuse();
-            p.stats.lifetimes = cache.lifetimes();
-            p.stats.misses = cache.misses();
-            p.samples = cache.wordReuse().totalSamples();
-            p.unused_frac = cache.unusedWordFraction();
+            p.stats.words_used = std::move(o.words_used);
+            p.stats.word_reuse = std::move(o.word_reuse);
+            p.stats.lifetimes = std::move(o.lifetimes);
+            p.stats.misses = o.misses;
+            p.samples = o.samples;
+            p.unused_frac = o.unused_word_fraction;
         }
     });
 

@@ -1,8 +1,10 @@
 #include "sim/kernels.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iomanip>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -133,61 +135,90 @@ timeKernel(KernelKind kind, const ResolvedTraceSoA& soa,
     return best;
 }
 
-/** One-time calibration replay: time every runnable kernel on the
- *  synthetic trace and keep the fastest. */
-const KernelChoice&
-calibratedChoice()
+/** Calibration state: an optional real-trace slice seeded by the
+ *  caller, the cached choice, and its provenance. */
+struct CalibState
 {
-    static const KernelChoice choice = [] {
-        KernelChoice c;
-        if (!simdAvailable() && !avx512Available()) {
-            c.kind = KernelKind::Scalar;
-            c.reason = "auto: no vector kernel runnable on this host";
-            return c;
-        }
-        const ResolvedTraceSoA soa = makeCalibrationTrace();
-        // A fig04-shaped mix: direct-mapped sizes at two line sizes
-        // plus one 4-way member.
-        const mem::CacheConfig configs[] = {
-            {32 * 1024, 32, 1},  {64 * 1024, 32, 1},
-            {128 * 1024, 64, 1}, {256 * 1024, 64, 1},
-            {64 * 1024, 64, 4},
-        };
-        const std::size_t n_cfg = sizeof(configs) / sizeof(configs[0]);
-        const double scalar_s =
-            timeKernel(KernelKind::Scalar, soa, configs, n_cfg);
+    std::mutex mu;
+    ResolvedTraceSoA slice; ///< empty => use the synthetic trace
+    bool seeded = false;
+    bool computed = false;
+    KernelChoice choice;
+    CalibrationInfo info;
+};
+
+CalibState&
+calibState()
+{
+    static CalibState s;
+    return s;
+}
+
+/** One-time calibration replay: time every runnable kernel on the
+ *  seeded real-trace slice (else the synthetic trace), keep the
+ *  fastest. Caller holds st.mu. */
+const KernelChoice&
+calibratedChoiceLocked(CalibState& st)
+{
+    if (st.computed)
+        return st.choice;
+    st.computed = true;
+    KernelChoice& c = st.choice;
+    c = KernelChoice();
+    st.info = CalibrationInfo();
+    if (!simdAvailable() && !avx512Available()) {
         c.kind = KernelKind::Scalar;
-        double best_s = scalar_s;
-        if (simdAvailable()) {
-            const double s =
-                timeKernel(KernelKind::Avx2, soa, configs, n_cfg);
-            if (s < best_s) {
-                best_s = s;
-                c.kind = KernelKind::Avx2;
-            }
-        }
-        if (avx512Available()) {
-            const double s =
-                timeKernel(KernelKind::Avx512, soa, configs, n_cfg);
-            if (s < best_s) {
-                best_s = s;
-                c.kind = KernelKind::Avx512;
-            }
-        }
-        std::ostringstream reason;
-        if (c.kind == KernelKind::Scalar) {
-            reason << "auto-calibrated: scalar (vector kernels slower "
-                      "on this host)";
-        } else {
-            reason << "auto-calibrated: " << kernelName(c.kind) << " ("
-                   << std::fixed << std::setprecision(2)
-                   << (best_s > 0.0 ? scalar_s / best_s : 0.0)
-                   << "x vs scalar)";
-        }
-        c.reason = reason.str();
+        c.reason = "auto: no vector kernel runnable on this host";
         return c;
-    }();
-    return choice;
+    }
+    const bool real = st.seeded && !st.slice.addr.empty();
+    const ResolvedTraceSoA& soa =
+        real ? st.slice
+             : (st.slice = makeCalibrationTrace(), st.slice);
+    st.info.ran = true;
+    st.info.source = real ? "real-slice" : "synthetic";
+    st.info.sample_refs = soa.addr.size();
+    // A fig04-shaped mix: direct-mapped sizes at two line sizes
+    // plus one 4-way member.
+    const mem::CacheConfig configs[] = {
+        {32 * 1024, 32, 1},  {64 * 1024, 32, 1},
+        {128 * 1024, 64, 1}, {256 * 1024, 64, 1},
+        {64 * 1024, 64, 4},
+    };
+    const std::size_t n_cfg = sizeof(configs) / sizeof(configs[0]);
+    const double scalar_s =
+        timeKernel(KernelKind::Scalar, soa, configs, n_cfg);
+    c.kind = KernelKind::Scalar;
+    double best_s = scalar_s;
+    if (simdAvailable()) {
+        const double s =
+            timeKernel(KernelKind::Avx2, soa, configs, n_cfg);
+        if (s < best_s) {
+            best_s = s;
+            c.kind = KernelKind::Avx2;
+        }
+    }
+    if (avx512Available()) {
+        const double s =
+            timeKernel(KernelKind::Avx512, soa, configs, n_cfg);
+        if (s < best_s) {
+            best_s = s;
+            c.kind = KernelKind::Avx512;
+        }
+    }
+    std::ostringstream reason;
+    if (c.kind == KernelKind::Scalar) {
+        reason << "auto-calibrated (" << st.info.source
+               << "): scalar (vector kernels slower on this host)";
+    } else {
+        reason << "auto-calibrated (" << st.info.source << "): "
+               << kernelName(c.kind) << " (" << std::fixed
+               << std::setprecision(2)
+               << (best_s > 0.0 ? scalar_s / best_s : 0.0)
+               << "x vs scalar)";
+    }
+    c.reason = reason.str();
+    return c;
 }
 
 KernelChoice
@@ -234,7 +265,46 @@ resolveKernel(SimdMode mode)
     const SimdMode env = simdModeFromEnv();
     if (env != SimdMode::Auto)
         return explicitChoice(env, "SPIKESIM_SIMD");
-    return calibratedChoice();
+    CalibState& st = calibState();
+    const std::lock_guard<std::mutex> lock(st.mu);
+    return calibratedChoiceLocked(st);
+}
+
+void
+seedCalibrationTrace(const ResolvedTraceSoA& soa, std::size_t max_refs)
+{
+    const std::size_t n = std::min(max_refs, soa.addr.size());
+    CalibState& st = calibState();
+    const std::lock_guard<std::mutex> lock(st.mu);
+    st.slice = ResolvedTraceSoA();
+    if (n > 0) {
+        st.slice.addr.assign(soa.addr.begin(),
+                             soa.addr.begin() +
+                                 static_cast<std::ptrdiff_t>(n));
+        st.slice.bytes.assign(soa.bytes.begin(),
+                              soa.bytes.begin() +
+                                  static_cast<std::ptrdiff_t>(n));
+        st.slice.owner.assign(soa.owner.begin(),
+                              soa.owner.begin() +
+                                  static_cast<std::ptrdiff_t>(n));
+        st.slice.flags.assign(soa.flags.begin(),
+                              soa.flags.begin() +
+                                  static_cast<std::ptrdiff_t>(n));
+        st.slice.num_cpus = 1;
+        st.slice.cpu_begin = {0, n};
+        st.slice.instr_events = n;
+        st.slice.instrs = n;
+    }
+    st.seeded = n > 0;
+    st.computed = false; // next Auto resolve re-calibrates
+}
+
+CalibrationInfo
+calibrationInfo()
+{
+    CalibState& st = calibState();
+    const std::lock_guard<std::mutex> lock(st.mu);
+    return st.info;
 }
 
 const char*
@@ -269,6 +339,12 @@ void
 iTlbShard(const ITlbShard& shard)
 {
     runITlbShardImpl(shard);
+}
+
+void
+instrShard(const InstrShard& shard)
+{
+    runInstrShardImpl(shard);
 }
 
 void
@@ -363,6 +439,13 @@ iTlbShardRun(KernelKind kind, const ITlbShard& shard)
 {
     (void)kind; // one exact FA-LRU implementation serves every kind
     iTlbShard(shard);
+}
+
+void
+instrShardRun(KernelKind kind, const InstrShard& shard)
+{
+    (void)kind; // one per-word scalar implementation serves every kind
+    instrShard(shard);
 }
 
 void

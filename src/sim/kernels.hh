@@ -2,6 +2,7 @@
 #define SPIKESIM_SIM_KERNELS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "mem/cache.hh"
@@ -9,6 +10,7 @@
 #include "mem/streambuf.hh"
 #include "mem/threec.hh"
 #include "sim/soa.hh"
+#include "support/histogram.hh"
 
 /**
  * @file
@@ -113,6 +115,30 @@ SimdMode simdModeFromEnv();
  */
 KernelChoice resolveKernel(SimdMode mode);
 
+/** Provenance of the Auto-mode calibration replay. */
+struct CalibrationInfo
+{
+    bool ran = false; ///< a timing replay actually ran
+    /** "synthetic" or "real-slice" (seedCalibrationTrace was used). */
+    std::string source = "synthetic";
+    /** Reference count of the calibration trace that was timed. */
+    std::uint64_t sample_refs = 0;
+};
+
+/**
+ * Ground the Auto-mode calibration on a slice of a real resolved trace
+ * instead of the synthetic one: the first `max_refs` references (single
+ * CPU) are copied and the next calibration replay times the kernels on
+ * them. Re-seeding invalidates any cached calibration, so call this
+ * before the first resolveKernel(Auto). The synthetic trace remains the
+ * fallback whenever no seed was provided.
+ */
+void seedCalibrationTrace(const ResolvedTraceSoA& soa,
+                          std::size_t max_refs = 32 * 1024);
+
+/** Provenance of the most recent calibration (ran=false if none). */
+CalibrationInfo calibrationInfo();
+
 /** "scalar", "avx2" or "avx512" — for banners, manifests, JSON. */
 const char* kernelName(KernelKind kind);
 
@@ -155,6 +181,34 @@ struct ITlbShard
     ITlbReplayResult* out = nullptr;
 };
 
+/**
+ * Per-config output of one instrumented-replay shard cell. Histograms
+ * are default-sized like sim::WordStats; the kernel replaces them with
+ * correctly-sized ones for the config's line geometry.
+ */
+struct InstrShardOut
+{
+    support::Histogram words_used{65};
+    support::Histogram word_reuse{16};
+    support::Log2Histogram lifetimes{32};
+    std::uint64_t misses = 0;
+    /** Lines retired (= word_reuse sample count / words-per-line). */
+    std::uint64_t samples = 0;
+    double unused_word_fraction = 0.0;
+};
+
+/** One (cpu, config-chunk) cell of a fused instrumented replay. */
+struct InstrShard
+{
+    const ResolvedTraceSoA* soa = nullptr;
+    int cpu = 0;
+    const mem::CacheConfig* configs = nullptr;
+    std::size_t k0 = 0;
+    std::size_t k1 = 0;
+    bool flush_at_end = false;
+    InstrShardOut* out = nullptr;
+};
+
 /** One (cpu, config-chunk) cell of a fused stream-buffer replay. */
 struct StreamBufShard
 {
@@ -182,6 +236,15 @@ void threeCShardAvx512(const ThreeCShard& shard); ///< AVX-512 TU only
  */
 void iTlbShard(const ITlbShard& shard);
 
+/**
+ * The instrumented family is dominated by per-word histogram updates
+ * with serial dependences (timestamps, saturating counters); there is
+ * no profitable vector form, so one scalar implementation — built on
+ * the same run-coalescing line-span walk as the throughput kernels —
+ * serves every KernelKind.
+ */
+void instrShard(const InstrShard& shard);
+
 void streamBufShardScalar(const StreamBufShard& shard);
 void streamBufShardAvx2(const StreamBufShard& shard);   ///< AVX2 TU
 void streamBufShardAvx512(const StreamBufShard& shard); ///< AVX-512 TU
@@ -190,6 +253,7 @@ void streamBufShardAvx512(const StreamBufShard& shard); ///< AVX-512 TU
 void icacheShardRun(KernelKind kind, const IcacheShard& shard);
 void threeCShardRun(KernelKind kind, const ThreeCShard& shard);
 void iTlbShardRun(KernelKind kind, const ITlbShard& shard);
+void instrShardRun(KernelKind kind, const InstrShard& shard);
 void streamBufShardRun(KernelKind kind, const StreamBufShard& shard);
 
 } // namespace detail

@@ -1,9 +1,11 @@
 #ifndef SPIKESIM_SIM_KERNELS_DETAIL_HH
 #define SPIKESIM_SIM_KERNELS_DETAIL_HH
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/kernels.hh"
@@ -855,6 +857,248 @@ runITlbShardImpl(const ITlbShard& sh)
             o = ITlbReplayResult();
             o.accesses = g.line_steps;
             o.misses = m.misses;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instrumented (per-word) kernel.
+//
+// Exact port of mem::InstrumentedICache onto the run-coalescing
+// line-span walk: each instruction ref is split into maximal
+// same-line word spans; the first word of a span pays the full probe
+// (hit scan, else miss + retire + fill) and the remaining words are
+// guaranteed hits on the same entry — the oracle's hit path is
+// position-independent and side-effect-free until the hit is found,
+// so touching the entry directly reproduces every counter, stamp and
+// histogram update bit for bit. A one-entry MRU filter (last line +
+// entry, re-validated against the tag) short-circuits the common
+// sequential-fetch probe. Per-word histogram updates carry serial
+// dependences (timestamps, saturating counters), so there is no
+// profitable vector form and one scalar implementation serves every
+// KernelKind.
+// ---------------------------------------------------------------------
+
+/** One instrumented configuration within a line-size group. */
+struct InstrMember
+{
+    std::size_t slot = 0;
+    std::uint32_t assoc = 0;
+    std::uint32_t set_mask = 0;
+
+    std::vector<std::uint8_t> valid;
+    std::vector<std::uint64_t> tag;
+    std::vector<std::uint64_t> stamp;
+    std::vector<std::uint64_t> fill;
+    std::vector<std::uint64_t> wmask;
+    std::vector<std::uint16_t> counts; ///< entries * words-per-line
+
+    support::Histogram words_used;
+    support::Histogram word_reuse;
+    support::Log2Histogram lifetimes;
+    std::uint64_t now = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t unused = 0;
+
+    std::uint64_t last_line = kInvalidTag;
+    std::size_t last_entry = 0;
+
+    InstrMember(std::size_t s, const mem::CacheConfig& c,
+                std::uint32_t wpl)
+        : slot(s), assoc(c.assoc), set_mask(c.numSets() - 1),
+          words_used(wpl + 1), word_reuse(16), lifetimes(32)
+    {
+        const std::size_t n =
+            static_cast<std::size_t>(c.numSets()) * c.assoc;
+        valid.assign(n, 0);
+        tag.assign(n, 0);
+        stamp.assign(n, 0);
+        fill.assign(n, 0);
+        wmask.assign(n, 0);
+        counts.assign(n * wpl, 0);
+    }
+};
+
+/** All instrumented configurations sharing one line size. */
+struct InstrGroup
+{
+    std::uint32_t line = 0;
+    std::uint32_t shift = 0;
+    std::uint32_t wpl = 0; ///< words per line
+    std::vector<InstrMember> members;
+};
+
+/** Retire one entry into the histograms (oracle retire(), verbatim). */
+inline void
+instrRetire(InstrMember& m, std::uint32_t wpl, std::size_t idx)
+{
+    if (!m.valid[idx])
+        return;
+    m.words_used.record(
+        static_cast<std::uint64_t>(std::popcount(m.wmask[idx])));
+    m.lifetimes.record(m.now - m.fill[idx]);
+    std::uint16_t* counts = &m.counts[idx * wpl];
+    for (std::uint32_t w = 0; w < wpl; ++w) {
+        m.word_reuse.record(counts[w]);
+        ++m.fetched;
+        if (counts[w] == 0)
+            ++m.unused;
+        counts[w] = 0;
+    }
+    m.valid[idx] = 0;
+    m.wmask[idx] = 0;
+}
+
+/** Feed one same-line span of `span` words starting at `word0`. */
+inline void
+instrSpan(InstrMember& m, std::uint32_t wpl, std::uint64_t line,
+          std::uint32_t word0, std::uint32_t span)
+{
+    ++m.now;
+    std::size_t entry;
+    if (line == m.last_line && m.valid[m.last_entry] != 0 &&
+        m.tag[m.last_entry] == line) {
+        // MRU hit: identical effects to the scan finding this entry.
+        entry = m.last_entry;
+        m.stamp[entry] = m.now;
+        m.wmask[entry] |= 1ULL << word0;
+        std::uint16_t& c = m.counts[entry * wpl + word0];
+        if (c < 0xffff)
+            ++c;
+        ++m.hits;
+    } else {
+        const std::size_t base =
+            static_cast<std::size_t>(static_cast<std::uint32_t>(line) &
+                                     m.set_mask) *
+            m.assoc;
+        std::size_t found = kInvalidTag;
+        std::size_t victim = base;
+        for (std::uint32_t w = 0; w < m.assoc; ++w) {
+            const std::size_t idx = base + w;
+            if (m.valid[idx] != 0 && m.tag[idx] == line) {
+                found = idx;
+                break;
+            }
+            // Oracle victim scan: last invalid way wins; else min stamp.
+            if (m.valid[idx] == 0)
+                victim = idx;
+            else if (m.valid[victim] != 0 &&
+                     m.stamp[idx] < m.stamp[victim])
+                victim = idx;
+        }
+        if (found != kInvalidTag) {
+            entry = found;
+            m.stamp[entry] = m.now;
+            m.wmask[entry] |= 1ULL << word0;
+            std::uint16_t& c = m.counts[entry * wpl + word0];
+            if (c < 0xffff)
+                ++c;
+            ++m.hits;
+        } else {
+            ++m.misses;
+            instrRetire(m, wpl, victim);
+            entry = victim;
+            m.valid[entry] = 1;
+            m.tag[entry] = line;
+            m.stamp[entry] = m.now;
+            m.fill[entry] = m.now;
+            m.wmask[entry] = 1ULL << word0;
+            m.counts[entry * wpl + word0] = 1;
+        }
+    }
+    // The span's remaining words are consecutive indices of the same
+    // line: guaranteed hits on `entry`, one oracle fetchWord() each.
+    for (std::uint32_t s = 1; s < span; ++s) {
+        ++m.now;
+        m.stamp[entry] = m.now;
+        m.wmask[entry] |= 1ULL << (word0 + s);
+        std::uint16_t& c = m.counts[entry * wpl + word0 + s];
+        if (c < 0xffff)
+            ++c;
+        ++m.hits;
+    }
+    m.last_line = line;
+    m.last_entry = entry;
+}
+
+inline void
+runInstrShardImpl(const InstrShard& sh)
+{
+    const ResolvedTraceSoA& soa = *sh.soa;
+    std::vector<InstrGroup> groups;
+    for (std::size_t k = sh.k0; k < sh.k1; ++k) {
+        const mem::CacheConfig& cfg = sh.configs[k];
+        const std::string err = cfg.check();
+        SPIKESIM_ASSERT(err.empty(), "bad cache config: " << err);
+        SPIKESIM_ASSERT(cfg.line_bytes / 4 <= 64,
+                        "line too wide for 64-bit word masks");
+        InstrGroup* g = nullptr;
+        for (InstrGroup& cand : groups)
+            if (cand.line == cfg.line_bytes)
+                g = &cand;
+        if (g == nullptr) {
+            groups.emplace_back();
+            g = &groups.back();
+            g->line = cfg.line_bytes;
+            g->shift = static_cast<std::uint32_t>(
+                std::bit_width(cfg.line_bytes) - 1);
+            g->wpl = cfg.line_bytes / 4;
+        }
+        g->members.emplace_back(k - sh.k0, cfg, g->wpl);
+    }
+
+    const auto [begin, end] = soa.cpuRange(sh.cpu);
+    const std::uint64_t* addrs = soa.addr.data();
+    const std::uint32_t* sizes = soa.bytes.data();
+    const std::uint8_t* owners = soa.owner.data();
+
+    for (std::size_t i = begin; i < end; ++i) {
+        if (i + kRefPrefetch < end) {
+            __builtin_prefetch(addrs + i + kRefPrefetch);
+            __builtin_prefetch(sizes + i + kRefPrefetch);
+        }
+        if (owners[i] == static_cast<std::uint8_t>(mem::Owner::Data))
+            continue;
+        const std::uint64_t addr = addrs[i];
+        const std::uint32_t words = sizes[i] / 4;
+        for (InstrGroup& g : groups) {
+            std::uint32_t w = 0;
+            while (w < words) {
+                const std::uint64_t wa = addr + 4ULL * w;
+                const std::uint64_t line = wa >> g.shift;
+                const std::uint64_t next = (line + 1) << g.shift;
+                // Words at wa, wa+4, ... stay on `line` while below
+                // `next`: ceil((next - wa) / 4) of them.
+                const std::uint32_t span =
+                    static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                        words - w, (next - wa + 3) >> 2));
+                const std::uint32_t word0 =
+                    static_cast<std::uint32_t>(wa >> 2) & (g.wpl - 1);
+                for (InstrMember& m : g.members)
+                    instrSpan(m, g.wpl, line, word0, span);
+                w += span;
+            }
+        }
+    }
+
+    for (InstrGroup& g : groups) {
+        for (InstrMember& m : g.members) {
+            if (sh.flush_at_end)
+                for (std::size_t e = 0; e < m.valid.size(); ++e)
+                    instrRetire(m, g.wpl, e);
+            InstrShardOut& o = sh.out[m.slot];
+            o.misses = m.misses;
+            o.samples = m.word_reuse.totalSamples();
+            o.unused_word_fraction =
+                m.fetched == 0
+                    ? 0.0
+                    : static_cast<double>(m.unused) /
+                          static_cast<double>(m.fetched);
+            o.words_used = std::move(m.words_used);
+            o.word_reuse = std::move(m.word_reuse);
+            o.lifetimes = std::move(m.lifetimes);
         }
     }
 }

@@ -4,6 +4,7 @@
  *
  * usage: obs_dump MANIFEST.json
  *        obs_dump --check-trace TRACE.json
+ *        obs_dump --check-bench BENCH_layout_search.json
  *
  * The default mode pretty-prints a run manifest (written by a bench's
  * `--manifest-out`): binary, arguments, seed, thread count, per-phase
@@ -13,8 +14,12 @@
  * traceEvents array, string name/cat, numeric pid/tid/ts, complete "X"
  * events with dur >= 0 or balanced "B"/"E" pairs — and additionally
  * round-trips the document through the JSON writer to prove the
- * parse/serialize pair is lossless. Exits non-zero on any violation,
- * so ctest can use it as a smoke gate.
+ * parse/serialize pair is lossless. `--check-bench` validates the
+ * layout-search bench artifact: every scalar metric present and
+ * correctly typed, the objective-weight / page-geometry / region-map
+ * sub-objects complete, and the re-rank curve and sweep grid arrays
+ * well-formed. All checking modes exit non-zero on any violation, so
+ * ctest can use them as smoke gates.
  */
 
 #include <cstdio>
@@ -36,7 +41,8 @@ usage(const std::string& complaint)
 {
     support::fatal(complaint +
                    "\nusage: obs_dump MANIFEST.json\n"
-                   "       obs_dump --check-trace TRACE.json");
+                   "       obs_dump --check-trace TRACE.json\n"
+                   "       obs_dump --check-bench BENCH.json");
 }
 
 std::string
@@ -95,6 +101,117 @@ checkTrace(const std::string& path)
     const auto* events = doc.find("traceEvents");
     std::cout << "ok: " << path << " (" << events->array().size()
               << " events, schema valid, round-trip exact)\n";
+    return 0;
+}
+
+/** Schema gate for BENCH_layout_search.json; 0 on success. Reports
+ *  every violation (not just the first) so a failing run is fixable in
+ *  one pass. */
+int
+checkBench(const std::string& path)
+{
+    const std::string text = readFile(path);
+    obs::JsonValue doc;
+    std::string err;
+    if (!obs::parseJson(text, doc, &err)) {
+        std::cerr << "obs_dump: " << path << " is not valid JSON: "
+                  << err << "\n";
+        return 1;
+    }
+    int bad = 0;
+    const auto fail = [&](const std::string& what) {
+        std::cerr << "obs_dump: " << path << ": " << what << "\n";
+        ++bad;
+    };
+    if (!doc.isObject()) {
+        fail("top level is not an object");
+        return 1;
+    }
+    const auto number = [&](const obs::JsonValue& obj,
+                            const std::string& where, const char* key) {
+        const obs::JsonValue* v = obj.find(key);
+        if (v == nullptr)
+            fail(where + " is missing \"" + key + "\"");
+        else if (!v->isNumber())
+            fail(where + " \"" + key + "\" is not a number");
+    };
+    const obs::JsonValue* bench = doc.find("bench");
+    if (bench == nullptr || !bench->isString() ||
+        bench->str() != "layout_search")
+        fail("\"bench\" is not the string \"layout_search\"");
+    for (const char* key :
+         {"seed", "profile_txns", "trace_txns", "epochs", "batch",
+          "proxy_evals", "sim_evals", "sim_cache_hits",
+          "seed_exttsp_score", "best_exttsp_score", "greedy_all_misses",
+          "searched_misses", "greedy_all_itlb4k", "searched_itlb4k",
+          "greedy_all_itlb2m", "searched_itlb2m", "seed_objective",
+          "best_objective"})
+        number(doc, "top level", key);
+    const auto object = [&](const char* key,
+                            std::initializer_list<const char*> fields) {
+        const obs::JsonValue* v = doc.find(key);
+        if (v == nullptr || !v->isObject()) {
+            fail(std::string("\"") + key + "\" is not an object");
+            return;
+        }
+        for (const char* f : fields)
+            number(*v, std::string("\"") + key + "\"", f);
+    };
+    object("rerank_config", {"size_bytes", "line_bytes", "assoc"});
+    object("objective_weights", {"icache", "itlb4k", "itlb2m"});
+    object("page_geometry", {"region_page_bytes", "itlb_entries"});
+    object("region_map", {"num_regions", "num_hot", "hot_segments",
+                          "cold_segments", "hot_bytes", "cold_bytes"});
+    const auto array = [&](const char* key) -> const obs::JsonValue* {
+        const obs::JsonValue* v = doc.find(key);
+        if (v == nullptr || !v->isArray()) {
+            fail(std::string("\"") + key + "\" is not an array");
+            return nullptr;
+        }
+        return v;
+    };
+    if (const obs::JsonValue* curve = array("rerank_curve"))
+        for (std::size_t i = 0; i < curve->array().size(); ++i) {
+            const obs::JsonValue& p = curve->array()[i];
+            const std::string where =
+                "rerank_curve[" + std::to_string(i) + "]";
+            if (!p.isObject()) {
+                fail(where + " is not an object");
+                continue;
+            }
+            for (const char* key :
+                 {"epoch", "misses", "itlb4k", "objective"})
+                number(p, where, key);
+        }
+    if (const obs::JsonValue* eb = array("epoch_best_exttsp"))
+        for (std::size_t i = 0; i < eb->array().size(); ++i)
+            if (!eb->array()[i].isNumber())
+                fail("epoch_best_exttsp[" + std::to_string(i) +
+                     "] is not a number");
+    if (const obs::JsonValue* grid = array("grid")) {
+        if (grid->array().empty())
+            fail("\"grid\" is empty");
+        for (std::size_t i = 0; i < grid->array().size(); ++i) {
+            const obs::JsonValue& p = grid->array()[i];
+            const std::string where = "grid[" + std::to_string(i) + "]";
+            if (!p.isObject()) {
+                fail(where + " is not an object");
+                continue;
+            }
+            for (const char* key :
+                 {"size_kb", "line_b", "base", "greedy_all", "searched"})
+                number(p, where, key);
+        }
+    }
+    // Round-trip: the artifact must survive our writer/parser pair.
+    obs::JsonValue again;
+    if (!obs::parseJson(doc.dump(), again, &err) || !(again == doc))
+        fail("round-trip through the JSON writer changed the document");
+    if (bad != 0)
+        return 1;
+    std::cout << "ok: " << path << " (layout-search bench schema valid, "
+              << doc.find("grid")->array().size()
+              << " grid points, round-trip exact)\n";
     return 0;
 }
 
@@ -201,11 +318,14 @@ int
 main(int argc, char** argv)
 {
     bool check_trace = false;
+    bool check_bench = false;
     std::string path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--check-trace")
             check_trace = true;
+        else if (arg == "--check-bench")
+            check_bench = true;
         else if (arg.size() > 1 && arg[0] == '-')
             usage("unknown option '" + arg + "'");
         else if (path.empty())
@@ -215,5 +335,11 @@ main(int argc, char** argv)
     }
     if (path.empty())
         usage("missing input file");
-    return check_trace ? checkTrace(path) : dumpManifest(path);
+    if (check_trace && check_bench)
+        usage("--check-trace and --check-bench are exclusive");
+    if (check_trace)
+        return checkTrace(path);
+    if (check_bench)
+        return checkBench(path);
+    return dumpManifest(path);
 }
