@@ -5,13 +5,15 @@
  * inevitably optimize with imperfect profiles. This bench measures how
  * the layout gains degrade when the profile is (a) collected from the
  * measured run itself (oracle), (b) a separate run (the paper's
- * methodology and our default), (c) tiny, or (d) from a *different
- * workload entirely* -- a TPC-C order-entry mix standing in for "the
- * profile shipped with last quarter's benchmark kit".
+ * methodology and our default), (c) tiny, or (d/e) from a *different
+ * workload entirely* -- a TPC-C order-entry mix and a YCSB key-value
+ * mix standing in for "the profile shipped with last quarter's
+ * benchmark kit".
  */
 
 #include "bench/common.hh"
 #include "db/tpcc.hh"
+#include "db/ycsb.hh"
 
 using namespace spikesim;
 
@@ -72,7 +74,7 @@ main(int argc, char** argv)
     profile::Profile tpcc_prof(w.appProg());
     {
         profile::ProfileRecorder rec(trace::ImageId::App, tpcc_prof);
-        w.system->runCustom(w.profile_txns / 2, rec,
+        w.system->runRequests(w.profile_txns / 2, rec,
                             [&](std::uint16_t p) {
                                 tpcc.runTransaction(p);
                             });
@@ -80,6 +82,26 @@ main(int argc, char** argv)
     if (tpcc.verify() != "")
         std::cerr << "[ablation] WARNING: tpcc inconsistent: "
                   << tpcc.verify() << "\n";
+
+    // (e) Mismatched workload, further out: a YCSB key-value mix --
+    // Zipf-skewed point reads/updates with none of TPC-B's branch
+    // structure.
+    std::cerr << "[ablation] collecting YCSB profile...\n";
+    db::YcsbConfig ycsb_config;
+    db::YcsbDatabase ycsb(ycsb_config,
+                          static_cast<db::EngineHooks*>(w.system.get()));
+    ycsb.setup();
+    profile::Profile ycsb_prof(w.appProg());
+    {
+        profile::ProfileRecorder rec(trace::ImageId::App, ycsb_prof);
+        w.system->runRequests(w.profile_txns / 2, rec,
+                              [&](std::uint16_t p) {
+                                  ycsb.runRequest(p);
+                              });
+    }
+    if (ycsb.verify() != "")
+        std::cerr << "[ablation] WARNING: ycsb inconsistent: "
+                  << ycsb.verify() << "\n";
 
     support::TablePrinter table(
         {"profile", "64KB misses", "reduction vs base"});
@@ -99,6 +121,7 @@ main(int argc, char** argv)
         add("separate run (paper methodology)", w.appProfile());
     std::uint64_t small = add("tiny profile (20 txns)", tiny.app);
     std::uint64_t cross = add("mismatched workload (TPC-C)", tpcc_prof);
+    std::uint64_t kv = add("mismatched workload (YCSB)", ycsb_prof);
     table.print(std::cout);
     std::cout << "\n";
 
@@ -108,6 +131,7 @@ main(int argc, char** argv)
         "PGO folklore says even rough profiles capture most gains",
         "separate-run profile " + support::withCommas(fresh) +
             " misses; tiny profile " + support::withCommas(small) +
-            "; cross-workload " + support::withCommas(cross));
+            "; cross-workload TPC-C " + support::withCommas(cross) +
+            ", YCSB " + support::withCommas(kv));
     return 0;
 }

@@ -1,0 +1,177 @@
+#include "db/ycsb.hh"
+
+#include <vector>
+
+#include "support/panic.hh"
+
+namespace spikesim::db {
+
+namespace {
+/** Lock space for usertable keys (disjoint from TPC-B/TPC-C spaces). */
+constexpr std::uint32_t kUserSpace = 20;
+/** SGA lock-bucket array size (mirrors the TPC-B contention touch). */
+constexpr std::uint64_t kLockBuckets = 4'096;
+} // namespace
+
+std::string
+YcsbConfig::check() const
+{
+    if (record_count < 1)
+        return "record_count must be >= 1";
+    if (zipf_theta < 0.0 || zipf_theta >= 1.0)
+        return "zipf_theta must be in [0, 1)";
+    if (update_ratio < 0.0 || update_ratio > 1.0)
+        return "update_ratio must be in [0, 1]";
+    if (operation_count < 1)
+        return "operation_count must be >= 1";
+    return "";
+}
+
+YcsbDatabase::YcsbDatabase(const YcsbConfig& config, EngineHooks* hooks)
+    : config_(config), hooks_(hooks), rng_(config.seed, 0x4c5bULL),
+      zipf_(static_cast<std::uint64_t>(
+                config.record_count < 1 ? 1 : config.record_count),
+            config.zipf_theta)
+{
+    SPIKESIM_ASSERT(config.check().empty(),
+                    "bad YCSB config: " << config.check());
+    pool_ = std::make_unique<BufferPool>(disk_, config.buffer_frames,
+                                         hooks);
+    wal_ = std::make_unique<Wal>(disk_, config.wal, hooks);
+    txns_ = std::make_unique<TransactionManager>(*wal_, locks_, *pool_,
+                                                 hooks);
+    pool_->setWalBarrier([this](Lsn lsn) {
+        if (lsn > wal_->flushedLsn())
+            wal_->flush();
+    });
+}
+
+void
+YcsbDatabase::setup()
+{
+    usertable_ = std::make_unique<HeapTable>(HeapTable::create(
+        *pool_, *wal_, alloc_, sizeof(YcsbRow), hooks_));
+    user_idx_ = std::make_unique<BTree>(
+        BTree::create(*pool_, *wal_, alloc_, alloc_.alloc(), hooks_));
+
+    TxnId txn = txns_->begin();
+    for (std::int64_t k = 0; k < config_.record_count; ++k) {
+        YcsbRow row{};
+        row.id = k;
+        row.version = 0;
+        row.value = k;
+        RowId rid = usertable_->insert(txn, &row);
+        user_idx_->insert(txn, k, rid);
+    }
+    txns_->commit(txn);
+    wal_->flush();
+    pool_->flushAll();
+}
+
+YcsbOutcome
+YcsbDatabase::runRequest(std::uint16_t process)
+{
+    SPIKESIM_ASSERT(usertable_ != nullptr, "setup() was not called");
+    YcsbOutcome out;
+
+    if (hooks_ != nullptr) {
+        hooks_->onSyscall("sys_ipc"); // socket receive
+        hooks_->onOp("net_recv");
+        for (int line = 0; line < 4; ++line)
+            hooks_->onData(addrmap::pga(process) +
+                           static_cast<std::uint64_t>(line) * 64);
+    }
+    TxnId txn = txns_->begin();
+    out.txn = txn;
+
+    for (int op = 0; op < config_.operation_count; ++op) {
+        const auto key =
+            static_cast<std::int64_t>(zipf_.sample(rng_));
+        if (rng_.nextBool(config_.update_ratio)) {
+            if (hooks_ != nullptr)
+                hooks_->onOp("sql_exec_update");
+            RowId rid = *user_idx_->search(key);
+            locks_.acquire(txn,
+                           {kUserSpace,
+                            static_cast<std::uint64_t>(key)},
+                           LockMode::Exclusive);
+            if (hooks_ != nullptr) {
+                hooks_->onOp("lock_acquire_fast");
+                hooks_->onData(
+                    addrmap::kSgaBase +
+                    (static_cast<std::uint64_t>(key) % kLockBuckets) *
+                        64);
+            }
+            YcsbRow row;
+            usertable_->fetch(rid, &row);
+            ++row.version;
+            row.value += key + op;
+            usertable_->update(txn, rid, &row);
+            ++out.updates;
+        } else {
+            if (hooks_ != nullptr)
+                hooks_->onOp("btree_search");
+            RowId rid = *user_idx_->search(key);
+            if (hooks_ != nullptr)
+                hooks_->onOp("buf_get_hit");
+            YcsbRow row;
+            usertable_->fetch(rid, &row);
+            out.value_sum += row.value;
+            ++out.reads;
+        }
+    }
+
+    txns_->commit(txn);
+    reads_ += static_cast<std::uint64_t>(out.reads);
+    updates_ += static_cast<std::uint64_t>(out.updates);
+    if (hooks_ != nullptr) {
+        hooks_->onOp("net_reply");
+        hooks_->onSyscall("sys_ipc"); // socket send
+    }
+    return out;
+}
+
+void
+YcsbDatabase::checkpoint()
+{
+    wal_->flush();
+    pool_->flushAll();
+}
+
+std::string
+YcsbDatabase::verify()
+{
+    if (usertable_ == nullptr)
+        return "setup() was not called";
+    std::vector<bool> seen(
+        static_cast<std::size_t>(config_.record_count), false);
+    std::uint64_t rows = 0;
+    std::uint64_t version_sum = 0;
+    std::string complaint;
+    usertable_->scan([&](RowId rid, const void* data) {
+        const auto* row = static_cast<const YcsbRow*>(data);
+        ++rows;
+        if (row->id < 0 || row->id >= config_.record_count) {
+            complaint = "row id out of range";
+            return;
+        }
+        if (seen[static_cast<std::size_t>(row->id)]) {
+            complaint = "duplicate row id";
+            return;
+        }
+        seen[static_cast<std::size_t>(row->id)] = true;
+        version_sum += static_cast<std::uint64_t>(row->version);
+        auto rid_idx = user_idx_->search(row->id);
+        if (!rid_idx.has_value() || !(*rid_idx == rid))
+            complaint = "index does not point at the row";
+    });
+    if (!complaint.empty())
+        return complaint;
+    if (rows != static_cast<std::uint64_t>(config_.record_count))
+        return "row count mismatch";
+    if (version_sum != updates_)
+        return "version sum does not match committed updates";
+    return "";
+}
+
+} // namespace spikesim::db

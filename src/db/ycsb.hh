@@ -1,0 +1,119 @@
+#ifndef SPIKESIM_DB_YCSB_HH
+#define SPIKESIM_DB_YCSB_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "db/btree.hh"
+#include "db/bufferpool.hh"
+#include "db/disk.hh"
+#include "db/heap.hh"
+#include "db/lockmgr.hh"
+#include "db/txn.hh"
+#include "db/types.hh"
+#include "db/wal.hh"
+#include "support/rng.hh"
+
+/**
+ * @file
+ * YCSB-style key-value workload over the engine: one usertable (heap
+ * rows + B+tree primary index), requests of `operation_count` point
+ * operations each, keys drawn Zipf-skewed, and a read/update split
+ * (Spitfire-style knobs: zipf_theta, update_ratio, operation_count —
+ * see SNIPPETS.md snippet 3). The control-flow shape is deliberately
+ * different from TPC-B/TPC-C: no multi-table joins, no history
+ * append, shallow per-operation paths — which is exactly what the
+ * cross-workload profile-quality row and the serving bench's
+ * `--workload ycsb` mode need.
+ */
+
+namespace spikesim::db {
+
+/** Scale and mix parameters. */
+struct YcsbConfig
+{
+    std::int64_t record_count = 20'000;
+    /** Zipfian skew of key choice (0 = uniform). */
+    double zipf_theta = 0.8;
+    /** Probability an operation is an update (else a read). */
+    double update_ratio = 0.5;
+    /** Point operations per request (one request = one transaction). */
+    int operation_count = 8;
+    std::uint32_t buffer_frames = 1'200;
+    std::uint64_t seed = 11;
+    Wal::Config wal;
+
+    /** Empty when consistent, else a complaint. */
+    std::string check() const;
+};
+
+/** Result of one YCSB request. */
+struct YcsbOutcome
+{
+    TxnId txn = 0;
+    int reads = 0;
+    int updates = 0;
+    std::int64_t value_sum = 0; ///< sum of values read
+};
+
+/** YCSB usertable row (~100 bytes like the other workloads' rows). */
+struct YcsbRow
+{
+    std::int64_t id;
+    std::int64_t version; ///< update count; verify() audits the total
+    std::int64_t value;
+    char pad[80];
+};
+static_assert(sizeof(YcsbRow) == 104, "YCSB rows are ~100 bytes");
+
+/** The key-value database instance. */
+class YcsbDatabase
+{
+  public:
+    explicit YcsbDatabase(const YcsbConfig& config,
+                          EngineHooks* hooks = nullptr);
+
+    /** Create the usertable + index and load record_count rows. */
+    void setup();
+
+    /** Execute one request (operation_count point ops) for a client
+     *  process. */
+    YcsbOutcome runRequest(std::uint16_t process);
+
+    /** Force log + dirty pages to disk. */
+    void checkpoint();
+
+    /**
+     * Consistency checks: row ids are dense, the summed version
+     * counters equal the number of committed updates, and every row is
+     * reachable through the index. Empty when consistent.
+     */
+    std::string verify();
+
+    const YcsbConfig& config() const { return config_; }
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t updates() const { return updates_; }
+
+  private:
+    YcsbConfig config_;
+    EngineHooks* hooks_;
+    support::Pcg32 rng_;
+    support::ZipfSampler zipf_;
+    SimDisk disk_;
+    std::unique_ptr<BufferPool> pool_;
+    std::unique_ptr<Wal> wal_;
+    LockManager locks_;
+    std::unique_ptr<TransactionManager> txns_;
+    PageAllocator alloc_{1};
+
+    std::unique_ptr<HeapTable> usertable_;
+    std::unique_ptr<BTree> user_idx_;
+
+    std::uint64_t reads_ = 0;
+    std::uint64_t updates_ = 0;
+};
+
+} // namespace spikesim::db
+
+#endif // SPIKESIM_DB_YCSB_HH

@@ -1,0 +1,181 @@
+#include "serve/queueing.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "obs/registry.hh"
+#include "support/panic.hh"
+#include "support/rng.hh"
+
+namespace spikesim::serve {
+
+namespace {
+
+/** Service-time sampling stream id (disjoint from arrival streams). */
+constexpr std::uint64_t kServiceStream = 0x5e41ce00ULL;
+
+/** One shard's view: arrivals in global order, pre-sampled service. */
+struct ShardWork
+{
+    std::vector<std::uint64_t> times;
+    std::vector<std::uint64_t> services;
+};
+
+/** Per-shard outputs before the ordered merge. */
+struct ShardOut
+{
+    ShardResult result;
+    std::vector<std::uint64_t> latencies;
+    std::vector<std::uint64_t> depth_hist;
+};
+
+/**
+ * Single-server FIFO queue with bounded admission: depth at arrival is
+ * the number of admitted-but-incomplete requests (a request completing
+ * exactly at the arrival instant counts as done); arrivals at full
+ * depth are dropped.
+ */
+void
+runShard(const ShardWork& work, std::uint32_t bound, ShardOut& out)
+{
+    out.depth_hist.assign(bound + 1, 0);
+    std::deque<std::uint64_t> completions;
+    std::uint64_t server_free = 0;
+    for (std::size_t i = 0; i < work.times.size(); ++i) {
+        const std::uint64_t t = work.times[i];
+        while (!completions.empty() && completions.front() <= t)
+            completions.pop_front();
+        const std::uint32_t depth =
+            static_cast<std::uint32_t>(completions.size());
+        ++out.result.arrivals;
+        ++out.depth_hist[depth];
+        if (depth >= bound) {
+            ++out.result.dropped;
+            continue;
+        }
+        const std::uint64_t service = work.services[i];
+        const std::uint64_t start = std::max(t, server_free);
+        const std::uint64_t done = start + service;
+        completions.push_back(done);
+        server_free = done;
+        ++out.result.admitted;
+        out.result.busy_cycles += service;
+        out.result.last_completion = done;
+        out.latencies.push_back(done - t);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+percentileSorted(std::span<const std::uint64_t> sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const double n = static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    if (rank < 1)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+ServingResult
+simulateOpenLoop(std::span<const Arrival> arrivals,
+                 std::span<const std::uint64_t> service_cycles,
+                 std::uint64_t horizon_cycles, const QueueConfig& config,
+                 support::ThreadPool* pool)
+{
+    SPIKESIM_ASSERT(config.shards >= 1, "shards must be >= 1");
+    SPIKESIM_ASSERT(config.queue_bound >= 1,
+                    "queue_bound must be >= 1");
+    SPIKESIM_ASSERT(!service_cycles.empty(),
+                    "service-time table is empty");
+    const std::size_t nshards =
+        static_cast<std::size_t>(config.shards);
+
+    // Sample service times by global arrival index *before* sharding,
+    // so the assignment is independent of shard topology and thread
+    // count.
+    support::Pcg32 rng(config.seed, kServiceStream);
+    std::vector<ShardWork> work(nshards);
+    for (const Arrival& a : arrivals) {
+        const std::uint64_t service = service_cycles[rng.nextBounded(
+            static_cast<std::uint32_t>(service_cycles.size()))];
+        ShardWork& w = work[a.session % nshards];
+        w.times.push_back(a.time);
+        w.services.push_back(service);
+    }
+
+    std::vector<ShardOut> outs(nshards);
+    if (pool != nullptr) {
+        for (std::size_t s = 0; s < nshards; ++s)
+            pool->submit([&, s] {
+                runShard(work[s], config.queue_bound, outs[s]);
+            });
+        pool->wait();
+    } else {
+        for (std::size_t s = 0; s < nshards; ++s)
+            runShard(work[s], config.queue_bound, outs[s]);
+    }
+
+    // Ordered merge: shard order, then one global sort of latencies —
+    // both independent of execution interleaving.
+    ServingResult r;
+    r.horizon_cycles = horizon_cycles;
+    r.offered = arrivals.size();
+    r.depth_hist.assign(config.queue_bound + 1, 0);
+    for (std::size_t s = 0; s < nshards; ++s) {
+        const ShardOut& o = outs[s];
+        r.completed += o.result.admitted;
+        r.dropped += o.result.dropped;
+        r.makespan_cycles =
+            std::max(r.makespan_cycles, o.result.last_completion);
+        for (std::size_t d = 0; d < o.depth_hist.size(); ++d)
+            r.depth_hist[d] += o.depth_hist[d];
+        r.latencies_sorted.insert(r.latencies_sorted.end(),
+                                  o.latencies.begin(),
+                                  o.latencies.end());
+        r.shards.push_back(o.result);
+    }
+    std::sort(r.latencies_sorted.begin(), r.latencies_sorted.end());
+    if (!r.latencies_sorted.empty()) {
+        r.p50 = percentileSorted(r.latencies_sorted, 0.50);
+        r.p90 = percentileSorted(r.latencies_sorted, 0.90);
+        r.p99 = percentileSorted(r.latencies_sorted, 0.99);
+        r.p999 = percentileSorted(r.latencies_sorted, 0.999);
+        r.max_latency = r.latencies_sorted.back();
+        std::uint64_t total = 0;
+        for (std::uint64_t l : r.latencies_sorted)
+            total += l;
+        r.mean_latency =
+            static_cast<double>(total) /
+            static_cast<double>(r.latencies_sorted.size());
+    }
+    std::uint64_t busy = 0;
+    for (const ShardResult& s : r.shards)
+        busy += s.busy_cycles;
+    if (r.makespan_cycles > 0)
+        r.utilization = static_cast<double>(busy) /
+                        (static_cast<double>(nshards) *
+                         static_cast<double>(r.makespan_cycles));
+
+    // Observability: totals and distributions for active manifests.
+    obs::counter("serve.offered").add(r.offered);
+    obs::counter("serve.completed").add(r.completed);
+    obs::counter("serve.dropped").add(r.dropped);
+    auto& lat_hist = obs::histogram("serve.latency_cycles");
+    for (std::uint64_t l : r.latencies_sorted)
+        lat_hist.record(l);
+    auto& depth_hist = obs::histogram("serve.queue_depth");
+    for (std::size_t d = 0; d < r.depth_hist.size(); ++d)
+        for (std::uint64_t n = 0; n < r.depth_hist[d]; ++n)
+            depth_hist.record(d);
+    obs::gauge("serve.makespan_cycles").max(
+        static_cast<std::int64_t>(r.makespan_cycles));
+    return r;
+}
+
+} // namespace spikesim::serve

@@ -1,0 +1,105 @@
+#ifndef SPIKESIM_SERVE_QUEUEING_HH
+#define SPIKESIM_SERVE_QUEUEING_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/arrival.hh"
+#include "support/threadpool.hh"
+
+/**
+ * @file
+ * Discrete-event queueing over the open-loop arrival stream: sessions
+ * are statically multiplexed onto per-CPU worker shards (session %
+ * shards, the way connection-per-core servers pin clients), each shard
+ * is a single FIFO server with a bounded admission queue, and service
+ * times are drawn from a per-request service-time table (the
+ * serve::ServiceModel distribution for one layout). The output is what
+ * a load generator would report: offered vs sustained throughput,
+ * latency percentiles down to p999, drops, utilization, and a
+ * queue-depth histogram.
+ *
+ * Determinism: service times are assigned to requests by global
+ * arrival index from one seeded stream *before* sharding, each shard's
+ * sub-stream preserves global arrival order, and shard results are
+ * merged in shard order — so the result is byte-identical for a seed
+ * whether shards run serially or on any thread-pool width (the PR 4 /
+ * PR 8 convention).
+ */
+
+namespace spikesim::serve {
+
+/** Shard topology and admission policy. */
+struct QueueConfig
+{
+    /** Worker shards (single-server queues); sessions map session %
+     *  shards. */
+    int shards = 4;
+    /** Max requests admitted but not yet completed per shard
+     *  (in-service included); an arrival finding the queue full is
+     *  dropped. */
+    std::uint32_t queue_bound = 64;
+    /** Stream for sampling per-request service times. */
+    std::uint64_t seed = 1;
+};
+
+/** Per-shard accounting. */
+struct ShardResult
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t busy_cycles = 0;
+    std::uint64_t last_completion = 0;
+};
+
+/** Everything one simulated serving run reports. */
+struct ServingResult
+{
+    std::uint64_t offered = 0;   ///< arrivals presented
+    std::uint64_t completed = 0; ///< admitted and served
+    std::uint64_t dropped = 0;
+    std::uint64_t horizon_cycles = 0;  ///< arrival-generation horizon
+    std::uint64_t makespan_cycles = 0; ///< latest completion time
+    std::uint64_t p50 = 0;             ///< latency percentiles, cycles
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+    std::uint64_t max_latency = 0;
+    double mean_latency = 0.0;
+    /** Busy cycles / (shards * makespan). */
+    double utilization = 0.0;
+    /** Queue depth seen by each arrival (dropped ones included);
+     *  index = depth, size = queue_bound + 1. */
+    std::vector<std::uint64_t> depth_hist;
+    std::vector<ShardResult> shards;
+    /** All completed-request latencies, ascending (for percentile
+     *  re-derivation and distribution dumps). */
+    std::vector<std::uint64_t> latencies_sorted;
+};
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample; 0 on empty
+ * input. q in [0, 1].
+ */
+std::uint64_t percentileSorted(std::span<const std::uint64_t> sorted,
+                               double q);
+
+/**
+ * Run the open-loop simulation: `arrivals` must be time-sorted
+ * (generateArrivals output), `service_cycles` is the non-empty
+ * per-request service-time table sampled uniformly per request, `pool`
+ * parallelizes over shards when non-null (results identical either
+ * way). Also records serve.* counters and latency/queue-depth
+ * histograms in the obs registry, so active manifests capture the run.
+ */
+ServingResult simulateOpenLoop(std::span<const Arrival> arrivals,
+                               std::span<const std::uint64_t> service_cycles,
+                               std::uint64_t horizon_cycles,
+                               const QueueConfig& config,
+                               support::ThreadPool* pool = nullptr);
+
+} // namespace spikesim::serve
+
+#endif // SPIKESIM_SERVE_QUEUEING_HH

@@ -115,8 +115,8 @@ System::runDss(std::uint64_t queries, trace::TraceSink& sink)
 }
 
 void
-System::runCustom(std::uint64_t requests, trace::TraceSink& sink,
-                  const std::function<void(std::uint16_t)>& request_fn)
+System::runRequests(std::uint64_t requests, trace::TraceSink& sink,
+                    const std::function<void(std::uint16_t)>& request_fn)
 {
     sink_ = &sink;
     const int procs = config_.num_cpus * config_.processes_per_cpu;

@@ -79,11 +79,11 @@ class System : public db::EngineHooks
      * Run an arbitrary per-request workload under this system's
      * scheduling and tracing: `request_fn(process)` is invoked once
      * per request with hooks live, the process/CPU rotating exactly
-     * like run(). Used to drive alternative engines (e.g., the TPC-C
-     * database) through the same simulated machine.
+     * like run(). Used to drive alternative engines (the TPC-C and
+     * YCSB databases) through the same simulated machine.
      */
-    void runCustom(std::uint64_t requests, trace::TraceSink& sink,
-                   const std::function<void(std::uint16_t)>& request_fn);
+    void runRequests(std::uint64_t requests, trace::TraceSink& sink,
+                     const std::function<void(std::uint16_t)>& request_fn);
 
     /** Convenience: run and collect app+kernel profiles. */
     struct Profiles

@@ -15,6 +15,7 @@ PlatformParams::alpha21264()
     p.l2_hit_cycles = 20.0;
     p.mem_cycles = 120.0;
     p.itlb_cycles = 40.0;
+    p.clock_ghz = 0.667;
     return p;
 }
 
@@ -31,6 +32,7 @@ PlatformParams::alpha21164()
     p.l2_hit_cycles = 10.0; // on 300MHz parts the relative gap is lower
     p.mem_cycles = 60.0;
     p.itlb_cycles = 25.0;
+    p.clock_ghz = 0.3;
     return p;
 }
 
@@ -47,7 +49,30 @@ PlatformParams::sim21364()
     p.l2_hit_cycles = 12.0; // 12ns at 1GHz
     p.mem_cycles = 80.0;    // local memory
     p.itlb_cycles = 30.0;
+    p.clock_ghz = 1.0;
     return p;
+}
+
+CycleBreakdown
+cycleBreakdown(const mem::HierarchyStats& stats, std::uint64_t instrs,
+               const PlatformParams& platform,
+               std::uint64_t fetch_breaks)
+{
+    CycleBreakdown b;
+    b.base = static_cast<double>(instrs) * platform.cpi_base;
+    b.fetch_break = static_cast<double>(fetch_breaks) *
+                    platform.fetch_break_cycles;
+    b.l2_hit = static_cast<double>(stats.l1i.misses +
+                                   stats.l1d.misses) *
+               platform.l2_hit_cycles;
+    b.memory = static_cast<double>(stats.l2i.misses +
+                                   stats.l2d.misses) *
+               platform.mem_cycles;
+    b.itlb = static_cast<double>(stats.itlb_misses) *
+             platform.itlb_cycles;
+    b.remote = static_cast<double>(stats.comm_misses) *
+               platform.remote_cycles;
+    return b;
 }
 
 std::uint64_t
@@ -55,19 +80,11 @@ nonIdleCycles(const mem::HierarchyStats& stats, std::uint64_t instrs,
               const PlatformParams& platform,
               std::uint64_t fetch_breaks)
 {
-    double cycles = static_cast<double>(instrs) * platform.cpi_base;
-    cycles += static_cast<double>(fetch_breaks) *
-              platform.fetch_break_cycles;
-    cycles += static_cast<double>(stats.l1i.misses + stats.l1d.misses) *
-              platform.l2_hit_cycles;
-    cycles += static_cast<double>(stats.l2i.misses +
-                                  stats.l2d.misses) *
-              platform.mem_cycles;
-    cycles += static_cast<double>(stats.itlb_misses) *
-              platform.itlb_cycles;
-    cycles += static_cast<double>(stats.comm_misses) *
-              platform.remote_cycles;
-    return static_cast<std::uint64_t>(cycles);
+    // CycleBreakdown::total() accumulates in the same order these
+    // terms were always summed, so the result is bit-identical to the
+    // pre-breakdown implementation.
+    return static_cast<std::uint64_t>(
+        cycleBreakdown(stats, instrs, platform, fetch_breaks).total());
 }
 
 } // namespace spikesim::sim

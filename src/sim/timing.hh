@@ -34,6 +34,9 @@ struct PlatformParams
     double fetch_break_cycles = 2.0;
     /** 2/3-hop remote (communication) miss penalty. */
     double remote_cycles = 175.0;
+    /** Core clock in GHz; converts model cycles to wall time for the
+     *  serving model's throughput/latency reporting. */
+    double clock_ghz = 1.0;
 
     /** 21264-class (AlphaServer DS20-like): 64KB 2-way L1s. */
     static PlatformParams alpha21264();
@@ -44,11 +47,51 @@ struct PlatformParams
     static PlatformParams sim21364();
 };
 
+/**
+ * Non-idle cycles split by cause. total() sums the components in a
+ * fixed order, so nonIdleCycles() == (uint64_t)breakdown.total() and
+ * benches can report the same number they attribute.
+ */
+struct CycleBreakdown
+{
+    double base = 0.0;        ///< instrs * CPI
+    double fetch_break = 0.0; ///< front-end bubbles on broken runs
+    double l2_hit = 0.0;      ///< L1 misses served by the L2
+    double memory = 0.0;      ///< L2 misses to local memory
+    double itlb = 0.0;        ///< iTLB refills
+    double remote = 0.0;      ///< communication misses
+
+    double
+    total() const
+    {
+        double cycles = base;
+        cycles += fetch_break;
+        cycles += l2_hit;
+        cycles += memory;
+        cycles += itlb;
+        cycles += remote;
+        return cycles;
+    }
+};
+
+/** Attribute a replayed trace's cycles to their causes. */
+CycleBreakdown cycleBreakdown(const mem::HierarchyStats& stats,
+                              std::uint64_t instrs,
+                              const PlatformParams& platform,
+                              std::uint64_t fetch_breaks = 0);
+
 /** Non-idle execution cycles for a replayed trace. */
 std::uint64_t nonIdleCycles(const mem::HierarchyStats& stats,
                             std::uint64_t instrs,
                             const PlatformParams& platform,
                             std::uint64_t fetch_breaks = 0);
+
+/** Model cycles -> microseconds at the platform's clock. */
+inline double
+cyclesToMicros(std::uint64_t cycles, const PlatformParams& platform)
+{
+    return static_cast<double>(cycles) / (platform.clock_ghz * 1e3);
+}
 
 } // namespace spikesim::sim
 

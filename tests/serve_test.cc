@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/pipeline.hh"
+#include "serve/arrival.hh"
+#include "serve/queueing.hh"
+#include "serve/service.hh"
+#include "sim/replay.hh"
+#include "sim/system.hh"
+#include "sim/timing.hh"
+#include "support/threadpool.hh"
+
+// The open-loop serving subsystem: arrival generation, the bounded
+// FIFO queueing model, and the per-transaction service-time walk —
+// including the differential check that the solo service model replays
+// the hierarchy exactly like Replayer::hierarchy.
+
+namespace spikesim {
+namespace {
+
+serve::ArrivalConfig
+smallArrivals()
+{
+    serve::ArrivalConfig c;
+    c.sessions = 20;
+    c.rate = 1e-3; // ~1000 arrivals over the horizon
+    c.horizon_cycles = 1'000'000;
+    c.seed = 42;
+    return c;
+}
+
+TEST(Arrival, DeterministicSortedAndBounded)
+{
+    serve::ArrivalConfig c = smallArrivals();
+    std::vector<serve::Arrival> a = serve::generateArrivals(c);
+    std::vector<serve::Arrival> b = serve::generateArrivals(c);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].time, b[i].time);
+        EXPECT_EQ(a[i].session, b[i].session);
+        EXPECT_LT(a[i].time, c.horizon_cycles);
+        EXPECT_LT(a[i].session, c.sessions);
+        if (i > 0)
+            EXPECT_GE(a[i].time, a[i - 1].time);
+    }
+    // Roughly rate * horizon arrivals (Poisson, generous tolerance).
+    EXPECT_GT(a.size(), 700u);
+    EXPECT_LT(a.size(), 1300u);
+}
+
+TEST(Arrival, SeedChangesTheStream)
+{
+    serve::ArrivalConfig c = smallArrivals();
+    std::vector<serve::Arrival> a = serve::generateArrivals(c);
+    c.seed = 43;
+    std::vector<serve::Arrival> b = serve::generateArrivals(c);
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].time != b[i].time;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Arrival, BurstyMatchesLongRunRate)
+{
+    serve::ArrivalConfig c = smallArrivals();
+    c.horizon_cycles = 10'000'000; // long horizon to average bursts out
+    std::vector<serve::Arrival> poisson = serve::generateArrivals(c);
+    c.kind = serve::ArrivalKind::Bursty;
+    std::vector<serve::Arrival> bursty = serve::generateArrivals(c);
+    ASSERT_FALSE(bursty.empty());
+    // Same configured long-run rate, within 15%.
+    const double ratio = static_cast<double>(bursty.size()) /
+                         static_cast<double>(poisson.size());
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(Arrival, ConfigCheckCatchesNonsense)
+{
+    serve::ArrivalConfig c = smallArrivals();
+    EXPECT_EQ(c.check(), "");
+    c.sessions = 0;
+    EXPECT_NE(c.check(), "");
+    c = smallArrivals();
+    c.rate = 0.0;
+    EXPECT_NE(c.check(), "");
+    c = smallArrivals();
+    c.horizon_cycles = 0;
+    EXPECT_NE(c.check(), "");
+    c = smallArrivals();
+    c.kind = serve::ArrivalKind::Bursty;
+    c.on_fraction = 0.0;
+    EXPECT_NE(c.check(), "");
+}
+
+TEST(Queueing, PercentileSortedNearestRank)
+{
+    const std::vector<std::uint64_t> s = {10, 20, 30, 40};
+    EXPECT_EQ(serve::percentileSorted(s, 0.0), 10u);
+    EXPECT_EQ(serve::percentileSorted(s, 0.5), 20u);
+    EXPECT_EQ(serve::percentileSorted(s, 0.75), 30u);
+    EXPECT_EQ(serve::percentileSorted(s, 1.0), 40u);
+    EXPECT_EQ(serve::percentileSorted({}, 0.5), 0u);
+}
+
+TEST(Queueing, FifoSingleServerMath)
+{
+    // One shard, one service value: the queue is pure FIFO arithmetic.
+    const std::vector<serve::Arrival> arrivals = {
+        {0, 0}, {10, 0}, {20, 0}};
+    const std::vector<std::uint64_t> service = {100};
+    serve::QueueConfig qc;
+    qc.shards = 1;
+    qc.queue_bound = 8;
+    serve::ServingResult r =
+        serve::simulateOpenLoop(arrivals, service, 1'000, qc);
+    EXPECT_EQ(r.offered, 3u);
+    EXPECT_EQ(r.completed, 3u);
+    EXPECT_EQ(r.dropped, 0u);
+    // Completions at 100, 200, 300 -> latencies 100, 190, 280.
+    ASSERT_EQ(r.latencies_sorted.size(), 3u);
+    EXPECT_EQ(r.latencies_sorted[0], 100u);
+    EXPECT_EQ(r.latencies_sorted[1], 190u);
+    EXPECT_EQ(r.latencies_sorted[2], 280u);
+    EXPECT_EQ(r.makespan_cycles, 300u);
+    EXPECT_EQ(r.max_latency, 280u);
+    // Server busy the whole makespan.
+    EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+    // Depths seen: 0, 1, 2.
+    EXPECT_EQ(r.depth_hist[0], 1u);
+    EXPECT_EQ(r.depth_hist[1], 1u);
+    EXPECT_EQ(r.depth_hist[2], 1u);
+}
+
+TEST(Queueing, BoundedAdmissionDrops)
+{
+    // bound 1 = server only, no waiting room: back-to-back arrivals
+    // during service are dropped.
+    const std::vector<serve::Arrival> arrivals = {
+        {0, 0}, {1, 0}, {2, 0}, {150, 0}};
+    const std::vector<std::uint64_t> service = {100};
+    serve::QueueConfig qc;
+    qc.shards = 1;
+    qc.queue_bound = 1;
+    serve::ServingResult r =
+        serve::simulateOpenLoop(arrivals, service, 1'000, qc);
+    EXPECT_EQ(r.offered, 4u);
+    EXPECT_EQ(r.completed, 2u); // t=0 and t=150 (first done at 100)
+    EXPECT_EQ(r.dropped, 2u);
+    EXPECT_EQ(r.shards[0].dropped, 2u);
+}
+
+TEST(Queueing, SessionsPinToShards)
+{
+    // Two sessions on two shards never queue behind each other.
+    const std::vector<serve::Arrival> arrivals = {
+        {0, 0}, {0, 1}, {10, 0}, {10, 1}};
+    const std::vector<std::uint64_t> service = {100};
+    serve::QueueConfig qc;
+    qc.shards = 2;
+    qc.queue_bound = 8;
+    serve::ServingResult r =
+        serve::simulateOpenLoop(arrivals, service, 1'000, qc);
+    EXPECT_EQ(r.completed, 4u);
+    ASSERT_EQ(r.shards.size(), 2u);
+    EXPECT_EQ(r.shards[0].arrivals, 2u);
+    EXPECT_EQ(r.shards[1].arrivals, 2u);
+    // Each shard: latencies 100 and 190 — identical streams.
+    EXPECT_EQ(r.latencies_sorted[0], 100u);
+    EXPECT_EQ(r.latencies_sorted[1], 100u);
+    EXPECT_EQ(r.latencies_sorted[2], 190u);
+    EXPECT_EQ(r.latencies_sorted[3], 190u);
+}
+
+TEST(Queueing, PoolWidthDoesNotChangeResults)
+{
+    serve::ArrivalConfig ac = smallArrivals();
+    const std::vector<serve::Arrival> arrivals =
+        serve::generateArrivals(ac);
+    std::vector<std::uint64_t> service(64);
+    for (std::size_t i = 0; i < service.size(); ++i)
+        service[i] = 500 + 37 * i;
+    serve::QueueConfig qc;
+    qc.shards = 4;
+    qc.queue_bound = 16;
+    qc.seed = 9;
+    serve::ServingResult serial = serve::simulateOpenLoop(
+        arrivals, service, ac.horizon_cycles, qc, nullptr);
+    support::ThreadPool pool(3);
+    serve::ServingResult threaded = serve::simulateOpenLoop(
+        arrivals, service, ac.horizon_cycles, qc, &pool);
+    EXPECT_EQ(serial.completed, threaded.completed);
+    EXPECT_EQ(serial.dropped, threaded.dropped);
+    EXPECT_EQ(serial.p50, threaded.p50);
+    EXPECT_EQ(serial.p99, threaded.p99);
+    EXPECT_EQ(serial.p999, threaded.p999);
+    EXPECT_EQ(serial.makespan_cycles, threaded.makespan_cycles);
+    EXPECT_EQ(serial.latencies_sorted, threaded.latencies_sorted);
+    EXPECT_EQ(serial.depth_hist, threaded.depth_hist);
+}
+
+sim::SystemConfig
+smallSystem()
+{
+    sim::SystemConfig c;
+    c.num_cpus = 2;
+    c.processes_per_cpu = 2;
+    c.tpcb.branches = 5;
+    c.tpcb.accounts_per_branch = 200;
+    c.tpcb.buffer_frames = 128;
+    c.quantum_instrs = 20'000;
+    return c;
+}
+
+TEST(ServiceModel, SegmentsSplitAtProcessChanges)
+{
+    trace::TraceBuffer buf;
+    trace::ExecContext ctx;
+    ctx.process = 0;
+    buf.onBlock(ctx, trace::ImageId::App, 0);
+    buf.onBlock(ctx, trace::ImageId::App, 1);
+    ctx.process = 1;
+    buf.onBlock(ctx, trace::ImageId::App, 2);
+    ctx.process = 0;
+    buf.onBlock(ctx, trace::ImageId::App, 3);
+    auto segs = serve::ServiceModel::segments(buf);
+    ASSERT_EQ(segs.size(), 3u);
+    EXPECT_EQ(segs[0], (std::pair<std::size_t, std::size_t>{0, 2}));
+    EXPECT_EQ(segs[1], (std::pair<std::size_t, std::size_t>{2, 3}));
+    EXPECT_EQ(segs[2], (std::pair<std::size_t, std::size_t>{3, 4}));
+}
+
+TEST(ServiceModel, SoloMatchesReplayerHierarchy)
+{
+    sim::System sys(smallSystem());
+    sys.setup();
+    sys.warmup(10);
+    trace::TraceBuffer buf;
+    sys.run(40, buf);
+
+    core::Layout app = core::baselineLayout(
+        sys.appProg(), sys.config().app_text_base);
+    core::Layout kern = core::baselineLayout(
+        sys.kernelProg(), sys.config().kernel_text_base);
+    const sim::PlatformParams platform =
+        sim::PlatformParams::sim21364();
+
+    sim::Replayer rep(buf, app, &kern);
+    sim::HierarchyReplayResult oracle =
+        rep.hierarchy(platform.hierarchy, /*include_data=*/true);
+
+    serve::ServiceModelConfig smc;
+    smc.platform = platform;
+    serve::ServiceModel model(buf, app, &kern, smc);
+    const serve::ServiceStats& st = model.stats();
+
+    // Same walk: identical instruction, fetch-break, and miss counts.
+    EXPECT_EQ(st.instrs, oracle.instrs);
+    EXPECT_EQ(st.fetch_breaks, oracle.fetch_breaks);
+    EXPECT_EQ(st.mem.l1i.misses, oracle.total.l1i.misses);
+    EXPECT_EQ(st.mem.l1d.misses, oracle.total.l1d.misses);
+    EXPECT_EQ(st.mem.l2i.misses, oracle.total.l2i.misses);
+    EXPECT_EQ(st.mem.l2d.misses, oracle.total.l2d.misses);
+    EXPECT_EQ(st.mem.itlb_misses, oracle.total.itlb_misses);
+
+    // Per-request cycles sum to the whole-trace non-idle cycles (the
+    // sim21364 weights are integers, so no rounding drift).
+    const std::uint64_t whole = sim::nonIdleCycles(
+        oracle.total, oracle.instrs, platform, oracle.fetch_breaks);
+    const auto& per_req = model.requestCycles();
+    const std::uint64_t summed = std::accumulate(
+        per_req.begin(), per_req.end(), std::uint64_t{0});
+    EXPECT_EQ(summed, whole);
+    EXPECT_EQ(st.requests, per_req.size());
+    EXPECT_EQ(st.total_cycles, summed);
+    EXPECT_GT(st.requests, 10u);
+}
+
+TEST(ServiceModel, TenantsShareL2AndInflateService)
+{
+    sim::System sys(smallSystem());
+    sys.setup();
+    sys.warmup(10);
+    trace::TraceBuffer buf;
+    sys.run(30, buf);
+
+    core::Layout app = core::baselineLayout(
+        sys.appProg(), sys.config().app_text_base);
+    core::Layout kern = core::baselineLayout(
+        sys.kernelProg(), sys.config().kernel_text_base);
+
+    serve::ServiceModelConfig solo;
+    serve::ServiceModel one(buf, app, &kern, solo);
+    serve::ServiceModelConfig shared = solo;
+    shared.tenants = 2;
+    serve::ServiceModel two(buf, app, &kern, shared);
+
+    // Twice the requests (each tenant runs the whole trace)...
+    EXPECT_EQ(two.stats().requests, 2 * one.stats().requests);
+    EXPECT_EQ(two.stats().instrs, 2 * one.stats().instrs);
+    // ...and LRU interference in the shared L2/iTLB can only add
+    // misses, so total cycles are at least 2x solo.
+    EXPECT_GE(two.stats().total_cycles, 2 * one.stats().total_cycles);
+    EXPECT_GE(two.stats().mem.itlb_misses,
+              2 * one.stats().mem.itlb_misses);
+}
+
+} // namespace
+} // namespace spikesim

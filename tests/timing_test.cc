@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "sim/timing.hh"
+
+// The execution-time model (sim/timing.hh): nonIdleCycles arithmetic,
+// the three platform presets, fetch-break accounting, and the
+// breakdown/total identity that lets benches attribute exactly the
+// cycles they report.
+
+namespace spikesim {
+namespace {
+
+mem::HierarchyStats
+someStats()
+{
+    mem::HierarchyStats s;
+    s.l1i.accesses = 10'000;
+    s.l1i.misses = 700;
+    s.l1d.accesses = 4'000;
+    s.l1d.misses = 300;
+    s.l2i.accesses = 700;
+    s.l2i.misses = 40;
+    s.l2d.accesses = 300;
+    s.l2d.misses = 10;
+    s.itlb_misses = 25;
+    s.comm_misses = 4;
+    return s;
+}
+
+TEST(TimingTest, NonIdleCyclesArithmetic)
+{
+    sim::PlatformParams p = sim::PlatformParams::sim21364();
+    mem::HierarchyStats s = someStats();
+    const std::uint64_t instrs = 50'000;
+    const std::uint64_t fetch_breaks = 1'200;
+
+    // sim21364: CPI 1, fetch break 2, L2 hit 12, memory 80, iTLB 30,
+    // remote 175 — all integer weights, so the sum is exact.
+    const std::uint64_t expected = 50'000 * 1 +        // base
+                                   1'200 * 2 +         // fetch breaks
+                                   (700 + 300) * 12 +  // L1 misses
+                                   (40 + 10) * 80 +    // L2 misses
+                                   25 * 30 +           // iTLB refills
+                                   4 * 175;            // communication
+    EXPECT_EQ(sim::nonIdleCycles(s, instrs, p, fetch_breaks), expected);
+}
+
+TEST(TimingTest, FetchBreaksDefaultToZero)
+{
+    sim::PlatformParams p = sim::PlatformParams::sim21364();
+    mem::HierarchyStats s = someStats();
+    EXPECT_EQ(sim::nonIdleCycles(s, 1'000, p),
+              sim::nonIdleCycles(s, 1'000, p, 0));
+    // Each fetch break costs exactly fetch_break_cycles.
+    EXPECT_EQ(sim::nonIdleCycles(s, 1'000, p, 10) -
+                  sim::nonIdleCycles(s, 1'000, p),
+              static_cast<std::uint64_t>(10 * p.fetch_break_cycles));
+}
+
+TEST(TimingTest, BreakdownTotalMatchesNonIdleCycles)
+{
+    mem::HierarchyStats s = someStats();
+    for (const sim::PlatformParams& p :
+         {sim::PlatformParams::alpha21264(),
+          sim::PlatformParams::alpha21164(),
+          sim::PlatformParams::sim21364()}) {
+        sim::CycleBreakdown b =
+            sim::cycleBreakdown(s, 33'333, p, 777);
+        EXPECT_EQ(static_cast<std::uint64_t>(b.total()),
+                  sim::nonIdleCycles(s, 33'333, p, 777))
+            << p.name;
+        // Every component is attributed somewhere.
+        EXPECT_GT(b.base, 0.0);
+        EXPECT_GT(b.fetch_break, 0.0);
+        EXPECT_GT(b.l2_hit, 0.0);
+        EXPECT_GT(b.memory, 0.0);
+        EXPECT_GT(b.itlb, 0.0);
+        EXPECT_GT(b.remote, 0.0);
+    }
+}
+
+TEST(TimingTest, PresetsAreDistinctAndOrdered)
+{
+    sim::PlatformParams a264 = sim::PlatformParams::alpha21264();
+    sim::PlatformParams a164 = sim::PlatformParams::alpha21164();
+    sim::PlatformParams s364 = sim::PlatformParams::sim21364();
+
+    // Distinct machines, distinct names and L1I geometries.
+    EXPECT_NE(a264.name, a164.name);
+    EXPECT_NE(a264.name, s364.name);
+    EXPECT_EQ(a164.hierarchy.l1i.size_bytes, 8 * 1024u);
+    EXPECT_EQ(a264.hierarchy.l1i.size_bytes, 64 * 1024u);
+    EXPECT_EQ(s364.hierarchy.l1i.size_bytes, 64 * 1024u);
+
+    // The paper's published 21364 latencies: 12ns L2, 80ns memory at
+    // a 1GHz clock.
+    EXPECT_DOUBLE_EQ(s364.l2_hit_cycles, 12.0);
+    EXPECT_DOUBLE_EQ(s364.mem_cycles, 80.0);
+    EXPECT_DOUBLE_EQ(s364.clock_ghz, 1.0);
+
+    // Same counters cost more cycles on the machine with the slower
+    // relative memory (21264 at 120-cycle memory vs 21164 at 60).
+    mem::HierarchyStats s = someStats();
+    EXPECT_GT(sim::nonIdleCycles(s, 1'000, a264),
+              sim::nonIdleCycles(s, 1'000, a164));
+}
+
+TEST(TimingTest, CyclesToMicros)
+{
+    sim::PlatformParams p = sim::PlatformParams::sim21364();
+    // 1GHz: 1000 cycles = 1us.
+    EXPECT_DOUBLE_EQ(sim::cyclesToMicros(1'000, p), 1.0);
+    p.clock_ghz = 0.5;
+    EXPECT_DOUBLE_EQ(sim::cyclesToMicros(1'000, p), 2.0);
+}
+
+TEST(TimingTest, ZeroActivityIsZeroCycles)
+{
+    mem::HierarchyStats s;
+    sim::PlatformParams p = sim::PlatformParams::sim21364();
+    EXPECT_EQ(sim::nonIdleCycles(s, 0, p), 0u);
+    EXPECT_DOUBLE_EQ(sim::cycleBreakdown(s, 0, p).total(), 0.0);
+}
+
+} // namespace
+} // namespace spikesim

@@ -1,0 +1,145 @@
+/** @file Tests for the YCSB-style key-value workload driver. */
+
+#include <gtest/gtest.h>
+
+#include "db/ycsb.hh"
+
+namespace spikesim::db {
+namespace {
+
+YcsbConfig
+smallConfig(std::uint64_t seed = 7)
+{
+    YcsbConfig c;
+    c.record_count = 500;
+    c.buffer_frames = 64;
+    c.operation_count = 6;
+    c.seed = seed;
+    return c;
+}
+
+TEST(Ycsb, SetupPopulatesUsertable)
+{
+    YcsbDatabase db(smallConfig());
+    db.setup();
+    EXPECT_EQ(db.verify(), "");
+}
+
+TEST(Ycsb, RequestsReadAndUpdateConsistently)
+{
+    YcsbDatabase db(smallConfig());
+    db.setup();
+    std::uint64_t reads = 0;
+    std::uint64_t updates = 0;
+    for (int i = 0; i < 300; ++i) {
+        YcsbOutcome out =
+            db.runRequest(static_cast<std::uint16_t>(i % 4));
+        EXPECT_EQ(out.reads + out.updates,
+                  db.config().operation_count);
+        reads += static_cast<std::uint64_t>(out.reads);
+        updates += static_cast<std::uint64_t>(out.updates);
+    }
+    EXPECT_EQ(db.reads(), reads);
+    EXPECT_EQ(db.updates(), updates);
+    // update_ratio 0.5: both kinds actually happen.
+    EXPECT_GT(reads, 0u);
+    EXPECT_GT(updates, 0u);
+    // verify() audits the summed version counters against updates().
+    EXPECT_EQ(db.verify(), "");
+}
+
+TEST(Ycsb, SameSeedSameOutcomes)
+{
+    YcsbDatabase a(smallConfig(11));
+    YcsbDatabase b(smallConfig(11));
+    a.setup();
+    b.setup();
+    for (int i = 0; i < 100; ++i) {
+        YcsbOutcome oa = a.runRequest(0);
+        YcsbOutcome ob = b.runRequest(0);
+        EXPECT_EQ(oa.reads, ob.reads);
+        EXPECT_EQ(oa.updates, ob.updates);
+        EXPECT_EQ(oa.value_sum, ob.value_sum);
+    }
+    YcsbDatabase c(smallConfig(12));
+    c.setup();
+    bool differs = false;
+    YcsbDatabase d(smallConfig(11));
+    d.setup();
+    for (int i = 0; i < 100 && !differs; ++i) {
+        YcsbOutcome oc = c.runRequest(0);
+        YcsbOutcome od = d.runRequest(0);
+        differs = oc.value_sum != od.value_sum ||
+                  oc.updates != od.updates;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Ycsb, MixKnobsBindTheExtremes)
+{
+    YcsbConfig ro = smallConfig();
+    ro.update_ratio = 0.0;
+    YcsbDatabase reads_only(ro);
+    reads_only.setup();
+    for (int i = 0; i < 100; ++i)
+        reads_only.runRequest(0);
+    EXPECT_EQ(reads_only.updates(), 0u);
+    EXPECT_GT(reads_only.reads(), 0u);
+    EXPECT_EQ(reads_only.verify(), "");
+
+    YcsbConfig wo = smallConfig();
+    wo.update_ratio = 1.0;
+    YcsbDatabase updates_only(wo);
+    updates_only.setup();
+    for (int i = 0; i < 100; ++i)
+        updates_only.runRequest(0);
+    EXPECT_EQ(updates_only.reads(), 0u);
+    EXPECT_EQ(updates_only.updates(),
+              100u * static_cast<std::uint64_t>(wo.operation_count));
+    EXPECT_EQ(updates_only.verify(), "");
+}
+
+TEST(Ycsb, ZipfSkewConcentratesKeys)
+{
+    // theta 0 (uniform) vs high skew: compare how many distinct values
+    // the reads return — a crude but deterministic skew signal.
+    YcsbConfig uniform = smallConfig();
+    uniform.zipf_theta = 0.0;
+    uniform.update_ratio = 0.0;
+    YcsbConfig skewed = smallConfig();
+    skewed.zipf_theta = 0.99;
+    skewed.update_ratio = 0.0;
+    std::int64_t uniform_sum = 0;
+    std::int64_t skewed_sum = 0;
+    YcsbDatabase u(uniform);
+    YcsbDatabase s(skewed);
+    u.setup();
+    s.setup();
+    for (int i = 0; i < 200; ++i) {
+        uniform_sum += u.runRequest(0).value_sum;
+        skewed_sum += s.runRequest(0).value_sum;
+    }
+    // Zipf favors low-numbered keys, whose loaded value equals the key
+    // id — so the skewed sum of read values is much smaller.
+    EXPECT_LT(skewed_sum, uniform_sum / 2);
+}
+
+TEST(Ycsb, ConfigCheckCatchesNonsense)
+{
+    YcsbConfig c = smallConfig();
+    EXPECT_EQ(c.check(), "");
+    c.record_count = 0;
+    EXPECT_NE(c.check(), "");
+    c = smallConfig();
+    c.zipf_theta = 1.0; // the Gray et al. generator needs theta < 1
+    EXPECT_NE(c.check(), "");
+    c = smallConfig();
+    c.update_ratio = 1.5;
+    EXPECT_NE(c.check(), "");
+    c = smallConfig();
+    c.operation_count = 0;
+    EXPECT_NE(c.check(), "");
+}
+
+} // namespace
+} // namespace spikesim::db

@@ -4,7 +4,7 @@
  *
  * usage: obs_dump MANIFEST.json
  *        obs_dump --check-trace TRACE.json
- *        obs_dump --check-bench BENCH_layout_search.json
+ *        obs_dump --check-bench BENCH.json
  *
  * The default mode pretty-prints a run manifest (written by a bench's
  * `--manifest-out`): binary, arguments, seed, thread count, per-phase
@@ -14,12 +14,14 @@
  * traceEvents array, string name/cat, numeric pid/tid/ts, complete "X"
  * events with dur >= 0 or balanced "B"/"E" pairs — and additionally
  * round-trips the document through the JSON writer to prove the
- * parse/serialize pair is lossless. `--check-bench` validates the
- * layout-search bench artifact: every scalar metric present and
- * correctly typed, the objective-weight / page-geometry / region-map
- * sub-objects complete, and the re-rank curve and sweep grid arrays
- * well-formed. All checking modes exit non-zero on any violation, so
- * ctest can use them as smoke gates.
+ * parse/serialize pair is lossless. `--check-bench` validates a bench
+ * artifact against the schema its "bench" field names: for
+ * "layout_search" every scalar metric, the objective-weight /
+ * page-geometry / region-map sub-objects, and the re-rank curve and
+ * sweep grid arrays; for "serving" the platform and service-time
+ * summaries, every load point's base/opt latency blocks, and the
+ * optional multi-tenant section. All checking modes exit non-zero on
+ * any violation, so ctest can use them as smoke gates.
  */
 
 #include <cstdio>
@@ -104,41 +106,70 @@ checkTrace(const std::string& path)
     return 0;
 }
 
-/** Schema gate for BENCH_layout_search.json; 0 on success. Reports
- *  every violation (not just the first) so a failing run is fixable in
- *  one pass. */
-int
-checkBench(const std::string& path)
+/** Shared state for one bench-artifact validation pass: collects every
+ *  violation (not just the first) so a failing run is fixable in one
+ *  pass. */
+struct BenchChecker
 {
-    const std::string text = readFile(path);
-    obs::JsonValue doc;
-    std::string err;
-    if (!obs::parseJson(text, doc, &err)) {
-        std::cerr << "obs_dump: " << path << " is not valid JSON: "
-                  << err << "\n";
-        return 1;
-    }
+    const std::string& path;
+    const obs::JsonValue& doc;
     int bad = 0;
-    const auto fail = [&](const std::string& what) {
+
+    void
+    fail(const std::string& what)
+    {
         std::cerr << "obs_dump: " << path << ": " << what << "\n";
         ++bad;
-    };
-    if (!doc.isObject()) {
-        fail("top level is not an object");
-        return 1;
     }
-    const auto number = [&](const obs::JsonValue& obj,
-                            const std::string& where, const char* key) {
+
+    void
+    number(const obs::JsonValue& obj, const std::string& where,
+           const char* key)
+    {
         const obs::JsonValue* v = obj.find(key);
         if (v == nullptr)
             fail(where + " is missing \"" + key + "\"");
         else if (!v->isNumber())
             fail(where + " \"" + key + "\" is not a number");
+    }
+
+    /** Sub-object of `parent` whose fields are all numbers. */
+    const obs::JsonValue*
+    object(const obs::JsonValue& parent, const std::string& where,
+           const char* key, std::initializer_list<const char*> fields)
+    {
+        const obs::JsonValue* v = parent.find(key);
+        if (v == nullptr || !v->isObject()) {
+            fail(where + " \"" + key + "\" is not an object");
+            return nullptr;
+        }
+        for (const char* f : fields)
+            number(*v, where + " \"" + key + "\"", f);
+        return v;
+    }
+
+    const obs::JsonValue*
+    array(const char* key)
+    {
+        const obs::JsonValue* v = doc.find(key);
+        if (v == nullptr || !v->isArray()) {
+            fail(std::string("\"") + key + "\" is not an array");
+            return nullptr;
+        }
+        return v;
+    }
+};
+
+/** Field checks specific to BENCH_layout_search.json. */
+void
+checkLayoutSearch(BenchChecker& c)
+{
+    const obs::JsonValue& doc = c.doc;
+    const auto fail = [&](const std::string& what) { c.fail(what); };
+    const auto number = [&](const obs::JsonValue& obj,
+                            const std::string& where, const char* key) {
+        c.number(obj, where, key);
     };
-    const obs::JsonValue* bench = doc.find("bench");
-    if (bench == nullptr || !bench->isString() ||
-        bench->str() != "layout_search")
-        fail("\"bench\" is not the string \"layout_search\"");
     for (const char* key :
          {"seed", "profile_txns", "trace_txns", "epochs", "batch",
           "proxy_evals", "sim_evals", "sim_cache_hits",
@@ -149,27 +180,14 @@ checkBench(const std::string& path)
         number(doc, "top level", key);
     const auto object = [&](const char* key,
                             std::initializer_list<const char*> fields) {
-        const obs::JsonValue* v = doc.find(key);
-        if (v == nullptr || !v->isObject()) {
-            fail(std::string("\"") + key + "\" is not an object");
-            return;
-        }
-        for (const char* f : fields)
-            number(*v, std::string("\"") + key + "\"", f);
+        c.object(doc, "top level", key, fields);
     };
     object("rerank_config", {"size_bytes", "line_bytes", "assoc"});
     object("objective_weights", {"icache", "itlb4k", "itlb2m"});
     object("page_geometry", {"region_page_bytes", "itlb_entries"});
     object("region_map", {"num_regions", "num_hot", "hot_segments",
                           "cold_segments", "hot_bytes", "cold_bytes"});
-    const auto array = [&](const char* key) -> const obs::JsonValue* {
-        const obs::JsonValue* v = doc.find(key);
-        if (v == nullptr || !v->isArray()) {
-            fail(std::string("\"") + key + "\" is not an array");
-            return nullptr;
-        }
-        return v;
-    };
+    const auto array = [&](const char* key) { return c.array(key); };
     if (const obs::JsonValue* curve = array("rerank_curve"))
         for (std::size_t i = 0; i < curve->array().size(); ++i) {
             const obs::JsonValue& p = curve->array()[i];
@@ -203,15 +221,128 @@ checkBench(const std::string& path)
                 number(p, where, key);
         }
     }
+}
+
+/** Field checks specific to BENCH_serving.json (the open-loop serving
+ *  bench: layout -> service time -> tail latency). */
+void
+checkServing(BenchChecker& c)
+{
+    const obs::JsonValue& doc = c.doc;
+    for (const char* key :
+         {"seed", "profile_txns", "trace_txns", "requests", "sessions",
+          "shards", "queue_bound", "tenants"})
+        c.number(doc, "top level", key);
+    const obs::JsonValue* workload = doc.find("workload");
+    if (workload == nullptr || !workload->isString())
+        c.fail("\"workload\" is not a string");
+    const obs::JsonValue* platform = c.object(
+        doc, "top level", "platform", {"clock_ghz"});
+    if (platform != nullptr) {
+        const obs::JsonValue* name = platform->find("name");
+        if (name == nullptr || !name->isString())
+            c.fail("\"platform\" \"name\" is not a string");
+    }
+    if (const obs::JsonValue* service =
+            c.object(doc, "top level", "service", {"requests"})) {
+        for (const char* layout : {"base", "opt"})
+            c.object(*service, "\"service\"", layout,
+                     {"mean_cycles", "p50_cycles", "p99_cycles"});
+    }
+    const auto layoutRun = [&](const obs::JsonValue& parent,
+                               const std::string& where,
+                               const char* key) {
+        c.object(parent, where, key,
+                 {"completed", "dropped", "offered_tps",
+                  "sustained_tps", "mean_us", "p50_us", "p90_us",
+                  "p99_us", "p999_us", "max_us", "utilization",
+                  "max_queue_depth"});
+    };
+    if (const obs::JsonValue* loads = c.array("loads")) {
+        if (loads->array().empty())
+            c.fail("\"loads\" is empty");
+        for (std::size_t i = 0; i < loads->array().size(); ++i) {
+            const obs::JsonValue& p = loads->array()[i];
+            const std::string where =
+                "loads[" + std::to_string(i) + "]";
+            if (!p.isObject()) {
+                c.fail(where + " is not an object");
+                continue;
+            }
+            for (const char* key :
+                 {"rho", "offered", "horizon_cycles",
+                  "p99_improvement_pct"})
+                c.number(p, where, key);
+            const obs::JsonValue* arrival = p.find("arrival");
+            if (arrival == nullptr || !arrival->isString())
+                c.fail(where + " \"arrival\" is not a string");
+            layoutRun(p, where, "base");
+            layoutRun(p, where, "opt");
+        }
+    }
+    // Optional: present only when the bench ran with --tenants > 1.
+    if (const obs::JsonValue* mt = doc.find("multi_tenant")) {
+        if (!mt->isObject()) {
+            c.fail("\"multi_tenant\" is not an object");
+        } else {
+            for (const char* key :
+                 {"tenants", "rho", "service_inflation_base_pct",
+                  "service_inflation_opt_pct"})
+                c.number(*mt, "\"multi_tenant\"", key);
+            layoutRun(*mt, "\"multi_tenant\"", "base");
+            layoutRun(*mt, "\"multi_tenant\"", "opt");
+        }
+    }
+}
+
+/** Schema gate for BENCH_*.json artifacts, dispatching on the "bench"
+ *  field; 0 on success. */
+int
+checkBench(const std::string& path)
+{
+    const std::string text = readFile(path);
+    obs::JsonValue doc;
+    std::string err;
+    if (!obs::parseJson(text, doc, &err)) {
+        std::cerr << "obs_dump: " << path << " is not valid JSON: "
+                  << err << "\n";
+        return 1;
+    }
+    if (!doc.isObject()) {
+        std::cerr << "obs_dump: " << path
+                  << ": top level is not an object\n";
+        return 1;
+    }
+    BenchChecker c{path, doc};
+    const obs::JsonValue* bench = doc.find("bench");
+    const std::string kind =
+        bench != nullptr && bench->isString() ? bench->str() : "";
+    std::string detail;
+    if (kind == "layout_search") {
+        checkLayoutSearch(c);
+        if (const obs::JsonValue* grid = doc.find("grid");
+            grid != nullptr && grid->isArray())
+            detail = std::to_string(grid->array().size()) +
+                     " grid points";
+    } else if (kind == "serving") {
+        checkServing(c);
+        if (const obs::JsonValue* loads = doc.find("loads");
+            loads != nullptr && loads->isArray())
+            detail = std::to_string(loads->array().size()) +
+                     " load points";
+    } else {
+        c.fail("\"bench\" is not a recognized bench name "
+               "(layout_search, serving)");
+    }
     // Round-trip: the artifact must survive our writer/parser pair.
     obs::JsonValue again;
     if (!obs::parseJson(doc.dump(), again, &err) || !(again == doc))
-        fail("round-trip through the JSON writer changed the document");
-    if (bad != 0)
+        c.fail("round-trip through the JSON writer changed the document");
+    if (c.bad != 0)
         return 1;
-    std::cout << "ok: " << path << " (layout-search bench schema valid, "
-              << doc.find("grid")->array().size()
-              << " grid points, round-trip exact)\n";
+    std::cout << "ok: " << path << " (" << kind
+              << " bench schema valid, " << detail
+              << ", round-trip exact)\n";
     return 0;
 }
 
