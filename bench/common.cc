@@ -23,7 +23,8 @@ usage(const char* argv0, const std::string& complaint)
     support::fatal(complaint + "\nusage: " + argv0 +
                    " [--corpus DIR] [--threads N] [--seed N]"
                    " [--simd 0|1|2] [--trace-out FILE]"
-                   " [--manifest-out FILE] [--progress SECS]"
+                   " [--manifest-out FILE] [--timeline-out FILE]"
+                   " [--progress SECS]"
                    " [profile_txns] [trace_txns]");
 }
 
@@ -126,6 +127,9 @@ obsOptionsFromEnv()
     if (const char* v = std::getenv("SPIKESIM_MANIFEST_OUT");
         v != nullptr && *v != '\0')
         o.manifest_out = v;
+    if (const char* v = std::getenv("SPIKESIM_TIMELINE_OUT");
+        v != nullptr && *v != '\0')
+        o.timeline_out = v;
     if (const char* v = std::getenv("SPIKESIM_PROGRESS");
         v != nullptr && *v != '\0')
         o.progress_s = parseSeconds("SPIKESIM_PROGRESS", v);
@@ -175,6 +179,19 @@ ObsRun::addArtifactFile(const std::string& path)
     buf << is.rdbuf();
     addArtifact(std::filesystem::path(path).filename().string(),
                 buf.str());
+}
+
+void
+ObsRun::addTimeline(const obs::Timeline& tl)
+{
+    timelines_.push_back(tl);
+    manifest_.timelines.push_back(tl.renderSection());
+}
+
+void
+ObsRun::addSloVerdict(const obs::SloSpec& spec, const obs::SloVerdict& v)
+{
+    manifest_.slos.push_back(obs::renderSloVerdict(spec, v));
 }
 
 void
@@ -233,6 +250,12 @@ ObsRun::finish()
     if (!opts_.trace_out.empty()) {
         obs::stopTracing(opts_.trace_out);
         std::cerr << "[obs] wrote trace to " << opts_.trace_out << "\n";
+    }
+    if (!opts_.timeline_out.empty()) {
+        obs::writeTimelineTrace(timelines_, opts_.timeline_out);
+        std::cerr << "[obs] wrote timeline trace ("
+                  << timelines_.size() << " timelines) to "
+                  << opts_.timeline_out << "\n";
     }
     if (!opts_.manifest_out.empty()) {
         obs::writeManifest(manifest_, opts_.manifest_out);
@@ -298,6 +321,14 @@ runWorkload(int argc, char** argv, std::uint64_t profile_txns,
         } else if (arg.rfind("--manifest-out=", 0) == 0) {
             oopts.manifest_out =
                 parsePath(argv[0], arg.substr(15), "--manifest-out");
+        } else if (arg == "--timeline-out") {
+            if (i + 1 >= argc)
+                usage(argv[0], "--timeline-out needs a file path");
+            oopts.timeline_out =
+                parsePath(argv[0], argv[++i], "--timeline-out");
+        } else if (arg.rfind("--timeline-out=", 0) == 0) {
+            oopts.timeline_out =
+                parsePath(argv[0], arg.substr(15), "--timeline-out");
         } else if (arg == "--progress") {
             if (i + 1 >= argc)
                 usage(argv[0], "--progress needs a period in seconds");

@@ -13,6 +13,8 @@
 #include "metrics/sequence.hh"
 #include "obs/manifest.hh"
 #include "obs/perf.hh"
+#include "obs/slo.hh"
+#include "obs/timeline.hh"
 #include "obs/tracing.hh"
 #include "sim/engine.hh"
 #include "sim/replay.hh"
@@ -78,23 +80,28 @@ struct ObsOptions
 {
     std::string trace_out;    ///< Chrome trace JSON path ("" = off)
     std::string manifest_out; ///< run manifest JSON path ("" = off)
+    /// Flight recorder counter-trace JSON path ("" = off). A separate
+    /// document from trace_out: span timestamps are wall time, the
+    /// timeline's are the workload's own (e.g. virtual simulated)
+    /// axis, and the two must not share a time axis.
+    std::string timeline_out;
     double progress_s = 0.0;  ///< heartbeat period in seconds (0 = off)
 
     bool
     active() const
     {
         return !trace_out.empty() || !manifest_out.empty() ||
-               progress_s > 0.0;
+               !timeline_out.empty() || progress_s > 0.0;
     }
 };
 
 /**
  * Observability switches from the environment: SPIKESIM_TRACE_OUT,
- * SPIKESIM_MANIFEST_OUT, SPIKESIM_PROGRESS (seconds). The only route
- * into the google-benchmark binaries, whose argv belongs to the
- * benchmark library; runWorkload() additionally accepts `--trace-out`,
- * `--manifest-out`, and `--progress` flags, which win over the
- * environment.
+ * SPIKESIM_MANIFEST_OUT, SPIKESIM_TIMELINE_OUT, SPIKESIM_PROGRESS
+ * (seconds). The only route into the google-benchmark binaries, whose
+ * argv belongs to the benchmark library; runWorkload() additionally
+ * accepts `--trace-out`, `--manifest-out`, `--timeline-out`, and
+ * `--progress` flags, which win over the environment.
  */
 ObsOptions obsOptionsFromEnv();
 
@@ -129,7 +136,19 @@ class ObsRun
      */
     void addArtifactFile(const std::string& path);
 
-    /** Stop the heartbeat, flush trace + manifest. Idempotent. */
+    /**
+     * Record one flight recorder timeline: its windows section goes
+     * into the manifest's "timeline" array, and (when `--timeline-out`
+     * is set) its series become counter events in the timeline trace
+     * written by finish().
+     */
+    void addTimeline(const obs::Timeline& tl);
+
+    /** Record one SLO verdict in the manifest's "slo" array. */
+    void addSloVerdict(const obs::SloSpec& spec,
+                       const obs::SloVerdict& v);
+
+    /** Stop the heartbeat, flush trace + timeline + manifest. */
     void finish();
 
     /** The run's hardware counters (never null; may be inert). */
@@ -138,6 +157,7 @@ class ObsRun
   private:
     ObsOptions opts_;
     obs::Manifest manifest_;
+    std::vector<obs::Timeline> timelines_;
     std::unique_ptr<obs::PerfCounters> perf_;
     std::unique_ptr<obs::ProgressMeter> progress_;
     bool finished_ = false;
@@ -343,10 +363,11 @@ class BenchReplay
  *
  * Observability flags (all optional, stdout-neutral): `--trace-out
  * FILE` collects a Chrome trace-event JSON of the whole run,
- * `--manifest-out FILE` writes the run manifest, `--progress SECS`
- * prints a counter heartbeat to stderr every SECS seconds. Environment
- * fallbacks: SPIKESIM_TRACE_OUT, SPIKESIM_MANIFEST_OUT,
- * SPIKESIM_PROGRESS.
+ * `--manifest-out FILE` writes the run manifest, `--timeline-out FILE`
+ * writes the flight recorder counter trace (benches that build
+ * timelines), `--progress SECS` prints a counter heartbeat to stderr
+ * every SECS seconds. Environment fallbacks: SPIKESIM_TRACE_OUT,
+ * SPIKESIM_MANIFEST_OUT, SPIKESIM_TIMELINE_OUT, SPIKESIM_PROGRESS.
  *
  * `--simd 0|1|2` forces the SoA replay kernels scalar, AVX2, or
  * AVX-512 (strictly one of those digits; wins over SPIKESIM_SIMD).

@@ -15,16 +15,35 @@
  * multi-tenant section replays N engine instances sharing each CPU's
  * L2/iTLB (the fig12/13 interference story under load).
  *
+ * Flight recorder: every simulation runs with windowed accounting
+ * (`--timeline-windows` fixed-width virtual-time windows per load
+ * point), each run's windows are scored against a latency SLO
+ * (`--slo-target` quantile under `--slo-threshold-us`; 0 = auto, 4x
+ * the base layout's p99 *service* time, i.e. "queueing may at most
+ * quadruple the tail") with multi-window burn-rate alerting
+ * (obs/slo.hh), and the per-layout verdicts land in
+ * BENCH_serving.json. With observability on, each run also becomes an
+ * obs::Timeline (throughput, drops, queue depth, windowed
+ * p50/p99/p999) in the manifest's "timeline" section, and
+ * `--timeline-out FILE` renders them as Chrome counter events on the
+ * simulation's virtual-time axis for Perfetto.
+ *
  * Emits BENCH_serving.json (validated by `obs_dump --check-bench`).
  * Output carries no timings and every random stream is seeded, so runs
- * are byte-identical per seed across `--threads` widths.
+ * are byte-identical per seed across `--threads` widths — latency
+ * percentiles, windows, and SLO burn rates are integer sketch-bucket
+ * arithmetic, not wall-clock measurements. (Hardware self-profiling of
+ * the service-model derivation goes to the manifest's info block only,
+ * never into the artifact.)
  *
  * usage: serving_tail_latency [workload args] [--workload tpcb|ycsb]
  *          [--requests N] [--sessions N] [--shards N]
- *          [--queue-bound N] [--tenants N]
+ *          [--queue-bound N] [--tenants N] [--timeline-windows N]
+ *          [--slo-threshold-us F] [--slo-target F]
  *          [--zipf_theta F] [--update_ratio F] [--operation_count N]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -35,6 +54,10 @@
 #include "bench/common.hh"
 #include "db/ycsb.hh"
 #include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "obs/perf.hh"
+#include "obs/slo.hh"
+#include "obs/timeline.hh"
 #include "profile/profile.hh"
 #include "serve/arrival.hh"
 #include "serve/queueing.hh"
@@ -54,6 +77,14 @@ struct ServingOptions
     int shards = 0; ///< 0 = the system's CPU count
     std::uint32_t queue_bound = 64;
     int tenants = 2; ///< multi-tenant section (1 disables)
+    /** Flight recorder windows per load point (virtual time). */
+    std::uint64_t timeline_windows = 60;
+    /** SLO latency threshold in microseconds; 0 = auto (4x the base
+     *  layout's p99 service time). */
+    double slo_threshold_us = 0.0;
+    /** SLO attainment target (fraction of completions under the
+     *  threshold). */
+    double slo_target = 0.99;
     double zipf_theta = 0.8;
     double update_ratio = 0.5;
     int operation_count = 8;
@@ -124,6 +155,16 @@ parseServingArgs(int& argc, char** argv)
                 static_cast<std::uint32_t>(parseCount(arg, value()));
         } else if (arg == "--tenants") {
             o.tenants = static_cast<int>(parseCount(arg, value()));
+        } else if (arg == "--timeline-windows") {
+            o.timeline_windows = parseCount(arg, value());
+        } else if (arg == "--slo-threshold-us") {
+            o.slo_threshold_us = parseDouble(arg, value());
+            if (o.slo_threshold_us < 0.0)
+                badFlag(arg, "threshold must be >= 0");
+        } else if (arg == "--slo-target") {
+            o.slo_target = parseDouble(arg, value());
+            if (o.slo_target <= 0.0 || o.slo_target >= 1.0)
+                badFlag(arg, "target must be in (0, 1)");
         } else if (arg == "--zipf_theta") {
             o.zipf_theta = parseDouble(arg, value());
         } else if (arg == "--update_ratio") {
@@ -156,6 +197,7 @@ struct LayoutRun
     serve::ServingResult result;
     double offered_tps = 0.0;
     double sustained_tps = 0.0;
+    obs::SloVerdict slo;
 };
 
 LayoutRun
@@ -189,11 +231,74 @@ maxDepth(const serve::ServingResult& r)
     return deepest;
 }
 
+/**
+ * Flight-recorder post-pass for one run: score the windows against the
+ * SLO (burn-rate alerting included) and, with observability on, turn
+ * them into an obs::Timeline (virtual-time counter series) plus a
+ * manifest SLO verdict. Everything here is integer window arithmetic,
+ * so the verdict is byte-identical across thread-pool widths.
+ */
+obs::SloVerdict
+recordFlightRecorder(bench::Workload& w, const std::string& name,
+                     const serve::ServingResult& r,
+                     const obs::SloSpec& spec_base,
+                     const sim::PlatformParams& p)
+{
+    obs::SloSpec spec = spec_base;
+    spec.name = name;
+    std::vector<obs::SloWindow> wins;
+    wins.reserve(r.windows.size());
+    for (const serve::WindowStats& ws : r.windows) {
+        obs::SloWindow sw;
+        sw.bad = ws.latency.countAbove(spec.threshold_ticks);
+        sw.good = ws.completed - sw.bad;
+        wins.push_back(sw);
+    }
+    const obs::SloVerdict verdict = obs::evaluateSlo(spec, wins);
+
+    if (w.obs() != nullptr) {
+        obs::TimelineConfig tc;
+        tc.name = name;
+        tc.window_ticks = static_cast<double>(r.window_cycles);
+        tc.us_per_tick = 1.0 / (p.clock_ghz * 1e3);
+        tc.capacity = std::max<std::size_t>(std::size_t{1},
+                                            r.windows.size());
+        obs::Timeline tl(tc);
+        tl.addSeries("arrivals");
+        tl.addSeries("completed");
+        tl.addSeries("dropped");
+        tl.addSeries("queue_depth_max");
+        tl.addSeries("p50_us");
+        tl.addSeries("p99_us");
+        tl.addSeries("p999_us");
+        for (const serve::WindowStats& ws : r.windows) {
+            const bool has = !ws.latency.empty();
+            const double vals[] = {
+                static_cast<double>(ws.arrivals),
+                static_cast<double>(ws.completed),
+                static_cast<double>(ws.dropped),
+                static_cast<double>(ws.depth_max),
+                has ? sim::cyclesToMicros(ws.latency.quantile(0.50), p)
+                    : 0.0,
+                has ? sim::cyclesToMicros(ws.latency.quantile(0.99), p)
+                    : 0.0,
+                has ? sim::cyclesToMicros(ws.latency.quantile(0.999), p)
+                    : 0.0,
+            };
+            tl.appendWindow(vals);
+        }
+        w.obs()->addTimeline(tl);
+        w.obs()->addSloVerdict(spec, verdict);
+    }
+    return verdict;
+}
+
 void
 emitLayoutJson(std::ofstream& json, const char* key,
                const LayoutRun& run, const sim::PlatformParams& p)
 {
     const serve::ServingResult& r = run.result;
+    const obs::SloVerdict& v = run.slo;
     json << "\"" << key << "\": {\"completed\": " << r.completed
          << ", \"dropped\": " << r.dropped << ", \"offered_tps\": "
          << obs::jsonNumber(run.offered_tps)
@@ -211,7 +316,17 @@ emitLayoutJson(std::ofstream& json, const char* key,
          << ", \"max_us\": "
          << obs::jsonNumber(sim::cyclesToMicros(r.max_latency, p))
          << ", \"utilization\": " << obs::jsonNumber(r.utilization)
-         << ", \"max_queue_depth\": " << maxDepth(r) << "}";
+         << ", \"max_queue_depth\": " << maxDepth(r)
+         << ", \"slo\": {\"total\": " << v.total
+         << ", \"bad\": " << v.bad
+         << ", \"attainment\": " << obs::jsonNumber(v.attainment)
+         << ", \"budget_burn\": " << obs::jsonNumber(v.budget_burn)
+         << ", \"met\": " << (v.met ? "true" : "false")
+         << ", \"max_fast_burn\": " << obs::jsonNumber(v.max_fast_burn)
+         << ", \"max_slow_burn\": " << obs::jsonNumber(v.max_slow_burn)
+         << ", \"fast_alert_windows\": " << v.fast_alert_windows
+         << ", \"slow_alert_windows\": " << v.slow_alert_windows
+         << ", \"verdict\": \"" << v.verdict << "\"}}";
 }
 
 void
@@ -226,7 +341,7 @@ addTableRow(support::TablePrinter& table, const std::string& load,
          fixed(sim::cyclesToMicros(r.p99, p), 1),
          fixed(sim::cyclesToMicros(r.p999, p), 1),
          support::withCommas(r.dropped),
-         support::percent(r.utilization)});
+         support::percent(r.utilization), run.slo.verdict});
 }
 
 } // namespace
@@ -297,8 +412,19 @@ main(int argc, char** argv)
     core::Layout opt_layout = app_layout(core::OptCombo::All);
 
     // Per-request service-time distributions, one hierarchy walk per
-    // layout (plus the multi-tenant shared-L2/iTLB variants).
+    // layout (plus the multi-tenant shared-L2/iTLB variants). With
+    // observability on, the walk is also hardware self-profiled: it is
+    // the bench's compute-heavy phase, and its IPC / L1I / iTLB rates
+    // land in the manifest's info block (serving.perf.*) — never in
+    // BENCH_serving.json, which must stay byte-identical per seed.
     std::cerr << "[serving] deriving per-request service times...\n";
+    std::optional<obs::PerfCounters> svc_perf;
+    std::optional<obs::PhaseClock> svc_phase;
+    if (w.obs() != nullptr) {
+        svc_phase.emplace(w.obs()->manifest(), "serving.service_model");
+        svc_perf.emplace();
+        svc_perf->start();
+    }
     serve::ServiceModelConfig smc;
     smc.platform = platform;
     serve::ServiceModel base_solo(*buf, base_layout, &kernel_layout,
@@ -311,6 +437,30 @@ main(int argc, char** argv)
         base_shared.emplace(*buf, base_layout, &kernel_layout, smc);
         opt_shared.emplace(*buf, opt_layout, &kernel_layout, smc);
     }
+    if (svc_perf.has_value()) {
+        svc_perf->stop();
+        const obs::PerfSample s = svc_perf->sample();
+        obs::Manifest& m = w.obs()->manifest();
+        m.info.emplace_back("serving.perf.available",
+                            s.available ? "1" : "0");
+        if (!svc_perf->available())
+            m.info.emplace_back("serving.perf.reason",
+                                svc_perf->reason());
+        if (s.available) {
+            m.info.emplace_back("serving.perf.ipc", fixed(s.ipc(), 4));
+            m.info.emplace_back("serving.perf.branch_miss_pct",
+                                fixed(s.branchMissPct(), 4));
+            m.info.emplace_back("serving.perf.l1i_mpki",
+                                fixed(s.l1iMpki(), 4));
+            m.info.emplace_back("serving.perf.l1d_mpki",
+                                fixed(s.l1dMpki(), 4));
+            m.info.emplace_back("serving.perf.itlb_mpki",
+                                fixed(s.itlbMpki(), 4));
+            m.info.emplace_back("serving.perf.frontend_bound_pct",
+                                fixed(s.frontendBoundPct(), 4));
+        }
+    }
+    svc_phase.reset();
 
     const serve::ServiceStats& sb = base_solo.stats();
     const serve::ServiceStats& sopt = opt_solo.stats();
@@ -336,6 +486,19 @@ main(int argc, char** argv)
     qc.queue_bound = so.queue_bound;
     qc.seed = w.seed;
 
+    // Latency SLO: auto mode caps the tail at 4x the base layout's p99
+    // *service* time — the latency a near-empty system would deliver —
+    // so the verdict measures what queueing adds, not the raw layout.
+    obs::SloSpec slo_spec;
+    slo_spec.target = so.slo_target;
+    slo_spec.threshold_ticks =
+        so.slo_threshold_us > 0.0
+            ? static_cast<std::uint64_t>(so.slo_threshold_us *
+                                         platform.clock_ghz * 1e3)
+            : 4 * sb.p99_cycles;
+    const double slo_threshold_us =
+        sim::cyclesToMicros(slo_spec.threshold_ticks, platform);
+
     // Offered load as a fraction of the BASE layout's capacity; both
     // layouts serve the identical arrival stream at each point.
     struct LoadPoint
@@ -354,7 +517,7 @@ main(int argc, char** argv)
 
     support::TablePrinter table({"load", "arrivals", "layout",
                                  "tput/s", "p50 us", "p99 us",
-                                 "p999 us", "dropped", "util"});
+                                 "p999 us", "dropped", "util", "slo"});
     std::ofstream json("BENCH_serving.json");
     json << "{\n"
          << "  \"bench\": \"serving\",\n"
@@ -379,7 +542,16 @@ main(int argc, char** argv)
          << obs::jsonNumber(sopt.mean_cycles)
          << ", \"p50_cycles\": " << sopt.p50_cycles
          << ", \"p99_cycles\": " << sopt.p99_cycles << "}},\n"
+         << "  \"slo_spec\": {\"target\": "
+         << obs::jsonNumber(slo_spec.target)
+         << ", \"threshold_cycles\": " << slo_spec.threshold_ticks
+         << ", \"threshold_us\": " << obs::jsonNumber(slo_threshold_us)
+         << ", \"windows\": " << so.timeline_windows << "},\n"
          << "  \"loads\": [\n";
+
+    std::optional<obs::PhaseClock> sim_phase;
+    if (w.obs() != nullptr)
+        sim_phase.emplace(w.obs()->manifest(), "serving.simulate");
 
     double saturation_p99_gain = 0.0;
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -394,6 +566,8 @@ main(int argc, char** argv)
         ac.seed = w.seed;
         const std::vector<serve::Arrival> arrivals =
             serve::generateArrivals(ac);
+        qc.window_cycles = std::max<std::uint64_t>(
+            std::uint64_t{1}, ac.horizon_cycles / so.timeline_windows);
 
         LayoutRun base_run = runLayout(
             arrivals, base_solo.requestCycles(), ac.horizon_cycles,
@@ -402,9 +576,15 @@ main(int argc, char** argv)
             arrivals, opt_solo.requestCycles(), ac.horizon_cycles, qc,
             platform, w.pool());
 
+        const std::string kind = bursty ? "bursty" : "poisson";
+        const std::string run_tag = kind + "-rho" + fixed(lp.rho, 2);
+        base_run.slo = recordFlightRecorder(
+            w, run_tag + "-base", base_run.result, slo_spec, platform);
+        opt_run.slo = recordFlightRecorder(
+            w, run_tag + "-opt", opt_run.result, slo_spec, platform);
+
         const std::string load_label =
             fixed(lp.rho, 2) + (bursty ? " bursty" : "");
-        const std::string kind = bursty ? "bursty" : "poisson";
         addTableRow(table, load_label, kind, "base", base_run,
                     platform);
         addTableRow(table, load_label, kind, "optimized", opt_run,
@@ -444,12 +624,22 @@ main(int argc, char** argv)
         ac.seed = w.seed;
         const std::vector<serve::Arrival> arrivals =
             serve::generateArrivals(ac);
+        qc.window_cycles = std::max<std::uint64_t>(
+            std::uint64_t{1}, ac.horizon_cycles / so.timeline_windows);
         LayoutRun base_run = runLayout(
             arrivals, base_shared->requestCycles(), ac.horizon_cycles,
             qc, platform, w.pool());
         LayoutRun opt_run = runLayout(
             arrivals, opt_shared->requestCycles(), ac.horizon_cycles,
             qc, platform, w.pool());
+        const std::string tenant_tag =
+            "poisson-rho" + fixed(rho, 2) + "-x" +
+            std::to_string(so.tenants);
+        base_run.slo = recordFlightRecorder(
+            w, tenant_tag + "-base", base_run.result, slo_spec,
+            platform);
+        opt_run.slo = recordFlightRecorder(
+            w, tenant_tag + "-opt", opt_run.result, slo_spec, platform);
         const std::string label =
             fixed(rho, 2) + " x" + std::to_string(so.tenants);
         addTableRow(table, label, "poisson", "base", base_run,
@@ -473,6 +663,7 @@ main(int argc, char** argv)
     }
     json << "\n}\n";
     json.close();
+    sim_phase.reset();
 
     table.print(std::cout);
     std::cout << "\nwrote BENCH_serving.json\n\n";
@@ -487,6 +678,10 @@ main(int argc, char** argv)
                             std::to_string(so.queue_bound));
         m.info.emplace_back("serving.tenants",
                             std::to_string(so.tenants));
+        m.info.emplace_back("serving.timeline_windows",
+                            std::to_string(so.timeline_windows));
+        m.info.emplace_back("serving.slo_threshold_cycles",
+                            std::to_string(slo_spec.threshold_ticks));
         m.info.emplace_back(
             "serving.saturation_p99_improvement_pct",
             fixed(saturation_p99_gain * 100.0, 2));

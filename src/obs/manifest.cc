@@ -19,6 +19,17 @@ void appendString(std::string& out, std::string_view s)
     out += '"';
 }
 
+/** Append a pre-rendered JSON object, degrading to null when it does
+ *  not parse (same contract as artifacts). */
+void appendEmbedded(std::string& out, const std::string& json)
+{
+    JsonValue v;
+    if (!json.empty() && parseJson(json, v))
+        out += v.dump();
+    else
+        out += "null";
+}
+
 } // namespace
 
 std::string renderManifest(const Manifest& m)
@@ -60,14 +71,21 @@ std::string renderManifest(const Manifest& m)
         out += ':';
         // Re-parse before embedding: a malformed BENCH_*.json must
         // degrade to null, not corrupt the whole manifest document.
-        JsonValue artifact;
-        if (!m.artifacts[i].json.empty() &&
-            parseJson(m.artifacts[i].json, artifact))
-            out += artifact.dump();
-        else
-            out += "null";
+        appendEmbedded(out, m.artifacts[i].json);
     }
-    out += "},\"metrics\":{\"counters\":{";
+    out += "},\"timeline\":[";
+    for (std::size_t i = 0; i < m.timelines.size(); ++i) {
+        if (i)
+            out += ',';
+        appendEmbedded(out, m.timelines[i]);
+    }
+    out += "],\"slo\":[";
+    for (std::size_t i = 0; i < m.slos.size(); ++i) {
+        if (i)
+            out += ',';
+        appendEmbedded(out, m.slos[i]);
+    }
+    out += "],\"metrics\":{\"counters\":{";
     Snapshot snap = Registry::instance().snapshot();
     bool first = true;
     for (const auto& [name, v] : snap.counters) {
@@ -106,6 +124,25 @@ std::string renderManifest(const Manifest& m)
             out += std::to_string(h.bucket(b));
         }
         out += "]}";
+    }
+    out += "},\"sketches\":{";
+    first = true;
+    for (const auto& [name, q] : snap.sketches) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendString(out, name);
+        out += ":{\"count\":" + std::to_string(q.count());
+        out += ",\"sum\":" + std::to_string(q.sum());
+        out += ",\"min\":" + std::to_string(q.min());
+        out += ",\"max\":" + std::to_string(q.max());
+        out += ",\"p50\":" + std::to_string(q.quantile(0.50));
+        out += ",\"p90\":" + std::to_string(q.quantile(0.90));
+        out += ",\"p99\":" + std::to_string(q.quantile(0.99));
+        out += ",\"p999\":" + std::to_string(q.quantile(0.999));
+        out += ",\"relative_error\":" +
+               jsonNumber(QuantileSketch::kRelativeError);
+        out += '}';
     }
     out += "}}}";
     return out;

@@ -43,6 +43,12 @@ struct Manifest {
     std::vector<std::pair<std::string, std::string>> info;
     std::vector<PhaseTime> phases;
     std::vector<Artifact> artifacts;
+    /// Flight recorder sections, pre-rendered as JSON objects
+    /// (Timeline::renderSection / renderSloVerdict); emitted as the
+    /// top-level "timeline" and "slo" arrays. Malformed entries
+    /// degrade to null like artifacts.
+    std::vector<std::string> timelines;
+    std::vector<std::string> slos;
 };
 
 /**

@@ -70,6 +70,34 @@ void Histogram::reset()
             s.bucket[b].store(0, std::memory_order_relaxed);
 }
 
+QuantileSketch SketchMetric::snapshot() const
+{
+    QuantileSketch merged;
+    for (const Shard& s : shards_) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        merged.merge(s.sketch);
+    }
+    return merged;
+}
+
+std::uint64_t SketchMetric::totalSamples() const
+{
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        sum += s.sketch.count();
+    }
+    return sum;
+}
+
+void SketchMetric::reset()
+{
+    for (Shard& s : shards_) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.sketch.clear();
+    }
+}
+
 Registry& Registry::instance()
 {
     static Registry r;
@@ -111,6 +139,18 @@ Histogram& Registry::histogram(std::string_view name)
     return *it->second;
 }
 
+SketchMetric& Registry::sketch(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sketches_.find(name);
+    if (it == sketches_.end())
+        it = sketches_
+                 .emplace(std::string(name),
+                          std::make_unique<SketchMetric>())
+                 .first;
+    return *it->second;
+}
+
 Snapshot Registry::snapshot() const
 {
     std::lock_guard<std::mutex> lk(mu_);
@@ -124,6 +164,9 @@ Snapshot Registry::snapshot() const
     s.histograms.reserve(histograms_.size());
     for (const auto& [name, h] : histograms_)
         s.histograms.emplace_back(name, h->snapshot());
+    s.sketches.reserve(sketches_.size());
+    for (const auto& [name, q] : sketches_)
+        s.sketches.emplace_back(name, q->snapshot());
     return s;
 }
 
@@ -136,6 +179,8 @@ void Registry::resetValues()
         g->reset();
     for (auto& [name, h] : histograms_)
         h->reset();
+    for (auto& [name, q] : sketches_)
+        q->reset();
 }
 
 } // namespace spikesim::obs

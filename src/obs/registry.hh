@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/sketch.hh"
 #include "support/histogram.hh"
 
 /**
@@ -117,7 +118,7 @@ class Histogram
   public:
     static constexpr std::size_t kBuckets = 64;
 
-    void record(std::uint64_t value)
+    void record(std::uint64_t value, std::uint64_t count = 1)
     {
 #if SPIKESIM_OBS
         std::size_t b = 0;
@@ -125,9 +126,10 @@ class Histogram
             ++b;
         shards_[detail::shardIndex() & (detail::kShards - 1)]
             .bucket[b]
-            .fetch_add(1, std::memory_order_relaxed);
+            .fetch_add(count, std::memory_order_relaxed);
 #else
         (void)value;
+        (void)count;
 #endif
     }
 
@@ -142,12 +144,64 @@ class Histogram
     Shard shards_[detail::kShards];
 };
 
+/**
+ * Bounded-relative-error quantile metric (obs/sketch.hh) behind the
+ * registry's sharding convention: each shard is a mutex + lazily grown
+ * QuantileSketch, a recording thread locks only its own shard (the
+ * sketch's bucket vector can grow, so plain atomics don't fit), and
+ * snapshot() merges shards in shard order — deterministic totals at
+ * any quiescent point. Use where a log2 histogram is too coarse: p99
+ * within ~0.8% instead of within 2x.
+ */
+class SketchMetric
+{
+  public:
+    void record(std::uint64_t value, std::uint64_t count = 1)
+    {
+#if SPIKESIM_OBS
+        Shard& s =
+            shards_[detail::shardIndex() & (detail::kShards - 1)];
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.sketch.record(value, count);
+#else
+        (void)value;
+        (void)count;
+#endif
+    }
+
+    /** Fold a whole pre-built sketch in (one lock, bucket-wise add). */
+    void merge(const QuantileSketch& other)
+    {
+#if SPIKESIM_OBS
+        Shard& s =
+            shards_[detail::shardIndex() & (detail::kShards - 1)];
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.sketch.merge(other);
+#else
+        (void)other;
+#endif
+    }
+
+    /** Shard-order merge of every shard's sketch. */
+    QuantileSketch snapshot() const;
+    std::uint64_t totalSamples() const;
+    void reset();
+
+  private:
+    struct Shard {
+        mutable std::mutex mu;
+        QuantileSketch sketch;
+    };
+    Shard shards_[detail::kShards];
+};
+
 /** Point-in-time copy of every registered metric. */
 struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::int64_t>> gauges;
     std::vector<std::pair<std::string, support::Log2Histogram>>
         histograms;
+    std::vector<std::pair<std::string, QuantileSketch>> sketches;
 };
 
 /**
@@ -163,6 +217,7 @@ class Registry
     Counter& counter(std::string_view name);
     Gauge& gauge(std::string_view name);
     Histogram& histogram(std::string_view name);
+    SketchMetric& sketch(std::string_view name);
 
     Snapshot snapshot() const;
 
@@ -179,6 +234,8 @@ class Registry
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
         histograms_;
+    std::map<std::string, std::unique_ptr<SketchMetric>, std::less<>>
+        sketches_;
 };
 
 /** Shorthands for the common "static local reference" idiom. */
@@ -193,6 +250,10 @@ inline Gauge& gauge(std::string_view name)
 inline Histogram& histogram(std::string_view name)
 {
     return Registry::instance().histogram(name);
+}
+inline SketchMetric& sketch(std::string_view name)
+{
+    return Registry::instance().sketch(name);
 }
 
 /**

@@ -1,0 +1,112 @@
+#include "obs/sketch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spikesim::obs {
+
+std::uint64_t
+QuantileSketch::bucketLowerBound(std::size_t index)
+{
+    if (index < (std::size_t(1) << kSubBits))
+        return index;
+    const unsigned s =
+        static_cast<unsigned>(index >> kSubBits) - 1;
+    const std::uint64_t t =
+        index - (static_cast<std::size_t>(s) << kSubBits);
+    return t << s;
+}
+
+std::uint64_t
+QuantileSketch::bucketUpperBound(std::size_t index)
+{
+    if (index < (std::size_t(1) << kSubBits))
+        return index;
+    const unsigned s =
+        static_cast<unsigned>(index >> kSubBits) - 1;
+    const std::uint64_t t =
+        index - (static_cast<std::size_t>(s) << kSubBits);
+    return ((t + 1) << s) - 1;
+}
+
+void
+QuantileSketch::record(std::uint64_t v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    const std::size_t b = bucketIndex(v);
+    if (b >= counts_.size())
+        counts_.resize(b + 1, 0);
+    counts_[b] += count;
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += count;
+    sum_ += v * count;
+}
+
+void
+QuantileSketch::merge(const QuantileSketch& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (other.counts_.size() > counts_.size())
+        counts_.resize(other.counts_.size(), 0);
+    for (std::size_t b = 0; b < other.counts_.size(); ++b)
+        counts_[b] += other.counts_[b];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+std::uint64_t
+QuantileSketch::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        cum += counts_[b];
+        if (cum >= rank)
+            return std::clamp(bucketUpperBound(b), min_, max_);
+    }
+    return max_;
+}
+
+std::uint64_t
+QuantileSketch::countAbove(std::uint64_t threshold) const
+{
+    const std::size_t first = bucketIndex(threshold) + 1;
+    std::uint64_t n = 0;
+    for (std::size_t b = first; b < counts_.size(); ++b)
+        n += counts_[b];
+    return n;
+}
+
+void
+QuantileSketch::clear()
+{
+    counts_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+} // namespace spikesim::obs

@@ -1,0 +1,118 @@
+#ifndef SPIKESIM_OBS_SKETCH_HH
+#define SPIKESIM_OBS_SKETCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/**
+ * @file
+ * Deterministic bounded-relative-error streaming quantile sketch
+ * (DDSketch/HDR-histogram family, log-linear buckets over uint64
+ * samples). The bucket for a value keeps its top kSubBits+1 significant
+ * bits, so every bucket spans at most a 1/2^kSubBits relative range and
+ * any quantile estimate lands within that factor of the true sample.
+ * Values below 2^kSubBits get a bucket each and are exact.
+ *
+ * Everything is integer counts: merging sketches is commutative and
+ * associative bucket-wise addition, so per-shard sketches merged in
+ * shard order produce byte-identical quantiles on any thread-pool
+ * width — the repo's determinism convention, which is why this replaces
+ * the sort-every-latency percentile path in serve/queueing and backs
+ * the registry's sketch metric kind.
+ */
+
+namespace spikesim::obs {
+
+class QuantileSketch
+{
+  public:
+    /** Sub-bucket resolution bits; 7 = at most 1/128 (~0.8%) relative
+     *  error on any quantile. */
+    static constexpr unsigned kSubBits = 7;
+
+    /** Upper bound on the relative error of quantile(). */
+    static constexpr double kRelativeError =
+        1.0 / double(1u << kSubBits);
+
+    /**
+     * Bucket index of a value: values < 2^kSubBits index themselves
+     * (exact); larger values keep their top kSubBits+1 bits. The map is
+     * monotone and contiguous, max index 7423 for kSubBits = 7.
+     */
+    static std::size_t
+    bucketIndex(std::uint64_t v)
+    {
+        if (v < (std::uint64_t(1) << kSubBits))
+            return static_cast<std::size_t>(v);
+        unsigned e = 63;
+        while ((v >> e) == 0)
+            --e;
+        const unsigned s = e - kSubBits;
+        return (static_cast<std::size_t>(s) << kSubBits) +
+               static_cast<std::size_t>(v >> s);
+    }
+
+    /** Smallest value mapping to bucket `index`. */
+    static std::uint64_t bucketLowerBound(std::size_t index);
+    /** Largest value mapping to bucket `index`. */
+    static std::uint64_t bucketUpperBound(std::size_t index);
+
+    /** Record `count` occurrences of `v`. */
+    void record(std::uint64_t v, std::uint64_t count = 1);
+
+    /** Bucket-wise addition; min/max/sum fold in too. */
+    void merge(const QuantileSketch& other);
+
+    bool empty() const { return count_ == 0; }
+    std::uint64_t count() const { return count_; }
+    /** Exact sum of every recorded value (wraps mod 2^64 like any
+     *  uint64 accumulation). */
+    std::uint64_t sum() const { return sum_; }
+    /** Exact extrema; 0 on an empty sketch. */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Nearest-rank quantile estimate, q in [0, 1]: the upper bound of
+     * the bucket holding the ceil(q*n)-th smallest sample, clamped to
+     * [min, max]. Always >= the true sample and <= true * (1 +
+     * kRelativeError); exact for samples < 2^kSubBits. 0 on empty.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /**
+     * Samples recorded in buckets strictly above the bucket of
+     * `threshold` — i.e. "latency > threshold" with the threshold
+     * rounded up to its bucket's upper bound. Deterministic; the SLO
+     * evaluator's bad-event count.
+     */
+    std::uint64_t countAbove(std::uint64_t threshold) const;
+
+    /** Bucket counts, index 0..highest non-empty bucket. */
+    const std::vector<std::uint64_t>&
+    buckets() const
+    {
+        return counts_;
+    }
+
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> counts_; ///< grown lazily on record
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace spikesim::obs
+
+#endif // SPIKESIM_OBS_SKETCH_HH

@@ -1,0 +1,114 @@
+#include "obs/slo.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/json.hh"
+#include "support/panic.hh"
+
+namespace spikesim::obs {
+
+namespace {
+
+/** Burn rate over windows [w - span + 1, w] via prefix sums; 0 when
+ *  the span saw no requests. */
+double
+burnOver(const std::vector<std::uint64_t>& good_pfx,
+         const std::vector<std::uint64_t>& bad_pfx, std::size_t w,
+         std::size_t span, double budget)
+{
+    const std::size_t lo = w + 1 - span;
+    const std::uint64_t good = good_pfx[w + 1] - good_pfx[lo];
+    const std::uint64_t bad = bad_pfx[w + 1] - bad_pfx[lo];
+    const std::uint64_t total = good + bad;
+    if (total == 0)
+        return 0.0;
+    const double bad_frac =
+        static_cast<double>(bad) / static_cast<double>(total);
+    return bad_frac / budget;
+}
+
+} // namespace
+
+SloVerdict
+evaluateSlo(const SloSpec& spec, std::span<const SloWindow> windows)
+{
+    SPIKESIM_ASSERT(spec.target > 0.0 && spec.target < 1.0,
+                    "SLO target must be in (0, 1)");
+    SPIKESIM_ASSERT(spec.fast_short >= 1 &&
+                        spec.fast_short <= spec.fast_long &&
+                        spec.slow_short >= 1 &&
+                        spec.slow_short <= spec.slow_long,
+                    "SLO window pairs must satisfy 1 <= short <= long");
+    const double budget = 1.0 - spec.target;
+
+    SloVerdict v;
+    std::vector<std::uint64_t> good_pfx(windows.size() + 1, 0);
+    std::vector<std::uint64_t> bad_pfx(windows.size() + 1, 0);
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+        good_pfx[w + 1] = good_pfx[w] + windows[w].good;
+        bad_pfx[w + 1] = bad_pfx[w] + windows[w].bad;
+        v.total += windows[w].good + windows[w].bad;
+        v.bad += windows[w].bad;
+    }
+    if (v.total > 0) {
+        const double bad_frac = static_cast<double>(v.bad) /
+                                static_cast<double>(v.total);
+        v.attainment = 1.0 - bad_frac;
+        v.budget_burn = bad_frac / budget;
+    }
+    v.met = v.attainment >= spec.target;
+
+    const auto pair = [&](std::size_t sshort, std::size_t slong,
+                          double factor, double& max_burn,
+                          std::size_t& alerts) {
+        for (std::size_t w = slong - 1; w < windows.size(); ++w) {
+            const double b_long =
+                burnOver(good_pfx, bad_pfx, w, slong, budget);
+            const double b_short =
+                burnOver(good_pfx, bad_pfx, w, sshort, budget);
+            max_burn = std::max(max_burn, b_long);
+            if (b_long >= factor && b_short >= factor)
+                ++alerts;
+        }
+    };
+    pair(spec.fast_short, spec.fast_long, spec.fast_factor,
+         v.max_fast_burn, v.fast_alert_windows);
+    pair(spec.slow_short, spec.slow_long, spec.slow_factor,
+         v.max_slow_burn, v.slow_alert_windows);
+
+    if (!v.met)
+        v.verdict = "breach";
+    else if (v.fast_alert_windows > 0)
+        v.verdict = "fast_burn";
+    else if (v.slow_alert_windows > 0)
+        v.verdict = "slow_burn";
+    else
+        v.verdict = "ok";
+    return v;
+}
+
+std::string
+renderSloVerdict(const SloSpec& spec, const SloVerdict& v)
+{
+    std::string out = "{\"name\":\"";
+    out += jsonEscape(spec.name);
+    out += "\",\"target\":" + jsonNumber(spec.target);
+    out += ",\"threshold_ticks\":" +
+           std::to_string(spec.threshold_ticks);
+    out += ",\"total\":" + std::to_string(v.total);
+    out += ",\"bad\":" + std::to_string(v.bad);
+    out += ",\"attainment\":" + jsonNumber(v.attainment);
+    out += ",\"budget_burn\":" + jsonNumber(v.budget_burn);
+    out += std::string(",\"met\":") + (v.met ? "true" : "false");
+    out += ",\"max_fast_burn\":" + jsonNumber(v.max_fast_burn);
+    out += ",\"max_slow_burn\":" + jsonNumber(v.max_slow_burn);
+    out += ",\"fast_alert_windows\":" +
+           std::to_string(v.fast_alert_windows);
+    out += ",\"slow_alert_windows\":" +
+           std::to_string(v.slow_alert_windows);
+    out += ",\"verdict\":\"" + jsonEscape(v.verdict) + "\"}";
+    return out;
+}
+
+} // namespace spikesim::obs

@@ -1,0 +1,87 @@
+#ifndef SPIKESIM_OBS_SLO_HH
+#define SPIKESIM_OBS_SLO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+/**
+ * @file
+ * Declarative latency SLOs with multi-window burn-rate alerting (the
+ * SRE-workbook fast/slow window pairs), evaluated over a flight
+ * recorder timeline. An SLO says "`target` of requests finish within
+ * `threshold`"; each timeline window reports how many requests were
+ * good (within threshold) and bad. The burn rate of a span of windows
+ * is its bad fraction divided by the error budget (1 - target): burn 1
+ * spends the budget exactly, burn 14.4 spends a 30-day budget in ~2
+ * days. An alert pair (short, long, factor) fires at a window when the
+ * burn over BOTH trailing spans reaches the factor — the short span
+ * makes the alert fast to clear, the long one keeps one bursty window
+ * from paging. Verdicts land in the run manifest and in
+ * BENCH_serving.json; everything is integer-count arithmetic, so
+ * verdicts are byte-identical across thread-pool widths.
+ */
+
+namespace spikesim::obs {
+
+/** One latency objective plus its two alert window pairs (in timeline
+ *  windows, not wall time — the serving bench's windows are virtual). */
+struct SloSpec
+{
+    std::string name;
+    /** Fraction of requests that must be good (e.g. 0.99). */
+    double target = 0.99;
+    /** Good/bad latency threshold, in the sketch's ticks (cycles). */
+    std::uint64_t threshold_ticks = 0;
+    /** Fast-burn pair: pages quickly on a hard outage. */
+    std::size_t fast_short = 3;
+    std::size_t fast_long = 12;
+    double fast_factor = 14.4;
+    /** Slow-burn pair: catches a simmering budget leak. */
+    std::size_t slow_short = 12;
+    std::size_t slow_long = 48;
+    double slow_factor = 6.0;
+};
+
+/** One timeline window's good/bad request counts. */
+struct SloWindow
+{
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+};
+
+struct SloVerdict
+{
+    std::uint64_t total = 0; ///< requests over the whole run
+    std::uint64_t bad = 0;
+    double attainment = 1.0;  ///< good fraction (1.0 when empty)
+    double budget_burn = 0.0; ///< whole-run bad fraction / budget
+    bool met = true;          ///< attainment >= target
+    /** Max trailing-long-window burn at any evaluated position. */
+    double max_fast_burn = 0.0;
+    double max_slow_burn = 0.0;
+    /** Windows where the pair alerted (both spans >= factor). */
+    std::size_t fast_alert_windows = 0;
+    std::size_t slow_alert_windows = 0;
+    /** "ok", "slow_burn", "fast_burn", or "breach". */
+    std::string verdict = "ok";
+};
+
+/**
+ * Evaluate a spec over per-window counts. Alert pairs are evaluated at
+ * every window w >= long - 1 (a full long span must exist); empty
+ * spans burn 0. The verdict is "breach" when overall attainment misses
+ * the target, else the most urgent pair that alerted, else "ok".
+ */
+SloVerdict evaluateSlo(const SloSpec& spec,
+                       std::span<const SloWindow> windows);
+
+/** Render spec + verdict as one compact JSON object (for the manifest
+ *  "slo" section and BENCH artifacts). */
+std::string renderSloVerdict(const SloSpec& spec,
+                             const SloVerdict& verdict);
+
+} // namespace spikesim::obs
+
+#endif // SPIKESIM_OBS_SLO_HH

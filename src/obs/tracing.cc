@@ -207,6 +207,18 @@ bool validateChromeTrace(const JsonValue& doc, std::string* err)
             const JsonValue* dur = e.find("dur");
             if (!dur || !dur->isNumber() || dur->number() < 0)
                 return fail("X event missing numeric dur >= 0" + at);
+        } else if (phase == 'C') {
+            // Counter event: args is an object of one or more numeric
+            // series values (what Perfetto plots as counter tracks).
+            const JsonValue* args = e.find("args");
+            if (!args || !args->isObject())
+                return fail("C event missing args object" + at);
+            if (args->members().empty())
+                return fail("C event args object is empty" + at);
+            for (const auto& [key, val] : args->members())
+                if (!val.isNumber())
+                    return fail("C event args \"" + key +
+                                "\" is not a number" + at);
         } else if (phase == 'B') {
             ++open_per_tid[tid->number()];
         } else if (phase == 'E') {

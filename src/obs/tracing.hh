@@ -88,9 +88,12 @@ class Span
 
 /**
  * Validate a parsed Chrome trace-event document: top-level object with
- * a "traceEvents" array; every event has string name/cat, ph "X" with
- * numeric ts/dur >= 0 (or balanced "B"/"E" per tid), and numeric
- * pid/tid. Returns false and fills `err` on the first violation.
+ * a "traceEvents" array; every event has string name/cat, numeric
+ * pid/tid/ts, and one of the supported phases — "X" with numeric dur
+ * >= 0, balanced "B"/"E" per tid, or counter "C" with an args object
+ * of one or more numeric series values (the flight recorder's
+ * timeline form). Returns false and fills `err` on the first
+ * violation.
  */
 bool validateChromeTrace(const JsonValue& doc, std::string* err);
 

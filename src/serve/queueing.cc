@@ -26,19 +26,33 @@ struct ShardWork
 struct ShardOut
 {
     ShardResult result;
+    obs::QuantileSketch latency_sketch;
     std::vector<std::uint64_t> latencies;
     std::vector<std::uint64_t> depth_hist;
+    std::vector<WindowStats> windows;
 };
+
+/** Grow `windows` so index `w` exists. */
+WindowStats& windowAt(std::vector<WindowStats>& windows, std::uint64_t w)
+{
+    if (windows.size() <= w)
+        windows.resize(static_cast<std::size_t>(w) + 1);
+    return windows[static_cast<std::size_t>(w)];
+}
 
 /**
  * Single-server FIFO queue with bounded admission: depth at arrival is
  * the number of admitted-but-incomplete requests (a request completing
  * exactly at the arrival instant counts as done); arrivals at full
- * depth are dropped.
+ * depth are dropped. Window accounting bins arrivals/drops/depth by
+ * arrival time and completions (plus their latency) by completion
+ * time.
  */
 void
-runShard(const ShardWork& work, std::uint32_t bound, ShardOut& out)
+runShard(const ShardWork& work, const QueueConfig& config, ShardOut& out)
 {
+    const std::uint32_t bound = config.queue_bound;
+    const std::uint64_t wc = config.window_cycles;
     out.depth_hist.assign(bound + 1, 0);
     std::deque<std::uint64_t> completions;
     std::uint64_t server_free = 0;
@@ -50,8 +64,15 @@ runShard(const ShardWork& work, std::uint32_t bound, ShardOut& out)
             static_cast<std::uint32_t>(completions.size());
         ++out.result.arrivals;
         ++out.depth_hist[depth];
+        WindowStats* win = wc ? &windowAt(out.windows, t / wc) : nullptr;
+        if (win != nullptr) {
+            ++win->arrivals;
+            win->depth_max = std::max<std::uint64_t>(win->depth_max, depth);
+        }
         if (depth >= bound) {
             ++out.result.dropped;
+            if (win != nullptr)
+                ++win->dropped;
             continue;
         }
         const std::uint64_t service = work.services[i];
@@ -62,7 +83,15 @@ runShard(const ShardWork& work, std::uint32_t bound, ShardOut& out)
         ++out.result.admitted;
         out.result.busy_cycles += service;
         out.result.last_completion = done;
-        out.latencies.push_back(done - t);
+        const std::uint64_t latency = done - t;
+        out.latency_sketch.record(latency);
+        if (config.keep_latencies)
+            out.latencies.push_back(latency);
+        if (wc) {
+            WindowStats& cw = windowAt(out.windows, done / wc);
+            ++cw.completed;
+            cw.latency.record(latency);
+        }
     }
 }
 
@@ -113,18 +142,19 @@ simulateOpenLoop(std::span<const Arrival> arrivals,
     if (pool != nullptr) {
         for (std::size_t s = 0; s < nshards; ++s)
             pool->submit([&, s] {
-                runShard(work[s], config.queue_bound, outs[s]);
+                runShard(work[s], config, outs[s]);
             });
         pool->wait();
     } else {
         for (std::size_t s = 0; s < nshards; ++s)
-            runShard(work[s], config.queue_bound, outs[s]);
+            runShard(work[s], config, outs[s]);
     }
 
-    // Ordered merge: shard order, then one global sort of latencies —
-    // both independent of execution interleaving.
+    // Ordered merge: shard order, integer sketch-bucket and window
+    // counts — independent of execution interleaving by construction.
     ServingResult r;
     r.horizon_cycles = horizon_cycles;
+    r.window_cycles = config.window_cycles;
     r.offered = arrivals.size();
     r.depth_hist.assign(config.queue_bound + 1, 0);
     for (std::size_t s = 0; s < nshards; ++s) {
@@ -135,24 +165,32 @@ simulateOpenLoop(std::span<const Arrival> arrivals,
             std::max(r.makespan_cycles, o.result.last_completion);
         for (std::size_t d = 0; d < o.depth_hist.size(); ++d)
             r.depth_hist[d] += o.depth_hist[d];
-        r.latencies_sorted.insert(r.latencies_sorted.end(),
-                                  o.latencies.begin(),
-                                  o.latencies.end());
+        r.latency_sketch.merge(o.latency_sketch);
+        if (r.windows.size() < o.windows.size())
+            r.windows.resize(o.windows.size());
+        for (std::size_t w = 0; w < o.windows.size(); ++w) {
+            WindowStats& dst = r.windows[w];
+            const WindowStats& src = o.windows[w];
+            dst.arrivals += src.arrivals;
+            dst.completed += src.completed;
+            dst.dropped += src.dropped;
+            dst.depth_max = std::max(dst.depth_max, src.depth_max);
+            dst.latency.merge(src.latency);
+        }
+        if (config.keep_latencies)
+            r.latencies_sorted.insert(r.latencies_sorted.end(),
+                                      o.latencies.begin(),
+                                      o.latencies.end());
         r.shards.push_back(o.result);
     }
     std::sort(r.latencies_sorted.begin(), r.latencies_sorted.end());
-    if (!r.latencies_sorted.empty()) {
-        r.p50 = percentileSorted(r.latencies_sorted, 0.50);
-        r.p90 = percentileSorted(r.latencies_sorted, 0.90);
-        r.p99 = percentileSorted(r.latencies_sorted, 0.99);
-        r.p999 = percentileSorted(r.latencies_sorted, 0.999);
-        r.max_latency = r.latencies_sorted.back();
-        std::uint64_t total = 0;
-        for (std::uint64_t l : r.latencies_sorted)
-            total += l;
-        r.mean_latency =
-            static_cast<double>(total) /
-            static_cast<double>(r.latencies_sorted.size());
+    if (!r.latency_sketch.empty()) {
+        r.p50 = r.latency_sketch.quantile(0.50);
+        r.p90 = r.latency_sketch.quantile(0.90);
+        r.p99 = r.latency_sketch.quantile(0.99);
+        r.p999 = r.latency_sketch.quantile(0.999);
+        r.max_latency = r.latency_sketch.max();
+        r.mean_latency = r.latency_sketch.mean();
     }
     std::uint64_t busy = 0;
     for (const ShardResult& s : r.shards)
@@ -163,16 +201,23 @@ simulateOpenLoop(std::span<const Arrival> arrivals,
                          static_cast<double>(r.makespan_cycles));
 
     // Observability: totals and distributions for active manifests.
+    // Histograms are fed in bulk from the sketch buckets / depth
+    // counts instead of one record() per sample.
     obs::counter("serve.offered").add(r.offered);
     obs::counter("serve.completed").add(r.completed);
     obs::counter("serve.dropped").add(r.dropped);
     auto& lat_hist = obs::histogram("serve.latency_cycles");
-    for (std::uint64_t l : r.latencies_sorted)
-        lat_hist.record(l);
+    const std::vector<std::uint64_t>& buckets =
+        r.latency_sketch.buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b)
+        if (buckets[b])
+            lat_hist.record(obs::QuantileSketch::bucketLowerBound(b),
+                            buckets[b]);
     auto& depth_hist = obs::histogram("serve.queue_depth");
     for (std::size_t d = 0; d < r.depth_hist.size(); ++d)
-        for (std::uint64_t n = 0; n < r.depth_hist[d]; ++n)
-            depth_hist.record(d);
+        if (r.depth_hist[d])
+            depth_hist.record(d, r.depth_hist[d]);
+    obs::sketch("serve.latency_cycles").merge(r.latency_sketch);
     obs::gauge("serve.makespan_cycles").max(
         static_cast<std::int64_t>(r.makespan_cycles));
     return r;

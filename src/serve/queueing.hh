@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/sketch.hh"
 #include "serve/arrival.hh"
 #include "support/threadpool.hh"
 
@@ -20,12 +21,22 @@
  * latency percentiles down to p999, drops, utilization, and a
  * queue-depth histogram.
  *
+ * Latency percentiles come from a bounded-relative-error quantile
+ * sketch (obs/sketch.hh, <= 1/128 off) built per shard and merged in
+ * shard order, not from sorting every sample; the sorted vector
+ * remains available behind QueueConfig::keep_latencies as the exact
+ * oracle for tests and distribution dumps. When
+ * QueueConfig::window_cycles is set the simulation also keeps a
+ * flight-recorder view: per fixed virtual-time window, arrivals,
+ * completions, drops, max queue depth, and a latency sketch of that
+ * window's completions — the feed for obs/timeline and obs/slo.
+ *
  * Determinism: service times are assigned to requests by global
  * arrival index from one seeded stream *before* sharding, each shard's
  * sub-stream preserves global arrival order, and shard results are
- * merged in shard order — so the result is byte-identical for a seed
- * whether shards run serially or on any thread-pool width (the PR 4 /
- * PR 8 convention).
+ * merged in shard order — integer bucket counts all the way — so the
+ * result is byte-identical for a seed whether shards run serially or
+ * on any thread-pool width (the PR 4 / PR 8 convention).
  */
 
 namespace spikesim::serve {
@@ -42,6 +53,12 @@ struct QueueConfig
     std::uint32_t queue_bound = 64;
     /** Stream for sampling per-request service times. */
     std::uint64_t seed = 1;
+    /** Virtual-time window width for the flight recorder view; 0
+     *  disables windowed accounting. */
+    std::uint64_t window_cycles = 0;
+    /** Keep every completed latency in latencies_sorted (exact
+     *  percentile oracle; costs memory + a global sort). */
+    bool keep_latencies = false;
 };
 
 /** Per-shard accounting. */
@@ -54,6 +71,20 @@ struct ShardResult
     std::uint64_t last_completion = 0;
 };
 
+/** One virtual-time window of the flight recorder view. Arrivals,
+ *  drops, and depth are binned by arrival time; completions and their
+ *  latency sketch by completion time. */
+struct WindowStats
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    /** Deepest queue seen by an arrival in this window. */
+    std::uint64_t depth_max = 0;
+    /** Latencies of the requests that completed in this window. */
+    obs::QuantileSketch latency;
+};
+
 /** Everything one simulated serving run reports. */
 struct ServingResult
 {
@@ -62,20 +93,27 @@ struct ServingResult
     std::uint64_t dropped = 0;
     std::uint64_t horizon_cycles = 0;  ///< arrival-generation horizon
     std::uint64_t makespan_cycles = 0; ///< latest completion time
-    std::uint64_t p50 = 0;             ///< latency percentiles, cycles
+    /** Latency percentiles in cycles, from the merged sketch: within
+     *  1/128 above the exact nearest-rank sample. */
+    std::uint64_t p50 = 0;
     std::uint64_t p90 = 0;
     std::uint64_t p99 = 0;
     std::uint64_t p999 = 0;
-    std::uint64_t max_latency = 0;
-    double mean_latency = 0.0;
+    std::uint64_t max_latency = 0; ///< exact (sketch tracks extrema)
+    double mean_latency = 0.0;     ///< exact (sketch sum is exact)
     /** Busy cycles / (shards * makespan). */
     double utilization = 0.0;
     /** Queue depth seen by each arrival (dropped ones included);
      *  index = depth, size = queue_bound + 1. */
     std::vector<std::uint64_t> depth_hist;
     std::vector<ShardResult> shards;
-    /** All completed-request latencies, ascending (for percentile
-     *  re-derivation and distribution dumps). */
+    /** All completed-request latencies merged across shards. */
+    obs::QuantileSketch latency_sketch;
+    /** Flight recorder windows (empty unless config.window_cycles). */
+    std::vector<WindowStats> windows;
+    std::uint64_t window_cycles = 0; ///< copied from the config
+    /** All completed-request latencies, ascending — only filled when
+     *  config.keep_latencies (the exact oracle path). */
     std::vector<std::uint64_t> latencies_sorted;
 };
 
@@ -91,8 +129,9 @@ std::uint64_t percentileSorted(std::span<const std::uint64_t> sorted,
  * (generateArrivals output), `service_cycles` is the non-empty
  * per-request service-time table sampled uniformly per request, `pool`
  * parallelizes over shards when non-null (results identical either
- * way). Also records serve.* counters and latency/queue-depth
- * histograms in the obs registry, so active manifests capture the run.
+ * way). Also records serve.* counters, latency/queue-depth histograms,
+ * and the serve.latency_cycles quantile sketch in the obs registry, so
+ * active manifests capture the run.
  */
 ServingResult simulateOpenLoop(std::span<const Arrival> arrivals,
                                std::span<const std::uint64_t> service_cycles,

@@ -287,6 +287,24 @@ TEST(Tracing, ValidatorRejectsBrokenDocuments)
               R"(]})"),
         &err))
         << err;
+    // Counter events: args object with numeric series required.
+    EXPECT_FALSE(validateChromeTrace(
+        parse(R"({"traceEvents":[{"name":"a","cat":"c","ph":"C",)"
+              R"("pid":1,"tid":0,"ts":0}]})"),
+        &err));
+    EXPECT_FALSE(validateChromeTrace(
+        parse(R"({"traceEvents":[{"name":"a","cat":"c","ph":"C",)"
+              R"("pid":1,"tid":0,"ts":0,"args":{}}]})"),
+        &err));
+    EXPECT_FALSE(validateChromeTrace(
+        parse(R"({"traceEvents":[{"name":"a","cat":"c","ph":"C",)"
+              R"("pid":1,"tid":0,"ts":0,"args":{"v":"nope"}}]})"),
+        &err));
+    EXPECT_TRUE(validateChromeTrace(
+        parse(R"({"traceEvents":[{"name":"a","cat":"c","ph":"C",)"
+              R"("pid":1,"tid":0,"ts":0,"args":{"value":3.5}}]})"),
+        &err))
+        << err;
 }
 
 TEST(Tracing, ConcurrentSpansAllSurviveToTheTrace)
@@ -367,6 +385,48 @@ TEST(Manifest, RendersAllSectionsAsValidJson)
     ASSERT_NE(counters->find("test.obs.manifest_counter"), nullptr);
     EXPECT_GE(counters->find("test.obs.manifest_counter")->number(),
               3.0);
+}
+
+TEST(Manifest, TimelineAndSloSectionsEmbedOrDegrade)
+{
+    sketch("test.obs.manifest_sketch").record(1000);
+    Manifest m;
+    m.binary = "unit_test";
+    m.timelines.push_back(
+        R"({"name":"tl","total_windows":2,"series":{"x":[1,2]}})");
+    m.timelines.push_back("definitely not json");
+    m.slos.push_back(
+        R"({"name":"latency","verdict":"ok","attainment":0.995})");
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(renderManifest(m), doc, &err)) << err;
+
+    const JsonValue* timelines = doc.find("timeline");
+    ASSERT_NE(timelines, nullptr);
+    ASSERT_TRUE(timelines->isArray());
+    ASSERT_EQ(timelines->array().size(), 2u);
+    EXPECT_EQ(timelines->array()[0].find("name")->str(), "tl");
+    // Malformed sections degrade to null like artifacts.
+    EXPECT_TRUE(timelines->array()[1].isNull());
+
+    const JsonValue* slos = doc.find("slo");
+    ASSERT_NE(slos, nullptr);
+    ASSERT_TRUE(slos->isArray());
+    ASSERT_EQ(slos->array().size(), 1u);
+    EXPECT_EQ(slos->array()[0].find("verdict")->str(), "ok");
+
+    // Sketch metrics ride in the snapshot with quantile summaries.
+    const JsonValue* metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const JsonValue* sketches = metrics->find("sketches");
+    ASSERT_NE(sketches, nullptr);
+    const JsonValue* s = sketches->find("test.obs.manifest_sketch");
+    ASSERT_NE(s, nullptr);
+    EXPECT_GE(s->find("count")->number(), 1.0);
+    for (const char* key : {"sum", "min", "max", "p50", "p90", "p99",
+                            "p999", "relative_error"})
+        ASSERT_NE(s->find(key), nullptr) << "missing key " << key;
 }
 
 TEST(Manifest, PhaseClockRecordsWallTime)

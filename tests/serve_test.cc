@@ -114,6 +114,7 @@ TEST(Queueing, FifoSingleServerMath)
     serve::QueueConfig qc;
     qc.shards = 1;
     qc.queue_bound = 8;
+    qc.keep_latencies = true;
     serve::ServingResult r =
         serve::simulateOpenLoop(arrivals, service, 1'000, qc);
     EXPECT_EQ(r.offered, 3u);
@@ -161,6 +162,7 @@ TEST(Queueing, SessionsPinToShards)
     serve::QueueConfig qc;
     qc.shards = 2;
     qc.queue_bound = 8;
+    qc.keep_latencies = true;
     serve::ServingResult r =
         serve::simulateOpenLoop(arrivals, service, 1'000, qc);
     EXPECT_EQ(r.completed, 4u);
@@ -186,6 +188,8 @@ TEST(Queueing, PoolWidthDoesNotChangeResults)
     qc.shards = 4;
     qc.queue_bound = 16;
     qc.seed = 9;
+    qc.keep_latencies = true;
+    qc.window_cycles = ac.horizon_cycles / 16;
     serve::ServingResult serial = serve::simulateOpenLoop(
         arrivals, service, ac.horizon_cycles, qc, nullptr);
     support::ThreadPool pool(3);
@@ -199,6 +203,100 @@ TEST(Queueing, PoolWidthDoesNotChangeResults)
     EXPECT_EQ(serial.makespan_cycles, threaded.makespan_cycles);
     EXPECT_EQ(serial.latencies_sorted, threaded.latencies_sorted);
     EXPECT_EQ(serial.depth_hist, threaded.depth_hist);
+    // The merged sketch and the flight recorder windows are integer
+    // bucket counts merged in shard order: byte-identical too.
+    EXPECT_EQ(serial.latency_sketch.buckets(),
+              threaded.latency_sketch.buckets());
+    ASSERT_EQ(serial.windows.size(), threaded.windows.size());
+    for (std::size_t w = 0; w < serial.windows.size(); ++w) {
+        EXPECT_EQ(serial.windows[w].arrivals,
+                  threaded.windows[w].arrivals);
+        EXPECT_EQ(serial.windows[w].completed,
+                  threaded.windows[w].completed);
+        EXPECT_EQ(serial.windows[w].dropped,
+                  threaded.windows[w].dropped);
+        EXPECT_EQ(serial.windows[w].depth_max,
+                  threaded.windows[w].depth_max);
+        EXPECT_EQ(serial.windows[w].latency.buckets(),
+                  threaded.windows[w].latency.buckets());
+    }
+}
+
+TEST(Queueing, SketchPercentilesTrackTheSortOracle)
+{
+    // With keep_latencies on, the exact sorted path and the sketch run
+    // side by side: every sketch percentile must sit within the
+    // sketch's relative-error bound above the nearest-rank oracle.
+    serve::ArrivalConfig ac = smallArrivals();
+    const std::vector<serve::Arrival> arrivals =
+        serve::generateArrivals(ac);
+    std::vector<std::uint64_t> service(64);
+    for (std::size_t i = 0; i < service.size(); ++i)
+        service[i] = 300 + 91 * i * i;
+    serve::QueueConfig qc;
+    qc.shards = 4;
+    qc.queue_bound = 16;
+    qc.seed = 5;
+    qc.keep_latencies = true;
+    serve::ServingResult r = serve::simulateOpenLoop(
+        arrivals, service, ac.horizon_cycles, qc);
+    ASSERT_FALSE(r.latencies_sorted.empty());
+    EXPECT_EQ(r.latency_sketch.count(), r.latencies_sorted.size());
+    const auto check = [&](std::uint64_t sketch_v, double q) {
+        const std::uint64_t exact =
+            serve::percentileSorted(r.latencies_sorted, q);
+        EXPECT_GE(sketch_v, exact) << "q=" << q;
+        EXPECT_LE(sketch_v,
+                  exact + exact / 128 + 1)
+            << "q=" << q;
+    };
+    check(r.p50, 0.50);
+    check(r.p90, 0.90);
+    check(r.p99, 0.99);
+    check(r.p999, 0.999);
+    // Extrema and mean are exact, not sketched.
+    EXPECT_EQ(r.max_latency, r.latencies_sorted.back());
+    std::uint64_t total = 0;
+    for (std::uint64_t l : r.latencies_sorted)
+        total += l;
+    EXPECT_DOUBLE_EQ(
+        r.mean_latency,
+        static_cast<double>(total) /
+            static_cast<double>(r.latencies_sorted.size()));
+}
+
+TEST(Queueing, WindowAccountingBinsByTime)
+{
+    // Window width 100: arrival at t binned by t/100, completion by
+    // done/100. Single shard, service 100 cycles.
+    const std::vector<serve::Arrival> arrivals = {
+        {0, 0}, {10, 0}, {250, 0}};
+    const std::vector<std::uint64_t> service = {100};
+    serve::QueueConfig qc;
+    qc.shards = 1;
+    qc.queue_bound = 8;
+    qc.window_cycles = 100;
+    serve::ServingResult r =
+        serve::simulateOpenLoop(arrivals, service, 1'000, qc);
+    EXPECT_EQ(r.window_cycles, 100u);
+    // Completions at 100, 200, 350 -> windows 1, 2, 3.
+    ASSERT_EQ(r.windows.size(), 4u);
+    EXPECT_EQ(r.windows[0].arrivals, 2u); // t=0, t=10
+    EXPECT_EQ(r.windows[2].arrivals, 1u); // t=250
+    EXPECT_EQ(r.windows[0].completed, 0u);
+    EXPECT_EQ(r.windows[1].completed, 1u); // done=100 (window 1)
+    EXPECT_EQ(r.windows[2].completed, 1u); // done=200 (window 2)
+    EXPECT_EQ(r.windows[3].completed, 1u); // done=350
+    EXPECT_EQ(r.windows[0].depth_max, 1u); // t=10 saw depth 1
+    std::uint64_t arrivals_total = 0;
+    std::uint64_t completed_total = 0;
+    for (const serve::WindowStats& w : r.windows) {
+        arrivals_total += w.arrivals;
+        completed_total += w.completed;
+        EXPECT_EQ(w.latency.count(), w.completed);
+    }
+    EXPECT_EQ(arrivals_total, r.offered);
+    EXPECT_EQ(completed_total, r.completed);
 }
 
 sim::SystemConfig

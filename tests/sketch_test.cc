@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the flight-recorder primitives: the bounded-relative-error
+ * quantile sketch (bucket map round-trips, the rank-error bound against
+ * an exact sort oracle, shard-merge determinism), timeline ring buffers
+ * and their Chrome counter-trace rendering, and SLO burn-rate verdicts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/sketch.hh"
+#include "obs/slo.hh"
+#include "obs/timeline.hh"
+#include "obs/tracing.hh"
+#include "support/rng.hh"
+
+namespace spikesim::obs {
+namespace {
+
+// ---------------------------------------------------------------- sketch
+
+TEST(Sketch, BucketBoundsRoundTrip)
+{
+    // Bounds bracket their value and the map is contiguous: each
+    // bucket's upper bound is one below the next bucket's lower bound.
+    const std::uint64_t probes[] = {
+        0,   1,    2,    127,  128,        129,       255,
+        256, 1000, 4096, 4097, 1u << 20,   123456789, (1ull << 40) + 17,
+        ~0ull};
+    for (std::uint64_t v : probes) {
+        const std::size_t idx = QuantileSketch::bucketIndex(v);
+        EXPECT_LE(QuantileSketch::bucketLowerBound(idx), v);
+        EXPECT_GE(QuantileSketch::bucketUpperBound(idx), v);
+        EXPECT_EQ(QuantileSketch::bucketIndex(
+                      QuantileSketch::bucketLowerBound(idx)),
+                  idx);
+        EXPECT_EQ(QuantileSketch::bucketIndex(
+                      QuantileSketch::bucketUpperBound(idx)),
+                  idx);
+    }
+    for (std::size_t idx = 0; idx < 2000; ++idx)
+        EXPECT_EQ(QuantileSketch::bucketLowerBound(idx + 1),
+                  QuantileSketch::bucketUpperBound(idx) + 1);
+}
+
+TEST(Sketch, SmallValuesAreExact)
+{
+    // Values below 2^kSubBits get one bucket each, so every quantile of
+    // a small-value distribution is the true sample.
+    QuantileSketch s;
+    for (std::uint64_t v = 0; v < 100; ++v)
+        s.record(v);
+    EXPECT_EQ(s.quantile(0.0), 0u);
+    EXPECT_EQ(s.quantile(0.50), 49u);
+    EXPECT_EQ(s.quantile(0.99), 98u);
+    EXPECT_EQ(s.quantile(1.0), 99u);
+    EXPECT_EQ(s.min(), 0u);
+    EXPECT_EQ(s.max(), 99u);
+}
+
+/** Exact nearest-rank quantile of a sorted sample vector. */
+std::uint64_t
+exactQuantile(const std::vector<std::uint64_t>& sorted, double q)
+{
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+TEST(Sketch, QuantileTracksSortOracleWithinRelativeError)
+{
+    // Uniform and heavy-tailed samples: the sketch quantile is always
+    // >= the exact nearest-rank sample and within the advertised
+    // relative error of it (+1 for integer bucket rounding).
+    support::Pcg32 rng(42);
+    std::vector<std::uint64_t> uniform, tailed;
+    for (int i = 0; i < 20000; ++i) {
+        uniform.push_back(rng.nextBounded(1u << 20));
+        // Exponentiated uniform: many small values, a long tail.
+        tailed.push_back(static_cast<std::uint64_t>(
+            std::exp(14.0 * rng.nextDouble())));
+    }
+    for (std::vector<std::uint64_t>* samples : {&uniform, &tailed}) {
+        QuantileSketch s;
+        for (std::uint64_t v : *samples)
+            s.record(v);
+        std::sort(samples->begin(), samples->end());
+        ASSERT_EQ(s.count(), samples->size());
+        for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+            const std::uint64_t exact = exactQuantile(*samples, q);
+            const std::uint64_t est = s.quantile(q);
+            EXPECT_GE(est, exact) << "q=" << q;
+            EXPECT_LE(est, exact + exact / 128 + 1) << "q=" << q;
+        }
+        EXPECT_EQ(s.min(), samples->front());
+        EXPECT_EQ(s.max(), samples->back());
+    }
+}
+
+TEST(Sketch, ShardMergeMatchesSingleSketchExactly)
+{
+    // Splitting a stream across shards and merging (in any shard count)
+    // reproduces the single-sketch state bit for bit — the property the
+    // serving path's thread-pool determinism rests on.
+    support::Pcg32 rng(7);
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 5000; ++i)
+        samples.push_back(rng.nextBounded(1u << 24) + 1);
+
+    QuantileSketch whole;
+    for (std::uint64_t v : samples)
+        whole.record(v);
+
+    for (std::size_t shards : {2u, 3u, 8u}) {
+        std::vector<QuantileSketch> parts(shards);
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            parts[i % shards].record(samples[i]);
+        QuantileSketch merged;
+        for (const QuantileSketch& p : parts)
+            merged.merge(p);
+        EXPECT_EQ(merged.buckets(), whole.buckets()) << shards;
+        EXPECT_EQ(merged.count(), whole.count());
+        EXPECT_EQ(merged.sum(), whole.sum());
+        EXPECT_EQ(merged.min(), whole.min());
+        EXPECT_EQ(merged.max(), whole.max());
+        for (double q : {0.5, 0.99, 0.999})
+            EXPECT_EQ(merged.quantile(q), whole.quantile(q));
+    }
+}
+
+TEST(Sketch, CountAboveUsesBucketBoundary)
+{
+    QuantileSketch s;
+    s.record(100, 10); // exact bucket (v < 128)
+    s.record(1000, 5);
+    s.record(100000, 3);
+    // Threshold inside the 1000-bucket: that bucket itself is not
+    // counted, everything strictly above it is.
+    EXPECT_EQ(s.countAbove(1000), 3u);
+    EXPECT_EQ(s.countAbove(100), 8u);
+    EXPECT_EQ(s.countAbove(100000), 0u);
+    EXPECT_EQ(s.countAbove(0), 18u);
+}
+
+TEST(Sketch, ClearResetsToEmpty)
+{
+    QuantileSketch s;
+    s.record(12345, 7);
+    ASSERT_FALSE(s.empty());
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.quantile(0.99), 0u);
+    EXPECT_EQ(s.min(), 0u);
+    EXPECT_EQ(s.max(), 0u);
+}
+
+// -------------------------------------------------------------- timeline
+
+TEST(Timeline, RingEvictsOldestWindows)
+{
+    Timeline tl(TimelineConfig{"t", 10.0, 1.0, 4});
+    const std::size_t a = tl.addSeries("a");
+    const std::size_t b = tl.addSeries("b");
+    ASSERT_EQ(tl.findSeries("b"), b);
+    EXPECT_EQ(tl.findSeries("zzz"), Timeline::npos);
+
+    for (std::size_t w = 0; w < 10; ++w) {
+        const double vals[] = {static_cast<double>(w),
+                               static_cast<double>(w) * 2.0};
+        tl.appendWindow(vals);
+    }
+    EXPECT_EQ(tl.totalWindows(), 10u);
+    EXPECT_EQ(tl.firstWindow(), 6u);
+    EXPECT_EQ(tl.evictedWindows(), 6u);
+    for (std::size_t w = 6; w < 10; ++w) {
+        EXPECT_EQ(tl.value(a, w), static_cast<double>(w));
+        EXPECT_EQ(tl.value(b, w), static_cast<double>(w) * 2.0);
+    }
+}
+
+TEST(Timeline, RenderSectionIsValidJson)
+{
+    Timeline tl(TimelineConfig{"svc", 100.0, 0.5, 8});
+    tl.addSeries("arrivals");
+    tl.addSeries("p99_us");
+    const double w0[] = {3.0, 12.5};
+    const double w1[] = {5.0, 14.25};
+    tl.appendWindow(w0);
+    tl.appendWindow(w1);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(tl.renderSection(), doc, &err)) << err;
+    EXPECT_EQ(doc.find("name")->str(), "svc");
+    EXPECT_EQ(doc.find("total_windows")->number(), 2.0);
+    EXPECT_EQ(doc.find("first_window")->number(), 0.0);
+    const JsonValue* series = doc.find("series");
+    ASSERT_NE(series, nullptr);
+    ASSERT_NE(series->find("p99_us"), nullptr);
+    ASSERT_EQ(series->find("p99_us")->array().size(), 2u);
+    EXPECT_EQ(series->find("p99_us")->array()[1].number(), 14.25);
+}
+
+TEST(Timeline, CounterTraceMatchesChromeSchema)
+{
+    // The rendered counter trace is a valid Chrome trace-event document
+    // whose events have the golden counter shape: ph "C", per-timeline
+    // pid, ts = window start in microseconds, args {"value": sample}.
+    Timeline tl(TimelineConfig{"svc", 100.0, 0.5, 8});
+    tl.addSeries("arrivals");
+    const double w0[] = {3.0};
+    const double w1[] = {5.0};
+    tl.appendWindow(w0);
+    tl.appendWindow(w1);
+    const Timeline timelines[] = {tl};
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(renderTimelineTrace(timelines), doc, &err))
+        << err;
+    ASSERT_TRUE(validateChromeTrace(doc, &err)) << err;
+
+    const auto& events = doc.find("traceEvents")->array();
+    ASSERT_EQ(events.size(), 2u);
+    const JsonValue& ev = events[1];
+    EXPECT_EQ(ev.find("name")->str(), "arrivals");
+    EXPECT_EQ(ev.find("cat")->str(), "timeline");
+    EXPECT_EQ(ev.find("ph")->str(), "C");
+    EXPECT_EQ(ev.find("pid")->number(), 1.0);
+    EXPECT_EQ(ev.find("tid")->number(), 0.0);
+    // Window 1 starts at 1 * 100 ticks * 0.5 us/tick.
+    EXPECT_EQ(ev.find("ts")->number(), 50.0);
+    EXPECT_EQ(ev.find("args")->find("value")->number(), 5.0);
+}
+
+// ------------------------------------------------------------------- slo
+
+TEST(Slo, EmptyAndAllGoodRunsAreOk)
+{
+    SloSpec spec;
+    spec.target = 0.99;
+    const SloVerdict none = evaluateSlo(spec, {});
+    EXPECT_EQ(none.verdict, "ok");
+    EXPECT_TRUE(none.met);
+    EXPECT_EQ(none.attainment, 1.0);
+
+    std::vector<SloWindow> good(60, SloWindow{1000, 0});
+    const SloVerdict v = evaluateSlo(spec, good);
+    EXPECT_EQ(v.verdict, "ok");
+    EXPECT_TRUE(v.met);
+    EXPECT_EQ(v.total, 60000u);
+    EXPECT_EQ(v.bad, 0u);
+    EXPECT_EQ(v.budget_burn, 0.0);
+    EXPECT_EQ(v.fast_alert_windows, 0u);
+    EXPECT_EQ(v.slow_alert_windows, 0u);
+}
+
+TEST(Slo, SustainedMissIsABreach)
+{
+    SloSpec spec;
+    spec.target = 0.99;
+    std::vector<SloWindow> windows(12, SloWindow{900, 100});
+    const SloVerdict v = evaluateSlo(spec, windows);
+    EXPECT_EQ(v.verdict, "breach");
+    EXPECT_FALSE(v.met);
+    EXPECT_NEAR(v.attainment, 0.9, 1e-12);
+    EXPECT_NEAR(v.budget_burn, 10.0, 1e-9);
+}
+
+TEST(Slo, BurstFiresTheFastBurnPairOnly)
+{
+    // 36 healthy windows then 12 bursty ones: the trailing fast pair
+    // (3/12 windows) sees a 16.7x burn and alerts at the last window,
+    // the run-level budget stays intact, and the slow 48-window span is
+    // diluted by the healthy prefix — verdict "fast_burn", still met.
+    SloSpec spec;
+    spec.target = 0.99;
+    std::vector<SloWindow> windows(36, SloWindow{10000, 0});
+    for (int i = 0; i < 12; ++i)
+        windows.push_back(SloWindow{500, 100});
+    const SloVerdict v = evaluateSlo(spec, windows);
+    EXPECT_EQ(v.verdict, "fast_burn");
+    EXPECT_TRUE(v.met);
+    EXPECT_EQ(v.fast_alert_windows, 1u);
+    EXPECT_EQ(v.slow_alert_windows, 0u);
+    EXPECT_GE(v.max_fast_burn, spec.fast_factor);
+}
+
+TEST(Slo, SimmeringLeakFiresTheSlowBurnPair)
+{
+    // A 7x burn sustained across the whole trailing 48-window span:
+    // too mild for the 14.4x fast factor, but the slow pair alerts.
+    SloSpec spec;
+    spec.target = 0.99;
+    std::vector<SloWindow> windows(48, SloWindow{10000, 0});
+    for (int i = 0; i < 48; ++i)
+        windows.push_back(SloWindow{930, 70});
+    const SloVerdict v = evaluateSlo(spec, windows);
+    EXPECT_EQ(v.verdict, "slow_burn");
+    EXPECT_TRUE(v.met);
+    EXPECT_EQ(v.fast_alert_windows, 0u);
+    EXPECT_EQ(v.slow_alert_windows, 1u);
+    EXPECT_GE(v.max_slow_burn, spec.slow_factor);
+    EXPECT_LT(v.max_fast_burn, spec.fast_factor);
+}
+
+TEST(Slo, VerdictRendersAsJson)
+{
+    SloSpec spec;
+    spec.name = "latency_p99";
+    spec.target = 0.99;
+    spec.threshold_ticks = 4000;
+    std::vector<SloWindow> windows(12, SloWindow{995, 5});
+    const SloVerdict v = evaluateSlo(spec, windows);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(renderSloVerdict(spec, v), doc, &err)) << err;
+    EXPECT_EQ(doc.find("name")->str(), "latency_p99");
+    EXPECT_EQ(doc.find("target")->number(), 0.99);
+    EXPECT_EQ(doc.find("threshold_ticks")->number(), 4000.0);
+    EXPECT_EQ(doc.find("total")->number(), 12 * 1000.0);
+    EXPECT_EQ(doc.find("bad")->number(), 60.0);
+    EXPECT_NEAR(doc.find("attainment")->number(), 0.995, 1e-12);
+    ASSERT_NE(doc.find("met"), nullptr);
+    EXPECT_EQ(doc.find("met")->boolean(), v.met);
+    EXPECT_EQ(doc.find("verdict")->str(), v.verdict);
+}
+
+} // namespace
+} // namespace spikesim::obs

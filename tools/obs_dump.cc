@@ -19,9 +19,12 @@
  * "layout_search" every scalar metric, the objective-weight /
  * page-geometry / region-map sub-objects, and the re-rank curve and
  * sweep grid arrays; for "serving" the platform and service-time
- * summaries, every load point's base/opt latency blocks, and the
- * optional multi-tenant section. All checking modes exit non-zero on
- * any violation, so ctest can use them as smoke gates.
+ * summaries, the SLO spec, and every load point's base/opt latency +
+ * SLO-verdict blocks (multi-tenant section included when present);
+ * for "replay", "cachesim", "trace_io", and "obs" every headline
+ * timing, speedup, and differential field the micro-benches emit. All
+ * checking modes exit non-zero on any violation, so ctest can use them
+ * as per-artifact schema gates.
  */
 
 #include <cstdio>
@@ -131,6 +134,26 @@ struct BenchChecker
             fail(where + " is missing \"" + key + "\"");
         else if (!v->isNumber())
             fail(where + " \"" + key + "\" is not a number");
+    }
+
+    void
+    boolean(const obs::JsonValue& obj, const std::string& where,
+            const char* key)
+    {
+        const obs::JsonValue* v = obj.find(key);
+        if (v == nullptr)
+            fail(where + " is missing \"" + key + "\"");
+        else if (!v->isBool())
+            fail(where + " \"" + key + "\" is not a boolean");
+    }
+
+    void
+    string(const obs::JsonValue& obj, const std::string& where,
+           const char* key)
+    {
+        const obs::JsonValue* v = obj.find(key);
+        if (v == nullptr || !v->isString())
+            fail(where + " \"" + key + "\" is not a string");
     }
 
     /** Sub-object of `parent` whose fields are all numbers. */
@@ -249,14 +272,28 @@ checkServing(BenchChecker& c)
             c.object(*service, "\"service\"", layout,
                      {"mean_cycles", "p50_cycles", "p99_cycles"});
     }
+    c.object(doc, "top level", "slo_spec",
+             {"target", "threshold_cycles", "threshold_us", "windows"});
     const auto layoutRun = [&](const obs::JsonValue& parent,
                                const std::string& where,
                                const char* key) {
-        c.object(parent, where, key,
-                 {"completed", "dropped", "offered_tps",
-                  "sustained_tps", "mean_us", "p50_us", "p90_us",
-                  "p99_us", "p999_us", "max_us", "utilization",
-                  "max_queue_depth"});
+        const obs::JsonValue* run = c.object(
+            parent, where, key,
+            {"completed", "dropped", "offered_tps", "sustained_tps",
+             "mean_us", "p50_us", "p90_us", "p99_us", "p999_us",
+             "max_us", "utilization", "max_queue_depth"});
+        if (run == nullptr)
+            return;
+        const std::string rwhere = where + " \"" + key + "\"";
+        const obs::JsonValue* slo = c.object(
+            *run, rwhere, "slo",
+            {"total", "bad", "attainment", "budget_burn",
+             "max_fast_burn", "max_slow_burn", "fast_alert_windows",
+             "slow_alert_windows"});
+        if (slo != nullptr) {
+            c.boolean(*slo, rwhere + " \"slo\"", "met");
+            c.string(*slo, rwhere + " \"slo\"", "verdict");
+        }
     };
     if (const obs::JsonValue* loads = c.array("loads")) {
         if (loads->array().empty())
@@ -295,6 +332,81 @@ checkServing(BenchChecker& c)
     }
 }
 
+/** Field checks specific to BENCH_replay.json (the SoA/SIMD replay
+ *  micro-bench). Per-kernel keys (soa_avx2_seconds, family_*_seconds,
+ *  ...) depend on the host's SIMD support, so only the always-present
+ *  headline fields are required. */
+void
+checkReplay(BenchChecker& c)
+{
+    const obs::JsonValue& doc = c.doc;
+    for (const char* key :
+         {"trace_events", "trace_cpus", "oracle_seconds",
+          "serial_fused_seconds", "serial_fused_resolve_seconds",
+          "serial_fused_replay_seconds", "parallel_fused_seconds",
+          "parallel_threads", "soa_scalar_seconds",
+          "soa_scalar_resolve_seconds", "soa_scalar_replay_seconds",
+          "fused_vs_per_config", "parallel_vs_serial_fused",
+          "end_to_end_speedup", "resolve_direct_seconds",
+          "resolve_transpose_seconds", "resolve_direct_speedup",
+          "icache_grid_configs", "icache_grid_aos_seconds",
+          "icache_grid_soa_scalar_seconds",
+          "icache_grid_scalar_speedup"})
+        c.number(doc, "top level", key);
+    c.string(doc, "top level", "simd_kernel");
+    c.string(doc, "top level", "simd_kernel_reason");
+    c.boolean(doc, "top level", "avx2_available");
+    c.boolean(doc, "top level", "avx512_available");
+    c.boolean(doc, "top level", "differential_ok");
+}
+
+/** Field checks specific to BENCH_cachesim.json. */
+void
+checkCachesim(BenchChecker& c)
+{
+    const obs::JsonValue& doc = c.doc;
+    for (const char* key :
+         {"trace_events", "configs", "line_accesses",
+          "per_config_seconds", "per_config_accesses_per_sec",
+          "sweep_seconds", "sweep_accesses_per_sec", "sweep_speedup",
+          "jobs_serial_seconds", "jobs_parallel_seconds",
+          "parallel_threads", "parallel_speedup"})
+        c.number(doc, "top level", key);
+    c.boolean(doc, "top level", "differential_ok");
+}
+
+/** Field checks specific to BENCH_trace_io.json. */
+void
+checkTraceIo(BenchChecker& c)
+{
+    const obs::JsonValue& doc = c.doc;
+    for (const char* key :
+         {"profile_txns", "trace_txns", "trace_events",
+          "raw_trace_bytes", "corpus_file_bytes",
+          "trace_compression_ratio", "generate_seconds", "save_seconds",
+          "load_image_build_seconds", "load_decode_seconds",
+          "load_total_seconds", "load_speedup_vs_regeneration"})
+        c.number(doc, "top level", key);
+    c.boolean(doc, "top level", "speedup_bar_10x_met");
+    c.boolean(doc, "top level", "differential_ok");
+}
+
+/** Field checks specific to BENCH_obs.json (registry overhead). */
+void
+checkObs(BenchChecker& c)
+{
+    const obs::JsonValue& doc = c.doc;
+    for (const char* key :
+         {"refs", "counter_add_ns", "null_counter_add_ns",
+          "gauge_max_ns", "histogram_record_ns", "span_inactive_ns",
+          "span_active_ns", "replay_loop_bare_seconds",
+          "replay_loop_live_counter_seconds",
+          "replay_loop_null_counter_seconds",
+          "live_counter_overhead_percent",
+          "null_counter_overhead_percent"})
+        c.number(doc, "top level", key);
+}
+
 /** Schema gate for BENCH_*.json artifacts, dispatching on the "bench"
  *  field; 0 on success. */
 int
@@ -330,9 +442,30 @@ checkBench(const std::string& path)
             loads != nullptr && loads->isArray())
             detail = std::to_string(loads->array().size()) +
                      " load points";
+    } else if (kind == "replay") {
+        checkReplay(c);
+        if (const obs::JsonValue* ev = doc.find("trace_events");
+            ev != nullptr && ev->isNumber())
+            detail = obs::jsonNumber(ev->number()) + " trace events";
+    } else if (kind == "cachesim") {
+        checkCachesim(c);
+        if (const obs::JsonValue* n = doc.find("configs");
+            n != nullptr && n->isNumber())
+            detail = obs::jsonNumber(n->number()) + " configs";
+    } else if (kind == "trace_io") {
+        checkTraceIo(c);
+        if (const obs::JsonValue* n = doc.find("trace_events");
+            n != nullptr && n->isNumber())
+            detail = obs::jsonNumber(n->number()) + " trace events";
+    } else if (kind == "obs") {
+        checkObs(c);
+        if (const obs::JsonValue* n = doc.find("refs");
+            n != nullptr && n->isNumber())
+            detail = obs::jsonNumber(n->number()) + " refs";
     } else {
         c.fail("\"bench\" is not a recognized bench name "
-               "(layout_search, serving)");
+               "(layout_search, serving, replay, cachesim, trace_io, "
+               "obs)");
     }
     // Round-trip: the artifact must survive our writer/parser pair.
     obs::JsonValue again;
@@ -380,6 +513,26 @@ printMetricsSection(const obs::JsonValue& metrics)
                           << " samples";
             if (mean != nullptr && mean->isNumber())
                 std::cout << ", mean " << obs::jsonNumber(mean->number());
+            std::cout << "\n";
+        }
+    }
+    if (const auto* sketches = metrics.find("sketches");
+        sketches != nullptr && sketches->isObject() &&
+        !sketches->members().empty()) {
+        std::cout << "sketches:\n";
+        for (const auto& [name, s] : sketches->members()) {
+            if (!s.isObject())
+                continue;
+            std::cout << "  " << name;
+            if (const auto* count = s.find("count");
+                count != nullptr && count->isNumber())
+                std::cout << ": " << obs::jsonNumber(count->number())
+                          << " samples";
+            for (const char* q : {"p50", "p99", "p999"})
+                if (const auto* v = s.find(q);
+                    v != nullptr && v->isNumber())
+                    std::cout << ", " << q << " "
+                              << obs::jsonNumber(v->number());
             std::cout << "\n";
         }
     }
@@ -436,6 +589,49 @@ dumpManifest(const std::string& path)
         for (const auto& [name, v] : artifacts->members())
             std::cout << "  " << name << " (" << v.dump().size()
                       << " bytes)\n";
+    }
+    if (const auto* timelines = doc.find("timeline");
+        timelines && timelines->isArray() &&
+        !timelines->array().empty()) {
+        std::cout << "timelines:\n";
+        for (const obs::JsonValue& t : timelines->array()) {
+            if (!t.isObject())
+                continue;
+            const auto* name = t.find("name");
+            const auto* total = t.find("total_windows");
+            std::cout << "  "
+                      << (name != nullptr && name->isString()
+                              ? name->str()
+                              : std::string("?"));
+            if (total != nullptr && total->isNumber())
+                std::cout << " (" << obs::jsonNumber(total->number())
+                          << " windows)";
+            std::cout << "\n";
+        }
+    }
+    if (const auto* slos = doc.find("slo");
+        slos && slos->isArray() && !slos->array().empty()) {
+        std::cout << "slo verdicts:\n";
+        for (const obs::JsonValue& s : slos->array()) {
+            if (!s.isObject())
+                continue;
+            const auto* name = s.find("name");
+            const auto* verdict = s.find("verdict");
+            const auto* attainment = s.find("attainment");
+            std::cout << "  "
+                      << (name != nullptr && name->isString()
+                              ? name->str()
+                              : std::string("?"))
+                      << ": "
+                      << (verdict != nullptr && verdict->isString()
+                              ? verdict->str()
+                              : std::string("?"));
+            if (attainment != nullptr && attainment->isNumber())
+                std::cout << " (attainment "
+                          << obs::jsonNumber(attainment->number())
+                          << ")";
+            std::cout << "\n";
+        }
     }
     if (const auto* metrics = doc.find("metrics");
         metrics && metrics->isObject())
